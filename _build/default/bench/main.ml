@@ -1,0 +1,315 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every experiment row of the paper (the §III matrix,
+   §III-D delivery, the firmware survey, and the §IV ablations) — the
+   "tables" of this experience report.
+
+   Part 2 times the moving parts with Bechamel: wire codec, label
+   planning, machine-level parsing, process boot, gadget scanning,
+   payload generation, and the end-to-end exploits.
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Dnsproxy = Connman.Dnsproxy
+module Autogen = Exploit.Autogen
+module Profile = Defense.Profile
+
+let lookup = Dns.Name.of_string "ipv4.connman.net"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the experiment tables                                       *)
+(* ------------------------------------------------------------------ *)
+
+let print_experiments () =
+  Format.printf "@.=== Experiment reproduction (paper rows vs observed) ===@.@.";
+  let rows = Core.Experiments.all ~seed:1 () in
+  Format.printf "%a@." Core.Experiments.pp_table rows
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: timing benches                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_config ?(version = Connman.Version.v1_34) arch profile seed =
+  { Dnsproxy.version; arch; profile; boot_seed = seed; diversity_seed = None }
+
+let benign_wire d =
+  let query = Dnsproxy.make_query d lookup in
+  Dns.Packet.encode
+    (Dns.Packet.response ~query
+       [ Dns.Packet.a_record lookup ~ttl:300 ~ipv4:0x5DB8D822 ])
+
+(* Pre-built inputs shared across iterations. *)
+let benign_msg =
+  Dns.Packet.response
+    ~query:(Dns.Packet.query ~id:77 lookup Dns.Packet.A)
+    [ Dns.Packet.a_record lookup ~ttl:300 ~ipv4:0x5DB8D822 ]
+
+let benign_bytes = Dns.Packet.encode benign_msg
+
+let test_dns_encode =
+  Test.make ~name:"dns/encode"
+    (Staged.stage (fun () -> ignore (Dns.Packet.encode benign_msg)))
+
+let test_dns_decode =
+  Test.make ~name:"dns/decode"
+    (Staged.stage (fun () -> ignore (Dns.Packet.decode benign_bytes)))
+
+let chain_spec =
+  Dns.Craft.spec_concat
+    [
+      Dns.Craft.spec_any 1024;
+      Dns.Craft.spec_fixed (String.make 8 '\x00');
+      Dns.Craft.spec_any 28;
+      Dns.Craft.spec_fixed "\x8c\x01\x01\x00";
+      Dns.Craft.spec_any 120;
+    ]
+
+let test_plan_labels =
+  Test.make ~name:"dns/plan-labels-1k"
+    (Staged.stage (fun () -> ignore (Dns.Craft.plan_labels chain_spec)))
+
+(* Machine-level parse of a benign response: per-arch instruction counts
+   are fixed, so time/op measures emulator speed on the real workload. *)
+let parse_bench arch =
+  let d = Dnsproxy.create (mk_config arch Profile.wx 9) in
+  let proc = Dnsproxy.process d in
+  let entry = Loader.Process.symbol proc "parse_response" in
+  let buf = proc.Loader.Process.layout.Loader.Layout.heap_base in
+  let wire = benign_wire d in
+  Memsim.Memory.write_bytes proc.Loader.Process.mem buf wire;
+  fun () ->
+    ignore
+      (Loader.Process.call proc ~fuel:100_000 ~entry
+         ~args:[ buf; String.length wire ])
+
+let test_parse_x86 =
+  Test.make ~name:"cpu/parse-response-x86" (Staged.stage (parse_bench Loader.Arch.X86))
+
+let test_parse_arm =
+  Test.make ~name:"cpu/parse-response-arm" (Staged.stage (parse_bench Loader.Arch.Arm))
+
+let boot_bench arch =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    ignore (Dnsproxy.create (mk_config arch Profile.wx_aslr !counter))
+
+let test_boot_x86 =
+  Test.make ~name:"boot/connmand-x86" (Staged.stage (boot_bench Loader.Arch.X86))
+
+let test_boot_arm =
+  Test.make ~name:"boot/connmand-arm" (Staged.stage (boot_bench Loader.Arch.Arm))
+
+let gadget_bench arch =
+  let proc = Dnsproxy.process (Dnsproxy.create (mk_config arch Profile.wx 9)) in
+  match arch with
+  | Loader.Arch.X86 ->
+      fun () -> ignore (Exploit.Gadget.scan_x86 proc ~regions:[ ".text" ])
+  | Loader.Arch.Arm ->
+      fun () -> ignore (Exploit.Gadget.scan_arm proc ~regions:[ ".text" ])
+
+let test_gadgets_x86 =
+  Test.make ~name:"gadget/scan-x86" (Staged.stage (gadget_bench Loader.Arch.X86))
+
+let test_gadgets_arm =
+  Test.make ~name:"gadget/scan-arm" (Staged.stage (gadget_bench Loader.Arch.Arm))
+
+(* Payload generation per experiment cell (E1–E6): the attacker-side
+   offline cost. *)
+let payload_bench (arch, profile, strategy) =
+  let analysis = Dnsproxy.process (Dnsproxy.create (mk_config arch profile 9)) in
+  fun () ->
+    match Autogen.generate ~analysis:(Exploit.Target.connman analysis) ~strategy () with
+    | Ok _ -> ()
+    | Error e -> failwith e
+
+let payload_tests =
+  List.map
+    (fun (name, cell) -> Test.make ~name (Staged.stage (payload_bench cell)))
+    [
+      ("payload/E1-inject-x86", (Loader.Arch.X86, Profile.none, Autogen.Code_injection));
+      ("payload/E2-inject-arm", (Loader.Arch.Arm, Profile.none, Autogen.Code_injection));
+      ("payload/E3-ret2libc-x86", (Loader.Arch.X86, Profile.wx, Autogen.Ret2libc));
+      ("payload/E4-ropwx-arm", (Loader.Arch.Arm, Profile.wx, Autogen.Rop_wx));
+      ("payload/E5-ropaslr-x86", (Loader.Arch.X86, Profile.wx_aslr, Autogen.Rop_aslr));
+      ("payload/E6-ropaslr-arm", (Loader.Arch.Arm, Profile.wx_aslr, Autogen.Rop_aslr));
+    ]
+
+(* End-to-end exploit latency: boot a fresh victim and pop a shell. *)
+let end_to_end_bench (arch, profile, strategy) =
+  let analysis = Dnsproxy.process (Dnsproxy.create (mk_config arch profile 9)) in
+  let _, raw_name =
+    match Autogen.generate ~analysis:(Exploit.Target.connman analysis) ~strategy () with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let counter = ref 100 in
+  fun () ->
+    incr counter;
+    let victim = Dnsproxy.create (mk_config arch profile !counter) in
+    let query = Dnsproxy.make_query victim lookup in
+    match Dnsproxy.handle_response victim (Autogen.response_for ~query ~raw_name) with
+    | Dnsproxy.Compromised _ -> ()
+    | other ->
+        failwith (Format.asprintf "%a" Dnsproxy.pp_disposition other)
+
+let end_to_end_tests =
+  List.map
+    (fun (name, cell) -> Test.make ~name (Staged.stage (end_to_end_bench cell)))
+    [
+      ("exploit/E5-end-to-end", (Loader.Arch.X86, Profile.wx_aslr, Autogen.Rop_aslr));
+      ("exploit/E6-end-to-end", (Loader.Arch.Arm, Profile.wx_aslr, Autogen.Rop_aslr));
+    ]
+
+(* §V adaptation benches: parse + end-to-end exploit on the other targets. *)
+let dnsmasq_parse_bench arch =
+  let module D = Dnsmasq.Daemon in
+  let d =
+    D.create { D.patched = false; arch; profile = Profile.wx; boot_seed = 9 }
+  in
+  fun () ->
+    let query = D.make_query d lookup in
+    let wire =
+      Dns.Packet.encode
+        (Dns.Packet.response ~query
+           [ Dns.Packet.a_record lookup ~ttl:60 ~ipv4:1 ])
+    in
+    ignore (D.handle_response d wire)
+
+let test_dnsmasq_parse =
+  Test.make ~name:"cpu/parse-dnsmasq-arm"
+    (Staged.stage (dnsmasq_parse_bench Loader.Arch.Arm))
+
+let tcpsvc_exploit_bench () =
+  let module D = Tcpsvc.Daemon in
+  let arch = Loader.Arch.Arm and profile = Profile.wx_aslr in
+  let analysis =
+    D.process (D.create { D.patched = false; arch; profile; boot_seed = 9 })
+  in
+  let target =
+    Exploit.Target.make
+      ~frame:(Tcpsvc.Frame.geometry arch)
+      ~buffer_addr:(Tcpsvc.Frame.buffer_addr analysis)
+      analysis
+  in
+  let payload =
+    match Autogen.build ~analysis:target Autogen.Rop_aslr with
+    | Ok p -> Exploit.Payload.to_raw_bytes p
+    | Error _ -> failwith "tcpsvc payload"
+  in
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d = D.create { D.patched = false; arch; profile; boot_seed = !counter } in
+    match D.handle_frame d (D.frame ~tag:payload) with
+    | D.Compromised _ -> ()
+    | _ -> failwith "tcpsvc exploit failed"
+
+let test_tcpsvc_exploit =
+  Test.make ~name:"exploit/tcpsvc-rop-aslr-arm" (Staged.stage (tcpsvc_exploit_bench ()))
+
+let test_pineapple =
+  Test.make ~name:"scenario/pineapple"
+    (let counter = ref 0 in
+     Staged.stage (fun () ->
+         incr counter;
+         let config = mk_config Loader.Arch.Arm Profile.wx_aslr !counter in
+         match Core.Scenario.pineapple_attack ~seed:!counter ~config () with
+         | Ok _ -> ()
+         | Error e -> failwith e))
+
+let all_tests =
+  [
+    test_dns_encode;
+    test_dns_decode;
+    test_plan_labels;
+    test_parse_x86;
+    test_parse_arm;
+    test_boot_x86;
+    test_boot_arm;
+    test_gadgets_x86;
+    test_gadgets_arm;
+  ]
+  @ payload_tests @ end_to_end_tests
+  @ [ test_dnsmasq_parse; test_tcpsvc_exploit; test_pineapple ]
+
+let run_benchmarks () =
+  Format.printf "@.=== Timing benches (Bechamel, monotonic clock) ===@.@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  Format.printf "%-28s %16s %12s@." "bench" "time/run" "r^2";
+  Format.printf "%s@." (String.make 60 '-');
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let result = Analyze.one ols (Instance.monotonic_clock) raw in
+          let nanos =
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> est
+            | _ -> nan
+          in
+          let r2 = Option.value (Analyze.OLS.r_square result) ~default:nan in
+          let pretty =
+            if nanos > 1e9 then Printf.sprintf "%8.3f  s" (nanos /. 1e9)
+            else if nanos > 1e6 then Printf.sprintf "%8.3f ms" (nanos /. 1e6)
+            else if nanos > 1e3 then Printf.sprintf "%8.3f us" (nanos /. 1e3)
+            else Printf.sprintf "%8.1f ns" nanos
+          in
+          Format.printf "%-28s %16s %12.4f@." (Test.Elt.name elt) pretty r2)
+        (Test.elements test))
+    all_tests
+
+(* Throughput context: instructions retired per benign parse — and the
+   §IV concern made quantitative: what each defense costs the device on
+   the hot path (guest instructions per benign response). *)
+let parse_steps arch profile =
+  let d = Dnsproxy.create (mk_config arch profile 9) in
+  let query = Dnsproxy.make_query d lookup in
+  let wire =
+    Dns.Packet.encode
+      (Dns.Packet.response ~query [ Dns.Packet.a_record lookup ~ttl:300 ~ipv4:1 ])
+  in
+  ignore (Dnsproxy.handle_response d wire);
+  Dnsproxy.last_steps d
+
+let print_parse_costs () =
+  Format.printf "@.=== Machine-level parse cost (benign response) ===@.@.";
+  Format.printf "%-8s %-22s %12s %10s@." "arch" "protections" "instructions"
+    "overhead";
+  Format.printf "%s@." (String.make 58 '-');
+  List.iter
+    (fun arch ->
+      let base = parse_steps arch Profile.none in
+      List.iter
+        (fun (label, profile) ->
+          let steps = parse_steps arch profile in
+          Format.printf "%-8s %-22s %12d %9.1f%%@." (Loader.Arch.name arch)
+            label steps
+            (100.0 *. float_of_int (steps - base) /. float_of_int base))
+        [
+          ("none", Profile.none);
+          ("wx", Profile.wx);
+          ("wx+aslr", Profile.wx_aslr);
+          ("wx+canary", Profile.with_canary Profile.wx);
+          ("wx+aslr+cfi", Profile.with_cfi Profile.wx_aslr);
+          ("wx+seccomp", Profile.with_seccomp Profile.wx);
+        ])
+    Loader.Arch.all;
+  Format.printf
+    "@.(CFI and seccomp are host-enforced: zero guest instructions, as a@.\
+     hardware shadow stack or kernel filter would be; canaries add the@.\
+     prologue/epilogue checks the compiler emits.)@." 
+
+let () =
+  print_experiments ();
+  print_parse_costs ();
+  run_benchmarks ()

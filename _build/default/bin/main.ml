@@ -1,0 +1,330 @@
+(* connman-repro: command-line driver for the reproduction.
+
+   Subcommands:
+     experiments  — run the full experiment index and print the table
+     matrix       — the six-exploit §III matrix only
+     pineapple    — narrate the §III-D remote scenario
+     gadgets      — list gadgets in the Connman image (ropper/ROPgadget)
+     firmware     — print the firmware survey catalogue
+     layout       — print a booted process's address-space layout *)
+
+open Cmdliner
+
+let arch_conv =
+  let parse = function
+    | "x86" -> Ok Loader.Arch.X86
+    | "arm" | "armv7" -> Ok Loader.Arch.Arm
+    | s -> Error (`Msg ("unknown architecture: " ^ s))
+  in
+  Arg.conv (parse, Loader.Arch.pp)
+
+let profile_conv =
+  let parse = function
+    | "none" -> Ok Defense.Profile.none
+    | "wx" -> Ok Defense.Profile.wx
+    | "wx+aslr" | "aslr" -> Ok Defense.Profile.wx_aslr
+    | s -> Error (`Msg ("unknown profile: " ^ s))
+  in
+  Arg.conv (parse, Defense.Profile.pp)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic run seed.")
+
+let arch_arg =
+  Arg.(
+    value
+    & opt arch_conv Loader.Arch.Arm
+    & info [ "arch" ] ~doc:"Target architecture (x86 or arm).")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv Defense.Profile.wx_aslr
+    & info [ "profile" ] ~doc:"Protection profile (none, wx, wx+aslr).")
+
+let markdown_arg =
+  Arg.(value & flag & info [ "markdown" ] ~doc:"Emit a markdown table.")
+
+let experiments_cmd =
+  let run seed markdown =
+    let rows = Core.Experiments.all ~seed () in
+    if markdown then Format.printf "%a@." Core.Experiments.pp_markdown rows
+    else Format.printf "%a@." Core.Experiments.pp_table rows;
+    if List.for_all (fun r -> r.Core.Experiments.ok) rows then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run the full experiment index (E0–E8, A1–A8).")
+    Term.(const run $ seed_arg $ markdown_arg)
+
+let matrix_cmd =
+  let run seed =
+    Format.printf "%a@." Core.Experiments.pp_table
+      (Core.Experiments.e1_to_e6_matrix ~seed ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Run the six-exploit matrix of §III.")
+    Term.(const run $ seed_arg)
+
+let pineapple_cmd =
+  let run seed arch profile =
+    let config =
+      {
+        Connman.Dnsproxy.version = Connman.Version.v1_34;
+        arch;
+        profile;
+        boot_seed = seed;
+        diversity_seed = None;
+      }
+    in
+    match Core.Scenario.pineapple_attack ~seed ~config () with
+    | Error e ->
+        Format.eprintf "payload generation failed: %s@." e;
+        1
+    | Ok r ->
+        Format.printf "%a@." Core.Scenario.pp_result r;
+        Format.printf "@.device log:@.";
+        List.iter (fun l -> Format.printf "  %s@." l)
+          (Core.Device.events r.Core.Scenario.device);
+        0
+  in
+  Cmd.v
+    (Cmd.info "pineapple" ~doc:"Run the §III-D Wi-Fi Pineapple scenario.")
+    Term.(const run $ seed_arg $ arch_arg $ profile_arg)
+
+let gadgets_cmd =
+  let run seed arch limit =
+    let d =
+      Connman.Dnsproxy.create
+        {
+          Connman.Dnsproxy.version = Connman.Version.v1_34;
+          arch;
+          profile = Defense.Profile.wx;
+          boot_seed = seed;
+          diversity_seed = None;
+        }
+    in
+    let proc = Connman.Dnsproxy.process d in
+    (match arch with
+    | Loader.Arch.X86 ->
+        let gs = Exploit.Gadget.scan_x86 proc ~regions:[ ".text" ] in
+        Format.printf "%d gadgets in .text (showing %d)@." (List.length gs)
+          (min limit (List.length gs));
+        List.iteri
+          (fun i g -> if i < limit then Format.printf "%a@." Exploit.Gadget.pp_x86 g)
+          gs
+    | Loader.Arch.Arm ->
+        let gs = Exploit.Gadget.scan_arm proc ~regions:[ ".text" ] in
+        Format.printf "%d gadgets in .text@." (List.length gs);
+        List.iteri
+          (fun i g -> if i < limit then Format.printf "%a@." Exploit.Gadget.pp_arm g)
+          gs);
+    0
+  in
+  let limit_arg =
+    Arg.(value & opt int 40 & info [ "limit" ] ~doc:"Maximum gadgets to print.")
+  in
+  Cmd.v
+    (Cmd.info "gadgets" ~doc:"List code-reuse gadgets in the Connman image.")
+    Term.(const run $ seed_arg $ arch_arg $ limit_arg)
+
+let firmware_cmd =
+  let run () =
+    List.iter
+      (fun fw ->
+        Format.printf "%a  [%s]@." Core.Firmware.pp fw
+          (if Core.Firmware.vulnerable fw then "VULNERABLE" else "patched"))
+      Core.Firmware.catalog;
+    0
+  in
+  Cmd.v
+    (Cmd.info "firmware" ~doc:"Print the firmware survey catalogue.")
+    Term.(const run $ const ())
+
+let layout_cmd =
+  let run seed arch profile =
+    let d =
+      Connman.Dnsproxy.create
+        {
+          Connman.Dnsproxy.version = Connman.Version.v1_34;
+          arch;
+          profile;
+          boot_seed = seed;
+          diversity_seed = None;
+        }
+    in
+    Format.printf "%a@." Loader.Process.pp_summary (Connman.Dnsproxy.process d);
+    0
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Print a booted connmand's address-space layout.")
+    Term.(const run $ seed_arg $ arch_arg $ profile_arg)
+
+let disasm_cmd =
+  let run seed arch fn =
+    let d =
+      Connman.Dnsproxy.create
+        {
+          Connman.Dnsproxy.version = Connman.Version.v1_34;
+          arch;
+          profile = Defense.Profile.wx;
+          boot_seed = seed;
+          diversity_seed = None;
+        }
+    in
+    let proc = Connman.Dnsproxy.process d in
+    match Loader.Process.symbol_opt proc fn with
+    | None ->
+        Format.eprintf "unknown function %S@." fn;
+        1
+    | Some _ ->
+        List.iter (Format.printf "%s@.")
+          (Exploit.Debugger.disassemble_function proc ~name:fn ~max_insns:128 ());
+        0
+  in
+  let fn_arg =
+    Arg.(
+      value & pos 0 string "get_name"
+      & info [] ~docv:"FUNCTION" ~doc:"Symbol to disassemble.")
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a function of the Connman image.")
+    Term.(const run $ seed_arg $ arch_arg $ fn_arg)
+
+let trace_cmd =
+  let run seed arch profile limit =
+    let config =
+      {
+        Connman.Dnsproxy.version = Connman.Version.v1_34;
+        arch;
+        profile;
+        boot_seed = seed;
+        diversity_seed = None;
+      }
+    in
+    let d = Connman.Dnsproxy.create config in
+    let analysis =
+      Connman.Dnsproxy.process
+        (Connman.Dnsproxy.create { config with Connman.Dnsproxy.boot_seed = seed + 5000 })
+    in
+    match Exploit.Autogen.generate ~analysis:(Exploit.Target.connman analysis) () with
+    | Error e ->
+        Format.eprintf "generation failed: %s@." e;
+        1
+    | Ok (payload, raw_name) ->
+        let query =
+          Connman.Dnsproxy.make_query d (Dns.Name.of_string "ipv4.connman.net")
+        in
+        let wire = Exploit.Autogen.response_for ~query ~raw_name in
+        let proc = Connman.Dnsproxy.process d in
+        let buf = proc.Loader.Process.layout.Loader.Layout.heap_base in
+        Memsim.Memory.write_bytes proc.Loader.Process.mem buf wire;
+        let entry = Loader.Process.symbol proc "parse_response" in
+        let trace =
+          Exploit.Debugger.trace_call proc ~entry ~args:[ buf; String.length wire ]
+        in
+        Format.printf "strategy: %s, %d instructions, outcome: %s@.@."
+          payload.Exploit.Payload.strategy
+          (List.length trace.Exploit.Debugger.pcs)
+          (Machine.Outcome.to_string trace.Exploit.Debugger.outcome);
+        let pcs = trace.Exploit.Debugger.pcs in
+        let n = List.length pcs in
+        List.iteri
+          (fun i pc ->
+            if i < limit / 2 || i >= n - (limit / 2) then
+              Format.printf "%6d  %s@." i (Exploit.Debugger.symbolize proc pc)
+            else if i = limit / 2 then Format.printf "  ...@.")
+          pcs;
+        0
+  in
+  let limit_arg =
+    Arg.(value & opt int 60 & info [ "limit" ] ~doc:"Trace lines to print.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Single-step an exploit delivery and print the hijacked control flow.")
+    Term.(const run $ seed_arg $ arch_arg $ profile_arg $ limit_arg)
+
+let botnet_cmd =
+  let run seed =
+    let pick n = Option.get (Core.Firmware.find n) in
+    let firmwares =
+      [
+        pick "openelec-8"; pick "yocto-build"; pick "nest-like-thermostat";
+        pick "ubuntu-mate-rpi3"; pick "tizen-3"; pick "tizen-4";
+      ]
+    in
+    let r = Core.Scenario.botnet_recruitment ~seed ~firmwares () in
+    List.iter
+      (fun (name, status) ->
+        Format.printf "%-28s %s@." name
+          (match status with
+          | `Recruited -> "RECRUITED"
+          | `Crashed -> "crashed"
+          | `Resisted -> "resisted"))
+      r.Core.Scenario.fleet;
+    Format.printf "@.%d/%d recruited@." r.Core.Scenario.recruited
+      (List.length r.Core.Scenario.fleet);
+    0
+  in
+  Cmd.v
+    (Cmd.info "botnet" ~doc:"Recruit a mixed-firmware fleet over poisoned DNS.")
+    Term.(const run $ seed_arg)
+
+let report_cmd =
+  let run seed output =
+    let rows = Core.Experiments.all ~seed () in
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf
+      "# Experiment report (seed %d)@.@.Generated by `connman-repro report`; \
+       every row is deterministic for the seed.@.@." seed;
+    Core.Experiments.pp_markdown ppf rows;
+    let passed = List.length (List.filter (fun r -> r.Core.Experiments.ok) rows) in
+    Format.fprintf ppf "@.%d/%d rows reproduce the paper.@." passed
+      (List.length rows);
+    Format.pp_print_flush ppf ();
+    (match output with
+    | None -> print_string (Buffer.contents buf)
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Buffer.contents buf);
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    if passed = List.length rows then 0 else 1
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the markdown report to a file.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Emit a markdown reproduction report.")
+    Term.(const run $ seed_arg $ output_arg)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "connman-repro" ~version:"1.0"
+      ~doc:
+        "Simulation-based reproduction of 'Exploiting Memory Corruption \
+         Vulnerabilities in Connman for IoT Devices' (DSN 2019)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            experiments_cmd;
+            matrix_cmd;
+            pineapple_cmd;
+            gadgets_cmd;
+            firmware_cmd;
+            layout_cmd;
+            disasm_cmd;
+            trace_cmd;
+            botnet_cmd;
+            report_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adaptation.ml: Connman Defense Dns Dnsmasq Exploit Format Loader Machine

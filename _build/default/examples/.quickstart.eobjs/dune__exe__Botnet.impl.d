@@ -1,0 +1,1 @@
+examples/botnet.ml: Core Format List Option

@@ -1,0 +1,1 @@
+examples/defense_lab.ml: Connman Defense Dns Exploit Format List Loader String

@@ -1,0 +1,1 @@
+examples/pineapple.ml: Connman Core Defense Format List Loader

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Connman Defense Dns Format Loader Memsim

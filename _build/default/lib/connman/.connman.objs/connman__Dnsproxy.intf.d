@@ -1,0 +1,1 @@
+lib/connman/dnsproxy.mli: Defense Dns Format Loader Machine Version

@@ -1,0 +1,1 @@
+lib/connman/frame.mli: Loader Machine

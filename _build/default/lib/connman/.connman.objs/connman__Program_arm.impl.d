@@ -1,0 +1,1 @@
+lib/connman/program_arm.ml: Array Asm Defense Encode Isa_arm List Loader Memsim Printf String Version

@@ -1,0 +1,1 @@
+lib/connman/program_arm.mli: Defense Loader Version

@@ -1,0 +1,1 @@
+lib/connman/program_x86.ml: Array Asm Defense Isa_x86 List Loader Memsim Printf String Version

@@ -1,0 +1,1 @@
+lib/connman/program_x86.mli: Defense Loader Version

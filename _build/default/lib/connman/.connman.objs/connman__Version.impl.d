@@ -1,0 +1,1 @@
+lib/connman/version.ml: Format Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/connman/version.mli: Format

@@ -1,0 +1,181 @@
+module Mem = Memsim.Memory
+module O = Machine.Outcome
+
+type disposition =
+  | Cached of int
+  | Dropped of string
+  | Crashed of O.stop_reason
+  | Compromised of O.stop_reason
+  | Blocked of O.stop_reason
+
+let pp_disposition ppf = function
+  | Cached n -> Format.fprintf ppf "cached %d record(s)" n
+  | Dropped why -> Format.fprintf ppf "dropped (%s)" why
+  | Crashed r -> Format.fprintf ppf "CRASHED: %a" O.pp r
+  | Compromised r -> Format.fprintf ppf "COMPROMISED: %a" O.pp r
+  | Blocked r -> Format.fprintf ppf "blocked by defense: %a" O.pp r
+
+type config = {
+  version : Version.t;
+  arch : Loader.Arch.t;
+  profile : Defense.Profile.t;
+  boot_seed : int;
+  diversity_seed : int option;
+}
+
+let default_config =
+  {
+    version = Version.v1_34;
+    arch = Loader.Arch.X86;
+    profile = Defense.Profile.wx;
+    boot_seed = 1;
+    diversity_seed = None;
+  }
+
+type t = {
+  config : config;
+  mutable proc : Loader.Process.t;
+  mutable alive : bool;
+  mutable restarts : int;
+  mutable next_id : int;
+  mutable steps : int;
+  pending : (int, Dns.Packet.question) Hashtbl.t;
+  cache : Dns.Cache.t;
+  mutable clock : int;  (* logical seconds, advanced by [tick] *)
+}
+
+let build_spec config =
+  match config.arch with
+  | Loader.Arch.X86 ->
+      Program_x86.spec ~version:config.version ~profile:config.profile
+        ?diversity_seed:config.diversity_seed ()
+  | Loader.Arch.Arm ->
+      Program_arm.spec ~version:config.version ~profile:config.profile
+        ?diversity_seed:config.diversity_seed ()
+
+let boot config ~restarts =
+  Loader.Process.boot (build_spec config) ~profile:config.profile
+    ~seed:(config.boot_seed + (restarts * 7919))
+
+let create config =
+  {
+    config;
+    proc = boot config ~restarts:0;
+    alive = true;
+    restarts = 0;
+    next_id = 0x1000 + (config.boot_seed land 0xFFF);
+    steps = 0;
+    pending = Hashtbl.create 8;
+    cache = Dns.Cache.create ();
+    clock = 0;
+  }
+
+let config t = t.config
+let peek_pending t id = Hashtbl.find_opt t.pending id
+let process t = t.proc
+let alive t = t.alive
+let last_steps t = t.steps
+
+let restart t =
+  t.restarts <- t.restarts + 1;
+  t.proc <- boot t.config ~restarts:t.restarts;
+  t.alive <- true;
+  Hashtbl.reset t.pending
+
+let make_query t qname =
+  let id = t.next_id land 0xFFFF in
+  t.next_id <- t.next_id + 1;
+  let q = Dns.Packet.query ~id qname Dns.Packet.A in
+  Hashtbl.replace t.pending id (List.hd q.Dns.Packet.questions);
+  q
+
+(* Host-side pre-validation, standing in for the header/flag checks
+   dnsproxy.c performs before reaching get_name.  Reads only fixed-offset
+   header fields and the (strictly parsed) question — never the answer's
+   owner name, which is exactly the field the vulnerable path expands. *)
+let prevalidate t wire =
+  let len = String.length wire in
+  if len < 12 then Error "short packet"
+  else
+    let u16 off = (Char.code wire.[off] lsl 8) lor Char.code wire.[off + 1] in
+    let id = u16 0 in
+    let flags = u16 2 in
+    if (flags lsr 15) land 1 <> 1 then Error "not a response"
+    else if flags land 0xF <> 0 then Error "error rcode"
+    else if u16 4 <> 1 then Error "qdcount != 1"
+    else if u16 6 < 1 then Error "no answers"
+    else
+      match Hashtbl.find_opt t.pending id with
+      | None -> Error "unknown transaction id"
+      | Some pending -> (
+          match Dns.Name.decode wire 12 with
+          | Error e -> Error ("bad question: " ^ e)
+          | Ok (qname, used) ->
+              if qname <> pending.Dns.Packet.qname then
+                Error "question mismatch"
+              else if 12 + used + 4 > len then Error "truncated question"
+              else begin
+                Hashtbl.remove t.pending id;
+                Ok id
+              end)
+
+(* Update the host-visible cache on a successful parse: decode leniently
+   and record A answers with their TTLs (the machine-level cache_store
+   keeps the guest .bss in sync with a prefix copy). *)
+let update_cache t wire =
+  match Dns.Packet.decode wire with
+  | Error _ -> 0
+  | Ok msg ->
+      List.fold_left
+        (fun n (rr : Dns.Packet.rr) ->
+          match (rr.Dns.Packet.rtype, Dns.Packet.ipv4_of_rdata rr.Dns.Packet.rdata) with
+          | Dns.Packet.A, Some ip ->
+              Dns.Cache.insert t.cache ~now:t.clock
+                ~name:(Dns.Name.to_string rr.Dns.Packet.rname)
+                ~ttl:rr.Dns.Packet.ttl ~ipv4:ip;
+              n + 1
+          | _ -> n)
+        0 msg.Dns.Packet.answers
+
+let rx_buffer_addr proc =
+  proc.Loader.Process.layout.Loader.Layout.heap_base
+
+let handle_response t wire =
+  if not t.alive then Dropped "daemon not running"
+  else
+    match prevalidate t wire with
+    | Error why -> Dropped why
+    | Ok _id ->
+        let proc = t.proc in
+        let buf = rx_buffer_addr proc in
+        let heap_size = proc.Loader.Process.layout.Loader.Layout.heap_size in
+        if String.length wire > heap_size then Dropped "oversized datagram"
+        else begin
+          Mem.write_bytes proc.Loader.Process.mem buf wire;
+          let entry = Loader.Process.symbol proc "parse_response" in
+          let r =
+            Loader.Process.call proc ~fuel:400_000 ~entry
+              ~args:[ buf; String.length wire ]
+          in
+          t.steps <- r.Loader.Process.steps;
+          match r.Loader.Process.outcome with
+          | O.Halted -> Cached (update_cache t wire)
+          | O.Exec _ as reason ->
+              t.alive <- false;
+              Compromised reason
+          | (O.Fault _ | O.Decode_error _ | O.Fuel_exhausted) as reason ->
+              t.alive <- false;
+              Crashed reason
+          | (O.Cfi_violation _ | O.Aborted _) as reason ->
+              t.alive <- false;
+              Blocked reason
+          | (O.Exited _) as reason ->
+              t.alive <- false;
+              Crashed reason
+        end
+
+let cache_lookup t qname =
+  Dns.Cache.lookup t.cache ~now:t.clock (Dns.Name.to_string qname)
+
+let cache_stats t = Dns.Cache.stats t.cache
+let tick t seconds = t.clock <- t.clock + max 0 seconds

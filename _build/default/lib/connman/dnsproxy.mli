@@ -1,0 +1,71 @@
+(** The Connman DNS-proxy daemon model.
+
+    Mirrors the dnsproxy architecture the paper attacks: local clients
+    send queries; the proxy forwards them upstream and remembers the
+    transaction; a response is first sanity-checked (the paper: "the DNS
+    responses must appear legitimate, otherwise Connman dumps the packet
+    as a bad response and never enters the vulnerable portion of code")
+    and only then parsed — the parse running as machine code inside the
+    simulated process, where CVE-2017-12865 lives.
+
+    A crash (memory fault, illegal instruction, hang) kills the daemon:
+    subsequent responses are dropped — the DoS outcome.  An [exec] of a
+    shell is remote code execution. *)
+
+type disposition =
+  | Cached of int  (** parsed fine; [n] A records entered the cache *)
+  | Dropped of string  (** pre-validation rejected the packet *)
+  | Crashed of Machine.Outcome.stop_reason  (** daemon died (DoS) *)
+  | Compromised of Machine.Outcome.stop_reason  (** attacker code ran *)
+  | Blocked of Machine.Outcome.stop_reason
+      (** a §IV defense (CFI, canary) stopped the attack; daemon aborted *)
+
+val pp_disposition : Format.formatter -> disposition -> unit
+
+type config = {
+  version : Version.t;
+  arch : Loader.Arch.t;
+  profile : Defense.Profile.t;
+  boot_seed : int;  (** per-boot randomness (ASLR, canary) *)
+  diversity_seed : int option;  (** per-build layout randomization *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+val config : t -> config
+val process : t -> Loader.Process.t
+(** The booted process image — what an attacker's local [gdb]/[ropper]
+    session inspects on their own copy of the device. *)
+
+val alive : t -> bool
+
+val make_query : t -> Dns.Name.t -> Dns.Packet.t
+(** Allocate a transaction id and record it as pending (the proxy
+    forwarding a client lookup upstream). *)
+
+val handle_response : t -> string -> disposition
+(** Feed raw wire bytes, as received from the configured DNS server. *)
+
+val peek_pending : t -> int -> Dns.Packet.question option
+(** Is this transaction id outstanding?  (Used by scenarios to attribute
+    an observed query to a device.) *)
+
+val cache_lookup : t -> Dns.Name.t -> int option
+(** IPv4 (host order) cached for a name, if fresh (TTL not elapsed on the
+    daemon's logical clock). *)
+
+val cache_stats : t -> Dns.Cache.stats
+
+val tick : t -> int -> unit
+(** Advance the daemon's logical clock by that many seconds (drives TTL
+    expiry). *)
+
+val last_steps : t -> int
+(** Instructions retired by the most recent machine-level parse. *)
+
+val restart : t -> unit
+(** Reboot the daemon after a crash (fresh ASLR draw derived from the
+    boot seed and restart count, as a supervisor restart would give). *)

@@ -1,0 +1,48 @@
+type t = Machine.Stack_frame.t = {
+  buffer_size : int;
+  off_null1 : int;
+  off_null2 : int;
+  off_canary : int;
+  off_saved : (string * int) list;
+  off_ret : int;
+  frame_end : int;
+}
+
+(* These constants mirror the frames laid out by Program_x86 / Program_arm;
+   test_connman verifies them against the running machine code. *)
+
+let x86 =
+  {
+    buffer_size = 1024;
+    off_null1 = 0x400;
+    off_null2 = 0x404;
+    off_canary = 0x40C;  (* [ebp-4] *)
+    off_saved = [ ("ebp", 0x410) ];
+    off_ret = 0x414;
+    frame_end = 0x418;
+  }
+
+let arm =
+  {
+    buffer_size = 1024;
+    off_null1 = 0x400;
+    off_null2 = 0x404;
+    off_canary = 0x408;  (* [fp-8] *)
+    off_saved =
+      [ ("r4", 0x410); ("r5", 0x414); ("r6", 0x418); ("r7", 0x41C); ("fp", 0x420) ];
+    off_ret = 0x424;  (* saved lr, consumed by pop {…, pc} *)
+    frame_end = 0x428;
+  }
+
+let geometry = function Loader.Arch.X86 -> x86 | Loader.Arch.Arm -> arm
+
+(* Depth of the name buffer below the initial stack pointer used by
+   Process.call:
+   - x86: 2 pushed args (8) + pushed return (4) + pushed ebp (4), then the
+     buffer starts 0x410 below the new ebp
+   - ARM: 6 pushed callee-saved registers (24), buffer 0x410 below fp *)
+let buffer_addr proc =
+  let top = proc.Loader.Process.layout.Loader.Layout.stack_top - 0x100 in
+  match proc.Loader.Process.arch with
+  | Loader.Arch.X86 -> top - 16 - 0x410
+  | Loader.Arch.Arm -> top - 24 - 0x410

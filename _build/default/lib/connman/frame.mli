@@ -1,0 +1,30 @@
+(** Stack-frame geometry of [parse_response] — the facts an attacker
+    extracts with [gdb] on a local copy of the binary (§III: "we are able
+    to isolate the sections of memory occupied by the stack of the
+    parse_response function").
+
+    All offsets are measured from the start of the [name\[1024\]] buffer,
+    i.e. they are payload offsets: payload byte [off_ret] lands on the
+    saved return address. *)
+
+type t = Machine.Stack_frame.t = {
+  buffer_size : int;  (** 1024 *)
+  off_null1 : int;
+      (** first pointer local that [parse_rr] dereferences when non-NULL
+          (the §III-A2 obstacle; ARM only — x86's parse_rr ignores it) *)
+  off_null2 : int;
+  off_canary : int;  (** canary slot (meaningful only when canaries are on) *)
+  off_saved : (string * int) list;
+      (** callee-saved register slots restored by the epilogue, in stack
+          order — don't-care bytes for payload planning *)
+  off_ret : int;  (** saved return address / lr slot *)
+  frame_end : int;  (** bytes from buffer start to past the frame *)
+}
+
+val geometry : Loader.Arch.t -> t
+
+val buffer_addr : Loader.Process.t -> int
+(** Absolute address of the [name] buffer for a given boot — derivable
+    because [Process.call] places the initial stack pointer
+    deterministically; under ASLR it moves with the stack (which is why
+    §III-A's injection needs ASLR off). *)

@@ -1,0 +1,25 @@
+(** The Connman DNS-proxy parse path, compiled for x86-32.
+
+    Functions (all reachable from [parse_response]):
+    - [parse_response(buf, len)] — frame holds [name\[1024\]]; walks the
+      header and question, then expands the first answer's owner name.
+    - [get_name(msg, p, name, name_len)] — the CVE-2017-12865 site: the
+      Listing-1 copy with no bound in vulnerable versions, with the 1.35
+      size check in patched ones.
+    - [parse_rr], [cache_store], and a handful of auxiliary routines that
+      make the image realistic (and, as on the real binary, provide the
+      [pop pop pop ret] material §III-C1 scavenges).
+
+    [diversity_seed] applies function-level code-layout randomization
+    (compile-time artificial software diversity, §IV): chunk order is
+    shuffled, moving every gadget address. *)
+
+val spec :
+  version:Version.t ->
+  profile:Defense.Profile.t ->
+  ?diversity_seed:int ->
+  unit ->
+  Loader.Process.spec
+
+val entry : string
+(** Name of the response-parsing entry point ("parse_response"). *)

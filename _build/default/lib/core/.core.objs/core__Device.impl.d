@@ -1,0 +1,1 @@
+lib/core/device.ml: Connman Dns Firmware Format List Netsim

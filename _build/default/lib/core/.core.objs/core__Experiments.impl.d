@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Connman Defense Dns Dnsmasq Exploit Firmware Format List Loader Machine Printf Scenario Stats String Tcpsvc

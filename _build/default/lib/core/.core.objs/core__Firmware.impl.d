@@ -1,0 +1,1 @@
+lib/core/firmware.ml: Connman Defense Format List Loader

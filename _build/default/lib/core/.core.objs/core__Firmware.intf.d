@@ -1,0 +1,1 @@
+lib/core/firmware.mli: Connman Defense Format Loader

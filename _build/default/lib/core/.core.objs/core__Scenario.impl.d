@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Connman Defense Device Dns Exploit Firmware Format Hashtbl List Loader Netsim Printf

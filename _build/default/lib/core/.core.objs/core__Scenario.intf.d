@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Connman Device Exploit Firmware Format Netsim Result

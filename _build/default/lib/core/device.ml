@@ -1,0 +1,134 @@
+module W = Netsim.World
+module Dnsproxy = Connman.Dnsproxy
+
+type t = {
+  name : string;
+  host : W.host;
+  daemon : Dnsproxy.t;
+  world : W.t;
+  mutable dispositions : Dnsproxy.disposition list;  (* newest first *)
+  mutable events : string list;  (* newest first *)
+  mutable state : [ `Online | `Crashed | `Compromised | `Blocked ];
+}
+
+let log t fmt = Format.kasprintf (fun s -> t.events <- s :: t.events) fmt
+
+let classify = function
+  | Dnsproxy.Cached _ | Dnsproxy.Dropped _ -> `Online
+  | Dnsproxy.Crashed _ -> `Crashed
+  | Dnsproxy.Compromised _ -> `Compromised
+  | Dnsproxy.Blocked _ -> `Blocked
+
+let dns_client_port = 5353
+
+let create world ~name ~config =
+  let host = W.add_host world ~name in
+  let daemon = Dnsproxy.create config in
+  let t =
+    {
+      name;
+      host;
+      daemon;
+      world;
+      dispositions = [];
+      events = [];
+      state = `Online;
+    }
+  in
+  (* Responses to the proxy's upstream queries arrive on the client
+     port and flow into the vulnerable parse path. *)
+  W.on_udp host ~port:dns_client_port (fun _ctx dgram ->
+      let disposition = Dnsproxy.handle_response daemon dgram.W.payload in
+      t.dispositions <- disposition :: t.dispositions;
+      (match classify disposition with
+      | `Online -> ()
+      | other -> t.state <- other);
+      log t "dns response from %s: %a"
+        (Netsim.Ip.to_string dgram.W.src)
+        Dnsproxy.pp_disposition disposition);
+  t
+
+let of_firmware world ~name ?boot_seed fw =
+  create world ~name ~config:(Firmware.to_config ?boot_seed fw)
+
+let host t = t.host
+let daemon t = t.daemon
+let name t = t.name
+
+(* Resolver clients retransmit on timeout; model a bounded retry loop
+   keyed on whether any new disposition arrived. *)
+let rec lookup_with_retry t hostname ~retries ~timeout_us =
+  let seen = List.length t.dispositions in
+  lookup t hostname;
+  if retries > 0 then
+    Netsim.Sim.schedule (W.sim t.world) ~delay:timeout_us (fun _ ->
+        if
+          List.length t.dispositions = seen
+          && Dnsproxy.alive t.daemon
+          && W.host_dns t.host <> None
+        then begin
+          log t "lookup %s timed out; retrying (%d left)" hostname retries;
+          lookup_with_retry t hostname ~retries:(retries - 1) ~timeout_us
+        end)
+
+and lookup t hostname =
+  match (W.host_dns t.host, Dnsproxy.alive t.daemon) with
+  | None, _ ->
+      log t "lookup %s skipped: no DNS server configured" hostname
+  | _, false -> log t "lookup %s skipped: connmand is down" hostname
+  | Some dns, true ->
+      let query = Dnsproxy.make_query t.daemon (Dns.Name.of_string hostname) in
+      log t "querying %s for %s" (Netsim.Ip.to_string dns) hostname;
+      W.send t.world ~from:t.host ~sport:dns_client_port ~dst:dns ~dport:53
+        (Dns.Packet.encode query)
+
+(* Connman's connectivity check: performed whenever the device gets a
+   fresh network configuration. *)
+let connectivity_hostname = "ipv4.connman.net"
+
+let rec join_wifi t aps ~ssid =
+  match Netsim.Wifi.associate t.host aps ~ssid with
+  | None ->
+      log t "no access point found for ssid %S" ssid;
+      None
+  | Some ap ->
+      log t "associated to %s (%S, %d dBm)" ap.Netsim.Wifi.ap_name ssid
+        ap.Netsim.Wifi.signal_dbm;
+      Netsim.Dhcp.solicit t.world t.host
+        ~on_configured:(fun _ctx ->
+          log t "dhcp: ip %s, dns %s"
+            (match W.host_ip t.host with
+            | Some ip -> Netsim.Ip.to_string ip
+            | None -> "?")
+            (match W.host_dns t.host with
+            | Some ip -> Netsim.Ip.to_string ip
+            | None -> "?");
+          lookup t connectivity_hostname)
+        ();
+      Some ap
+
+(* Background roaming: rescan periodically and re-associate whenever a
+   stronger AP carries the trusted SSID — the radio behaviour §III-D
+   exploits.  [scan] yields whatever APs are in the air at that moment,
+   so an attacker AP appearing later is picked up automatically. *)
+and start_roaming t ~scan ~ssid ~interval_us ~rounds =
+  if rounds > 0 then
+    Netsim.Sim.schedule (W.sim t.world) ~delay:interval_us (fun _ ->
+        let current = W.lan_of t.host in
+        (match Netsim.Wifi.scan (scan ()) ~ssid with
+        | best :: _
+          when (match current with
+               | Some lan -> W.lan_name lan <> W.lan_name best.Netsim.Wifi.lan
+               | None -> true) ->
+            log t "roaming: stronger AP %s (%d dBm) for %S"
+              best.Netsim.Wifi.ap_name best.Netsim.Wifi.signal_dbm ssid;
+            ignore (join_wifi t (scan ()) ~ssid)
+        | _ -> ());
+        start_roaming t ~scan ~ssid ~interval_us ~rounds:(rounds - 1))
+
+let last_disposition t =
+  match t.dispositions with [] -> None | d :: _ -> Some d
+
+let dispositions t = List.rev t.dispositions
+let state t = t.state
+let events t = List.rev t.events

@@ -1,0 +1,506 @@
+module Dnsproxy = Connman.Dnsproxy
+module Version = Connman.Version
+module Profile = Defense.Profile
+module Autogen = Exploit.Autogen
+module O = Machine.Outcome
+
+type row = {
+  id : string;
+  section : string;
+  description : string;
+  expected : string;
+  observed : string;
+  ok : bool;
+}
+
+let lookup = Dns.Name.of_string "ipv4.connman.net"
+
+let mk_device ?(version = Version.v1_34) ?(seed = 1) ?diversity_seed arch profile =
+  Dnsproxy.create
+    { Dnsproxy.version; arch; profile; boot_seed = seed; diversity_seed }
+
+(* Build the payload against the attacker's analysis copy (a different
+   boot of the same firmware), then fire it over a forged response. *)
+let fire ?strategy d =
+  let cfg = Dnsproxy.config d in
+  let analysis =
+    Dnsproxy.process
+      (Dnsproxy.create { cfg with Dnsproxy.boot_seed = cfg.Dnsproxy.boot_seed + 5000 })
+  in
+  match Autogen.generate ~analysis:(Exploit.Target.connman analysis) ?strategy () with
+  | Error e -> Error e
+  | Ok (payload, raw_name) ->
+      let query = Dnsproxy.make_query d lookup in
+      Ok
+        ( payload,
+          Dnsproxy.handle_response d (Autogen.response_for ~query ~raw_name) )
+
+let disposition_word = function
+  | Dnsproxy.Cached _ -> "parsed"
+  | Dnsproxy.Dropped _ -> "dropped"
+  | Dnsproxy.Crashed _ -> "crash"
+  | Dnsproxy.Compromised r when O.is_shell r -> "root shell"
+  | Dnsproxy.Compromised _ -> "code execution"
+  | Dnsproxy.Blocked _ -> "blocked"
+
+let row ~id ~section ~description ~expected observed =
+  { id; section; description; expected; observed; ok = expected = observed }
+
+(* --- E0: denial of service --------------------------------------------- *)
+
+let dos_wire q =
+  Dns.Craft.hostile_response ~query:q ~raw_name:(Dns.Craft.dos_name ~size:8192) ()
+
+let e0_dos ?(seed = 1) () =
+  List.concat_map
+    (fun arch ->
+      let vulnerable = mk_device ~seed arch Profile.wx in
+      let q = Dnsproxy.make_query vulnerable lookup in
+      let got = Dnsproxy.handle_response vulnerable (dos_wire q) in
+      let patched = mk_device ~version:Version.v1_35 ~seed arch Profile.wx in
+      let q2 = Dnsproxy.make_query patched lookup in
+      let got2 = Dnsproxy.handle_response patched (dos_wire q2) in
+      [
+        row
+          ~id:(Printf.sprintf "E0/%s" (Loader.Arch.name arch))
+          ~section:"§III" ~description:"oversized Type-A response vs 1.34"
+          ~expected:"crash" (disposition_word got);
+        row
+          ~id:(Printf.sprintf "E0/%s/patched" (Loader.Arch.name arch))
+          ~section:"§II" ~description:"same response vs patched 1.35"
+          ~expected:"parsed" (disposition_word got2);
+      ])
+    Loader.Arch.all
+
+(* --- E1–E6: the six-exploit matrix -------------------------------------- *)
+
+let matrix_cells =
+  [
+    ("E1", "§III-A1", Loader.Arch.X86, Profile.none, Autogen.Code_injection,
+     "code injection, no protections");
+    ("E2", "§III-A2", Loader.Arch.Arm, Profile.none, Autogen.Code_injection,
+     "code injection, no protections");
+    ("E3", "§III-B1", Loader.Arch.X86, Profile.wx, Autogen.Ret2libc,
+     "ret2libc under W^X");
+    ("E4", "§III-B2", Loader.Arch.Arm, Profile.wx, Autogen.Rop_wx,
+     "gadget chain under W^X");
+    ("E5", "§III-C1", Loader.Arch.X86, Profile.wx_aslr, Autogen.Rop_aslr,
+     "memcpy/.bss ROP under W^X+ASLR");
+    ("E6", "§III-C2", Loader.Arch.Arm, Profile.wx_aslr, Autogen.Rop_aslr,
+     "blx-trampoline ROP under W^X+ASLR");
+  ]
+
+let e1_to_e6_matrix ?(seed = 1) () =
+  List.map
+    (fun (id, section, arch, profile, strategy, description) ->
+      let d = mk_device ~seed arch profile in
+      let observed =
+        match fire ~strategy d with
+        | Error e -> "generation failed: " ^ e
+        | Ok (_, disposition) -> disposition_word disposition
+      in
+      let description =
+        Printf.sprintf "%s (%s)" description (Loader.Arch.name arch)
+      in
+      row ~id ~section ~description ~expected:"root shell" observed)
+    matrix_cells
+
+(* --- E7: Wi-Fi Pineapple remote delivery -------------------------------- *)
+
+let e7_pineapple ?(seed = 1) () =
+  let cells =
+    [
+      ("E7/x86-smash", Loader.Arch.X86, Profile.none, Some Autogen.Code_injection);
+      ("E7/arm-inject", Loader.Arch.Arm, Profile.none, Some Autogen.Code_injection);
+      ("E7/arm-wx", Loader.Arch.Arm, Profile.wx, Some Autogen.Rop_wx);
+      ("E7/arm-aslr", Loader.Arch.Arm, Profile.wx_aslr, Some Autogen.Rop_aslr);
+    ]
+  in
+  List.map
+    (fun (id, arch, profile, strategy) ->
+      let config =
+        {
+          Dnsproxy.version = Version.v1_34;
+          arch;
+          profile;
+          boot_seed = seed;
+          diversity_seed = None;
+        }
+      in
+      let observed =
+        match Scenario.pineapple_attack ~seed ?strategy ~config () with
+        | Error e -> "generation failed: " ^ e
+        | Ok r -> (
+            if r.Scenario.associated_after <> "pineapple" then "no hijack"
+            else
+              match r.Scenario.attack_disposition with
+              | Some d -> disposition_word d
+              | None -> "no response")
+      in
+      row ~id ~section:"§III-D"
+        ~description:
+          (Printf.sprintf "Pineapple MITM, %s, %s" (Loader.Arch.name arch)
+             (Profile.name profile))
+        ~expected:"root shell" observed)
+    cells
+
+(* --- E8: firmware survey ------------------------------------------------ *)
+
+let e8_survey ?(seed = 1) () =
+  List.map
+    (fun fw ->
+      let d = Dnsproxy.create (Firmware.to_config ~boot_seed:seed fw) in
+      let q = Dnsproxy.make_query d lookup in
+      let wire =
+        Dns.Craft.hostile_response ~query:q
+          ~raw_name:(Dns.Craft.dos_name ~size:8192)
+          ()
+      in
+      let got = Dnsproxy.handle_response d wire in
+      row
+        ~id:("E8/" ^ fw.Firmware.name)
+        ~section:"§II–III"
+        ~description:
+          (Printf.sprintf "%s (connman %s)" fw.Firmware.os
+             (Version.to_string fw.Firmware.connman))
+        ~expected:(if Firmware.vulnerable fw then "crash" else "parsed")
+        (disposition_word got))
+    Firmware.catalog
+
+(* --- A1: CFI blocks every code-reuse exploit ---------------------------- *)
+
+let a1_cfi ?(seed = 1) () =
+  List.map
+    (fun (id, _, arch, profile, strategy, _) ->
+      let d = mk_device ~seed arch (Profile.with_cfi profile) in
+      let observed =
+        match fire ~strategy d with
+        | Error e -> "generation failed: " ^ e
+        | Ok (_, disposition) -> disposition_word disposition
+      in
+      let expected =
+        (* CFI CaRE guards return edges; pure code injection is already
+           dead under W^X but the injected return still violates the
+           shadow stack. *)
+        "blocked"
+      in
+      row
+        ~id:("A1/" ^ id)
+        ~section:"§IV"
+        ~description:
+          (Printf.sprintf "CFI vs %s on %s" (Autogen.strategy_name strategy)
+             (Loader.Arch.name arch))
+        ~expected observed)
+    matrix_cells
+
+(* --- A2: software diversity --------------------------------------------- *)
+
+let a2_diversity ?(seed = 1) ?(fleet = 16) () =
+  let arch = Loader.Arch.Arm in
+  let analysis =
+    Dnsproxy.process (mk_device ~seed ~diversity_seed:0 arch Profile.wx)
+  in
+  match Autogen.generate ~analysis:(Exploit.Target.connman analysis) ~strategy:Autogen.Rop_wx () with
+  | Error e ->
+      [
+        row ~id:"A2" ~section:"§IV" ~description:"diversity fleet"
+          ~expected:"0 compromised" ("generation failed: " ^ e);
+      ]
+  | Ok (_, raw_name) ->
+      let compromised = ref 0 in
+      for i = 1 to fleet do
+        let d = mk_device ~seed:(seed + i) ~diversity_seed:i arch Profile.wx in
+        let query = Dnsproxy.make_query d lookup in
+        match Dnsproxy.handle_response d (Autogen.response_for ~query ~raw_name) with
+        | Dnsproxy.Compromised _ -> incr compromised
+        | _ -> ()
+      done;
+      (* Control: the same payload against the build it was made for. *)
+      let same = mk_device ~seed:(seed + 999) ~diversity_seed:0 arch Profile.wx in
+      let query = Dnsproxy.make_query same lookup in
+      let control =
+        Dnsproxy.handle_response same (Autogen.response_for ~query ~raw_name)
+      in
+      [
+        (* Diversity is probabilistic protection (§IV): the claim is that a
+           single payload stops working across the fleet, not that every
+           build is immune — a shuffle can coincide.  Pass when at most an
+           eighth of the fleet falls. *)
+        {
+          id = "A2/fleet";
+          section = "§IV";
+          description =
+            Printf.sprintf "one payload vs %d diversified builds" fleet;
+          expected = Printf.sprintf "<= %d compromised" (fleet / 8);
+          observed = Printf.sprintf "%d compromised" !compromised;
+          ok = !compromised <= fleet / 8;
+        };
+        row ~id:"A2/control" ~section:"§IV"
+          ~description:"same payload vs the build it targets"
+          ~expected:"root shell" (disposition_word control);
+      ]
+
+(* --- A3: stack canaries -------------------------------------------------- *)
+
+let a3_canary ?(seed = 1) () =
+  List.map
+    (fun (id, _, arch, profile, strategy, _) ->
+      let d = mk_device ~seed arch (Profile.with_canary profile) in
+      let observed =
+        match fire ~strategy d with
+        | Error e -> "generation failed: " ^ e
+        | Ok (_, disposition) -> disposition_word disposition
+      in
+      row
+        ~id:("A3/" ^ id)
+        ~section:"§III (CFLAGS)"
+        ~description:
+          (Printf.sprintf "canary vs %s on %s" (Autogen.strategy_name strategy)
+             (Loader.Arch.name arch))
+        ~expected:"blocked" observed)
+    matrix_cells
+
+(* --- A4: ASLR entropy brute-force sweep ---------------------------------- *)
+
+let a4_entropy_sweep ?(seed = 1) ?(trials = 64) ?(bits = [ 0; 2; 4; 6 ]) () =
+  let arch = Loader.Arch.X86 in
+  (* Attacker hardcodes the static libc layout (analysis without ASLR). *)
+  let analysis = Dnsproxy.process (mk_device ~seed arch Profile.wx) in
+  match Autogen.generate ~analysis:(Exploit.Target.connman analysis) ~strategy:Autogen.Ret2libc () with
+  | Error e ->
+      [
+        row ~id:"A4" ~section:"related work" ~description:"entropy sweep"
+          ~expected:"-" ("generation failed: " ^ e);
+      ]
+  | Ok (_, raw_name) ->
+      List.map
+        (fun b ->
+          let profile = Profile.with_entropy b Profile.wx in
+          let hits = ref 0 in
+          for i = 1 to trials do
+            let d = mk_device ~seed:(seed + (i * 131)) arch profile in
+            let query = Dnsproxy.make_query d lookup in
+            match
+              Dnsproxy.handle_response d (Autogen.response_for ~query ~raw_name)
+            with
+            | Dnsproxy.Compromised _ -> incr hits
+            | _ -> ()
+          done;
+          let rate = Stats.binomial_rate ~hits:!hits ~trials in
+          let expected_rate = 1.0 /. float_of_int (1 lsl b) in
+          (* The Wilson interval of the measurement must cover the theory
+             (z = 2.58 for a 99% interval keeps seed-to-seed flakiness
+             negligible across the whole sweep). *)
+          let interval = Stats.wilson_interval ~hits:!hits ~trials ~z:2.58 () in
+          {
+            id = Printf.sprintf "A4/%d-bits" b;
+            section = "§VI (brute force)";
+            description =
+              Printf.sprintf "ret2libc vs %d entropy bits (%d trials)" b trials;
+            expected = Printf.sprintf "rate ~ %.3f" expected_rate;
+            observed = Printf.sprintf "rate = %.3f" rate;
+            ok = Stats.interval_contains interval expected_rate;
+          })
+        bits
+
+(* --- A6: §V adaptation — the toolkit vs dnsmasq-sim ---------------------- *)
+
+let a6_adaptation ?(seed = 1) () =
+  let module D = Dnsmasq.Daemon in
+  let dnsmasq_target proc =
+    Exploit.Target.make
+      ~frame:(Dnsmasq.Frame.geometry proc.Loader.Process.arch)
+      ~buffer_addr:(Dnsmasq.Frame.buffer_addr proc)
+      proc
+  in
+  let fire_dnsmasq ~patched arch profile strategy =
+    let d = D.create { D.patched; arch; profile; boot_seed = seed } in
+    let analysis =
+      D.process (D.create { D.patched; arch; profile; boot_seed = seed + 5000 })
+    in
+    match Autogen.generate ~analysis:(dnsmasq_target analysis) ~strategy () with
+    | Error e -> "generation failed: " ^ e
+    | Ok (_, raw_name) -> (
+        let query = D.make_query d (Dns.Name.of_string "upstream.example") in
+        match D.handle_response d (Dns.Craft.hostile_response ~query ~raw_name ())
+        with
+        | D.Cached _ -> "parsed"
+        | D.Dropped _ -> "dropped"
+        | D.Crashed _ -> "crash"
+        | D.Compromised r when O.is_shell r -> "root shell"
+        | D.Compromised _ -> "code execution"
+        | D.Blocked _ -> "blocked")
+  in
+  List.map
+    (fun (id, arch, profile, strategy, patched, expected) ->
+      row
+        ~id:("A6/" ^ id)
+        ~section:"§V"
+        ~description:
+          (Printf.sprintf "dnsmasq-sim %s: %s on %s"
+             (if patched then "2.78" else "2.77")
+             (Autogen.strategy_name strategy)
+             (Loader.Arch.name arch))
+        ~expected
+        (fire_dnsmasq ~patched arch profile strategy))
+    [
+      ("dos", Loader.Arch.X86, Profile.wx, Autogen.Dos, false, "crash");
+      ("inject-x86", Loader.Arch.X86, Profile.none, Autogen.Code_injection, false,
+       "root shell");
+      ("ret2libc-x86", Loader.Arch.X86, Profile.wx, Autogen.Ret2libc, false,
+       "root shell");
+      ("ropwx-arm", Loader.Arch.Arm, Profile.wx, Autogen.Rop_wx, false,
+       "root shell");
+      ("ropaslr-arm", Loader.Arch.Arm, Profile.wx_aslr, Autogen.Rop_aslr, false,
+       "root shell");
+      ("patched", Loader.Arch.Arm, Profile.wx, Autogen.Rop_wx, true, "parsed");
+    ]
+
+(* --- A5: the automated generator end-to-end ------------------------------ *)
+
+let a5_autogen ?(seed = 1) () =
+  List.map
+    (fun (arch, profile) ->
+      let d = mk_device ~seed arch profile in
+      let observed =
+        match fire d with
+        | Error e -> "generation failed: " ^ e
+        | Ok (payload, disposition) ->
+            Printf.sprintf "%s via %s" (disposition_word disposition)
+              payload.Exploit.Payload.strategy
+      in
+      let expected =
+        Printf.sprintf "root shell via %s"
+          (Autogen.strategy_name (Autogen.choose profile arch))
+      in
+      row
+        ~id:
+          (Printf.sprintf "A5/%s-%s" (Loader.Arch.name arch) (Profile.name profile))
+        ~section:"§VII" ~description:"strategy auto-selection" ~expected observed)
+    [
+      (Loader.Arch.X86, Profile.none);
+      (Loader.Arch.X86, Profile.wx);
+      (Loader.Arch.X86, Profile.wx_aslr);
+      (Loader.Arch.Arm, Profile.none);
+      (Loader.Arch.Arm, Profile.wx);
+      (Loader.Arch.Arm, Profile.wx_aslr);
+    ]
+
+(* --- A8: §V protocol adaptation — crafted TCP packets --------------------- *)
+
+let a8_tcp_carrier ?(seed = 1) () =
+  let module D = Tcpsvc.Daemon in
+  let tcpsvc_target proc =
+    Exploit.Target.make
+      ~frame:(Tcpsvc.Frame.geometry proc.Loader.Process.arch)
+      ~buffer_addr:(Tcpsvc.Frame.buffer_addr proc)
+      proc
+  in
+  let fire ~patched arch profile strategy =
+    let d = D.create { D.patched; arch; profile; boot_seed = seed } in
+    let analysis =
+      D.process (D.create { D.patched; arch; profile; boot_seed = seed + 5000 })
+    in
+    match Autogen.build ~analysis:(tcpsvc_target analysis) strategy with
+    | Error e -> Format.asprintf "generation failed: %a" Exploit.Payload.pp_error e
+    | Ok payload -> (
+        match
+          D.handle_frame d (D.frame ~tag:(Exploit.Payload.to_raw_bytes payload))
+        with
+        | D.Handled -> "handled"
+        | D.Rejected _ -> "rejected"
+        | D.Crashed _ -> "crash"
+        | D.Compromised r when O.is_shell r -> "root shell"
+        | D.Compromised _ -> "code execution"
+        | D.Blocked _ -> "blocked")
+  in
+  List.map
+    (fun (id, arch, profile, strategy, patched, expected) ->
+      row
+        ~id:("A8/" ^ id)
+        ~section:"§V"
+        ~description:
+          (Printf.sprintf "tcpsvc-sim %s: %s on %s"
+             (if patched then "1.1" else "1.0")
+             (Autogen.strategy_name strategy)
+             (Loader.Arch.name arch))
+        ~expected
+        (fire ~patched arch profile strategy))
+    [
+      ("inject-arm", Loader.Arch.Arm, Profile.none, Autogen.Code_injection, false,
+       "root shell");
+      ("ret2libc-x86", Loader.Arch.X86, Profile.wx, Autogen.Ret2libc, false,
+       "root shell");
+      ("ropaslr-x86", Loader.Arch.X86, Profile.wx_aslr, Autogen.Rop_aslr, false,
+       "root shell");
+      ("ropaslr-arm", Loader.Arch.Arm, Profile.wx_aslr, Autogen.Rop_aslr, false,
+       "root shell");
+      ("patched", Loader.Arch.Arm, Profile.wx, Autogen.Rop_wx, true, "rejected");
+    ]
+
+(* --- A7: seccomp syscall filter ------------------------------------------ *)
+
+let a7_seccomp ?(seed = 1) () =
+  List.map
+    (fun (id, _, arch, profile, strategy, _) ->
+      let d = mk_device ~seed arch (Profile.with_seccomp profile) in
+      let observed =
+        match fire ~strategy d with
+        | Error e -> "generation failed: " ^ e
+        | Ok (_, disposition) -> disposition_word disposition
+      in
+      row
+        ~id:("A7/" ^ id)
+        ~section:"hardening"
+        ~description:
+          (Printf.sprintf "seccomp (no exec) vs %s on %s"
+             (Autogen.strategy_name strategy)
+             (Loader.Arch.name arch))
+        ~expected:"blocked" observed)
+    matrix_cells
+
+let all ?(seed = 1) () =
+  e0_dos ~seed ()
+  @ e1_to_e6_matrix ~seed ()
+  @ e7_pineapple ~seed ()
+  @ e8_survey ~seed ()
+  @ a1_cfi ~seed ()
+  @ a2_diversity ~seed ()
+  @ a3_canary ~seed ()
+  @ a4_entropy_sweep ~seed ()
+  @ a5_autogen ~seed ()
+  @ a6_adaptation ~seed ()
+  @ a7_seccomp ~seed ()
+  @ a8_tcp_carrier ~seed ()
+
+let pp_table ppf rows =
+  let line =
+    String.make 118 '-'
+  in
+  Format.fprintf ppf "%s@." line;
+  Format.fprintf ppf "%-16s %-16s %-42s %-20s %-16s %s@." "id" "section"
+    "description" "expected" "observed" "ok";
+  Format.fprintf ppf "%s@." line;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-16s %-16s %-42s %-20s %-16s %s@." r.id r.section
+        (if String.length r.description > 42 then
+           String.sub r.description 0 39 ^ "..."
+         else r.description)
+        r.expected r.observed
+        (if r.ok then "PASS" else "FAIL"))
+    rows;
+  Format.fprintf ppf "%s@." line;
+  let passed = List.length (List.filter (fun r -> r.ok) rows) in
+  Format.fprintf ppf "%d/%d experiment rows reproduce the paper@." passed
+    (List.length rows)
+
+let pp_markdown ppf rows =
+  Format.fprintf ppf "| id | section | description | expected | observed | ok |@.";
+  Format.fprintf ppf "|---|---|---|---|---|---|@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "| %s | %s | %s | %s | %s | %s |@." r.id r.section
+        r.description r.expected r.observed
+        (if r.ok then "✅" else "❌"))
+    rows

@@ -1,0 +1,53 @@
+(** The experiment index: every §III result, the §III-D remote delivery,
+    the firmware survey, and the §IV mitigation ablations — each
+    reproduced as a checkable row (see DESIGN.md's experiment table).
+
+    Rows carry the expected outcome (the paper's claim) and the observed
+    one; [ok] means they agree.  [all] is what [bench/main.exe] and
+    EXPERIMENTS.md report. *)
+
+type row = {
+  id : string;  (** e.g. "E5" *)
+  section : string;  (** paper section, e.g. "§III-C1" *)
+  description : string;
+  expected : string;
+  observed : string;
+  ok : bool;
+}
+
+val e0_dos : ?seed:int -> unit -> row list
+val e1_to_e6_matrix : ?seed:int -> unit -> row list
+val e7_pineapple : ?seed:int -> unit -> row list
+val e8_survey : ?seed:int -> unit -> row list
+val a1_cfi : ?seed:int -> unit -> row list
+val a2_diversity : ?seed:int -> ?fleet:int -> unit -> row list
+val a3_canary : ?seed:int -> unit -> row list
+
+val a4_entropy_sweep : ?seed:int -> ?trials:int -> ?bits:int list -> unit -> row list
+(** Brute-forcing hardcoded libc addresses against restarting daemons:
+    measured success rate vs the 2^-bits expectation (the related-work
+    D-Link brute-force discussion). *)
+
+val a5_autogen : ?seed:int -> unit -> row list
+
+val a6_adaptation : ?seed:int -> unit -> row list
+(** §V: the same toolkit retargeted (frame-geometry swap only) to the
+    dnsmasq-sim daemon — DoS, all four RCE strategies, and the patched
+    2.78 control. *)
+
+val a7_seccomp : ?seed:int -> unit -> row list
+(** A syscall filter denying exec: every RCE strategy reaches the exec
+    attempt and dies there — damage limited to a daemon kill (DoS). *)
+
+val a8_tcp_carrier : ?seed:int -> unit -> row list
+(** §V's broader claim: "any protocol-based overflow vulnerability is
+    susceptible, as long as the code is modified to craft the appropriate
+    packet" — the same payloads delivered verbatim inside a framed TCP
+    message to tcpsvc-sim. *)
+
+val all : ?seed:int -> unit -> row list
+(** Every experiment, in index order (entropy sweep and diversity run at
+    reduced trial counts suitable for a test/bench pass). *)
+
+val pp_table : Format.formatter -> row list -> unit
+val pp_markdown : Format.formatter -> row list -> unit

@@ -1,0 +1,87 @@
+module V = Connman.Version
+
+type t = {
+  name : string;
+  os : string;
+  connman : V.t;
+  arch : Loader.Arch.t;
+  profile : Defense.Profile.t;
+  notes : string;
+}
+
+let catalog =
+  [
+    {
+      name = "ubuntu-16.04-x86";
+      os = "Ubuntu 16.04 LTS";
+      connman = V.v1_34;
+      arch = Loader.Arch.X86;
+      profile = Defense.Profile.wx_aslr;
+      notes = "the paper's x86 testbed VM";
+    };
+    {
+      name = "ubuntu-mate-rpi3";
+      os = "Ubuntu Mate 16.04";
+      connman = V.v1_34;
+      arch = Loader.Arch.Arm;
+      profile = Defense.Profile.wx_aslr;
+      notes = "the paper's Raspberry Pi 3 testbed";
+    };
+    {
+      name = "yocto-build";
+      os = "Yocto Project";
+      connman = V.v1_31;
+      arch = Loader.Arch.Arm;
+      profile = Defense.Profile.wx;
+      notes = "distributions compiled with Connman 1.31 (§III)";
+    };
+    {
+      name = "openelec-8";
+      os = "OpenELEC";
+      connman = V.v1_34;
+      arch = Loader.Arch.Arm;
+      profile = Defense.Profile.wx;
+      notes = "media-streaming OS shipping the last vulnerable release";
+    };
+    {
+      name = "tizen-3";
+      os = "Tizen 3.0";
+      connman = V.v1_33;
+      arch = Loader.Arch.Arm;
+      profile = Defense.Profile.wx_aslr;
+      notes = "vulnerable until Tizen 4.0 (§III)";
+    };
+    {
+      name = "tizen-4";
+      os = "Tizen 4.0";
+      connman = V.v1_35;
+      arch = Loader.Arch.Arm;
+      profile = Defense.Profile.wx_aslr;
+      notes = "first Tizen with the patched Connman";
+    };
+    {
+      name = "nest-like-thermostat";
+      os = "Linux (custom)";
+      connman = V.v1_32;
+      arch = Loader.Arch.Arm;
+      profile = Defense.Profile.none;
+      notes = "minimal build: no W⊕X, no ASLR (§II device class)";
+    };
+  ]
+
+let vulnerable t = V.vulnerable t.connman
+let find name = List.find_opt (fun f -> f.name = name) catalog
+
+let to_config ?(boot_seed = 1) t =
+  {
+    Connman.Dnsproxy.version = t.connman;
+    arch = t.arch;
+    profile = t.profile;
+    boot_seed;
+    diversity_seed = None;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%-22s %-18s connman %-5s %-5s %s" t.name t.os
+    (V.to_string t.connman) (Loader.Arch.name t.arch)
+    (Defense.Profile.name t.profile)

@@ -1,0 +1,27 @@
+(** IoT firmware catalogue (§II–III).
+
+    The paper names three embedded OSes still shipping vulnerable Connman
+    builds at the time of writing — Yocto (1.31), OpenELEC (1.34), Tizen
+    before 4.0 — plus its own testbeds (Ubuntu 16.04 x86, Ubuntu Mate on
+    a Raspberry Pi 3).  Each entry binds an OS image to a Connman version,
+    architecture, and the protection profile the image ships with. *)
+
+type t = {
+  name : string;
+  os : string;
+  connman : Connman.Version.t;
+  arch : Loader.Arch.t;
+  profile : Defense.Profile.t;
+  notes : string;
+}
+
+val catalog : t list
+
+val vulnerable : t -> bool
+
+val find : string -> t option
+(** Lookup by [name]. *)
+
+val to_config : ?boot_seed:int -> t -> Connman.Dnsproxy.config
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,217 @@
+module W = Netsim.World
+module Ip = Netsim.Ip
+module Dnsproxy = Connman.Dnsproxy
+module Autogen = Exploit.Autogen
+
+type result = {
+  device : Device.t;
+  associated_before : string;
+  associated_after : string;
+  dns_before : Ip.t option;
+  dns_after : Ip.t option;
+  benign_disposition : Dnsproxy.disposition option;
+  attack_disposition : Dnsproxy.disposition option;
+  queries_intercepted : int;
+  strategy : string;
+}
+
+let home_ssid = "HomeWiFi"
+
+let pineapple_attack ?(seed = 11) ?strategy ~config () =
+  let world = W.create ~seed () in
+  (* The honest Internet: a resolver that actually knows the connectivity
+     host. *)
+  let internet = W.add_lan world ~name:"internet" in
+  let resolver_ip = Ip.of_string "8.8.8.8" in
+  let resolver = W.add_host world ~name:"resolver" in
+  W.set_host_ip resolver (Some resolver_ip);
+  W.attach resolver internet;
+  Netsim.Dns_server.resolver world resolver
+    ~zone:[ ("ipv4.connman.net", Ip.of_string "93.184.216.34") ];
+  (* The home network: router (gateway + DHCP advertising the honest
+     resolver) and the legitimate AP. *)
+  let home = W.add_lan world ~name:"home" in
+  W.set_uplink home (Some internet);
+  let router = W.add_host world ~name:"home-router" in
+  W.set_host_ip router (Some (Ip.of_string "192.168.1.1"));
+  W.attach router home;
+  Netsim.Dhcp.serve world router ~first_ip:(Ip.of_string "192.168.1.100")
+    ~dns:resolver_ip;
+  let home_ap =
+    Netsim.Wifi.ap ~name:"home-ap" ~ssid:home_ssid ~signal_dbm:(-60) home
+  in
+  (* The victim device joins its home network and performs the
+     connectivity check through the honest chain. *)
+  let device = Device.create world ~name:"iot-device" ~config in
+  ignore (Device.join_wifi device [ home_ap ] ~ssid:home_ssid);
+  ignore (W.run world);
+  let associated_before =
+    match W.lan_of (Device.host device) with
+    | Some lan -> W.lan_name lan
+    | None -> "-"
+  in
+  let dns_before = W.host_dns (Device.host device) in
+  let benign_disposition = Device.last_disposition device in
+  (* The attacker's offline work: an analysis copy of the same firmware
+     (their own device), payload generation per the protection profile. *)
+  let analysis =
+    Dnsproxy.process
+      (Dnsproxy.create { config with Dnsproxy.boot_seed = config.Dnsproxy.boot_seed + 5000 })
+  in
+  match Autogen.generate ~analysis:(Exploit.Target.connman analysis) ?strategy () with
+  | Error e -> Error e
+  | Ok (payload, raw_name) ->
+      (* The Wi-Fi Pineapple: impersonates the home SSID at higher power,
+         runs its own LAN with attacker-controlled DHCP and DNS. *)
+      let pineapple_lan = W.add_lan world ~name:"pineapple" in
+      let attacker_ip = Ip.of_string "172.16.42.1" in
+      let attacker = W.add_host world ~name:"pineapple-box" in
+      W.set_host_ip attacker (Some attacker_ip);
+      W.attach attacker pineapple_lan;
+      Netsim.Dhcp.serve world attacker ~first_ip:(Ip.of_string "172.16.42.100")
+        ~dns:attacker_ip;
+      let intercepted = ref 0 in
+      Netsim.Dns_server.malicious world attacker ~forge:(fun ~query ~raw:_ ->
+          incr intercepted;
+          Some (Autogen.response_for ~query ~raw_name));
+      let pineapple_ap =
+        Netsim.Wifi.ap ~name:"pineapple-ap" ~ssid:home_ssid ~signal_dbm:(-30)
+          pineapple_lan
+      in
+      (* The device re-scans; the Pineapple broadcasts the trusted SSID at
+         a stronger signal, so the association flips with no configuration
+         change on the victim (§III-D). *)
+      ignore (Device.join_wifi device [ home_ap; pineapple_ap ] ~ssid:home_ssid);
+      ignore (W.run world);
+      Ok
+        {
+          device;
+          associated_before;
+          associated_after =
+            (match W.lan_of (Device.host device) with
+            | Some lan -> W.lan_name lan
+            | None -> "-");
+          dns_before;
+          dns_after = W.host_dns (Device.host device);
+          benign_disposition;
+          attack_disposition = Device.last_disposition device;
+          queries_intercepted = !intercepted;
+          strategy = payload.Exploit.Payload.strategy;
+        }
+
+(* --- botnet recruitment (the §III-D Mirai remark) ----------------------
+
+   A whole fleet of IoT devices shares one coffee-shop-style network whose
+   DNS the attacker controls (cache poisoning / rogue AP — the delivery
+   detail does not matter here).  Every device that performs its
+   connectivity check through that resolver gets the payload fitted to its
+   own firmware; vulnerable ones join the botnet. *)
+
+type botnet_result = {
+  fleet : (string * [ `Recruited | `Resisted | `Crashed ]) list;
+  recruited : int;
+  resisted : int;
+}
+
+let botnet_recruitment ?(seed = 3) ~firmwares () =
+  let world = W.create ~seed () in
+  let lan = W.add_lan world ~name:"venue" in
+  let attacker_ip = Ip.of_string "10.66.0.1" in
+  let attacker = W.add_host world ~name:"poisoned-resolver" in
+  W.set_host_ip attacker (Some attacker_ip);
+  W.attach attacker lan;
+  Netsim.Dhcp.serve world attacker ~first_ip:(Ip.of_string "10.66.0.100")
+    ~dns:attacker_ip;
+  (* One analysis copy (and payload) per distinct firmware build. *)
+  let payload_for =
+    let cache = Hashtbl.create 8 in
+    fun (config : Dnsproxy.config) ->
+      let key =
+        ( Connman.Version.to_string config.Dnsproxy.version,
+          Loader.Arch.name config.Dnsproxy.arch,
+          Defense.Profile.name config.Dnsproxy.profile )
+      in
+      match Hashtbl.find_opt cache key with
+      | Some r -> r
+      | None ->
+          let analysis =
+            Dnsproxy.process
+              (Dnsproxy.create { config with Dnsproxy.boot_seed = 987_654 })
+          in
+          let r =
+            match
+              Autogen.generate ~analysis:(Exploit.Target.connman analysis) ()
+            with
+            | Ok (_, raw_name) -> Some raw_name
+            | Error _ -> None
+          in
+          Hashtbl.replace cache key r;
+          r
+  in
+  let devices =
+    List.mapi
+      (fun i fw ->
+        let name = Printf.sprintf "%s-%d" fw.Firmware.name i in
+        let config = Firmware.to_config ~boot_seed:(seed + i) fw in
+        let d = Device.create world ~name ~config in
+        (* The poisoned resolver forges per-query, fitted to this device's
+           firmware (the attacker knows the fleet's make-up). *)
+        (d, config))
+      firmwares
+  in
+  (* Attribute each query to its device by outstanding transaction id,
+     then answer with the payload fitted to that device's firmware. *)
+  Netsim.Dns_server.malicious world attacker ~forge:(fun ~query ~raw:_ ->
+      let id = query.Dns.Packet.header.Dns.Packet.id in
+      let owner =
+        List.find_opt
+          (fun (d, _) -> Dnsproxy.peek_pending (Device.daemon d) id <> None)
+          devices
+      in
+      match owner with
+      | Some (_, config) -> (
+          match payload_for config with
+          | Some raw_name -> Some (Autogen.response_for ~query ~raw_name)
+          | None -> None)
+      | None -> None);
+  let ap =
+    Netsim.Wifi.ap ~name:"venue-ap" ~ssid:"FreeWiFi" ~signal_dbm:(-45) lan
+  in
+  List.iter (fun (d, _) -> ignore (Device.join_wifi d [ ap ] ~ssid:"FreeWiFi"))
+    devices;
+  ignore (W.run world);
+  let fleet =
+    List.map
+      (fun (d, _) ->
+        let status =
+          match Device.state d with
+          | `Compromised -> `Recruited
+          | `Crashed -> `Crashed
+          | `Online | `Blocked -> `Resisted
+        in
+        (Device.name d, status))
+      devices
+  in
+  {
+    fleet;
+    recruited = List.length (List.filter (fun (_, s) -> s = `Recruited) fleet);
+    resisted = List.length (List.filter (fun (_, s) -> s <> `Recruited) fleet);
+  }
+
+let pp_disposition_opt ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some d -> Dnsproxy.pp_disposition ppf d
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>device: %s@,\
+     association: %s -> %s@,\
+     dns server: %s -> %s@,\
+     benign lookup: %a@,\
+     strategy: %s (%d queries intercepted)@,\
+     attack result: %a@]"
+    (Device.name r.device) r.associated_before r.associated_after
+    (match r.dns_before with Some ip -> Ip.to_string ip | None -> "-")
+    (match r.dns_after with Some ip -> Ip.to_string ip | None -> "-")
+    pp_disposition_opt r.benign_disposition r.strategy r.queries_intercepted
+    pp_disposition_opt r.attack_disposition

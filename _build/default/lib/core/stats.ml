@@ -1,0 +1,29 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) xs))
+
+let binomial_rate ~hits ~trials =
+  if trials <= 0 then invalid_arg "Stats.binomial_rate: trials must be positive";
+  float_of_int hits /. float_of_int trials
+
+let wilson_interval ~hits ~trials ?(z = 1.96) () =
+  if trials <= 0 then invalid_arg "Stats.wilson_interval: trials must be positive";
+  let n = float_of_int trials in
+  let p = float_of_int hits /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+  in
+  (Float.max 0.0 (centre -. half), Float.min 1.0 (centre +. half))
+
+(* A hair of slack absorbs float roundoff at the p = 0 and p = 1
+   boundaries, where the Wilson endpoints are exact in real arithmetic. *)
+let interval_contains (lo, hi) x = lo -. 1e-9 <= x && x <= hi +. 1e-9

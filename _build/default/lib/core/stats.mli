@@ -1,0 +1,19 @@
+(** Small statistics helpers for experiment evaluation.
+
+    The A4 entropy sweep measures a Bernoulli success rate and compares
+    it to the theoretical 2^-bits; the comparison uses a Wilson score
+    interval rather than an ad-hoc tolerance. *)
+
+val mean : float list -> float
+(** 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for lists shorter than 2. *)
+
+val binomial_rate : hits:int -> trials:int -> float
+
+val wilson_interval : hits:int -> trials:int -> ?z:float -> unit -> float * float
+(** 95% (z = 1.96) Wilson score interval for a binomial proportion —
+    well-behaved at 0 and 1, unlike the normal approximation. *)
+
+val interval_contains : float * float -> float -> bool

@@ -1,0 +1,1 @@
+lib/defense/equiv.ml: Isa_arm Isa_x86 List Memsim

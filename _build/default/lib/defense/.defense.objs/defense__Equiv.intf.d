@@ -1,0 +1,1 @@
+lib/defense/equiv.mli: Isa_arm Isa_x86

@@ -1,0 +1,1 @@
+lib/defense/profile.mli: Format

@@ -1,0 +1,1 @@
+lib/dns/cache.ml: Hashtbl

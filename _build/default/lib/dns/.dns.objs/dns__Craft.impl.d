@@ -1,0 +1,1 @@
+lib/dns/craft.ml: Array Buffer Bytes Char List Name Packet String

@@ -1,0 +1,1 @@
+lib/dns/craft.mli: Packet

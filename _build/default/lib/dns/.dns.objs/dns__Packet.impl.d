@@ -1,0 +1,1 @@
+lib/dns/packet.ml: Buffer Char Format Hashtbl List Name Printf Result String

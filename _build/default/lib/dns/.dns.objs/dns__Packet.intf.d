@@ -1,0 +1,1 @@
+lib/dns/packet.mli: Format Name

@@ -1,0 +1,79 @@
+type entry = { ipv4 : int; expires : int }
+
+type stats = { hits : int; misses : int; insertions : int; evictions : int }
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+  }
+
+let expired now entry = entry.expires <= now
+
+(* Evict the entry closest to expiry (expired ones first, trivially). *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun name entry best ->
+        match best with
+        | Some (_, e) when e.expires <= entry.expires -> best
+        | _ -> Some (name, entry))
+      t.table None
+  in
+  match victim with
+  | Some (name, _) ->
+      Hashtbl.remove t.table name;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let insert t ~now ~name ~ttl ~ipv4 =
+  if ttl > 0 then begin
+    if Hashtbl.length t.table >= t.capacity && not (Hashtbl.mem t.table name)
+    then evict_one t;
+    Hashtbl.replace t.table name { ipv4; expires = now + ttl };
+    t.insertions <- t.insertions + 1
+  end
+
+let lookup t ~now name =
+  match Hashtbl.find_opt t.table name with
+  | Some entry when not (expired now entry) ->
+      t.hits <- t.hits + 1;
+      Some entry.ipv4
+  | Some _ ->
+      Hashtbl.remove t.table name;
+      t.misses <- t.misses + 1;
+      None
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let remove t name = Hashtbl.remove t.table name
+
+let size t ~now =
+  Hashtbl.fold
+    (fun _ entry n -> if expired now entry then n else n + 1)
+    t.table 0
+
+let flush t = Hashtbl.reset t.table
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    evictions = t.evictions;
+  }

@@ -1,0 +1,28 @@
+(** TTL-aware DNS cache (the state the Connman DNS proxy exists to keep).
+
+    A pure-ish cache keyed by name: entries expire after their record
+    TTL, capacity is bounded with oldest-expiry eviction, and lookups are
+    counted so tests and examples can observe hit rates.  Time is a
+    caller-supplied monotonic value in seconds — the simulation owns the
+    clock. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256 entries. *)
+
+val insert : t -> now:int -> name:string -> ttl:int -> ipv4:int -> unit
+(** [ttl] seconds; a 0 TTL entry is never returned. *)
+
+val lookup : t -> now:int -> string -> int option
+(** The cached IPv4 (host order) if fresh. *)
+
+val remove : t -> string -> unit
+val size : t -> now:int -> int
+(** Live (unexpired) entries. *)
+
+val flush : t -> unit
+
+type stats = { hits : int; misses : int; insertions : int; evictions : int }
+
+val stats : t -> stats

@@ -1,0 +1,92 @@
+type t = string list
+
+let of_string s =
+  match s with
+  | "" | "." -> []
+  | s -> String.split_on_char '.' s |> List.filter (fun l -> l <> "")
+
+let to_string = function [] -> "." | labels -> String.concat "." labels
+
+let valid labels =
+  List.for_all (fun l -> String.length l >= 1 && String.length l <= 63) labels
+  && List.fold_left (fun acc l -> acc + 1 + String.length l) 1 labels <= 255
+
+let encode labels =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun label ->
+      let n = String.length label in
+      if n = 0 || n > 63 then
+        invalid_arg ("Dns.Name.encode: bad label length " ^ string_of_int n);
+      Buffer.add_char buf (Char.chr n);
+      Buffer.add_string buf label)
+    labels;
+  Buffer.add_char buf '\x00';
+  Buffer.contents buf
+
+(* Shared walker for decode/expand: [emit] receives each label's raw bytes
+   (and, for the vulnerable variant, its length byte).  Pointer loops are
+   detected by bounding the number of pointer hops by the message size. *)
+let walk msg off ~permissive ~emit =
+  let len = String.length msg in
+  let byte i =
+    if i < 0 || i >= len then Error "truncated name" else Ok (Char.code msg.[i])
+  in
+  let rec go pos hops consumed_at_top jumped acc_len =
+    if hops > len then Error "compression pointer loop"
+    else
+      match byte pos with
+      | Error _ as e -> e
+      | Ok 0 ->
+          let consumed = if jumped then consumed_at_top else pos + 1 - off in
+          Ok consumed
+      | Ok b when b >= 0xC0 -> (
+          match byte (pos + 1) with
+          | Error _ as e -> e
+          | Ok lo ->
+              let target = ((b land 0x3F) lsl 8) lor lo in
+              if target >= len then Error "pointer out of range"
+              else
+                let consumed_at_top =
+                  if jumped then consumed_at_top else pos + 2 - off
+                in
+                go target (hops + 1) consumed_at_top true acc_len)
+      | Ok b when b > 63 && not permissive -> Error "invalid label length"
+      | Ok b ->
+          if pos + 1 + b > len then Error "truncated label"
+          else begin
+            emit b (String.sub msg (pos + 1) b);
+            let acc_len = acc_len + 1 + b in
+            if acc_len > 65536 then Error "name expansion too large"
+            else
+              go (pos + 1 + b) hops consumed_at_top jumped acc_len
+          end
+  in
+  go off 0 0 false 0
+
+let decode msg off =
+  let labels = ref [] in
+  match walk msg off ~permissive:false ~emit:(fun _ l -> labels := l :: !labels) with
+  | Ok consumed -> Ok (List.rev !labels, consumed)
+  | Error e -> Error e
+
+let expand msg off =
+  match decode msg off with
+  | Ok (labels, consumed) -> Ok (to_string labels, consumed)
+  | Error e -> Error e
+
+let expand_like_connman ?(limit = 65536) msg off =
+  let buf = Buffer.create 64 in
+  let overrun = ref false in
+  let emit len label =
+    if Buffer.length buf < limit then begin
+      Buffer.add_char buf (Char.chr len);
+      Buffer.add_string buf label
+    end
+    else overrun := true
+  in
+  match walk msg off ~permissive:true ~emit with
+  | Ok consumed ->
+      if !overrun then Error "expansion exceeds simulation limit"
+      else Ok (Buffer.contents buf, consumed)
+  | Error e -> Error e

@@ -1,0 +1,267 @@
+type qtype = A | AAAA | CNAME | NS | PTR | MX | TXT | Unknown of int
+
+let qtype_code = function
+  | A -> 1
+  | NS -> 2
+  | CNAME -> 5
+  | PTR -> 12
+  | MX -> 15
+  | TXT -> 16
+  | AAAA -> 28
+  | Unknown n -> n
+
+let qtype_of_code = function
+  | 1 -> A
+  | 2 -> NS
+  | 5 -> CNAME
+  | 12 -> PTR
+  | 15 -> MX
+  | 16 -> TXT
+  | 28 -> AAAA
+  | n -> Unknown n
+
+let qtype_name = function
+  | A -> "A"
+  | NS -> "NS"
+  | CNAME -> "CNAME"
+  | PTR -> "PTR"
+  | MX -> "MX"
+  | TXT -> "TXT"
+  | AAAA -> "AAAA"
+  | Unknown n -> Printf.sprintf "TYPE%d" n
+
+type rcode = NoError | FormErr | ServFail | NXDomain | NotImp | Refused
+
+let rcode_code = function
+  | NoError -> 0
+  | FormErr -> 1
+  | ServFail -> 2
+  | NXDomain -> 3
+  | NotImp -> 4
+  | Refused -> 5
+
+let rcode_of_code = function
+  | 0 -> NoError
+  | 1 -> FormErr
+  | 2 -> ServFail
+  | 3 -> NXDomain
+  | 4 -> NotImp
+  | _ -> Refused
+
+type header = {
+  id : int;
+  qr : bool;
+  opcode : int;
+  aa : bool;
+  tc : bool;
+  rd : bool;
+  ra : bool;
+  rcode : rcode;
+}
+
+type question = { qname : Name.t; qtype : qtype }
+type rr = { rname : Name.t; rtype : qtype; ttl : int; rdata : string }
+
+type t = {
+  header : header;
+  questions : question list;
+  answers : rr list;
+  authorities : rr list;
+  additionals : rr list;
+}
+
+let query ~id ?(rd = true) qname qtype =
+  {
+    header =
+      {
+        id = id land 0xFFFF;
+        qr = false;
+        opcode = 0;
+        aa = false;
+        tc = false;
+        rd;
+        ra = false;
+        rcode = NoError;
+      };
+    questions = [ { qname; qtype } ];
+    answers = [];
+    authorities = [];
+    additionals = [];
+  }
+
+let response ~query answers =
+  {
+    header =
+      { query.header with qr = true; ra = true; aa = false; rcode = NoError };
+    questions = query.questions;
+    answers;
+    authorities = [];
+    additionals = [];
+  }
+
+let a_record rname ~ttl ~ipv4 =
+  let rdata =
+    String.init 4 (fun i -> Char.chr ((ipv4 lsr (8 * (3 - i))) land 0xFF))
+  in
+  { rname; rtype = A; ttl; rdata }
+
+let cname_record rname ~ttl ~target =
+  { rname; rtype = CNAME; ttl; rdata = Name.encode target }
+
+let cname_of_rdata rdata =
+  match Name.decode rdata 0 with Ok (labels, _) -> Some labels | Error _ -> None
+
+let ipv4_of_rdata rdata =
+  if String.length rdata <> 4 then None
+  else
+    Some
+      (List.fold_left
+         (fun acc i -> (acc lsl 8) lor Char.code rdata.[i])
+         0 [ 0; 1; 2; 3 ])
+
+(* --- encoding (network byte order) --- *)
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u32 buf v =
+  add_u16 buf ((v lsr 16) land 0xFFFF);
+  add_u16 buf (v land 0xFFFF)
+
+let flags_word h =
+  ((if h.qr then 1 else 0) lsl 15)
+  lor ((h.opcode land 0xF) lsl 11)
+  lor ((if h.aa then 1 else 0) lsl 10)
+  lor ((if h.tc then 1 else 0) lsl 9)
+  lor ((if h.rd then 1 else 0) lsl 8)
+  lor ((if h.ra then 1 else 0) lsl 7)
+  lor rcode_code h.rcode
+
+(* Name emission with optional compression: remember the offset of every
+   name suffix already emitted and point at it on repetition. *)
+let add_name buf ~compress seen labels =
+  let rec go = function
+    | [] -> Buffer.add_char buf '\x00'
+    | _ :: rest as suffix -> (
+        match if compress then Hashtbl.find_opt seen suffix else None with
+        | Some off when off < 0x4000 -> add_u16 buf (0xC000 lor off)
+        | _ ->
+            if compress && Buffer.length buf < 0x4000 then
+              Hashtbl.replace seen suffix (Buffer.length buf);
+            let label = List.hd suffix in
+            Buffer.add_char buf (Char.chr (String.length label));
+            Buffer.add_string buf label;
+            go rest)
+  in
+  go labels
+
+let add_question buf ~compress seen q =
+  add_name buf ~compress seen q.qname;
+  add_u16 buf (qtype_code q.qtype);
+  add_u16 buf 1 (* IN *)
+
+let add_rr buf ~compress seen rr =
+  add_name buf ~compress seen rr.rname;
+  add_u16 buf (qtype_code rr.rtype);
+  add_u16 buf 1;
+  add_u32 buf rr.ttl;
+  add_u16 buf (String.length rr.rdata);
+  Buffer.add_string buf rr.rdata
+
+let encode ?(compress = true) t =
+  let buf = Buffer.create 128 in
+  let seen = Hashtbl.create 8 in
+  add_u16 buf t.header.id;
+  add_u16 buf (flags_word t.header);
+  add_u16 buf (List.length t.questions);
+  add_u16 buf (List.length t.answers);
+  add_u16 buf (List.length t.authorities);
+  add_u16 buf (List.length t.additionals);
+  List.iter (add_question buf ~compress seen) t.questions;
+  List.iter (add_rr buf ~compress seen) t.answers;
+  List.iter (add_rr buf ~compress seen) t.authorities;
+  List.iter (add_rr buf ~compress seen) t.additionals;
+  Buffer.contents buf
+
+(* --- decoding --- *)
+
+let ( let* ) = Result.bind
+
+let decode msg =
+  let len = String.length msg in
+  let u16 off =
+    if off + 2 > len then Error "truncated"
+    else Ok ((Char.code msg.[off] lsl 8) lor Char.code msg.[off + 1])
+  in
+  let u32 off =
+    let* hi = u16 off in
+    let* lo = u16 (off + 2) in
+    Ok ((hi lsl 16) lor lo)
+  in
+  if len < 12 then Error "message shorter than header"
+  else
+    let* id = u16 0 in
+    let* flags = u16 2 in
+    let* qd = u16 4 in
+    let* an = u16 6 in
+    let* ns = u16 8 in
+    let* ar = u16 10 in
+    let header =
+      {
+        id;
+        qr = (flags lsr 15) land 1 = 1;
+        opcode = (flags lsr 11) land 0xF;
+        aa = (flags lsr 10) land 1 = 1;
+        tc = (flags lsr 9) land 1 = 1;
+        rd = (flags lsr 8) land 1 = 1;
+        ra = (flags lsr 7) land 1 = 1;
+        rcode = rcode_of_code (flags land 0xF);
+      }
+    in
+    let rec questions n off acc =
+      if n = 0 then Ok (List.rev acc, off)
+      else
+        let* qname, used = Name.decode msg off in
+        let* qt = u16 (off + used) in
+        let* _qclass = u16 (off + used + 2) in
+        questions (n - 1)
+          (off + used + 4)
+          ({ qname; qtype = qtype_of_code qt } :: acc)
+    in
+    let rec rrs n off acc =
+      if n = 0 then Ok (List.rev acc, off)
+      else
+        let* rname, used = Name.decode msg off in
+        let off = off + used in
+        let* rt = u16 off in
+        let* _class = u16 (off + 2) in
+        let* ttl = u32 (off + 4) in
+        let* rdlen = u16 (off + 8) in
+        if off + 10 + rdlen > len then Error "truncated rdata"
+        else
+          let rdata = String.sub msg (off + 10) rdlen in
+          rrs (n - 1)
+            (off + 10 + rdlen)
+            ({ rname; rtype = qtype_of_code rt; ttl; rdata } :: acc)
+    in
+    let* qs, off = questions qd 12 [] in
+    let* answers, off = rrs an off [] in
+    let* authorities, off = rrs ns off [] in
+    let* additionals, _off = rrs ar off [] in
+    Ok { header; questions = qs; answers; authorities; additionals }
+
+let pp ppf t =
+  let pp_q ppf q =
+    Format.fprintf ppf "%s %s" (Name.to_string q.qname) (qtype_name q.qtype)
+  in
+  let pp_rr ppf rr =
+    Format.fprintf ppf "%s %s ttl=%d rdlen=%d" (Name.to_string rr.rname)
+      (qtype_name rr.rtype) rr.ttl (String.length rr.rdata)
+  in
+  Format.fprintf ppf "@[<v>id=0x%04x %s rcode=%d@,questions: %a@,answers: %a@]"
+    t.header.id
+    (if t.header.qr then "response" else "query")
+    (rcode_code t.header.rcode)
+    (Format.pp_print_list pp_q) t.questions (Format.pp_print_list pp_rr)
+    t.answers

@@ -1,0 +1,68 @@
+(** DNS message wire codec (RFC 1035 §4).
+
+    Covers what the reproduction needs end-to-end: queries from the
+    Connman DNS proxy, legitimate responses from the resolver, and the
+    decoded view Connman's host-side pre-validation checks before the
+    vulnerable machine-code path runs. *)
+
+type qtype = A | AAAA | CNAME | NS | PTR | MX | TXT | Unknown of int
+
+val qtype_code : qtype -> int
+val qtype_of_code : int -> qtype
+val qtype_name : qtype -> string
+
+type rcode = NoError | FormErr | ServFail | NXDomain | NotImp | Refused
+
+val rcode_code : rcode -> int
+val rcode_of_code : int -> rcode
+
+type header = {
+  id : int;  (** 16-bit transaction id *)
+  qr : bool;  (** false = query, true = response *)
+  opcode : int;
+  aa : bool;
+  tc : bool;
+  rd : bool;
+  ra : bool;
+  rcode : rcode;
+}
+
+type question = { qname : Name.t; qtype : qtype }
+
+type rr = {
+  rname : Name.t;
+  rtype : qtype;
+  ttl : int;
+  rdata : string;  (** raw RDATA; 4 bytes for A, 16 for AAAA *)
+}
+
+type t = {
+  header : header;
+  questions : question list;
+  answers : rr list;
+  authorities : rr list;
+  additionals : rr list;
+}
+
+val query : id:int -> ?rd:bool -> Name.t -> qtype -> t
+
+val response : query:t -> rr list -> t
+(** A well-formed answer to [query]: same id, question echoed, QR/RA set. *)
+
+val a_record : Name.t -> ttl:int -> ipv4:int -> rr
+(** [ipv4] as a 32-bit host-order integer. *)
+
+val cname_record : Name.t -> ttl:int -> target:Name.t -> rr
+(** RDATA is the (uncompressed) wire form of [target]. *)
+
+val cname_of_rdata : string -> Name.t option
+
+val ipv4_of_rdata : string -> int option
+
+val encode : ?compress:bool -> t -> string
+(** [compress] (default true) uses compression pointers for repeated
+    names, as real servers do. *)
+
+val decode : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

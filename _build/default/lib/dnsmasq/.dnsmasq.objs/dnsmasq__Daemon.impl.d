@@ -1,0 +1,1 @@
+lib/dnsmasq/daemon.ml: Char Defense Dns Format Hashtbl List Loader Machine Memsim Program_arm Program_x86 String

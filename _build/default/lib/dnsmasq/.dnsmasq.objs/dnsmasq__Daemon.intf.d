@@ -1,0 +1,1 @@
+lib/dnsmasq/daemon.mli: Defense Dns Format Loader Machine

@@ -1,0 +1,1 @@
+lib/dnsmasq/frame.ml: Loader Machine

@@ -1,0 +1,1 @@
+lib/dnsmasq/frame.mli: Loader Machine

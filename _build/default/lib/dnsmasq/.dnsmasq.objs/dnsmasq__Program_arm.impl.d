@@ -1,0 +1,1 @@
+lib/dnsmasq/program_arm.ml: Asm Defense Isa_arm Loader Printf

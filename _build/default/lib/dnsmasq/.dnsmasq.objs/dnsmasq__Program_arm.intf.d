@@ -1,0 +1,1 @@
+lib/dnsmasq/program_arm.mli: Defense Loader

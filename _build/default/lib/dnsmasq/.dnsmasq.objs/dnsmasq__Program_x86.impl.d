@@ -1,0 +1,1 @@
+lib/dnsmasq/program_x86.ml: Asm Defense Isa_x86 Loader Printf

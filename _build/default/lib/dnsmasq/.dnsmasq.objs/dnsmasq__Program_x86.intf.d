@@ -1,0 +1,1 @@
+lib/dnsmasq/program_x86.mli: Defense Loader

@@ -1,0 +1,107 @@
+module Mem = Memsim.Memory
+module O = Machine.Outcome
+
+type disposition =
+  | Cached of int
+  | Dropped of string
+  | Crashed of O.stop_reason
+  | Compromised of O.stop_reason
+  | Blocked of O.stop_reason
+
+let pp_disposition ppf = function
+  | Cached n -> Format.fprintf ppf "cached %d record(s)" n
+  | Dropped why -> Format.fprintf ppf "dropped (%s)" why
+  | Crashed r -> Format.fprintf ppf "CRASHED: %a" O.pp r
+  | Compromised r -> Format.fprintf ppf "COMPROMISED: %a" O.pp r
+  | Blocked r -> Format.fprintf ppf "blocked by defense: %a" O.pp r
+
+type config = {
+  patched : bool;
+  arch : Loader.Arch.t;
+  profile : Defense.Profile.t;
+  boot_seed : int;
+}
+
+type t = {
+  config : config;
+  proc : Loader.Process.t;
+  mutable alive : bool;
+  mutable next_id : int;
+  pending : (int, Dns.Packet.question) Hashtbl.t;
+}
+
+let build_spec config =
+  match config.arch with
+  | Loader.Arch.X86 ->
+      Program_x86.spec ~patched:config.patched ~profile:config.profile
+  | Loader.Arch.Arm ->
+      Program_arm.spec ~patched:config.patched ~profile:config.profile
+
+let create config =
+  {
+    config;
+    proc =
+      Loader.Process.boot (build_spec config) ~profile:config.profile
+        ~seed:config.boot_seed;
+    alive = true;
+    next_id = 0x2000 + (config.boot_seed land 0xFFF);
+    pending = Hashtbl.create 8;
+  }
+
+let process t = t.proc
+let alive t = t.alive
+
+let make_query t qname =
+  let id = t.next_id land 0xFFFF in
+  t.next_id <- t.next_id + 1;
+  let q = Dns.Packet.query ~id qname Dns.Packet.A in
+  Hashtbl.replace t.pending id (List.hd q.Dns.Packet.questions);
+  q
+
+let prevalidate t wire =
+  let len = String.length wire in
+  if len < 12 then Error "short packet"
+  else
+    let u16 off = (Char.code wire.[off] lsl 8) lor Char.code wire.[off + 1] in
+    if (u16 2 lsr 15) land 1 <> 1 then Error "not a response"
+    else if u16 4 <> 1 || u16 6 < 1 then Error "unexpected counts"
+    else
+      match Hashtbl.find_opt t.pending (u16 0) with
+      | None -> Error "unknown transaction id"
+      | Some _ ->
+          Hashtbl.remove t.pending (u16 0);
+          Ok ()
+
+let handle_response t wire =
+  if not t.alive then Dropped "daemon not running"
+  else
+    match prevalidate t wire with
+    | Error why -> Dropped why
+    | Ok () ->
+        let buf = t.proc.Loader.Process.layout.Loader.Layout.heap_base in
+        if String.length wire > t.proc.Loader.Process.layout.Loader.Layout.heap_size
+        then Dropped "oversized datagram"
+        else begin
+          Mem.write_bytes t.proc.Loader.Process.mem buf wire;
+          let entry = Loader.Process.symbol t.proc "process_reply" in
+          let r =
+            Loader.Process.call t.proc ~fuel:400_000 ~entry
+              ~args:[ buf; String.length wire ]
+          in
+          match r.Loader.Process.outcome with
+          | O.Halted ->
+              Cached
+                (match Dns.Packet.decode wire with
+                | Ok m -> List.length m.Dns.Packet.answers
+                | Error _ -> 0)
+          | O.Exec _ as reason ->
+              t.alive <- false;
+              Compromised reason
+          | (O.Fault _ | O.Decode_error _ | O.Fuel_exhausted | O.Exited _) as
+            reason ->
+              t.alive <- false;
+              Crashed reason
+          | (O.Cfi_violation _ | O.Aborted _) as reason ->
+              t.alive <- false;
+              Blocked reason
+        end

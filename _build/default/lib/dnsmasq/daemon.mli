@@ -1,0 +1,30 @@
+(** The dnsmasq-sim forwarder daemon (§V adaptation target).
+
+    Same operational surface as {!Connman.Dnsproxy}: queries out,
+    responses pre-validated and then parsed by the vulnerable machine
+    code.  The point of this module is that {!Exploit.Autogen} retargets
+    to it by swapping frame geometry only. *)
+
+type disposition =
+  | Cached of int
+  | Dropped of string
+  | Crashed of Machine.Outcome.stop_reason
+  | Compromised of Machine.Outcome.stop_reason
+  | Blocked of Machine.Outcome.stop_reason
+
+val pp_disposition : Format.formatter -> disposition -> unit
+
+type config = {
+  patched : bool;  (** 2.78 (bounded) vs 2.77 (vulnerable) *)
+  arch : Loader.Arch.t;
+  profile : Defense.Profile.t;
+  boot_seed : int;
+}
+
+type t
+
+val create : config -> t
+val process : t -> Loader.Process.t
+val alive : t -> bool
+val make_query : t -> Dns.Name.t -> Dns.Packet.t
+val handle_response : t -> string -> disposition

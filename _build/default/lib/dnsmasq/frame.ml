@@ -1,0 +1,38 @@
+module F = Machine.Stack_frame
+
+(* These constants mirror Program_x86/Program_arm; test_dnsmasq verifies
+   them against the running code.  There are no NULL-checked pointer
+   slots in this daemon: the window is parked inside the buffer tail
+   where zero bytes are harmless. *)
+
+let x86 =
+  {
+    F.buffer_size = 2048;
+    off_null1 = 0x7F8;
+    off_null2 = 0x7FC;
+    off_canary = 0x808;  (* [ebp-8] *)
+    off_saved = [ ("ebx", 0x80C); ("ebp", 0x810) ];
+    off_ret = 0x814;
+    frame_end = 0x818;
+  }
+
+let arm =
+  {
+    F.buffer_size = 2048;
+    off_null1 = 0x7F8;
+    off_null2 = 0x7FC;
+    off_canary = 0x808;  (* [fp-0x10] *)
+    off_saved = [ ("r4", 0x818); ("r5", 0x81C); ("fp", 0x820) ];
+    off_ret = 0x824;  (* saved lr *)
+    frame_end = 0x828;
+  }
+
+let geometry = function Loader.Arch.X86 -> x86 | Loader.Arch.Arm -> arm
+
+(* x86: 2 args (8) + return (4) + push ebp (4) + push ebx (4); buffer at
+   ebp-0x810.  ARM: push {r4, r5, fp, lr} (16); buffer at fp-0x818. *)
+let buffer_addr proc =
+  let top = proc.Loader.Process.layout.Loader.Layout.stack_top - 0x100 in
+  match proc.Loader.Process.arch with
+  | Loader.Arch.X86 -> top - 16 - 0x810
+  | Loader.Arch.Arm -> top - 16 - 0x818

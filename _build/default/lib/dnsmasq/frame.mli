@@ -1,0 +1,7 @@
+(** Frame geometry of dnsmasq-sim's [extract_name] caller — the "minimal
+    modification" §V says retargets the Connman tooling to other DNS-based
+    overflows (CVE-2017-14493-class): a 2048-byte buffer and different
+    offsets, otherwise the same attack surface. *)
+
+val geometry : Loader.Arch.t -> Machine.Stack_frame.t
+val buffer_addr : Loader.Process.t -> int

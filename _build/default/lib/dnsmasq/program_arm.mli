@@ -1,0 +1,4 @@
+(** dnsmasq-sim for ARMv7 (see {!Program_x86} for the design notes). *)
+
+val spec : patched:bool -> profile:Defense.Profile.t -> Loader.Process.spec
+val entry : string

@@ -1,0 +1,12 @@
+(** dnsmasq-sim for x86-32: a second DNS daemon with a CVE-2017-14493-class
+    stack overflow, used to reproduce the paper's §V adaptability claim.
+
+    Differences from the Connman image that exercise the "minimal
+    modification" workflow: a 2048-byte buffer with different frame
+    offsets, an {e inline} byte-copy loop instead of a [memcpy] call, no
+    NULL-checked pointer slots, and a different (but sufficient) gadget
+    inventory. *)
+
+val spec : patched:bool -> profile:Defense.Profile.t -> Loader.Process.spec
+val entry : string
+(** ["process_reply"]. *)

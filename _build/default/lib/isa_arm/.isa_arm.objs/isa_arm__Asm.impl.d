@@ -1,0 +1,1 @@
+lib/isa_arm/asm.ml: Buffer Char Decode Encode Hashtbl Insn List Memsim Printf String

@@ -1,0 +1,1 @@
+lib/isa_arm/asm.mli: Insn Memsim

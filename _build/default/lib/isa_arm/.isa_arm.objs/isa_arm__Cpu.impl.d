@@ -1,0 +1,1 @@
+lib/isa_arm/cpu.ml: Array Decode Insn List Machine Memsim

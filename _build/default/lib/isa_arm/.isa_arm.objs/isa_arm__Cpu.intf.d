@@ -1,0 +1,1 @@
+lib/isa_arm/cpu.mli: Insn Machine Memsim

@@ -1,0 +1,1 @@
+lib/isa_arm/decode.ml: Fun Insn List Memsim

@@ -1,0 +1,1 @@
+lib/isa_arm/decode.mli: Insn Memsim

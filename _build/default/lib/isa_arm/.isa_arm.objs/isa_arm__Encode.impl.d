@@ -1,0 +1,1 @@
+lib/isa_arm/encode.ml: Bytes Char Insn List Memsim Printf

@@ -1,0 +1,1 @@
+lib/isa_arm/insn.ml: Format List Printf String

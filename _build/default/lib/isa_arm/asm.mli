@@ -1,0 +1,33 @@
+(** Two-pass ARM A32 assembler with symbolic labels and literal pools.
+
+    Large constants (absolute addresses) are materialised the way real ARM
+    compilers do it: a pc-relative [ldr] from a nearby literal pool word
+    ({!item.Ldr_sym} + {!item.Word_sym}). *)
+
+type item =
+  | Label of string
+  | I of Insn.t
+  | Bl_sym of string  (** [bl label] *)
+  | B_sym of Insn.cond * string  (** [b<cond> label] *)
+  | Ldr_sym of Insn.reg * string
+      (** [ldr rd, \[pc, #off\]] where [off] reaches the given (literal)
+          label; the label must be within ±4095 bytes of pc+8. *)
+  | Bytes of string
+  | Word of int
+  | Word_sym of string
+  | Align of int
+
+type program = item list
+
+type result = { base : int; code : string; symbols : (string * int) list }
+
+val assemble : ?extern:(string * int) list -> base:int -> program -> result
+(** [base] must be 4-byte aligned.  Raises [Failure] on undefined/duplicate
+    symbols or out-of-range pc-relative loads. *)
+
+val symbol : result -> string -> int
+
+val disassemble :
+  Memsim.Memory.t -> base:int -> len:int -> (int * Insn.t * string) list
+(** Linear sweep at 4-byte stride; undecodable words are skipped (rendered
+    only for decodable ones). *)

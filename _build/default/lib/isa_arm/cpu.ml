@@ -1,0 +1,265 @@
+open Insn
+module Mem = Memsim.Memory
+module Word = Memsim.Word
+module Outcome = Machine.Outcome
+
+type t = {
+  mem : Mem.t;
+  regs : int array;
+  mutable n : bool;
+  mutable z : bool;
+  mutable c : bool;
+  mutable v : bool;
+  mutable shadow : int list;
+  mutable cfi : bool;
+  mutable steps : int;
+}
+
+let create ?(cfi = false) mem =
+  {
+    mem;
+    regs = Array.make 16 0;
+    n = false;
+    z = false;
+    c = false;
+    v = false;
+    shadow = [];
+    cfi;
+    steps = 0;
+  }
+
+let pc t = t.regs.(15)
+let set_pc t v = t.regs.(15) <- Word.of_int v
+
+let get t r =
+  match r with PC -> Word.add (pc t) 8 | _ -> t.regs.(reg_index r)
+
+let set t r v =
+  t.regs.(reg_index r) <- Word.of_int v
+
+let push t v =
+  let sp = Word.sub (get t SP) 4 in
+  set t SP sp;
+  Mem.write_u32 t.mem sp v
+
+let pop t =
+  let sp = get t SP in
+  let v = Mem.read_u32 t.mem sp in
+  set t SP (Word.add sp 4);
+  v
+
+let op2_value t = function
+  | Imm i -> Word.of_int i
+  | Reg r -> get t r
+  | Lsl (r, amt) -> Word.of_int (get t r lsl amt)
+
+let cond_holds t = function
+  | EQ -> t.z
+  | NE -> not t.z
+  | CS -> t.c
+  | CC -> not t.c
+  | MI -> t.n
+  | PL -> not t.n
+  | HI -> t.c && not t.z
+  | LS -> (not t.c) || t.z
+  | GE -> t.n = t.v
+  | LT -> t.n <> t.v
+  | GT -> (not t.z) && t.n = t.v
+  | LE -> t.z || t.n <> t.v
+  | AL -> true
+
+let set_cmp_flags t a b =
+  let res = Word.sub a b in
+  t.n <- Word.bit res 31;
+  t.z <- res = 0;
+  t.c <- a >= b;  (* no borrow *)
+  t.v <- Word.bit a 31 <> Word.bit b 31 && Word.bit res 31 <> Word.bit a 31
+
+let set_tst_flags t res =
+  t.n <- Word.bit res 31;
+  t.z <- res = 0
+
+type kernel = int -> t -> Outcome.syscall_result
+
+(* Return-edge CFI (see cpu.mli).  [pop_shadow] both validates and pops. *)
+let check_return t target =
+  if not t.cfi then None
+  else
+    match t.shadow with
+    | expected :: rest when expected = Word.of_int target ->
+        t.shadow <- rest;
+        None
+    | expected :: _ ->
+        Some (Outcome.Cfi_violation { at = pc t; expected; got = target })
+    | [] -> Some (Outcome.Cfi_violation { at = pc t; expected = 0; got = target })
+
+let step t ~kernel =
+  let start = pc t in
+  if start land 3 <> 0 then
+    Some
+      (Outcome.Fault
+         { Mem.addr = start; kind = Mem.Perm_exec; context = "unaligned pc" })
+  else
+    match Decode.decode t.mem start with
+    | exception Decode.Error { addr; word } ->
+        Some (Outcome.Decode_error { addr; byte = word land 0xFF })
+    | exception Mem.Fault f -> Some (Outcome.Fault f)
+    | { cond; op } -> (
+        t.steps <- t.steps + 1;
+        let next = Word.add start 4 in
+        if not (cond_holds t cond) then begin
+          set_pc t next;
+          None
+        end
+        else begin
+          (* pc stays at the current instruction during execution so that
+             architectural PC reads yield start+8; [branch] marks an
+             explicit control transfer. *)
+          let branched = ref false in
+          let branch target =
+            branched := true;
+            set_pc t target
+          in
+          (* Data-processing writeback: writing PC is an indirect jump
+             (`mov pc, lr` is a return and CFI-checked). *)
+          let dp_write rd v =
+            match rd with
+            | PC -> (
+                let target = Word.of_int v land lnot 1 in
+                match op with
+                | Mov (_, Reg LR) -> (
+                    match check_return t target with
+                    | Some stop -> Some stop
+                    | None ->
+                        branch target;
+                        None)
+                | _ ->
+                    branch target;
+                    None)
+            | _ ->
+                set t rd v;
+                None
+          in
+          let stop =
+            try
+              match op with
+            | Mov (rd, o) -> dp_write rd (op2_value t o)
+            | Mvn (rd, o) -> dp_write rd (Word.lognot (op2_value t o))
+            | Add (rd, rn, o) -> dp_write rd (Word.add (get t rn) (op2_value t o))
+            | Sub (rd, rn, o) -> dp_write rd (Word.sub (get t rn) (op2_value t o))
+            | Rsb (rd, rn, o) -> dp_write rd (Word.sub (op2_value t o) (get t rn))
+            | And (rd, rn, o) -> dp_write rd (get t rn land op2_value t o)
+            | Orr (rd, rn, o) -> dp_write rd (get t rn lor op2_value t o)
+            | Eor (rd, rn, o) -> dp_write rd (get t rn lxor op2_value t o)
+            | Bic (rd, rn, o) ->
+                dp_write rd (get t rn land Word.lognot (op2_value t o))
+            | Mul (rd, rm, rs) -> dp_write rd (Word.mul (get t rm) (get t rs))
+            | Cmp (rn, o) ->
+                set_cmp_flags t (get t rn) (op2_value t o);
+                None
+            | Tst (rn, o) ->
+                set_tst_flags t (get t rn land op2_value t o);
+                None
+            | Ldr (rd, rn, off) ->
+                let v = Mem.read_u32 t.mem (Word.add (get t rn) off) in
+                dp_write rd v
+            | Str (rd, rn, off) ->
+                Mem.write_u32 t.mem (Word.add (get t rn) off) (get t rd);
+                None
+            | Ldrb (rd, rn, off) ->
+                let v = Mem.read_u8 t.mem (Word.add (get t rn) off) in
+                dp_write rd v
+            | Strb (rd, rn, off) ->
+                Mem.write_u8 t.mem (Word.add (get t rn) off) (get t rd land 0xFF);
+                None
+            | Ldr_r (rd, rn, rm) ->
+                dp_write rd (Mem.read_u32 t.mem (Word.add (get t rn) (get t rm)))
+            | Str_r (rd, rn, rm) ->
+                Mem.write_u32 t.mem (Word.add (get t rn) (get t rm)) (get t rd);
+                None
+            | Ldrb_r (rd, rn, rm) ->
+                dp_write rd (Mem.read_u8 t.mem (Word.add (get t rn) (get t rm)))
+            | Strb_r (rd, rn, rm) ->
+                Mem.write_u8 t.mem
+                  (Word.add (get t rn) (get t rm))
+                  (get t rd land 0xFF);
+                None
+            | Push regs ->
+                let n = List.length regs in
+                let base = Word.sub (get t SP) (4 * n) in
+                List.iteri
+                  (fun i r -> Mem.write_u32 t.mem (Word.add base (4 * i)) (get t r))
+                  regs;
+                set t SP base;
+                None
+            | Pop regs -> (
+                let sp0 = get t SP in
+                let values =
+                  List.mapi
+                    (fun i _ -> Mem.read_u32 t.mem (Word.add sp0 (4 * i)))
+                    regs
+                in
+                set t SP (Word.add sp0 (4 * List.length regs));
+                let pc_target = ref None in
+                List.iter2
+                  (fun r v -> if r = PC then pc_target := Some v else set t r v)
+                  regs values;
+                match !pc_target with
+                | None -> None
+                | Some target -> (
+                    let target = target land lnot 1 in
+                    match check_return t target with
+                    | Some stop -> Some stop
+                    | None ->
+                        branch target;
+                        None))
+            | B d ->
+                branch (Word.add (Word.add start 8) d);
+                None
+            | Bl d ->
+                let ret = next in
+                set t LR ret;
+                if t.cfi then t.shadow <- ret :: t.shadow;
+                branch (Word.add (Word.add start 8) d);
+                None
+            | Bx r -> (
+                let target = get t r land lnot 1 in
+                if r = LR then
+                  match check_return t target with
+                  | Some stop -> Some stop
+                  | None ->
+                      branch target;
+                      None
+                else begin
+                  branch target;
+                  None
+                end)
+            | Blx_r r ->
+                let target = get t r land lnot 1 in
+                let ret = next in
+                set t LR ret;
+                if t.cfi then t.shadow <- ret :: t.shadow;
+                branch target;
+                None
+            | Svc n -> (
+                match kernel n t with
+                | Outcome.Resume -> None
+                | Outcome.Stop reason -> Some reason)
+            with Mem.Fault f -> Some (Outcome.Fault f)
+          in
+          (match stop with
+          | None -> if not !branched then set_pc t next
+          | Some _ -> ());
+          stop
+        end)
+
+let run ?(fuel = 2_000_000) ~traps ~kernel t =
+  let rec loop budget =
+    if budget <= 0 then Outcome.Fuel_exhausted
+    else if List.mem (pc t) traps then Outcome.Halted
+    else
+      match step t ~kernel with
+      | Some reason -> reason
+      | None -> loop (budget - 1)
+  in
+  loop fuel

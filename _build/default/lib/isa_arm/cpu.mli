@@ -1,0 +1,48 @@
+(** ARMv7 (A32) interpreter over {!Memsim.Memory}.
+
+    Models the ARM-specific properties the paper's §III-B2/§III-C2 exploits
+    depend on: arguments in r0–r3 (so classic ret2libc cannot set them from
+    the stack), function return via [pop {…, pc}] or [bx lr], [blx rN]
+    link semantics (lr = next instruction), and pc reading as
+    "current + 8".
+
+    As on x86, an optional shadow stack implements return-edge CFI: [bl]
+    and [blx] push the link value; [pop {…, pc}], [bx lr] and [mov pc, lr]
+    are validated against it. *)
+
+type t = {
+  mem : Memsim.Memory.t;
+  regs : int array;  (** r0–r15; index 15 is the current instruction address *)
+  mutable n : bool;
+  mutable z : bool;
+  mutable c : bool;
+  mutable v : bool;
+  mutable shadow : int list;
+  mutable cfi : bool;
+  mutable steps : int;
+}
+
+val create : ?cfi:bool -> Memsim.Memory.t -> t
+
+val get : t -> Insn.reg -> int
+(** Reading [PC] yields the architectural value (current instruction + 8). *)
+
+val set : t -> Insn.reg -> int -> unit
+(** Writing [PC] branches (no CFI check — use within the interpreter only). *)
+
+val pc : t -> int
+(** Address of the instruction about to execute. *)
+
+val set_pc : t -> int -> unit
+
+val push : t -> int -> unit
+val pop : t -> int
+
+type kernel = int -> t -> Machine.Outcome.syscall_result
+(** [svc n] handler; by ARM EABI convention r7 carries the syscall number
+    and r0–r2 the arguments. *)
+
+val step : t -> kernel:kernel -> Machine.Outcome.stop_reason option
+
+val run :
+  ?fuel:int -> traps:int list -> kernel:kernel -> t -> Machine.Outcome.stop_reason

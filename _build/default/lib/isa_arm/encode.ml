@@ -1,0 +1,145 @@
+open Insn
+module Word = Memsim.Word
+
+let encode_imm v =
+  let v = Word.of_int v in
+  let rec try_rot rot =
+    if rot > 15 then None
+    else
+      (* value = ror(imm8, 2*rot)  ⇔  imm8 = rol(value, 2*rot) *)
+      let imm8 = Word.ror v (32 - (2 * rot)) in
+      if imm8 land 0xFF = imm8 then Some (rot, imm8) else try_rot (rot + 1)
+  in
+  try_rot 0
+
+let imm_encodable v = encode_imm v <> None
+
+let op2_bits = function
+  | Reg r -> (0, reg_index r)  (* I=0, no shift *)
+  | Lsl (r, amt) ->
+      if amt < 1 || amt > 31 then invalid_arg "arm encode: lsl amount out of range";
+      (0, (amt lsl 7) lor reg_index r)
+  | Imm v -> (
+      match encode_imm v with
+      | Some (rot, imm8) -> (1, (rot lsl 8) lor imm8)
+      | None ->
+          invalid_arg
+            (Printf.sprintf "arm encode: immediate %s not encodable"
+               (Word.to_hex v)))
+
+(* Data-processing: cond | 00 | I | opcode | S | Rn | Rd | op2 *)
+let dp cond ~opcode ~s ~rn ~rd op2 =
+  let i, bits = op2_bits op2 in
+  (cond_code cond lsl 28)
+  lor (i lsl 25)
+  lor (opcode lsl 21)
+  lor (s lsl 20)
+  lor (rn lsl 16)
+  lor (rd lsl 12)
+  lor bits
+
+(* Load/store word or byte: cond | 01 | I=0 | P U B W L | Rn | Rd | imm12 *)
+let ldst cond ~byte ~load ~rn ~rd off =
+  if abs off > 0xFFF then invalid_arg "arm encode: ldr/str offset out of range";
+  let u = if off >= 0 then 1 else 0 in
+  (cond_code cond lsl 28)
+  lor (0b01 lsl 26)
+  lor (1 lsl 24)  (* P: pre-indexed *)
+  lor (u lsl 23)
+  lor ((if byte then 1 else 0) lsl 22)
+  lor ((if load then 1 else 0) lsl 20)
+  lor (rn lsl 16)
+  lor (rd lsl 12)
+  lor abs off
+
+(* Register-offset load/store: cond | 011 | P=1 U=1 B W=0 L | Rn Rd | 0...0 Rm *)
+let ldst_reg cond ~byte ~load rd rn rm =
+  (cond_code cond lsl 28)
+  lor (0b011 lsl 25)
+  lor (1 lsl 24)
+  lor (1 lsl 23)
+  lor ((if byte then 1 else 0) lsl 22)
+  lor ((if load then 1 else 0) lsl 20)
+  lor (reg_index rn lsl 16)
+  lor (reg_index rd lsl 12)
+  lor reg_index rm
+
+let reglist_bits regs =
+  if regs = [] then invalid_arg "arm encode: empty register list";
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if reg_index a >= reg_index b then
+          invalid_arg "arm encode: register list must be strictly ascending";
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check regs;
+  List.fold_left (fun acc r -> acc lor (1 lsl reg_index r)) 0 regs
+
+let encode_word { cond; op } =
+  let c = cond_code cond lsl 28 in
+  match op with
+  | Mov (rd, o) -> dp cond ~opcode:0b1101 ~s:0 ~rn:0 ~rd:(reg_index rd) o
+  | Mvn (rd, o) -> dp cond ~opcode:0b1111 ~s:0 ~rn:0 ~rd:(reg_index rd) o
+  | Add (rd, rn, o) ->
+      dp cond ~opcode:0b0100 ~s:0 ~rn:(reg_index rn) ~rd:(reg_index rd) o
+  | Sub (rd, rn, o) ->
+      dp cond ~opcode:0b0010 ~s:0 ~rn:(reg_index rn) ~rd:(reg_index rd) o
+  | Rsb (rd, rn, o) ->
+      dp cond ~opcode:0b0011 ~s:0 ~rn:(reg_index rn) ~rd:(reg_index rd) o
+  | And (rd, rn, o) ->
+      dp cond ~opcode:0b0000 ~s:0 ~rn:(reg_index rn) ~rd:(reg_index rd) o
+  | Orr (rd, rn, o) ->
+      dp cond ~opcode:0b1100 ~s:0 ~rn:(reg_index rn) ~rd:(reg_index rd) o
+  | Eor (rd, rn, o) ->
+      dp cond ~opcode:0b0001 ~s:0 ~rn:(reg_index rn) ~rd:(reg_index rd) o
+  | Bic (rd, rn, o) ->
+      dp cond ~opcode:0b1110 ~s:0 ~rn:(reg_index rn) ~rd:(reg_index rd) o
+  | Mul (rd, rm, rs) ->
+      (* cond 0000000 S rd 0000 rs 1001 rm *)
+      (cond_code cond lsl 28)
+      lor (reg_index rd lsl 16)
+      lor (reg_index rs lsl 8)
+      lor (0b1001 lsl 4)
+      lor reg_index rm
+  | Cmp (rn, o) -> dp cond ~opcode:0b1010 ~s:1 ~rn:(reg_index rn) ~rd:0 o
+  | Tst (rn, o) -> dp cond ~opcode:0b1000 ~s:1 ~rn:(reg_index rn) ~rd:0 o
+  | Ldr (rd, rn, off) ->
+      ldst cond ~byte:false ~load:true ~rn:(reg_index rn) ~rd:(reg_index rd) off
+  | Str (rd, rn, off) ->
+      ldst cond ~byte:false ~load:false ~rn:(reg_index rn) ~rd:(reg_index rd) off
+  | Ldrb (rd, rn, off) ->
+      ldst cond ~byte:true ~load:true ~rn:(reg_index rn) ~rd:(reg_index rd) off
+  | Strb (rd, rn, off) ->
+      ldst cond ~byte:true ~load:false ~rn:(reg_index rn) ~rd:(reg_index rd) off
+  | Ldr_r (rd, rn, rm) -> ldst_reg cond ~byte:false ~load:true rd rn rm
+  | Str_r (rd, rn, rm) -> ldst_reg cond ~byte:false ~load:false rd rn rm
+  | Ldrb_r (rd, rn, rm) -> ldst_reg cond ~byte:true ~load:true rd rn rm
+  | Strb_r (rd, rn, rm) -> ldst_reg cond ~byte:true ~load:false rd rn rm
+  | Push regs ->
+      (* stmdb sp!, {…}: P=1 U=0 S=0 W=1 L=0, Rn=sp *)
+      c lor (0b100 lsl 25) lor (0b10010 lsl 20) lor (13 lsl 16) lor reglist_bits regs
+  | Pop regs ->
+      (* ldmia sp!, {…}: P=0 U=1 S=0 W=1 L=1, Rn=sp *)
+      c lor (0b100 lsl 25) lor (0b01011 lsl 20) lor (13 lsl 16) lor reglist_bits regs
+  | B d | Bl d ->
+      if d land 3 <> 0 then invalid_arg "arm encode: branch offset not word-aligned";
+      let words = Word.to_signed (Word.of_int d) asr 2 in
+      if words < -0x800000 || words > 0x7FFFFF then
+        invalid_arg "arm encode: branch out of range";
+      let l = match op with Bl _ -> 1 | _ -> 0 in
+      c lor (0b101 lsl 25) lor (l lsl 24) lor (words land 0xFFFFFF)
+  | Bx r -> c lor 0x012FFF10 lor reg_index r
+  | Blx_r r -> c lor 0x012FFF30 lor reg_index r
+  | Svc n ->
+      if n < 0 || n > 0xFFFFFF then invalid_arg "arm encode: svc out of range";
+      c lor (0b1111 lsl 24) lor n
+
+let encode insn =
+  let w = encode_word insn in
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr (w land 0xFF));
+  Bytes.set b 1 (Char.chr ((w lsr 8) land 0xFF));
+  Bytes.set b 2 (Char.chr ((w lsr 16) land 0xFF));
+  Bytes.set b 3 (Char.chr ((w lsr 24) land 0xFF));
+  Bytes.to_string b

@@ -1,0 +1,14 @@
+(** ARM A32 binary encoding of the {!Insn} subset (genuine encodings). *)
+
+val encode_imm : int -> (int * int) option
+(** [encode_imm v] finds [(rot, imm8)] with [v = ror imm8 (2*rot)], the A32
+    modified-immediate encoding, or [None] if [v] is not encodable. *)
+
+val imm_encodable : int -> bool
+
+val encode_word : Insn.t -> int
+(** The 32-bit instruction word.  Raises [Invalid_argument] for
+    non-encodable immediates or malformed register lists. *)
+
+val encode : Insn.t -> string
+(** Little-endian byte rendering of {!encode_word} (4 bytes). *)

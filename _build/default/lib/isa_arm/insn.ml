@@ -1,0 +1,237 @@
+(* ARMv7 A32 instruction subset with genuine encodings (see encode.ml).
+   Chosen to cover the paper's ARM-side requirements: register-passed
+   arguments (r0-r3), the link register, `pop {…, pc}` function returns and
+   gadgets, `blx rN` trampolines, `svc` system calls, and the 4-byte
+   `mov r1, r1` NOP used for ARM sleds (§III-A2). *)
+
+type reg =
+  | R0
+  | R1
+  | R2
+  | R3
+  | R4
+  | R5
+  | R6
+  | R7
+  | R8
+  | R9
+  | R10
+  | R11  (* fp *)
+  | R12  (* ip *)
+  | SP
+  | LR
+  | PC
+
+let reg_index = function
+  | R0 -> 0
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | R6 -> 6
+  | R7 -> 7
+  | R8 -> 8
+  | R9 -> 9
+  | R10 -> 10
+  | R11 -> 11
+  | R12 -> 12
+  | SP -> 13
+  | LR -> 14
+  | PC -> 15
+
+let reg_of_index = function
+  | 0 -> R0
+  | 1 -> R1
+  | 2 -> R2
+  | 3 -> R3
+  | 4 -> R4
+  | 5 -> R5
+  | 6 -> R6
+  | 7 -> R7
+  | 8 -> R8
+  | 9 -> R9
+  | 10 -> R10
+  | 11 -> R11
+  | 12 -> R12
+  | 13 -> SP
+  | 14 -> LR
+  | 15 -> PC
+  | n -> invalid_arg (Printf.sprintf "reg_of_index: %d" n)
+
+let reg_name = function
+  | R0 -> "r0"
+  | R1 -> "r1"
+  | R2 -> "r2"
+  | R3 -> "r3"
+  | R4 -> "r4"
+  | R5 -> "r5"
+  | R6 -> "r6"
+  | R7 -> "r7"
+  | R8 -> "r8"
+  | R9 -> "r9"
+  | R10 -> "r10"
+  | R11 -> "fp"
+  | R12 -> "ip"
+  | SP -> "sp"
+  | LR -> "lr"
+  | PC -> "pc"
+
+type cond = EQ | NE | CS | CC | MI | PL | HI | LS | GE | LT | GT | LE | AL
+
+let cond_code = function
+  | EQ -> 0x0
+  | NE -> 0x1
+  | CS -> 0x2
+  | CC -> 0x3
+  | MI -> 0x4
+  | PL -> 0x5
+  | HI -> 0x8
+  | LS -> 0x9
+  | GE -> 0xA
+  | LT -> 0xB
+  | GT -> 0xC
+  | LE -> 0xD
+  | AL -> 0xE
+
+let cond_of_code = function
+  | 0x0 -> Some EQ
+  | 0x1 -> Some NE
+  | 0x2 -> Some CS
+  | 0x3 -> Some CC
+  | 0x4 -> Some MI
+  | 0x5 -> Some PL
+  | 0x8 -> Some HI
+  | 0x9 -> Some LS
+  | 0xA -> Some GE
+  | 0xB -> Some LT
+  | 0xC -> Some GT
+  | 0xD -> Some LE
+  | 0xE -> Some AL
+  | _ -> None
+
+let cond_name = function
+  | EQ -> "eq"
+  | NE -> "ne"
+  | CS -> "cs"
+  | CC -> "cc"
+  | MI -> "mi"
+  | PL -> "pl"
+  | HI -> "hi"
+  | LS -> "ls"
+  | GE -> "ge"
+  | LT -> "lt"
+  | GT -> "gt"
+  | LE -> "le"
+  | AL -> ""
+
+(* Data-processing second operand: an encodable rotated immediate, a plain
+   register, or a register shifted left by a constant (the only shift form
+   in the subset). *)
+type op2 = Imm of int | Reg of reg | Lsl of reg * int
+
+type op =
+  | Mov of reg * op2
+  | Mvn of reg * op2
+  | Add of reg * reg * op2
+  | Sub of reg * reg * op2
+  | Rsb of reg * reg * op2
+  | And of reg * reg * op2
+  | Orr of reg * reg * op2
+  | Eor of reg * reg * op2
+  | Bic of reg * reg * op2
+  | Mul of reg * reg * reg  (* mul rd, rm, rs *)
+  | Cmp of reg * op2
+  | Tst of reg * op2
+  | Ldr of reg * reg * int  (* ldr rd, [rn, #+/-imm12] *)
+  | Str of reg * reg * int
+  | Ldrb of reg * reg * int
+  | Strb of reg * reg * int
+  | Ldr_r of reg * reg * reg  (* ldr rd, [rn, rm] *)
+  | Str_r of reg * reg * reg
+  | Ldrb_r of reg * reg * reg
+  | Strb_r of reg * reg * reg
+  | Push of reg list  (* stmdb sp!, {…} — ascending register order *)
+  | Pop of reg list  (* ldmia sp!, {…} *)
+  | B of int  (* byte displacement from pc+8, multiple of 4 *)
+  | Bl of int
+  | Bx of reg
+  | Blx_r of reg
+  | Svc of int
+
+type t = { cond : cond; op : op }
+
+let al op = { cond = AL; op }
+
+let nop = al (Mov (R1, Reg R1))
+(* `mov r1, r1` — the effect-free ARM NOP the paper uses for its sled. *)
+
+let pp_op2 ppf = function
+  | Imm i -> Format.fprintf ppf "#%d" i
+  | Reg r -> Format.pp_print_string ppf (reg_name r)
+  | Lsl (r, amt) -> Format.fprintf ppf "%s, lsl #%d" (reg_name r) amt
+
+let pp_reglist ppf regs =
+  Format.fprintf ppf "{%s}" (String.concat ", " (List.map reg_name regs))
+
+let pp_mem ppf rn off =
+  if off = 0 then Format.fprintf ppf "[%s]" (reg_name rn)
+  else Format.fprintf ppf "[%s, #%d]" (reg_name rn) off
+
+let pp ppf { cond; op } =
+  let c = cond_name cond in
+  match op with
+  | Mov (rd, o) -> Format.fprintf ppf "mov%s %s, %a" c (reg_name rd) pp_op2 o
+  | Mvn (rd, o) -> Format.fprintf ppf "mvn%s %s, %a" c (reg_name rd) pp_op2 o
+  | Add (rd, rn, o) ->
+      Format.fprintf ppf "add%s %s, %s, %a" c (reg_name rd) (reg_name rn) pp_op2 o
+  | Sub (rd, rn, o) ->
+      Format.fprintf ppf "sub%s %s, %s, %a" c (reg_name rd) (reg_name rn) pp_op2 o
+  | Rsb (rd, rn, o) ->
+      Format.fprintf ppf "rsb%s %s, %s, %a" c (reg_name rd) (reg_name rn) pp_op2 o
+  | And (rd, rn, o) ->
+      Format.fprintf ppf "and%s %s, %s, %a" c (reg_name rd) (reg_name rn) pp_op2 o
+  | Orr (rd, rn, o) ->
+      Format.fprintf ppf "orr%s %s, %s, %a" c (reg_name rd) (reg_name rn) pp_op2 o
+  | Eor (rd, rn, o) ->
+      Format.fprintf ppf "eor%s %s, %s, %a" c (reg_name rd) (reg_name rn) pp_op2 o
+  | Bic (rd, rn, o) ->
+      Format.fprintf ppf "bic%s %s, %s, %a" c (reg_name rd) (reg_name rn) pp_op2 o
+  | Mul (rd, rm, rs) ->
+      Format.fprintf ppf "mul%s %s, %s, %s" c (reg_name rd) (reg_name rm)
+        (reg_name rs)
+  | Cmp (rn, o) -> Format.fprintf ppf "cmp%s %s, %a" c (reg_name rn) pp_op2 o
+  | Tst (rn, o) -> Format.fprintf ppf "tst%s %s, %a" c (reg_name rn) pp_op2 o
+  | Ldr (rd, rn, off) ->
+      Format.fprintf ppf "ldr%s %s, " c (reg_name rd);
+      pp_mem ppf rn off
+  | Str (rd, rn, off) ->
+      Format.fprintf ppf "str%s %s, " c (reg_name rd);
+      pp_mem ppf rn off
+  | Ldrb (rd, rn, off) ->
+      Format.fprintf ppf "ldrb%s %s, " c (reg_name rd);
+      pp_mem ppf rn off
+  | Strb (rd, rn, off) ->
+      Format.fprintf ppf "strb%s %s, " c (reg_name rd);
+      pp_mem ppf rn off
+  | Ldr_r (rd, rn, rm) ->
+      Format.fprintf ppf "ldr%s %s, [%s, %s]" c (reg_name rd) (reg_name rn)
+        (reg_name rm)
+  | Str_r (rd, rn, rm) ->
+      Format.fprintf ppf "str%s %s, [%s, %s]" c (reg_name rd) (reg_name rn)
+        (reg_name rm)
+  | Ldrb_r (rd, rn, rm) ->
+      Format.fprintf ppf "ldrb%s %s, [%s, %s]" c (reg_name rd) (reg_name rn)
+        (reg_name rm)
+  | Strb_r (rd, rn, rm) ->
+      Format.fprintf ppf "strb%s %s, [%s, %s]" c (reg_name rd) (reg_name rn)
+        (reg_name rm)
+  | Push regs -> Format.fprintf ppf "push%s %a" c pp_reglist regs
+  | Pop regs -> Format.fprintf ppf "pop%s %a" c pp_reglist regs
+  | B d -> Format.fprintf ppf "b%s .%+d" c d
+  | Bl d -> Format.fprintf ppf "bl%s .%+d" c d
+  | Bx r -> Format.fprintf ppf "bx%s %s" c (reg_name r)
+  | Blx_r r -> Format.fprintf ppf "blx%s %s" c (reg_name r)
+  | Svc n -> Format.fprintf ppf "svc%s #0x%x" c n
+
+let to_string i = Format.asprintf "%a" pp i

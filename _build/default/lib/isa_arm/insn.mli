@@ -1,0 +1,82 @@
+(** ARMv7 A32 instruction subset (genuine encodings; see {!Encode} /
+    {!Decode}).
+
+    Chosen to cover the paper's ARM-side requirements: register-passed
+    arguments (r0–r3), the link register, [pop {…, pc}] function returns
+    and gadgets, [blx rN] trampolines, [svc] system calls, and the 4-byte
+    [mov r1, r1] NOP used for ARM sleds (§III-A2). *)
+
+type reg =
+  | R0
+  | R1
+  | R2
+  | R3
+  | R4
+  | R5
+  | R6
+  | R7
+  | R8
+  | R9
+  | R10
+  | R11  (** fp *)
+  | R12  (** ip *)
+  | SP
+  | LR
+  | PC
+
+val reg_index : reg -> int
+val reg_of_index : int -> reg
+val reg_name : reg -> string
+
+type cond = EQ | NE | CS | CC | MI | PL | HI | LS | GE | LT | GT | LE | AL
+
+val cond_code : cond -> int
+val cond_of_code : int -> cond option
+val cond_name : cond -> string
+(** Suffix form (["eq"], ["ne"], …; [""] for AL). *)
+
+type op2 = Imm of int | Reg of reg | Lsl of reg * int
+(** Data-processing second operand: an encodable rotated immediate, a
+    plain register, or a register shifted left by a constant (the only
+    shift form in the subset). *)
+
+type op =
+  | Mov of reg * op2
+  | Mvn of reg * op2
+  | Add of reg * reg * op2
+  | Sub of reg * reg * op2
+  | Rsb of reg * reg * op2
+  | And of reg * reg * op2
+  | Orr of reg * reg * op2
+  | Eor of reg * reg * op2
+  | Bic of reg * reg * op2
+  | Mul of reg * reg * reg  (** [mul rd, rm, rs] *)
+  | Cmp of reg * op2
+  | Tst of reg * op2
+  | Ldr of reg * reg * int  (** [ldr rd, \[rn, #±imm12\]] *)
+  | Str of reg * reg * int
+  | Ldrb of reg * reg * int
+  | Strb of reg * reg * int
+  | Ldr_r of reg * reg * reg  (** [ldr rd, \[rn, rm\]] *)
+  | Str_r of reg * reg * reg
+  | Ldrb_r of reg * reg * reg
+  | Strb_r of reg * reg * reg
+  | Push of reg list  (** [stmdb sp!, {…}] — strictly ascending list *)
+  | Pop of reg list  (** [ldmia sp!, {…}] *)
+  | B of int  (** byte displacement from pc+8, multiple of 4 *)
+  | Bl of int
+  | Bx of reg
+  | Blx_r of reg
+  | Svc of int
+
+type t = { cond : cond; op : op }
+
+val al : op -> t
+(** Unconditional. *)
+
+val nop : t
+(** [mov r1, r1] — the effect-free ARM NOP the paper's sled uses. *)
+
+val pp_op2 : Format.formatter -> op2 -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/isa_x86/asm.ml: Buffer Char Decode Encode Hashtbl Insn List Memsim String

@@ -1,0 +1,1 @@
+lib/isa_x86/decode.ml: Insn Memsim

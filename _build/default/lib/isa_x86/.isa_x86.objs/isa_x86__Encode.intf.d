@@ -1,0 +1,1 @@
+lib/isa_x86/encode.mli: Insn

@@ -1,0 +1,1 @@
+lib/isa_x86/insn.ml: Format Memsim Printf

@@ -1,0 +1,292 @@
+open Insn
+module Mem = Memsim.Memory
+module Word = Memsim.Word
+module Outcome = Machine.Outcome
+
+type t = {
+  mem : Mem.t;
+  regs : int array;
+  mutable eip : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable o_f : bool;
+  mutable shadow : int list;
+  mutable cfi : bool;
+  mutable steps : int;
+}
+
+let create ?(cfi = false) mem =
+  {
+    mem;
+    regs = Array.make 8 0;
+    eip = 0;
+    zf = false;
+    sf = false;
+    cf = false;
+    o_f = false;
+    shadow = [];
+    cfi;
+    steps = 0;
+  }
+
+let get t r = t.regs.(reg_index r)
+let set t r v = t.regs.(reg_index r) <- Word.of_int v
+
+let push t v =
+  let esp = Word.sub (get t ESP) 4 in
+  set t ESP esp;
+  Mem.write_u32 t.mem esp v
+
+let pop t =
+  let esp = get t ESP in
+  let v = Mem.read_u32 t.mem esp in
+  set t ESP (Word.add esp 4);
+  v
+
+let ea t { base; disp } =
+  match base with
+  | None -> Word.of_int disp
+  | Some r -> Word.add (get t r) disp
+
+let read_op t = function Reg r -> get t r | Mem m -> Mem.read_u32 t.mem (ea t m)
+
+let write_op t op v =
+  match op with Reg r -> set t r v | Mem m -> Mem.write_u32 t.mem (ea t m) v
+
+let read_op8 t = function
+  | Reg r -> get t r land 0xFF
+  | Mem m -> Mem.read_u8 t.mem (ea t m)
+
+let write_op8 t op v =
+  match op with
+  | Reg r -> set t r (get t r land 0xFFFF_FF00 lor (v land 0xFF))
+  | Mem m -> Mem.write_u8 t.mem (ea t m) (v land 0xFF)
+
+(* Flag helpers.  Only ZF/SF/CF/OF are modelled; that is all the subset's
+   conditional branches consult. *)
+
+let set_logic_flags t res =
+  t.zf <- res = 0;
+  t.sf <- Word.bit res 31;
+  t.cf <- false;
+  t.o_f <- false
+
+let set_add_flags t a b res =
+  t.zf <- res = 0;
+  t.sf <- Word.bit res 31;
+  t.cf <- a + b > Word.mask;
+  t.o_f <- Word.bit a 31 = Word.bit b 31 && Word.bit res 31 <> Word.bit a 31
+
+let set_sub_flags t a b res =
+  t.zf <- res = 0;
+  t.sf <- Word.bit res 31;
+  t.cf <- a < b;
+  t.o_f <- Word.bit a 31 <> Word.bit b 31 && Word.bit res 31 <> Word.bit a 31
+
+let cond_holds t = function
+  | E -> t.zf
+  | NE -> not t.zf
+  | B -> t.cf
+  | AE -> not t.cf
+  | BE -> t.cf || t.zf
+  | A -> (not t.cf) && not t.zf
+  | L -> t.sf <> t.o_f
+  | GE -> t.sf = t.o_f
+  | LE -> t.zf || t.sf <> t.o_f
+  | G -> (not t.zf) && t.sf = t.o_f
+  | S -> t.sf
+  | NS -> not t.sf
+
+type kernel = int -> t -> Outcome.syscall_result
+
+(* Return-edge CFI: every call pushes the return address onto the shadow
+   stack; every ret must transfer to the address on top.  This is the
+   hardware-shadow-stack model of CFI CaRE (Nyman et al. 2017). *)
+let check_return t target =
+  if not t.cfi then None
+  else
+    match t.shadow with
+    | expected :: rest when expected = target ->
+        t.shadow <- rest;
+        None
+    | expected :: _ ->
+        Some (Outcome.Cfi_violation { at = t.eip; expected; got = target })
+    | [] -> Some (Outcome.Cfi_violation { at = t.eip; expected = 0; got = target })
+
+let do_call t target ret_addr =
+  push t ret_addr;
+  if t.cfi then t.shadow <- ret_addr :: t.shadow;
+  t.eip <- target
+
+let step t ~kernel =
+  let start = t.eip in
+  match Decode.decode t.mem start with
+  | exception Decode.Error { addr; byte } ->
+      Some (Outcome.Decode_error { addr; byte })
+  | exception Mem.Fault f -> Some (Outcome.Fault f)
+  | insn, size -> (
+      let next = Word.add start size in
+      t.eip <- next;
+      t.steps <- t.steps + 1;
+      let binop setf op d s =
+        let a = read_op t d and b = read_op t s in
+        let res = op a b in
+        write_op t d res;
+        setf t a b res;
+        None
+      in
+      try
+        match insn with
+        | Nop -> None
+        | Push_r r ->
+            push t (get t r);
+            None
+        | Push_i i ->
+            push t (Word.of_int i);
+            None
+        | Push_i8 i ->
+            push t (Word.sign8 (i land 0xFF));
+            None
+        | Push_m m ->
+            push t (Mem.read_u32 t.mem (ea t m));
+            None
+        | Pop_r r ->
+            set t r (pop t);
+            None
+        | Mov_ri (r, i) ->
+            set t r i;
+            None
+        | Mov (d, s) ->
+            write_op t d (read_op t s);
+            None
+        | Mov_mi (d, i) ->
+            write_op t d (Word.of_int i);
+            None
+        | Mov_b (d, s) ->
+            write_op8 t d (read_op8 t s);
+            None
+        | Movzx_b (r, s) ->
+            set t r (read_op8 t s);
+            None
+        | Lea (r, m) ->
+            set t r (ea t m);
+            None
+        | Add (d, s) -> binop set_add_flags Word.add d s
+        | Add_i (d, i) ->
+            let a = read_op t d and b = Word.of_int i in
+            let res = Word.add a b in
+            write_op t d res;
+            set_add_flags t a b res;
+            None
+        | Sub (d, s) -> binop set_sub_flags Word.sub d s
+        | Sub_i (d, i) ->
+            let a = read_op t d and b = Word.of_int i in
+            let res = Word.sub a b in
+            write_op t d res;
+            set_sub_flags t a b res;
+            None
+        | And (d, s) -> binop (fun t _ _ r -> set_logic_flags t r) ( land ) d s
+        | Or (d, s) -> binop (fun t _ _ r -> set_logic_flags t r) ( lor ) d s
+        | Xor (d, s) -> binop (fun t _ _ r -> set_logic_flags t r) ( lxor ) d s
+        | Cmp (d, s) ->
+            let a = read_op t d and b = read_op t s in
+            set_sub_flags t a b (Word.sub a b);
+            None
+        | Cmp_i (d, i) ->
+            let a = read_op t d and b = Word.of_int i in
+            set_sub_flags t a b (Word.sub a b);
+            None
+        | Test_rr (a, b) ->
+            set_logic_flags t (get t a land get t b);
+            None
+        | Inc_r r ->
+            let a = get t r in
+            let res = Word.add a 1 in
+            set t r res;
+            t.zf <- res = 0;
+            t.sf <- Word.bit res 31;
+            None
+        | Dec_r r ->
+            let a = get t r in
+            let res = Word.sub a 1 in
+            set t r res;
+            t.zf <- res = 0;
+            t.sf <- Word.bit res 31;
+            None
+        | Shl_i (r, i) ->
+            let res = Word.of_int (get t r lsl (i land 31)) in
+            set t r res;
+            set_logic_flags t res;
+            None
+        | Shr_i (r, i) ->
+            let res = get t r lsr (i land 31) in
+            set t r res;
+            set_logic_flags t res;
+            None
+        | Neg o ->
+            let v = Word.neg (read_op t o) in
+            write_op t o v;
+            t.zf <- v = 0;
+            t.sf <- Word.bit v 31;
+            t.cf <- v <> 0;
+            None
+        | Not o ->
+            write_op t o (Word.lognot (read_op t o));
+            None
+        | Imul (r, o) ->
+            let v = Word.mul (get t r) (read_op t o) in
+            set t r v;
+            None
+        | Call_rel d ->
+            do_call t (Word.add next d) next;
+            None
+        | Call_rm o ->
+            do_call t (read_op t o) next;
+            None
+        | Jmp_rel d | Jmp_short d ->
+            t.eip <- Word.add next d;
+            None
+        | Jmp_rm o ->
+            t.eip <- read_op t o;
+            None
+        | Jcc (c, d) | Jcc_short (c, d) ->
+            if cond_holds t c then t.eip <- Word.add next d;
+            None
+        | Ret -> (
+            let target = pop t in
+            match check_return t target with
+            | Some stop -> Some stop
+            | None ->
+                t.eip <- target;
+                None)
+        | Ret_i n -> (
+            let target = pop t in
+            match check_return t target with
+            | Some stop -> Some stop
+            | None ->
+                set t ESP (Word.add (get t ESP) n);
+                t.eip <- target;
+                None)
+        | Leave -> (
+            set t ESP (get t EBP);
+            set t EBP (pop t);
+            None)
+        | Int n -> (
+            match kernel n t with
+            | Outcome.Resume -> None
+            | Outcome.Stop reason -> Some reason)
+        | Hlt -> Some Outcome.Halted
+      with Mem.Fault f ->
+        Some (Outcome.Fault f))
+
+let run ?(fuel = 2_000_000) ~traps ~kernel t =
+  let rec loop budget =
+    if budget <= 0 then Outcome.Fuel_exhausted
+    else if List.mem t.eip traps then Outcome.Halted
+    else
+      match step t ~kernel with
+      | Some reason -> reason
+      | None -> loop (budget - 1)
+  in
+  loop fuel

@@ -1,0 +1,47 @@
+(** x86-32 interpreter over {!Memsim.Memory}.
+
+    Faithfully models the properties the paper's exploits rest on:
+    instruction fetch goes through page permissions (so W⊕X is a real NX
+    check, not a flag), [call]/[ret] move real bytes through the simulated
+    stack (so a smashed return address genuinely redirects control), and
+    arguments are passed on the stack (cdecl).
+
+    An optional shadow stack implements the return-edge half of CFI
+    (the CFI CaRE analogue of the paper's §IV). *)
+
+type t = {
+  mem : Memsim.Memory.t;
+  regs : int array;  (** eight GPRs indexed by {!Insn.reg_index} *)
+  mutable eip : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable o_f : bool;
+  mutable shadow : int list;  (** CFI shadow stack (empty when disabled) *)
+  mutable cfi : bool;
+  mutable steps : int;  (** instructions retired, for benches *)
+}
+
+val create : ?cfi:bool -> Memsim.Memory.t -> t
+
+val get : t -> Insn.reg -> int
+val set : t -> Insn.reg -> int -> unit
+
+val push : t -> int -> unit
+(** Decrement [esp] by 4 and store a 32-bit word. *)
+
+val pop : t -> int
+(** Load a 32-bit word and increment [esp] by 4. *)
+
+type kernel = int -> t -> Machine.Outcome.syscall_result
+(** System-call handler: receives the [int n] vector number and the CPU
+    (registers carry the arguments, eax the syscall number by Linux i386
+    convention). *)
+
+val step : t -> kernel:kernel -> Machine.Outcome.stop_reason option
+(** Execute one instruction.  [None] means keep running. *)
+
+val run :
+  ?fuel:int -> traps:int list -> kernel:kernel -> t -> Machine.Outcome.stop_reason
+(** Run until a trap address is reached ([Halted]), a stop condition fires,
+    or [fuel] instructions (default 2_000_000) have retired. *)

@@ -1,0 +1,177 @@
+open Insn
+
+exception Error of { addr : int; byte : int }
+
+let decode_with get addr =
+  let pos = ref addr in
+  let u8 () =
+    let v = get !pos in
+    incr pos;
+    v land 0xFF
+  in
+  let u16 () =
+    let lo = u8 () in
+    lo lor (u8 () lsl 8)
+  in
+  let u32 () =
+    let b0 = u8 () in
+    let b1 = u8 () in
+    let b2 = u8 () in
+    let b3 = u8 () in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  in
+  let i8 () = Memsim.Word.to_signed (Memsim.Word.sign8 (u8 ())) in
+  let i32 () = Memsim.Word.to_signed (u32 ()) in
+  let bad byte = raise (Error { addr; byte }) in
+  (* Returns (reg_field, r/m operand). *)
+  let modrm () =
+    let m = u8 () in
+    let md = m lsr 6 and reg_field = (m lsr 3) land 7 and rm = m land 7 in
+    let operand =
+      if md = 3 then Reg (reg_of_index rm)
+      else begin
+        let base =
+          if rm = 4 then begin
+            (* SIB: only "no index, base=esp" (0x24) is in the subset. *)
+            let sib = u8 () in
+            if sib <> 0x24 then bad sib;
+            Some ESP
+          end
+          else if rm = 5 && md = 0 then None
+          else Some (reg_of_index rm)
+        in
+        let disp =
+          match (md, base) with
+          | 0, None -> i32 ()
+          | 0, Some _ -> 0
+          | 1, _ -> i8 ()
+          | 2, _ -> i32 ()
+          | _ -> assert false
+        in
+        Mem { base; disp }
+      end
+    in
+    (reg_field, operand)
+  in
+  let alu_store build =
+    let reg_field, rm = modrm () in
+    build rm (Reg (reg_of_index reg_field))
+  in
+  let alu_load build =
+    let reg_field, rm = modrm () in
+    (* The reg,reg form canonically encodes via the store opcode; decoding a
+       load-form reg,reg would break encode/decode round-tripping, so it is
+       rejected (assemblers in practice emit the store form too). *)
+    match rm with
+    | Reg _ -> bad 0x8B
+    | Mem _ -> build (Reg (reg_of_index reg_field)) rm
+  in
+  let opcode = u8 () in
+  let insn =
+    match opcode with
+    | 0x90 -> Nop
+    | b when b >= 0x50 && b <= 0x57 -> Push_r (reg_of_index (b - 0x50))
+    | b when b >= 0x58 && b <= 0x5F -> Pop_r (reg_of_index (b - 0x58))
+    | 0x68 -> Push_i (u32 ())
+    | 0x6A -> Push_i8 (i8 ())
+    | b when b >= 0xB8 && b <= 0xBF -> Mov_ri (reg_of_index (b - 0xB8), u32 ())
+    | 0x89 -> alu_store (fun d s -> Mov (d, s))
+    | 0x8B -> alu_load (fun d s -> Mov (d, s))
+    | 0x88 -> alu_store (fun d s -> Mov_b (d, s))
+    | 0x8A -> alu_load (fun d s -> Mov_b (d, s))
+    | 0x0F -> begin
+        let ext = u8 () in
+        match ext with
+        | 0xB6 ->
+            let reg_field, rm = modrm () in
+            Movzx_b (reg_of_index reg_field, rm)
+        | 0xAF ->
+            let reg_field, rm = modrm () in
+            Imul (reg_of_index reg_field, rm)
+        | e when e >= 0x80 && e <= 0x8F -> begin
+            match cond_of_code (e land 0xF) with
+            | Some c -> Jcc (c, i32 ())
+            | None -> bad ext
+          end
+        | _ -> bad ext
+      end
+    | 0x8D -> begin
+        let reg_field, rm = modrm () in
+        match rm with
+        | Mem m -> Lea (reg_of_index reg_field, m)
+        | Reg _ -> bad opcode
+      end
+    | 0x01 -> alu_store (fun d s -> Add (d, s))
+    | 0x03 -> alu_load (fun d s -> Add (d, s))
+    | 0x29 -> alu_store (fun d s -> Sub (d, s))
+    | 0x2B -> alu_load (fun d s -> Sub (d, s))
+    | 0x21 -> alu_store (fun d s -> And (d, s))
+    | 0x23 -> alu_load (fun d s -> And (d, s))
+    | 0x09 -> alu_store (fun d s -> Or (d, s))
+    | 0x0B -> alu_load (fun d s -> Or (d, s))
+    | 0x31 -> alu_store (fun d s -> Xor (d, s))
+    | 0x33 -> alu_load (fun d s -> Xor (d, s))
+    | 0x39 -> alu_store (fun d s -> Cmp (d, s))
+    | 0x3B -> alu_load (fun d s -> Cmp (d, s))
+    | 0x85 -> begin
+        let reg_field, rm = modrm () in
+        match rm with
+        | Reg a -> Test_rr (a, reg_of_index reg_field)
+        | Mem _ -> bad opcode
+      end
+    | 0x83 | 0x81 -> begin
+        let ext, rm = modrm () in
+        let imm = if opcode = 0x83 then i8 () else i32 () in
+        match ext with
+        | 0 -> Add_i (rm, imm)
+        | 5 -> Sub_i (rm, imm)
+        | 7 -> Cmp_i (rm, imm)
+        | _ -> bad opcode
+      end
+    | 0xC7 -> begin
+        let ext, rm = modrm () in
+        match ext with 0 -> Mov_mi (rm, u32 ()) | _ -> bad opcode
+      end
+    | 0xF7 -> begin
+        let ext, rm = modrm () in
+        match ext with
+        | 2 -> Not rm
+        | 3 -> Neg rm
+        | _ -> bad opcode
+      end
+    | b when b >= 0x70 && b <= 0x7F -> begin
+        match cond_of_code (b land 0xF) with
+        | Some c -> Jcc_short (c, i8 ())
+        | None -> bad b
+      end
+    | 0xEB -> Jmp_short (i8 ())
+    | 0xC1 -> begin
+        let ext, rm = modrm () in
+        match (ext, rm) with
+        | 4, Reg r -> Shl_i (r, u8 ())
+        | 5, Reg r -> Shr_i (r, u8 ())
+        | _ -> bad opcode
+      end
+    | b when b >= 0x40 && b <= 0x47 -> Inc_r (reg_of_index (b - 0x40))
+    | b when b >= 0x48 && b <= 0x4F -> Dec_r (reg_of_index (b - 0x48))
+    | 0xE8 -> Call_rel (i32 ())
+    | 0xE9 -> Jmp_rel (i32 ())
+    | 0xFF -> begin
+        let ext, rm = modrm () in
+        match (ext, rm) with
+        | 2, _ -> Call_rm rm
+        | 4, _ -> Jmp_rm rm
+        | 6, Mem m -> Push_m m
+        | _ -> bad opcode
+      end
+    | 0xC3 -> Ret
+    | 0xC2 -> Ret_i (u16 ())
+    | 0xC9 -> Leave
+    | 0xCD -> Int (u8 ())
+    | 0xF4 -> Hlt
+    | b -> bad b
+  in
+  (insn, !pos - addr)
+
+let decode mem addr = decode_with (Memsim.Memory.fetch_u8 mem) addr
+let decode_peek mem addr = decode_with (Memsim.Memory.read_u8 mem) addr

@@ -1,0 +1,196 @@
+(* x86-32 instruction subset, using genuine IA-32 encodings (see encode.ml /
+   decode.ml).  The subset is chosen to cover everything the paper's
+   exploits rely on: stack-passed arguments, 1-byte NOP sleds, `ret`-
+   terminated gadgets, PLT-style indirect jumps, and `int 0x80`. *)
+
+type reg = EAX | ECX | EDX | EBX | ESP | EBP | ESI | EDI
+
+let reg_index = function
+  | EAX -> 0
+  | ECX -> 1
+  | EDX -> 2
+  | EBX -> 3
+  | ESP -> 4
+  | EBP -> 5
+  | ESI -> 6
+  | EDI -> 7
+
+let reg_of_index = function
+  | 0 -> EAX
+  | 1 -> ECX
+  | 2 -> EDX
+  | 3 -> EBX
+  | 4 -> ESP
+  | 5 -> EBP
+  | 6 -> ESI
+  | 7 -> EDI
+  | n -> invalid_arg (Printf.sprintf "reg_of_index: %d" n)
+
+let reg_name = function
+  | EAX -> "eax"
+  | ECX -> "ecx"
+  | EDX -> "edx"
+  | EBX -> "ebx"
+  | ESP -> "esp"
+  | EBP -> "ebp"
+  | ESI -> "esi"
+  | EDI -> "edi"
+
+(* [base + disp] addressing; [base = None] is absolute [disp].  Index/scale
+   addressing is not in the subset — the assembler never emits it and the
+   decoder rejects it, which simply shrinks the space of decodable gadgets. *)
+type mem = { base : reg option; disp : int }
+
+type operand = Reg of reg | Mem of mem
+
+type cond = E | NE | B | AE | BE | A | L | GE | LE | G | S | NS
+
+let cond_code = function
+  | B -> 0x2
+  | AE -> 0x3
+  | E -> 0x4
+  | NE -> 0x5
+  | BE -> 0x6
+  | A -> 0x7
+  | S -> 0x8
+  | NS -> 0x9
+  | L -> 0xC
+  | GE -> 0xD
+  | LE -> 0xE
+  | G -> 0xF
+
+let cond_of_code = function
+  | 0x2 -> Some B
+  | 0x3 -> Some AE
+  | 0x4 -> Some E
+  | 0x5 -> Some NE
+  | 0x6 -> Some BE
+  | 0x7 -> Some A
+  | 0x8 -> Some S
+  | 0x9 -> Some NS
+  | 0xC -> Some L
+  | 0xD -> Some GE
+  | 0xE -> Some LE
+  | 0xF -> Some G
+  | _ -> None
+
+let cond_name = function
+  | E -> "e"
+  | NE -> "ne"
+  | B -> "b"
+  | AE -> "ae"
+  | BE -> "be"
+  | A -> "a"
+  | L -> "l"
+  | GE -> "ge"
+  | LE -> "le"
+  | G -> "g"
+  | S -> "s"
+  | NS -> "ns"
+
+type t =
+  | Nop  (* 90 *)
+  | Push_r of reg  (* 50+r *)
+  | Push_i of int  (* 68 id *)
+  | Push_i8 of int  (* 6A ib, sign-extended *)
+  | Push_m of mem  (* FF /6 *)
+  | Pop_r of reg  (* 58+r *)
+  | Mov_ri of reg * int  (* B8+r id *)
+  | Mov_mi of operand * int  (* C7 /0 id *)
+  | Mov of operand * operand  (* 89 /r store, 8B /r load *)
+  | Mov_b of operand * operand  (* 88 /r store byte, 8A /r load byte *)
+  | Movzx_b of reg * operand  (* 0F B6 /r *)
+  | Lea of reg * mem  (* 8D /r *)
+  | Add of operand * operand  (* 01 /r, 03 /r *)
+  | Add_i of operand * int  (* 83 /0 ib or 81 /0 id *)
+  | Sub of operand * operand  (* 29 /r, 2B /r *)
+  | Sub_i of operand * int  (* 83 /5 ib or 81 /5 id *)
+  | And of operand * operand  (* 21 /r, 23 /r *)
+  | Or of operand * operand  (* 09 /r, 0B /r *)
+  | Xor of operand * operand  (* 31 /r, 33 /r *)
+  | Cmp of operand * operand  (* 39 /r, 3B /r *)
+  | Cmp_i of operand * int  (* 83 /7 ib or 81 /7 id *)
+  | Test_rr of reg * reg  (* 85 /r *)
+  | Inc_r of reg  (* 40+r *)
+  | Dec_r of reg  (* 48+r *)
+  | Shl_i of reg * int  (* C1 /4 ib *)
+  | Shr_i of reg * int  (* C1 /5 ib *)
+  | Neg of operand  (* F7 /3 *)
+  | Not of operand  (* F7 /2 *)
+  | Imul of reg * operand  (* 0F AF /r *)
+  | Call_rel of int  (* E8 cd; signed displacement from next insn *)
+  | Call_rm of operand  (* FF /2 *)
+  | Jmp_rel of int  (* E9 cd *)
+  | Jmp_short of int  (* EB cb *)
+  | Jmp_rm of operand  (* FF /4 *)
+  | Jcc of cond * int  (* 0F 80+cc cd *)
+  | Jcc_short of cond * int  (* 70+cc cb *)
+  | Ret  (* C3 *)
+  | Ret_i of int  (* C2 iw *)
+  | Leave  (* C9 *)
+  | Int of int  (* CD ib *)
+  | Hlt  (* F4 *)
+
+let pp_mem ppf { base; disp } =
+  match base with
+  | None -> Format.fprintf ppf "[0x%x]" (Memsim.Word.of_int disp)
+  | Some r ->
+      if disp = 0 then Format.fprintf ppf "[%s]" (reg_name r)
+      else if disp > 0 then Format.fprintf ppf "[%s+0x%x]" (reg_name r) disp
+      else Format.fprintf ppf "[%s-0x%x]" (reg_name r) (-disp)
+
+let pp_operand ppf = function
+  | Reg r -> Format.pp_print_string ppf (reg_name r)
+  | Mem m -> pp_mem ppf m
+
+let pp_2op ppf name dst src =
+  Format.fprintf ppf "%s %a, %a" name pp_operand dst pp_operand src
+
+(* Relative branch targets are printed as displacements; [Asm.disassemble]
+   resolves them to absolute addresses when the instruction address is
+   known. *)
+let pp ppf = function
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Push_r r -> Format.fprintf ppf "push %s" (reg_name r)
+  | Push_i i -> Format.fprintf ppf "push 0x%x" (Memsim.Word.of_int i)
+  | Push_i8 i -> Format.fprintf ppf "push byte 0x%x" (i land 0xFF)
+  | Push_m m -> Format.fprintf ppf "push dword %a" pp_mem m
+  | Pop_r r -> Format.fprintf ppf "pop %s" (reg_name r)
+  | Mov_ri (r, i) -> Format.fprintf ppf "mov %s, 0x%x" (reg_name r) (Memsim.Word.of_int i)
+  | Mov (d, s) -> pp_2op ppf "mov" d s
+  | Mov_mi (d, i) ->
+      Format.fprintf ppf "mov dword %a, 0x%x" pp_operand d (Memsim.Word.of_int i)
+  | Mov_b (d, s) -> pp_2op ppf "mov byte" d s
+  | Movzx_b (r, s) -> Format.fprintf ppf "movzx %s, byte %a" (reg_name r) pp_operand s
+  | Lea (r, m) -> Format.fprintf ppf "lea %s, %a" (reg_name r) pp_mem m
+  | Add (d, s) -> pp_2op ppf "add" d s
+  | Add_i (d, i) -> Format.fprintf ppf "add %a, 0x%x" pp_operand d (Memsim.Word.of_int i)
+  | Sub (d, s) -> pp_2op ppf "sub" d s
+  | Sub_i (d, i) -> Format.fprintf ppf "sub %a, 0x%x" pp_operand d (Memsim.Word.of_int i)
+  | And (d, s) -> pp_2op ppf "and" d s
+  | Or (d, s) -> pp_2op ppf "or" d s
+  | Xor (d, s) -> pp_2op ppf "xor" d s
+  | Cmp (d, s) -> pp_2op ppf "cmp" d s
+  | Cmp_i (d, i) -> Format.fprintf ppf "cmp %a, 0x%x" pp_operand d (Memsim.Word.of_int i)
+  | Test_rr (a, b) -> Format.fprintf ppf "test %s, %s" (reg_name a) (reg_name b)
+  | Inc_r r -> Format.fprintf ppf "inc %s" (reg_name r)
+  | Dec_r r -> Format.fprintf ppf "dec %s" (reg_name r)
+  | Shl_i (r, i) -> Format.fprintf ppf "shl %s, %d" (reg_name r) i
+  | Shr_i (r, i) -> Format.fprintf ppf "shr %s, %d" (reg_name r) i
+  | Neg o -> Format.fprintf ppf "neg %a" pp_operand o
+  | Not o -> Format.fprintf ppf "not %a" pp_operand o
+  | Imul (r, o) -> Format.fprintf ppf "imul %s, %a" (reg_name r) pp_operand o
+  | Call_rel d -> Format.fprintf ppf "call .%+d" d
+  | Call_rm o -> Format.fprintf ppf "call %a" pp_operand o
+  | Jmp_rel d -> Format.fprintf ppf "jmp .%+d" d
+  | Jmp_short d -> Format.fprintf ppf "jmp short .%+d" d
+  | Jmp_rm o -> Format.fprintf ppf "jmp %a" pp_operand o
+  | Jcc (c, d) -> Format.fprintf ppf "j%s .%+d" (cond_name c) d
+  | Jcc_short (c, d) -> Format.fprintf ppf "j%s short .%+d" (cond_name c) d
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Ret_i i -> Format.fprintf ppf "ret 0x%x" i
+  | Leave -> Format.pp_print_string ppf "leave"
+  | Int i -> Format.fprintf ppf "int 0x%x" i
+  | Hlt -> Format.pp_print_string ppf "hlt"
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,83 @@
+(** x86-32 instruction subset (genuine IA-32 encodings; see {!Encode} /
+    {!Decode}).
+
+    The subset covers everything the paper's exploits rest on:
+    stack-passed arguments (cdecl), 1-byte NOP sleds, [ret]-terminated
+    gadgets, PLT-style indirect jumps through memory, and [int 0x80]
+    system calls — plus enough ALU/flow material to write the Connman
+    DNS-proxy parse path and a realistic libc. *)
+
+type reg = EAX | ECX | EDX | EBX | ESP | EBP | ESI | EDI
+
+val reg_index : reg -> int
+(** The hardware register number (EAX = 0 … EDI = 7). *)
+
+val reg_of_index : int -> reg
+(** Inverse of {!reg_index}; raises [Invalid_argument] outside 0–7. *)
+
+val reg_name : reg -> string
+
+type mem = { base : reg option; disp : int }
+(** [\[base + disp\]]; [base = None] is absolute [\[disp\]].  Index/scale
+    addressing is outside the subset. *)
+
+type operand = Reg of reg | Mem of mem
+
+type cond = E | NE | B | AE | BE | A | L | GE | LE | G | S | NS
+
+val cond_code : cond -> int
+(** The IA-32 condition-code nibble. *)
+
+val cond_of_code : int -> cond option
+val cond_name : cond -> string
+
+type t =
+  | Nop  (** 90 *)
+  | Push_r of reg  (** 50+r *)
+  | Push_i of int  (** 68 id *)
+  | Push_i8 of int  (** 6A ib (sign-extended) *)
+  | Push_m of mem  (** FF /6 *)
+  | Pop_r of reg  (** 58+r *)
+  | Mov_ri of reg * int  (** B8+r id *)
+  | Mov_mi of operand * int  (** C7 /0 id *)
+  | Mov of operand * operand  (** 89 /r store, 8B /r load *)
+  | Mov_b of operand * operand  (** 88 /r, 8A /r (low byte of the register) *)
+  | Movzx_b of reg * operand  (** 0F B6 /r *)
+  | Lea of reg * mem  (** 8D /r *)
+  | Add of operand * operand  (** 01 /r, 03 /r *)
+  | Add_i of operand * int  (** 83 /0 ib or 81 /0 id *)
+  | Sub of operand * operand  (** 29 /r, 2B /r *)
+  | Sub_i of operand * int  (** 83 /5 ib or 81 /5 id *)
+  | And of operand * operand  (** 21 /r, 23 /r *)
+  | Or of operand * operand  (** 09 /r, 0B /r *)
+  | Xor of operand * operand  (** 31 /r, 33 /r *)
+  | Cmp of operand * operand  (** 39 /r, 3B /r *)
+  | Cmp_i of operand * int  (** 83 /7 ib or 81 /7 id *)
+  | Test_rr of reg * reg  (** 85 /r *)
+  | Inc_r of reg  (** 40+r *)
+  | Dec_r of reg  (** 48+r *)
+  | Shl_i of reg * int  (** C1 /4 ib *)
+  | Shr_i of reg * int  (** C1 /5 ib *)
+  | Neg of operand  (** F7 /3 *)
+  | Not of operand  (** F7 /2 *)
+  | Imul of reg * operand  (** 0F AF /r *)
+  | Call_rel of int  (** E8 cd — signed displacement from the next insn *)
+  | Call_rm of operand  (** FF /2 *)
+  | Jmp_rel of int  (** E9 cd *)
+  | Jmp_short of int  (** EB cb *)
+  | Jmp_rm of operand  (** FF /4 — the PLT stub shape *)
+  | Jcc of cond * int  (** 0F 80+cc cd *)
+  | Jcc_short of cond * int  (** 70+cc cb *)
+  | Ret  (** C3 *)
+  | Ret_i of int  (** C2 iw *)
+  | Leave  (** C9 *)
+  | Int of int  (** CD ib *)
+  | Hlt  (** F4 *)
+
+val pp_mem : Format.formatter -> mem -> unit
+val pp_operand : Format.formatter -> operand -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Intel-syntax rendering; relative branches print as displacements. *)
+
+val to_string : t -> string

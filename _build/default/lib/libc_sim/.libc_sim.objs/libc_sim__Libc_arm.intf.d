@@ -1,0 +1,1 @@
+lib/libc_sim/libc_arm.mli: Isa_arm

@@ -1,0 +1,1 @@
+lib/libc_sim/libc_x86.ml: Asm Isa_x86 Machine

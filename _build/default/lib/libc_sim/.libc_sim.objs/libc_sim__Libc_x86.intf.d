@@ -1,0 +1,1 @@
+lib/libc_sim/libc_x86.mli: Isa_x86

@@ -1,0 +1,1 @@
+lib/loader/arch.mli: Format

@@ -1,0 +1,1 @@
+lib/loader/kernel.ml: Cpu Insn Isa_arm Isa_x86 List Machine Memsim Printf

@@ -1,0 +1,1 @@
+lib/loader/kernel.mli: Isa_arm Isa_x86

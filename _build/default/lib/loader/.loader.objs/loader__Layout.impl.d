@@ -1,0 +1,1 @@
+lib/loader/layout.ml: Arch Defense Format Memsim

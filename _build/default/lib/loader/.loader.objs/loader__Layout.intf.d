@@ -1,0 +1,1 @@
+lib/loader/layout.mli: Arch Defense Format Memsim

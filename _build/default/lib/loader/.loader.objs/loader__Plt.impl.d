@@ -1,0 +1,1 @@
+lib/loader/plt.ml: Arch Buffer Char Encode Insn Isa_arm Isa_x86 List

@@ -1,0 +1,1 @@
+lib/loader/plt.mli: Arch

@@ -1,0 +1,1 @@
+lib/loader/process.mli: Arch Defense Format Isa_arm Isa_x86 Layout Machine Memsim

@@ -1,0 +1,5 @@
+type t = X86 | Arm
+
+let name = function X86 -> "x86" | Arm -> "armv7"
+let pp ppf t = Format.pp_print_string ppf (name t)
+let all = [ X86; Arm ]

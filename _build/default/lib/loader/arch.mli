@@ -1,0 +1,7 @@
+(** Target architectures of the paper's experiments. *)
+
+type t = X86 | Arm
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val all : t list

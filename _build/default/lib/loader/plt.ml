@@ -1,0 +1,58 @@
+type t = {
+  code : string;
+  got : (int * int) list;
+  symbols : (string * int) list;
+}
+
+let synthesize_x86 ~plt_base ~got_base ~imports =
+  let buf = Buffer.create 64 in
+  let stub_size = 6 in
+  let entries =
+    List.mapi
+      (fun i (name, libc_addr) ->
+        let stub = plt_base + (i * stub_size) in
+        let slot = got_base + (i * 4) in
+        Buffer.add_string buf
+          (Isa_x86.Encode.encode
+             (Isa_x86.Insn.Jmp_rm (Isa_x86.Insn.Mem { base = None; disp = slot })));
+        ((name ^ "@plt", stub), (slot, libc_addr)))
+      imports
+  in
+  {
+    code = Buffer.contents buf;
+    got = List.map snd entries;
+    symbols = List.map fst entries;
+  }
+
+let synthesize_arm ~plt_base ~got_base ~imports =
+  let open Isa_arm in
+  let buf = Buffer.create 64 in
+  let stub_size = 16 in
+  let entries =
+    List.mapi
+      (fun i (name, libc_addr) ->
+        let stub = plt_base + (i * stub_size) in
+        let slot = got_base + (i * 4) in
+        (* ldr ip, [pc, #4] targets the literal at stub+12 (pc reads
+           stub+8). *)
+        Buffer.add_string buf (Encode.encode (Insn.al (Insn.Ldr (Insn.R12, Insn.PC, 4))));
+        Buffer.add_string buf (Encode.encode (Insn.al (Insn.Ldr (Insn.R12, Insn.R12, 0))));
+        Buffer.add_string buf (Encode.encode (Insn.al (Insn.Bx Insn.R12)));
+        Buffer.add_char buf (Char.chr (slot land 0xFF));
+        Buffer.add_char buf (Char.chr ((slot lsr 8) land 0xFF));
+        Buffer.add_char buf (Char.chr ((slot lsr 16) land 0xFF));
+        Buffer.add_char buf (Char.chr ((slot lsr 24) land 0xFF));
+        ((name ^ "@plt", stub), (slot, libc_addr)))
+      imports
+  in
+  ignore stub_size;
+  {
+    code = Buffer.contents buf;
+    got = List.map snd entries;
+    symbols = List.map fst entries;
+  }
+
+let synthesize ~arch ~plt_base ~got_base ~imports =
+  match arch with
+  | Arch.X86 -> synthesize_x86 ~plt_base ~got_base ~imports
+  | Arch.Arm -> synthesize_arm ~plt_base ~got_base ~imports

@@ -1,0 +1,214 @@
+module Mem = Memsim.Memory
+module Word = Memsim.Word
+module O = Machine.Outcome
+
+type code =
+  | X86_code of Isa_x86.Asm.program
+  | Arm_code of Isa_arm.Asm.program
+
+type spec = {
+  name : string;
+  code : code;
+  imports : string list;
+  bss_size : int;
+}
+
+type t = {
+  spec : spec;
+  arch : Arch.t;
+  mem : Memsim.Memory.t;
+  layout : Layout.t;
+  profile : Defense.Profile.t;
+  symbols : (string * int) list;
+  trap : int;
+}
+
+let trap_addr = 0xFFFF_0000
+
+let arch_of_code = function X86_code _ -> Arch.X86 | Arm_code _ -> Arch.Arm
+
+(* Extern names a program may reference before their values are known:
+   PLT stubs and the loader-provided specials. *)
+let extern_names spec =
+  List.map (fun f -> f ^ "@plt") spec.imports @ [ "__bss_start"; "__canary" ]
+
+let assemble_main spec ~extern ~base =
+  match spec.code with
+  | X86_code program ->
+      let r = Isa_x86.Asm.assemble ~extern ~base program in
+      (r.Isa_x86.Asm.code, r.Isa_x86.Asm.symbols)
+  | Arm_code program ->
+      let r = Isa_arm.Asm.assemble ~extern ~base program in
+      (r.Isa_arm.Asm.code, r.Isa_arm.Asm.symbols)
+
+let round_up v = (v + Mem.page_size - 1) land lnot (Mem.page_size - 1)
+
+(* Filler for the env/argv area above the initial stack pointer; gives the
+   overflow a realistic amount of writable slack before the guard. *)
+let env_strings = "SHELL=/bin/sh\x00PATH=/usr/sbin:/usr/bin:/sbin:/bin\x00HOME=/root\x00USER=root\x00"
+
+let boot spec ~profile ~seed =
+  let arch = arch_of_code spec.code in
+  let rng = Memsim.Rng.create seed in
+  (* Sizing pass: symbol-referencing pseudo-items have fixed sizes, so a
+     dummy-extern assembly yields the true text size. *)
+  let dummy_extern = List.map (fun n -> (n, 0)) (extern_names spec) in
+  let code0, _ = assemble_main spec ~extern:dummy_extern ~base:(Layout.text_base_of arch) in
+  let text_size = round_up (String.length code0) in
+  let layout =
+    Layout.compute ~arch ~profile ~rng ~text_size ~bss_size:spec.bss_size ()
+  in
+  (* libc *)
+  let libc_syms, libc_code =
+    match arch with
+    | Arch.X86 ->
+        let r = Libc_sim.Libc_x86.build ~base:layout.Layout.libc_base in
+        (r.Isa_x86.Asm.symbols, r.Isa_x86.Asm.code)
+    | Arch.Arm ->
+        let r = Libc_sim.Libc_arm.build ~base:layout.Layout.libc_base in
+        (r.Isa_arm.Asm.symbols, r.Isa_arm.Asm.code)
+  in
+  let import_addrs =
+    List.map
+      (fun f ->
+        match List.assoc_opt f libc_syms with
+        | Some a -> (f, a)
+        | None -> failwith (spec.name ^ ": unresolved import " ^ f))
+      spec.imports
+  in
+  let plt =
+    Plt.synthesize ~arch ~plt_base:layout.Layout.plt_base
+      ~got_base:layout.Layout.got_base ~imports:import_addrs
+  in
+  let extern =
+    plt.Plt.symbols
+    @ [
+        ("__bss_start", layout.Layout.bss_base); ("__canary", layout.Layout.tls_base);
+      ]
+  in
+  let main_code, main_syms = assemble_main spec ~extern ~base:layout.Layout.text_base in
+  assert (round_up (String.length main_code) = text_size);
+  (* Map the address space. *)
+  let mem = Mem.create () in
+  let l = layout in
+  Mem.map mem ~base:l.Layout.text_base ~size:text_size ~perm:Mem.rx ~name:".text";
+  Mem.poke_bytes mem l.Layout.text_base main_code;
+  Mem.map mem ~base:l.Layout.plt_base ~size:l.Layout.plt_size ~perm:Mem.rx
+    ~name:".plt";
+  Mem.poke_bytes mem l.Layout.plt_base plt.Plt.code;
+  Mem.map mem ~base:l.Layout.got_base ~size:l.Layout.got_size ~perm:Mem.rw
+    ~name:".got";
+  List.iter (fun (slot, addr) -> Mem.write_u32 mem slot addr) plt.Plt.got;
+  Mem.map mem ~base:l.Layout.bss_base ~size:l.Layout.bss_size ~perm:Mem.rw
+    ~name:".bss";
+  Mem.map mem ~base:l.Layout.tls_base ~size:Mem.page_size ~perm:Mem.rw ~name:"tls";
+  Mem.map mem ~base:l.Layout.heap_base ~size:l.Layout.heap_size ~perm:Mem.rw
+    ~name:"heap";
+  (match l.Layout.canary_value with
+  | Some v -> Mem.write_u32 mem l.Layout.tls_base v
+  | None -> ());
+  let stack_perm = if profile.Defense.Profile.wxorx then Mem.rw else Mem.rwx in
+  Mem.map mem ~base:l.Layout.stack_base ~size:l.Layout.stack_size ~perm:stack_perm
+    ~name:"stack";
+  Mem.map mem ~base:l.Layout.stack_top ~size:l.Layout.env_size ~perm:Mem.rw
+    ~name:"env";
+  Mem.write_bytes mem l.Layout.stack_top env_strings;
+  Mem.map mem ~base:l.Layout.libc_base
+    ~size:(round_up (String.length libc_code))
+    ~perm:Mem.rx ~name:"libc";
+  Mem.poke_bytes mem l.Layout.libc_base libc_code;
+  let symbols =
+    main_syms @ plt.Plt.symbols @ libc_syms
+    @ [
+        ("__bss_start", l.Layout.bss_base);
+        ("__canary", l.Layout.tls_base);
+        ("__trap", trap_addr);
+      ]
+  in
+  { spec; arch; mem; layout; profile; symbols; trap = trap_addr }
+
+let symbol t name = List.assoc name t.symbols
+let symbol_opt t name = List.assoc_opt name t.symbols
+
+type run_result = { outcome : O.stop_reason; steps : int; ret : int }
+
+(* When [on_step] is given, drive the CPU one instruction at a time so the
+   observer sees every program-counter value (the debugger's single-step
+   mode); otherwise use the tight [run] loop. *)
+let call ?(fuel = 2_000_000) ?on_step t ~entry ~args =
+  let cfi = t.profile.Defense.Profile.cfi in
+  let no_exec = t.profile.Defense.Profile.seccomp in
+  match t.arch with
+  | Arch.X86 ->
+      let cpu = Isa_x86.Cpu.create ~cfi t.mem in
+      let sp0 = t.layout.Layout.stack_top - 0x100 in
+      Isa_x86.Cpu.set cpu Isa_x86.Insn.ESP sp0;
+      List.iter (fun a -> Isa_x86.Cpu.push cpu a) (List.rev args);
+      Isa_x86.Cpu.push cpu t.trap;
+      if cfi then cpu.Isa_x86.Cpu.shadow <- [ t.trap ];
+      cpu.Isa_x86.Cpu.eip <- entry;
+      let outcome =
+        match on_step with
+        | None -> Isa_x86.Cpu.run ~fuel ~traps:[ t.trap ]
+              ~kernel:(Kernel.x86_policy ~no_exec ())
+              cpu
+        | Some observe ->
+            let rec loop budget =
+              if budget <= 0 then Machine.Outcome.Fuel_exhausted
+              else if cpu.Isa_x86.Cpu.eip = t.trap then Machine.Outcome.Halted
+              else begin
+                observe cpu.Isa_x86.Cpu.eip;
+                match Isa_x86.Cpu.step cpu ~kernel:(Kernel.x86_policy ~no_exec ()) with
+                | Some reason -> reason
+                | None -> loop (budget - 1)
+              end
+            in
+            loop fuel
+      in
+      {
+        outcome;
+        steps = cpu.Isa_x86.Cpu.steps;
+        ret = Isa_x86.Cpu.get cpu Isa_x86.Insn.EAX;
+      }
+  | Arch.Arm ->
+      if List.length args > 4 then
+        invalid_arg "Process.call: at most 4 register arguments on ARM";
+      let cpu = Isa_arm.Cpu.create ~cfi t.mem in
+      Isa_arm.Cpu.set cpu Isa_arm.Insn.SP (t.layout.Layout.stack_top - 0x100);
+      List.iteri
+        (fun i a ->
+          Isa_arm.Cpu.set cpu (Isa_arm.Insn.reg_of_index i) a)
+        args;
+      Isa_arm.Cpu.set cpu Isa_arm.Insn.LR t.trap;
+      if cfi then cpu.Isa_arm.Cpu.shadow <- [ t.trap ];
+      Isa_arm.Cpu.set_pc cpu entry;
+      let outcome =
+        match on_step with
+        | None -> Isa_arm.Cpu.run ~fuel ~traps:[ t.trap ]
+              ~kernel:(Kernel.arm_policy ~no_exec ())
+              cpu
+        | Some observe ->
+            let rec loop budget =
+              if budget <= 0 then Machine.Outcome.Fuel_exhausted
+              else if Isa_arm.Cpu.pc cpu = t.trap then Machine.Outcome.Halted
+              else begin
+                observe (Isa_arm.Cpu.pc cpu);
+                match Isa_arm.Cpu.step cpu ~kernel:(Kernel.arm_policy ~no_exec ()) with
+                | Some reason -> reason
+                | None -> loop (budget - 1)
+              end
+            in
+            loop fuel
+      in
+      {
+        outcome;
+        steps = cpu.Isa_arm.Cpu.steps;
+        ret = Isa_arm.Cpu.get cpu Isa_arm.Insn.R0;
+      }
+
+let call_named ?fuel ?on_step t ~entry ~args =
+  call ?fuel ?on_step t ~entry:(symbol t entry) ~args
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s (%a, %a)@.%a" t.spec.name Arch.pp t.arch
+    Defense.Profile.pp t.profile Layout.pp t.layout

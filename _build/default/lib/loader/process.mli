@@ -1,0 +1,66 @@
+(** Boot a program into a simulated process and call its functions.
+
+    [boot] performs what execve + ld.so do on the paper's targets: lays
+    out the address space ({!Layout}), assembles and maps the simulated
+    libc, synthesizes PLT/GOT stubs for the program's imports, assembles
+    the main image at its fixed base, applies the protection profile
+    (stack executable iff W⊕X is off; libc/stack bases randomized iff
+    ASLR is on; canary cookie written iff canaries are on), and exposes a
+    symbol table playing the role of the attacker's offline [gdb] /
+    [ropper] analysis of their local copy of the binary. *)
+
+type code =
+  | X86_code of Isa_x86.Asm.program
+  | Arm_code of Isa_arm.Asm.program
+
+type spec = {
+  name : string;
+  code : code;
+  imports : string list;  (** libc functions reached through the PLT *)
+  bss_size : int;
+}
+
+type t = {
+  spec : spec;
+  arch : Arch.t;
+  mem : Memsim.Memory.t;
+  layout : Layout.t;
+  profile : Defense.Profile.t;
+  symbols : (string * int) list;
+      (** main-image symbols, ["f@plt"] stubs, libc symbols, and the
+          specials ["__bss_start"], ["__canary"]. *)
+  trap : int;  (** top-level return address; reaching it means Halted *)
+}
+
+val boot : spec -> profile:Defense.Profile.t -> seed:int -> t
+(** [seed] drives all per-boot randomness (ASLR draws, canary cookie);
+    the same seed reproduces the same address space bit-for-bit. *)
+
+val symbol : t -> string -> int
+(** Raises [Not_found]. *)
+
+val symbol_opt : t -> string -> int option
+
+type run_result = {
+  outcome : Machine.Outcome.stop_reason;
+  steps : int;  (** instructions retired during the call *)
+  ret : int;  (** eax / r0 at stop time *)
+}
+
+val call :
+  ?fuel:int -> ?on_step:(int -> unit) -> t -> entry:int -> args:int list -> run_result
+(** Call a function following the architecture's convention (cdecl stack
+    arguments on x86, r0–r3 on ARM; at most 4 args on ARM) on a fresh
+    stack at the top of the stack region.  The CPU is created with CFI
+    enforcement per the profile.  [on_step] observes every program-counter
+    value before the instruction executes (single-step debugging). *)
+
+val call_named :
+  ?fuel:int ->
+  ?on_step:(int -> unit) ->
+  t ->
+  entry:string ->
+  args:int list ->
+  run_result
+
+val pp_summary : Format.formatter -> t -> unit

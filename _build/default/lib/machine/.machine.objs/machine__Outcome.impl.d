@@ -1,0 +1,1 @@
+lib/machine/outcome.ml: Format List Memsim String

@@ -1,0 +1,1 @@
+lib/machine/outcome.mli: Format Memsim

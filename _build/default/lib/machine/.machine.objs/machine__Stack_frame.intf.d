@@ -1,0 +1,1 @@
+lib/machine/stack_frame.mli:

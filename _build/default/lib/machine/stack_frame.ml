@@ -1,0 +1,11 @@
+type t = {
+  buffer_size : int;
+  off_null1 : int;
+  off_null2 : int;
+  off_canary : int;
+  off_saved : (string * int) list;
+  off_ret : int;
+  frame_end : int;
+}
+
+let null_window t = (t.off_null1, max 0 (t.off_null2 + 4 - t.off_null1))

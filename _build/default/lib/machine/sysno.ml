@@ -1,0 +1,6 @@
+let exit = 1
+let write = 4
+let execve = 11
+let abort = 252
+let stack_chk_fail = 253
+let exec_varargs = 254

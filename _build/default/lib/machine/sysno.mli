@@ -1,0 +1,14 @@
+(** System-call numbers of the simulated kernel ABI.
+
+    [exit] and [execve] match Linux's i386/ARM-EABI numbering (both 1 and
+    11).  The remaining vectors are simulator-private: [exec_varargs]
+    backs [execlp]-style calls, and [abort]/[stack_chk_fail] let libc
+    routines signal abnormal termination to the host without needing a
+    signal implementation. *)
+
+val exit : int  (* 1 *)
+val write : int  (* 4 *)
+val execve : int  (* 11 *)
+val abort : int  (* 252 *)
+val stack_chk_fail : int  (* 253 *)
+val exec_varargs : int  (* 254 *)

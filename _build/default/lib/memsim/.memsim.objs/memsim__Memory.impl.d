@@ -1,0 +1,1 @@
+lib/memsim/memory.ml: Buffer Bytes Char Format Hashtbl List Printf String Word

@@ -1,0 +1,1 @@
+lib/memsim/word.ml: Format Printf Stdlib

@@ -1,0 +1,215 @@
+type perm = { read : bool; write : bool; execute : bool }
+
+let r = { read = true; write = false; execute = false }
+let rw = { read = true; write = true; execute = false }
+let rx = { read = true; write = false; execute = true }
+let rwx = { read = true; write = true; execute = true }
+let none = { read = false; write = false; execute = false }
+
+let pp_perm ppf p =
+  Format.fprintf ppf "%c%c%c"
+    (if p.read then 'r' else '-')
+    (if p.write then 'w' else '-')
+    (if p.execute then 'x' else '-')
+
+type fault_kind = Unmapped | Perm_read | Perm_write | Perm_exec
+type fault = { addr : int; kind : fault_kind; context : string }
+
+exception Fault of fault
+
+let fault_kind_to_string = function
+  | Unmapped -> "unmapped"
+  | Perm_read -> "read-protected"
+  | Perm_write -> "write-protected"
+  | Perm_exec -> "exec-protected (NX)"
+
+let pp_fault ppf f =
+  Format.fprintf ppf "memory fault at %a: %s (%s)" Word.pp f.addr
+    (fault_kind_to_string f.kind)
+    f.context
+
+let fault_to_string f = Format.asprintf "%a" pp_fault f
+
+type region = { name : string; base : int; size : int; perm : perm }
+
+type page = { mutable pperm : perm; data : Bytes.t }
+
+let page_size = 4096
+let page_bits = 12
+
+type t = { pages : (int, page) Hashtbl.t; mutable regs : region list }
+
+let create () = { pages = Hashtbl.create 64; regs = [] }
+
+let page_index addr = addr lsr page_bits
+let fault addr kind context = raise (Fault { addr; kind; context })
+
+let page_range ~base ~size =
+  let first = page_index base and last = page_index (base + size - 1) in
+  (first, last)
+
+let map t ~base ~size ~perm ~name =
+  if size <= 0 then invalid_arg "Memory.map: size must be positive";
+  if base < 0 || base + size > 0x1_0000_0000 then
+    invalid_arg "Memory.map: region outside 32-bit address space";
+  let first, last = page_range ~base ~size in
+  for i = first to last do
+    if Hashtbl.mem t.pages i then
+      invalid_arg
+        (Printf.sprintf "Memory.map: %s overlaps existing mapping at page %s"
+           name
+           (Word.to_hex (i lsl page_bits)))
+  done;
+  for i = first to last do
+    Hashtbl.replace t.pages i { pperm = perm; data = Bytes.make page_size '\000' }
+  done;
+  t.regs <- { name; base; size; perm } :: t.regs
+
+let unmap t ~base =
+  let reg = List.find (fun reg -> reg.base = base) t.regs in
+  let first, last = page_range ~base ~size:reg.size in
+  for i = first to last do
+    Hashtbl.remove t.pages i
+  done;
+  t.regs <- List.filter (fun reg -> reg.base <> base) t.regs
+
+let set_perm t ~base perm =
+  let reg = List.find (fun reg -> reg.base = base) t.regs in
+  let first, last = page_range ~base ~size:reg.size in
+  for i = first to last do
+    match Hashtbl.find_opt t.pages i with
+    | Some p -> p.pperm <- perm
+    | None -> ()
+  done;
+  t.regs <-
+    List.map
+      (fun r0 -> if r0.base = base then { r0 with perm } else r0)
+      t.regs
+
+let regions t = List.sort (fun a b -> compare a.base b.base) t.regs
+
+let region_at t addr =
+  List.find_opt (fun reg -> addr >= reg.base && addr < reg.base + reg.size) t.regs
+
+let find_region t name = List.find (fun reg -> reg.name = name) t.regs
+let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
+
+(* Core byte access.  [check] selects the permission bit to verify; the
+   [context] string ends up in the fault record for diagnostics. *)
+
+let get_page t addr context =
+  match Hashtbl.find_opt t.pages (page_index addr) with
+  | Some p -> p
+  | None -> fault addr Unmapped context
+
+let read_u8 t addr =
+  let addr = Word.of_int addr in
+  let p = get_page t addr "read" in
+  if not p.pperm.read then fault addr Perm_read "read";
+  Char.code (Bytes.get p.data (addr land (page_size - 1)))
+
+let write_u8 t addr v =
+  let addr = Word.of_int addr in
+  let p = get_page t addr "write" in
+  if not p.pperm.write then fault addr Perm_write "write";
+  Bytes.set p.data (addr land (page_size - 1)) (Char.chr (v land 0xFF))
+
+let fetch_u8 t addr =
+  let addr = Word.of_int addr in
+  let p = get_page t addr "fetch" in
+  if not p.pperm.execute then fault addr Perm_exec "fetch";
+  Char.code (Bytes.get p.data (addr land (page_size - 1)))
+
+(* Bind bytes in ascending order: the lowest offending address must be the
+   one reported in a fault. *)
+let read_u16 t addr =
+  let b0 = read_u8 t addr in
+  let b1 = read_u8 t (addr + 1) in
+  b0 lor (b1 lsl 8)
+
+let read_u32 t addr =
+  let b0 = read_u8 t addr in
+  let b1 = read_u8 t (addr + 1) in
+  let b2 = read_u8 t (addr + 2) in
+  let b3 = read_u8 t (addr + 3) in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let write_u16 t addr v =
+  write_u8 t addr (v land 0xFF);
+  write_u8 t (addr + 1) ((v lsr 8) land 0xFF)
+
+let write_u32 t addr v =
+  write_u8 t addr (v land 0xFF);
+  write_u8 t (addr + 1) ((v lsr 8) land 0xFF);
+  write_u8 t (addr + 2) ((v lsr 16) land 0xFF);
+  write_u8 t (addr + 3) ((v lsr 24) land 0xFF)
+
+let fetch_u32 t addr =
+  let b0 = fetch_u8 t addr in
+  let b1 = fetch_u8 t (addr + 1) in
+  let b2 = fetch_u8 t (addr + 2) in
+  let b3 = fetch_u8 t (addr + 3) in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let read_bytes t addr len =
+  String.init len (fun i -> Char.chr (read_u8 t (addr + i)))
+
+let write_bytes t addr s = String.iteri (fun i c -> write_u8 t (addr + i) (Char.code c)) s
+
+let read_cstring t ?(max = 4096) addr =
+  let buf = Buffer.create 16 in
+  let rec loop i =
+    if i >= max then Buffer.contents buf
+    else
+      match read_u8 t (addr + i) with
+      | 0 -> Buffer.contents buf
+      | c ->
+          Buffer.add_char buf (Char.chr c);
+          loop (i + 1)
+  in
+  loop 0
+
+let peek_u8 t addr =
+  let addr = Word.of_int addr in
+  let p = get_page t addr "peek" in
+  Char.code (Bytes.get p.data (addr land (page_size - 1)))
+
+let peek_bytes t addr len = String.init len (fun i -> Char.chr (peek_u8 t (addr + i)))
+
+let poke_bytes t addr s =
+  String.iteri
+    (fun i c ->
+      let a = Word.of_int (addr + i) in
+      let p = get_page t a "poke" in
+      Bytes.set p.data (a land (page_size - 1)) c)
+    s
+
+let hexdump t ~base ~len =
+  let buf = Buffer.create (len * 4) in
+  let lines = (len + 15) / 16 in
+  for line = 0 to lines - 1 do
+    let addr = base + (line * 16) in
+    Buffer.add_string buf (Printf.sprintf "%08x  " addr);
+    for i = 0 to 15 do
+      if (line * 16) + i < len then
+        Buffer.add_string buf (Printf.sprintf "%02x " (peek_u8 t (addr + i)))
+      else Buffer.add_string buf "   ";
+      if i = 7 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_string buf " |";
+    for i = 0 to 15 do
+      if (line * 16) + i < len then begin
+        let c = peek_u8 t (addr + i) in
+        Buffer.add_char buf (if c >= 0x20 && c < 0x7F then Char.chr c else '.')
+      end
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.contents buf
+
+let pp_layout ppf t =
+  List.iter
+    (fun reg ->
+      Format.fprintf ppf "%a-%a %a %s@." Word.pp reg.base Word.pp
+        (reg.base + reg.size) pp_perm reg.perm reg.name)
+    (regions t)

@@ -1,0 +1,107 @@
+(** Sparse, paged, byte-addressable 32-bit memory with per-page permissions.
+
+    This is the substrate every simulated machine runs on.  Memory is mapped
+    in named regions ({i segments}), each carrying read/write/execute
+    permissions.  Accessing unmapped memory, or violating a permission,
+    raises {!Fault} — exactly the signal a real MMU delivers as SIGSEGV,
+    and the mechanism by which both the paper's denial-of-service outcome
+    and the W⊕X defense are realised in this reproduction. *)
+
+type perm = { read : bool; write : bool; execute : bool }
+
+val r : perm
+val rw : perm
+val rx : perm
+val rwx : perm
+val none : perm
+
+val pp_perm : Format.formatter -> perm -> unit
+(** Renders like [r-x]. *)
+
+type fault_kind =
+  | Unmapped  (** access to an address with no backing page *)
+  | Perm_read  (** read from a non-readable page *)
+  | Perm_write  (** write to a non-writable page *)
+  | Perm_exec  (** instruction fetch from a non-executable page (NX / W⊕X) *)
+
+type fault = { addr : int; kind : fault_kind; context : string }
+
+exception Fault of fault
+
+val pp_fault : Format.formatter -> fault -> unit
+val fault_to_string : fault -> string
+
+type region = { name : string; base : int; size : int; perm : perm }
+
+type t
+
+val create : unit -> t
+(** A fresh, fully unmapped address space. *)
+
+val page_size : int
+(** 4096, as on the paper's targets. *)
+
+val map : t -> base:int -> size:int -> perm:perm -> name:string -> unit
+(** Map a zero-filled region.  [base] and [size] are rounded outward to page
+    boundaries for permission purposes, but the region record keeps the
+    exact values.  Overlapping an existing mapping raises
+    [Invalid_argument]. *)
+
+val unmap : t -> base:int -> unit
+(** Remove the region whose [base] matches exactly.  Raises [Not_found] if
+    no such region exists. *)
+
+val set_perm : t -> base:int -> perm -> unit
+(** Change the permissions of the region starting at [base] (an [mprotect]
+    analogue).  Raises [Not_found] if no region starts there. *)
+
+val regions : t -> region list
+(** All mapped regions, sorted by base address. *)
+
+val region_at : t -> int -> region option
+(** The region containing the given address, if any. *)
+
+val find_region : t -> string -> region
+(** Region by name.  Raises [Not_found]. *)
+
+val is_mapped : t -> int -> bool
+
+(** {1 Typed access}
+
+    All multi-byte accessors are little-endian, as on both x86 and the
+    (little-endian-configured) ARMv7 targets of the paper. *)
+
+val read_u8 : t -> int -> int
+val read_u16 : t -> int -> int
+val read_u32 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val write_u16 : t -> int -> int -> unit
+val write_u32 : t -> int -> int -> unit
+
+val fetch_u8 : t -> int -> int
+(** Like {!read_u8} but requires execute permission — the instruction-fetch
+    path. *)
+
+val fetch_u32 : t -> int -> int
+
+val read_bytes : t -> int -> int -> string
+(** [read_bytes m addr len] — raises {!Fault} on the first offending byte. *)
+
+val write_bytes : t -> int -> string -> unit
+
+val read_cstring : t -> ?max:int -> int -> string
+(** Read a NUL-terminated string (at most [max] bytes, default 4096). *)
+
+val peek_bytes : t -> int -> int -> string
+(** Permission-blind read for debugger-style inspection ([gdb] analogue).
+    Still faults on unmapped pages. *)
+
+val poke_bytes : t -> int -> string -> unit
+(** Permission-blind write, used by the loader to populate read-only
+    segments. *)
+
+val hexdump : t -> base:int -> len:int -> string
+(** Conventional 16-bytes-per-line hex + ASCII dump (inspection only). *)
+
+val pp_layout : Format.formatter -> t -> unit
+(** One line per region: base, end, perms, name. *)

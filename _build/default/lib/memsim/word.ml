@@ -1,0 +1,19 @@
+let mask = 0xFFFF_FFFF
+let of_int x = x land mask
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let mul a b = a * b land mask
+let neg a = -a land mask
+let lognot a = Stdlib.lnot a land mask
+let to_signed w = if w land 0x8000_0000 <> 0 then w - 0x1_0000_0000 else w
+let of_signed x = x land mask
+let sign8 b = if b land 0x80 <> 0 then b lor 0xFFFF_FF00 land mask else b land 0xFF
+let sign16 h = if h land 0x8000 <> 0 then h lor 0xFFFF_0000 land mask else h land 0xFFFF
+let bit w i = (w lsr i) land 1 = 1
+
+let ror w n =
+  let n = n land 31 in
+  if n = 0 then w land mask else ((w lsr n) lor (w lsl (32 - n))) land mask
+
+let pp ppf w = Format.fprintf ppf "0x%08x" (of_int w)
+let to_hex w = Printf.sprintf "0x%08x" (of_int w)

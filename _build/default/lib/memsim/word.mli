@@ -1,0 +1,51 @@
+(** 32-bit word arithmetic over native [int].
+
+    Addresses and machine words throughout the simulator are OCaml [int]
+    values constrained to the range [0, 2^32).  All operations here wrap
+    modulo 2^32, matching the behaviour of a 32-bit CPU. *)
+
+val mask : int
+(** [0xFFFF_FFFF]. *)
+
+val of_int : int -> int
+(** Truncate an arbitrary integer to 32 bits (two's complement wrap). *)
+
+val add : int -> int -> int
+(** Wrapping 32-bit addition. *)
+
+val sub : int -> int -> int
+(** Wrapping 32-bit subtraction. *)
+
+val mul : int -> int -> int
+(** Wrapping 32-bit multiplication. *)
+
+val neg : int -> int
+(** Two's-complement negation. *)
+
+val lognot : int -> int
+(** Bitwise complement within 32 bits. *)
+
+val to_signed : int -> int
+(** Reinterpret a 32-bit word as a signed integer in [-2^31, 2^31). *)
+
+val of_signed : int -> int
+(** Inverse of {!to_signed}: encode a (possibly negative) integer as a
+    32-bit two's-complement word. *)
+
+val sign8 : int -> int
+(** Sign-extend the low 8 bits to a full 32-bit word. *)
+
+val sign16 : int -> int
+(** Sign-extend the low 16 bits to a full 32-bit word. *)
+
+val bit : int -> int -> bool
+(** [bit w i] is bit [i] (0 = least significant) of [w]. *)
+
+val ror : int -> int -> int
+(** [ror w n] rotates the 32-bit word [w] right by [n] bits. *)
+
+val pp : Format.formatter -> int -> unit
+(** Print as [0x%08x]. *)
+
+val to_hex : int -> string
+(** [to_hex w] is the ["0x%08x"] rendering of [w]. *)

@@ -1,0 +1,1 @@
+lib/netsim/dhcp.ml: Hashtbl Ip Printf String World

@@ -1,0 +1,1 @@
+lib/netsim/dhcp.mli: Ip World

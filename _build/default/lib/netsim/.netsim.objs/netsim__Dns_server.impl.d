@@ -1,0 +1,1 @@
+lib/netsim/dns_server.ml: Dns List World

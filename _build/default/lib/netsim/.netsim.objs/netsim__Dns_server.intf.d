@@ -1,0 +1,1 @@
+lib/netsim/dns_server.mli: Dns Ip World

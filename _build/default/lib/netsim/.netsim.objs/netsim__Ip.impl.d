@@ -1,0 +1,1 @@
+lib/netsim/ip.ml: Format List Printf String

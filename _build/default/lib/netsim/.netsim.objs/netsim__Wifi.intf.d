@@ -1,0 +1,1 @@
+lib/netsim/wifi.mli: World

@@ -1,0 +1,1 @@
+lib/netsim/world.ml: Ip List Memsim Option Sim

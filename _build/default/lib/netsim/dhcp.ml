@@ -1,0 +1,38 @@
+(* Wire format (simulation-private, documented in the mli): DISCOVER
+   carries the client host name; OFFER echoes it with the lease. *)
+
+let discover name = "DHCPDISCOVER " ^ name
+
+let offer ~client ~ip ~dns =
+  Printf.sprintf "DHCPOFFER %s %s %s" client (Ip.to_string ip) (Ip.to_string dns)
+
+let serve _world host ~first_ip ~dns =
+  let next = ref first_ip in
+  let leases = Hashtbl.create 8 in
+  World.on_udp host ~port:67 (fun ctx dgram ->
+      match String.split_on_char ' ' dgram.World.payload with
+      | [ "DHCPDISCOVER"; client ] ->
+          let ip =
+            match Hashtbl.find_opt leases client with
+            | Some ip -> ip
+            | None ->
+                let ip = !next in
+                incr next;
+                Hashtbl.replace leases client ip;
+                ip
+          in
+          World.send ctx.World.world ~from:host ~sport:67 ~dst:Ip.broadcast
+            ~dport:68
+            (offer ~client ~ip ~dns)
+      | _ -> ())
+
+let solicit world host ?(on_configured = fun _ -> ()) () =
+  World.on_udp host ~port:68 (fun ctx dgram ->
+      match String.split_on_char ' ' dgram.World.payload with
+      | [ "DHCPOFFER"; client; ip; dns ] when client = World.host_name host ->
+          World.set_host_ip host (Some (Ip.of_string ip));
+          World.set_host_dns host (Some (Ip.of_string dns));
+          on_configured ctx
+      | _ -> ());
+  World.send world ~from:host ~sport:68 ~dst:Ip.broadcast ~dport:67
+    (discover (World.host_name host))

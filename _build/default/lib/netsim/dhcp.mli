@@ -1,0 +1,18 @@
+(** Minimal DHCP (DISCOVER/OFFER over UDP 67/68).
+
+    The protocol detail that matters for the reproduction is the {e DNS
+    server option}: whoever runs DHCP on the joined LAN decides where the
+    victim's DNS queries go.  The Pineapple's DHCP hands out the
+    attacker's resolver (§III-D: "configure it to utilize DHCP to assign
+    our malicious DNS server to clients"). *)
+
+val serve :
+  World.t -> World.host -> first_ip:Ip.t -> dns:Ip.t -> unit
+(** Run a DHCP server on [host] (port 67): leases sequential addresses
+    starting at [first_ip] and advertises [dns]. *)
+
+val solicit :
+  World.t -> World.host -> ?on_configured:(World.ctx -> unit) -> unit -> unit
+(** DHCP client: broadcast a DISCOVER and, on the matching OFFER (port
+    68), adopt the leased address and DNS server, then invoke
+    [on_configured]. *)

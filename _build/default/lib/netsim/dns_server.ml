@@ -1,0 +1,51 @@
+let reply ctx dgram response =
+  World.send ctx.World.world ~from:ctx.World.self ~sport:53
+    ~dst:dgram.World.src ~dport:dgram.World.sport response
+
+let resolver ?(cnames = []) _world host ~zone =
+  World.on_udp host ~port:53 (fun ctx dgram ->
+      match Dns.Packet.decode dgram.World.payload with
+      | Error _ -> ()
+      | Ok query -> (
+          match query.Dns.Packet.questions with
+          | [ q ] ->
+              (* Chase CNAMEs within the local zone (bounded), answering
+                 with the chain plus the terminal A record, as a real
+                 recursive resolver does. *)
+              let rec chase name chain hops =
+                if hops > 4 then List.rev chain
+                else
+                  match List.assoc_opt name cnames with
+                  | Some target ->
+                      chase target
+                        (Dns.Packet.cname_record (Dns.Name.of_string name)
+                           ~ttl:300
+                           ~target:(Dns.Name.of_string target)
+                        :: chain)
+                        (hops + 1)
+                  | None -> (
+                      match List.assoc_opt name zone with
+                      | Some ip ->
+                          List.rev
+                            (Dns.Packet.a_record (Dns.Name.of_string name)
+                               ~ttl:300 ~ipv4:ip
+                            :: chain)
+                      | None -> List.rev chain)
+              in
+              let answers =
+                match q.Dns.Packet.qtype with
+                | Dns.Packet.A ->
+                    chase (Dns.Name.to_string q.Dns.Packet.qname) [] 0
+                | _ -> []
+              in
+              reply ctx dgram (Dns.Packet.encode (Dns.Packet.response ~query answers))
+          | _ -> ()))
+
+let malicious _world host ~forge =
+  World.on_udp host ~port:53 (fun ctx dgram ->
+      match Dns.Packet.decode dgram.World.payload with
+      | Error _ -> ()
+      | Ok query -> (
+          match forge ~query ~raw:dgram.World.payload with
+          | Some response -> reply ctx dgram response
+          | None -> ()))

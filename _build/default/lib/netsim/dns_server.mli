@@ -1,0 +1,26 @@
+(** DNS servers for the simulated network.
+
+    {!resolver} is an honest authoritative/recursive stand-in with a
+    static zone.  {!malicious} is the paper's attack server: it answers
+    every query with whatever the forging callback produces — typically
+    {!Exploit.Autogen}-built responses that echo the query id and
+    question so Connman's pre-validation passes. *)
+
+val resolver :
+  ?cnames:(string * string) list ->
+  World.t ->
+  World.host ->
+  zone:(string * Ip.t) list ->
+  unit
+(** Serve port 53: A answers for zone entries (chasing up to four local
+    [cnames] links first, answering with the whole chain), empty answers
+    otherwise.  Malformed queries are dropped. *)
+
+val malicious :
+  World.t ->
+  World.host ->
+  forge:(query:Dns.Packet.t -> raw:string -> string option) ->
+  unit
+(** Serve port 53: [forge] receives the decoded query and the raw bytes
+    and returns the full response datagram to send (or [None] to stay
+    silent). *)

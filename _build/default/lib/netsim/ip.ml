@@ -1,0 +1,19 @@
+type t = int
+
+let of_string s =
+  match String.split_on_char '.' s |> List.map int_of_string_opt with
+  | [ Some a; Some b; Some c; Some d ]
+    when List.for_all (fun x -> x >= 0 && x <= 255) [ a; b; c; d ] ->
+      (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+  | _ -> invalid_arg ("Ip.of_string: " ^ s)
+  | exception _ -> invalid_arg ("Ip.of_string: " ^ s)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((t lsr 24) land 0xFF)
+    ((t lsr 16) land 0xFF)
+    ((t lsr 8) land 0xFF)
+    (t land 0xFF)
+
+let broadcast = 0xFFFF_FFFF
+let pp ppf t = Format.pp_print_string ppf (to_string t)

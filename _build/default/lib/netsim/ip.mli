@@ -1,0 +1,13 @@
+(** IPv4 addresses as host-order integers. *)
+
+type t = int
+
+val of_string : string -> t
+(** ["192.168.1.10"] → the 32-bit value.  Raises [Invalid_argument] on
+    malformed input. *)
+
+val to_string : t -> string
+val broadcast : t
+(** 255.255.255.255 — LAN-wide delivery. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type ap = {
+  ap_name : string;
+  ssid : string;
+  signal_dbm : int;
+  lan : World.lan;
+}
+
+let ap ~name ~ssid ~signal_dbm lan = { ap_name = name; ssid; signal_dbm; lan }
+
+let scan aps ~ssid =
+  List.filter (fun a -> a.ssid = ssid) aps
+  |> List.sort (fun a b -> compare b.signal_dbm a.signal_dbm)
+
+let associate host aps ~ssid =
+  match scan aps ~ssid with
+  | [] -> None
+  | best :: _ ->
+      World.attach host best.lan;
+      (* A fresh association drops the old lease. *)
+      World.set_host_ip host None;
+      World.set_host_dns host None;
+      Some best

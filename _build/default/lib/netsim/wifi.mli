@@ -1,0 +1,23 @@
+(** Wi-Fi association by SSID and signal strength.
+
+    The Pineapple attack (§III-D) rests on one radio fact: a station
+    joins the {e strongest} access point broadcasting the SSID it trusts.
+    The Pineapple impersonates the home SSID at higher power, so the
+    victim re-associates onto the attacker's LAN without any
+    configuration change. *)
+
+type ap = {
+  ap_name : string;
+  ssid : string;
+  signal_dbm : int;  (** e.g. -70 (weak) … -30 (strong) *)
+  lan : World.lan;
+}
+
+val ap : name:string -> ssid:string -> signal_dbm:int -> World.lan -> ap
+
+val scan : ap list -> ssid:string -> ap list
+(** Matching APs, strongest first. *)
+
+val associate : World.host -> ap list -> ssid:string -> ap option
+(** Join the strongest AP carrying [ssid] (leaving the previous LAN and
+    clearing the DHCP-derived ip/dns).  [None] if no AP matches. *)

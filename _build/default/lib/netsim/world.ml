@@ -1,0 +1,139 @@
+type datagram = {
+  src : Ip.t;
+  sport : int;
+  dst : Ip.t;
+  dport : int;
+  payload : string;
+}
+
+type stats = { mutable delivered : int; mutable dropped : int }
+
+type t = {
+  sim : Sim.t;
+  mutable lans : lan list;
+  mutable hosts : host list;
+  stats : stats;
+  mutable loss : float;  (* per-unicast-datagram drop probability *)
+}
+
+and lan = {
+  lname : string;
+  mutable members : host list;
+  mutable uplink : lan option;
+}
+
+and host = {
+  hname : string;
+  mutable hip : Ip.t option;
+  mutable hdns : Ip.t option;
+  mutable hlan : lan option;
+  mutable handlers : (int * (ctx -> datagram -> unit)) list;
+}
+
+and ctx = { world : t; self : host }
+
+let create ?(seed = 7) () =
+  {
+    sim = Sim.create ~seed ();
+    lans = [];
+    hosts = [];
+    stats = { delivered = 0; dropped = 0 };
+    loss = 0.0;
+  }
+
+let set_loss t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "World.set_loss: probability";
+  t.loss <- p
+
+let sim t = t.sim
+let stats t = t.stats
+
+let add_lan t ~name =
+  let lan = { lname = name; members = []; uplink = None } in
+  t.lans <- lan :: t.lans;
+  lan
+
+let lan_name lan = lan.lname
+let set_uplink lan up = lan.uplink <- up
+
+let add_host t ~name =
+  let host = { hname = name; hip = None; hdns = None; hlan = None; handlers = [] } in
+  t.hosts <- host :: t.hosts;
+  host
+
+let host_name h = h.hname
+let host_ip h = h.hip
+let set_host_ip h ip = h.hip <- ip
+let host_dns h = h.hdns
+let set_host_dns h dns = h.hdns <- dns
+
+let detach h =
+  (match h.hlan with
+  | Some lan -> lan.members <- List.filter (fun m -> m != h) lan.members
+  | None -> ());
+  h.hlan <- None
+
+let attach h lan =
+  detach h;
+  lan.members <- h :: lan.members;
+  h.hlan <- Some lan
+
+let lan_of h = h.hlan
+let hosts_of lan = List.rev lan.members
+
+let on_udp h ~port handler =
+  h.handlers <- (port, handler) :: List.remove_assoc port h.handlers
+
+(* Unicast resolution: breadth-first over the uplink graph treated as
+   undirected (replies must route back down to edge LANs, as NAT/conntrack
+   state provides in the real network).  The sender's own LAN is tried
+   first. *)
+let resolve_unicast t lan dst =
+  let neighbours l =
+    (match l.uplink with Some up -> [ up ] | None -> [])
+    @ List.filter
+        (fun other ->
+          match other.uplink with Some up -> up == l | None -> false)
+        t.lans
+  in
+  let rec bfs visited = function
+    | [] -> None
+    | l :: rest ->
+        if List.memq l visited then bfs visited rest
+        else
+          match List.find_opt (fun h -> h.hip = Some dst) l.members with
+          | Some h -> Some h
+          | None -> bfs (l :: visited) (rest @ neighbours l)
+  in
+  bfs [] [ lan ]
+
+let deliver t dgram target =
+  match List.assoc_opt dgram.dport target.handlers with
+  | None -> t.stats.dropped <- t.stats.dropped + 1
+  | Some handler ->
+      t.stats.delivered <- t.stats.delivered + 1;
+      handler { world = t; self = target } dgram
+
+let send t ~from ?(sport = 0) ~dst ~dport payload =
+  match from.hlan with
+  | None -> t.stats.dropped <- t.stats.dropped + 1
+  | Some lan ->
+      let src = Option.value from.hip ~default:0 in
+      let dgram = { src; sport; dst; dport; payload } in
+      let latency () = 200 + Memsim.Rng.int (Sim.rng t.sim) 600 in
+      if dst = Ip.broadcast then
+        List.iter
+          (fun h ->
+            if h != from then
+              Sim.schedule t.sim ~delay:(latency ()) (fun _ -> deliver t dgram h))
+          lan.members
+      else
+        match resolve_unicast t lan dst with
+        | Some target ->
+            if t.loss > 0.0 && Memsim.Rng.float (Sim.rng t.sim) < t.loss then
+              t.stats.dropped <- t.stats.dropped + 1
+            else
+              Sim.schedule t.sim ~delay:(latency ()) (fun _ -> deliver t dgram target)
+        | None -> t.stats.dropped <- t.stats.dropped + 1
+
+let run ?until t = Sim.run ?until t.sim

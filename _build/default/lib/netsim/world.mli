@@ -1,0 +1,64 @@
+(** The network world: LANs, hosts, and UDP datagram delivery over the
+    {!Sim} event clock.
+
+    Topology is deliberately simple — broadcast domains (LANs) with an
+    optional uplink chain (home LAN → ISP/Internet) — because that is all
+    the paper's §III-D scenario needs: a victim that can be lured from
+    its legitimate LAN onto the Pineapple's LAN, where the attacker
+    controls DHCP and DNS. *)
+
+type t
+type host
+type lan
+
+type datagram = {
+  src : Ip.t;
+  sport : int;
+  dst : Ip.t;
+  dport : int;
+  payload : string;
+}
+
+type ctx = { world : t; self : host }
+(** Handed to every packet handler. *)
+
+type stats = { mutable delivered : int; mutable dropped : int }
+
+val create : ?seed:int -> unit -> t
+val sim : t -> Sim.t
+val stats : t -> stats
+
+val set_loss : t -> float -> unit
+(** Per-unicast-datagram drop probability (default 0.0); broadcasts are
+    unaffected.  Drops count in {!stats}. *)
+
+val add_lan : t -> name:string -> lan
+val lan_name : lan -> string
+val set_uplink : lan -> lan option -> unit
+(** Datagrams that miss in a LAN are retried in its uplink (transitively). *)
+
+val add_host : t -> name:string -> host
+val host_name : host -> string
+val host_ip : host -> Ip.t option
+val set_host_ip : host -> Ip.t option -> unit
+val host_dns : host -> Ip.t option
+val set_host_dns : host -> Ip.t option -> unit
+
+val attach : host -> lan -> unit
+(** Joining a LAN implicitly leaves the previous one. *)
+
+val detach : host -> unit
+val lan_of : host -> lan option
+val hosts_of : lan -> host list
+
+val on_udp : host -> port:int -> (ctx -> datagram -> unit) -> unit
+(** Replaces any previous handler on that port. *)
+
+val send :
+  t -> from:host -> ?sport:int -> dst:Ip.t -> dport:int -> string -> unit
+(** Queue a datagram.  Unicast resolves within the sender's LAN and then
+    its uplink chain; {!Ip.broadcast} reaches every other host of the
+    sender's LAN.  Unroutable datagrams are counted as drops. *)
+
+val run : ?until:int -> t -> int
+(** Drive the event loop; returns events processed. *)

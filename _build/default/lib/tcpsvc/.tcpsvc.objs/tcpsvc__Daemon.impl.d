@@ -1,0 +1,1 @@
+lib/tcpsvc/daemon.ml: Char Defense Format Loader Machine Memsim Printf Program_arm Program_x86 String

@@ -1,0 +1,1 @@
+lib/tcpsvc/daemon.mli: Defense Format Loader Machine

@@ -1,0 +1,1 @@
+lib/tcpsvc/frame.ml: Loader Machine

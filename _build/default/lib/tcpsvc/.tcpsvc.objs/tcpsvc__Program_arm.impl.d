@@ -1,0 +1,1 @@
+lib/tcpsvc/program_arm.ml: Asm Defense Isa_arm Loader Printf

@@ -1,0 +1,1 @@
+lib/tcpsvc/program_arm.mli: Defense Loader

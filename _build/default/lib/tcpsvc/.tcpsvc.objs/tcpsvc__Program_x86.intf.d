@@ -1,0 +1,1 @@
+lib/tcpsvc/program_x86.mli: Defense Loader

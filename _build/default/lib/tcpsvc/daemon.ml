@@ -1,0 +1,80 @@
+module Mem = Memsim.Memory
+module O = Machine.Outcome
+
+type disposition =
+  | Handled
+  | Rejected of string
+  | Crashed of O.stop_reason
+  | Compromised of O.stop_reason
+  | Blocked of O.stop_reason
+
+let pp_disposition ppf = function
+  | Handled -> Format.pp_print_string ppf "handled"
+  | Rejected why -> Format.fprintf ppf "rejected (%s)" why
+  | Crashed r -> Format.fprintf ppf "CRASHED: %a" O.pp r
+  | Compromised r -> Format.fprintf ppf "COMPROMISED: %a" O.pp r
+  | Blocked r -> Format.fprintf ppf "blocked by defense: %a" O.pp r
+
+type config = {
+  patched : bool;
+  arch : Loader.Arch.t;
+  profile : Defense.Profile.t;
+  boot_seed : int;
+}
+
+type t = { config : config; proc : Loader.Process.t; mutable alive : bool }
+
+let build_spec config =
+  match config.arch with
+  | Loader.Arch.X86 ->
+      Program_x86.spec ~patched:config.patched ~profile:config.profile
+  | Loader.Arch.Arm ->
+      Program_arm.spec ~patched:config.patched ~profile:config.profile
+
+let create config =
+  {
+    config;
+    proc =
+      Loader.Process.boot (build_spec config) ~profile:config.profile
+        ~seed:config.boot_seed;
+    alive = true;
+  }
+
+let process t = t.proc
+let alive t = t.alive
+
+let frame ~tag =
+  let n = String.length tag in
+  if n > 0xFFFF then invalid_arg "Tcpsvc.frame: tag too long";
+  Printf.sprintf "ZZ%c%c%s" (Char.chr ((n lsr 8) land 0xFF)) (Char.chr (n land 0xFF)) tag
+
+let handle_frame t wire =
+  if not t.alive then Rejected "daemon not running"
+  else if String.length wire < 4 || wire.[0] <> 'Z' || wire.[1] <> 'Z' then
+    Rejected "bad magic"
+  else
+    let buf = t.proc.Loader.Process.layout.Loader.Layout.heap_base in
+    if String.length wire > t.proc.Loader.Process.layout.Loader.Layout.heap_size
+    then Rejected "oversized frame"
+    else begin
+      Mem.write_bytes t.proc.Loader.Process.mem buf wire;
+      let entry = Loader.Process.symbol t.proc "handle_frame" in
+      let r =
+        Loader.Process.call t.proc ~fuel:400_000 ~entry
+          ~args:[ buf; String.length wire ]
+      in
+      match r.Loader.Process.outcome with
+      | O.Halted ->
+          if r.Loader.Process.ret = 0 then Handled
+          else Rejected "length check (patched build)"
+      | O.Exec _ as reason ->
+          t.alive <- false;
+          Compromised reason
+      | (O.Fault _ | O.Decode_error _ | O.Fuel_exhausted | O.Exited _) as reason
+        ->
+          t.alive <- false;
+          Crashed reason
+      | (O.Cfi_violation _ | O.Aborted _) as reason ->
+          t.alive <- false;
+          Blocked reason
+    end

@@ -1,0 +1,33 @@
+module F = Machine.Stack_frame
+
+let x86 =
+  {
+    F.buffer_size = 512;
+    off_null1 = 0x1F8;  (* parked inside the buffer tail: no NULL checks *)
+    off_null2 = 0x1FC;
+    off_canary = 0x208;  (* [ebp-8] *)
+    off_saved = [ ("ebx", 0x20C); ("ebp", 0x210) ];
+    off_ret = 0x214;
+    frame_end = 0x218;
+  }
+
+let arm =
+  {
+    F.buffer_size = 512;
+    off_null1 = 0x1F8;
+    off_null2 = 0x1FC;
+    off_canary = 0x200;  (* [fp-0x10] *)
+    off_saved = [ ("r4", 0x210); ("fp", 0x214) ];
+    off_ret = 0x218;  (* saved lr *)
+    frame_end = 0x21C;
+  }
+
+let geometry = function Loader.Arch.X86 -> x86 | Loader.Arch.Arm -> arm
+
+(* x86: 2 args (8) + return (4) + push ebp (4) + push ebx (4); buffer at
+   ebp-0x210.  ARM: push {r4, fp, lr} (12); buffer at fp-0x210. *)
+let buffer_addr proc =
+  let top = proc.Loader.Process.layout.Loader.Layout.stack_top - 0x100 in
+  match proc.Loader.Process.arch with
+  | Loader.Arch.X86 -> top - 16 - 0x210
+  | Loader.Arch.Arm -> top - 12 - 0x210

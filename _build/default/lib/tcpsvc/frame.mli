@@ -1,0 +1,7 @@
+(** Frame geometry of tcpsvc-sim's [handle_frame] — the §V "crafted TCP
+    packet" target (CVE-2018-20410 class): a 512-byte tag buffer copied
+    from a length-framed binary message, where the attacker's bytes reach
+    the stack {e verbatim} (no DNS label-length constraint). *)
+
+val geometry : Loader.Arch.t -> Machine.Stack_frame.t
+val buffer_addr : Loader.Process.t -> int

@@ -1,0 +1,4 @@
+(** tcpsvc-sim for ARMv7 (see {!Program_x86}). *)
+
+val spec : patched:bool -> profile:Defense.Profile.t -> Loader.Process.spec
+val entry : string

@@ -1,0 +1,8 @@
+(** tcpsvc-sim for x86-32: the §V "crafted TCP packet" overflow target
+    (CVE-2018-20410 class) — a length-framed binary protocol whose tag
+    field is copied unchecked into a 512-byte stack buffer.  Unlike the
+    DNS carriers, payload bytes arrive verbatim: no label-layout planning
+    is needed. *)
+
+val spec : patched:bool -> profile:Defense.Profile.t -> Loader.Process.spec
+val entry : string

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Connman Dns Gen List Printf QCheck QCheck_alcotest

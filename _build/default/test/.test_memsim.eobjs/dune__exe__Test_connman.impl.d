@@ -1,0 +1,1 @@
+test/test_connman.ml: Alcotest Buffer Bytes Char Connman Defense Dns Dnsproxy Frame Gen List Loader Machine Memsim Printf QCheck QCheck_alcotest String Version

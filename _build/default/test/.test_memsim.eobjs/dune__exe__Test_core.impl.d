@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Connman Core Defense Device Experiments Exploit Firmware Format Gen List Loader Machine Netsim Option Printf QCheck QCheck_alcotest Scenario Stats String

@@ -1,0 +1,1 @@
+test/test_dns.ml: Alcotest Array Char Craft Dns Fun List Name Packet QCheck QCheck_alcotest Result String

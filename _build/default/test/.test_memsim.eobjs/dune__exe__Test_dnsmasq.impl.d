@@ -1,0 +1,1 @@
+test/test_dnsmasq.ml: Alcotest Autogen Char Connman Defense Dns Dnsmasq Exploit List Loader Machine Memsim Result String Target

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Buffer Char Connman Dns Gen Isa_arm Isa_x86 List Machine QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_isa_arm.ml: Alcotest Asm Cpu Decode Encode Fun Insn Isa_arm List Machine Memsim Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_isa_x86.ml: Alcotest Asm Char Cpu Decode Encode Gen Insn Isa_x86 List Machine Memsim Option Printf QCheck QCheck_alcotest String

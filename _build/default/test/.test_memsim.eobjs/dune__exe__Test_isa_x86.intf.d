@@ -1,0 +1,1 @@
+test/test_isa_x86.mli:

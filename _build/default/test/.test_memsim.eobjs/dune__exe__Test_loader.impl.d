@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Arch Asm Defense Isa_arm Isa_x86 Layout List Loader Machine Memsim Process QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Char Dns List Netsim Option QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_tcpsvc.ml: Alcotest Autogen Defense Exploit Format List Loader Machine Memsim Netsim Payload String Target Tcpsvc

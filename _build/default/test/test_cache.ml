@@ -1,0 +1,128 @@
+(* Tests for the TTL-aware DNS cache and its daemon integration. *)
+
+module Cache = Dns.Cache
+module Dnsproxy = Connman.Dnsproxy
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let opt_int = Alcotest.(check (option int))
+
+let test_insert_lookup () =
+  let c = Cache.create () in
+  Cache.insert c ~now:0 ~name:"a.example" ~ttl:60 ~ipv4:0x01020304;
+  opt_int "hit" (Some 0x01020304) (Cache.lookup c ~now:10 "a.example");
+  opt_int "miss" None (Cache.lookup c ~now:10 "b.example")
+
+let test_ttl_expiry () =
+  let c = Cache.create () in
+  Cache.insert c ~now:0 ~name:"a.example" ~ttl:60 ~ipv4:1;
+  opt_int "fresh at 59" (Some 1) (Cache.lookup c ~now:59 "a.example");
+  opt_int "expired at 60" None (Cache.lookup c ~now:60 "a.example");
+  (* Expired entries are pruned on lookup. *)
+  check_int "size after prune" 0 (Cache.size c ~now:60)
+
+let test_zero_ttl_never_cached () =
+  let c = Cache.create () in
+  Cache.insert c ~now:0 ~name:"a.example" ~ttl:0 ~ipv4:1;
+  opt_int "not cached" None (Cache.lookup c ~now:0 "a.example")
+
+let test_replace_updates () =
+  let c = Cache.create () in
+  Cache.insert c ~now:0 ~name:"a.example" ~ttl:60 ~ipv4:1;
+  Cache.insert c ~now:0 ~name:"a.example" ~ttl:60 ~ipv4:2;
+  opt_int "latest wins" (Some 2) (Cache.lookup c ~now:1 "a.example");
+  check_int "single entry" 1 (Cache.size c ~now:1)
+
+let test_capacity_eviction () =
+  let c = Cache.create ~capacity:4 () in
+  for i = 1 to 4 do
+    (* Distinct expiries: entry 1 is closest to expiry. *)
+    Cache.insert c ~now:0 ~name:(Printf.sprintf "h%d" i) ~ttl:(i * 10) ~ipv4:i
+  done;
+  Cache.insert c ~now:0 ~name:"h5" ~ttl:100 ~ipv4:5;
+  check_int "capacity held" 4 (Cache.size c ~now:0);
+  opt_int "soonest-expiry evicted" None (Cache.lookup c ~now:0 "h1");
+  opt_int "newest present" (Some 5) (Cache.lookup c ~now:0 "h5");
+  check_int "eviction counted" 1 (Cache.stats c).Cache.evictions
+
+let test_stats () =
+  let c = Cache.create () in
+  Cache.insert c ~now:0 ~name:"a" ~ttl:10 ~ipv4:1;
+  ignore (Cache.lookup c ~now:1 "a");
+  ignore (Cache.lookup c ~now:1 "b");
+  let s = Cache.stats c in
+  check_int "hits" 1 s.Cache.hits;
+  check_int "misses" 1 s.Cache.misses;
+  check_int "insertions" 1 s.Cache.insertions
+
+let test_flush () =
+  let c = Cache.create () in
+  Cache.insert c ~now:0 ~name:"a" ~ttl:10 ~ipv4:1;
+  Cache.flush c;
+  check_int "empty" 0 (Cache.size c ~now:0)
+
+let prop_capacity_never_exceeded =
+  QCheck.Test.make ~name:"capacity bound holds under churn" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          list_size (int_range 1 100)
+            (pair (string_size ~gen:(char_range 'a' 'f') (return 3)) (int_range 1 50))))
+    (fun inserts ->
+      let c = Cache.create ~capacity:8 () in
+      List.iteri
+        (fun i (name, ttl) -> Cache.insert c ~now:i ~name ~ttl ~ipv4:i)
+        inserts;
+      Cache.size c ~now:0 <= 8)
+
+let prop_fresh_entries_always_hit =
+  QCheck.Test.make ~name:"a fresh insert always hits before expiry" ~count:200
+    QCheck.(make Gen.(pair (int_range 1 1000) (int_range 0 2000)))
+    (fun (ttl, dt) ->
+      let c = Cache.create () in
+      Cache.insert c ~now:100 ~name:"x" ~ttl ~ipv4:42;
+      let hit = Cache.lookup c ~now:(100 + dt) "x" in
+      if dt < ttl then hit = Some 42 else hit = None)
+
+(* --- daemon integration --- *)
+
+let lookup_name = Dns.Name.of_string "ipv4.connman.net"
+
+let test_daemon_ttl_expiry () =
+  let d = Dnsproxy.create Dnsproxy.default_config in
+  let query = Dnsproxy.make_query d lookup_name in
+  let wire =
+    Dns.Packet.encode
+      (Dns.Packet.response ~query
+         [ Dns.Packet.a_record lookup_name ~ttl:30 ~ipv4:0x7F000001 ])
+  in
+  (match Dnsproxy.handle_response d wire with
+  | Dnsproxy.Cached 1 -> ()
+  | other -> Alcotest.failf "parse: %a" Dnsproxy.pp_disposition other);
+  check_bool "fresh" true (Dnsproxy.cache_lookup d lookup_name = Some 0x7F000001);
+  Dnsproxy.tick d 29;
+  check_bool "still fresh at 29s" true
+    (Dnsproxy.cache_lookup d lookup_name <> None);
+  Dnsproxy.tick d 2;
+  check_bool "expired at 31s" true (Dnsproxy.cache_lookup d lookup_name = None);
+  let s = Dnsproxy.cache_stats d in
+  check_bool "stats flow" true (s.Cache.hits >= 2 && s.Cache.misses >= 1)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "cache"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+          Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
+          Alcotest.test_case "zero ttl" `Quick test_zero_ttl_never_cached;
+          Alcotest.test_case "replace" `Quick test_replace_updates;
+          Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "flush" `Quick test_flush;
+        ] );
+      ("properties", [ qt prop_capacity_never_exceeded; qt prop_fresh_entries_always_hit ]);
+      ( "daemon integration",
+        [ Alcotest.test_case "ttl drives expiry" `Quick test_daemon_ttl_expiry ] );
+    ]

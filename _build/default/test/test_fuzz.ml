@@ -1,0 +1,156 @@
+(* Fuzz-style robustness tests: whatever bytes arrive, the host-side code
+   must stay total (return values, never exceptions), and the daemon must
+   classify every machine outcome.  The simulated overflow is allowed to
+   crash the *guest*; nothing may crash the *host*. *)
+
+module O = Machine.Outcome
+module Dnsproxy = Connman.Dnsproxy
+
+let lookup = Dns.Name.of_string "ipv4.connman.net"
+
+let gen_bytes max_len =
+  QCheck.Gen.(string_size ~gen:char (int_range 0 max_len))
+
+(* --- codecs are total --- *)
+
+let prop_packet_decode_total =
+  QCheck.Test.make ~name:"Packet.decode never raises" ~count:1000
+    (QCheck.make (gen_bytes 512))
+    (fun bytes ->
+      match Dns.Packet.decode bytes with Ok _ | Error _ -> true)
+
+let prop_name_decode_total =
+  QCheck.Test.make ~name:"Name.decode never raises" ~count:1000
+    (QCheck.make (gen_bytes 256))
+    (fun bytes ->
+      match Dns.Name.decode bytes 0 with Ok _ | Error _ -> true)
+
+let prop_vulnerable_expand_total =
+  QCheck.Test.make ~name:"expand_like_connman never raises" ~count:1000
+    (QCheck.make (gen_bytes 256))
+    (fun bytes ->
+      match Dns.Name.expand_like_connman bytes 0 with Ok _ | Error _ -> true)
+
+let prop_decoders_total_on_random_words =
+  QCheck.Test.make ~name:"instruction decoders never raise unexpectedly"
+    ~count:2000
+    QCheck.(make Gen.(pair (int_bound 0xFFFFFFF) (int_bound 0xF)))
+    (fun (w, hi) ->
+      let word = w lor (hi lsl 28) in
+      (match Isa_arm.Decode.decode_word ~addr:0 word with
+      | _ -> true
+      | exception Isa_arm.Decode.Error _ -> true)
+      &&
+      let bytes =
+        String.init 8 (fun i -> Char.chr ((word lsr (8 * (i land 3))) land 0xFF))
+      in
+      match Isa_x86.Decode.decode_with (fun i -> Char.code bytes.[i land 7]) 0 with
+      | _ -> true
+      | exception Isa_x86.Decode.Error _ -> true)
+
+(* --- the daemon survives arbitrary garbage (host-side) --- *)
+
+let classify_ok d disposition =
+  match disposition with
+  | Dnsproxy.Cached _ | Dnsproxy.Dropped _ -> Dnsproxy.alive d
+  | Dnsproxy.Crashed _ | Dnsproxy.Compromised _ | Dnsproxy.Blocked _ ->
+      not (Dnsproxy.alive d)
+
+let prop_daemon_total_on_garbage =
+  QCheck.Test.make ~name:"daemon handles arbitrary datagrams" ~count:200
+    (QCheck.make (gen_bytes 300))
+    (fun bytes ->
+      let d = Dnsproxy.create Dnsproxy.default_config in
+      ignore (Dnsproxy.make_query d lookup);
+      classify_ok d (Dnsproxy.handle_response d bytes))
+
+(* Garbage that passes pre-validation: correct header/id/question, random
+   answer-section bytes — this drives the vulnerable machine code with
+   arbitrary input. *)
+let prop_daemon_total_on_hostile_answers =
+  QCheck.Test.make ~name:"daemon classifies arbitrary answer sections" ~count:150
+    (QCheck.make (gen_bytes 600))
+    (fun garbage ->
+      let d = Dnsproxy.create Dnsproxy.default_config in
+      let query = Dnsproxy.make_query d lookup in
+      let wire =
+        (* Hand-build: header + question echo + raw garbage as the answer
+           section. *)
+        let buf = Buffer.create 128 in
+        let u16 v =
+          Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+          Buffer.add_char buf (Char.chr (v land 0xFF))
+        in
+        u16 query.Dns.Packet.header.Dns.Packet.id;
+        u16 0x8180;
+        u16 1;
+        u16 1;
+        u16 0;
+        u16 0;
+        Buffer.add_string buf (Dns.Name.encode lookup);
+        u16 1;
+        u16 1;
+        Buffer.add_string buf garbage;
+        Buffer.contents buf
+      in
+      classify_ok d (Dnsproxy.handle_response d wire))
+
+let prop_daemon_random_label_streams =
+  (* Arbitrary label streams (valid-shaped but arbitrary contents): the
+     machine may crash, hang, or parse; the host must classify. *)
+  QCheck.Test.make ~name:"daemon classifies random label streams" ~count:150
+    QCheck.(make Gen.(list_size (int_range 0 80) (pair (int_range 1 63) (int_bound 255))))
+    (fun labels ->
+      let d = Dnsproxy.create Dnsproxy.default_config in
+      let query = Dnsproxy.make_query d lookup in
+      let raw_name =
+        let buf = Buffer.create 256 in
+        List.iter
+          (fun (len, fill) ->
+            Buffer.add_char buf (Char.chr len);
+            Buffer.add_string buf (String.make len (Char.chr fill)))
+          labels;
+        Buffer.add_char buf '\x00';
+        Buffer.contents buf
+      in
+      let wire = Dns.Craft.hostile_response ~query ~raw_name () in
+      classify_ok d (Dnsproxy.handle_response d wire))
+
+(* Truncated real responses at every length: a classic parser gauntlet. *)
+let test_truncation_gauntlet () =
+  let d0 = Dnsproxy.create Dnsproxy.default_config in
+  let query = Dnsproxy.make_query d0 lookup in
+  let wire =
+    Dns.Packet.encode
+      (Dns.Packet.response ~query
+         [ Dns.Packet.a_record lookup ~ttl:60 ~ipv4:0x01020304 ])
+  in
+  for len = 0 to String.length wire - 1 do
+    let d = Dnsproxy.create Dnsproxy.default_config in
+    ignore (Dnsproxy.make_query d lookup);
+    let truncated = String.sub wire 0 len in
+    match Dnsproxy.handle_response d truncated with
+    | Dnsproxy.Cached _ | Dnsproxy.Dropped _ | Dnsproxy.Crashed _
+    | Dnsproxy.Compromised _ | Dnsproxy.Blocked _ ->
+        ()
+  done
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fuzz"
+    [
+      ( "codecs",
+        [
+          qt prop_packet_decode_total;
+          qt prop_name_decode_total;
+          qt prop_vulnerable_expand_total;
+          qt prop_decoders_total_on_random_words;
+        ] );
+      ( "daemon",
+        [
+          qt prop_daemon_total_on_garbage;
+          qt prop_daemon_total_on_hostile_answers;
+          qt prop_daemon_random_label_streams;
+          Alcotest.test_case "truncation gauntlet" `Quick test_truncation_gauntlet;
+        ] );
+    ]

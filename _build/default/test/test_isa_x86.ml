@@ -1,0 +1,771 @@
+(* Tests for the x86-32 assembler, decoder, and interpreter. *)
+
+module Mem = Memsim.Memory
+module Word = Memsim.Word
+open Isa_x86
+module O = Machine.Outcome
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let no_kernel _n _cpu = O.Stop (O.Aborted "unexpected syscall")
+
+(* Assemble a program at a base, map text rx + a stack, return (mem, cpu,
+   result).  The program is expected to end by running into [trap]. *)
+let setup ?(cfi = false) ?extern program =
+  let mem = Mem.create () in
+  let text_base = 0x0804_8000 in
+  let result = Asm.assemble ?extern ~base:text_base program in
+  let size = max 0x1000 (String.length result.Asm.code) in
+  Mem.map mem ~base:text_base ~size ~perm:Mem.rx ~name:"text";
+  Mem.poke_bytes mem text_base result.Asm.code;
+  Mem.map mem ~base:0xBFFF_0000 ~size:0x10000 ~perm:Mem.rw ~name:"stack";
+  let cpu = Cpu.create ~cfi mem in
+  Cpu.set cpu Insn.ESP 0xBFFF_F000;
+  cpu.Cpu.eip <- text_base;
+  (mem, cpu, result)
+
+let run ?fuel ?(kernel = no_kernel) cpu = Cpu.run ?fuel ~traps:[] ~kernel cpu
+
+(* --- encode/decode --- *)
+
+let roundtrip insn =
+  let bytes = Encode.encode insn in
+  let got, len = Decode.decode_with (fun i -> Char.code bytes.[i]) 0 in
+  Alcotest.(check int) ("length of " ^ Insn.to_string insn) (String.length bytes) len;
+  Alcotest.(check string)
+    ("round-trip " ^ Insn.to_string insn)
+    (Insn.to_string insn) (Insn.to_string got)
+
+let test_encode_known_bytes () =
+  let check_hex name insn expected =
+    let got =
+      String.concat ""
+        (List.map (Printf.sprintf "%02x")
+           (List.init (String.length (Encode.encode insn)) (fun i ->
+                Char.code (Encode.encode insn).[i])))
+    in
+    Alcotest.(check string) name expected got
+  in
+  (* Ground truth from the IA-32 manual / nasm. *)
+  check_hex "nop" Insn.Nop "90";
+  check_hex "push eax" (Insn.Push_r Insn.EAX) "50";
+  check_hex "pop ebx" (Insn.Pop_r Insn.EBX) "5b";
+  check_hex "ret" Insn.Ret "c3";
+  check_hex "leave" Insn.Leave "c9";
+  check_hex "int 0x80" (Insn.Int 0x80) "cd80";
+  check_hex "push 0x68732f" (Insn.Push_i 0x68732F) "682f736800";
+  check_hex "mov eax, 0xb" (Insn.Mov_ri (Insn.EAX, 0xB)) "b80b000000";
+  check_hex "push byte 1" (Insn.Push_i8 1) "6a01";
+  check_hex "jmp short -2" (Insn.Jmp_short (-2)) "ebfe";
+  check_hex "neg eax" (Insn.Neg (Insn.Reg Insn.EAX)) "f7d8";
+  check_hex "not ecx" (Insn.Not (Insn.Reg Insn.ECX)) "f7d1";
+  check_hex "imul eax, ecx" (Insn.Imul (Insn.EAX, Insn.Reg Insn.ECX)) "0fafc1";
+  check_hex "mov ebx, esp" (Insn.Mov (Insn.Reg Insn.EBX, Insn.Reg Insn.ESP)) "89e3";
+  check_hex "xor ecx, ecx" (Insn.Xor (Insn.Reg Insn.ECX, Insn.Reg Insn.ECX)) "31c9";
+  check_hex "mov ebp, esp" (Insn.Mov (Insn.Reg Insn.EBP, Insn.Reg Insn.ESP)) "89e5";
+  check_hex "mov eax,[ebp+8]"
+    (Insn.Mov (Insn.Reg Insn.EAX, Insn.Mem { base = Some Insn.EBP; disp = 8 }))
+    "8b4508";
+  check_hex "mov [esp+4], eax"
+    (Insn.Mov (Insn.Mem { base = Some Insn.ESP; disp = 4 }, Insn.Reg Insn.EAX))
+    "89442404";
+  check_hex "call rel32 0" (Insn.Call_rel 0) "e800000000";
+  check_hex "jmp [0x0804a000]"
+    (Insn.Jmp_rm (Insn.Mem { base = None; disp = 0x0804A000 }))
+    "ff2500a00408"
+
+let test_pop_pop_pop_ret_bytes () =
+  (* The gadget shape §III-C1 hunts for. *)
+  let bytes =
+    String.concat ""
+      [
+        Encode.encode (Insn.Pop_r Insn.EBX);
+        Encode.encode (Insn.Pop_r Insn.ESI);
+        Encode.encode (Insn.Pop_r Insn.EDI);
+        Encode.encode Insn.Ret;
+      ]
+  in
+  Alcotest.(check string) "pppr" "\x5b\x5e\x5f\xc3" bytes
+
+let all_regs = Insn.[ EAX; ECX; EDX; EBX; ESP; EBP; ESI; EDI ]
+
+let test_roundtrip_corpus () =
+  let open Insn in
+  let mems =
+    [
+      { base = None; disp = 0x0804A123 };
+      { base = Some EAX; disp = 0 };
+      { base = Some EBP; disp = -8 };
+      { base = Some EBP; disp = 0 };
+      { base = Some ESP; disp = 0 };
+      { base = Some ESP; disp = 4 };
+      { base = Some ESP; disp = 0x220 };
+      { base = Some ESI; disp = 0x1000 };
+      { base = Some EDI; disp = -300 };
+    ]
+  in
+  List.iter (fun r -> roundtrip (Push_r r)) all_regs;
+  List.iter (fun r -> roundtrip (Pop_r r)) all_regs;
+  List.iter (fun r -> roundtrip (Inc_r r)) all_regs;
+  List.iter (fun r -> roundtrip (Dec_r r)) all_regs;
+  List.iter (fun m -> roundtrip (Push_m m)) mems;
+  List.iter
+    (fun m ->
+      roundtrip (Mov (Reg EAX, Mem m));
+      roundtrip (Mov (Mem m, Reg ECX));
+      roundtrip (Lea (EDX, m));
+      roundtrip (Add (Mem m, Reg EBX));
+      roundtrip (Cmp_i (Mem m, 1234567)))
+    mems;
+  List.iter roundtrip
+    [
+      Nop;
+      Push_i 0xDEADBEEF;
+      Mov_ri (ECX, 0x11223344);
+      Mov (Reg EAX, Reg EBX);
+      Mov_b (Reg EAX, Reg ECX);
+      Mov_b (Mem { base = Some EDI; disp = 2 }, Reg EAX);
+      Movzx_b (EAX, Mem { base = Some ESI; disp = 0 });
+      Movzx_b (EBX, Reg ECX);
+      Add_i (Reg ESP, 0xC);
+      Add_i (Reg ESP, 0x1000);
+      Sub_i (Reg ESP, 0x420);
+      Sub (Reg EAX, Reg EBX);
+      And (Reg EAX, Reg EBX);
+      Or (Reg EAX, Reg EBX);
+      Xor (Reg ECX, Reg ECX);
+      Cmp (Reg EAX, Reg EBX);
+      Cmp_i (Reg EAX, 63);
+      Test_rr (EAX, EAX);
+      Push_i8 (-1);
+      Push_i8 127;
+      Mov_mi (Reg EAX, 0x11223344);
+      Mov_mi (Mem { base = Some EBP; disp = -8 }, 42);
+      Neg (Reg EBX);
+      Not (Mem { base = Some ESI; disp = 4 });
+      Imul (ECX, Reg EDX);
+      Imul (EAX, Mem { base = Some EBP; disp = 8 });
+      Jmp_short 10;
+      Jmp_short (-10);
+      Jcc_short (E, 5);
+      Jcc_short (NE, -5);
+      Shl_i (EDX, 8);
+      Shr_i (EDX, 24);
+      Call_rel 1234;
+      Call_rel (-1234);
+      Call_rm (Reg EAX);
+      Call_rm (Mem { base = None; disp = 0x0804C000 });
+      Jmp_rel (-5);
+      Jmp_rm (Reg ESP);
+      Jcc (E, 16);
+      Jcc (NE, -32);
+      Jcc (B, 7);
+      Jcc (A, 7);
+      Jcc (L, 7);
+      Jcc (GE, 7);
+      Ret;
+      Ret_i 8;
+      Leave;
+      Int 0x80;
+      Hlt;
+    ]
+
+let gen_insn : Insn.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Insn in
+  let reg = oneofl all_regs in
+  let imm = map Word.to_signed (int_bound 0xFFFFFF) in
+  let mem =
+    map2
+      (fun base disp -> { base; disp })
+      (oneof [ return None; map Option.some reg ])
+      (int_range (-2048) 2048)
+  in
+  let operand = oneof [ map (fun r -> Reg r) reg; map (fun m -> Mem m) mem ] in
+  let rm_pair =
+    (* At most one memory operand. *)
+    oneof
+      [
+        map2 (fun a b -> (Reg a, Reg b)) reg reg;
+        map2 (fun m r -> (Mem m, Reg r)) mem reg;
+        map2 (fun r m -> (Reg r, Mem m)) reg mem;
+      ]
+  in
+  oneof
+    [
+      return Nop;
+      map (fun r -> Push_r r) reg;
+      map (fun i -> Push_i i) imm;
+      map (fun m -> Push_m m) mem;
+      map (fun r -> Pop_r r) reg;
+      map2 (fun r i -> Mov_ri (r, i)) reg imm;
+      map (fun (d, s) -> Mov (d, s)) rm_pair;
+      map2 (fun r m -> Lea (r, m)) reg mem;
+      map (fun (d, s) -> Add (d, s)) rm_pair;
+      map2 (fun o i -> Add_i (o, i)) operand imm;
+      map (fun (d, s) -> Sub (d, s)) rm_pair;
+      map2 (fun o i -> Sub_i (o, i)) operand imm;
+      map (fun (d, s) -> Xor (d, s)) rm_pair;
+      map (fun (d, s) -> Cmp (d, s)) rm_pair;
+      map2 (fun o i -> Cmp_i (o, i)) operand imm;
+      map2 (fun a b -> Test_rr (a, b)) reg reg;
+      map (fun i -> Push_i8 (Word.to_signed (Word.sign8 (i land 0xFF)))) imm;
+      map2 (fun o i -> Mov_mi (o, i)) operand imm;
+      map (fun o -> Neg o) operand;
+      map (fun o -> Not o) operand;
+      map2 (fun r o -> Imul (r, o)) reg operand;
+      map (fun i -> Jmp_short (Word.to_signed (Word.sign8 (i land 0xFF)))) imm;
+      map (fun i -> Jcc_short (E, Word.to_signed (Word.sign8 (i land 0xFF)))) imm;
+      map (fun r -> Inc_r r) reg;
+      map (fun r -> Dec_r r) reg;
+      map (fun i -> Call_rel i) imm;
+      map (fun o -> Call_rm o) operand;
+      map (fun i -> Jmp_rel i) imm;
+      map (fun o -> Jmp_rm o) operand;
+      return Ret;
+      map (fun i -> Ret_i (i land 0xFFFF)) imm;
+      return Leave;
+      map (fun i -> Int (i land 0xFF)) imm;
+      return Hlt;
+    ]
+
+let prop_encode_decode_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round-trip" ~count:2000
+    (QCheck.make ~print:Insn.to_string gen_insn)
+    (fun insn ->
+      let bytes = Encode.encode insn in
+      let got, len = Decode.decode_with (fun i -> Char.code bytes.[i]) 0 in
+      len = String.length bytes && Insn.to_string got = Insn.to_string insn)
+
+let prop_decoded_length_positive =
+  QCheck.Test.make ~name:"decode consumes at least one byte" ~count:500
+    QCheck.(string_of_size (Gen.return 16))
+    (fun s ->
+      QCheck.assume (String.length s = 16);
+      match Decode.decode_with (fun i -> Char.code s.[i land 15]) 0 with
+      | _, len -> len >= 1 && len <= 16
+      | exception Decode.Error _ -> true)
+
+let test_ret_imm_and_indirect_calls () =
+  let open Insn in
+  (* callee: stdcall-style ret 8 cleaning its own args; caller reaches it
+     through a function-pointer table in memory (the PLT shape). *)
+  let program =
+    [
+      Asm.I (Push_i 3);
+      Asm.I (Push_i 4);
+      Asm.I (Call_rm (Mem { base = None; disp = 0xBFFF_1000 }));
+      Asm.I Hlt;
+      Asm.Label "callee";
+      Asm.I (Mov (Reg EAX, Mem { base = Some ESP; disp = 4 }));
+      Asm.I (Add (Reg EAX, Mem { base = Some ESP; disp = 8 }));
+      Asm.I (Ret_i 8);
+    ]
+  in
+  let mem, cpu, result = setup program in
+  Mem.write_u32 mem 0xBFFF_1000 (Asm.symbol result "callee");
+  let sp0 = Cpu.get cpu ESP in
+  let outcome = run cpu in
+  check_bool "halted" true (outcome = O.Halted);
+  check_int "sum" 7 (Cpu.get cpu EAX);
+  check_int "ret imm cleaned args" sp0 (Cpu.get cpu ESP)
+
+let test_push_m_and_jmp_rm_mem () =
+  let open Insn in
+  let program =
+    [
+      Asm.I (Jmp_rm (Mem { base = None; disp = 0xBFFF_2000 }));
+      Asm.I Hlt;
+      (* fall-through trap: should be skipped *)
+      Asm.Label "land";
+      Asm.I (Push_m { base = None; disp = 0xBFFF_2004 });
+      Asm.I (Pop_r EDX);
+      Asm.I Hlt;
+    ]
+  in
+  let mem, cpu, result = setup program in
+  Mem.write_u32 mem 0xBFFF_2000 (Asm.symbol result "land");
+  Mem.write_u32 mem 0xBFFF_2004 0xFEEDFACE;
+  ignore (run cpu);
+  check_int "jmp [mem] + push [mem]" 0xFEEDFACE (Cpu.get cpu EDX)
+
+let test_all_condition_codes_roundtrip_and_hold () =
+  let open Insn in
+  (* For each condition: set flags with a cmp that makes it true and one
+     that makes it false; the interpreter must agree with IA-32 tables. *)
+  let cases =
+    [
+      (* cond, (a, b) making it true, (a', b') making it false *)
+      (E, (5, 5), (5, 6));
+      (NE, (5, 6), (5, 5));
+      (B, (1, 2), (2, 1));
+      (AE, (2, 1), (1, 2));
+      (BE, (2, 2), (3, 2));
+      (A, (3, 2), (2, 2));
+      (L, (-1, 0), (0, -1));
+      (GE, (0, -1), (-1, 0));
+      (LE, (-1, -1), (0, -1));
+      (G, (0, -1), (-1, -1));
+      (S, (0, 1), (1, 0));
+      (NS, (1, 0), (0, 1));
+    ]
+  in
+  List.iter
+    (fun (c, (ta, tb), (fa, fb)) ->
+      let probe a b expected =
+        let program =
+          [
+            Asm.I (Mov_ri (EAX, a));
+            Asm.I (Mov_ri (ECX, b));
+            Asm.I (Cmp (Reg EAX, Reg ECX));
+            Asm.I (Mov_ri (EDX, 0));
+            Asm.Jcc (c, "taken");
+            Asm.I Hlt;
+            Asm.Label "taken";
+            Asm.I (Mov_ri (EDX, 1));
+            Asm.I Hlt;
+          ]
+        in
+        let _, cpu, _ = setup program in
+        ignore (run cpu);
+        check_int (Printf.sprintf "j%s %d?%d" (cond_name c) a b) expected
+          (Cpu.get cpu EDX)
+      in
+      probe ta tb 1;
+      probe fa fb 0)
+    cases
+
+let test_code_across_page_boundary () =
+  (* Instructions straddling a page boundary must fetch correctly. *)
+  let open Insn in
+  let program =
+    [ Asm.Bytes (String.make 4093 '\x90'); Asm.I (Mov_ri (EAX, 0x1234)); Asm.I Hlt ]
+  in
+  let _, cpu, _ = setup program in
+  ignore (run ~fuel:10_000 cpu);
+  check_int "mov across boundary" 0x1234 (Cpu.get cpu EAX)
+
+let prop_assemble_disassemble_stream =
+  (* Straight-line programs (no control flow) must round-trip through
+     assemble → memory → linear-sweep disassembly. *)
+  let straight =
+    QCheck.Gen.(
+      list_size (int_range 1 40)
+        (oneof
+           [
+             map (fun r -> Insn.Push_r r) (oneofl all_regs);
+             map (fun r -> Insn.Pop_r r) (oneofl all_regs);
+             map2 (fun r i -> Insn.Mov_ri (r, i)) (oneofl all_regs)
+               (int_bound 0xFFFFF);
+             map2
+               (fun d s -> Insn.Mov (Insn.Reg d, Insn.Reg s))
+               (oneofl all_regs) (oneofl all_regs);
+             return Insn.Nop;
+             return Insn.Ret;
+           ]))
+  in
+  QCheck.Test.make ~name:"assemble/disassemble stream identity" ~count:200
+    (QCheck.make straight)
+    (fun insns ->
+      let program = List.map (fun i -> Asm.I i) insns in
+      let mem = Mem.create () in
+      let result = Asm.assemble ~base:0x1000 program in
+      Mem.map mem ~base:0x1000
+        ~size:(max 0x1000 (String.length result.Asm.code))
+        ~perm:Mem.rx ~name:"t";
+      Mem.poke_bytes mem 0x1000 result.Asm.code;
+      let listing =
+        Asm.disassemble mem ~base:0x1000 ~len:(String.length result.Asm.code)
+      in
+      List.map (fun (_, _, _, s) -> s) listing
+      = List.map Insn.to_string insns)
+
+(* --- assembler --- *)
+
+let test_asm_labels_and_calls () =
+  let open Insn in
+  let program =
+    [
+      Asm.Label "main";
+      Asm.I (Mov_ri (EAX, 0));
+      Asm.Call "add_five";
+      Asm.Call "add_five";
+      Asm.I Hlt;
+      Asm.Label "add_five";
+      Asm.I (Add_i (Reg EAX, 5));
+      Asm.I Ret;
+    ]
+  in
+  let _, cpu, result = setup program in
+  check_bool "symbols defined" true (Asm.symbol result "add_five" > Asm.symbol result "main");
+  let outcome = run cpu in
+  check_bool "halted" true (outcome = O.Halted);
+  check_int "two calls executed" 10 (Cpu.get cpu EAX)
+
+let test_asm_backward_jump_loop () =
+  let open Insn in
+  (* Sum 1..10 with a conditional backward jump. *)
+  let program =
+    [
+      Asm.I (Mov_ri (EAX, 0));
+      Asm.I (Mov_ri (ECX, 10));
+      Asm.Label "loop";
+      Asm.I (Add (Reg EAX, Reg ECX));
+      Asm.I (Dec_r ECX);
+      Asm.I (Cmp_i (Reg ECX, 0));
+      Asm.Jcc (NE, "loop");
+      Asm.I Hlt;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  ignore (run cpu);
+  check_int "sum" 55 (Cpu.get cpu EAX)
+
+let test_asm_word_sym_and_align () =
+  let program =
+    [
+      Asm.I Insn.Hlt;
+      Asm.Align 16;
+      Asm.Label "table";
+      Asm.Word 0x11223344;
+      Asm.Word_sym "table";
+      Asm.Bytes "/bin/sh\x00";
+      Asm.Label "end";
+    ]
+  in
+  let result = Asm.assemble ~base:0x1000 program in
+  let table = Asm.symbol result "table" in
+  check_int "aligned" 0 (table land 15);
+  check_int "end" (table + 16) (Asm.symbol result "end");
+  (* Word_sym points at table itself. *)
+  let off = table - 0x1000 + 4 in
+  let w =
+    Char.code result.Asm.code.[off]
+    lor (Char.code result.Asm.code.[off + 1] lsl 8)
+    lor (Char.code result.Asm.code.[off + 2] lsl 16)
+    lor (Char.code result.Asm.code.[off + 3] lsl 24)
+  in
+  check_int "word_sym resolved" table w
+
+let test_asm_undefined_symbol () =
+  Alcotest.check_raises "undefined" (Failure "Asm: undefined symbol nowhere")
+    (fun () -> ignore (Asm.assemble ~base:0 [ Asm.Call "nowhere" ]))
+
+let test_asm_duplicate_symbol () =
+  Alcotest.check_raises "duplicate" (Failure "Asm: duplicate symbol a") (fun () ->
+      ignore (Asm.assemble ~base:0 [ Asm.Label "a"; Asm.Label "a" ]))
+
+(* --- interpreter semantics --- *)
+
+let test_stack_push_pop () =
+  let open Insn in
+  let program =
+    [
+      Asm.I (Push_i 0x1111);
+      Asm.I (Push_i 0x2222);
+      Asm.I (Pop_r EAX);
+      Asm.I (Pop_r EBX);
+      Asm.I Hlt;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  let sp0 = Cpu.get cpu ESP in
+  ignore (run cpu);
+  check_int "LIFO a" 0x2222 (Cpu.get cpu EAX);
+  check_int "LIFO b" 0x1111 (Cpu.get cpu EBX);
+  check_int "esp restored" sp0 (Cpu.get cpu ESP)
+
+let test_cdecl_call_frame () =
+  let open Insn in
+  (* int add(a, b) { return a + b; } called as add(3, 4) — the cdecl
+     convention the x86 exploits manipulate. *)
+  let program =
+    [
+      Asm.I (Push_i 4);
+      Asm.I (Push_i 3);
+      Asm.Call "add";
+      Asm.I (Add_i (Reg ESP, 8));
+      Asm.I Hlt;
+      Asm.Label "add";
+      Asm.I (Push_r EBP);
+      Asm.I (Mov (Reg EBP, Reg ESP));
+      Asm.I (Mov (Reg EAX, Mem { base = Some EBP; disp = 8 }));
+      Asm.I (Add (Reg EAX, Mem { base = Some EBP; disp = 12 }));
+      Asm.I (Pop_r EBP);
+      Asm.I Ret;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  let sp0 = Cpu.get cpu ESP in
+  let outcome = run cpu in
+  check_bool "halted" true (outcome = O.Halted);
+  check_int "sum" 7 (Cpu.get cpu EAX);
+  check_int "caller cleaned stack" sp0 (Cpu.get cpu ESP)
+
+let test_leave_epilogue () =
+  let open Insn in
+  let program =
+    [
+      Asm.Call "f";
+      Asm.I Hlt;
+      Asm.Label "f";
+      Asm.I (Push_r EBP);
+      Asm.I (Mov (Reg EBP, Reg ESP));
+      Asm.I (Sub_i (Reg ESP, 0x40));
+      Asm.I Leave;
+      Asm.I Ret;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  let sp0 = Cpu.get cpu ESP in
+  let ebp0 = Cpu.get cpu EBP in
+  ignore (run cpu);
+  check_int "esp balanced" sp0 (Cpu.get cpu ESP);
+  check_int "ebp restored" ebp0 (Cpu.get cpu EBP)
+
+let test_new_arithmetic_semantics () =
+  let open Insn in
+  let program =
+    [
+      Asm.I (Mov_ri (EAX, 6));
+      Asm.I (Mov_ri (ECX, 7));
+      Asm.I (Imul (EAX, Reg ECX));
+      Asm.I (Mov_ri (EBX, 5));
+      Asm.I (Neg (Reg EBX));
+      Asm.I (Mov_ri (EDX, 0));
+      Asm.I (Not (Reg EDX));
+      Asm.I (Push_i8 (-1));
+      Asm.I (Pop_r ESI);
+      Asm.I Hlt;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  ignore (run cpu);
+  check_int "imul" 42 (Cpu.get cpu EAX);
+  check_int "neg" (Word.of_int (-5)) (Cpu.get cpu EBX);
+  check_int "not" 0xFFFFFFFF (Cpu.get cpu EDX);
+  check_int "push imm8 sign-extends" 0xFFFFFFFF (Cpu.get cpu ESI)
+
+let test_byte_ops_and_movzx () =
+  let open Insn in
+  let program =
+    [
+      Asm.I (Mov_ri (EAX, 0x11223344));
+      Asm.I (Mov_ri (EDI, 0xBFFF_1000));
+      Asm.I (Mov_b (Mem { base = Some EDI; disp = 0 }, EAX |> fun r -> Reg r));
+      Asm.I (Movzx_b (EBX, Mem { base = Some EDI; disp = 0 }));
+      Asm.I Hlt;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  ignore (run cpu);
+  check_int "low byte stored and zero-extended" 0x44 (Cpu.get cpu EBX)
+
+let test_flags_and_conditions () =
+  let open Insn in
+  let program =
+    [
+      Asm.I (Mov_ri (EAX, 5));
+      Asm.I (Cmp_i (Reg EAX, 5));
+      Asm.Jcc (E, "eq");
+      Asm.I (Mov_ri (EBX, 0));
+      Asm.I Hlt;
+      Asm.Label "eq";
+      Asm.I (Mov_ri (EBX, 1));
+      (* Unsigned comparison: 2 < 0xFFFFFFFF. *)
+      Asm.I (Mov_ri (EAX, 2));
+      Asm.I (Cmp_i (Reg EAX, -1));
+      Asm.Jcc (B, "below");
+      Asm.I (Mov_ri (ECX, 0));
+      Asm.I Hlt;
+      Asm.Label "below";
+      Asm.I (Mov_ri (ECX, 1));
+      (* Signed comparison: 2 > -1. *)
+      Asm.I (Cmp_i (Reg EAX, -1));
+      Asm.Jcc (G, "greater");
+      Asm.I (Mov_ri (EDX, 0));
+      Asm.I Hlt;
+      Asm.Label "greater";
+      Asm.I (Mov_ri (EDX, 1));
+      Asm.I Hlt;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  ignore (run cpu);
+  check_int "jz taken" 1 (Cpu.get cpu EBX);
+  check_int "jb unsigned" 1 (Cpu.get cpu ECX);
+  check_int "jg signed" 1 (Cpu.get cpu EDX)
+
+let test_syscall_dispatch () =
+  let open Insn in
+  let program = [ Asm.I (Mov_ri (EAX, 1)); Asm.I (Mov_ri (EBX, 42)); Asm.I (Int 0x80) ] in
+  let _, cpu, _ = setup program in
+  let kernel n cpu =
+    check_int "vector" 0x80 n;
+    match Cpu.get cpu EAX with
+    | 1 -> O.Stop (O.Exited (Cpu.get cpu EBX))
+    | _ -> O.Resume
+  in
+  let outcome = run ~kernel cpu in
+  check_bool "exit(42)" true (outcome = O.Exited 42)
+
+let test_fuel_exhaustion () =
+  let program = [ Asm.Label "spin"; Asm.Jmp "spin" ] in
+  let _, cpu, _ = setup program in
+  let outcome = run ~fuel:1000 cpu in
+  check_bool "hang detected" true (outcome = O.Fuel_exhausted)
+
+let test_unmapped_eip_faults () =
+  let program = [ Asm.I (Insn.Jmp_rm (Insn.Reg Insn.EAX)) ] in
+  let _, cpu, _ = setup program in
+  Cpu.set cpu Insn.EAX 0x5000_0000;
+  match run cpu with
+  | O.Fault f -> check_bool "unmapped" true (f.Mem.kind = Mem.Unmapped)
+  | other -> Alcotest.failf "expected fault, got %s" (O.to_string other)
+
+let test_nx_stack_blocks_execution () =
+  (* Jumping to rw- stack memory must fault on fetch: the W⊕X mechanism. *)
+  let program = [ Asm.I (Insn.Jmp_rm (Insn.Reg Insn.ESP)) ] in
+  let _, cpu, _ = setup program in
+  match run cpu with
+  | O.Fault f -> check_bool "NX fault" true (f.Mem.kind = Mem.Perm_exec)
+  | other -> Alcotest.failf "expected NX fault, got %s" (O.to_string other)
+
+let test_illegal_instruction () =
+  let program = [ Asm.Bytes "\x06" ] (* push es — outside the subset *) in
+  let _, cpu, _ = setup program in
+  match run cpu with
+  | O.Decode_error { byte; _ } -> check_int "bad byte" 0x06 byte
+  | other -> Alcotest.failf "expected SIGILL, got %s" (O.to_string other)
+
+let test_ret_into_overwritten_address () =
+  let open Insn in
+  (* A hand-made "smashed return": overwrite the saved return address on the
+     stack and observe the hijack — the primitive behind every exploit in
+     the paper. *)
+  let program =
+    [
+      Asm.Call "victim";
+      Asm.I Hlt;
+      (* never reached *)
+      Asm.Label "victim";
+      (* Overwrite [esp] (the saved return address) with &win. *)
+      Asm.Mov_ri_sym (EAX, "win");
+      Asm.I (Mov (Mem { base = Some ESP; disp = 0 }, Reg EAX));
+      Asm.I Ret;
+      Asm.Label "win";
+      Asm.I (Mov_ri (EBX, 0x31337));
+      Asm.I Hlt;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  ignore (run cpu);
+  check_int "control-flow hijacked" 0x31337 (Cpu.get cpu EBX)
+
+let test_cfi_blocks_smashed_return () =
+  let open Insn in
+  let program =
+    [
+      Asm.Call "victim";
+      Asm.I Hlt;
+      Asm.Label "victim";
+      Asm.Mov_ri_sym (EAX, "win");
+      Asm.I (Mov (Mem { base = Some ESP; disp = 0 }, Reg EAX));
+      Asm.I Ret;
+      Asm.Label "win";
+      Asm.I Hlt;
+    ]
+  in
+  let _, cpu, _ = setup ~cfi:true program in
+  match run cpu with
+  | O.Cfi_violation _ -> ()
+  | other -> Alcotest.failf "expected CFI violation, got %s" (O.to_string other)
+
+let test_cfi_allows_benign_calls () =
+  let open Insn in
+  let program =
+    [
+      Asm.Call "f";
+      Asm.Call "f";
+      Asm.I Hlt;
+      Asm.Label "f";
+      Asm.Call "g";
+      Asm.I Ret;
+      Asm.Label "g";
+      Asm.I Ret;
+    ]
+  in
+  let _, cpu, _ = setup ~cfi:true program in
+  let outcome = run cpu in
+  check_bool "benign nesting ok" true (outcome = O.Halted)
+
+let test_disassemble_sweep () =
+  let open Insn in
+  let program = [ Asm.I Nop; Asm.I (Push_r EAX); Asm.I Ret ] in
+  let mem, _, result = setup program in
+  let listing =
+    Asm.disassemble mem ~base:result.Asm.base
+      ~len:(String.length result.Asm.code)
+  in
+  Alcotest.(check (list string))
+    "sweep"
+    [ "nop"; "push eax"; "ret" ]
+    (List.map (fun (_, _, _, s) -> s) listing)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "isa_x86"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "known byte patterns" `Quick test_encode_known_bytes;
+          Alcotest.test_case "pop-pop-pop-ret bytes" `Quick test_pop_pop_pop_ret_bytes;
+          Alcotest.test_case "round-trip corpus" `Quick test_roundtrip_corpus;
+          qt prop_encode_decode_roundtrip;
+          qt prop_decoded_length_positive;
+        ] );
+      ( "assembler",
+        [
+          Alcotest.test_case "labels and calls" `Quick test_asm_labels_and_calls;
+          Alcotest.test_case "backward jump loop" `Quick test_asm_backward_jump_loop;
+          Alcotest.test_case "word_sym and align" `Quick test_asm_word_sym_and_align;
+          Alcotest.test_case "undefined symbol" `Quick test_asm_undefined_symbol;
+          Alcotest.test_case "duplicate symbol" `Quick test_asm_duplicate_symbol;
+          Alcotest.test_case "disassemble sweep" `Quick test_disassemble_sweep;
+          qt prop_assemble_disassemble_stream;
+        ] );
+      ( "interpreter",
+        [
+          Alcotest.test_case "push/pop LIFO" `Quick test_stack_push_pop;
+          Alcotest.test_case "cdecl call frame" `Quick test_cdecl_call_frame;
+          Alcotest.test_case "leave epilogue" `Quick test_leave_epilogue;
+          Alcotest.test_case "new arithmetic ops" `Quick
+            test_new_arithmetic_semantics;
+          Alcotest.test_case "byte ops + movzx" `Quick test_byte_ops_and_movzx;
+          Alcotest.test_case "flags and conditions" `Quick test_flags_and_conditions;
+          Alcotest.test_case "ret imm + indirect calls" `Quick
+            test_ret_imm_and_indirect_calls;
+          Alcotest.test_case "push [mem] + jmp [mem]" `Quick
+            test_push_m_and_jmp_rm_mem;
+          Alcotest.test_case "all condition codes" `Quick
+            test_all_condition_codes_roundtrip_and_hold;
+          Alcotest.test_case "code across page boundary" `Quick
+            test_code_across_page_boundary;
+          Alcotest.test_case "syscall dispatch" `Quick test_syscall_dispatch;
+          Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+          Alcotest.test_case "unmapped eip faults" `Quick test_unmapped_eip_faults;
+          Alcotest.test_case "NX stack blocks execution" `Quick
+            test_nx_stack_blocks_execution;
+          Alcotest.test_case "illegal instruction" `Quick test_illegal_instruction;
+        ] );
+      ( "control-flow hijack",
+        [
+          Alcotest.test_case "smashed return hijacks" `Quick
+            test_ret_into_overwritten_address;
+          Alcotest.test_case "CFI blocks smashed return" `Quick
+            test_cfi_blocks_smashed_return;
+          Alcotest.test_case "CFI allows benign calls" `Quick
+            test_cfi_allows_benign_calls;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+(* Unit and property tests for the paged memory simulator. *)
+
+module Mem = Memsim.Memory
+module Word = Memsim.Word
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let fresh () = Mem.create ()
+
+let expect_fault kind f =
+  match f () with
+  | _ -> Alcotest.fail "expected a memory fault"
+  | exception Mem.Fault fault ->
+      Alcotest.(check bool)
+        "fault kind"
+        true
+        (fault.Mem.kind = kind)
+
+(* --- Word arithmetic --- *)
+
+let test_word_wrap () =
+  check_int "add wraps" 0 (Word.add 0xFFFF_FFFF 1);
+  check_int "sub wraps" 0xFFFF_FFFF (Word.sub 0 1);
+  check_int "neg" 0xFFFF_FFFF (Word.neg 1);
+  check_int "signed round trip" (-1) (Word.to_signed 0xFFFF_FFFF);
+  check_int "of_signed" 0xFFFF_FFFE (Word.of_signed (-2));
+  check_int "sign8" 0xFFFF_FF80 (Word.sign8 0x80);
+  check_int "sign8 positive" 0x7F (Word.sign8 0x7F);
+  check_int "sign16" 0xFFFF_8000 (Word.sign16 0x8000);
+  check_int "ror" 0x8000_0000 (Word.ror 1 1);
+  check_int "ror 8" 0x1200_0000 (Word.ror 0x12 8);
+  check_bool "bit 31" true (Word.bit 0x8000_0000 31)
+
+let prop_word_signed_roundtrip =
+  QCheck.Test.make ~name:"word signed round-trip" ~count:500
+    QCheck.(int_range (-0x4000_0000) 0x3FFF_FFFF)
+    (fun x -> Word.to_signed (Word.of_signed x) = x)
+
+(* --- Mapping --- *)
+
+let test_map_read_write () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x2000 ~perm:Mem.rw ~name:"data";
+  Mem.write_u32 m 0x1000 0xDEADBEEF;
+  check_int "u32 round trip" 0xDEADBEEF (Mem.read_u32 m 0x1000);
+  Mem.write_u16 m 0x1100 0xBEEF;
+  check_int "u16 round trip" 0xBEEF (Mem.read_u16 m 0x1100);
+  check_int "u8 of u16" 0xEF (Mem.read_u8 m 0x1100);
+  check_int "zero-filled" 0 (Mem.read_u32 m 0x1ffc)
+
+let test_little_endian () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"d";
+  Mem.write_u32 m 0x1000 0x11223344;
+  check_int "byte 0 is LSB" 0x44 (Mem.read_u8 m 0x1000);
+  check_int "byte 3 is MSB" 0x11 (Mem.read_u8 m 0x1003)
+
+let test_cross_page () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x2000 ~perm:Mem.rw ~name:"d";
+  (* A u32 straddling the page boundary at 0x2000. *)
+  Mem.write_u32 m 0x1ffe 0xCAFEBABE;
+  check_int "cross-page u32" 0xCAFEBABE (Mem.read_u32 m 0x1ffe)
+
+let test_unmapped_fault () =
+  let m = fresh () in
+  expect_fault Mem.Unmapped (fun () -> Mem.read_u8 m 0x5000)
+
+let test_overlap_rejected () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"a";
+  Alcotest.check_raises "overlap"
+    (Invalid_argument
+       "Memory.map: b overlaps existing mapping at page 0x00001000")
+    (fun () -> Mem.map m ~base:0x1800 ~size:0x100 ~perm:Mem.rw ~name:"b")
+
+let test_unmap () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"a";
+  Mem.unmap m ~base:0x1000;
+  check_bool "gone" false (Mem.is_mapped m 0x1000);
+  (* Remapping the freed range must succeed. *)
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"a2";
+  check_bool "back" true (Mem.is_mapped m 0x1000)
+
+(* --- Permissions: the W⊕X substrate --- *)
+
+let test_write_protect () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rx ~name:"text";
+  expect_fault Mem.Perm_write (fun () -> Mem.write_u8 m 0x1000 1)
+
+let test_nx_fetch () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"stack";
+  check_int "plain read ok" 0 (Mem.read_u8 m 0x1000);
+  expect_fault Mem.Perm_exec (fun () -> Mem.fetch_u8 m 0x1000)
+
+let test_executable_stack_fetch () =
+  (* With W⊕X disabled the stack is rwx and fetch succeeds — the
+     no-protections configuration of the paper's §III-A. *)
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rwx ~name:"stack";
+  Mem.write_u8 m 0x1000 0x90;
+  check_int "fetch from rwx" 0x90 (Mem.fetch_u8 m 0x1000)
+
+let test_mprotect () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rwx ~name:"stack";
+  Mem.set_perm m ~base:0x1000 Mem.rw;
+  expect_fault Mem.Perm_exec (fun () -> Mem.fetch_u8 m 0x1000);
+  check_bool "region perm updated" false
+    (Mem.find_region m "stack").Mem.perm.Mem.execute
+
+let test_region_queries () =
+  let m = fresh () in
+  Mem.map m ~base:0x8048000 ~size:0x1000 ~perm:Mem.rx ~name:"text";
+  Mem.map m ~base:0x804A000 ~size:0x1000 ~perm:Mem.rw ~name:"bss";
+  (match Mem.region_at m 0x8048123 with
+  | Some r0 -> check_string "region name" "text" r0.Mem.name
+  | None -> Alcotest.fail "expected region");
+  check_bool "miss" true (Mem.region_at m 0x9000000 = None);
+  check_int "regions sorted" 2 (List.length (Mem.regions m));
+  check_int "find by name" 0x804A000 (Mem.find_region m "bss").Mem.base
+
+let test_bytes_and_cstring () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"d";
+  Mem.write_bytes m 0x1000 "/bin/sh\x00tail";
+  check_string "cstring stops at NUL" "/bin/sh" (Mem.read_cstring m 0x1000);
+  check_string "read_bytes exact" "/bin/sh\x00" (Mem.read_bytes m 0x1000 8)
+
+let test_peek_poke_bypass_perms () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.r ~name:"ro";
+  Mem.poke_bytes m 0x1000 "hi";
+  check_string "poke wrote" "hi" (Mem.peek_bytes m 0x1000 2)
+
+let test_hexdump () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"d";
+  Mem.write_bytes m 0x1000 "ABC";
+  let dump = Mem.hexdump m ~base:0x1000 ~len:16 in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "hex bytes present" true (contains dump "41 42 43");
+  check_bool "ascii present" true (contains dump "ABC")
+
+let prop_byte_roundtrip =
+  QCheck.Test.make ~name:"byte round-trip at random offsets" ~count:500
+    QCheck.(pair (int_range 0 0xFFF) (int_range 0 255))
+    (fun (off, v) ->
+      let m = fresh () in
+      Mem.map m ~base:0x4000 ~size:0x1000 ~perm:Mem.rw ~name:"d";
+      Mem.write_u8 m (0x4000 + off) v;
+      Mem.read_u8 m (0x4000 + off) = v)
+
+let prop_u32_roundtrip =
+  QCheck.Test.make ~name:"u32 round-trip incl. page straddles" ~count:500
+    QCheck.(pair (int_range 0 0x1FFC) (int_range 0 0x3FFF_FFFF))
+    (fun (off, v) ->
+      let m = fresh () in
+      Mem.map m ~base:0x4000 ~size:0x2000 ~perm:Mem.rw ~name:"d";
+      Mem.write_u32 m (0x4000 + off) v;
+      Mem.read_u32 m (0x4000 + off) = v)
+
+let prop_write_bytes_read_bytes =
+  QCheck.Test.make ~name:"write_bytes/read_bytes identity" ~count:200
+    QCheck.(string_of_size (Gen.int_range 0 600))
+    (fun s ->
+      let m = fresh () in
+      Mem.map m ~base:0x4000 ~size:0x2000 ~perm:Mem.rw ~name:"d";
+      Mem.write_bytes m 0x4100 s;
+      Mem.read_bytes m 0x4100 (String.length s) = s)
+
+let prop_rng_deterministic =
+  QCheck.Test.make ~name:"rng determinism per seed" ~count:100 QCheck.small_nat
+    (fun seed ->
+      let a = Memsim.Rng.create seed and b = Memsim.Rng.create seed in
+      List.for_all
+        (fun _ -> Memsim.Rng.next64 a = Memsim.Rng.next64 b)
+        [ 1; 2; 3; 4; 5 ])
+
+let prop_rng_bound =
+  QCheck.Test.make ~name:"rng int within bound" ~count:500
+    QCheck.(pair small_nat (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Memsim.Rng.create seed in
+      let v = Memsim.Rng.int g bound in
+      v >= 0 && v < bound)
+
+let test_rng_shuffle_permutes () =
+  let g = Memsim.Rng.create 42 in
+  let a = Array.init 100 Fun.id in
+  Memsim.Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) sorted
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "memsim"
+    [
+      ( "word",
+        [
+          Alcotest.test_case "wrap arithmetic" `Quick test_word_wrap;
+          qt prop_word_signed_roundtrip;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "map/read/write" `Quick test_map_read_write;
+          Alcotest.test_case "little-endian" `Quick test_little_endian;
+          Alcotest.test_case "cross-page access" `Quick test_cross_page;
+          Alcotest.test_case "unmapped faults" `Quick test_unmapped_fault;
+          Alcotest.test_case "overlap rejected" `Quick test_overlap_rejected;
+          Alcotest.test_case "unmap frees pages" `Quick test_unmap;
+          Alcotest.test_case "region queries" `Quick test_region_queries;
+        ] );
+      ( "permissions",
+        [
+          Alcotest.test_case "write-protect" `Quick test_write_protect;
+          Alcotest.test_case "NX fetch faults" `Quick test_nx_fetch;
+          Alcotest.test_case "rwx stack fetch ok" `Quick test_executable_stack_fetch;
+          Alcotest.test_case "mprotect" `Quick test_mprotect;
+          Alcotest.test_case "peek/poke bypass" `Quick test_peek_poke_bypass_perms;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "bytes and cstring" `Quick test_bytes_and_cstring;
+          Alcotest.test_case "hexdump" `Quick test_hexdump;
+          qt prop_byte_roundtrip;
+          qt prop_u32_roundtrip;
+          qt prop_write_bytes_read_bytes;
+        ] );
+      ( "rng",
+        [
+          qt prop_rng_deterministic;
+          qt prop_rng_bound;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+    ]

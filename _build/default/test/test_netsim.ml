@@ -1,0 +1,401 @@
+(* Tests for the network simulator: event clock, delivery, Wi-Fi
+   association, DHCP, and DNS servers. *)
+
+module W = Netsim.World
+module Ip = Netsim.Ip
+module Sim = Netsim.Sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- ip --- *)
+
+let test_ip_roundtrip () =
+  check_string "to/of" "192.168.1.10" (Ip.to_string (Ip.of_string "192.168.1.10"));
+  check_int "value" 0xC0A8010A (Ip.of_string "192.168.1.10");
+  Alcotest.check_raises "bad" (Invalid_argument "Ip.of_string: 1.2.3")
+    (fun () -> ignore (Ip.of_string "1.2.3"))
+
+let prop_ip_roundtrip =
+  QCheck.Test.make ~name:"ip string round-trip" ~count:300
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun v ->
+      let v = v land 0xFFFFFFFF in
+      Ip.of_string (Ip.to_string v) = v)
+
+(* --- sim --- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  Sim.schedule sim ~delay:30 (fun _ -> order := 3 :: !order);
+  Sim.schedule sim ~delay:10 (fun _ -> order := 1 :: !order);
+  Sim.schedule sim ~delay:20 (fun _ -> order := 2 :: !order);
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "timestamp order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_sim_fifo_ties () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Sim.schedule sim ~delay:7 (fun _ -> order := i :: !order)
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "FIFO among equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule sim ~delay:5 (fun sim ->
+      incr fired;
+      Sim.schedule sim ~delay:5 (fun _ -> incr fired));
+  let events = Sim.run sim in
+  check_int "events" 2 events;
+  check_int "fired" 2 !fired;
+  check_int "clock advanced" 10 (Sim.now sim)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule sim ~delay:5 (fun _ -> incr fired);
+  Sim.schedule sim ~delay:50 (fun _ -> incr fired);
+  ignore (Sim.run ~until:10 sim);
+  check_int "only early event" 1 !fired;
+  check_int "one pending" 1 (Sim.pending sim)
+
+let prop_sim_many_events_ordered =
+  QCheck.Test.make ~name:"heap preserves timestamp order" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (int_bound 10_000))
+    (fun delays ->
+      let sim = Sim.create () in
+      let times = ref [] in
+      List.iter
+        (fun d -> Sim.schedule sim ~delay:d (fun sim -> times := Sim.now sim :: !times))
+        delays;
+      ignore (Sim.run sim);
+      let seen = List.rev !times in
+      List.sort compare seen = seen)
+
+(* --- delivery --- *)
+
+let two_hosts () =
+  let w = W.create () in
+  let lan = W.add_lan w ~name:"lan" in
+  let a = W.add_host w ~name:"a" in
+  let b = W.add_host w ~name:"b" in
+  W.set_host_ip a (Some (Ip.of_string "10.0.0.1"));
+  W.set_host_ip b (Some (Ip.of_string "10.0.0.2"));
+  W.attach a lan;
+  W.attach b lan;
+  (w, lan, a, b)
+
+let test_unicast_delivery () =
+  let w, _, a, b = two_hosts () in
+  let got = ref None in
+  W.on_udp b ~port:9 (fun _ d -> got := Some d.W.payload);
+  W.send w ~from:a ~sport:1234 ~dst:(Ip.of_string "10.0.0.2") ~dport:9 "hello";
+  ignore (W.run w);
+  Alcotest.(check (option string)) "delivered" (Some "hello") !got;
+  check_int "stat" 1 (W.stats w).W.delivered
+
+let test_unroutable_dropped () =
+  let w, _, a, _ = two_hosts () in
+  W.send w ~from:a ~dst:(Ip.of_string "10.9.9.9") ~dport:9 "lost";
+  ignore (W.run w);
+  check_int "dropped" 1 (W.stats w).W.dropped
+
+let test_no_handler_dropped () =
+  let w, _, a, _ = two_hosts () in
+  W.send w ~from:a ~dst:(Ip.of_string "10.0.0.2") ~dport:4242 "nobody";
+  ignore (W.run w);
+  check_int "dropped" 1 (W.stats w).W.dropped
+
+let test_broadcast_reaches_lan_only () =
+  let w, _, a, b = two_hosts () in
+  let lan2 = W.add_lan w ~name:"other" in
+  let c = W.add_host w ~name:"c" in
+  W.set_host_ip c (Some (Ip.of_string "10.0.1.1"));
+  W.attach c lan2;
+  let hits = ref [] in
+  let listen h = W.on_udp h ~port:68 (fun ctx _ -> hits := W.host_name ctx.W.self :: !hits) in
+  listen b;
+  listen c;
+  W.send w ~from:a ~dst:Ip.broadcast ~dport:68 "announce";
+  ignore (W.run w);
+  Alcotest.(check (list string)) "only same-lan" [ "b" ] !hits
+
+let test_uplink_routing () =
+  let w = W.create () in
+  let internet = W.add_lan w ~name:"internet" in
+  let home = W.add_lan w ~name:"home" in
+  W.set_uplink home (Some internet);
+  let server = W.add_host w ~name:"server" in
+  W.set_host_ip server (Some (Ip.of_string "8.8.8.8"));
+  W.attach server internet;
+  let client = W.add_host w ~name:"client" in
+  W.set_host_ip client (Some (Ip.of_string "192.168.1.5"));
+  W.attach client home;
+  let got = ref false in
+  W.on_udp server ~port:53 (fun _ _ -> got := true);
+  W.send w ~from:client ~dst:(Ip.of_string "8.8.8.8") ~dport:53 "q";
+  ignore (W.run w);
+  check_bool "routed via uplink" true !got;
+  (* Replies route back down into the edge LAN (NAT return path). *)
+  let back = ref false in
+  W.on_udp client ~port:53 (fun _ _ -> back := true);
+  W.send w ~from:server ~dst:(Ip.of_string "192.168.1.5") ~dport:53 "r";
+  ignore (W.run w);
+  check_bool "return path routed" true !back;
+  (* Disconnected LANs remain unreachable. *)
+  let island = W.add_lan w ~name:"island" in
+  let hermit = W.add_host w ~name:"hermit" in
+  W.set_host_ip hermit (Some (Ip.of_string "10.99.0.1"));
+  W.attach hermit island;
+  let reached = ref false in
+  W.on_udp hermit ~port:1 (fun _ _ -> reached := true);
+  W.send w ~from:client ~dst:(Ip.of_string "10.99.0.1") ~dport:1 "x";
+  ignore (W.run w);
+  check_bool "island unreachable" false !reached
+
+let test_attach_switches_lan () =
+  let w, lan1, a, _ = two_hosts () in
+  let lan2 = W.add_lan w ~name:"lan2" in
+  W.attach a lan2;
+  check_int "left lan1" 1 (List.length (W.hosts_of lan1));
+  check_bool "joined lan2" true
+    (List.exists (fun h -> W.host_name h = "a") (W.hosts_of lan2))
+
+(* --- wifi --- *)
+
+let test_wifi_prefers_strongest () =
+  let w = W.create () in
+  let lan1 = W.add_lan w ~name:"legit" in
+  let lan2 = W.add_lan w ~name:"rogue" in
+  let weak = Netsim.Wifi.ap ~name:"weak" ~ssid:"Net" ~signal_dbm:(-70) lan1 in
+  let strong = Netsim.Wifi.ap ~name:"strong" ~ssid:"Net" ~signal_dbm:(-30) lan2 in
+  let other = Netsim.Wifi.ap ~name:"other" ~ssid:"Else" ~signal_dbm:(-10) lan1 in
+  let sta = W.add_host w ~name:"sta" in
+  (match Netsim.Wifi.associate sta [ weak; strong; other ] ~ssid:"Net" with
+  | Some ap -> check_string "strongest matching ssid" "strong" ap.Netsim.Wifi.ap_name
+  | None -> Alcotest.fail "no ap");
+  check_bool "joined rogue lan" true
+    (match W.lan_of sta with Some l -> W.lan_name l = "rogue" | None -> false);
+  check_bool "lease cleared" true (W.host_ip sta = None)
+
+let test_wifi_no_match () =
+  let w = W.create () in
+  let lan = W.add_lan w ~name:"lan" in
+  let ap = Netsim.Wifi.ap ~name:"ap" ~ssid:"A" ~signal_dbm:(-50) lan in
+  let sta = W.add_host w ~name:"sta" in
+  check_bool "none" true (Netsim.Wifi.associate sta [ ap ] ~ssid:"B" = None)
+
+(* --- dhcp --- *)
+
+let test_dhcp_configures_client () =
+  let w = W.create () in
+  let lan = W.add_lan w ~name:"lan" in
+  let server = W.add_host w ~name:"dhcpd" in
+  W.set_host_ip server (Some (Ip.of_string "192.168.1.1"));
+  W.attach server lan;
+  Netsim.Dhcp.serve w server ~first_ip:(Ip.of_string "192.168.1.100")
+    ~dns:(Ip.of_string "9.9.9.9");
+  let client = W.add_host w ~name:"client" in
+  W.attach client lan;
+  let configured = ref false in
+  Netsim.Dhcp.solicit w client ~on_configured:(fun _ -> configured := true) ();
+  ignore (W.run w);
+  check_bool "callback" true !configured;
+  Alcotest.(check (option string)) "leased ip" (Some "192.168.1.100")
+    (Option.map Ip.to_string (W.host_ip client));
+  Alcotest.(check (option string)) "dns option" (Some "9.9.9.9")
+    (Option.map Ip.to_string (W.host_dns client))
+
+let test_dhcp_stable_lease_and_sequential () =
+  let w = W.create () in
+  let lan = W.add_lan w ~name:"lan" in
+  let server = W.add_host w ~name:"dhcpd" in
+  W.set_host_ip server (Some (Ip.of_string "10.0.0.1"));
+  W.attach server lan;
+  Netsim.Dhcp.serve w server ~first_ip:(Ip.of_string "10.0.0.100")
+    ~dns:(Ip.of_string "10.0.0.1");
+  let c1 = W.add_host w ~name:"c1" in
+  let c2 = W.add_host w ~name:"c2" in
+  W.attach c1 lan;
+  W.attach c2 lan;
+  Netsim.Dhcp.solicit w c1 ();
+  Netsim.Dhcp.solicit w c2 ();
+  ignore (W.run w);
+  let ip h = Option.map Ip.to_string (W.host_ip h) in
+  Alcotest.(check (option string)) "c1" (Some "10.0.0.100") (ip c1);
+  Alcotest.(check (option string)) "c2" (Some "10.0.0.101") (ip c2);
+  (* Re-solicit: same lease. *)
+  Netsim.Dhcp.solicit w c1 ();
+  ignore (W.run w);
+  Alcotest.(check (option string)) "stable" (Some "10.0.0.100") (ip c1)
+
+(* --- dns servers --- *)
+
+let test_resolver_answers_zone () =
+  let w = W.create () in
+  let lan = W.add_lan w ~name:"lan" in
+  let server = W.add_host w ~name:"dns" in
+  W.set_host_ip server (Some (Ip.of_string "8.8.8.8"));
+  W.attach server lan;
+  Netsim.Dns_server.resolver w server
+    ~zone:[ ("example.com", Ip.of_string "93.184.216.34") ];
+  let client = W.add_host w ~name:"client" in
+  W.set_host_ip client (Some (Ip.of_string "10.0.0.5"));
+  W.attach client lan;
+  let answer = ref None in
+  W.on_udp client ~port:5353 (fun _ d ->
+      match Dns.Packet.decode d.W.payload with
+      | Ok m -> answer := Some m
+      | Error _ -> ());
+  let query = Dns.Packet.query ~id:7 (Dns.Name.of_string "example.com") Dns.Packet.A in
+  W.send w ~from:client ~sport:5353 ~dst:(Ip.of_string "8.8.8.8") ~dport:53
+    (Dns.Packet.encode query);
+  ignore (W.run w);
+  match !answer with
+  | Some m ->
+      check_int "id echo" 7 m.Dns.Packet.header.Dns.Packet.id;
+      check_int "one answer" 1 (List.length m.Dns.Packet.answers);
+      check_bool "right ip" true
+        (Dns.Packet.ipv4_of_rdata (List.hd m.Dns.Packet.answers).Dns.Packet.rdata
+        = Some (Ip.of_string "93.184.216.34"))
+  | None -> Alcotest.fail "no answer"
+
+let test_resolver_empty_for_unknown () =
+  let w = W.create () in
+  let lan = W.add_lan w ~name:"lan" in
+  let server = W.add_host w ~name:"dns" in
+  W.set_host_ip server (Some (Ip.of_string "8.8.8.8"));
+  W.attach server lan;
+  Netsim.Dns_server.resolver w server ~zone:[];
+  let client = W.add_host w ~name:"client" in
+  W.set_host_ip client (Some (Ip.of_string "10.0.0.5"));
+  W.attach client lan;
+  let answers = ref (-1) in
+  W.on_udp client ~port:5353 (fun _ d ->
+      match Dns.Packet.decode d.W.payload with
+      | Ok m -> answers := List.length m.Dns.Packet.answers
+      | Error _ -> ());
+  let query = Dns.Packet.query ~id:8 (Dns.Name.of_string "nope.example") Dns.Packet.A in
+  W.send w ~from:client ~sport:5353 ~dst:(Ip.of_string "8.8.8.8") ~dport:53
+    (Dns.Packet.encode query);
+  ignore (W.run w);
+  check_int "empty answer section" 0 !answers
+
+let test_resolver_chases_cnames () =
+  let w = W.create () in
+  let lan = W.add_lan w ~name:"lan" in
+  let server = W.add_host w ~name:"dns" in
+  W.set_host_ip server (Some (Ip.of_string "8.8.8.8"));
+  W.attach server lan;
+  Netsim.Dns_server.resolver w server
+    ~cnames:[ ("www.example.com", "cdn.example.net"); ("cdn.example.net", "edge.example.net") ]
+    ~zone:[ ("edge.example.net", Ip.of_string "198.51.100.7") ];
+  let client = W.add_host w ~name:"client" in
+  W.set_host_ip client (Some (Ip.of_string "10.0.0.5"));
+  W.attach client lan;
+  let answer = ref None in
+  W.on_udp client ~port:5353 (fun _ d ->
+      match Dns.Packet.decode d.W.payload with
+      | Ok m -> answer := Some m
+      | Error _ -> ());
+  let query =
+    Dns.Packet.query ~id:9 (Dns.Name.of_string "www.example.com") Dns.Packet.A
+  in
+  W.send w ~from:client ~sport:5353 ~dst:(Ip.of_string "8.8.8.8") ~dport:53
+    (Dns.Packet.encode query);
+  ignore (W.run w);
+  match !answer with
+  | Some m ->
+      check_int "chain of 3 records" 3 (List.length m.Dns.Packet.answers);
+      let kinds = List.map (fun (r : Dns.Packet.rr) -> r.Dns.Packet.rtype) m.Dns.Packet.answers in
+      check_bool "two cnames then an A" true
+        (kinds = [ Dns.Packet.CNAME; Dns.Packet.CNAME; Dns.Packet.A ]);
+      (match List.nth m.Dns.Packet.answers 0 with
+      | { Dns.Packet.rdata; _ } ->
+          check_bool "cname rdata decodes" true
+            (Dns.Packet.cname_of_rdata rdata
+            = Some (Dns.Name.of_string "cdn.example.net")));
+      check_bool "terminal A" true
+        (Dns.Packet.ipv4_of_rdata (List.nth m.Dns.Packet.answers 2).Dns.Packet.rdata
+        = Some (Ip.of_string "198.51.100.7"))
+  | None -> Alcotest.fail "no answer"
+
+let test_malicious_forges () =
+  let w = W.create () in
+  let lan = W.add_lan w ~name:"lan" in
+  let server = W.add_host w ~name:"evil" in
+  W.set_host_ip server (Some (Ip.of_string "6.6.6.6"));
+  W.attach server lan;
+  Netsim.Dns_server.malicious w server ~forge:(fun ~query ~raw:_ ->
+      Some
+        (Dns.Craft.hostile_response ~query
+           ~raw_name:(Result.get_ok (Dns.Craft.plan_labels (Dns.Craft.spec_any 16)))
+           ()));
+  let client = W.add_host w ~name:"client" in
+  W.set_host_ip client (Some (Ip.of_string "10.0.0.5"));
+  W.attach client lan;
+  let got = ref None in
+  W.on_udp client ~port:5353 (fun _ d -> got := Some d.W.payload);
+  let query = Dns.Packet.query ~id:0x42 (Dns.Name.of_string "x.y") Dns.Packet.A in
+  W.send w ~from:client ~sport:5353 ~dst:(Ip.of_string "6.6.6.6") ~dport:53
+    (Dns.Packet.encode query);
+  ignore (W.run w);
+  match !got with
+  | Some wire ->
+      check_int "id echoed by forgery" 0x42
+        ((Char.code wire.[0] lsl 8) lor Char.code wire.[1])
+  | None -> Alcotest.fail "no forged response"
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "netsim"
+    [
+      ( "ip",
+        [ Alcotest.test_case "round-trip" `Quick test_ip_roundtrip; qt prop_ip_roundtrip ]
+      );
+      ( "sim",
+        [
+          Alcotest.test_case "timestamp ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_sim_fifo_ties;
+          Alcotest.test_case "nested scheduling" `Quick test_sim_nested_schedule;
+          Alcotest.test_case "run until" `Quick test_sim_until;
+          qt prop_sim_many_events_ordered;
+        ] );
+      ( "delivery",
+        [
+          Alcotest.test_case "unicast" `Quick test_unicast_delivery;
+          Alcotest.test_case "unroutable dropped" `Quick test_unroutable_dropped;
+          Alcotest.test_case "no handler dropped" `Quick test_no_handler_dropped;
+          Alcotest.test_case "broadcast is LAN-local" `Quick
+            test_broadcast_reaches_lan_only;
+          Alcotest.test_case "uplink routing" `Quick test_uplink_routing;
+          Alcotest.test_case "attach switches lan" `Quick test_attach_switches_lan;
+        ] );
+      ( "wifi",
+        [
+          Alcotest.test_case "prefers strongest signal" `Quick
+            test_wifi_prefers_strongest;
+          Alcotest.test_case "no ssid match" `Quick test_wifi_no_match;
+        ] );
+      ( "dhcp",
+        [
+          Alcotest.test_case "configures client" `Quick test_dhcp_configures_client;
+          Alcotest.test_case "stable + sequential leases" `Quick
+            test_dhcp_stable_lease_and_sequential;
+        ] );
+      ( "dns servers",
+        [
+          Alcotest.test_case "resolver answers zone" `Quick test_resolver_answers_zone;
+          Alcotest.test_case "resolver empty for unknown" `Quick
+            test_resolver_empty_for_unknown;
+          Alcotest.test_case "resolver chases CNAMEs" `Quick
+            test_resolver_chases_cnames;
+          Alcotest.test_case "malicious forges" `Quick test_malicious_forges;
+        ] );
+    ]
