@@ -220,6 +220,117 @@ let test_pineapple =
          | Ok _ -> ()
          | Error e -> failwith e))
 
+(* ------------------------------------------------------------------ *)
+(* Cache benches                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cache_name i = Printf.sprintf "host-%07d.bench.example" i
+
+(* Fixtures are lazy (the default bench run shouldn't pay 100k prefills
+   unless the cache benches execute) but are forced *before* Bechamel
+   measures, so prefill cost never pollutes the per-op estimates.  Each
+   bench gets its own fixture: they mutate the cache they run against. *)
+let prefilled_cache n =
+  lazy
+    (let names = Array.init n cache_name in
+     let c = Dns.Cache.create ~capacity:n () in
+     Array.iteri
+       (fun i name ->
+         Dns.Cache.insert c ~now:0 ~name ~ttl:1_000_000 ~ipv4:(i + 1))
+       names;
+     (c, names))
+
+let fx_insert_1k = prefilled_cache 1_000
+let fx_insert_100k = prefilled_cache 100_000
+let fx_lookup_1k = prefilled_cache 1_000
+let fx_lookup_100k = prefilled_cache 100_000
+let fx_evict_1k = prefilled_cache 1_000
+let fx_evict_100k = prefilled_cache 100_000
+
+let cache_fixtures =
+  [
+    fx_insert_1k; fx_insert_100k; fx_lookup_1k; fx_lookup_100k; fx_evict_1k;
+    fx_evict_100k;
+  ]
+
+let force_cache_fixtures () =
+  List.iter (fun fx -> ignore (Lazy.force fx)) cache_fixtures
+
+(* Steady-state store over an existing key (the replacement path). *)
+let cache_insert_bench fx =
+  let k = ref 0 in
+  fun () ->
+    let c, names = Lazy.force fx in
+    k := (!k + 1) mod Array.length names;
+    Dns.Cache.insert c ~now:1 ~name:names.(!k) ~ttl:1_000_000 ~ipv4:7
+
+let cache_lookup_bench fx =
+  let k = ref 0 in
+  fun () ->
+    let c, names = Lazy.force fx in
+    k := (!k + 1) mod Array.length names;
+    ignore (Dns.Cache.lookup c ~now:1 names.(!k))
+
+(* Every insert lands on a full cache of live entries and must evict a
+   victim — the O(n) Hashtbl.fold hot spot of the seed implementation,
+   now O(log n) against the shard's expiry heap. *)
+let cache_evict_bench fx =
+  let k = ref 0 in
+  fun () ->
+    let c, _ = Lazy.force fx in
+    incr k;
+    Dns.Cache.insert c ~now:1
+      ~name:(Printf.sprintf "fresh-%09d.bench.example" !k)
+      ~ttl:1_000_000 ~ipv4:!k
+
+(* High-churn episode on the Netsim event clock: bursts of mixed ops
+   with short TTLs while simulated time advances, so expiry sweeps,
+   evictions, replacements, and negative entries all fire. *)
+let cache_churn_bench () =
+  let episode = ref 0 in
+  fun () ->
+    incr episode;
+    let sim = Netsim.Sim.create ~seed:!episode () in
+    let c = Dns.Cache.create ~capacity:512 () in
+    let rng = Netsim.Sim.rng sim in
+    let remaining = ref 64 in
+    let rec burst sim =
+      let now = Netsim.Sim.now sim / 1_000_000 in
+      for _ = 1 to 32 do
+        let name = cache_name (Memsim.Rng.int rng 2048) in
+        match Memsim.Rng.int rng 4 with
+        | 0 ->
+            Dns.Cache.insert c ~now ~name
+              ~ttl:(1 + Memsim.Rng.int rng 8)
+              ~ipv4:1
+        | 1 ->
+            Dns.Cache.insert_negative c ~now ~name
+              ~ttl:(1 + Memsim.Rng.int rng 4)
+        | _ -> ignore (Dns.Cache.lookup c ~now name)
+      done;
+      decr remaining;
+      if !remaining > 0 then Netsim.Sim.schedule sim ~delay:500_000 burst
+    in
+    Netsim.Sim.schedule sim ~delay:0 burst;
+    ignore (Netsim.Sim.run sim)
+
+let cache_tests =
+  [
+    Test.make ~name:"cache/insert-1k"
+      (Staged.stage (cache_insert_bench fx_insert_1k));
+    Test.make ~name:"cache/insert-100k"
+      (Staged.stage (cache_insert_bench fx_insert_100k));
+    Test.make ~name:"cache/lookup-1k"
+      (Staged.stage (cache_lookup_bench fx_lookup_1k));
+    Test.make ~name:"cache/lookup-100k"
+      (Staged.stage (cache_lookup_bench fx_lookup_100k));
+    Test.make ~name:"cache/insert-at-capacity-1k"
+      (Staged.stage (cache_evict_bench fx_evict_1k));
+    Test.make ~name:"cache/insert-at-capacity-100k"
+      (Staged.stage (cache_evict_bench fx_evict_100k));
+    Test.make ~name:"cache/churn-sim" (Staged.stage (cache_churn_bench ()));
+  ]
+
 let all_tests =
   [
     test_dns_encode;
@@ -234,39 +345,95 @@ let all_tests =
   ]
   @ payload_tests @ end_to_end_tests
   @ [ test_dnsmasq_parse; test_tcpsvc_exploit; test_pineapple ]
+  @ cache_tests
+
+let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+
+(* Time one Bechamel test element: (ns/run, r²). *)
+let measure_elt cfg elt =
+  let raw = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
+  let result = Analyze.one ols Instance.monotonic_clock raw in
+  let nanos =
+    match Analyze.OLS.estimates result with Some [ est ] -> est | _ -> nan
+  in
+  let r2 = Option.value (Analyze.OLS.r_square result) ~default:nan in
+  (nanos, r2)
+
+let pretty_nanos nanos =
+  if nanos > 1e9 then Printf.sprintf "%8.3f  s" (nanos /. 1e9)
+  else if nanos > 1e6 then Printf.sprintf "%8.3f ms" (nanos /. 1e6)
+  else if nanos > 1e3 then Printf.sprintf "%8.3f us" (nanos /. 1e3)
+  else Printf.sprintf "%8.1f ns" nanos
 
 let run_benchmarks () =
   Format.printf "@.=== Timing benches (Bechamel, monotonic clock) ===@.@.";
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
-  let instances = Instance.[ monotonic_clock ] in
+  force_cache_fixtures ();
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
   in
-  Format.printf "%-28s %16s %12s@." "bench" "time/run" "r^2";
-  Format.printf "%s@." (String.make 60 '-');
+  Format.printf "%-32s %16s %12s@." "bench" "time/run" "r^2";
+  Format.printf "%s@." (String.make 64 '-');
   List.iter
     (fun test ->
       List.iter
         (fun elt ->
-          let raw = Benchmark.run cfg instances elt in
-          let result = Analyze.one ols (Instance.monotonic_clock) raw in
-          let nanos =
-            match Analyze.OLS.estimates result with
-            | Some [ est ] -> est
-            | _ -> nan
-          in
-          let r2 = Option.value (Analyze.OLS.r_square result) ~default:nan in
-          let pretty =
-            if nanos > 1e9 then Printf.sprintf "%8.3f  s" (nanos /. 1e9)
-            else if nanos > 1e6 then Printf.sprintf "%8.3f ms" (nanos /. 1e6)
-            else if nanos > 1e3 then Printf.sprintf "%8.3f us" (nanos /. 1e3)
-            else Printf.sprintf "%8.1f ns" nanos
-          in
-          Format.printf "%-28s %16s %12.4f@." (Test.Elt.name elt) pretty r2)
+          let nanos, r2 = measure_elt cfg elt in
+          Format.printf "%-32s %16s %12.4f@." (Test.Elt.name elt)
+            (pretty_nanos nanos) r2)
         (Test.elements test))
     all_tests
+
+(* ------------------------------------------------------------------ *)
+(* Cache perf trajectory: BENCH_cache.json                             *)
+(*                                                                     *)
+(*   dune exec bench/main.exe -- cache            (full measurement)   *)
+(*   dune exec bench/main.exe -- cache --smoke    (few iterations)     *)
+(*   dune build @cache-bench-smoke                (dune smoke target)  *)
+(* ------------------------------------------------------------------ *)
+
+let run_cache_json ~smoke ~out () =
+  force_cache_fixtures ();
+  let cfg =
+    if smoke then
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.01) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  Format.printf "=== Cache benches%s ===@.@."
+    (if smoke then " (smoke: few iterations)" else "");
+  let rows =
+    List.concat_map
+      (fun test ->
+        List.map
+          (fun elt ->
+            let nanos, r2 = measure_elt cfg elt in
+            let name = Test.Elt.name elt in
+            Format.printf "%-32s %16s %12.4f@." name (pretty_nanos nanos) r2;
+            (name, nanos, r2))
+          (Test.elements test))
+      cache_tests
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"bench-cache-v1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"results\": [\n" smoke);
+  List.iteri
+    (fun i (name, nanos, r2) ->
+      let safe f = if Float.is_nan f then 0.0 else f in
+      let nanos = safe nanos in
+      let ops = if nanos > 0.0 then 1e9 /. nanos else 0.0 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"ns_per_op\": %.2f, \"ops_per_sec\": %.1f, \
+            \"r_square\": %.4f}%s\n"
+           name nanos ops (safe r2)
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." out
 
 (* Throughput context: instructions retired per benign parse — and the
    §IV concern made quantitative: what each defense costs the device on
@@ -310,6 +477,16 @@ let print_parse_costs () =
      prologue/epilogue checks the compiler emits.)@." 
 
 let () =
-  print_experiments ();
-  print_parse_costs ();
-  run_benchmarks ()
+  let argv = Array.to_list Sys.argv in
+  if List.mem "cache" argv then
+    let rec out_of = function
+      | "--out" :: path :: _ -> path
+      | _ :: rest -> out_of rest
+      | [] -> "BENCH_cache.json"
+    in
+    run_cache_json ~smoke:(List.mem "--smoke" argv) ~out:(out_of argv) ()
+  else begin
+    print_experiments ();
+    print_parse_costs ();
+    run_benchmarks ()
+  end

@@ -271,6 +271,114 @@ let botnet_cmd =
     (Cmd.info "botnet" ~doc:"Recruit a mixed-firmware fleet over poisoned DNS.")
     Term.(const run $ seed_arg)
 
+let cache_stats_cmd =
+  let run seed queries names capacity shards =
+    (* Part 1: a synthetic workload on a standalone sharded cache —
+       repeated lookups over a name population, filling on miss, with
+       ~1 in 8 names known-absent (negatively cached). *)
+    let c = Dns.Cache.create ~capacity ?shards () in
+    let rng = Memsim.Rng.create seed in
+    for q = 1 to queries do
+      let now = q / 50 in
+      let id = Memsim.Rng.int rng names in
+      let name = Printf.sprintf "host-%05d.sim.example" id in
+      match Dns.Cache.find c ~now name with
+      | Dns.Cache.Hit ip when q mod 16 = 0 ->
+          (* an unsolicited refresh: new TTL over the same entry *)
+          Dns.Cache.insert c ~now ~name
+            ~ttl:(30 + Memsim.Rng.int rng 270)
+            ~ipv4:ip
+      | Dns.Cache.Hit _ | Dns.Cache.Negative_hit -> ()
+      | Dns.Cache.Miss ->
+          if id mod 8 = 0 then Dns.Cache.insert_negative c ~now ~name ~ttl:30
+          else
+            Dns.Cache.insert c ~now ~name
+              ~ttl:(30 + Memsim.Rng.int rng 270)
+              ~ipv4:(0x0A000000 lor id)
+    done;
+    Format.printf
+      "=== Sharded cache, synthetic workload (seed %d, %d queries over %d \
+       names, capacity %d) ===@.@."
+      seed queries names capacity;
+    Format.printf "%5s %7s %9s %9s %9s %8s %8s %8s %8s@." "shard" "occ" "hits"
+      "misses" "neg-hits" "ins" "repl" "evict" "swept";
+    Array.iteri
+      (fun i (s : Dns.Cache.stats) ->
+        Format.printf "%5d %7d %9d %9d %9d %8d %8d %8d %8d@." i
+          s.Dns.Cache.occupancy s.Dns.Cache.hits s.Dns.Cache.misses
+          s.Dns.Cache.negative_hits s.Dns.Cache.insertions
+          s.Dns.Cache.replacements s.Dns.Cache.evictions
+          s.Dns.Cache.expired_sweeps)
+      (Dns.Cache.shard_stats c);
+    let s = Dns.Cache.stats c in
+    Format.printf "%5s %7d %9d %9d %9d %8d %8d %8d %8d@." "total"
+      s.Dns.Cache.occupancy s.Dns.Cache.hits s.Dns.Cache.misses
+      s.Dns.Cache.negative_hits s.Dns.Cache.insertions
+      s.Dns.Cache.replacements s.Dns.Cache.evictions s.Dns.Cache.expired_sweeps;
+    (* Part 2: the same surface on a live connmand — benign responses
+       populate the cache, an NXDOMAIN lands in the negative cache, and
+       client lookups hit both. *)
+    let d =
+      Connman.Dnsproxy.create
+        { Connman.Dnsproxy.default_config with Connman.Dnsproxy.boot_seed = seed }
+    in
+    let live = Dns.Name.of_string "ipv4.connman.net" in
+    let query = Connman.Dnsproxy.make_query d live in
+    let wire =
+      Dns.Packet.encode
+        (Dns.Packet.response ~query
+           [ Dns.Packet.a_record live ~ttl:300 ~ipv4:0x5DB8D822 ])
+    in
+    ignore (Connman.Dnsproxy.handle_response d wire);
+    let absent = Dns.Name.of_string "no-such-host.connman.net" in
+    let nxq = Connman.Dnsproxy.make_query d absent in
+    let nxwire =
+      Dns.Packet.encode
+        {
+          Dns.Packet.header =
+            {
+              nxq.Dns.Packet.header with
+              Dns.Packet.qr = true;
+              Dns.Packet.ra = true;
+              Dns.Packet.rcode = Dns.Packet.NXDomain;
+            };
+          questions = nxq.Dns.Packet.questions;
+          answers = [];
+          authorities = [];
+          additionals = [];
+        }
+    in
+    ignore (Connman.Dnsproxy.handle_response d nxwire);
+    ignore (Connman.Dnsproxy.cache_lookup d live);
+    ignore (Connman.Dnsproxy.cache_find d absent);
+    ignore (Connman.Dnsproxy.cache_lookup d (Dns.Name.of_string "cold.example"));
+    Format.printf "@.=== connmand dnsproxy cache ===@.@.%a@."
+      Dns.Cache.pp_stats
+      (Connman.Dnsproxy.cache_stats d);
+    0
+  in
+  let queries_arg =
+    Arg.(value & opt int 50_000 & info [ "queries" ] ~doc:"Workload size.")
+  in
+  let names_arg =
+    Arg.(value & opt int 4096 & info [ "names" ] ~doc:"Name population.")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 1024 & info [ "capacity" ] ~doc:"Cache capacity.")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~doc:"Shard count (default: derived from capacity).")
+  in
+  Cmd.v
+    (Cmd.info "cache-stats"
+       ~doc:"Dump per-shard and aggregate DNS-cache statistics.")
+    Term.(
+      const run $ seed_arg $ queries_arg $ names_arg $ capacity_arg
+      $ shards_arg)
+
 let report_cmd =
   let run seed output =
     let rows = Core.Experiments.all ~seed () in
@@ -326,5 +434,6 @@ let () =
             disasm_cmd;
             trace_cmd;
             botnet_cmd;
+            cache_stats_cmd;
             report_cmd;
           ]))

@@ -57,7 +57,10 @@ let boot config ~restarts =
   Loader.Process.boot (build_spec config) ~profile:config.profile
     ~seed:(config.boot_seed + (restarts * 7919))
 
-let create config =
+(* SOA-minimum stand-in: how long an NXDOMAIN is believed. *)
+let negative_ttl = 60
+
+let create ?cache_capacity config =
   {
     config;
     proc = boot config ~restarts:0;
@@ -66,7 +69,7 @@ let create config =
     next_id = 0x1000 + (config.boot_seed land 0xFFF);
     steps = 0;
     pending = Hashtbl.create 8;
-    cache = Dns.Cache.create ();
+    cache = Dns.Cache.create ?capacity:cache_capacity ();
     clock = 0;
   }
 
@@ -140,8 +143,33 @@ let update_cache t wire =
 let rx_buffer_addr proc =
   proc.Loader.Process.layout.Loader.Layout.heap_base
 
+(* An NXDOMAIN answering a pending question is terminal for that lookup:
+   record it as a negative cache entry (so repeated queries for a name
+   known to be absent are absorbed host-side) and drop the datagram
+   before it ever reaches the vulnerable machine-code parse. *)
+let nxdomain_negative t wire =
+  let len = String.length wire in
+  if len < 12 then false
+  else
+    let u16 off = (Char.code wire.[off] lsl 8) lor Char.code wire.[off + 1] in
+    let flags = u16 2 in
+    if (flags lsr 15) land 1 <> 1 || flags land 0xF <> 3 || u16 4 <> 1 then
+      false
+    else
+      match Hashtbl.find_opt t.pending (u16 0) with
+      | None -> false
+      | Some pending -> (
+          match Dns.Name.decode wire 12 with
+          | Ok (qname, _) when qname = pending.Dns.Packet.qname ->
+              Hashtbl.remove t.pending (u16 0);
+              Dns.Cache.insert_negative t.cache ~now:t.clock
+                ~name:(Dns.Name.to_string qname) ~ttl:negative_ttl;
+              true
+          | _ -> false)
+
 let handle_response t wire =
   if not t.alive then Dropped "daemon not running"
+  else if nxdomain_negative t wire then Dropped "nxdomain (negative cached)"
   else
     match prevalidate t wire with
     | Error why -> Dropped why
@@ -177,5 +205,9 @@ let handle_response t wire =
 let cache_lookup t qname =
   Dns.Cache.lookup t.cache ~now:t.clock (Dns.Name.to_string qname)
 
+let cache_find t qname =
+  Dns.Cache.find t.cache ~now:t.clock (Dns.Name.to_string qname)
+
+let cache t = t.cache
 let cache_stats t = Dns.Cache.stats t.cache
 let tick t seconds = t.clock <- t.clock + max 0 seconds

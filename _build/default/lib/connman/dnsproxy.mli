@@ -34,7 +34,9 @@ val default_config : config
 
 type t
 
-val create : config -> t
+val create : ?cache_capacity:int -> config -> t
+(** [cache_capacity] bounds the daemon's DNS cache (default 256). *)
+
 val config : t -> config
 val process : t -> Loader.Process.t
 (** The booted process image — what an attacker's local [gdb]/[ropper]
@@ -47,7 +49,9 @@ val make_query : t -> Dns.Name.t -> Dns.Packet.t
     forwarding a client lookup upstream). *)
 
 val handle_response : t -> string -> disposition
-(** Feed raw wire bytes, as received from the configured DNS server. *)
+(** Feed raw wire bytes, as received from the configured DNS server.
+    An NXDOMAIN matching a pending question is negatively cached and
+    dropped before the machine-level parse. *)
 
 val peek_pending : t -> int -> Dns.Packet.question option
 (** Is this transaction id outstanding?  (Used by scenarios to attribute
@@ -57,7 +61,16 @@ val cache_lookup : t -> Dns.Name.t -> int option
 (** IPv4 (host order) cached for a name, if fresh (TTL not elapsed on the
     daemon's logical clock). *)
 
+val cache_find : t -> Dns.Name.t -> Dns.Cache.outcome
+(** Like {!cache_lookup} but distinguishes negative hits from misses. *)
+
+val cache : t -> Dns.Cache.t
+(** The daemon's cache, for stats dumps and shard-level inspection. *)
+
 val cache_stats : t -> Dns.Cache.stats
+
+val negative_ttl : int
+(** Seconds an NXDOMAIN is negatively cached (SOA-minimum stand-in). *)
 
 val tick : t -> int -> unit
 (** Advance the daemon's logical clock by that many seconds (drives TTL

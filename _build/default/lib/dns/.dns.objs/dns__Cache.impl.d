@@ -1,1 +1,1 @@
-lib/dns/cache.ml: Hashtbl
+lib/dns/cache.ml: Array Format Hashtbl

@@ -1,1 +1,1 @@
-lib/dns/cache.mli:
+lib/dns/cache.mli: Format

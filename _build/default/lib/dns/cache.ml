@@ -1,79 +1,312 @@
-type entry = { ipv4 : int; expires : int }
+(* Sharded TTL cache.  Each shard owns a hashtable plus a min-expiry
+   binary heap over (expires, seq) — the same sift-up/sift-down shape as
+   Netsim.Sim's event queue.  Heap nodes are invalidated lazily: the
+   table holds the truth, and a node is live only if the table still maps
+   its name to the same (expires, seq).  Stale nodes are discarded when
+   they reach the root, and a compaction rebuilds the heap from the table
+   when tombstones outnumber live entries. *)
 
-type stats = { hits : int; misses : int; insertions : int; evictions : int }
+type entry = {
+  value : int;  (* ipv4 (host order); 0 for negative entries *)
+  negative : bool;
+  expires : int;
+  seq : int;  (* store sequence number: FIFO tie-break and liveness tag *)
+}
+
+type hnode = { hexp : int; hseq : int; hname : string }
+
+let hsentinel = { hexp = max_int; hseq = max_int; hname = "" }
+
+type shard = {
+  cap : int;
+  table : (string, entry) Hashtbl.t;
+  mutable heap : hnode array;
+  mutable hsize : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable negative_hits : int;
+  mutable insertions : int;
+  mutable replacements : int;
+  mutable evictions : int;
+  mutable expired_sweeps : int;
+}
 
 type t = {
   capacity : int;
-  table : (string, entry) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
-  mutable insertions : int;
-  mutable evictions : int;
+  mask : int;  (* shard count - 1; shard count is a power of two *)
+  shards : shard array;
+  mutable next_seq : int;
 }
 
-let create ?(capacity = 256) () =
+type outcome = Hit of int | Negative_hit | Miss
+
+type stats = {
+  hits : int;
+  misses : int;
+  negative_hits : int;
+  insertions : int;
+  replacements : int;
+  evictions : int;
+  expired_sweeps : int;
+  occupancy : int;
+}
+
+let pow2_floor n =
+  let rec go acc = if acc * 2 <= n then go (acc * 2) else acc in
+  go 1
+
+let create ?(capacity = 256) ?shards () =
   if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
-  {
-    capacity;
-    table = Hashtbl.create 64;
-    hits = 0;
-    misses = 0;
-    insertions = 0;
-    evictions = 0;
-  }
-
-let expired now entry = entry.expires <= now
-
-(* Evict the entry closest to expiry (expired ones first, trivially). *)
-let evict_one t =
-  let victim =
-    Hashtbl.fold
-      (fun name entry best ->
-        match best with
-        | Some (_, e) when e.expires <= entry.expires -> best
-        | _ -> Some (name, entry))
-      t.table None
+  let nshards =
+    match shards with
+    | Some s ->
+        if s <= 0 then invalid_arg "Cache.create: shards must be positive";
+        pow2_floor (min s capacity)
+    | None ->
+        (* keep every shard at least ~16 slots so small caches stay
+           single-shard (and deterministic for eviction-order tests) *)
+        min 64 (pow2_floor (max 1 (capacity / 16)))
   in
-  match victim with
-  | Some (name, _) ->
-      Hashtbl.remove t.table name;
-      t.evictions <- t.evictions + 1
-  | None -> ()
+  let base = capacity / nshards and rem = capacity mod nshards in
+  let mk i =
+    {
+      cap = base + (if i < rem then 1 else 0);
+      table = Hashtbl.create 16;
+      heap = Array.make 16 hsentinel;
+      hsize = 0;
+      hits = 0;
+      misses = 0;
+      negative_hits = 0;
+      insertions = 0;
+      replacements = 0;
+      evictions = 0;
+      expired_sweeps = 0;
+    }
+  in
+  { capacity; mask = nshards - 1; shards = Array.init nshards mk; next_seq = 0 }
 
-let insert t ~now ~name ~ttl ~ipv4 =
-  if ttl > 0 then begin
-    if Hashtbl.length t.table >= t.capacity && not (Hashtbl.mem t.table name)
-    then evict_one t;
-    Hashtbl.replace t.table name { ipv4; expires = now + ttl };
-    t.insertions <- t.insertions + 1
+let capacity t = t.capacity
+let shard_count t = t.mask + 1
+let shard_of t name = Hashtbl.hash name land t.mask
+let shard_for t name = t.shards.(shard_of t name)
+
+(* --- per-shard min-heap on (hexp, hseq) --- *)
+
+let hkey n = (n.hexp, n.hseq)
+
+let hswap sh i j =
+  let tmp = sh.heap.(i) in
+  sh.heap.(i) <- sh.heap.(j);
+  sh.heap.(j) <- tmp
+
+let rec sift_up sh i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if hkey sh.heap.(i) < hkey sh.heap.(parent) then begin
+      hswap sh i parent;
+      sift_up sh parent
+    end
   end
 
-let lookup t ~now name =
-  match Hashtbl.find_opt t.table name with
-  | Some entry when not (expired now entry) ->
-      t.hits <- t.hits + 1;
-      Some entry.ipv4
-  | Some _ ->
-      Hashtbl.remove t.table name;
-      t.misses <- t.misses + 1;
-      None
-  | None ->
-      t.misses <- t.misses + 1;
-      None
+let rec sift_down sh i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < sh.hsize && hkey sh.heap.(l) < hkey sh.heap.(!smallest) then
+    smallest := l;
+  if r < sh.hsize && hkey sh.heap.(r) < hkey sh.heap.(!smallest) then
+    smallest := r;
+  if !smallest <> i then begin
+    hswap sh i !smallest;
+    sift_down sh !smallest
+  end
 
-let remove t name = Hashtbl.remove t.table name
+(* A node is live iff the table still maps its name to the same store. *)
+let node_live sh n =
+  match Hashtbl.find_opt sh.table n.hname with
+  | Some e -> e.expires = n.hexp && e.seq = n.hseq
+  | None -> false
+
+let heap_pop sh =
+  let top = sh.heap.(0) in
+  sh.hsize <- sh.hsize - 1;
+  if sh.hsize > 0 then begin
+    sh.heap.(0) <- sh.heap.(sh.hsize);
+    sift_down sh 0
+  end;
+  (* vacated slot must not pin the node (and keeps stale scans honest) *)
+  sh.heap.(sh.hsize) <- hsentinel;
+  top
+
+(* Rebuild the heap from the table: one node per live entry. *)
+let compact sh =
+  let n = Hashtbl.length sh.table in
+  let arr = Array.make (max 16 n) hsentinel in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun name e ->
+      arr.(!i) <- { hexp = e.expires; hseq = e.seq; hname = name };
+      incr i)
+    sh.table;
+  sh.heap <- arr;
+  sh.hsize <- n;
+  for j = (n / 2) - 1 downto 0 do
+    sift_down sh j
+  done
+
+let heap_push sh node =
+  if sh.hsize > (2 * Hashtbl.length sh.table) + 8 then compact sh;
+  if sh.hsize = Array.length sh.heap then begin
+    let bigger = Array.make (2 * sh.hsize) hsentinel in
+    Array.blit sh.heap 0 bigger 0 sh.hsize;
+    sh.heap <- bigger
+  end;
+  sh.heap.(sh.hsize) <- node;
+  sh.hsize <- sh.hsize + 1;
+  sift_up sh (sh.hsize - 1)
+
+let rec drop_stale sh =
+  if sh.hsize > 0 && not (node_live sh sh.heap.(0)) then begin
+    ignore (heap_pop sh);
+    drop_stale sh
+  end
+
+(* Reclaim every entry past its TTL before anything live is considered
+   for eviction: expired entries must never hold capacity. *)
+let rec sweep_expired sh ~now =
+  drop_stale sh;
+  if sh.hsize > 0 && sh.heap.(0).hexp <= now then begin
+    let top = heap_pop sh in
+    Hashtbl.remove sh.table top.hname;
+    sh.expired_sweeps <- sh.expired_sweeps + 1;
+    sweep_expired sh ~now
+  end
+
+(* Evict the live entry with the earliest expiry (FIFO among equals).
+   Only called after a sweep, so the root's live node is the victim. *)
+let evict_one sh =
+  drop_stale sh;
+  if sh.hsize > 0 then begin
+    let top = heap_pop sh in
+    Hashtbl.remove sh.table top.hname;
+    sh.evictions <- sh.evictions + 1
+  end
+
+let store t ~now ~name ~ttl ~value ~negative =
+  if ttl > 0 then begin
+    let sh = shard_for t name in
+    sweep_expired sh ~now;
+    let expires = now + ttl in
+    let add seq =
+      Hashtbl.replace sh.table name { value; negative; expires; seq };
+      heap_push sh { hexp = expires; hseq = seq; hname = name }
+    in
+    if Hashtbl.mem sh.table name then begin
+      sh.replacements <- sh.replacements + 1;
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      add seq
+    end
+    else begin
+      if Hashtbl.length sh.table >= sh.cap then evict_one sh;
+      if Hashtbl.length sh.table < sh.cap then begin
+        sh.insertions <- sh.insertions + 1;
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        add seq
+      end
+    end
+  end
+
+let insert t ~now ~name ~ttl ~ipv4 =
+  store t ~now ~name ~ttl ~value:ipv4 ~negative:false
+
+let insert_negative t ~now ~name ~ttl =
+  store t ~now ~name ~ttl ~value:0 ~negative:true
+
+let find t ~now name =
+  let sh = shard_for t name in
+  match Hashtbl.find_opt sh.table name with
+  | Some e when e.expires > now ->
+      if e.negative then begin
+        sh.negative_hits <- sh.negative_hits + 1;
+        Negative_hit
+      end
+      else begin
+        sh.hits <- sh.hits + 1;
+        Hit e.value
+      end
+  | Some _ ->
+      (* expired: prune the table now; the heap node goes stale *)
+      Hashtbl.remove sh.table name;
+      sh.misses <- sh.misses + 1;
+      Miss
+  | None ->
+      sh.misses <- sh.misses + 1;
+      Miss
+
+let lookup t ~now name =
+  match find t ~now name with Hit ip -> Some ip | Negative_hit | Miss -> None
+
+let remove t name = Hashtbl.remove (shard_for t name).table name
 
 let size t ~now =
-  Hashtbl.fold
-    (fun _ entry n -> if expired now entry then n else n + 1)
-    t.table 0
+  Array.fold_left
+    (fun acc sh ->
+      Hashtbl.fold
+        (fun _ e n -> if e.expires > now then n + 1 else n)
+        sh.table acc)
+    0 t.shards
 
-let flush t = Hashtbl.reset t.table
+let flush t =
+  Array.iter
+    (fun sh ->
+      Hashtbl.reset sh.table;
+      Array.fill sh.heap 0 sh.hsize hsentinel;
+      sh.hsize <- 0)
+    t.shards
+
+let stats_of_shard (sh : shard) =
+  {
+    hits = sh.hits;
+    misses = sh.misses;
+    negative_hits = sh.negative_hits;
+    insertions = sh.insertions;
+    replacements = sh.replacements;
+    evictions = sh.evictions;
+    expired_sweeps = sh.expired_sweeps;
+    occupancy = Hashtbl.length sh.table;
+  }
+
+let shard_stats t = Array.map stats_of_shard t.shards
 
 let stats t =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    insertions = t.insertions;
-    evictions = t.evictions;
-  }
+  Array.fold_left
+    (fun acc (sh : shard) ->
+      {
+        hits = acc.hits + sh.hits;
+        misses = acc.misses + sh.misses;
+        negative_hits = acc.negative_hits + sh.negative_hits;
+        insertions = acc.insertions + sh.insertions;
+        replacements = acc.replacements + sh.replacements;
+        evictions = acc.evictions + sh.evictions;
+        expired_sweeps = acc.expired_sweeps + sh.expired_sweeps;
+        occupancy = acc.occupancy + Hashtbl.length sh.table;
+      })
+    {
+      hits = 0;
+      misses = 0;
+      negative_hits = 0;
+      insertions = 0;
+      replacements = 0;
+      evictions = 0;
+      expired_sweeps = 0;
+      occupancy = 0;
+    }
+    t.shards
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "hits %d  misses %d  neg-hits %d  ins %d  repl %d  evict %d  swept %d  \
+     occ %d"
+    s.hits s.misses s.negative_hits s.insertions s.replacements s.evictions
+    s.expired_sweeps s.occupancy

@@ -28,6 +28,8 @@ type t = {
   mutable alive : bool;
   mutable next_id : int;
   pending : (int, Dns.Packet.question) Hashtbl.t;
+  cache : Dns.Cache.t;
+  mutable clock : int;  (* logical seconds, advanced by [tick] *)
 }
 
 let build_spec config =
@@ -37,7 +39,9 @@ let build_spec config =
   | Loader.Arch.Arm ->
       Program_arm.spec ~patched:config.patched ~profile:config.profile
 
-let create config =
+let negative_ttl = 60
+
+let create ?cache_capacity config =
   {
     config;
     proc =
@@ -46,10 +50,18 @@ let create config =
     alive = true;
     next_id = 0x2000 + (config.boot_seed land 0xFFF);
     pending = Hashtbl.create 8;
+    cache = Dns.Cache.create ?capacity:cache_capacity ();
+    clock = 0;
   }
 
 let process t = t.proc
 let alive t = t.alive
+let tick t seconds = t.clock <- t.clock + max 0 seconds
+let cache t = t.cache
+let cache_stats t = Dns.Cache.stats t.cache
+
+let cache_lookup t qname =
+  Dns.Cache.lookup t.cache ~now:t.clock (Dns.Name.to_string qname)
 
 let make_query t qname =
   let id = t.next_id land 0xFFFF in
@@ -72,8 +84,45 @@ let prevalidate t wire =
           Hashtbl.remove t.pending (u16 0);
           Ok ()
 
+(* Same host-side policy as Connman's proxy: an NXDOMAIN answering a
+   pending question is negatively cached and never parsed. *)
+let nxdomain_negative t wire =
+  let len = String.length wire in
+  if len < 12 then false
+  else
+    let u16 off = (Char.code wire.[off] lsl 8) lor Char.code wire.[off + 1] in
+    let flags = u16 2 in
+    if (flags lsr 15) land 1 <> 1 || flags land 0xF <> 3 then false
+    else
+      match Hashtbl.find_opt t.pending (u16 0) with
+      | None -> false
+      | Some pending ->
+          Hashtbl.remove t.pending (u16 0);
+          Dns.Cache.insert_negative t.cache ~now:t.clock
+            ~name:(Dns.Name.to_string pending.Dns.Packet.qname)
+            ~ttl:negative_ttl;
+          true
+
+(* Record the A answers of a successfully-parsed response. *)
+let update_cache t wire =
+  match Dns.Packet.decode wire with
+  | Error _ -> ()
+  | Ok msg ->
+      List.iter
+        (fun (rr : Dns.Packet.rr) ->
+          match
+            (rr.Dns.Packet.rtype, Dns.Packet.ipv4_of_rdata rr.Dns.Packet.rdata)
+          with
+          | Dns.Packet.A, Some ip ->
+              Dns.Cache.insert t.cache ~now:t.clock
+                ~name:(Dns.Name.to_string rr.Dns.Packet.rname)
+                ~ttl:rr.Dns.Packet.ttl ~ipv4:ip
+          | _ -> ())
+        msg.Dns.Packet.answers
+
 let handle_response t wire =
   if not t.alive then Dropped "daemon not running"
+  else if nxdomain_negative t wire then Dropped "nxdomain (negative cached)"
   else
     match prevalidate t wire with
     | Error why -> Dropped why
@@ -90,6 +139,7 @@ let handle_response t wire =
           in
           match r.Loader.Process.outcome with
           | O.Halted ->
+              update_cache t wire;
               Cached
                 (match Dns.Packet.decode wire with
                 | Ok m -> List.length m.Dns.Packet.answers

@@ -23,8 +23,27 @@ type config = {
 
 type t
 
-val create : config -> t
+val create : ?cache_capacity:int -> config -> t
+(** [cache_capacity] bounds the daemon's DNS cache (default 256). *)
+
 val process : t -> Loader.Process.t
 val alive : t -> bool
 val make_query : t -> Dns.Name.t -> Dns.Packet.t
+
 val handle_response : t -> string -> disposition
+(** A successful parse records the response's A answers in the cache;
+    an NXDOMAIN matching a pending question is negatively cached and
+    dropped before the machine-level parse. *)
+
+val cache_lookup : t -> Dns.Name.t -> int option
+(** IPv4 (host order) cached for a name, if fresh on the daemon's
+    logical clock. *)
+
+val cache : t -> Dns.Cache.t
+val cache_stats : t -> Dns.Cache.stats
+
+val tick : t -> int -> unit
+(** Advance the daemon's logical clock (drives TTL expiry). *)
+
+val negative_ttl : int
+(** Seconds an NXDOMAIN is negatively cached. *)

@@ -1,1 +1,1 @@
-lib/netsim/dns_server.ml: Dns List World
+lib/netsim/dns_server.ml: Dns List Sim World

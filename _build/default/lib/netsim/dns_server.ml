@@ -2,7 +2,13 @@ let reply ctx dgram response =
   World.send ctx.World.world ~from:ctx.World.self ~sport:53
     ~dst:dgram.World.src ~dport:dgram.World.sport response
 
-let resolver ?(cnames = []) _world host ~zone =
+let zone_ttl = 300
+let negative_ttl = 60
+
+(* The resolver's answer cache runs on the simulation clock (µs → s). *)
+let now_s ctx = Sim.now (World.sim ctx.World.world) / 1_000_000
+
+let resolver ?(cnames = []) ?cache _world host ~zone =
   World.on_udp host ~port:53 (fun ctx dgram ->
       match Dns.Packet.decode dgram.World.payload with
       | Error _ -> ()
@@ -19,7 +25,7 @@ let resolver ?(cnames = []) _world host ~zone =
                   | Some target ->
                       chase target
                         (Dns.Packet.cname_record (Dns.Name.of_string name)
-                           ~ttl:300
+                           ~ttl:zone_ttl
                            ~target:(Dns.Name.of_string target)
                         :: chain)
                         (hops + 1)
@@ -28,17 +34,54 @@ let resolver ?(cnames = []) _world host ~zone =
                       | Some ip ->
                           List.rev
                             (Dns.Packet.a_record (Dns.Name.of_string name)
-                               ~ttl:300 ~ipv4:ip
+                               ~ttl:zone_ttl ~ipv4:ip
                             :: chain)
                       | None -> List.rev chain)
               in
-              let answers =
-                match q.Dns.Packet.qtype with
-                | Dns.Packet.A ->
-                    chase (Dns.Name.to_string q.Dns.Packet.qname) [] 0
-                | _ -> []
+              let qname = Dns.Name.to_string q.Dns.Packet.qname in
+              let answer answers =
+                reply ctx dgram
+                  (Dns.Packet.encode (Dns.Packet.response ~query answers))
               in
-              reply ctx dgram (Dns.Packet.encode (Dns.Packet.response ~query answers))
+              let resolve_and_fill () =
+                let answers = chase qname [] 0 in
+                (match cache with
+                | None -> ()
+                | Some c -> (
+                    let now = now_s ctx in
+                    (* Cache the terminal A under the *queried* name (a
+                       stub cache collapses the chain), or the absence
+                       of one as a negative entry. *)
+                    let terminal =
+                      List.find_map
+                        (fun (rr : Dns.Packet.rr) ->
+                          if rr.Dns.Packet.rtype = Dns.Packet.A then
+                            Dns.Packet.ipv4_of_rdata rr.Dns.Packet.rdata
+                          else None)
+                        answers
+                    in
+                    match terminal with
+                    | Some ip ->
+                        Dns.Cache.insert c ~now ~name:qname ~ttl:zone_ttl
+                          ~ipv4:ip
+                    | None ->
+                        Dns.Cache.insert_negative c ~now ~name:qname
+                          ~ttl:negative_ttl));
+                answer answers
+              in
+              (match (q.Dns.Packet.qtype, cache) with
+              | Dns.Packet.A, Some c -> (
+                  match Dns.Cache.find c ~now:(now_s ctx) qname with
+                  | Dns.Cache.Hit ip ->
+                      answer
+                        [
+                          Dns.Packet.a_record q.Dns.Packet.qname ~ttl:zone_ttl
+                            ~ipv4:ip;
+                        ]
+                  | Dns.Cache.Negative_hit -> answer []
+                  | Dns.Cache.Miss -> resolve_and_fill ())
+              | Dns.Packet.A, None -> answer (chase qname [] 0)
+              | _ -> answer [])
           | _ -> ()))
 
 let malicious _world host ~forge =

@@ -8,13 +8,20 @@
 
 val resolver :
   ?cnames:(string * string) list ->
+  ?cache:Dns.Cache.t ->
   World.t ->
   World.host ->
   zone:(string * Ip.t) list ->
   unit
 (** Serve port 53: A answers for zone entries (chasing up to four local
     [cnames] links first, answering with the whole chain), empty answers
-    otherwise.  Malformed queries are dropped. *)
+    otherwise.  Malformed queries are dropped.
+
+    With [cache], A queries are answered from it when fresh (a cached
+    CNAME chain collapses to a single A for the queried name), zone
+    misses are negatively cached, and resolution results fill it — the
+    cache runs on the world's {!Sim} clock (seconds).  Pass a cache
+    created by the caller so its stats stay observable. *)
 
 val malicious :
   World.t ->

@@ -11,11 +11,15 @@ and t = {
   rng : Memsim.Rng.t;
 }
 
+(* Inert filler for empty heap slots: vacated slots must not keep a
+   popped event's [action] closure (and whatever it captures) alive. *)
+let sentinel = { time = max_int; seq = max_int; action = (fun _ -> ()) }
+
 let create ?(seed = 1) () =
   {
     clock = 0;
     next_seq = 0;
-    heap = Array.make 64 { time = 0; seq = 0; action = (fun _ -> ()) };
+    heap = Array.make 64 sentinel;
     size = 0;
     rng = Memsim.Rng.create seed;
   }
@@ -51,7 +55,7 @@ let rec sift_down t i =
 let schedule t ~delay action =
   let delay = max 0 delay in
   if t.size = Array.length t.heap then begin
-    let bigger = Array.make (2 * t.size) t.heap.(0) in
+    let bigger = Array.make (2 * t.size) sentinel in
     Array.blit t.heap 0 bigger 0 t.size;
     t.heap <- bigger
   end;
@@ -67,6 +71,7 @@ let pop t =
     t.heap.(0) <- t.heap.(t.size);
     sift_down t 0
   end;
+  t.heap.(t.size) <- sentinel;
   top
 
 let pending t = t.size

@@ -1,1 +1,1 @@
-test/test_cache.ml: Alcotest Connman Dns Gen List Printf QCheck QCheck_alcotest
+test/test_cache.ml: Alcotest Array Connman Dns Gen Hashtbl List Memsim Printf QCheck QCheck_alcotest

@@ -1,1 +1,1 @@
-test/test_netsim.ml: Alcotest Char Dns List Netsim Option QCheck QCheck_alcotest Result String
+test/test_netsim.ml: Alcotest Bytes Char Dns Gc List Netsim Option QCheck QCheck_alcotest Result String Weak

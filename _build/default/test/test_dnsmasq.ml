@@ -57,6 +57,59 @@ let test_benign_parse () =
             D.pp_disposition other)
     [ Loader.Arch.X86; Loader.Arch.Arm ]
 
+let test_benign_parse_fills_cache () =
+  let d = daemon ~arch:Loader.Arch.X86 ~profile:Defense.Profile.wx () in
+  let query = D.make_query d lookup in
+  let wire =
+    Dns.Packet.encode
+      (Dns.Packet.response ~query
+         [ Dns.Packet.a_record lookup ~ttl:60 ~ipv4:0x0A0B0C0D ])
+  in
+  (match D.handle_response d wire with
+  | D.Cached 1 -> ()
+  | other -> Alcotest.failf "expected Cached, got %a" D.pp_disposition other);
+  Alcotest.(check (option int))
+    "answer cached" (Some 0x0A0B0C0D) (D.cache_lookup d lookup);
+  D.tick d 61;
+  Alcotest.(check (option int))
+    "entry expires with the daemon clock" None (D.cache_lookup d lookup);
+  let s = D.cache_stats d in
+  check_int "one insertion" 1 s.Dns.Cache.insertions;
+  check_bool "hit and miss both recorded" true
+    (s.Dns.Cache.hits >= 1 && s.Dns.Cache.misses >= 1)
+
+let test_nxdomain_negatively_cached () =
+  let d = daemon ~arch:Loader.Arch.X86 ~profile:Defense.Profile.wx () in
+  let absent = Dns.Name.of_string "void.example" in
+  let q = D.make_query d absent in
+  let wire =
+    Dns.Packet.encode
+      {
+        Dns.Packet.header =
+          {
+            q.Dns.Packet.header with
+            Dns.Packet.qr = true;
+            Dns.Packet.ra = true;
+            Dns.Packet.rcode = Dns.Packet.NXDomain;
+          };
+        questions = q.Dns.Packet.questions;
+        answers = [];
+        authorities = [];
+        additionals = [];
+      }
+  in
+  (match D.handle_response d wire with
+  | D.Dropped _ -> check_bool "alive" true (D.alive d)
+  | other -> Alcotest.failf "expected Dropped, got %a" D.pp_disposition other);
+  check_bool "negative entry" true
+    (Dns.Cache.find (D.cache d) ~now:0 (Dns.Name.to_string absent)
+    = Dns.Cache.Negative_hit);
+  D.tick d (D.negative_ttl + 1);
+  check_bool "negative entry expires" true
+    (Dns.Cache.find (D.cache d) ~now:(D.negative_ttl + 1)
+       (Dns.Name.to_string absent)
+    = Dns.Cache.Miss)
+
 let test_dos_crashes_277 () =
   List.iter
     (fun arch ->
@@ -215,6 +268,10 @@ let () =
       ( "daemon",
         [
           Alcotest.test_case "benign parse" `Quick test_benign_parse;
+          Alcotest.test_case "benign parse fills cache" `Quick
+            test_benign_parse_fills_cache;
+          Alcotest.test_case "nxdomain negatively cached" `Quick
+            test_nxdomain_negatively_cached;
           Alcotest.test_case "2.77 DoS" `Quick test_dos_crashes_277;
           Alcotest.test_case "2.78 survives" `Quick test_dos_survived_by_278;
         ] );

@@ -65,6 +65,27 @@ let test_sim_until () =
   check_int "only early event" 1 !fired;
   check_int "one pending" 1 (Sim.pending sim)
 
+(* Regression: [Sim.pop] used to leave the popped event record (and its
+   action closure) reachable from heap.(size), pinning whatever the
+   closure captured for the arena's lifetime.  The slot is now cleared
+   with an inert sentinel, so the closure's environment is collectable
+   as soon as the event has fired. *)
+let test_sim_pop_releases_closures () =
+  let sim = Sim.create () in
+  let weak = Weak.create 1 in
+  let () =
+    (* Inner scope so our own reference to the payload dies. *)
+    let payload = Bytes.make 4096 'x' in
+    Weak.set weak 0 (Some payload);
+    Sim.schedule sim ~delay:1 (fun _ -> ignore (Bytes.length payload));
+    (* A second event so the heap sees a pop that moves a trailing
+       element over the root (the exact path that leaked). *)
+    Sim.schedule sim ~delay:2 (fun _ -> ())
+  in
+  check_int "both fired" 2 (Sim.run sim);
+  Gc.full_major ();
+  check_bool "payload collected after run" true (Weak.get weak 0 = None)
+
 let prop_sim_many_events_ordered =
   QCheck.Test.make ~name:"heap preserves timestamp order" ~count:50
     QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (int_bound 10_000))
@@ -326,6 +347,53 @@ let test_resolver_chases_cnames () =
         = Some (Ip.of_string "198.51.100.7"))
   | None -> Alcotest.fail "no answer"
 
+let test_resolver_uses_cache () =
+  let w = W.create () in
+  let lan = W.add_lan w ~name:"lan" in
+  let server = W.add_host w ~name:"dns" in
+  W.set_host_ip server (Some (Ip.of_string "8.8.8.8"));
+  W.attach server lan;
+  let cache = Dns.Cache.create ~capacity:64 () in
+  Netsim.Dns_server.resolver ~cache w server
+    ~zone:[ ("example.com", Ip.of_string "93.184.216.34") ];
+  let client = W.add_host w ~name:"client" in
+  W.set_host_ip client (Some (Ip.of_string "10.0.0.5"));
+  W.attach client lan;
+  let answers = ref [] in
+  W.on_udp client ~port:5353 (fun _ d ->
+      match Dns.Packet.decode d.W.payload with
+      | Ok m -> answers := m :: !answers
+      | Error _ -> ());
+  let ask id name =
+    let query = Dns.Packet.query ~id (Dns.Name.of_string name) Dns.Packet.A in
+    W.send w ~from:client ~sport:5353 ~dst:(Ip.of_string "8.8.8.8") ~dport:53
+      (Dns.Packet.encode query);
+    (* Run to quiescence between queries so the second lookup is
+       guaranteed to observe the first one's cache fill. *)
+    ignore (W.run w)
+  in
+  ask 1 "example.com";
+  ask 2 "example.com";
+  ask 3 "ghost.example";
+  ask 4 "ghost.example";
+  check_int "four answers" 4 (List.length !answers);
+  List.iter
+    (fun (m : Dns.Packet.t) ->
+      let n = List.length m.Dns.Packet.answers in
+      match m.Dns.Packet.header.Dns.Packet.id with
+      | 1 | 2 ->
+          check_int "known name answered" 1 n;
+          check_bool "cached answer keeps the right ip" true
+            (Dns.Packet.ipv4_of_rdata
+               (List.hd m.Dns.Packet.answers).Dns.Packet.rdata
+            = Some (Ip.of_string "93.184.216.34"))
+      | _ -> check_int "unknown name empty" 0 n)
+    !answers;
+  let s = Dns.Cache.stats cache in
+  check_int "second query served from cache" 1 s.Dns.Cache.hits;
+  check_int "repeat unknown is a negative hit" 1 s.Dns.Cache.negative_hits;
+  check_int "one positive + one negative fill" 2 s.Dns.Cache.insertions
+
 let test_malicious_forges () =
   let w = W.create () in
   let lan = W.add_lan w ~name:"lan" in
@@ -365,6 +433,8 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_sim_fifo_ties;
           Alcotest.test_case "nested scheduling" `Quick test_sim_nested_schedule;
           Alcotest.test_case "run until" `Quick test_sim_until;
+          Alcotest.test_case "pop releases closures" `Quick
+            test_sim_pop_releases_closures;
           qt prop_sim_many_events_ordered;
         ] );
       ( "delivery",
@@ -396,6 +466,8 @@ let () =
             test_resolver_empty_for_unknown;
           Alcotest.test_case "resolver chases CNAMEs" `Quick
             test_resolver_chases_cnames;
+          Alcotest.test_case "resolver uses cache" `Quick
+            test_resolver_uses_cache;
           Alcotest.test_case "malicious forges" `Quick test_malicious_forges;
         ] );
     ]

@@ -1,4 +1,4 @@
-(* Tests for the TTL-aware DNS cache and its daemon integration. *)
+(* Tests for the sharded TTL-aware DNS cache and its daemon integration. *)
 
 module Cache = Dns.Cache
 module Dnsproxy = Connman.Dnsproxy
@@ -33,6 +33,21 @@ let test_replace_updates () =
   opt_int "latest wins" (Some 2) (Cache.lookup c ~now:1 "a.example");
   check_int "single entry" 1 (Cache.size c ~now:1)
 
+(* Regression: re-inserting an existing key is a replacement, not an
+   insertion — the seed counted both as insertions, so
+   insertions - evictions no longer tracked table growth. *)
+let test_replacement_counted_separately () =
+  let c = Cache.create () in
+  Cache.insert c ~now:0 ~name:"a.example" ~ttl:60 ~ipv4:1;
+  Cache.insert c ~now:0 ~name:"a.example" ~ttl:90 ~ipv4:2;
+  Cache.insert c ~now:0 ~name:"b.example" ~ttl:60 ~ipv4:3;
+  let s = Cache.stats c in
+  check_int "insertions count new names only" 2 s.Cache.insertions;
+  check_int "replacements counted apart" 1 s.Cache.replacements;
+  check_int "growth = insertions - evictions" 2
+    (s.Cache.insertions - s.Cache.evictions);
+  check_int "two entries" 2 (Cache.size c ~now:0)
+
 let test_capacity_eviction () =
   let c = Cache.create ~capacity:4 () in
   for i = 1 to 4 do
@@ -44,6 +59,101 @@ let test_capacity_eviction () =
   opt_int "soonest-expiry evicted" None (Cache.lookup c ~now:0 "h1");
   opt_int "newest present" (Some 5) (Cache.lookup c ~now:0 "h5");
   check_int "eviction counted" 1 (Cache.stats c).Cache.evictions
+
+(* Capacity-boundary eviction order: victims leave in expiry order. *)
+let test_eviction_order () =
+  let c = Cache.create ~capacity:4 () in
+  List.iter
+    (fun (name, ttl) -> Cache.insert c ~now:0 ~name ~ttl ~ipv4:1)
+    [ ("a", 40); ("b", 10); ("c", 30); ("d", 20) ];
+  Cache.insert c ~now:0 ~name:"e" ~ttl:50 ~ipv4:1;
+  opt_int "b evicted first" None (Cache.lookup c ~now:0 "b");
+  Cache.insert c ~now:0 ~name:"f" ~ttl:60 ~ipv4:1;
+  opt_int "d evicted second" None (Cache.lookup c ~now:0 "d");
+  Cache.insert c ~now:0 ~name:"g" ~ttl:70 ~ipv4:1;
+  opt_int "c evicted third" None (Cache.lookup c ~now:0 "c");
+  opt_int "a survives" (Some 1) (Cache.lookup c ~now:0 "a");
+  check_int "three evictions" 3 (Cache.stats c).Cache.evictions;
+  check_int "capacity held" 4 (Cache.size c ~now:0)
+
+(* Regression: a table full of expired entries must be swept, not
+   evicted one-at-a-time — the seed charged capacity for dead entries
+   and evicted a victim per insert. *)
+let test_expired_swept_before_eviction () =
+  let c = Cache.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Cache.insert c ~now:0 ~name:(Printf.sprintf "dead%d" i) ~ttl:5 ~ipv4:i
+  done;
+  (* At t=10 every entry is past its TTL: the next insert reclaims all
+     four in one sweep and evicts nothing live. *)
+  Cache.insert c ~now:10 ~name:"fresh" ~ttl:60 ~ipv4:9;
+  let s = Cache.stats c in
+  check_int "all dead entries swept" 4 s.Cache.expired_sweeps;
+  check_int "no live eviction" 0 s.Cache.evictions;
+  check_int "occupancy reflects the sweep" 1 s.Cache.occupancy;
+  opt_int "fresh entry present" (Some 9) (Cache.lookup c ~now:10 "fresh")
+
+(* Lazy invalidation: stale heap nodes left by replacements must not
+   confuse eviction (nor leak — compaction bounds them). *)
+let test_replacement_churn_then_eviction () =
+  let c = Cache.create ~capacity:4 () in
+  Cache.insert c ~now:0 ~name:"a" ~ttl:100 ~ipv4:1;
+  for i = 1 to 50 do
+    Cache.insert c ~now:0 ~name:"a" ~ttl:(100 + i) ~ipv4:1
+  done;
+  List.iter
+    (fun (name, ttl) -> Cache.insert c ~now:0 ~name ~ttl ~ipv4:2)
+    [ ("b", 200); ("c", 300); ("d", 400) ];
+  Cache.insert c ~now:0 ~name:"e" ~ttl:500 ~ipv4:3;
+  (* a's live expiry is 150 — the minimum — despite 50 tombstones. *)
+  opt_int "a evicted despite churn" None (Cache.lookup c ~now:0 "a");
+  opt_int "b survives" (Some 2) (Cache.lookup c ~now:0 "b");
+  let s = Cache.stats c in
+  check_int "replacements" 50 s.Cache.replacements;
+  check_int "one eviction" 1 s.Cache.evictions
+
+let test_negative_cache () =
+  let c = Cache.create () in
+  Cache.insert_negative c ~now:0 ~name:"nope.example" ~ttl:30;
+  check_bool "negative hit while fresh" true
+    (Cache.find c ~now:29 "nope.example" = Cache.Negative_hit);
+  opt_int "lookup answers None" None (Cache.lookup c ~now:29 "nope.example");
+  check_bool "expired at ttl" true
+    (Cache.find c ~now:30 "nope.example" = Cache.Miss);
+  let s = Cache.stats c in
+  check_int "negative hits counted" 2 s.Cache.negative_hits;
+  check_int "not counted as positive hits" 0 s.Cache.hits;
+  (* a positive insert over a negative entry replaces it *)
+  Cache.insert_negative c ~now:40 ~name:"flap.example" ~ttl:30;
+  Cache.insert c ~now:41 ~name:"flap.example" ~ttl:30 ~ipv4:7;
+  opt_int "positive wins" (Some 7) (Cache.lookup c ~now:42 "flap.example")
+
+let test_shard_distribution () =
+  let c = Cache.create ~capacity:1024 ~shards:8 () in
+  check_int "shard count" 8 (Cache.shard_count c);
+  let n = 800 in
+  for i = 0 to n - 1 do
+    let name = Printf.sprintf "host-%04d.shard.example" i in
+    check_bool "shard_of in bounds" true
+      (Cache.shard_of c name >= 0 && Cache.shard_of c name < 8);
+    check_int "shard_of stable" (Cache.shard_of c name) (Cache.shard_of c name);
+    Cache.insert c ~now:0 ~name ~ttl:1000 ~ipv4:i
+  done;
+  let occ =
+    Array.map (fun (s : Cache.stats) -> s.Cache.occupancy) (Cache.shard_stats c)
+  in
+  check_int "entries all stored" n (Array.fold_left ( + ) 0 occ);
+  Array.iteri
+    (fun i o ->
+      check_bool (Printf.sprintf "shard %d nonempty" i) true (o > 0);
+      check_bool (Printf.sprintf "shard %d not pathological" i) true
+        (o < n / 2))
+    occ;
+  (* aggregate stats = sum of shard stats *)
+  let agg = Cache.stats c in
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 (Cache.shard_stats c) in
+  check_int "insertions aggregate" agg.Cache.insertions
+    (sum (fun (s : Cache.stats) -> s.Cache.insertions))
 
 let test_stats () =
   let c = Cache.create () in
@@ -59,7 +169,170 @@ let test_flush () =
   let c = Cache.create () in
   Cache.insert c ~now:0 ~name:"a" ~ttl:10 ~ipv4:1;
   Cache.flush c;
-  check_int "empty" 0 (Cache.size c ~now:0)
+  check_int "empty" 0 (Cache.size c ~now:0);
+  check_int "occupancy zero" 0 (Cache.stats c).Cache.occupancy;
+  (* a flushed cache keeps working *)
+  Cache.insert c ~now:0 ~name:"b" ~ttl:10 ~ipv4:2;
+  opt_int "usable after flush" (Some 2) (Cache.lookup c ~now:1 "b")
+
+(* --- differential check against a naive reference model --- *)
+
+(* The reference mirrors the documented semantics with assoc-style
+   scans: per-shard capacity, sweep-then-evict on insert, min
+   (expires, seq) eviction, prune-on-expired-lookup.  Shard placement
+   and per-shard capacity are taken from the real cache (capacity
+   divisible by shards → uniform). *)
+module Ref_model = struct
+  type rentry = {
+    value : int;
+    negative : bool;
+    expires : int;
+    seq : int;
+  }
+
+  type t = {
+    cap_per_shard : int;
+    tables : (string, rentry) Hashtbl.t array;
+    mutable next_seq : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable negative_hits : int;
+    mutable insertions : int;
+    mutable replacements : int;
+    mutable evictions : int;
+    mutable expired_sweeps : int;
+  }
+
+  let create ~capacity ~shards =
+    {
+      cap_per_shard = capacity / shards;
+      tables = Array.init shards (fun _ -> Hashtbl.create 16);
+      next_seq = 0;
+      hits = 0;
+      misses = 0;
+      negative_hits = 0;
+      insertions = 0;
+      replacements = 0;
+      evictions = 0;
+      expired_sweeps = 0;
+    }
+
+  let sweep m tbl ~now =
+    let dead =
+      Hashtbl.fold
+        (fun name e acc -> if e.expires <= now then name :: acc else acc)
+        tbl []
+    in
+    List.iter (Hashtbl.remove tbl) dead;
+    m.expired_sweeps <- m.expired_sweeps + List.length dead
+
+  let evict_min m tbl =
+    let victim =
+      Hashtbl.fold
+        (fun name e best ->
+          match best with
+          | Some (_, b) when (b.expires, b.seq) <= (e.expires, e.seq) -> best
+          | _ -> Some (name, e))
+        tbl None
+    in
+    match victim with
+    | Some (name, _) ->
+        Hashtbl.remove tbl name;
+        m.evictions <- m.evictions + 1
+    | None -> ()
+
+  let store m ~shard ~now ~name ~ttl ~value ~negative =
+    if ttl > 0 then begin
+      let tbl = m.tables.(shard) in
+      sweep m tbl ~now;
+      if Hashtbl.mem tbl name then begin
+        m.replacements <- m.replacements + 1;
+        let seq = m.next_seq in
+        m.next_seq <- seq + 1;
+        Hashtbl.replace tbl name { value; negative; expires = now + ttl; seq }
+      end
+      else begin
+        if Hashtbl.length tbl >= m.cap_per_shard then evict_min m tbl;
+        if Hashtbl.length tbl < m.cap_per_shard then begin
+          m.insertions <- m.insertions + 1;
+          let seq = m.next_seq in
+          m.next_seq <- seq + 1;
+          Hashtbl.replace tbl name { value; negative; expires = now + ttl; seq }
+        end
+      end
+    end
+
+  let find m ~shard ~now name =
+    let tbl = m.tables.(shard) in
+    match Hashtbl.find_opt tbl name with
+    | Some e when e.expires > now ->
+        if e.negative then begin
+          m.negative_hits <- m.negative_hits + 1;
+          Cache.Negative_hit
+        end
+        else begin
+          m.hits <- m.hits + 1;
+          Cache.Hit e.value
+        end
+    | Some _ ->
+        Hashtbl.remove tbl name;
+        m.misses <- m.misses + 1;
+        Cache.Miss
+    | None ->
+        m.misses <- m.misses + 1;
+        Cache.Miss
+
+  let size m ~now =
+    Array.fold_left
+      (fun acc tbl ->
+        Hashtbl.fold
+          (fun _ e n -> if e.expires > now then n + 1 else n)
+          tbl acc)
+      0 m.tables
+end
+
+let test_differential_vs_reference () =
+  let capacity = 32 and shards = 4 in
+  let c = Cache.create ~capacity ~shards () in
+  let m = Ref_model.create ~capacity ~shards in
+  let rng = Memsim.Rng.create 0xD1FF in
+  let name_of i = Printf.sprintf "n%02d.example" i in
+  let now = ref 0 in
+  let mismatches = ref 0 in
+  for step = 1 to 5_000 do
+    if Memsim.Rng.int rng 10 = 0 then now := !now + Memsim.Rng.int rng 4;
+    let name = name_of (Memsim.Rng.int rng 48) in
+    let shard = Cache.shard_of c name in
+    (match Memsim.Rng.int rng 20 with
+    | 0 | 1 ->
+        let ttl = Memsim.Rng.int rng 25 in
+        (* exercises the ttl=0 rejection too *)
+        Cache.insert_negative c ~now:!now ~name ~ttl;
+        Ref_model.store m ~shard ~now:!now ~name ~ttl ~value:0 ~negative:true
+    | 2 ->
+        Cache.remove c name;
+        Hashtbl.remove m.Ref_model.tables.(shard) name
+    | n when n < 10 ->
+        let ttl = Memsim.Rng.int rng 25 and v = step in
+        Cache.insert c ~now:!now ~name ~ttl ~ipv4:v;
+        Ref_model.store m ~shard ~now:!now ~name ~ttl ~value:v ~negative:false
+    | _ ->
+        let a = Cache.find c ~now:!now name in
+        let b = Ref_model.find m ~shard ~now:!now name in
+        if a <> b then incr mismatches);
+    if Cache.size c ~now:!now <> Ref_model.size m ~now:!now then
+      incr mismatches
+  done;
+  check_int "no lookup/size divergence over 5k ops" 0 !mismatches;
+  let s = Cache.stats c in
+  check_int "hits agree" m.Ref_model.hits s.Cache.hits;
+  check_int "misses agree" m.Ref_model.misses s.Cache.misses;
+  check_int "negative hits agree" m.Ref_model.negative_hits
+    s.Cache.negative_hits;
+  check_int "insertions agree" m.Ref_model.insertions s.Cache.insertions;
+  check_int "replacements agree" m.Ref_model.replacements s.Cache.replacements;
+  check_int "evictions agree" m.Ref_model.evictions s.Cache.evictions;
+  check_int "sweeps agree" m.Ref_model.expired_sweeps s.Cache.expired_sweeps
 
 let prop_capacity_never_exceeded =
   QCheck.Test.make ~name:"capacity bound holds under churn" ~count:200
@@ -108,6 +381,40 @@ let test_daemon_ttl_expiry () =
   let s = Dnsproxy.cache_stats d in
   check_bool "stats flow" true (s.Cache.hits >= 2 && s.Cache.misses >= 1)
 
+let nxdomain_wire query =
+  Dns.Packet.encode
+    {
+      Dns.Packet.header =
+        {
+          query.Dns.Packet.header with
+          Dns.Packet.qr = true;
+          Dns.Packet.ra = true;
+          Dns.Packet.rcode = Dns.Packet.NXDomain;
+        };
+      questions = query.Dns.Packet.questions;
+      answers = [];
+      authorities = [];
+      additionals = [];
+    }
+
+let test_daemon_negative_caching () =
+  let d = Dnsproxy.create Dnsproxy.default_config in
+  let absent = Dns.Name.of_string "no-such.connman.net" in
+  let q = Dnsproxy.make_query d absent in
+  (match Dnsproxy.handle_response d (nxdomain_wire q) with
+  | Dnsproxy.Dropped _ -> ()
+  | other -> Alcotest.failf "nxdomain: %a" Dnsproxy.pp_disposition other);
+  check_bool "negatively cached" true
+    (Dnsproxy.cache_find d absent = Cache.Negative_hit);
+  check_bool "cache_lookup answers None" true
+    (Dnsproxy.cache_lookup d absent = None);
+  check_bool "daemon still alive" true (Dnsproxy.alive d);
+  Dnsproxy.tick d (Dnsproxy.negative_ttl + 1);
+  check_bool "negative entry expires" true
+    (Dnsproxy.cache_find d absent = Cache.Miss);
+  let s = Dnsproxy.cache_stats d in
+  check_bool "negative hit counted" true (s.Cache.negative_hits >= 1)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "cache"
@@ -118,11 +425,29 @@ let () =
           Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
           Alcotest.test_case "zero ttl" `Quick test_zero_ttl_never_cached;
           Alcotest.test_case "replace" `Quick test_replace_updates;
+          Alcotest.test_case "replacement counted separately" `Quick
+            test_replacement_counted_separately;
           Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
+          Alcotest.test_case "eviction order" `Quick test_eviction_order;
+          Alcotest.test_case "expired swept before eviction" `Quick
+            test_expired_swept_before_eviction;
+          Alcotest.test_case "lazy invalidation under churn" `Quick
+            test_replacement_churn_then_eviction;
+          Alcotest.test_case "negative cache" `Quick test_negative_cache;
+          Alcotest.test_case "shard distribution" `Quick test_shard_distribution;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "flush" `Quick test_flush;
         ] );
+      ( "differential",
+        [
+          Alcotest.test_case "sharded cache agrees with naive model" `Quick
+            test_differential_vs_reference;
+        ] );
       ("properties", [ qt prop_capacity_never_exceeded; qt prop_fresh_entries_always_hit ]);
       ( "daemon integration",
-        [ Alcotest.test_case "ttl drives expiry" `Quick test_daemon_ttl_expiry ] );
+        [
+          Alcotest.test_case "ttl drives expiry" `Quick test_daemon_ttl_expiry;
+          Alcotest.test_case "nxdomain negatively cached" `Quick
+            test_daemon_negative_caching;
+        ] );
     ]
