@@ -435,6 +435,367 @@ let run_cache_json ~smoke ~out () =
   close_out oc;
   Format.printf "@.wrote %s@." out
 
+(* ------------------------------------------------------------------ *)
+(* CPU interpreter benches: BENCH_cpu.json                             *)
+(*                                                                     *)
+(*   dune exec bench/main.exe -- cpu              (full measurement)   *)
+(*   dune exec bench/main.exe -- cpu --smoke      (few iterations)     *)
+(*   dune build @cpu-bench-smoke                  (dune smoke target)  *)
+(*                                                                     *)
+(* Each workload is a counted loop of a few thousand instructions run  *)
+(* to [Hlt] / [svc] on a private address space; the harness resets the *)
+(* registers and flags between invocations so Bechamel measures the    *)
+(* steady state.  Every workload is timed twice — decoded-instruction  *)
+(* cache on and off — on the same program bytes, which is exactly the  *)
+(* speedup the tentpole claims.  The self-modifying variants store     *)
+(* into their own text page every iteration, so with the cache on they *)
+(* measure the generation-check/re-decode invalidation path rather     *)
+(* than the hit path.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Mem = Memsim.Memory
+
+type cpu_work = {
+  cw_name : string;
+  cw_steps : int;  (** instructions retired per invocation *)
+  cw_cached : unit -> unit;
+  cw_uncached : unit -> unit;
+}
+
+let x86_text_base = 0x0804_8000
+let x86_stack_base = 0x0810_0000
+
+let x86_runner ~perm ~icache program =
+  let mem = Mem.create () in
+  let r = Isa_x86.Asm.assemble ~base:x86_text_base program in
+  Mem.map mem ~base:x86_text_base ~size:Mem.page_size ~perm ~name:".text";
+  Mem.poke_bytes mem x86_text_base r.Isa_x86.Asm.code;
+  Mem.map mem ~base:x86_stack_base ~size:0x4000 ~perm:Mem.rw ~name:"stack";
+  let cpu = Isa_x86.Cpu.create ~icache mem in
+  let kernel _ _ = Machine.Outcome.Resume in
+  let run () =
+    Array.fill cpu.Isa_x86.Cpu.regs 0 8 0;
+    Isa_x86.Cpu.set cpu Isa_x86.Insn.ESP (x86_stack_base + 0x3000);
+    cpu.Isa_x86.Cpu.eip <- x86_text_base;
+    cpu.Isa_x86.Cpu.zf <- false;
+    cpu.Isa_x86.Cpu.sf <- false;
+    cpu.Isa_x86.Cpu.cf <- false;
+    cpu.Isa_x86.Cpu.o_f <- false;
+    cpu.Isa_x86.Cpu.steps <- 0;
+    match Isa_x86.Cpu.run ~fuel:10_000_000 ~traps:[] ~kernel cpu with
+    | Machine.Outcome.Halted -> ()
+    | other ->
+        failwith
+          (Format.asprintf "cpu bench: %a" Machine.Outcome.pp other)
+  in
+  (run, cpu)
+
+let arm_text_base = 0x0001_0000
+let arm_stack_base = 0x0010_0000
+
+let arm_runner ~perm ~icache program =
+  let mem = Mem.create () in
+  let r = Isa_arm.Asm.assemble ~base:arm_text_base program in
+  Mem.map mem ~base:arm_text_base ~size:Mem.page_size ~perm ~name:".text";
+  Mem.poke_bytes mem arm_text_base r.Isa_arm.Asm.code;
+  Mem.map mem ~base:arm_stack_base ~size:0x4000 ~perm:Mem.rw ~name:"stack";
+  let cpu = Isa_arm.Cpu.create ~icache mem in
+  (* svc 0 is the resumable "syscall"; svc 1 halts the workload. *)
+  let kernel n _ =
+    if n = 0 then Machine.Outcome.Resume
+    else Machine.Outcome.Stop Machine.Outcome.Halted
+  in
+  let run () =
+    Array.fill cpu.Isa_arm.Cpu.regs 0 16 0;
+    Isa_arm.Cpu.set cpu Isa_arm.Insn.SP (arm_stack_base + 0x3000);
+    Isa_arm.Cpu.set_pc cpu arm_text_base;
+    cpu.Isa_arm.Cpu.n <- false;
+    cpu.Isa_arm.Cpu.z <- false;
+    cpu.Isa_arm.Cpu.c <- false;
+    cpu.Isa_arm.Cpu.v <- false;
+    cpu.Isa_arm.Cpu.steps <- 0;
+    match Isa_arm.Cpu.run ~fuel:10_000_000 ~traps:[] ~kernel cpu with
+    | Machine.Outcome.Halted -> ()
+    | other ->
+        failwith
+          (Format.asprintf "cpu bench: %a" Machine.Outcome.pp other)
+  in
+  (run, cpu)
+
+(* --- x86 workload programs --- *)
+
+let x86_straight iters =
+  let open Isa_x86.Insn in
+  let open Isa_x86.Asm in
+  [ I (Mov_ri (ECX, iters)); Label "loop" ]
+  @ [
+      I (Add_i (Reg EAX, 3));
+      I (Add (Reg EBX, Reg EAX));
+      I (Xor (Reg EDX, Reg EAX));
+      I (Sub_i (Reg ESI, 1));
+      I (Lea (EDI, { base = Some EAX; disp = 8 }));
+      I (Or (Reg EBX, Reg EDX));
+      I (And (Reg EDX, Reg EAX));
+      I (Inc_r ESI);
+      I (Mov (Reg EDX, Reg EBX));
+      I (Shl_i (EAX, 1));
+      I (Sub (Reg EDI, Reg EDX));
+      I (Add_i (Reg EBX, 7));
+      I (Xor (Reg ESI, Reg EBX));
+      I (Not (Reg EDX));
+      I (Neg (Reg EDI));
+      I (Imul (EAX, Reg EBX));
+    ]
+  @ [ I (Dec_r ECX); Jcc (NE, "loop"); I Hlt ]
+
+let x86_branchy iters =
+  let open Isa_x86.Insn in
+  let open Isa_x86.Asm in
+  [
+    I (Mov_ri (ECX, iters));
+    Label "loop";
+    I (Cmp_i (Reg ECX, iters / 2));
+    Jcc (B, "low");
+    I (Inc_r EAX);
+    I (Inc_r EBX);
+    Jmp "join";
+    Label "low";
+    I (Dec_r EBX);
+    I (Inc_r ESI);
+    Label "join";
+    I (Xor (Reg EDX, Reg ECX));
+    I (Test_rr (EDX, EDX));
+    Jcc (S, "skip");
+    I (Inc_r EDI);
+    Label "skip";
+    I (Dec_r ECX);
+    Jcc (NE, "loop");
+    I Hlt;
+  ]
+
+let x86_syscall iters =
+  let open Isa_x86.Insn in
+  let open Isa_x86.Asm in
+  [
+    I (Mov_ri (ECX, iters));
+    Label "loop";
+    I (Mov_ri (EAX, 4));
+    I (Int 0x80);
+    I (Dec_r ECX);
+    Jcc (NE, "loop");
+    I Hlt;
+  ]
+
+(* Stores 0x90909090 over its own four NOPs each iteration: every store
+   bumps the text page's generation, so the cached decodes of the whole
+   loop go stale once per iteration. *)
+let x86_selfmod iters =
+  let open Isa_x86.Insn in
+  let open Isa_x86.Asm in
+  [
+    I (Mov_ri (ECX, iters));
+    Mov_ri_sym (EDX, "patch");
+    Label "loop";
+    I (Mov_mi (Mem { base = Some EDX; disp = 0 }, 0x9090_9090));
+    Label "patch";
+    I Nop;
+    I Nop;
+    I Nop;
+    I Nop;
+    I (Dec_r ECX);
+    Jcc (NE, "loop");
+    I Hlt;
+  ]
+
+(* --- ARM workload programs --- *)
+
+let arm_straight iters =
+  let open Isa_arm.Insn in
+  let open Isa_arm.Asm in
+  [ I (al (Mov (R2, Imm iters))); Label "loop" ]
+  @ [
+      I (al (Add (R0, R0, Imm 3)));
+      I (al (Add (R1, R1, Reg R0)));
+      I (al (Eor (R3, R3, Reg R0)));
+      I (al (Sub (R4, R4, Imm 1)));
+      I (al (Orr (R1, R1, Reg R3)));
+      I (al (And (R3, R3, Reg R0)));
+      I (al (Mov (R5, Lsl (R0, 1))));
+      I (al (Mvn (R4, Reg R3)));
+      I (al (Rsb (R5, R5, Reg R1)));
+      I (al (Add (R1, R1, Imm 7)));
+      I (al (Eor (R4, R4, Reg R1)));
+      I (al (Bic (R3, R3, Imm 0xFF)));
+      I (al (Mul (R5, R0, R1)));
+      I (al (Sub (R0, R0, Reg R4)));
+      I (al (Orr (R3, R3, Imm 1)));
+      I (al (Add (R4, R4, Reg R5)));
+    ]
+  @ [
+      I (al (Sub (R2, R2, Imm 1)));
+      I (al (Cmp (R2, Imm 0)));
+      B_sym (NE, "loop");
+      I (al (Svc 1));
+    ]
+
+let arm_branchy iters =
+  let open Isa_arm.Insn in
+  let open Isa_arm.Asm in
+  [
+    I (al (Mov (R2, Imm iters)));
+    I (al (Mov (R6, Imm (iters / 2))));
+    Label "loop";
+    I (al (Cmp (R2, Reg R6)));
+    B_sym (LT, "low");
+    I (al (Add (R0, R0, Imm 1)));
+    I (al (Add (R1, R1, Imm 2)));
+    B_sym (AL, "join");
+    Label "low";
+    I (al (Sub (R1, R1, Imm 1)));
+    I (al (Add (R3, R3, Imm 1)));
+    Label "join";
+    I (al (Eor (R4, R4, Reg R2)));
+    I (al (Tst (R4, Imm 1)));
+    B_sym (NE, "skip");
+    I (al (Add (R5, R5, Imm 1)));
+    Label "skip";
+    I (al (Sub (R2, R2, Imm 1)));
+    I (al (Cmp (R2, Imm 0)));
+    B_sym (NE, "loop");
+    I (al (Svc 1));
+  ]
+
+let arm_syscall iters =
+  let open Isa_arm.Insn in
+  let open Isa_arm.Asm in
+  [
+    I (al (Mov (R2, Imm iters)));
+    Label "loop";
+    I (al (Mov (R7, Imm 4)));
+    I (al (Svc 0));
+    I (al (Sub (R2, R2, Imm 1)));
+    I (al (Cmp (R2, Imm 0)));
+    B_sym (NE, "loop");
+    I (al (Svc 1));
+  ]
+
+let arm_selfmod iters =
+  let open Isa_arm.Insn in
+  let open Isa_arm.Asm in
+  [
+    I (al (Mov (R2, Imm iters)));
+    Ldr_sym (R5, "lit_patch");
+    Ldr_sym (R6, "lit_nop");
+    Label "loop";
+    I (al (Str (R6, R5, 0)));
+    Label "patch";
+    I (al (Mov (R0, Reg R0)));
+    I (al (Add (R1, R1, Imm 1)));
+    I (al (Sub (R2, R2, Imm 1)));
+    I (al (Cmp (R2, Imm 0)));
+    B_sym (NE, "loop");
+    I (al (Svc 1));
+    Label "lit_patch";
+    Word_sym "patch";
+    Label "lit_nop";
+    Word 0xE1A0_0000 (* mov r0, r0 — the bytes already at "patch" *);
+  ]
+
+let cpu_workloads ~iters =
+  let mk name runner perm program =
+    let run_c, cpu_c = runner ~perm ~icache:true program in
+    let run_u, _ = runner ~perm ~icache:false program in
+    (* Warm run: sanity-checks both variants reach Halted and yields the
+       per-invocation retired-instruction count. *)
+    run_c ();
+    run_u ();
+    let steps =
+      match cpu_c with
+      | `X86 c -> c.Isa_x86.Cpu.steps
+      | `Arm c -> c.Isa_arm.Cpu.steps
+    in
+    { cw_name = name; cw_steps = steps; cw_cached = run_c; cw_uncached = run_u }
+  in
+  let x86 ~perm ~icache p =
+    let run, cpu = x86_runner ~perm ~icache p in
+    (run, `X86 cpu)
+  in
+  let arm ~perm ~icache p =
+    let run, cpu = arm_runner ~perm ~icache p in
+    (run, `Arm cpu)
+  in
+  [
+    mk "cpu/straight-x86" x86 Mem.rx (x86_straight iters);
+    mk "cpu/branchy-x86" x86 Mem.rx (x86_branchy iters);
+    mk "cpu/syscall-x86" x86 Mem.rx (x86_syscall iters);
+    mk "cpu/selfmod-x86" x86 Mem.rwx (x86_selfmod iters);
+    mk "cpu/straight-arm" arm Mem.rx (arm_straight iters);
+    mk "cpu/branchy-arm" arm Mem.rx (arm_branchy iters);
+    mk "cpu/syscall-arm" arm Mem.rx (arm_syscall iters);
+    mk "cpu/selfmod-arm" arm Mem.rwx (arm_selfmod iters);
+  ]
+
+(* Time a bare closure through Bechamel (same OLS estimator as the rest). *)
+let time_fn cfg name f =
+  let test = Test.make ~name (Staged.stage f) in
+  match Test.elements test with
+  | [ elt ] -> measure_elt cfg elt
+  | _ -> invalid_arg "time_fn: expected a single element"
+
+let run_cpu_json ~smoke ~out () =
+  let iters = if smoke then 64 else 512 in
+  let cfg =
+    if smoke then
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  Format.printf "=== CPU interpreter benches%s ===@.@."
+    (if smoke then " (smoke: few iterations)" else "");
+  Format.printf "%-20s %8s %14s %14s %10s %9s@." "workload" "steps" "cached"
+    "uncached" "Msteps/s" "speedup";
+  Format.printf "%s@." (String.make 80 '-');
+  let rows =
+    List.map
+      (fun w ->
+        let c_ns, c_r2 = time_fn cfg (w.cw_name ^ "/cached") w.cw_cached in
+        let u_ns, u_r2 = time_fn cfg (w.cw_name ^ "/uncached") w.cw_uncached in
+        let steps = float_of_int w.cw_steps in
+        let c_rate = steps *. 1e9 /. c_ns and u_rate = steps *. 1e9 /. u_ns in
+        let speedup = u_ns /. c_ns in
+        Format.printf "%-20s %8d %14s %14s %10.1f %8.2fx@." w.cw_name
+          w.cw_steps (pretty_nanos c_ns) (pretty_nanos u_ns) (c_rate /. 1e6)
+          speedup;
+        (w, c_ns, c_r2, c_rate, u_ns, u_r2, u_rate, speedup))
+      (cpu_workloads ~iters)
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"bench-cpu-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  Buffer.add_string buf (Printf.sprintf "  \"iters\": %d,\n" iters);
+  Buffer.add_string buf "  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (w, c_ns, c_r2, c_rate, u_ns, u_r2, u_rate, speedup) ->
+      let safe f = if Float.is_nan f then 0.0 else f in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"steps_per_run\": %d,\n\
+           \     \"cached\": {\"ns_per_run\": %.1f, \"steps_per_sec\": %.0f, \
+            \"r_square\": %.4f},\n\
+           \     \"uncached\": {\"ns_per_run\": %.1f, \"steps_per_sec\": \
+            %.0f, \"r_square\": %.4f},\n\
+           \     \"speedup\": %.3f}%s\n"
+           w.cw_name w.cw_steps (safe c_ns) (safe c_rate) (safe c_r2)
+           (safe u_ns) (safe u_rate) (safe u_r2) (safe speedup)
+           (if i < n - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." out
+
 (* Throughput context: instructions retired per benign parse — and the
    §IV concern made quantitative: what each defense costs the device on
    the hot path (guest instructions per benign response). *)
@@ -478,13 +839,19 @@ let print_parse_costs () =
 
 let () =
   let argv = Array.to_list Sys.argv in
-  if List.mem "cache" argv then
-    let rec out_of = function
+  let out_of default argv =
+    let rec go = function
       | "--out" :: path :: _ -> path
-      | _ :: rest -> out_of rest
-      | [] -> "BENCH_cache.json"
+      | _ :: rest -> go rest
+      | [] -> default
     in
-    run_cache_json ~smoke:(List.mem "--smoke" argv) ~out:(out_of argv) ()
+    go argv
+  in
+  let smoke = List.mem "--smoke" argv in
+  if List.mem "cache" argv then
+    run_cache_json ~smoke ~out:(out_of "BENCH_cache.json" argv) ()
+  else if List.mem "cpu" argv then
+    run_cpu_json ~smoke ~out:(out_of "BENCH_cpu.json" argv) ()
   else begin
     print_experiments ();
     print_parse_costs ();

@@ -3,6 +3,11 @@ module Mem = Memsim.Memory
 module Word = Memsim.Word
 module Outcome = Machine.Outcome
 
+(* [compiled] is the icache payload: the decoded instruction plus an
+   execution thunk specialized at fill time for the instruction's (fixed)
+   address — pc+8 reads, successor pc and branch targets are captured
+   constants, register operands pre-resolved array indices.  See
+   [compile]. *)
 type t = {
   mem : Mem.t;
   regs : int array;
@@ -13,9 +18,18 @@ type t = {
   mutable shadow : int list;
   mutable cfi : bool;
   mutable steps : int;
+  mutable branched : bool;
+  icache : compiled Memsim.Icache.t option;
 }
 
-let create ?(cfi = false) mem =
+and kernel = int -> t -> Outcome.syscall_result
+
+and compiled = {
+  insn : Insn.t;
+  run : t -> kernel -> Outcome.stop_reason option;
+}
+
+let create ?(cfi = false) ?(icache = true) mem =
   {
     mem;
     regs = Array.make 16 0;
@@ -26,16 +40,28 @@ let create ?(cfi = false) mem =
     shadow = [];
     cfi;
     steps = 0;
+    branched = false;
+    icache =
+      (if icache then
+         Some
+           (Memsim.Icache.create
+              ~dummy:{ insn = al (Mov (R0, Reg R0)); run = (fun _ _ -> None) }
+              mem)
+       else None);
   }
 
-let pc t = t.regs.(15)
-let set_pc t v = t.regs.(15) <- Word.of_int v
+(* [reg_index] is total over r0-r15, so the bounds checks would never
+   fire — and these accessors run several times per interpreted
+   instruction. *)
+let pc t = Array.unsafe_get t.regs 15
+let set_pc t v = Array.unsafe_set t.regs 15 (Word.of_int v)
 
 let get t r =
-  match r with PC -> Word.add (pc t) 8 | _ -> t.regs.(reg_index r)
+  match r with
+  | PC -> Word.add (pc t) 8
+  | _ -> Array.unsafe_get t.regs (reg_index r)
 
-let set t r v =
-  t.regs.(reg_index r) <- Word.of_int v
+let set t r v = Array.unsafe_set t.regs (reg_index r) (Word.of_int v)
 
 let push t v =
   let sp = Word.sub (get t SP) 4 in
@@ -79,8 +105,6 @@ let set_tst_flags t res =
   t.n <- Word.bit res 31;
   t.z <- res = 0
 
-type kernel = int -> t -> Outcome.syscall_result
-
 (* Return-edge CFI (see cpu.mli).  [pop_shadow] both validates and pops. *)
 let check_return t target =
   if not t.cfi then None
@@ -93,18 +117,36 @@ let check_return t target =
         Some (Outcome.Cfi_violation { at = pc t; expected; got = target })
     | [] -> Some (Outcome.Cfi_violation { at = pc t; expected = 0; got = target })
 
-let step t ~kernel =
-  let start = pc t in
-  if start land 3 <> 0 then
-    Some
-      (Outcome.Fault
-         { Mem.addr = start; kind = Mem.Perm_exec; context = "unaligned pc" })
-  else
-    match Decode.decode t.mem start with
-    | exception Decode.Error { addr; word } ->
-        Some (Outcome.Decode_error { addr; byte = word land 0xFF })
-    | exception Mem.Fault f -> Some (Outcome.Fault f)
-    | { cond; op } -> (
+(* Explicit control transfer: pc stays at the current instruction during
+   execution so architectural PC reads yield start+8; [t.branched] marks
+   that the fall-through pc update must be skipped.  Top-level (with the
+   [branched] flag a CPU field rather than a [ref]) so executing an
+   instruction allocates nothing. *)
+let branch t target =
+  t.branched <- true;
+  set_pc t target
+
+(* Data-processing writeback: writing PC is an indirect jump
+   (`mov pc, lr` is a return and CFI-checked). *)
+let dp_write t op rd v =
+  match rd with
+  | PC -> (
+      let target = Word.of_int v land lnot 1 in
+      match op with
+      | Mov (_, Reg LR) -> (
+          match check_return t target with
+          | Some stop -> Some stop
+          | None ->
+              branch t target;
+              None)
+      | _ ->
+          branch t target;
+          None)
+  | _ ->
+      set t rd v;
+      None
+
+let exec t ~kernel start cond op =
         t.steps <- t.steps + 1;
         let next = Word.add start 4 in
         if not (cond_holds t cond) then begin
@@ -112,48 +154,21 @@ let step t ~kernel =
           None
         end
         else begin
-          (* pc stays at the current instruction during execution so that
-             architectural PC reads yield start+8; [branch] marks an
-             explicit control transfer. *)
-          let branched = ref false in
-          let branch target =
-            branched := true;
-            set_pc t target
-          in
-          (* Data-processing writeback: writing PC is an indirect jump
-             (`mov pc, lr` is a return and CFI-checked). *)
-          let dp_write rd v =
-            match rd with
-            | PC -> (
-                let target = Word.of_int v land lnot 1 in
-                match op with
-                | Mov (_, Reg LR) -> (
-                    match check_return t target with
-                    | Some stop -> Some stop
-                    | None ->
-                        branch target;
-                        None)
-                | _ ->
-                    branch target;
-                    None)
-            | _ ->
-                set t rd v;
-                None
-          in
+          t.branched <- false;
           let stop =
             try
               match op with
-            | Mov (rd, o) -> dp_write rd (op2_value t o)
-            | Mvn (rd, o) -> dp_write rd (Word.lognot (op2_value t o))
-            | Add (rd, rn, o) -> dp_write rd (Word.add (get t rn) (op2_value t o))
-            | Sub (rd, rn, o) -> dp_write rd (Word.sub (get t rn) (op2_value t o))
-            | Rsb (rd, rn, o) -> dp_write rd (Word.sub (op2_value t o) (get t rn))
-            | And (rd, rn, o) -> dp_write rd (get t rn land op2_value t o)
-            | Orr (rd, rn, o) -> dp_write rd (get t rn lor op2_value t o)
-            | Eor (rd, rn, o) -> dp_write rd (get t rn lxor op2_value t o)
+            | Mov (rd, o) -> dp_write t op rd (op2_value t o)
+            | Mvn (rd, o) -> dp_write t op rd (Word.lognot (op2_value t o))
+            | Add (rd, rn, o) -> dp_write t op rd (Word.add (get t rn) (op2_value t o))
+            | Sub (rd, rn, o) -> dp_write t op rd (Word.sub (get t rn) (op2_value t o))
+            | Rsb (rd, rn, o) -> dp_write t op rd (Word.sub (op2_value t o) (get t rn))
+            | And (rd, rn, o) -> dp_write t op rd (get t rn land op2_value t o)
+            | Orr (rd, rn, o) -> dp_write t op rd (get t rn lor op2_value t o)
+            | Eor (rd, rn, o) -> dp_write t op rd (get t rn lxor op2_value t o)
             | Bic (rd, rn, o) ->
-                dp_write rd (get t rn land Word.lognot (op2_value t o))
-            | Mul (rd, rm, rs) -> dp_write rd (Word.mul (get t rm) (get t rs))
+                dp_write t op rd (get t rn land Word.lognot (op2_value t o))
+            | Mul (rd, rm, rs) -> dp_write t op rd (Word.mul (get t rm) (get t rs))
             | Cmp (rn, o) ->
                 set_cmp_flags t (get t rn) (op2_value t o);
                 None
@@ -162,23 +177,23 @@ let step t ~kernel =
                 None
             | Ldr (rd, rn, off) ->
                 let v = Mem.read_u32 t.mem (Word.add (get t rn) off) in
-                dp_write rd v
+                dp_write t op rd v
             | Str (rd, rn, off) ->
                 Mem.write_u32 t.mem (Word.add (get t rn) off) (get t rd);
                 None
             | Ldrb (rd, rn, off) ->
                 let v = Mem.read_u8 t.mem (Word.add (get t rn) off) in
-                dp_write rd v
+                dp_write t op rd v
             | Strb (rd, rn, off) ->
                 Mem.write_u8 t.mem (Word.add (get t rn) off) (get t rd land 0xFF);
                 None
             | Ldr_r (rd, rn, rm) ->
-                dp_write rd (Mem.read_u32 t.mem (Word.add (get t rn) (get t rm)))
+                dp_write t op rd (Mem.read_u32 t.mem (Word.add (get t rn) (get t rm)))
             | Str_r (rd, rn, rm) ->
                 Mem.write_u32 t.mem (Word.add (get t rn) (get t rm)) (get t rd);
                 None
             | Ldrb_r (rd, rn, rm) ->
-                dp_write rd (Mem.read_u8 t.mem (Word.add (get t rn) (get t rm)))
+                dp_write t op rd (Mem.read_u8 t.mem (Word.add (get t rn) (get t rm)))
             | Strb_r (rd, rn, rm) ->
                 Mem.write_u8 t.mem
                   (Word.add (get t rn) (get t rm))
@@ -211,16 +226,16 @@ let step t ~kernel =
                     match check_return t target with
                     | Some stop -> Some stop
                     | None ->
-                        branch target;
+                        branch t target;
                         None))
             | B d ->
-                branch (Word.add (Word.add start 8) d);
+                branch t (Word.add (Word.add start 8) d);
                 None
             | Bl d ->
                 let ret = next in
                 set t LR ret;
                 if t.cfi then t.shadow <- ret :: t.shadow;
-                branch (Word.add (Word.add start 8) d);
+                branch t (Word.add (Word.add start 8) d);
                 None
             | Bx r -> (
                 let target = get t r land lnot 1 in
@@ -228,10 +243,10 @@ let step t ~kernel =
                   match check_return t target with
                   | Some stop -> Some stop
                   | None ->
-                      branch target;
+                      branch t target;
                       None
                 else begin
-                  branch target;
+                  branch t target;
                   None
                 end)
             | Blx_r r ->
@@ -239,7 +254,7 @@ let step t ~kernel =
                 let ret = next in
                 set t LR ret;
                 if t.cfi then t.shadow <- ret :: t.shadow;
-                branch target;
+                branch t target;
                 None
             | Svc n -> (
                 match kernel n t with
@@ -248,18 +263,247 @@ let step t ~kernel =
             with Mem.Fault f -> Some (Outcome.Fault f)
           in
           (match stop with
-          | None -> if not !branched then set_pc t next
+          | None -> if not t.branched then set_pc t next
           | Some _ -> ());
           stop
-        end)
+        end
 
-let run ?(fuel = 2_000_000) ~traps ~kernel t =
-  let rec loop budget =
-    if budget <= 0 then Outcome.Fuel_exhausted
-    else if List.mem (pc t) traps then Outcome.Halted
-    else
-      match step t ~kernel with
-      | Some reason -> reason
-      | None -> loop (budget - 1)
+(* Specialize one decoded instruction into an execution thunk for its
+   (fixed) address: pc+8 reads, the successor pc and pc-relative branch
+   targets become captured constants, register operands become
+   pre-resolved array indices, and forms that cannot fault or write pc
+   skip the fault handler and the [branched] protocol.  Anything outside
+   the hot set (pc-writing data-processing, block transfers, register
+   branches, shifted-register addressing) falls back to the generic
+   [exec] — behavior is bit-identical either way, which the differential
+   tests assert instruction-by-instruction over every exploit scenario.
+   Compilation cost is paid once per (page generation, address), i.e. on
+   the same events as decoding itself. *)
+let compile start { cond; op } =
+  let next = Word.add start 4 in
+  (* Pre-resolved operand readers.  pc reads as start+8 — a constant at
+     this address, folded here. *)
+  let creg r =
+    match r with
+    | PC ->
+        let v = Word.add start 8 in
+        fun _ -> v
+    | _ ->
+        let i = reg_index r in
+        fun t -> Array.unsafe_get t.regs i
   in
-  loop fuel
+  let cop2 = function
+    | Imm i ->
+        let v = Word.of_int i in
+        fun _ -> v
+    | Reg r -> creg r
+    | Lsl (PC, amt) ->
+        let v = Word.of_int (Word.add start 8 lsl amt) in
+        fun _ -> v
+    | Lsl (r, amt) ->
+        let i = reg_index r in
+        fun t -> Word.of_int (Array.unsafe_get t.regs i lsl amt)
+  in
+  (* Conditional execution wrapper for the specialized forms: a failed
+     condition still retires the instruction (steps counts attempts, as
+     in [exec]) and falls through. *)
+  let guard body =
+    if cond = AL then body
+    else
+      fun t kernel ->
+        if cond_holds t cond then body t kernel
+        else begin
+          t.steps <- t.steps + 1;
+          set_pc t next;
+          None
+        end
+  in
+  (* Data-processing writeback to a non-pc register: no fault possible,
+     no control transfer, flags untouched (the subset has no S bit
+     outside cmp/tst). *)
+  let dp rd f =
+    let d = reg_index rd in
+    guard (fun t _ ->
+        t.steps <- t.steps + 1;
+        Array.unsafe_set t.regs d (Word.of_int (f t));
+        set_pc t next;
+        None)
+  in
+  let load rd read addr_of =
+    let d = reg_index rd in
+    guard (fun t _ ->
+        t.steps <- t.steps + 1;
+        match read t.mem (addr_of t) with
+        | v ->
+            Array.unsafe_set t.regs d v;
+            set_pc t next;
+            None
+        | exception Mem.Fault f -> Some (Outcome.Fault f))
+  in
+  let store write addr_of value_of =
+    guard (fun t _ ->
+        t.steps <- t.steps + 1;
+        match write t.mem (addr_of t) (value_of t) with
+        | () ->
+            set_pc t next;
+            None
+        | exception Mem.Fault f -> Some (Outcome.Fault f))
+  in
+  match op with
+  | Mov (rd, o) when rd <> PC ->
+      let o = cop2 o in
+      dp rd o
+  | Mvn (rd, o) when rd <> PC ->
+      let o = cop2 o in
+      dp rd (fun t -> Word.lognot (o t))
+  | Add (rd, rn, o) when rd <> PC ->
+      let n = creg rn and o = cop2 o in
+      dp rd (fun t -> Word.add (n t) (o t))
+  | Sub (rd, rn, o) when rd <> PC ->
+      let n = creg rn and o = cop2 o in
+      dp rd (fun t -> Word.sub (n t) (o t))
+  | Rsb (rd, rn, o) when rd <> PC ->
+      let n = creg rn and o = cop2 o in
+      dp rd (fun t -> Word.sub (o t) (n t))
+  | And (rd, rn, o) when rd <> PC ->
+      let n = creg rn and o = cop2 o in
+      dp rd (fun t -> n t land o t)
+  | Orr (rd, rn, o) when rd <> PC ->
+      let n = creg rn and o = cop2 o in
+      dp rd (fun t -> n t lor o t)
+  | Eor (rd, rn, o) when rd <> PC ->
+      let n = creg rn and o = cop2 o in
+      dp rd (fun t -> n t lxor o t)
+  | Bic (rd, rn, o) when rd <> PC ->
+      let n = creg rn and o = cop2 o in
+      dp rd (fun t -> n t land Word.lognot (o t))
+  | Mul (rd, rm, rs) when rd <> PC ->
+      let m = creg rm and s = creg rs in
+      dp rd (fun t -> Word.mul (m t) (s t))
+  | Cmp (rn, o) ->
+      let n = creg rn and o = cop2 o in
+      guard (fun t _ ->
+          t.steps <- t.steps + 1;
+          set_cmp_flags t (n t) (o t);
+          set_pc t next;
+          None)
+  | Tst (rn, o) ->
+      let n = creg rn and o = cop2 o in
+      guard (fun t _ ->
+          t.steps <- t.steps + 1;
+          set_tst_flags t (n t land o t);
+          set_pc t next;
+          None)
+  | Ldr (rd, rn, off) when rd <> PC ->
+      let a = creg rn in
+      load rd Mem.read_u32 (fun t -> Word.add (a t) off)
+  | Str (rd, rn, off) ->
+      let a = creg rn and s = creg rd in
+      store Mem.write_u32 (fun t -> Word.add (a t) off) s
+  | Ldrb (rd, rn, off) when rd <> PC ->
+      let a = creg rn in
+      load rd Mem.read_u8 (fun t -> Word.add (a t) off)
+  | Strb (rd, rn, off) ->
+      let a = creg rn and s = creg rd in
+      store Mem.write_u8 (fun t -> Word.add (a t) off) (fun t -> s t land 0xFF)
+  | B d ->
+      let target = Word.add (Word.add start 8) d in
+      if cond = AL then
+        fun t _ ->
+          t.steps <- t.steps + 1;
+          set_pc t target;
+          None
+      else
+        fun t _ ->
+          t.steps <- t.steps + 1;
+          set_pc t (if cond_holds t cond then target else next);
+          None
+  | Bl d when cond = AL ->
+      let target = Word.add (Word.add start 8) d in
+      fun t _ ->
+        t.steps <- t.steps + 1;
+        Array.unsafe_set t.regs 14 next;
+        if t.cfi then t.shadow <- next :: t.shadow;
+        set_pc t target;
+        None
+  | Svc n when cond = AL ->
+      fun t kernel -> (
+        t.steps <- t.steps + 1;
+        try
+          match kernel n t with
+          | Outcome.Resume ->
+              set_pc t next;
+              None
+          | Outcome.Stop reason -> Some reason
+        with Mem.Fault f -> Some (Outcome.Fault f))
+  | _ -> fun t kernel -> exec t ~kernel start cond op
+
+(* What [lookup]'s miss path fills entries with: decode, then compile for
+   the decode address.  Every A32 instruction is 4 aligned bytes, so a
+   cached entry never straddles a page.  Top-level: the hit path
+   allocates nothing. *)
+let compile_decode mem addr =
+  let insn = Decode.decode mem addr in
+  ({ insn; run = compile addr insn }, 4)
+
+(* Fetch-decode-execute, through the decoded-instruction cache when
+   enabled; on a hit the NX check is carried by the cache's generation
+   protocol (any byte store or [set_perm] on the page forces a
+   re-decode). *)
+let step t ~kernel =
+  let start = pc t in
+  if start land 3 <> 0 then
+    Some
+      (Outcome.Fault
+         { Mem.addr = start; kind = Mem.Perm_exec; context = "unaligned pc" })
+  else
+    match t.icache with
+    | Some c -> (
+        match Memsim.Icache.lookup c start ~decode:compile_decode with
+        | exception Decode.Error { addr; word } ->
+            Some (Outcome.Decode_error { addr; byte = word land 0xFF })
+        | exception Mem.Fault f -> Some (Outcome.Fault f)
+        | e -> (e.Memsim.Icache.v).run t kernel)
+    | None -> (
+        match Decode.decode t.mem start with
+        | exception Decode.Error { addr; word } ->
+            Some (Outcome.Decode_error { addr; byte = word land 0xFF })
+        | exception Mem.Fault f -> Some (Outcome.Fault f)
+        | { cond; op } -> exec t ~kernel start cond op)
+
+(* As on x86: dedicated loops with a direct compare for the zero/one-trap
+   cases, a precomputed int hash set beyond that — never a per-step list
+   scan. *)
+let run ?(fuel = 2_000_000) ~traps ~kernel t =
+  match traps with
+  | [] ->
+      let rec loop budget =
+        if budget <= 0 then Outcome.Fuel_exhausted
+        else
+          match step t ~kernel with
+          | Some reason -> reason
+          | None -> loop (budget - 1)
+      in
+      loop fuel
+  | [ a ] ->
+      let rec loop budget =
+        if budget <= 0 then Outcome.Fuel_exhausted
+        else if pc t = a then Outcome.Halted
+        else
+          match step t ~kernel with
+          | Some reason -> reason
+          | None -> loop (budget - 1)
+      in
+      loop fuel
+  | l ->
+      let set = Hashtbl.create (2 * List.length l) in
+      List.iter (fun a -> Hashtbl.replace set a ()) l;
+      let rec loop budget =
+        if budget <= 0 then Outcome.Fuel_exhausted
+        else if Hashtbl.mem set (pc t) then Outcome.Halted
+        else
+          match step t ~kernel with
+          | Some reason -> reason
+          | None -> loop (budget - 1)
+      in
+      loop fuel

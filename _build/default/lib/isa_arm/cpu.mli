@@ -20,9 +20,31 @@ type t = {
   mutable shadow : int list;
   mutable cfi : bool;
   mutable steps : int;
+  mutable branched : bool;
+      (** interpreter-internal: the executing instruction transferred
+          control, so the fall-through pc update is skipped *)
+  icache : compiled Memsim.Icache.t option;
+      (** decoded-instruction cache ([None] = decode every step) *)
 }
 
-val create : ?cfi:bool -> Memsim.Memory.t -> t
+and kernel = int -> t -> Machine.Outcome.syscall_result
+(** [svc n] handler; by ARM EABI convention r7 carries the syscall number
+    and r0–r2 the arguments. *)
+
+and compiled = private {
+  insn : Insn.t;
+  run : t -> kernel -> Machine.Outcome.stop_reason option;
+}
+(** Icache payload: the decoded instruction plus an execution thunk
+    specialized for the instruction's address (pc+8 reads, successor pc
+    and branch targets pre-resolved).  Behaviorally identical to
+    interpreting [insn] — the cache only ever changes speed, never
+    outcomes. *)
+
+val create : ?cfi:bool -> ?icache:bool -> Memsim.Memory.t -> t
+(** [icache] (default [true]) enables the write-invalidated
+    decoded-instruction cache; execution is bit-identical either way
+    (self-modifying pages re-decode via {!Memsim.Memory.page_gen}). *)
 
 val get : t -> Insn.reg -> int
 (** Reading [PC] yields the architectural value (current instruction + 8). *)
@@ -37,10 +59,6 @@ val set_pc : t -> int -> unit
 
 val push : t -> int -> unit
 val pop : t -> int
-
-type kernel = int -> t -> Machine.Outcome.syscall_result
-(** [svc n] handler; by ARM EABI convention r7 carries the syscall number
-    and r0–r2 the arguments. *)
 
 val step : t -> kernel:kernel -> Machine.Outcome.stop_reason option
 

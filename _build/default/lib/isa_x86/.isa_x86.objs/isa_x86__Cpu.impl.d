@@ -1,1 +1,1 @@
-lib/isa_x86/cpu.ml: Array Decode Insn List Machine Memsim
+lib/isa_x86/cpu.ml: Array Decode Hashtbl Insn List Machine Memsim

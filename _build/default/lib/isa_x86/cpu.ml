@@ -3,6 +3,10 @@ module Mem = Memsim.Memory
 module Word = Memsim.Word
 module Outcome = Machine.Outcome
 
+(* [compiled] is the icache payload: the decoded instruction plus an
+   execution thunk specialized at fill time for the instruction's (fixed)
+   address — successor eip and branch targets are captured constants,
+   register operands are pre-resolved array indices.  See [compile]. *)
 type t = {
   mem : Mem.t;
   regs : int array;
@@ -14,9 +18,17 @@ type t = {
   mutable shadow : int list;
   mutable cfi : bool;
   mutable steps : int;
+  icache : compiled Memsim.Icache.t option;
 }
 
-let create ?(cfi = false) mem =
+and kernel = int -> t -> Outcome.syscall_result
+
+and compiled = {
+  insn : Insn.t;
+  run : t -> kernel -> Outcome.stop_reason option;
+}
+
+let create ?(cfi = false) ?(icache = true) mem =
   {
     mem;
     regs = Array.make 8 0;
@@ -28,10 +40,20 @@ let create ?(cfi = false) mem =
     shadow = [];
     cfi;
     steps = 0;
+    icache =
+      (if icache then
+         Some
+           (Memsim.Icache.create
+              ~dummy:{ insn = Insn.Nop; run = (fun _ _ -> None) }
+              mem)
+       else None);
   }
 
-let get t r = t.regs.(reg_index r)
-let set t r v = t.regs.(reg_index r) <- Word.of_int v
+(* [reg_index] is total over the eight registers, so the bounds checks
+   would never fire — and [get]/[set] run several times per interpreted
+   instruction. *)
+let get t r = Array.unsafe_get t.regs (reg_index r)
+let set t r v = Array.unsafe_set t.regs (reg_index r) (Word.of_int v)
 
 let push t v =
   let esp = Word.sub (get t ESP) 4 in
@@ -98,8 +120,6 @@ let cond_holds t = function
   | S -> t.sf
   | NS -> not t.sf
 
-type kernel = int -> t -> Outcome.syscall_result
-
 (* Return-edge CFI: every call pushes the return address onto the shadow
    stack; every ret must transfer to the address on top.  This is the
    hardware-shadow-stack model of CFI CaRE (Nyman et al. 2017). *)
@@ -119,23 +139,19 @@ let do_call t target ret_addr =
   if t.cfi then t.shadow <- ret_addr :: t.shadow;
   t.eip <- target
 
-let step t ~kernel =
-  let start = t.eip in
-  match Decode.decode t.mem start with
-  | exception Decode.Error { addr; byte } ->
-      Some (Outcome.Decode_error { addr; byte })
-  | exception Mem.Fault f -> Some (Outcome.Fault f)
-  | insn, size -> (
-      let next = Word.add start size in
+(* Top-level (not a per-step closure): the ALU read-modify-write shape
+   shared by ADD/SUB/AND/OR/XOR. *)
+let binop t setf op d s =
+  let a = read_op t d and b = read_op t s in
+  let res = op a b in
+  write_op t d res;
+  setf t a b res;
+  None
+
+let exec t ~kernel next insn =
       t.eip <- next;
       t.steps <- t.steps + 1;
-      let binop setf op d s =
-        let a = read_op t d and b = read_op t s in
-        let res = op a b in
-        write_op t d res;
-        setf t a b res;
-        None
-      in
+      (
       try
         match insn with
         | Nop -> None
@@ -172,23 +188,23 @@ let step t ~kernel =
         | Lea (r, m) ->
             set t r (ea t m);
             None
-        | Add (d, s) -> binop set_add_flags Word.add d s
+        | Add (d, s) -> binop t set_add_flags Word.add d s
         | Add_i (d, i) ->
             let a = read_op t d and b = Word.of_int i in
             let res = Word.add a b in
             write_op t d res;
             set_add_flags t a b res;
             None
-        | Sub (d, s) -> binop set_sub_flags Word.sub d s
+        | Sub (d, s) -> binop t set_sub_flags Word.sub d s
         | Sub_i (d, i) ->
             let a = read_op t d and b = Word.of_int i in
             let res = Word.sub a b in
             write_op t d res;
             set_sub_flags t a b res;
             None
-        | And (d, s) -> binop (fun t _ _ r -> set_logic_flags t r) ( land ) d s
-        | Or (d, s) -> binop (fun t _ _ r -> set_logic_flags t r) ( lor ) d s
-        | Xor (d, s) -> binop (fun t _ _ r -> set_logic_flags t r) ( lxor ) d s
+        | And (d, s) -> binop t (fun t _ _ r -> set_logic_flags t r) ( land ) d s
+        | Or (d, s) -> binop t (fun t _ _ r -> set_logic_flags t r) ( lor ) d s
+        | Xor (d, s) -> binop t (fun t _ _ r -> set_logic_flags t r) ( lxor ) d s
         | Cmp (d, s) ->
             let a = read_op t d and b = read_op t s in
             set_sub_flags t a b (Word.sub a b);
@@ -200,12 +216,16 @@ let step t ~kernel =
         | Test_rr (a, b) ->
             set_logic_flags t (get t a land get t b);
             None
+        (* INC/DEC preserve CF but do update OF (overflow at the signed
+           extreme), unlike ADD/SUB which set both.  A stale OF here flips
+           every signed Jcc (L/GE/LE/G) that follows an inc/dec. *)
         | Inc_r r ->
             let a = get t r in
             let res = Word.add a 1 in
             set t r res;
             t.zf <- res = 0;
             t.sf <- Word.bit res 31;
+            t.o_f <- a = 0x7FFF_FFFF;
             None
         | Dec_r r ->
             let a = get t r in
@@ -213,7 +233,14 @@ let step t ~kernel =
             set t r res;
             t.zf <- res = 0;
             t.sf <- Word.bit res 31;
+            t.o_f <- a = 0x8000_0000;
             None
+        (* Deliberate simplification: real SHL/SHR leave CF holding the
+           last bit shifted out (and OF defined only for 1-bit shifts);
+           this subset clears CF/OF via [set_logic_flags].  Nothing in the
+           modelled programs branches on CF after a shift — the unsigned
+           Jcc forms (B/AE/BE/A) only follow CMP/ADD/SUB here — so the
+           shortcut is observationally safe for the reproduced binaries. *)
         | Shl_i (r, i) ->
             let res = Word.of_int (get t r lsl (i land 31)) in
             set t r res;
@@ -277,16 +304,247 @@ let step t ~kernel =
             | Outcome.Resume -> None
             | Outcome.Stop reason -> Some reason)
         | Hlt -> Some Outcome.Halted
-      with Mem.Fault f ->
-        Some (Outcome.Fault f))
+      with Mem.Fault f -> Some (Outcome.Fault f))
 
-let run ?(fuel = 2_000_000) ~traps ~kernel t =
-  let rec loop budget =
-    if budget <= 0 then Outcome.Fuel_exhausted
-    else if List.mem t.eip traps then Outcome.Halted
-    else
-      match step t ~kernel with
-      | Some reason -> reason
-      | None -> loop (budget - 1)
+(* Specialize one decoded instruction into an execution thunk for its
+   (fixed) address: the successor eip and relative branch targets become
+   captured constants, register operands become pre-resolved array
+   indices, and register-only forms skip the fault handler (they cannot
+   fault).  Anything outside the hot set falls back to the generic
+   [exec] — behavior is bit-identical either way, which the differential
+   tests assert instruction-by-instruction over every exploit scenario.
+   Compilation cost is paid once per (page generation, address), i.e. on
+   the same events as decoding itself. *)
+let compile start size insn =
+  let next = Word.add start size in
+  let pre t =
+    t.eip <- next;
+    t.steps <- t.steps + 1
   in
-  loop fuel
+  (* ALU read-modify-write over two registers / register + immediate. *)
+  let alu2 setf f d s =
+    let d = reg_index d and s = reg_index s in
+    fun t _ ->
+      pre t;
+      let a = Array.unsafe_get t.regs d and b = Array.unsafe_get t.regs s in
+      let res = Word.of_int (f a b) in
+      Array.unsafe_set t.regs d res;
+      setf t a b res;
+      None
+  in
+  let alu2i setf f d i =
+    let d = reg_index d and b = Word.of_int i in
+    fun t _ ->
+      pre t;
+      let a = Array.unsafe_get t.regs d in
+      let res = Word.of_int (f a b) in
+      Array.unsafe_set t.regs d res;
+      setf t a b res;
+      None
+  in
+  let logic t _ _ r = set_logic_flags t r in
+  match insn with
+  | Nop ->
+      fun t _ ->
+        pre t;
+        None
+  | Mov_ri (r, i) ->
+      let d = reg_index r and v = Word.of_int i in
+      fun t _ ->
+        pre t;
+        Array.unsafe_set t.regs d v;
+        None
+  | Mov (Reg d, Reg s) ->
+      let d = reg_index d and s = reg_index s in
+      fun t _ ->
+        pre t;
+        Array.unsafe_set t.regs d (Array.unsafe_get t.regs s);
+        None
+  | Lea (r, { base = Some b; disp }) ->
+      let d = reg_index r and b = reg_index b in
+      fun t _ ->
+        pre t;
+        Array.unsafe_set t.regs d (Word.add (Array.unsafe_get t.regs b) disp);
+        None
+  | Lea (r, { base = None; disp }) ->
+      let d = reg_index r and v = Word.of_int disp in
+      fun t _ ->
+        pre t;
+        Array.unsafe_set t.regs d v;
+        None
+  | Add (Reg d, Reg s) -> alu2 set_add_flags Word.add d s
+  | Add_i (Reg d, i) -> alu2i set_add_flags Word.add d i
+  | Sub (Reg d, Reg s) -> alu2 set_sub_flags Word.sub d s
+  | Sub_i (Reg d, i) -> alu2i set_sub_flags Word.sub d i
+  | And (Reg d, Reg s) -> alu2 logic ( land ) d s
+  | Or (Reg d, Reg s) -> alu2 logic ( lor ) d s
+  | Xor (Reg d, Reg s) -> alu2 logic ( lxor ) d s
+  | Cmp (Reg d, Reg s) ->
+      let d = reg_index d and s = reg_index s in
+      fun t _ ->
+        pre t;
+        let a = Array.unsafe_get t.regs d and b = Array.unsafe_get t.regs s in
+        set_sub_flags t a b (Word.sub a b);
+        None
+  | Cmp_i (Reg d, i) ->
+      let d = reg_index d and b = Word.of_int i in
+      fun t _ ->
+        pre t;
+        let a = Array.unsafe_get t.regs d in
+        set_sub_flags t a b (Word.sub a b);
+        None
+  | Test_rr (a, b) ->
+      let a = reg_index a and b = reg_index b in
+      fun t _ ->
+        pre t;
+        set_logic_flags t (Array.unsafe_get t.regs a land Array.unsafe_get t.regs b);
+        None
+  | Inc_r r ->
+      let d = reg_index r in
+      fun t _ ->
+        pre t;
+        let a = Array.unsafe_get t.regs d in
+        let res = Word.add a 1 in
+        Array.unsafe_set t.regs d res;
+        t.zf <- res = 0;
+        t.sf <- Word.bit res 31;
+        t.o_f <- a = 0x7FFF_FFFF;
+        None
+  | Dec_r r ->
+      let d = reg_index r in
+      fun t _ ->
+        pre t;
+        let a = Array.unsafe_get t.regs d in
+        let res = Word.sub a 1 in
+        Array.unsafe_set t.regs d res;
+        t.zf <- res = 0;
+        t.sf <- Word.bit res 31;
+        t.o_f <- a = 0x8000_0000;
+        None
+  | Shl_i (r, i) ->
+      let d = reg_index r and amt = i land 31 in
+      fun t _ ->
+        pre t;
+        let res = Word.of_int (Array.unsafe_get t.regs d lsl amt) in
+        Array.unsafe_set t.regs d res;
+        set_logic_flags t res;
+        None
+  | Shr_i (r, i) ->
+      let d = reg_index r and amt = i land 31 in
+      fun t _ ->
+        pre t;
+        let res = Array.unsafe_get t.regs d lsr amt in
+        Array.unsafe_set t.regs d res;
+        set_logic_flags t res;
+        None
+  | Not (Reg r) ->
+      let d = reg_index r in
+      fun t _ ->
+        pre t;
+        Array.unsafe_set t.regs d (Word.lognot (Array.unsafe_get t.regs d));
+        None
+  | Neg (Reg r) ->
+      let d = reg_index r in
+      fun t _ ->
+        pre t;
+        let v = Word.neg (Array.unsafe_get t.regs d) in
+        Array.unsafe_set t.regs d v;
+        t.zf <- v = 0;
+        t.sf <- Word.bit v 31;
+        t.cf <- v <> 0;
+        None
+  | Imul (r, Reg s) ->
+      let d = reg_index r and s = reg_index s in
+      fun t _ ->
+        pre t;
+        Array.unsafe_set t.regs d
+          (Word.mul (Array.unsafe_get t.regs d) (Array.unsafe_get t.regs s));
+        None
+  | Jmp_rel d | Jmp_short d ->
+      let target = Word.add next d in
+      fun t _ ->
+        t.steps <- t.steps + 1;
+        t.eip <- target;
+        None
+  | Jcc (c, d) | Jcc_short (c, d) ->
+      let target = Word.add next d in
+      fun t _ ->
+        pre t;
+        if cond_holds t c then t.eip <- target;
+        None
+  | Int n ->
+      fun t kernel -> (
+        pre t;
+        try
+          match kernel n t with
+          | Outcome.Resume -> None
+          | Outcome.Stop reason -> Some reason
+        with Mem.Fault f -> Some (Outcome.Fault f))
+  | Hlt ->
+      fun t _ ->
+        pre t;
+        Some Outcome.Halted
+  | insn -> fun t kernel -> exec t ~kernel next insn
+
+(* What [lookup]'s miss path fills entries with: decode, then compile for
+   the decode address.  Top-level so the hit path allocates nothing. *)
+let compile_decode mem addr =
+  let insn, size = Decode.decode mem addr in
+  ({ insn; run = compile addr size insn }, size)
+
+(* Fetch-decode-execute, through the decoded-instruction cache when
+   enabled; on a hit the NX check is carried by the cache's generation
+   protocol (any byte store or [set_perm] on the page forces a
+   re-decode). *)
+let step t ~kernel =
+  let start = t.eip in
+  match t.icache with
+  | Some c -> (
+      match Memsim.Icache.lookup c start ~decode:compile_decode with
+      | exception Decode.Error { addr; byte } ->
+          Some (Outcome.Decode_error { addr; byte })
+      | exception Mem.Fault f -> Some (Outcome.Fault f)
+      | e -> (e.Memsim.Icache.v).run t kernel)
+  | None -> (
+      match Decode.decode t.mem start with
+      | exception Decode.Error { addr; byte } ->
+          Some (Outcome.Decode_error { addr; byte })
+      | exception Mem.Fault f -> Some (Outcome.Fault f)
+      | insn, size -> exec t ~kernel (Word.add start size) insn)
+
+(* The per-step trap check must not scan a list: the common zero/one-trap
+   cases get dedicated loops with a direct compare, anything larger a
+   precomputed int hash set — never a per-step [List.mem]. *)
+let run ?(fuel = 2_000_000) ~traps ~kernel t =
+  match traps with
+  | [] ->
+      let rec loop budget =
+        if budget <= 0 then Outcome.Fuel_exhausted
+        else
+          match step t ~kernel with
+          | Some reason -> reason
+          | None -> loop (budget - 1)
+      in
+      loop fuel
+  | [ a ] ->
+      let rec loop budget =
+        if budget <= 0 then Outcome.Fuel_exhausted
+        else if t.eip = a then Outcome.Halted
+        else
+          match step t ~kernel with
+          | Some reason -> reason
+          | None -> loop (budget - 1)
+      in
+      loop fuel
+  | l ->
+      let set = Hashtbl.create (2 * List.length l) in
+      List.iter (fun a -> Hashtbl.replace set a ()) l;
+      let rec loop budget =
+        if budget <= 0 then Outcome.Fuel_exhausted
+        else if Hashtbl.mem set t.eip then Outcome.Halted
+        else
+          match step t ~kernel with
+          | Some reason -> reason
+          | None -> loop (budget - 1)
+      in
+      loop fuel

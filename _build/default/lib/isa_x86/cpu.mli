@@ -20,9 +20,28 @@ type t = {
   mutable shadow : int list;  (** CFI shadow stack (empty when disabled) *)
   mutable cfi : bool;
   mutable steps : int;  (** instructions retired, for benches *)
+  icache : compiled Memsim.Icache.t option;
+      (** decoded-instruction cache ([None] = decode every step) *)
 }
 
-val create : ?cfi:bool -> Memsim.Memory.t -> t
+and kernel = int -> t -> Machine.Outcome.syscall_result
+(** System-call handler: receives the [int n] vector number and the CPU
+    (registers carry the arguments, eax the syscall number by Linux i386
+    convention). *)
+
+and compiled = private {
+  insn : Insn.t;
+  run : t -> kernel -> Machine.Outcome.stop_reason option;
+}
+(** Icache payload: the decoded instruction plus an execution thunk
+    specialized for the instruction's address (successor eip and branch
+    targets pre-resolved).  Behaviorally identical to interpreting
+    [insn] — the cache only ever changes speed, never outcomes. *)
+
+val create : ?cfi:bool -> ?icache:bool -> Memsim.Memory.t -> t
+(** [icache] (default [true]) enables the write-invalidated
+    decoded-instruction cache; execution is bit-identical either way
+    (self-modifying pages re-decode via {!Memsim.Memory.page_gen}). *)
 
 val get : t -> Insn.reg -> int
 val set : t -> Insn.reg -> int -> unit
@@ -32,11 +51,6 @@ val push : t -> int -> unit
 
 val pop : t -> int
 (** Load a 32-bit word and increment [esp] by 4. *)
-
-type kernel = int -> t -> Machine.Outcome.syscall_result
-(** System-call handler: receives the [int n] vector number and the CPU
-    (registers carry the arguments, eax the syscall number by Linux i386
-    convention). *)
 
 val step : t -> kernel:kernel -> Machine.Outcome.stop_reason option
 (** Execute one instruction.  [None] means keep running. *)

@@ -1,1 +1,1 @@
-lib/loader/process.ml: Arch Defense Format Isa_arm Isa_x86 Kernel Layout Libc_sim List Machine Memsim Plt String
+lib/loader/process.ml: Arch Array Defense Format Isa_arm Isa_x86 Kernel Layout Libc_sim List Machine Memsim Plt String

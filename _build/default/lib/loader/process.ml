@@ -130,17 +130,22 @@ let boot spec ~profile ~seed =
 let symbol t name = List.assoc name t.symbols
 let symbol_opt t name = List.assoc_opt name t.symbols
 
-type run_result = { outcome : O.stop_reason; steps : int; ret : int }
+type run_result = {
+  outcome : O.stop_reason;
+  steps : int;
+  ret : int;
+  regs : int array;
+}
 
 (* When [on_step] is given, drive the CPU one instruction at a time so the
    observer sees every program-counter value (the debugger's single-step
    mode); otherwise use the tight [run] loop. *)
-let call ?(fuel = 2_000_000) ?on_step t ~entry ~args =
+let call ?(fuel = 2_000_000) ?(icache = true) ?on_step t ~entry ~args =
   let cfi = t.profile.Defense.Profile.cfi in
   let no_exec = t.profile.Defense.Profile.seccomp in
   match t.arch with
   | Arch.X86 ->
-      let cpu = Isa_x86.Cpu.create ~cfi t.mem in
+      let cpu = Isa_x86.Cpu.create ~cfi ~icache t.mem in
       let sp0 = t.layout.Layout.stack_top - 0x100 in
       Isa_x86.Cpu.set cpu Isa_x86.Insn.ESP sp0;
       List.iter (fun a -> Isa_x86.Cpu.push cpu a) (List.rev args);
@@ -169,11 +174,12 @@ let call ?(fuel = 2_000_000) ?on_step t ~entry ~args =
         outcome;
         steps = cpu.Isa_x86.Cpu.steps;
         ret = Isa_x86.Cpu.get cpu Isa_x86.Insn.EAX;
+        regs = Array.copy cpu.Isa_x86.Cpu.regs;
       }
   | Arch.Arm ->
       if List.length args > 4 then
         invalid_arg "Process.call: at most 4 register arguments on ARM";
-      let cpu = Isa_arm.Cpu.create ~cfi t.mem in
+      let cpu = Isa_arm.Cpu.create ~cfi ~icache t.mem in
       Isa_arm.Cpu.set cpu Isa_arm.Insn.SP (t.layout.Layout.stack_top - 0x100);
       List.iteri
         (fun i a ->
@@ -204,10 +210,11 @@ let call ?(fuel = 2_000_000) ?on_step t ~entry ~args =
         outcome;
         steps = cpu.Isa_arm.Cpu.steps;
         ret = Isa_arm.Cpu.get cpu Isa_arm.Insn.R0;
+        regs = Array.copy cpu.Isa_arm.Cpu.regs;
       }
 
-let call_named ?fuel ?on_step t ~entry ~args =
-  call ?fuel ?on_step t ~entry:(symbol t entry) ~args
+let call_named ?fuel ?icache ?on_step t ~entry ~args =
+  call ?fuel ?icache ?on_step t ~entry:(symbol t entry) ~args
 
 let pp_summary ppf t =
   Format.fprintf ppf "%s (%a, %a)@.%a" t.spec.name Arch.pp t.arch

@@ -45,18 +45,29 @@ type run_result = {
   outcome : Machine.Outcome.stop_reason;
   steps : int;  (** instructions retired during the call *)
   ret : int;  (** eax / r0 at stop time *)
+  regs : int array;  (** full register file at stop time (8 on x86, 16 on ARM) *)
 }
 
 val call :
-  ?fuel:int -> ?on_step:(int -> unit) -> t -> entry:int -> args:int list -> run_result
+  ?fuel:int ->
+  ?icache:bool ->
+  ?on_step:(int -> unit) ->
+  t ->
+  entry:int ->
+  args:int list ->
+  run_result
 (** Call a function following the architecture's convention (cdecl stack
     arguments on x86, r0–r3 on ARM; at most 4 args on ARM) on a fresh
     stack at the top of the stack region.  The CPU is created with CFI
-    enforcement per the profile.  [on_step] observes every program-counter
-    value before the instruction executes (single-step debugging). *)
+    enforcement per the profile and, unless [icache:false], with the
+    decoded-instruction cache (bit-identical execution either way — the
+    differential tests step every exploit scenario both ways).  [on_step]
+    observes every program-counter value before the instruction executes
+    (single-step debugging). *)
 
 val call_named :
   ?fuel:int ->
+  ?icache:bool ->
   ?on_step:(int -> unit) ->
   t ->
   entry:string ->

@@ -1,0 +1,1 @@
+lib/memsim/icache.ml: Array Hashtbl Memory Word

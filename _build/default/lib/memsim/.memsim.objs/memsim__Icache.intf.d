@@ -1,0 +1,1 @@
+lib/memsim/icache.mli: Memory

@@ -1,0 +1,115 @@
+(* Decoded-instruction cache keyed by (page, offset), invalidated by
+   {!Memory}'s per-page write-generation counters.
+
+   Decoding is the interpreter's hot path: the x86 decoder pulls bytes one
+   at a time through closures and allocates an instruction record per
+   step; the ARM decoder refetches and re-cracks the same word every time
+   a loop body comes around.  Both interpreters execute overwhelmingly
+   out of a handful of text pages, so caching the decoded form per
+   address and validating it with a couple of integer compares removes
+   the whole decode cost.
+
+   Correctness under self-modifying code (shellcode written to an rwx
+   stack and then executed, the paper's §III-A) comes entirely from the
+   generation protocol: every byte store and permission change gives the
+   page a fresh, never-reused generation, and an entry only hits while
+   the generation(s) it was filled under are still current.  An entry
+   holds the page's generation *cell* ({!Memory.gen_ref}) plus a
+   snapshot, so validation is a load + compare with no call back into
+   {!Memory}.  An x86 instruction may straddle a page boundary, so an
+   entry records the cell/snapshot of the page holding its last byte
+   too; non-straddling entries alias the two cells ([hi == lo]) and skip
+   the second probe.
+
+   The slot arrays hold a [dummy] entry rather than [option]s: the dummy
+   carries a private cell whose value never equals its snapshot, so it
+   can never validate.  This keeps the hit path free of [Some] boxes —
+   it runs once per interpreted instruction. *)
+
+type 'a entry = {
+  v : 'a;
+  len : int;
+  lo : int ref;  (* generation cell of the first byte's page *)
+  lo_gen : int;  (* its value at fill time *)
+  hi : int ref;  (* last byte's page; [== lo] unless straddling *)
+  hi_gen : int;
+}
+
+type 'a t = {
+  mem : Memory.t;
+  dummy : 'a entry;
+  pages : (int, 'a entry array) Hashtbl.t;
+  mutable last_idx : int;
+  mutable last_slots : 'a entry array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~dummy mem =
+  (* The dummy's snapshot (-1) never equals its cell's value (0), so it
+     can never validate — lookup always takes the miss path on a
+     never-filled slot. *)
+  let cell = ref 0 in
+  {
+    mem;
+    dummy = { v = dummy; len = 1; lo = cell; lo_gen = -1; hi = cell; hi_gen = -1 };
+    pages = Hashtbl.create 16;
+    last_idx = -1;
+    last_slots = [||];
+    hits = 0;
+    misses = 0;
+  }
+
+let hits t = t.hits
+let misses t = t.misses
+
+let clear t =
+  Hashtbl.reset t.pages;
+  t.last_idx <- -1;
+  t.last_slots <- [||]
+
+let slots t idx =
+  if idx = t.last_idx then t.last_slots
+  else begin
+    let s =
+      match Hashtbl.find_opt t.pages idx with
+      | Some s -> s
+      | None ->
+          let s = Array.make Memory.page_size t.dummy in
+          Hashtbl.add t.pages idx s;
+          s
+    in
+    t.last_idx <- idx;
+    t.last_slots <- s;
+    s
+  end
+
+(* A live page's cell always holds its current generation, a retired
+   (unmapped) page's cell holds a generation newer than any snapshot
+   taken from it, and a remapped page gets a brand-new cell — so the
+   compare below is exact, never merely probabilistic. *)
+let lookup t addr ~decode =
+  let addr = Word.of_int addr in
+  let off = addr land (Memory.page_size - 1) in
+  let s = slots t (addr lsr Memory.page_bits) in
+  let e = Array.unsafe_get s off in
+  if !(e.lo) = e.lo_gen && (e.hi == e.lo || !(e.hi) = e.hi_gen) then begin
+    t.hits <- t.hits + 1;
+    e
+  end
+  else begin
+    (* Miss or stale.  [decode] fetches through the memory's execute
+       permission check, so nothing is ever cached from a page that was
+       not executable at decode time — and a later [set_perm] bumps the
+       generation, forcing this path (and its NX check) to run again. *)
+    let v, len = decode t.mem addr in
+    t.misses <- t.misses + 1;
+    let lo = Memory.gen_ref t.mem addr in
+    let hi =
+      if off + len <= Memory.page_size then lo
+      else Memory.gen_ref t.mem (addr + len - 1)
+    in
+    let e = { v; len; lo; lo_gen = !lo; hi; hi_gen = !hi } in
+    Array.unsafe_set s off e;
+    e
+  end

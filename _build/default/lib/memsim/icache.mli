@@ -1,0 +1,45 @@
+(** Write-invalidated decoded-instruction cache over {!Memory}.
+
+    Shared by both interpreters (the cached value type ['a] is the ISA's
+    instruction type): each address decodes at most once per generation
+    of the page(s) holding its bytes, and {!Memory}'s per-page write
+    generations invalidate entries automatically — a byte store,
+    [mprotect], or unmap/remap of an executed page forces a re-decode,
+    which keeps execution bit-identical under self-modifying code
+    (shellcode written to the stack and then run). *)
+
+type 'a entry = private {
+  v : 'a;
+  len : int;
+  lo : int ref;  (** generation cell of the page holding the first byte *)
+  lo_gen : int;  (** its value when the entry was filled *)
+  hi : int ref;  (** last byte's page; [== lo] unless the encoding straddles *)
+  hi_gen : int;
+}
+(** A decoded instruction [v] of encoded length [len], valid while the
+    generation cell(s) of the page(s) it was decoded from still hold the
+    snapshotted values (see {!Memory.gen_ref}). *)
+
+type 'a t
+
+val create : dummy:'a -> Memory.t -> 'a t
+(** [dummy] is any value of the instruction type; it pre-fills the slot
+    arrays (with a generation no live page can have) so the hit path
+    needs no [option] box.  It is never returned by {!lookup}. *)
+
+val lookup : 'a t -> int -> decode:(Memory.t -> int -> 'a * int) -> 'a entry
+(** [lookup t addr ~decode] returns the cached decode of the instruction
+    at [addr], calling [decode t.mem addr] (which must return the decoded
+    value and its encoded byte length) on a miss or stale entry.
+    Exceptions from [decode] — decode errors, NX faults — propagate and
+    cache nothing.  Pass a top-level function for [decode] so the hit
+    path allocates nothing. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+(** Fill + invalidation counters (observability; the invalidation tests
+    assert a rewrite of an executed page forces a miss). *)
+
+val clear : 'a t -> unit
+(** Drop every entry (the generation protocol makes this unnecessary for
+    correctness; provided for tests and memory reclamation). *)

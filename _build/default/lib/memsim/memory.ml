@@ -32,17 +32,74 @@ let fault_to_string f = Format.asprintf "%a" pp_fault f
 
 type region = { name : string; base : int; size : int; perm : perm }
 
-type page = { mutable pperm : perm; data : Bytes.t }
+(* [gen] is the page's write generation.  Every mutation of the page's
+   bytes — and every permission change — stores a fresh value drawn from
+   the address space's monotonic counter, so a generation value is never
+   reused across page lifetimes or writes.  Decoded-instruction caches
+   ({!Icache}) validate against it.
+
+   The generation lives in a heap cell ([int ref]) rather than a mutable
+   field so {!gen_ref} can hand the cell itself to a decode cache: entry
+   validation is then a direct load + compare with no call back into this
+   module — it runs once per interpreted instruction. *)
+type page = { mutable pperm : perm; data : Bytes.t; gen : int ref }
 
 let page_size = 4096
 let page_bits = 12
+let offset_mask = page_size - 1
 
-type t = { pages : (int, page) Hashtbl.t; mutable regs : region list }
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable regs : region list;
+  mutable gen_counter : int;
+  (* Last-hit page per access kind: the interpreters touch the same text /
+     stack / data page over and over, so a single-entry cache turns the
+     per-byte Hashtbl probe into an int compare + field load.  [gq_*] backs
+     {!page_gen} (the decode-cache validation path).  Invalidated on
+     [unmap]. *)
+  mutable rd_idx : int;
+  mutable rd_pg : page;
+  mutable wr_idx : int;
+  mutable wr_pg : page;
+  mutable fx_idx : int;
+  mutable fx_pg : page;
+  mutable gq_idx : int;
+  mutable gq_pg : page;
+}
 
-let create () = { pages = Hashtbl.create 64; regs = [] }
+let null_page = { pperm = none; data = Bytes.empty; gen = ref 0 }
+
+let create () =
+  {
+    pages = Hashtbl.create 64;
+    regs = [];
+    gen_counter = 0;
+    rd_idx = -1;
+    rd_pg = null_page;
+    wr_idx = -1;
+    wr_pg = null_page;
+    fx_idx = -1;
+    fx_pg = null_page;
+    gq_idx = -1;
+    gq_pg = null_page;
+  }
 
 let page_index addr = addr lsr page_bits
 let fault addr kind context = raise (Fault { addr; kind; context })
+
+let fresh_gen t =
+  t.gen_counter <- t.gen_counter + 1;
+  t.gen_counter
+
+let invalidate_page_caches t =
+  t.rd_idx <- -1;
+  t.rd_pg <- null_page;
+  t.wr_idx <- -1;
+  t.wr_pg <- null_page;
+  t.fx_idx <- -1;
+  t.fx_pg <- null_page;
+  t.gq_idx <- -1;
+  t.gq_pg <- null_page
 
 let page_range ~base ~size =
   let first = page_index base and last = page_index (base + size - 1) in
@@ -61,24 +118,44 @@ let map t ~base ~size ~perm ~name =
            (Word.to_hex (i lsl page_bits)))
   done;
   for i = first to last do
-    Hashtbl.replace t.pages i { pperm = perm; data = Bytes.make page_size '\000' }
+    Hashtbl.replace t.pages i
+      { pperm = perm; data = Bytes.make page_size '\000'; gen = ref (fresh_gen t) }
   done;
   t.regs <- { name; base; size; perm } :: t.regs
 
+let region_at_base t base context =
+  match List.find_opt (fun reg -> reg.base = base) t.regs with
+  | Some reg -> reg
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Memory.%s: no region mapped at %s" context
+           (Word.to_hex base))
+
 let unmap t ~base =
-  let reg = List.find (fun reg -> reg.base = base) t.regs in
+  let reg = region_at_base t base "unmap" in
   let first, last = page_range ~base ~size:reg.size in
   for i = first to last do
+    (match Hashtbl.find_opt t.pages i with
+    (* Retire the page's generation so any decode-cache entry filled from
+       it can never validate again, even if the page object leaks through
+       a stale reference. *)
+    | Some p -> p.gen := fresh_gen t
+    | None -> ());
     Hashtbl.remove t.pages i
   done;
-  t.regs <- List.filter (fun reg -> reg.base <> base) t.regs
+  t.regs <- List.filter (fun reg -> reg.base <> base) t.regs;
+  invalidate_page_caches t
 
 let set_perm t ~base perm =
-  let reg = List.find (fun reg -> reg.base = base) t.regs in
+  let reg = region_at_base t base "set_perm" in
   let first, last = page_range ~base ~size:reg.size in
   for i = first to last do
     match Hashtbl.find_opt t.pages i with
-    | Some p -> p.pperm <- perm
+    | Some p ->
+        p.pperm <- perm;
+        (* Permission changes must also invalidate decode caches: a cached
+           instruction was admitted under the old execute bit. *)
+        p.gen := fresh_gen t
     | None -> ()
   done;
   t.regs <-
@@ -91,70 +168,216 @@ let regions t = List.sort (fun a b -> compare a.base b.base) t.regs
 let region_at t addr =
   List.find_opt (fun reg -> addr >= reg.base && addr < reg.base + reg.size) t.regs
 
-let find_region t name = List.find (fun reg -> reg.name = name) t.regs
+let find_region t name =
+  match List.find_opt (fun reg -> reg.name = name) t.regs with
+  | Some reg -> reg
+  | None -> invalid_arg ("Memory.find_region: no region named " ^ name)
+
 let is_mapped t addr = Hashtbl.mem t.pages (page_index addr)
 
-(* Core byte access.  [check] selects the permission bit to verify; the
-   [context] string ends up in the fault record for diagnostics. *)
+(* Core byte access.  Each access kind keeps a one-entry cache of the last
+   page it hit; the [context] string ends up in the fault record for
+   diagnostics.  [addr] must already be masked to 32 bits. *)
 
-let get_page t addr context =
-  match Hashtbl.find_opt t.pages (page_index addr) with
-  | Some p -> p
-  | None -> fault addr Unmapped context
+let read_page t addr =
+  let idx = addr lsr page_bits in
+  if idx = t.rd_idx then t.rd_pg
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+        t.rd_idx <- idx;
+        t.rd_pg <- p;
+        p
+    | None -> fault addr Unmapped "read"
+
+let write_page t addr context =
+  let idx = addr lsr page_bits in
+  if idx = t.wr_idx then t.wr_pg
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+        t.wr_idx <- idx;
+        t.wr_pg <- p;
+        p
+    | None -> fault addr Unmapped context
+
+let fetch_page t addr =
+  let idx = addr lsr page_bits in
+  if idx = t.fx_idx then t.fx_pg
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+        t.fx_idx <- idx;
+        t.fx_pg <- p;
+        p
+    | None -> fault addr Unmapped "fetch"
+
+let page_gen t addr =
+  let addr = Word.of_int addr in
+  let idx = addr lsr page_bits in
+  if idx = t.gq_idx then !(t.gq_pg.gen)
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+        t.gq_idx <- idx;
+        t.gq_pg <- p;
+        !(p.gen)
+    | None -> -1
+
+(* The page's generation cell itself, for decode caches to validate
+   against without a call: [map] creates a fresh cell per page and
+   [unmap] retires the old cell's value, so a cell+snapshot pair can
+   never spuriously re-validate across a remap. *)
+let gen_ref t addr =
+  let addr = Word.of_int addr in
+  let idx = addr lsr page_bits in
+  if idx = t.gq_idx then t.gq_pg.gen
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+        t.gq_idx <- idx;
+        t.gq_pg <- p;
+        p.gen
+    | None -> fault addr Unmapped "gen_ref"
 
 let read_u8 t addr =
   let addr = Word.of_int addr in
-  let p = get_page t addr "read" in
+  let p = read_page t addr in
   if not p.pperm.read then fault addr Perm_read "read";
-  Char.code (Bytes.get p.data (addr land (page_size - 1)))
+  Char.code (Bytes.unsafe_get p.data (addr land offset_mask))
 
 let write_u8 t addr v =
   let addr = Word.of_int addr in
-  let p = get_page t addr "write" in
+  let p = write_page t addr "write" in
   if not p.pperm.write then fault addr Perm_write "write";
-  Bytes.set p.data (addr land (page_size - 1)) (Char.chr (v land 0xFF))
+  p.gen := fresh_gen t;
+  Bytes.unsafe_set p.data (addr land offset_mask) (Char.unsafe_chr (v land 0xFF))
 
 let fetch_u8 t addr =
   let addr = Word.of_int addr in
-  let p = get_page t addr "fetch" in
+  let p = fetch_page t addr in
   if not p.pperm.execute then fault addr Perm_exec "fetch";
-  Char.code (Bytes.get p.data (addr land (page_size - 1)))
+  Char.code (Bytes.unsafe_get p.data (addr land offset_mask))
 
-(* Bind bytes in ascending order: the lowest offending address must be the
-   one reported in a fault. *)
+(* Multi-byte reads bind bytes in ascending order: the lowest offending
+   address must be the one reported in a fault.  The aligned-within-a-page
+   common case reads straight out of the page buffer. *)
+
 let read_u16 t addr =
   let b0 = read_u8 t addr in
   let b1 = read_u8 t (addr + 1) in
   b0 lor (b1 lsl 8)
 
 let read_u32 t addr =
-  let b0 = read_u8 t addr in
-  let b1 = read_u8 t (addr + 1) in
-  let b2 = read_u8 t (addr + 2) in
-  let b3 = read_u8 t (addr + 3) in
-  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  let a = Word.of_int addr in
+  let off = a land offset_mask in
+  if off <= page_size - 4 then begin
+    let p = read_page t a in
+    if not p.pperm.read then fault a Perm_read "read";
+    let d = p.data in
+    Char.code (Bytes.unsafe_get d off)
+    lor (Char.code (Bytes.unsafe_get d (off + 1)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get d (off + 2)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get d (off + 3)) lsl 24)
+  end
+  else begin
+    let b0 = read_u8 t addr in
+    let b1 = read_u8 t (addr + 1) in
+    let b2 = read_u8 t (addr + 2) in
+    let b3 = read_u8 t (addr + 3) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  end
+
+(* Multi-byte writes are not torn: every page the span touches is
+   validated (mapped + writable) before any byte is committed, so a write
+   that faults leaves memory untouched.  Validation walks the span in
+   ascending order, one probe per page, which also makes the reported
+   fault address the lowest offending one (the first byte of the span
+   that lands in the bad page). *)
+let check_write_span t addr len context =
+  let i = ref 0 in
+  while !i < len do
+    let a = Word.of_int (addr + !i) in
+    let idx = a lsr page_bits in
+    (if idx = t.wr_idx then begin
+       if not t.wr_pg.pperm.write then fault a Perm_write context
+     end
+     else
+       match Hashtbl.find_opt t.pages idx with
+       | Some p ->
+           if not p.pperm.write then fault a Perm_write context;
+           t.wr_idx <- idx;
+           t.wr_pg <- p
+       | None -> fault a Unmapped context);
+    i := !i + (page_size - (a land offset_mask))
+  done
 
 let write_u16 t addr v =
+  check_write_span t addr 2 "write";
   write_u8 t addr (v land 0xFF);
   write_u8 t (addr + 1) ((v lsr 8) land 0xFF)
 
 let write_u32 t addr v =
-  write_u8 t addr (v land 0xFF);
-  write_u8 t (addr + 1) ((v lsr 8) land 0xFF);
-  write_u8 t (addr + 2) ((v lsr 16) land 0xFF);
-  write_u8 t (addr + 3) ((v lsr 24) land 0xFF)
+  let a = Word.of_int addr in
+  let off = a land offset_mask in
+  if off <= page_size - 4 then begin
+    let p = write_page t a "write" in
+    if not p.pperm.write then fault a Perm_write "write";
+    p.gen := fresh_gen t;
+    let d = p.data in
+    Bytes.unsafe_set d off (Char.unsafe_chr (v land 0xFF));
+    Bytes.unsafe_set d (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set d (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set d (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+  end
+  else begin
+    check_write_span t addr 4 "write";
+    write_u8 t addr (v land 0xFF);
+    write_u8 t (addr + 1) ((v lsr 8) land 0xFF);
+    write_u8 t (addr + 2) ((v lsr 16) land 0xFF);
+    write_u8 t (addr + 3) ((v lsr 24) land 0xFF)
+  end
 
 let fetch_u32 t addr =
-  let b0 = fetch_u8 t addr in
-  let b1 = fetch_u8 t (addr + 1) in
-  let b2 = fetch_u8 t (addr + 2) in
-  let b3 = fetch_u8 t (addr + 3) in
-  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  let a = Word.of_int addr in
+  let off = a land offset_mask in
+  if off <= page_size - 4 then begin
+    let p = fetch_page t a in
+    if not p.pperm.execute then fault a Perm_exec "fetch";
+    let d = p.data in
+    Char.code (Bytes.unsafe_get d off)
+    lor (Char.code (Bytes.unsafe_get d (off + 1)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get d (off + 2)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get d (off + 3)) lsl 24)
+  end
+  else begin
+    let b0 = fetch_u8 t addr in
+    let b1 = fetch_u8 t (addr + 1) in
+    let b2 = fetch_u8 t (addr + 2) in
+    let b3 = fetch_u8 t (addr + 3) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  end
 
 let read_bytes t addr len =
   String.init len (fun i -> Char.chr (read_u8 t (addr + i)))
 
-let write_bytes t addr s = String.iteri (fun i c -> write_u8 t (addr + i) (Char.code c)) s
+let write_bytes t addr s =
+  let len = String.length s in
+  if len > 0 then begin
+    check_write_span t addr len "write";
+    (* Committed page-at-a-time: one generation bump and one blit per
+       touched page. *)
+    let i = ref 0 in
+    while !i < len do
+      let a = Word.of_int (addr + !i) in
+      let off = a land offset_mask in
+      let chunk = min (len - !i) (page_size - off) in
+      let p = write_page t a "write" in
+      p.gen := fresh_gen t;
+      Bytes.blit_string s !i p.data off chunk;
+      i := !i + chunk
+    done
+  end
 
 let read_cstring t ?(max = 4096) addr =
   let buf = Buffer.create 16 in
@@ -171,18 +394,45 @@ let read_cstring t ?(max = 4096) addr =
 
 let peek_u8 t addr =
   let addr = Word.of_int addr in
-  let p = get_page t addr "peek" in
-  Char.code (Bytes.get p.data (addr land (page_size - 1)))
+  let idx = addr lsr page_bits in
+  let p =
+    if idx = t.rd_idx then t.rd_pg
+    else
+      match Hashtbl.find_opt t.pages idx with
+      | Some p ->
+          t.rd_idx <- idx;
+          t.rd_pg <- p;
+          p
+      | None -> fault addr Unmapped "peek"
+  in
+  Char.code (Bytes.unsafe_get p.data (addr land offset_mask))
 
 let peek_bytes t addr len = String.init len (fun i -> Char.chr (peek_u8 t (addr + i)))
 
+(* Like {!write_bytes}, pokes are not torn: all pages are checked mapped
+   before any byte lands (permissions are deliberately ignored — this is
+   the loader populating read-only segments). *)
 let poke_bytes t addr s =
-  String.iteri
-    (fun i c ->
-      let a = Word.of_int (addr + i) in
-      let p = get_page t a "poke" in
-      Bytes.set p.data (a land (page_size - 1)) c)
-    s
+  let len = String.length s in
+  if len > 0 then begin
+    let i = ref 0 in
+    while !i < len do
+      let a = Word.of_int (addr + !i) in
+      if not (Hashtbl.mem t.pages (a lsr page_bits)) then
+        fault a Unmapped "poke";
+      i := !i + (page_size - (a land offset_mask))
+    done;
+    let i = ref 0 in
+    while !i < len do
+      let a = Word.of_int (addr + !i) in
+      let off = a land offset_mask in
+      let chunk = min (len - !i) (page_size - off) in
+      let p = write_page t a "poke" in
+      p.gen := fresh_gen t;
+      Bytes.blit_string s !i p.data off chunk;
+      i := !i + chunk
+    done
+  end
 
 let hexdump t ~base ~len =
   let buf = Buffer.create (len * 4) in

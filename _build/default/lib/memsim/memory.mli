@@ -41,6 +41,29 @@ val create : unit -> t
 val page_size : int
 (** 4096, as on the paper's targets. *)
 
+val page_bits : int
+(** [log2 page_size] = 12. *)
+
+val page_gen : t -> int -> int
+(** Write generation of the page containing the address, or [-1] if no
+    page is mapped there.  A page's generation changes on every byte
+    store ({!write_u8}, {!write_u16}, {!write_u32}, {!write_bytes},
+    {!poke_bytes}) and on every permission change ({!set_perm}), and
+    generation values are never reused across page lifetimes (a page
+    remapped after {!unmap} starts at a fresh value).  This is the
+    invalidation signal for decoded-instruction caches ({!Icache}): a
+    cached decode is valid iff the generations it was filled under still
+    match. *)
+
+val gen_ref : t -> int -> int ref
+(** The generation cell of the page containing the address (the cell
+    {!page_gen} reads).  Decode caches snapshot [!(gen_ref t addr)] at
+    fill time and validate an entry with a direct load + compare — no
+    call back into this module on the hit path.  Each page lifetime has
+    its own cell, and {!unmap} retires the cell's value, so a
+    (cell, snapshot) pair can never spuriously re-validate across a
+    remap.  Raises {!Fault} ([Unmapped]) if no page is mapped there. *)
+
 val map : t -> base:int -> size:int -> perm:perm -> name:string -> unit
 (** Map a zero-filled region.  [base] and [size] are rounded outward to page
     boundaries for permission purposes, but the region record keeps the
@@ -48,12 +71,13 @@ val map : t -> base:int -> size:int -> perm:perm -> name:string -> unit
     [Invalid_argument]. *)
 
 val unmap : t -> base:int -> unit
-(** Remove the region whose [base] matches exactly.  Raises [Not_found] if
-    no such region exists. *)
+(** Remove the region whose [base] matches exactly.  Raises
+    [Invalid_argument] naming the base if no such region exists. *)
 
 val set_perm : t -> base:int -> perm -> unit
 (** Change the permissions of the region starting at [base] (an [mprotect]
-    analogue).  Raises [Not_found] if no region starts there. *)
+    analogue).  Raises [Invalid_argument] naming the base if no region
+    starts there. *)
 
 val regions : t -> region list
 (** All mapped regions, sorted by base address. *)
@@ -62,7 +86,8 @@ val region_at : t -> int -> region option
 (** The region containing the given address, if any. *)
 
 val find_region : t -> string -> region
-(** Region by name.  Raises [Not_found]. *)
+(** Region by name.  Raises [Invalid_argument] naming the region if no
+    region carries that name. *)
 
 val is_mapped : t -> int -> bool
 
@@ -75,7 +100,13 @@ val read_u8 : t -> int -> int
 val read_u16 : t -> int -> int
 val read_u32 : t -> int -> int
 val write_u8 : t -> int -> int -> unit
+
 val write_u16 : t -> int -> int -> unit
+(** Multi-byte writes are atomic with respect to faults: every page the
+    span touches is validated (mapped and writable) before any byte is
+    committed, so a page-spanning write into a bad page leaves no partial
+    write behind.  The fault reports the lowest offending address. *)
+
 val write_u32 : t -> int -> int -> unit
 
 val fetch_u8 : t -> int -> int
@@ -88,6 +119,8 @@ val read_bytes : t -> int -> int -> string
 (** [read_bytes m addr len] — raises {!Fault} on the first offending byte. *)
 
 val write_bytes : t -> int -> string -> unit
+(** Atomic like {!write_u32}: all touched pages are validated before any
+    byte is committed. *)
 
 val read_cstring : t -> ?max:int -> int -> string
 (** Read a NUL-terminated string (at most [max] bytes, default 4096). *)
@@ -98,7 +131,9 @@ val peek_bytes : t -> int -> int -> string
 
 val poke_bytes : t -> int -> string -> unit
 (** Permission-blind write, used by the loader to populate read-only
-    segments. *)
+    segments.  Atomic with respect to unmapped pages (all pages checked
+    before any byte lands) and bumps the write generation of every
+    touched page, like {!write_bytes}. *)
 
 val hexdump : t -> base:int -> len:int -> string
 (** Conventional 16-bytes-per-line hex + ASCII dump (inspection only). *)

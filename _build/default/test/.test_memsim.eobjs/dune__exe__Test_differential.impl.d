@@ -1,1 +1,1 @@
-test/test_differential.ml: Alcotest Array Defense Gen Isa_arm Isa_x86 List Machine Memsim QCheck QCheck_alcotest String
+test/test_differential.ml: Alcotest Array Connman Defense Dns Exploit Format Gen Isa_arm Isa_x86 List Loader Machine Memsim QCheck QCheck_alcotest String

@@ -1,1 +1,1 @@
-test/test_memsim.ml: Alcotest Array Fun Gen List Memsim QCheck QCheck_alcotest String
+test/test_memsim.ml: Alcotest Array Fun Gen List Memsim Printf QCheck QCheck_alcotest String

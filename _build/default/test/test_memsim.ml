@@ -202,6 +202,190 @@ let test_rng_shuffle_permutes () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) sorted
 
+(* --- Atomicity of multi-byte writes (torn-write regressions) --- *)
+
+let expect_fault_at kind addr f =
+  match f () with
+  | _ -> Alcotest.fail "expected a memory fault"
+  | exception Mem.Fault fault ->
+      check_bool "fault kind" true (fault.Mem.kind = kind);
+      check_int "fault at lowest offending address" addr fault.Mem.addr
+
+(* A u32 straddling into an unmapped page must fault without committing
+   its first bytes (the regression: the old byte-at-a-time loop left a
+   torn prefix behind). *)
+let test_torn_write_u32_unmapped () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"lo";
+  Mem.write_u8 m 0x1FFE 0xAB;
+  Mem.write_u8 m 0x1FFF 0xCD;
+  expect_fault_at Mem.Unmapped 0x2000 (fun () ->
+      Mem.write_u32 m 0x1FFE 0x1122_3344);
+  check_int "prefix byte 0 untouched" 0xAB (Mem.read_u8 m 0x1FFE);
+  check_int "prefix byte 1 untouched" 0xCD (Mem.read_u8 m 0x1FFF)
+
+let test_torn_write_u32_protected () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"lo";
+  Mem.map m ~base:0x2000 ~size:0x1000 ~perm:Mem.r ~name:"ro";
+  Mem.write_u8 m 0x1FFF 0x5A;
+  expect_fault_at Mem.Perm_write 0x2000 (fun () ->
+      Mem.write_u32 m 0x1FFF 0xDEAD_BEEF);
+  check_int "prefix byte untouched" 0x5A (Mem.read_u8 m 0x1FFF)
+
+let test_torn_write_bytes () =
+  let m = fresh () in
+  (* Three-page span with the middle page missing: nothing at all may
+     land, including the bytes destined for the (valid) first page. *)
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"lo";
+  Mem.map m ~base:0x3000 ~size:0x1000 ~perm:Mem.rw ~name:"hi";
+  let payload = String.make 0x2100 'X' in
+  expect_fault_at Mem.Unmapped 0x2000 (fun () ->
+      Mem.write_bytes m 0x1F00 payload);
+  check_int "first page untouched" 0 (Mem.read_u8 m 0x1F00);
+  check_int "last page untouched" 0 (Mem.read_u8 m 0x3000);
+  (* Same span for the loader's permission-blind poke. *)
+  expect_fault_at Mem.Unmapped 0x2000 (fun () ->
+      Mem.poke_bytes m 0x1F00 payload);
+  check_int "poke left no prefix" 0 (Mem.read_u8 m 0x1F00)
+
+(* --- Descriptive errors instead of bare Not_found --- *)
+
+let contains_sub haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let expect_invalid_arg needle f =
+  match f () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      check_bool
+        (Printf.sprintf "message %S mentions %S" msg needle)
+        true (contains_sub msg needle)
+
+let test_descriptive_errors () =
+  let m = fresh () in
+  Mem.map m ~base:0x4000 ~size:0x1000 ~perm:Mem.rw ~name:"heap";
+  expect_invalid_arg "unmap" (fun () -> Mem.unmap m ~base:0x9000);
+  expect_invalid_arg "0x00009000" (fun () -> Mem.unmap m ~base:0x9000);
+  expect_invalid_arg "set_perm" (fun () -> Mem.set_perm m ~base:0x9000 Mem.r);
+  expect_invalid_arg "no region named" (fun () ->
+      ignore (Mem.find_region m "nope"));
+  expect_invalid_arg "nope" (fun () -> ignore (Mem.find_region m "nope"))
+
+(* --- Write generations and generation cells --- *)
+
+let test_page_generations () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x2000 ~perm:Mem.rw ~name:"a";
+  check_int "unmapped is -1" (-1) (Mem.page_gen m 0x9000);
+  let g0 = Mem.page_gen m 0x1000 in
+  let g_other = Mem.page_gen m 0x2000 in
+  check_bool "live generations are positive" true (g0 > 0);
+  Mem.write_u8 m 0x1004 7;
+  let g1 = Mem.page_gen m 0x1000 in
+  check_bool "store bumps" true (g1 <> g0);
+  check_int "other page unaffected" g_other (Mem.page_gen m 0x2000);
+  Mem.set_perm m ~base:0x1000 Mem.r;
+  check_bool "mprotect bumps" true (Mem.page_gen m 0x1000 <> g1);
+  (* Generations are never reused across a page's lifetimes. *)
+  let before = Mem.page_gen m 0x1000 in
+  Mem.unmap m ~base:0x1000;
+  Mem.map m ~base:0x1000 ~size:0x2000 ~perm:Mem.rw ~name:"a2";
+  check_bool "remap gets a fresh generation" true
+    (Mem.page_gen m 0x1000 <> before)
+
+let test_gen_ref_cells () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rw ~name:"a";
+  let cell = Mem.gen_ref m 0x1234 in
+  check_int "cell tracks page_gen" (Mem.page_gen m 0x1000) !cell;
+  Mem.write_u8 m 0x1000 1;
+  check_int "cell sees the bump directly" (Mem.page_gen m 0x1000) !cell;
+  check_bool "same page, same cell" true (cell == Mem.gen_ref m 0x1FFF);
+  let snapshot = !cell in
+  Mem.unmap m ~base:0x1000;
+  check_bool "unmap retires the cell's value" true (!cell <> snapshot);
+  expect_fault Mem.Unmapped (fun () -> Mem.gen_ref m 0x1000)
+
+(* --- Icache: hits, misses, and every invalidation source --- *)
+
+let icache_fixture () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x2000 ~perm:Mem.rwx ~name:"text";
+  let c = Memsim.Icache.create ~dummy:0 m in
+  let calls = ref 0 in
+  let decode _mem addr =
+    incr calls;
+    (addr * 10, 4)
+  in
+  (m, c, calls, decode)
+
+let test_icache_hit_and_miss () =
+  let m, c, calls, decode = icache_fixture () in
+  ignore m;
+  let e = Memsim.Icache.lookup c 0x1008 ~decode in
+  check_int "decoded value" (0x1008 * 10) e.Memsim.Icache.v;
+  check_int "decoded length" 4 e.Memsim.Icache.len;
+  check_int "one decode" 1 !calls;
+  let e2 = Memsim.Icache.lookup c 0x1008 ~decode in
+  check_int "hit returns same value" e.Memsim.Icache.v e2.Memsim.Icache.v;
+  check_int "no second decode" 1 !calls;
+  check_bool "hit counted" true (Memsim.Icache.hits c = 1);
+  check_bool "miss counted" true (Memsim.Icache.misses c = 1);
+  (* A different address on the same page is its own slot. *)
+  ignore (Memsim.Icache.lookup c 0x100C ~decode);
+  check_int "separate slot decodes" 2 !calls
+
+let test_icache_write_invalidates () =
+  let m, c, calls, decode = icache_fixture () in
+  ignore (Memsim.Icache.lookup c 0x1008 ~decode);
+  Mem.write_u8 m 0x1FFF 0x90;
+  (* Any store to the page stales every entry on it. *)
+  ignore (Memsim.Icache.lookup c 0x1008 ~decode);
+  check_int "re-decoded after store" 2 !calls;
+  (* A store to a different page does not. *)
+  Mem.write_u8 m 0x2000 0x90;
+  ignore (Memsim.Icache.lookup c 0x1008 ~decode);
+  check_int "unrelated store is free" 2 !calls
+
+let test_icache_perm_and_unmap_invalidate () =
+  let m, c, calls, decode = icache_fixture () in
+  ignore (Memsim.Icache.lookup c 0x1000 ~decode);
+  Mem.set_perm m ~base:0x1000 Mem.rx;
+  ignore (Memsim.Icache.lookup c 0x1000 ~decode);
+  check_int "mprotect forces re-decode" 2 !calls;
+  Mem.unmap m ~base:0x1000;
+  Mem.map m ~base:0x1000 ~size:0x2000 ~perm:Mem.rwx ~name:"text2";
+  ignore (Memsim.Icache.lookup c 0x1000 ~decode);
+  check_int "unmap/remap forces re-decode" 3 !calls
+
+let test_icache_straddling_entry () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x2000 ~perm:Mem.rwx ~name:"text";
+  let c = Memsim.Icache.create ~dummy:0 m in
+  let calls = ref 0 in
+  let decode _ addr =
+    incr calls;
+    (addr, 6)
+  in
+  (* 6 bytes starting 2 before the page boundary: the entry depends on
+     both pages' generations. *)
+  let e = Memsim.Icache.lookup c 0x1FFE ~decode in
+  check_bool "entry records both pages" true
+    (not (e.Memsim.Icache.lo == e.Memsim.Icache.hi));
+  ignore (Memsim.Icache.lookup c 0x1FFE ~decode);
+  check_int "hit while both pages clean" 1 !calls;
+  (* Touching the second page alone must invalidate. *)
+  Mem.write_u8 m 0x2800 1;
+  ignore (Memsim.Icache.lookup c 0x1FFE ~decode);
+  check_int "second-page store invalidates" 2 !calls;
+  (* And a non-straddling entry shares one cell for both ends. *)
+  let e2 = Memsim.Icache.lookup c 0x1100 ~decode in
+  check_bool "same-page entry aliases its cells" true
+    (e2.Memsim.Icache.lo == e2.Memsim.Icache.hi)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "memsim"
@@ -236,6 +420,31 @@ let () =
           qt prop_byte_roundtrip;
           qt prop_u32_roundtrip;
           qt prop_write_bytes_read_bytes;
+        ] );
+      ( "write atomicity",
+        [
+          Alcotest.test_case "u32 into unmapped page" `Quick
+            test_torn_write_u32_unmapped;
+          Alcotest.test_case "u32 into protected page" `Quick
+            test_torn_write_u32_protected;
+          Alcotest.test_case "write_bytes/poke_bytes spans" `Quick
+            test_torn_write_bytes;
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "descriptive invalid_arg" `Quick test_descriptive_errors ] );
+      ( "generations",
+        [
+          Alcotest.test_case "page_gen protocol" `Quick test_page_generations;
+          Alcotest.test_case "gen_ref cells" `Quick test_gen_ref_cells;
+        ] );
+      ( "icache",
+        [
+          Alcotest.test_case "hit and miss" `Quick test_icache_hit_and_miss;
+          Alcotest.test_case "store invalidates" `Quick test_icache_write_invalidates;
+          Alcotest.test_case "mprotect/unmap invalidate" `Quick
+            test_icache_perm_and_unmap_invalidate;
+          Alcotest.test_case "page-straddling entries" `Quick
+            test_icache_straddling_entry;
         ] );
       ( "rng",
         [

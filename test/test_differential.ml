@@ -320,6 +320,151 @@ let prop_cross_isa =
       in
       x86 = expected && arm = expected)
 
+(* ------------------------------------------------------------------ *)
+(* Decoded-instruction cache: cached and uncached execution are          *)
+(* bit-identical over every exploit scenario                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The icache's correctness argument is "the cache only changes speed,
+   never outcomes".  These tests discharge it end-to-end: every §III
+   exploit cell (plus a benign parse) is run through the machine-level
+   [parse_response] twice — once with the cache, once decoding every
+   step — and the full run result (stop reason, instructions retired,
+   return value, final register file) must match exactly.  The exploit
+   payloads are the hardest workloads the simulator has: smashed stacks,
+   pivots, nop sleds, shellcode executing out of freshly written pages. *)
+
+let lookup_name = Dns.Name.of_string "ipv4.connman.net"
+
+let check_same_run name (a : Loader.Process.run_result) (b : Loader.Process.run_result) =
+  Alcotest.(check string)
+    (name ^ ": outcome")
+    (Format.asprintf "%a" O.pp a.Loader.Process.outcome)
+    (Format.asprintf "%a" O.pp b.Loader.Process.outcome);
+  Alcotest.(check int) (name ^ ": steps") a.Loader.Process.steps b.Loader.Process.steps;
+  Alcotest.(check int) (name ^ ": ret") a.Loader.Process.ret b.Loader.Process.ret;
+  Alcotest.(check (array int))
+    (name ^ ": registers")
+    a.Loader.Process.regs b.Loader.Process.regs
+
+(* One victim boot + one machine-level parse of [wire], with or without
+   the icache.  Both boots use the same config and seed, so they are the
+   same device down to the ASLR draw and canary — only the interpreter's
+   caching differs. *)
+let parse_once ~icache ~config ~raw_name =
+  let d = Connman.Dnsproxy.create config in
+  let query = Connman.Dnsproxy.make_query d lookup_name in
+  let wire = Exploit.Autogen.response_for ~query ~raw_name in
+  let proc = Connman.Dnsproxy.process d in
+  let buf = proc.Loader.Process.layout.Loader.Layout.heap_base in
+  Mem.write_bytes proc.Loader.Process.mem buf wire;
+  Loader.Process.call proc ~fuel:400_000 ~icache
+    ~entry:(Loader.Process.symbol proc "parse_response")
+    ~args:[ buf; String.length wire ]
+
+let exploit_cells =
+  [
+    ("E1 injection/x86", Loader.Arch.X86, Defense.Profile.none);
+    ("E2 injection/arm", Loader.Arch.Arm, Defense.Profile.none);
+    ("E3 ret2libc/x86", Loader.Arch.X86, Defense.Profile.wx);
+    ("E4 rop/arm", Loader.Arch.Arm, Defense.Profile.wx);
+    ("E5 rop-aslr/x86", Loader.Arch.X86, Defense.Profile.wx_aslr);
+    ("E6 rop-aslr/arm", Loader.Arch.Arm, Defense.Profile.wx_aslr);
+  ]
+
+let test_cached_uncached_exploits () =
+  List.iter
+    (fun (name, arch, profile) ->
+      let config =
+        {
+          Connman.Dnsproxy.version = Connman.Version.v1_34;
+          arch;
+          profile;
+          boot_seed = 41;
+          diversity_seed = None;
+        }
+      in
+      (* Attacker side: analysis copy of the same firmware, different
+         boot, default ([choose]-picked) strategy for the cell. *)
+      let analysis =
+        Connman.Dnsproxy.process
+          (Connman.Dnsproxy.create { config with Connman.Dnsproxy.boot_seed = 1041 })
+      in
+      match Exploit.Autogen.generate ~analysis:(Exploit.Target.connman analysis) () with
+      | Error e -> Alcotest.failf "%s: generation failed: %s" name e
+      | Ok (_payload, raw_name) ->
+          let cached = parse_once ~icache:true ~config ~raw_name in
+          let uncached = parse_once ~icache:false ~config ~raw_name in
+          check_same_run name cached uncached;
+          Alcotest.(check bool)
+            (name ^ ": scenario actually ran")
+            true
+            (cached.Loader.Process.steps > 100))
+    exploit_cells
+
+let test_cached_uncached_dos () =
+  List.iter
+    (fun (arch, tag) ->
+      let config =
+        {
+          Connman.Dnsproxy.version = Connman.Version.v1_34;
+          arch;
+          profile = Defense.Profile.wx_aslr;
+          boot_seed = 7;
+          diversity_seed = None;
+        }
+      in
+      let analysis =
+        Connman.Dnsproxy.process
+          (Connman.Dnsproxy.create { config with Connman.Dnsproxy.boot_seed = 1007 })
+      in
+      match
+        Exploit.Autogen.generate
+          ~analysis:(Exploit.Target.connman analysis)
+          ~strategy:Exploit.Autogen.Dos ()
+      with
+      | Error e -> Alcotest.failf "dos/%s: generation failed: %s" tag e
+      | Ok (_payload, raw_name) ->
+          check_same_run ("dos/" ^ tag)
+            (parse_once ~icache:true ~config ~raw_name)
+            (parse_once ~icache:false ~config ~raw_name))
+    [ (Loader.Arch.X86, "x86"); (Loader.Arch.Arm, "arm") ]
+
+let test_cached_uncached_benign () =
+  List.iter
+    (fun (arch, tag) ->
+      let config =
+        {
+          Connman.Dnsproxy.version = Connman.Version.v1_34;
+          arch;
+          profile = Defense.Profile.wx_aslr;
+          boot_seed = 23;
+          diversity_seed = None;
+        }
+      in
+      let parse ~icache =
+        let d = Connman.Dnsproxy.create config in
+        let query = Connman.Dnsproxy.make_query d lookup_name in
+        let wire =
+          Dns.Packet.encode
+            (Dns.Packet.response ~query
+               [ Dns.Packet.a_record lookup_name ~ttl:60 ~ipv4:0x5DB8D822 ])
+        in
+        let proc = Connman.Dnsproxy.process d in
+        let buf = proc.Loader.Process.layout.Loader.Layout.heap_base in
+        Mem.write_bytes proc.Loader.Process.mem buf wire;
+        Loader.Process.call proc ~fuel:400_000 ~icache
+          ~entry:(Loader.Process.symbol proc "parse_response")
+          ~args:[ buf; String.length wire ]
+      in
+      let cached = parse ~icache:true in
+      check_same_run ("benign/" ^ tag) cached (parse ~icache:false);
+      Alcotest.(check string)
+        ("benign/" ^ tag ^ ": parse succeeded")
+        "halted (normal return)"
+        (Format.asprintf "%a" O.pp cached.Loader.Process.outcome))
+    [ (Loader.Arch.X86, "x86"); (Loader.Arch.Arm, "arm") ]
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "differential"
@@ -333,5 +478,11 @@ let () =
           qt prop_equiv_arm_preserves_semantics;
           Alcotest.test_case "rewrites, deterministically" `Quick
             test_equiv_actually_rewrites;
+        ] );
+      ( "icache: cached = uncached",
+        [
+          Alcotest.test_case "all exploit cells" `Quick test_cached_uncached_exploits;
+          Alcotest.test_case "dos payloads" `Quick test_cached_uncached_dos;
+          Alcotest.test_case "benign parses" `Quick test_cached_uncached_benign;
         ] );
     ]

@@ -585,6 +585,55 @@ let test_disassemble_sweep () =
     [ "mov r1, r1"; "bx lr" ]
     (List.map (fun (_, _, s) -> s) listing)
 
+(* --- Self-modifying code through the decoded-instruction cache --- *)
+
+(* Call a two-add function, [str] a mov-r0-r0 word over its first add
+   (text mapped rwx for the test), call it again: the second call must
+   execute the NEW word, so r0 ends at 2+1=3.  The stale-cache failure
+   mode re-runs the cached add and ends at 4. *)
+let selfmod_program =
+  let open Insn in
+  [
+    Asm.I (al (Mov (R0, Imm 0)));
+    Asm.Bl_sym "fn";
+    Asm.Ldr_sym (R4, "lit_site");
+    Asm.Ldr_sym (R5, "lit_nop");
+    Asm.I (al (Str (R5, R4, 0)));
+    Asm.Bl_sym "fn";
+    halt;
+    Asm.Label "fn";
+    Asm.Label "site";
+    Asm.I (al (Add (R0, R0, Imm 1)));
+    Asm.I (al (Add (R0, R0, Imm 1)));
+    Asm.I (al (Bx LR));
+    Asm.Label "lit_site";
+    Asm.Word_sym "site";
+    Asm.Label "lit_nop";
+    Asm.Word 0xE1A0_0000 (* mov r0, r0 *);
+  ]
+
+let run_selfmod ~icache =
+  let mem = Mem.create () in
+  let result = Asm.assemble ~base:text_base selfmod_program in
+  let size = max 0x1000 (String.length result.Asm.code) in
+  Mem.map mem ~base:text_base ~size ~perm:Mem.rwx ~name:"text";
+  Mem.poke_bytes mem text_base result.Asm.code;
+  Mem.map mem ~base:0x7EFF_0000 ~size:0x10000 ~perm:Mem.rw ~name:"stack";
+  let cpu = Cpu.create ~icache mem in
+  Cpu.set cpu Insn.SP 0x7EFF_F000;
+  Cpu.set_pc cpu text_base;
+  let outcome = run ~kernel:halt_kernel cpu in
+  check_bool "halted" true (outcome = O.Halted);
+  cpu
+
+let test_selfmod_invalidates_icache () =
+  let cached = run_selfmod ~icache:true in
+  check_int "second call ran the overwritten word" 3 (Cpu.get cached Insn.R0);
+  let uncached = run_selfmod ~icache:false in
+  check_int "identical to uncached execution" (Cpu.get uncached Insn.R0)
+    (Cpu.get cached Insn.R0);
+  check_int "identical step counts" uncached.Cpu.steps cached.Cpu.steps
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "isa_arm"
@@ -630,5 +679,10 @@ let () =
             test_cfi_blocks_smashed_pop_pc;
           Alcotest.test_case "CFI allows benign nesting" `Quick
             test_cfi_allows_benign_nesting;
+        ] );
+      ( "self-modifying code",
+        [
+          Alcotest.test_case "rewrite invalidates icache" `Quick
+            test_selfmod_invalidates_icache;
         ] );
     ]

@@ -713,6 +713,127 @@ let test_disassemble_sweep () =
     [ "nop"; "push eax"; "ret" ]
     (List.map (fun (_, _, _, s) -> s) listing)
 
+(* --- INC/DEC flag regressions --- *)
+
+(* inc/dec must set OF at the signed extremes (and leave CF alone): a
+   stale OF flips every signed Jcc that follows.  The xor before each
+   inc/dec plants OF=0 so the old always-stale behavior is distinguishable. *)
+let test_inc_overflow_sets_of () =
+  let open Insn in
+  let program =
+    [
+      Asm.I (Mov_ri (EAX, 0x7FFF_FFFF));
+      Asm.I (Xor (Reg EBX, Reg EBX));  (* OF := 0 *)
+      Asm.I (Inc_r EAX);  (* 0x7FFFFFFF + 1: SF=1, OF must become 1 *)
+      Asm.Jcc (GE, "ge");  (* GE = (SF = OF) — taken only if OF updated *)
+      Asm.I (Mov_ri (EDX, 0));
+      Asm.I Hlt;
+      Asm.Label "ge";
+      Asm.I (Mov_ri (EDX, 1));
+      Asm.I Hlt;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  ignore (run cpu);
+  check_int "jge sees inc's OF" 1 (Cpu.get cpu EDX);
+  check_bool "OF set" true cpu.Cpu.o_f
+
+let test_dec_overflow_sets_of () =
+  let open Insn in
+  let program =
+    [
+      Asm.I (Mov_ri (EAX, 0x8000_0000));
+      Asm.I (Xor (Reg EBX, Reg EBX));  (* OF := 0 *)
+      Asm.I (Dec_r EAX);  (* 0x80000000 - 1: SF=0, OF must become 1 *)
+      Asm.Jcc (L, "lt");  (* L = (SF <> OF) — taken only if OF updated *)
+      Asm.I (Mov_ri (EDX, 0));
+      Asm.I Hlt;
+      Asm.Label "lt";
+      Asm.I (Mov_ri (EDX, 1));
+      Asm.I Hlt;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  ignore (run cpu);
+  check_int "jl sees dec's OF" 1 (Cpu.get cpu EDX);
+  check_bool "OF set" true cpu.Cpu.o_f
+
+let test_inc_dec_preserve_cf () =
+  let open Insn in
+  let program =
+    [
+      (* 0 - 1 borrows: CF=1.  The following inc must not clear it. *)
+      Asm.I (Mov_ri (EAX, 0));
+      Asm.I (Sub_i (Reg EAX, 1));
+      Asm.I (Inc_r EAX);
+      Asm.Jcc (B, "cf_live");  (* B = CF *)
+      Asm.I (Mov_ri (EDX, 0));
+      Asm.I Hlt;
+      Asm.Label "cf_live";
+      Asm.I (Mov_ri (EDX, 1));
+      (* And dec must not set a clear CF: 5 cmp 3 → CF=0. *)
+      Asm.I (Mov_ri (EAX, 5));
+      Asm.I (Cmp_i (Reg EAX, 3));
+      Asm.I (Dec_r EAX);
+      Asm.Jcc (AE, "cf_clear");  (* AE = not CF *)
+      Asm.I (Mov_ri (ECX, 0));
+      Asm.I Hlt;
+      Asm.Label "cf_clear";
+      Asm.I (Mov_ri (ECX, 1));
+      Asm.I Hlt;
+    ]
+  in
+  let _, cpu, _ = setup program in
+  ignore (run cpu);
+  check_int "inc preserved CF=1" 1 (Cpu.get cpu EDX);
+  check_int "dec preserved CF=0" 1 (Cpu.get cpu ECX)
+
+(* --- Self-modifying code through the decoded-instruction cache --- *)
+
+(* A program that executes a function, rewrites the function's own bytes
+   (text mapped rwx for the test), and executes it again: the second call
+   must run the NEW bytes.  The stale-cache failure mode returns 8. *)
+let selfmod_program =
+  let open Insn in
+  [
+    Asm.I (Xor (Reg EAX, Reg EAX));
+    Asm.Call "fn";
+    (* Overwrite all four inc-eax bytes with NOPs. *)
+    Asm.Mov_ri_sym (EDX, "fn");
+    Asm.I (Mov_mi (Mem { base = Some EDX; disp = 0 }, 0x9090_9090));
+    Asm.Call "fn";
+    Asm.I Hlt;
+    Asm.Label "fn";
+    Asm.I (Inc_r EAX);
+    Asm.I (Inc_r EAX);
+    Asm.I (Inc_r EAX);
+    Asm.I (Inc_r EAX);
+    Asm.I Ret;
+  ]
+
+let run_selfmod ~icache =
+  let mem = Mem.create () in
+  let text_base = 0x0804_8000 in
+  let result = Asm.assemble ~base:text_base selfmod_program in
+  let size = max 0x1000 (String.length result.Asm.code) in
+  Mem.map mem ~base:text_base ~size ~perm:Mem.rwx ~name:"text";
+  Mem.poke_bytes mem text_base result.Asm.code;
+  Mem.map mem ~base:0xBFFF_0000 ~size:0x10000 ~perm:Mem.rw ~name:"stack";
+  let cpu = Cpu.create ~icache mem in
+  Cpu.set cpu Insn.ESP 0xBFFF_F000;
+  cpu.Cpu.eip <- text_base;
+  let outcome = run cpu in
+  check_bool "halted" true (outcome = O.Halted);
+  cpu
+
+let test_selfmod_invalidates_icache () =
+  let cached = run_selfmod ~icache:true in
+  check_int "second call ran the overwritten bytes" 4 (Cpu.get cached Insn.EAX);
+  let uncached = run_selfmod ~icache:false in
+  check_int "identical to uncached execution" (Cpu.get uncached Insn.EAX)
+    (Cpu.get cached Insn.EAX);
+  check_int "identical step counts" uncached.Cpu.steps cached.Cpu.steps
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "isa_x86"
@@ -767,5 +888,16 @@ let () =
             test_cfi_blocks_smashed_return;
           Alcotest.test_case "CFI allows benign calls" `Quick
             test_cfi_allows_benign_calls;
+        ] );
+      ( "flag regressions",
+        [
+          Alcotest.test_case "inc overflow sets OF" `Quick test_inc_overflow_sets_of;
+          Alcotest.test_case "dec overflow sets OF" `Quick test_dec_overflow_sets_of;
+          Alcotest.test_case "inc/dec preserve CF" `Quick test_inc_dec_preserve_cf;
+        ] );
+      ( "self-modifying code",
+        [
+          Alcotest.test_case "rewrite invalidates icache" `Quick
+            test_selfmod_invalidates_icache;
         ] );
     ]
