@@ -796,6 +796,141 @@ let run_cpu_json ~smoke ~out () =
   close_out oc;
   Format.printf "@.wrote %s@." out
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection path benches: BENCH_faults.json                     *)
+(*                                                                     *)
+(*   dune exec bench/main.exe -- faults            (full measurement)  *)
+(*   dune exec bench/main.exe -- faults --smoke    (few iterations)    *)
+(*   dune build @faults-bench-smoke                (dune smoke target) *)
+(*                                                                     *)
+(* What a datagram costs to deliver: a clean link (policy resolution + *)
+(* the default latency draw — the hot path every simulated packet now  *)
+(* crosses), the same link with every impairment enabled, a 32-host    *)
+(* broadcast domain, and a 16-LAN uplink chain exercising the unicast  *)
+(* route search.  Worlds are reused across invocations (the event heap *)
+(* drains each run), so the estimate is the send+run steady state.     *)
+(* ------------------------------------------------------------------ *)
+
+module WF = Netsim.World
+module Faults = Netsim.Faults
+
+let fault_impaired_policy =
+  {
+    Faults.default with
+    Faults.drop = 0.1;
+    duplicate = 0.15;
+    corrupt = 0.15;
+    reorder = 0.3;
+    reorder_window_us = 2_000;
+    latency = Faults.Jitter { base = 500; jitter = 400 };
+  }
+
+let faults_two_host_bench ?policy () =
+  let w = WF.create ~seed:7 () in
+  let lan = WF.add_lan w ~name:"lan" in
+  (match policy with Some p -> WF.set_lan_policy w lan p | None -> ());
+  let a = WF.add_host w ~name:"a" in
+  WF.set_host_ip a (Some (Netsim.Ip.of_string "10.0.0.1"));
+  WF.attach a lan;
+  let b = WF.add_host w ~name:"b" in
+  let dst = Netsim.Ip.of_string "10.0.0.2" in
+  WF.set_host_ip b (Some dst);
+  WF.attach b lan;
+  WF.on_udp b ~port:9 (fun _ _ -> ());
+  fun () ->
+    for _ = 1 to 64 do
+      WF.send w ~from:a ~dst ~dport:9 "bench payload"
+    done;
+    ignore (WF.run w)
+
+let faults_broadcast_bench ~hosts () =
+  let w = WF.create ~seed:7 () in
+  let lan = WF.add_lan w ~name:"lan" in
+  let sender = WF.add_host w ~name:"sender" in
+  WF.set_host_ip sender (Some (Netsim.Ip.of_string "10.0.0.1"));
+  WF.attach sender lan;
+  for i = 2 to hosts do
+    let h = WF.add_host w ~name:(Printf.sprintf "h%d" i) in
+    WF.set_host_ip h (Some (Netsim.Ip.of_string (Printf.sprintf "10.0.0.%d" i)));
+    WF.attach h lan;
+    WF.on_udp h ~port:9 (fun _ _ -> ())
+  done;
+  fun () ->
+    for _ = 1 to 8 do
+      WF.send w ~from:sender ~dst:Netsim.Ip.broadcast ~dport:9 "bench payload"
+    done;
+    ignore (WF.run w)
+
+let faults_route_chain_bench ~lans () =
+  let w = WF.create ~seed:7 () in
+  let chain =
+    Array.init lans (fun i -> WF.add_lan w ~name:(Printf.sprintf "lan%d" i))
+  in
+  for i = 0 to lans - 2 do
+    WF.set_uplink chain.(i) (Some chain.(i + 1))
+  done;
+  let src = WF.add_host w ~name:"src" in
+  WF.set_host_ip src (Some (Netsim.Ip.of_string "10.0.0.1"));
+  WF.attach src chain.(0);
+  let dst_host = WF.add_host w ~name:"dst" in
+  let dst = Netsim.Ip.of_string "10.0.255.1" in
+  WF.set_host_ip dst_host (Some dst);
+  WF.attach dst_host chain.(lans - 1);
+  WF.on_udp dst_host ~port:9 (fun _ _ -> ());
+  fun () ->
+    for _ = 1 to 64 do
+      WF.send w ~from:src ~dst ~dport:9 "bench payload"
+    done;
+    ignore (WF.run w)
+
+let run_faults_json ~smoke ~out () =
+  let cfg =
+    if smoke then
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.01) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  Format.printf "=== Fault-injection path benches%s ===@.@."
+    (if smoke then " (smoke: few iterations)" else "");
+  let workloads =
+    [
+      ("faults/unicast-clean-64", faults_two_host_bench ());
+      ( "faults/unicast-impaired-64",
+        faults_two_host_bench ~policy:fault_impaired_policy () );
+      ("faults/broadcast-32-hosts", faults_broadcast_bench ~hosts:32 ());
+      ("faults/route-chain-16-lans", faults_route_chain_bench ~lans:16 ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let nanos, r2 = time_fn cfg name f in
+        Format.printf "%-32s %16s %12.4f@." name (pretty_nanos nanos) r2;
+        (name, nanos, r2))
+      workloads
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"bench-faults-v1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"results\": [\n" smoke);
+  List.iteri
+    (fun i (name, nanos, r2) ->
+      let safe f = if Float.is_nan f then 0.0 else f in
+      let nanos = safe nanos in
+      let ops = if nanos > 0.0 then 1e9 /. nanos else 0.0 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"ns_per_op\": %.2f, \"ops_per_sec\": %.1f, \
+            \"r_square\": %.4f}%s\n"
+           name nanos ops (safe r2)
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." out
+
 (* Throughput context: instructions retired per benign parse — and the
    §IV concern made quantitative: what each defense costs the device on
    the hot path (guest instructions per benign response). *)
@@ -852,6 +987,8 @@ let () =
     run_cache_json ~smoke ~out:(out_of "BENCH_cache.json" argv) ()
   else if List.mem "cpu" argv then
     run_cpu_json ~smoke ~out:(out_of "BENCH_cpu.json" argv) ()
+  else if List.mem "faults" argv then
+    run_faults_json ~smoke ~out:(out_of "BENCH_faults.json" argv) ()
   else begin
     print_experiments ();
     print_parse_costs ();

@@ -379,6 +379,37 @@ let cache_stats_cmd =
       const run $ seed_arg $ queries_arg $ names_arg $ capacity_arg
       $ shards_arg)
 
+let chaos_cmd =
+  let run seed smoke output =
+    let report = Core.Experiments.chaos_campaign ~seed ~smoke () in
+    Format.printf "%a@." Core.Experiments.pp_chaos report;
+    (match output with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Core.Experiments.chaos_json report);
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    0
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Reduced grid (2 cells × 3 schedules) for CI.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the campaign report as JSON to a file.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay the exploit matrix and the DoS under deterministic network \
+          fault schedules, with connmand supervised.")
+    Term.(const run $ seed_arg $ smoke_arg $ output_arg)
+
 let report_cmd =
   let run seed output =
     let rows = Core.Experiments.all ~seed () in
@@ -435,5 +466,6 @@ let () =
             trace_cmd;
             botnet_cmd;
             cache_stats_cmd;
+            chaos_cmd;
             report_cmd;
           ]))

@@ -1,1 +1,1 @@
-lib/core/device.ml: Connman Dns Firmware Format List Netsim
+lib/core/device.ml: Connman Dns Firmware Format List Netsim Option Supervisor

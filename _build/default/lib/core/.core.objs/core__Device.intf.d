@@ -1,1 +1,1 @@
-lib/core/device.mli: Connman Firmware Netsim
+lib/core/device.mli: Connman Firmware Netsim Supervisor

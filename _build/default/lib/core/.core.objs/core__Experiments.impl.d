@@ -1,1 +1,1 @@
-lib/core/experiments.ml: Connman Defense Dns Dnsmasq Exploit Firmware Format List Loader Machine Printf Scenario Stats String Tcpsvc
+lib/core/experiments.ml: Buffer Connman Defense Device Dns Dnsmasq Exploit Firmware Format List Loader Machine Netsim Printf Scenario Stats String Supervisor Tcpsvc

@@ -1,1 +1,1 @@
-lib/core/experiments.mli: Format
+lib/core/experiments.mli: Format Netsim

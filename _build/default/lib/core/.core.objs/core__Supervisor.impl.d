@@ -1,0 +1,1 @@
+lib/core/supervisor.ml: Connman Dnsmasq Format List Memsim Netsim Tcpsvc

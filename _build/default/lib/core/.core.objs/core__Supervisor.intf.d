@@ -1,0 +1,1 @@
+lib/core/supervisor.mli: Connman Dnsmasq Format Netsim Tcpsvc

@@ -9,6 +9,7 @@ type t = {
   mutable dispositions : Dnsproxy.disposition list;  (* newest first *)
   mutable events : string list;  (* newest first *)
   mutable state : [ `Online | `Crashed | `Compromised | `Blocked ];
+  mutable supervisor : Supervisor.t option;
 }
 
 let log t fmt = Format.kasprintf (fun s -> t.events <- s :: t.events) fmt
@@ -33,6 +34,7 @@ let create world ~name ~config =
       dispositions = [];
       events = [];
       state = `Online;
+      supervisor = None;
     }
   in
   (* Responses to the proxy's upstream queries arrive on the client
@@ -45,7 +47,10 @@ let create world ~name ~config =
       | other -> t.state <- other);
       log t "dns response from %s: %a"
         (Netsim.Ip.to_string dgram.W.src)
-        Dnsproxy.pp_disposition disposition);
+        Dnsproxy.pp_disposition disposition;
+      (* The init system notices a dead connmand from the same signal a
+         defender has: the daemon stopped answering. *)
+      Option.iter Supervisor.notify t.supervisor);
   t
 
 let of_firmware world ~name ?boot_seed fw =
@@ -55,23 +60,7 @@ let host t = t.host
 let daemon t = t.daemon
 let name t = t.name
 
-(* Resolver clients retransmit on timeout; model a bounded retry loop
-   keyed on whether any new disposition arrived. *)
-let rec lookup_with_retry t hostname ~retries ~timeout_us =
-  let seen = List.length t.dispositions in
-  lookup t hostname;
-  if retries > 0 then
-    Netsim.Sim.schedule (W.sim t.world) ~delay:timeout_us (fun _ ->
-        if
-          List.length t.dispositions = seen
-          && Dnsproxy.alive t.daemon
-          && W.host_dns t.host <> None
-        then begin
-          log t "lookup %s timed out; retrying (%d left)" hostname retries;
-          lookup_with_retry t hostname ~retries:(retries - 1) ~timeout_us
-        end)
-
-and lookup t hostname =
+let lookup t hostname =
   match (W.host_dns t.host, Dnsproxy.alive t.daemon) with
   | None, _ ->
       log t "lookup %s skipped: no DNS server configured" hostname
@@ -81,6 +70,43 @@ and lookup t hostname =
       log t "querying %s for %s" (Netsim.Ip.to_string dns) hostname;
       W.send t.world ~from:t.host ~sport:dns_client_port ~dst:dns ~dport:53
         (Dns.Packet.encode query)
+
+(* Resolver clients retransmit on timeout; an attempt is "answered" when
+   any new disposition arrived since it was sent. *)
+let lookup_with_policy t hostname policy =
+  let seen = ref 0 in
+  Supervisor.Retry.run (W.sim t.world) policy
+    ~attempt:(fun i ->
+      if i > 0 then
+        log t "lookup %s timed out; retrying (%d left)" hostname
+          (policy.Supervisor.Retry.attempts - i);
+      seen := List.length t.dispositions;
+      lookup t hostname)
+    ~still_needed:(fun () ->
+      List.length t.dispositions = !seen
+      && Dnsproxy.alive t.daemon
+      && W.host_dns t.host <> None)
+    ()
+
+let lookup_with_retry t hostname ~retries ~timeout_us =
+  if retries < 0 then invalid_arg "Device.lookup_with_retry: negative retries";
+  lookup_with_policy t hostname
+    (Supervisor.Retry.fixed ~attempts:(retries + 1) ~timeout_us)
+
+let supervise ?policy t =
+  let sup =
+    Supervisor.supervise ?policy ~name:t.name
+      ~on_event:(fun e ->
+        log t "supervisor: %a" Supervisor.pp_event e;
+        match e.Supervisor.kind with
+        | Supervisor.Restarted -> t.state <- `Online
+        | _ -> ())
+      (W.sim t.world)
+      (module Supervisor.Connman_daemon)
+      t.daemon
+  in
+  t.supervisor <- Some sup;
+  sup
 
 (* Connman's connectivity check: performed whenever the device gets a
    fresh network configuration. *)

@@ -473,6 +473,306 @@ let all ?(seed = 1) () =
   @ a7_seccomp ~seed ()
   @ a8_tcp_carrier ~seed ()
 
+(* --- C: chaos campaign — the matrix under deterministic faults ----------- *)
+
+module W = Netsim.World
+module F = Netsim.Faults
+module Ip = Netsim.Ip
+
+type chaos_row = {
+  cell : string;
+  schedule : string;
+  compromised : bool;
+  crashes : int;
+  restarts : int;
+  gave_up : bool;
+  availability : float;  (* benign-phase lookups answered / attempted *)
+  delivered : int;
+  dropped : int;
+  dropped_fault : int;
+  dropped_link : int;
+  corrupted : int;
+  duplicated : int;
+  reordered : int;
+}
+
+type sweep_point = { sweep_loss : float; sweep_trials : int; sweep_hits : int }
+
+type chaos_report = {
+  chaos_seed : int;
+  chaos_smoke : bool;
+  chaos_rows : chaos_row list;
+  chaos_sweep : sweep_point list;
+}
+
+(* Named fault schedules, each a single impairment turned up far enough
+   to matter.  The flap windows are chosen against the campaign timeline
+   below: the first knocks out two attack rounds, the second two benign
+   rounds. *)
+let chaos_schedules =
+  [
+    ("clean", F.default);
+    ("loss-30", F.lossy 0.30);
+    ("loss-60", F.lossy 0.60);
+    ("loss-90", F.lossy 0.90);
+    ( "dup-reorder",
+      { F.default with F.duplicate = 0.35; reorder = 0.5; reorder_window_us = 4_000 } );
+    ("corrupt-20", { F.default with F.corrupt = 0.20 });
+    ( "flappy",
+      { F.default with F.flaps = [ (5_500_000, 12_000_000); (32_500_000, 39_000_000) ] } );
+  ]
+
+let chaos_cells =
+  ("DoS", Loader.Arch.X86, Profile.wx, `Dos)
+  :: List.map
+       (fun (id, _, arch, profile, strategy, _) ->
+         (id, arch, profile, `Exploit strategy))
+       matrix_cells
+
+(* Campaign timeline (µs): attack lookups, then the forge turns honest
+   and the benign lookups measure availability. *)
+let chaos_attack_rounds = 6
+let chaos_benign_rounds = 4
+let chaos_round_gap_us = 5_000_000
+let chaos_attack_start_us = 1_000_000
+let chaos_benign_start_us = 31_000_000
+
+let count_cached device =
+  List.length
+    (List.filter
+       (function Dnsproxy.Cached _ -> true | _ -> false)
+       (Device.dispositions device))
+
+(* One cell × one schedule: a victim and a malicious resolver alone on an
+   impaired LAN, connmand under supervision. *)
+let run_chaos_cell ~seed (cell, arch, profile, kind) (sched_name, policy) =
+  let world = W.create ~seed () in
+  let lan = W.add_lan world ~name:"venue" in
+  W.set_lan_policy world lan policy;
+  let attacker_ip = Ip.of_string "10.9.0.1" in
+  let attacker = W.add_host world ~name:"attacker" in
+  W.set_host_ip attacker (Some attacker_ip);
+  W.attach attacker lan;
+  let config =
+    { Dnsproxy.version = Version.v1_34; arch; profile; boot_seed = seed;
+      diversity_seed = None }
+  in
+  let device = Device.create world ~name:"victim" ~config in
+  W.attach (Device.host device) lan;
+  W.set_host_ip (Device.host device) (Some (Ip.of_string "10.9.0.100"));
+  W.set_host_dns (Device.host device) (Some attacker_ip);
+  let sup = Device.supervise device in
+  let attack_response =
+    match kind with
+    | `Dos ->
+        fun ~query ->
+          Some
+            (Dns.Craft.hostile_response ~query
+               ~raw_name:(Dns.Craft.dos_name ~size:8192) ())
+    | `Exploit strategy -> (
+        let analysis =
+          Dnsproxy.process
+            (Dnsproxy.create { config with Dnsproxy.boot_seed = seed + 5000 })
+        in
+        match
+          Autogen.generate ~analysis:(Exploit.Target.connman analysis) ~strategy ()
+        with
+        | Ok (_, raw_name) ->
+            fun ~query -> Some (Autogen.response_for ~query ~raw_name)
+        | Error _ -> fun ~query:_ -> None)
+  in
+  let benign_ip = Ip.of_string "93.184.216.34" in
+  let mode = ref `Attack in
+  Netsim.Dns_server.malicious world attacker ~forge:(fun ~query ~raw:_ ->
+      match !mode with
+      | `Attack -> attack_response ~query
+      | `Benign -> (
+          match query.Dns.Packet.questions with
+          | [] -> None
+          | q :: _ ->
+              Some
+                (Dns.Packet.encode
+                   (Dns.Packet.response ~query
+                      [ Dns.Packet.a_record q.Dns.Packet.qname ~ttl:300
+                          ~ipv4:benign_ip ]))))
+    ;
+  let sim = W.sim world in
+  let fire _ =
+    Device.lookup_with_retry device "ipv4.connman.net" ~retries:2
+      ~timeout_us:1_500_000
+  in
+  for i = 0 to chaos_attack_rounds - 1 do
+    Netsim.Sim.schedule sim
+      ~delay:(chaos_attack_start_us + (i * chaos_round_gap_us))
+      fire
+  done;
+  let benign_baseline = ref 0 in
+  Netsim.Sim.schedule sim ~delay:(chaos_benign_start_us - 500_000) (fun _ ->
+      mode := `Benign;
+      benign_baseline := count_cached device);
+  for i = 0 to chaos_benign_rounds - 1 do
+    Netsim.Sim.schedule sim
+      ~delay:(chaos_benign_start_us + (i * chaos_round_gap_us))
+      fire
+  done;
+  ignore (W.run world);
+  let st = W.stats world in
+  let answered = count_cached device - !benign_baseline in
+  {
+    cell;
+    schedule = sched_name;
+    compromised =
+      List.exists
+        (function Dnsproxy.Compromised _ -> true | _ -> false)
+        (Device.dispositions device);
+    crashes = Supervisor.crashes sup;
+    restarts = Supervisor.restarts sup;
+    gave_up = Supervisor.gave_up sup;
+    availability =
+      min 1.0 (float_of_int answered /. float_of_int chaos_benign_rounds);
+    delivered = st.W.delivered;
+    dropped = st.W.dropped;
+    dropped_fault = st.W.dropped_fault;
+    dropped_link = st.W.dropped_link;
+    corrupted = st.W.corrupted;
+    duplicated = st.W.duplicated;
+    reordered = st.W.reordered;
+  }
+
+(* Loss sweep: one payload (code injection, no protections — delivery is
+   the only variable) fired once per trial across fresh worlds; success
+   should fall monotonically as loss rises. *)
+let chaos_sweep ~seed ~trials =
+  let arch = Loader.Arch.X86 and profile = Profile.none in
+  let analysis =
+    Dnsproxy.process
+      (Dnsproxy.create
+         { Dnsproxy.version = Version.v1_34; arch; profile;
+           boot_seed = seed + 5000; diversity_seed = None })
+  in
+  let raw_name =
+    match
+      Autogen.generate ~analysis:(Exploit.Target.connman analysis)
+        ~strategy:Autogen.Code_injection ()
+    with
+    | Ok (_, raw_name) -> Some raw_name
+    | Error _ -> None
+  in
+  List.map
+    (fun loss ->
+      let hits = ref 0 in
+      for i = 1 to trials do
+        let world = W.create ~seed:(seed + (i * 131)) () in
+        let lan = W.add_lan world ~name:"venue" in
+        if loss > 0.0 then W.set_lan_policy world lan (F.lossy loss);
+        let attacker_ip = Ip.of_string "10.9.0.1" in
+        let attacker = W.add_host world ~name:"attacker" in
+        W.set_host_ip attacker (Some attacker_ip);
+        W.attach attacker lan;
+        let device =
+          Device.create world ~name:"victim"
+            ~config:
+              { Dnsproxy.version = Version.v1_34; arch; profile;
+                boot_seed = seed + i; diversity_seed = None }
+        in
+        W.attach (Device.host device) lan;
+        W.set_host_ip (Device.host device) (Some (Ip.of_string "10.9.0.100"));
+        W.set_host_dns (Device.host device) (Some attacker_ip);
+        Netsim.Dns_server.malicious world attacker ~forge:(fun ~query ~raw:_ ->
+            match raw_name with
+            | Some raw_name -> Some (Autogen.response_for ~query ~raw_name)
+            | None -> None);
+        Device.lookup_with_retry device "ipv4.connman.net" ~retries:2
+          ~timeout_us:1_500_000;
+        ignore (W.run world);
+        if
+          List.exists
+            (function Dnsproxy.Compromised _ -> true | _ -> false)
+            (Device.dispositions device)
+        then incr hits
+      done;
+      { sweep_loss = loss; sweep_trials = trials; sweep_hits = !hits })
+    [ 0.0; 0.3; 0.6; 0.9 ]
+
+let chaos_campaign ?(seed = 1) ?(smoke = false) () =
+  let cells, schedules =
+    if smoke then
+      ( List.filter (fun (id, _, _, _) -> id = "DoS" || id = "E1") chaos_cells,
+        List.filter
+          (fun (n, _) -> n = "clean" || n = "loss-60" || n = "flappy")
+          chaos_schedules )
+    else (chaos_cells, chaos_schedules)
+  in
+  let rows =
+    List.concat_map
+      (fun (ci, cell) ->
+        List.map
+          (fun (si, sched) ->
+            run_chaos_cell ~seed:(seed + (ci * 1009) + (si * 101)) cell sched)
+          (List.mapi (fun si s -> (si, s)) schedules))
+      (List.mapi (fun ci c -> (ci, c)) cells)
+  in
+  let sweep = chaos_sweep ~seed ~trials:(if smoke then 3 else 8) in
+  { chaos_seed = seed; chaos_smoke = smoke; chaos_rows = rows; chaos_sweep = sweep }
+
+(* Hand-rolled JSON with fixed field order and %.4f floats so identical
+   seeds serialize to identical bytes. *)
+let chaos_json r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"chaos-campaign-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.chaos_seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"smoke\": %b,\n  \"rows\": [\n" r.chaos_smoke);
+  List.iteri
+    (fun i row ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"cell\": %S, \"schedule\": %S, \"compromised\": %b, \
+            \"crashes\": %d, \"restarts\": %d, \"gave_up\": %b, \
+            \"availability\": %.4f, \"delivered\": %d, \"dropped\": %d, \
+            \"dropped_fault\": %d, \"dropped_link\": %d, \"corrupted\": %d, \
+            \"duplicated\": %d, \"reordered\": %d}%s\n"
+           row.cell row.schedule row.compromised row.crashes row.restarts
+           row.gave_up row.availability row.delivered row.dropped
+           row.dropped_fault row.dropped_link row.corrupted row.duplicated
+           row.reordered
+           (if i = List.length r.chaos_rows - 1 then "" else ",")))
+    r.chaos_rows;
+  Buffer.add_string b "  ],\n  \"loss_sweep\": [\n";
+  List.iteri
+    (fun i p ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"loss\": %.2f, \"trials\": %d, \"compromised\": %d}%s\n"
+           p.sweep_loss p.sweep_trials p.sweep_hits
+           (if i = List.length r.chaos_sweep - 1 then "" else ",")))
+    r.chaos_sweep;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let pp_chaos ppf r =
+  let line = String.make 100 '-' in
+  Format.fprintf ppf "chaos campaign (seed %d%s)@." r.chaos_seed
+    (if r.chaos_smoke then ", smoke grid" else "");
+  Format.fprintf ppf "%s@." line;
+  Format.fprintf ppf "%-6s %-12s %-12s %7s %8s %8s %6s %9s %9s@." "cell"
+    "schedule" "compromised" "crashes" "restarts" "gave_up" "avail" "delivered"
+    "dropped";
+  Format.fprintf ppf "%s@." line;
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-6s %-12s %-12b %7d %8d %8b %6.2f %9d %9d@." row.cell
+        row.schedule row.compromised row.crashes row.restarts row.gave_up
+        row.availability row.delivered row.dropped)
+    r.chaos_rows;
+  Format.fprintf ppf "%s@." line;
+  Format.fprintf ppf "loss sweep (code injection, no protections):@.";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  loss %.2f: %d/%d compromised@." p.sweep_loss
+        p.sweep_hits p.sweep_trials)
+    r.chaos_sweep
+
 let pp_table ppf rows =
   let line =
     String.make 118 '-'

@@ -51,3 +51,53 @@ val all : ?seed:int -> unit -> row list
 
 val pp_table : Format.formatter -> row list -> unit
 val pp_markdown : Format.formatter -> row list -> unit
+
+(** {2 Chaos campaign}
+
+    The §III matrix (plus the DoS cell) replayed over an impaired
+    network: victim and malicious resolver alone on a LAN whose
+    {!Netsim.Faults.policy} comes from a named schedule, connmand under
+    a {!Supervisor}.  Each run has an attack phase (forged responses)
+    followed by a benign phase that measures availability.  All
+    randomness is seed-derived: the same seed yields a byte-identical
+    {!chaos_json}. *)
+
+type chaos_row = {
+  cell : string;  (** "DoS" or "E1".."E6" *)
+  schedule : string;  (** fault-schedule name, e.g. "loss-60" *)
+  compromised : bool;  (** any response reached code execution *)
+  crashes : int;  (** supervisor-observed daemon deaths *)
+  restarts : int;
+  gave_up : bool;  (** crash loop tripped StartLimitBurst *)
+  availability : float;  (** benign lookups answered / attempted, [0,1] *)
+  delivered : int;  (** world stats for the whole run… *)
+  dropped : int;
+  dropped_fault : int;
+  dropped_link : int;
+  corrupted : int;
+  duplicated : int;
+  reordered : int;
+}
+
+type sweep_point = { sweep_loss : float; sweep_trials : int; sweep_hits : int }
+
+type chaos_report = {
+  chaos_seed : int;
+  chaos_smoke : bool;
+  chaos_rows : chaos_row list;
+  chaos_sweep : sweep_point list;
+      (** exploit-delivery success vs link loss (0/0.3/0.6/0.9) *)
+}
+
+val chaos_schedules : (string * Netsim.Faults.policy) list
+(** The named fault schedules of the full grid. *)
+
+val chaos_campaign : ?seed:int -> ?smoke:bool -> unit -> chaos_report
+(** Run the grid ([smoke] cuts it to 2 cells × 3 schedules and 3 sweep
+    trials for CI). *)
+
+val chaos_json : chaos_report -> string
+(** Deterministic serialization (fixed field order, fixed float
+    precision): identical seeds give identical bytes. *)
+
+val pp_chaos : Format.formatter -> chaos_report -> unit

@@ -1,0 +1,224 @@
+module Sim = Netsim.Sim
+module Rng = Memsim.Rng
+
+module type DAEMON = sig
+  type t
+
+  val kind : string
+  val alive : t -> bool
+  val restart : t -> unit
+end
+
+module Connman_daemon = struct
+  type t = Connman.Dnsproxy.t
+
+  let kind = "connmand"
+  let alive = Connman.Dnsproxy.alive
+  let restart = Connman.Dnsproxy.restart
+end
+
+module Dnsmasq_daemon = struct
+  type t = Dnsmasq.Daemon.t
+
+  let kind = "dnsmasq"
+  let alive = Dnsmasq.Daemon.alive
+  let restart = Dnsmasq.Daemon.restart
+end
+
+module Tcpsvc_daemon = struct
+  type t = Tcpsvc.Daemon.t
+
+  let kind = "tcpsvc"
+  let alive = Tcpsvc.Daemon.alive
+  let restart = Tcpsvc.Daemon.restart
+end
+
+type backoff = {
+  initial_us : int;
+  multiplier : float;
+  max_us : int;
+  jitter : float;
+}
+
+let default_backoff =
+  { initial_us = 100_000; multiplier = 2.0; max_us = 10_000_000; jitter = 0.1 }
+
+type policy = { backoff : backoff; burst : int; window_us : int }
+
+let default_policy = { backoff = default_backoff; burst = 4; window_us = 30_000_000 }
+
+type event_kind =
+  | Crash_detected of int
+  | Restart_scheduled of int
+  | Restarted
+  | Gave_up
+
+type event = { at : int; kind : event_kind }
+
+let pp_event ppf e =
+  match e.kind with
+  | Crash_detected n ->
+      Format.fprintf ppf "[%8dus] crash detected (%d in window)" e.at n
+  | Restart_scheduled d ->
+      Format.fprintf ppf "[%8dus] restart scheduled in %dus" e.at d
+  | Restarted -> Format.fprintf ppf "[%8dus] restarted" e.at
+  | Gave_up -> Format.fprintf ppf "[%8dus] crash loop: giving up" e.at
+
+(* Existential pack: the supervisor doesn't care which daemon type it
+   owns once [alive]/[restart] are captured. *)
+type instance = { kind : string; alive : unit -> bool; restart : unit -> unit }
+
+type t = {
+  sim : Sim.t;
+  inst : instance;
+  policy : policy;
+  sup_name : string;
+  on_event : event -> unit;
+  mutable st : [ `Watching | `Waiting_restart | `Gave_up ];
+  mutable restarts : int;
+  mutable crashes : int;
+  mutable next_delay_us : int;
+  mutable crash_times : int list;  (* most recent first, pruned to window *)
+  mutable log : event list;  (* most recent first *)
+}
+
+let supervise ?(policy = default_policy) ?name ?(on_event = ignore) sim
+    (type a) (module D : DAEMON with type t = a) (daemon : a) =
+  let inst =
+    {
+      kind = D.kind;
+      alive = (fun () -> D.alive daemon);
+      restart = (fun () -> D.restart daemon);
+    }
+  in
+  {
+    sim;
+    inst;
+    policy;
+    sup_name = (match name with Some n -> n | None -> D.kind);
+    on_event;
+    st = `Watching;
+    restarts = 0;
+    crashes = 0;
+    next_delay_us = policy.backoff.initial_us;
+    crash_times = [];
+    log = [];
+  }
+
+let name t = t.sup_name
+let state t = t.st
+let restarts t = t.restarts
+let crashes t = t.crashes
+let gave_up t = t.st = `Gave_up
+let events t = List.rev t.log
+
+let record t kind =
+  let e = { at = Sim.now t.sim; kind } in
+  t.log <- e :: t.log;
+  t.on_event e
+
+let jittered_delay t =
+  let b = t.policy.backoff in
+  let base = t.next_delay_us in
+  if b.jitter <= 0.0 then base
+  else
+    let span = int_of_float (float_of_int base *. b.jitter) in
+    base + Rng.int (Sim.rng t.sim) (max 1 span)
+
+let grow_backoff t =
+  let b = t.policy.backoff in
+  t.next_delay_us <-
+    min b.max_us
+      (max b.initial_us (int_of_float (float_of_int t.next_delay_us *. b.multiplier)))
+
+let do_restart t _sim =
+  if t.st = `Waiting_restart then begin
+    t.inst.restart ();
+    t.restarts <- t.restarts + 1;
+    t.st <- `Watching;
+    record t Restarted
+  end
+
+let notify t =
+  match t.st with
+  | `Gave_up | `Waiting_restart -> ()
+  | `Watching ->
+      let now = Sim.now t.sim in
+      let fresh = List.filter (fun at -> now - at <= t.policy.window_us) t.crash_times in
+      if t.inst.alive () then begin
+        (* A quiet window earns a backoff reset, like systemd clearing
+           its start counter after StartLimitInterval. *)
+        if fresh = [] then t.next_delay_us <- t.policy.backoff.initial_us;
+        t.crash_times <- fresh
+      end
+      else begin
+        t.crash_times <- now :: fresh;
+        t.crashes <- t.crashes + 1;
+        let in_window = List.length t.crash_times in
+        record t (Crash_detected in_window);
+        if in_window > t.policy.burst then begin
+          t.st <- `Gave_up;
+          record t Gave_up
+        end
+        else begin
+          let delay = jittered_delay t in
+          grow_backoff t;
+          t.st <- `Waiting_restart;
+          record t (Restart_scheduled delay);
+          Sim.schedule t.sim ~delay (do_restart t)
+        end
+      end
+
+let watch t ~every_us ~rounds =
+  if every_us <= 0 then invalid_arg "Supervisor.watch: every_us must be positive";
+  let rec arm remaining =
+    if remaining > 0 then
+      Sim.schedule t.sim ~delay:every_us (fun _ ->
+          notify t;
+          arm (remaining - 1))
+  in
+  arm rounds
+
+module Retry = struct
+  type policy = {
+    attempts : int;
+    timeout_us : int;
+    multiplier : float;
+    max_timeout_us : int;
+  }
+
+  let fixed ~attempts ~timeout_us =
+    { attempts; timeout_us; multiplier = 1.0; max_timeout_us = timeout_us }
+
+  let exponential ?(multiplier = 2.0) ?max_timeout_us ~attempts ~timeout_us () =
+    let max_timeout_us =
+      match max_timeout_us with Some m -> m | None -> timeout_us * 16
+    in
+    { attempts; timeout_us; multiplier; max_timeout_us }
+
+  let run sim policy ~attempt ~still_needed ?on_exhausted () =
+    if policy.attempts <= 0 then
+      invalid_arg "Supervisor.Retry.run: attempts must be positive";
+    if policy.timeout_us <= 0 then
+      invalid_arg "Supervisor.Retry.run: timeout_us must be positive";
+    let timeout_for i =
+      (* timeout before attempt [i+1], grown from the base *)
+      let t =
+        float_of_int policy.timeout_us *. (policy.multiplier ** float_of_int i)
+      in
+      min policy.max_timeout_us (max policy.timeout_us (int_of_float t))
+    in
+    let rec step i =
+      attempt i;
+      if i + 1 < policy.attempts then
+        Sim.schedule sim ~delay:(timeout_for i) (fun _ ->
+            if still_needed () then step (i + 1))
+      else
+        match on_exhausted with
+        | None -> ()
+        | Some f ->
+            Sim.schedule sim ~delay:(timeout_for i) (fun _ ->
+                if still_needed () then f ())
+    in
+    step 0
+end

@@ -24,8 +24,9 @@ type config = {
 
 type t = {
   config : config;
-  proc : Loader.Process.t;
+  mutable proc : Loader.Process.t;
   mutable alive : bool;
+  mutable restarts : int;
   mutable next_id : int;
   pending : (int, Dns.Packet.question) Hashtbl.t;
   cache : Dns.Cache.t;
@@ -41,18 +42,27 @@ let build_spec config =
 
 let negative_ttl = 60
 
+let boot config ~restarts =
+  Loader.Process.boot (build_spec config) ~profile:config.profile
+    ~seed:(config.boot_seed + (restarts * 7919))
+
 let create ?cache_capacity config =
   {
     config;
-    proc =
-      Loader.Process.boot (build_spec config) ~profile:config.profile
-        ~seed:config.boot_seed;
+    proc = boot config ~restarts:0;
     alive = true;
+    restarts = 0;
     next_id = 0x2000 + (config.boot_seed land 0xFFF);
     pending = Hashtbl.create 8;
     cache = Dns.Cache.create ?capacity:cache_capacity ();
     clock = 0;
   }
+
+let restart t =
+  t.restarts <- t.restarts + 1;
+  t.proc <- boot t.config ~restarts:t.restarts;
+  t.alive <- true;
+  Hashtbl.reset t.pending
 
 let process t = t.proc
 let alive t = t.alive

@@ -47,3 +47,8 @@ val tick : t -> int -> unit
 
 val negative_ttl : int
 (** Seconds an NXDOMAIN is negatively cached. *)
+
+val restart : t -> unit
+(** Reboot the daemon after a crash (fresh address-space draw derived
+    from the boot seed and restart count, as a supervisor restart would
+    give); outstanding transactions are forgotten, the cache survives. *)

@@ -1,0 +1,1 @@
+lib/netsim/faults.ml: Bytes Char Float Format List Memsim Printf String

@@ -1,0 +1,1 @@
+lib/netsim/faults.mli: Format Memsim

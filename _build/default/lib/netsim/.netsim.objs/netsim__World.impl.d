@@ -1,1 +1,1 @@
-lib/netsim/world.ml: Ip List Memsim Option Sim
+lib/netsim/world.ml: Faults Hashtbl Ip List Option Queue Sim

@@ -1,1 +1,1 @@
-lib/netsim/world.mli: Ip Sim
+lib/netsim/world.mli: Faults Ip Sim

@@ -1,0 +1,126 @@
+module Rng = Memsim.Rng
+
+type latency =
+  | Const of int
+  | Uniform of { lo : int; hi : int }
+  | Jitter of { base : int; jitter : int }
+
+type policy = {
+  drop : float;
+  duplicate : float;
+  corrupt : float;
+  reorder : float;
+  reorder_window_us : int;
+  latency : latency;
+  flaps : (int * int) list;
+}
+
+let default =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    corrupt = 0.0;
+    reorder = 0.0;
+    reorder_window_us = 0;
+    latency = Uniform { lo = 200; hi = 800 };
+    flaps = [];
+  }
+
+let validate p =
+  let prob field v =
+    if v < 0.0 || v > 1.0 || Float.is_nan v then
+      invalid_arg (Printf.sprintf "Faults.validate: %s must be in [0, 1]" field)
+  in
+  prob "drop" p.drop;
+  prob "duplicate" p.duplicate;
+  prob "corrupt" p.corrupt;
+  prob "reorder" p.reorder;
+  if p.reorder_window_us < 0 then
+    invalid_arg "Faults.validate: reorder_window_us must be non-negative";
+  (match p.latency with
+  | Const d when d < 0 -> invalid_arg "Faults.validate: latency must be non-negative"
+  | Uniform { lo; hi } when lo < 0 || hi <= lo ->
+      invalid_arg "Faults.validate: latency range must satisfy 0 <= lo < hi"
+  | Jitter { base; jitter } when base < 0 || jitter < 0 ->
+      invalid_arg "Faults.validate: latency base and jitter must be non-negative"
+  | _ -> ());
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || b < a then
+        invalid_arg "Faults.validate: flap window must satisfy 0 <= from <= until")
+    p.flaps;
+  p
+
+let lossy drop = validate { default with drop }
+
+let pp_latency ppf = function
+  | Const d -> Format.fprintf ppf "%dus" d
+  | Uniform { lo; hi } -> Format.fprintf ppf "%d..%dus" lo hi
+  | Jitter { base; jitter } -> Format.fprintf ppf "%dus+-%d" base jitter
+
+let pp ppf p =
+  Format.fprintf ppf
+    "@[<h>drop=%.2f dup=%.2f corrupt=%.2f reorder=%.2f/%dus latency=%a flaps=%d@]"
+    p.drop p.duplicate p.corrupt p.reorder p.reorder_window_us pp_latency
+    p.latency (List.length p.flaps)
+
+type fate = Pass | Drop_fault | Drop_link
+
+type plan = {
+  copies : (int * string) list;
+  fate : fate;
+  corrupted : bool;
+  duplicated : bool;
+  reordered : bool;
+}
+
+let link_up p ~now =
+  not (List.exists (fun (a, b) -> now >= a && now < b) p.flaps)
+
+(* Gated draw: probabilities of exactly 0 consume no randomness, so
+   un-impaired policies keep the rng stream identical to a world with no
+   fault layer at all. *)
+let hit rng p = p > 0.0 && Rng.float rng < p
+
+let draw_latency rng = function
+  | Const d -> d
+  | Uniform { lo; hi } -> lo + Rng.int rng (hi - lo)
+  | Jitter { base; jitter } ->
+      if jitter = 0 then base
+      else max 0 (base - jitter + Rng.int rng ((2 * jitter) + 1))
+
+let corrupt_payload rng payload =
+  let n = String.length payload in
+  if n = 0 then payload
+  else begin
+    let pos = Rng.int rng n in
+    (* xor with a non-zero byte so the payload genuinely changes *)
+    let flip = 1 + Rng.int rng 255 in
+    let b = Bytes.of_string payload in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor flip));
+    Bytes.to_string b
+  end
+
+let apply rng p ~now ~payload =
+  if not (link_up p ~now) then
+    { copies = []; fate = Drop_link; corrupted = false; duplicated = false;
+      reordered = false }
+  else if hit rng p.drop then
+    { copies = []; fate = Drop_fault; corrupted = false; duplicated = false;
+      reordered = false }
+  else begin
+    let delay = draw_latency rng p.latency in
+    let corrupted = hit rng p.corrupt in
+    let payload = if corrupted then corrupt_payload rng payload else payload in
+    let duplicated = hit rng p.duplicate in
+    let dup_delay = if duplicated then draw_latency rng p.latency else 0 in
+    let reordered = hit rng p.reorder && p.reorder_window_us > 0 in
+    let extra =
+      if reordered then Rng.int rng (p.reorder_window_us + 1) else 0
+    in
+    let copies =
+      (delay + extra, payload)
+      :: (if duplicated then [ (dup_delay, payload) ] else [])
+    in
+    { copies; fate = Pass; corrupted; duplicated; reordered }
+  end

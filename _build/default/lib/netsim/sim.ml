@@ -65,6 +65,8 @@ let schedule t ~delay action =
   sift_up t (t.size - 1)
 
 let pop t =
+  if t.size <= 0 then
+    invalid_arg "Sim.pop: empty event heap (no events scheduled)";
   let top = t.heap.(0) in
   t.size <- t.size - 1;
   if t.size > 0 then begin

@@ -6,23 +6,39 @@ type datagram = {
   payload : string;
 }
 
-type stats = { mutable delivered : int; mutable dropped : int }
+type stats = {
+  mutable delivered : int;
+  mutable dropped : int;  (* total, every reason below *)
+  mutable dropped_fault : int;
+  mutable dropped_link : int;
+  mutable no_route : int;
+  mutable no_handler : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+}
 
 type t = {
   sim : Sim.t;
   mutable lans : lan list;
   mutable hosts : host list;
   stats : stats;
-  mutable loss : float;  (* per-unicast-datagram drop probability *)
+  mutable next_id : int;  (* host/lan id source (policy and visited keys) *)
+  mutable default_policy : Faults.policy;
+  link_policies : (int * int, Faults.policy) Hashtbl.t;  (* host-id pair *)
+  lan_policies : (int, Faults.policy) Hashtbl.t;  (* sender's LAN id *)
+  mutable severed : (int * int) list;  (* partitioned LAN-id pairs *)
 }
 
 and lan = {
+  lid : int;
   lname : string;
   mutable members : host list;
   mutable uplink : lan option;
 }
 
 and host = {
+  hid : int;
   hname : string;
   mutable hip : Ip.t option;
   mutable hdns : Ip.t option;
@@ -37,19 +53,73 @@ let create ?(seed = 7) () =
     sim = Sim.create ~seed ();
     lans = [];
     hosts = [];
-    stats = { delivered = 0; dropped = 0 };
-    loss = 0.0;
+    stats =
+      {
+        delivered = 0;
+        dropped = 0;
+        dropped_fault = 0;
+        dropped_link = 0;
+        no_route = 0;
+        no_handler = 0;
+        corrupted = 0;
+        duplicated = 0;
+        reordered = 0;
+      };
+    next_id = 0;
+    default_policy = Faults.default;
+    link_policies = Hashtbl.create 8;
+    lan_policies = Hashtbl.create 8;
+    severed = [];
   }
 
-let set_loss t p =
-  if p < 0.0 || p > 1.0 then invalid_arg "World.set_loss: probability";
-  t.loss <- p
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
 
 let sim t = t.sim
 let stats t = t.stats
 
+(* --- impairment policies ------------------------------------------------ *)
+
+let set_default_policy t p = t.default_policy <- Faults.validate p
+let default_policy t = t.default_policy
+
+(* Compat shim for the pre-fault-layer API: a world-wide drop knob.  It
+   now applies to broadcast traffic too (the seed implementation only
+   consulted it on unicast — DHCP/discovery broadcasts sailed through). *)
+let set_loss t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "World.set_loss: probability";
+  t.default_policy <- { t.default_policy with Faults.drop = p }
+
+let link_key a b = if a.hid <= b.hid then (a.hid, b.hid) else (b.hid, a.hid)
+
+let set_link_policy t a b p =
+  Hashtbl.replace t.link_policies (link_key a b) (Faults.validate p)
+
+let clear_link_policy t a b = Hashtbl.remove t.link_policies (link_key a b)
+
+let set_lan_policy t lan p =
+  Hashtbl.replace t.lan_policies lan.lid (Faults.validate p)
+
+let clear_lan_policy t lan = Hashtbl.remove t.lan_policies lan.lid
+
+(* Most specific wins: host pair, then the sender's LAN, then the world. *)
+let policy_for t ~src ~dst =
+  match Hashtbl.find_opt t.link_policies (link_key src dst) with
+  | Some p -> p
+  | None -> (
+      match src.hlan with
+      | None -> t.default_policy
+      | Some lan -> (
+          match Hashtbl.find_opt t.lan_policies lan.lid with
+          | Some p -> p
+          | None -> t.default_policy))
+
+(* --- topology ----------------------------------------------------------- *)
+
 let add_lan t ~name =
-  let lan = { lname = name; members = []; uplink = None } in
+  let lan = { lid = fresh_id t; lname = name; members = []; uplink = None } in
   t.lans <- lan :: t.lans;
   lan
 
@@ -57,7 +127,10 @@ let lan_name lan = lan.lname
 let set_uplink lan up = lan.uplink <- up
 
 let add_host t ~name =
-  let host = { hname = name; hip = None; hdns = None; hlan = None; handlers = [] } in
+  let host =
+    { hid = fresh_id t; hname = name; hip = None; hdns = None; hlan = None;
+      handlers = [] }
+  in
   t.hosts <- host :: t.hosts;
   host
 
@@ -84,10 +157,25 @@ let hosts_of lan = List.rev lan.members
 let on_udp h ~port handler =
   h.handlers <- (port, handler) :: List.remove_assoc port h.handlers
 
+(* --- partitions --------------------------------------------------------- *)
+
+let sever_key a b = if a.lid <= b.lid then (a.lid, b.lid) else (b.lid, a.lid)
+
+let partition t a b =
+  let key = sever_key a b in
+  if not (List.mem key t.severed) then t.severed <- key :: t.severed
+
+let heal t a b = t.severed <- List.filter (( <> ) (sever_key a b)) t.severed
+let partitioned t a b = List.mem (sever_key a b) t.severed
+
+let edge_severed t a b = List.mem (sever_key a b) t.severed
+
 (* Unicast resolution: breadth-first over the uplink graph treated as
    undirected (replies must route back down to edge LANs, as NAT/conntrack
    state provides in the real network).  The sender's own LAN is tried
-   first. *)
+   first; severed (partitioned) edges are not crossed.  A queue plus a
+   visited table keeps each datagram O(lans + edges) — the seed's
+   [rest @ neighbours l] / [List.memq l visited] pair was O(n²). *)
 let resolve_unicast t lan dst =
   let neighbours l =
     (match l.uplink with Some up -> [ up ] | None -> [])
@@ -96,44 +184,85 @@ let resolve_unicast t lan dst =
           match other.uplink with Some up -> up == l | None -> false)
         t.lans
   in
-  let rec bfs visited = function
-    | [] -> None
-    | l :: rest ->
-        if List.memq l visited then bfs visited rest
-        else
-          match List.find_opt (fun h -> h.hip = Some dst) l.members with
-          | Some h -> Some h
-          | None -> bfs (l :: visited) (rest @ neighbours l)
+  let visited = Hashtbl.create 16 in
+  let frontier = Queue.create () in
+  Hashtbl.replace visited lan.lid ();
+  Queue.push lan frontier;
+  let rec bfs () =
+    if Queue.is_empty frontier then None
+    else
+      let l = Queue.pop frontier in
+      match List.find_opt (fun h -> h.hip = Some dst) l.members with
+      | Some h -> Some h
+      | None ->
+          List.iter
+            (fun n ->
+              if (not (Hashtbl.mem visited n.lid)) && not (edge_severed t l n)
+              then begin
+                Hashtbl.replace visited n.lid ();
+                Queue.push n frontier
+              end)
+            (neighbours l);
+          bfs ()
   in
-  bfs [] [ lan ]
+  bfs ()
+
+(* --- delivery ----------------------------------------------------------- *)
 
 let deliver t dgram target =
   match List.assoc_opt dgram.dport target.handlers with
-  | None -> t.stats.dropped <- t.stats.dropped + 1
+  | None ->
+      t.stats.dropped <- t.stats.dropped + 1;
+      t.stats.no_handler <- t.stats.no_handler + 1
   | Some handler ->
       t.stats.delivered <- t.stats.delivered + 1;
       handler { world = t; self = target } dgram
 
+(* Push one datagram across the [src -> target] link, applying that
+   link's impairment policy.  Every copy the policy emits is scheduled
+   on the event clock with its own delay. *)
+let transmit t dgram ~src target =
+  let policy = policy_for t ~src ~dst:target in
+  let plan =
+    Faults.apply (Sim.rng t.sim) policy ~now:(Sim.now t.sim)
+      ~payload:dgram.payload
+  in
+  let s = t.stats in
+  match plan.Faults.fate with
+  | Faults.Drop_link ->
+      s.dropped <- s.dropped + 1;
+      s.dropped_link <- s.dropped_link + 1
+  | Faults.Drop_fault ->
+      s.dropped <- s.dropped + 1;
+      s.dropped_fault <- s.dropped_fault + 1
+  | Faults.Pass ->
+      if plan.Faults.corrupted then s.corrupted <- s.corrupted + 1;
+      if plan.Faults.duplicated then s.duplicated <- s.duplicated + 1;
+      if plan.Faults.reordered then s.reordered <- s.reordered + 1;
+      List.iter
+        (fun (delay, payload) ->
+          let dgram = { dgram with payload } in
+          Sim.schedule t.sim ~delay (fun _ -> deliver t dgram target))
+        plan.Faults.copies
+
 let send t ~from ?(sport = 0) ~dst ~dport payload =
+  let s = t.stats in
   match from.hlan with
-  | None -> t.stats.dropped <- t.stats.dropped + 1
-  | Some lan ->
+  | None ->
+      s.dropped <- s.dropped + 1;
+      s.no_route <- s.no_route + 1
+  | Some lan -> (
       let src = Option.value from.hip ~default:0 in
       let dgram = { src; sport; dst; dport; payload } in
-      let latency () = 200 + Memsim.Rng.int (Sim.rng t.sim) 600 in
       if dst = Ip.broadcast then
         List.iter
-          (fun h ->
-            if h != from then
-              Sim.schedule t.sim ~delay:(latency ()) (fun _ -> deliver t dgram h))
+          (fun h -> if h != from then transmit t dgram ~src:from h)
           lan.members
       else
         match resolve_unicast t lan dst with
-        | Some target ->
-            if t.loss > 0.0 && Memsim.Rng.float (Sim.rng t.sim) < t.loss then
-              t.stats.dropped <- t.stats.dropped + 1
-            else
-              Sim.schedule t.sim ~delay:(latency ()) (fun _ -> deliver t dgram target)
-        | None -> t.stats.dropped <- t.stats.dropped + 1
+        | Some target -> transmit t dgram ~src:from target
+        | None ->
+            s.dropped <- s.dropped + 1;
+            s.no_route <- s.no_route + 1)
 
 let run ?until t = Sim.run ?until t.sim

@@ -5,7 +5,13 @@
     optional uplink chain (home LAN → ISP/Internet) — because that is all
     the paper's §III-D scenario needs: a victim that can be lured from
     its legitimate LAN onto the Pineapple's LAN, where the attacker
-    controls DHCP and DNS. *)
+    controls DHCP and DNS.
+
+    Every datagram crosses a {!Faults.policy}: a deterministic
+    impairment model (drop, duplicate, corrupt, reorder, latency
+    jitter, link flaps) resolved per link — host pair first, then the
+    sender's LAN, then the world default.  LAN pairs can additionally be
+    {!partition}ed, which severs routing between them. *)
 
 type t
 type host
@@ -22,20 +28,60 @@ type datagram = {
 type ctx = { world : t; self : host }
 (** Handed to every packet handler. *)
 
-type stats = { mutable delivered : int; mutable dropped : int }
+type stats = {
+  mutable delivered : int;
+  mutable dropped : int;  (** total drops, every reason below included *)
+  mutable dropped_fault : int;  (** drop probability fired *)
+  mutable dropped_link : int;  (** link flapped down *)
+  mutable no_route : int;  (** unroutable destination (or detached sender) *)
+  mutable no_handler : int;  (** delivered to a port nobody listens on *)
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+}
 
 val create : ?seed:int -> unit -> t
 val sim : t -> Sim.t
 val stats : t -> stats
 
+(** {2 Impairment policies} *)
+
+val set_default_policy : t -> Faults.policy -> unit
+(** World-wide fallback policy (validated; default {!Faults.default}). *)
+
+val default_policy : t -> Faults.policy
+
+val set_link_policy : t -> host -> host -> Faults.policy -> unit
+(** Attach a policy to the (symmetric) host pair; overrides LAN and
+    world policies for traffic between the two. *)
+
+val clear_link_policy : t -> host -> host -> unit
+
+val set_lan_policy : t -> lan -> Faults.policy -> unit
+(** Policy for traffic {e originating} from hosts attached to that LAN
+    (when no host-pair policy matches). *)
+
+val clear_lan_policy : t -> lan -> unit
+
 val set_loss : t -> float -> unit
-(** Per-unicast-datagram drop probability (default 0.0); broadcasts are
-    unaffected.  Drops count in {!stats}. *)
+(** Compatibility shim: sets the world default policy's drop
+    probability.  Unlike the seed implementation it now applies to
+    broadcast datagrams too, so DHCP/discovery traffic experiences loss.
+    Drops count in {!stats}. *)
+
+(** {2 Topology} *)
 
 val add_lan : t -> name:string -> lan
 val lan_name : lan -> string
 val set_uplink : lan -> lan option -> unit
 (** Datagrams that miss in a LAN are retried in its uplink (transitively). *)
+
+val partition : t -> lan -> lan -> unit
+(** Sever routing across the (symmetric) LAN pair: unicast resolution
+    refuses to cross that edge until {!heal}.  Idempotent. *)
+
+val heal : t -> lan -> lan -> unit
+val partitioned : t -> lan -> lan -> bool
 
 val add_host : t -> name:string -> host
 val host_name : host -> string
@@ -57,8 +103,10 @@ val on_udp : host -> port:int -> (ctx -> datagram -> unit) -> unit
 val send :
   t -> from:host -> ?sport:int -> dst:Ip.t -> dport:int -> string -> unit
 (** Queue a datagram.  Unicast resolves within the sender's LAN and then
-    its uplink chain; {!Ip.broadcast} reaches every other host of the
-    sender's LAN.  Unroutable datagrams are counted as drops. *)
+    its uplink chain (never crossing a partitioned edge);
+    {!Ip.broadcast} reaches every other host of the sender's LAN.  Each
+    (datagram, receiver) pair crosses its link's impairment policy;
+    unroutable datagrams and drops are counted per reason in {!stats}. *)
 
 val run : ?until:int -> t -> int
 (** Drive the event loop; returns events processed. *)

@@ -22,7 +22,12 @@ type config = {
   boot_seed : int;
 }
 
-type t = { config : config; proc : Loader.Process.t; mutable alive : bool }
+type t = {
+  config : config;
+  mutable proc : Loader.Process.t;
+  mutable alive : bool;
+  mutable restarts : int;
+}
 
 let build_spec config =
   match config.arch with
@@ -31,14 +36,17 @@ let build_spec config =
   | Loader.Arch.Arm ->
       Program_arm.spec ~patched:config.patched ~profile:config.profile
 
+let boot config ~restarts =
+  Loader.Process.boot (build_spec config) ~profile:config.profile
+    ~seed:(config.boot_seed + (restarts * 7919))
+
 let create config =
-  {
-    config;
-    proc =
-      Loader.Process.boot (build_spec config) ~profile:config.profile
-        ~seed:config.boot_seed;
-    alive = true;
-  }
+  { config; proc = boot config ~restarts:0; alive = true; restarts = 0 }
+
+let restart t =
+  t.restarts <- t.restarts + 1;
+  t.proc <- boot t.config ~restarts:t.restarts;
+  t.alive <- true
 
 let process t = t.proc
 let alive t = t.alive

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Connman Core Defense Dns Dnsmasq List Loader Netsim Option Printf String

@@ -1,1 +1,1 @@
-test/test_netsim.ml: Alcotest Bytes Char Dns Gc List Netsim Option QCheck QCheck_alcotest Result String Weak
+test/test_netsim.ml: Alcotest Array Bytes Char Dns Gc List Netsim Option Printf QCheck QCheck_alcotest Result String Weak

@@ -276,15 +276,17 @@ let prop_wilson_contains_phat =
 
 let test_lossy_network_retry_succeeds () =
   let w, ap = home_setup () in
-  W.set_loss w 0.5;
   let device =
     Device.create w ~name:"tv"
       ~config:{ Dnsproxy.default_config with Dnsproxy.arch = Loader.Arch.Arm }
   in
   ignore (Device.join_wifi device [ ap ] ~ssid:"HomeWiFi");
   ignore (W.run w);
-  (* DHCP is broadcast (lossless here); the lookup may have been lost.
-     Retry until a response lands. *)
+  (* Impair the link only after DHCP has configured the device
+     (broadcasts honour the loss rate too, so a lossy join could leave
+     the device unconfigured).  Individual lookups may be lost; retry
+     until a response lands. *)
+  W.set_loss w 0.5;
   Device.lookup_with_retry device "ipv4.connman.net" ~retries:30
     ~timeout_us:10_000;
   ignore (W.run w);
@@ -295,6 +297,13 @@ let test_lossy_network_retry_succeeds () =
         (match other with
         | Some d -> Format.asprintf "%a" Dnsproxy.pp_disposition d
         | None -> "nothing"));
+  (* A few more lookups so the loss rate provably bites: one exchange
+     can slip through unscathed, a dozen packets at 50% cannot. *)
+  for _ = 1 to 5 do
+    Device.lookup_with_retry device "ipv4.connman.net" ~retries:30
+      ~timeout_us:10_000;
+    ignore (W.run w)
+  done;
   check_bool "some packets were lost" true ((W.stats w).W.dropped > 0)
 
 let test_total_loss_never_delivers () =

@@ -188,6 +188,158 @@ let test_attach_switches_lan () =
   check_bool "joined lan2" true
     (List.exists (fun h -> W.host_name h = "a") (W.hosts_of lan2))
 
+(* --- faults --- *)
+
+module F = Netsim.Faults
+
+let drop_all = { F.default with F.drop = 1.0 }
+
+(* Regression: the seed implementation rolled the loss probability for
+   unicast only — broadcast datagrams (DHCP discovery and friends) were
+   immune to [set_loss]. *)
+let test_broadcast_respects_loss () =
+  let w, _, a, b = two_hosts () in
+  W.set_loss w 1.0;
+  let hits = ref 0 in
+  W.on_udp b ~port:68 (fun _ _ -> incr hits);
+  W.send w ~from:a ~dst:Ip.broadcast ~dport:68 "announce";
+  ignore (W.run w);
+  check_int "broadcast lost" 0 !hits;
+  check_int "counted as fault drop" 1 (W.stats w).W.dropped_fault;
+  check_int "total dropped" 1 (W.stats w).W.dropped
+
+let test_link_policy_overrides () =
+  let w, lan, a, b = two_hosts () in
+  (* LAN-wide loss, but the a–b link has an explicit clean policy: the
+     most specific policy wins. *)
+  W.set_lan_policy w lan drop_all;
+  W.set_link_policy w a b F.default;
+  let hits = ref 0 in
+  W.on_udp b ~port:9 (fun _ _ -> incr hits);
+  W.send w ~from:a ~dst:(Ip.of_string "10.0.0.2") ~dport:9 "x";
+  ignore (W.run w);
+  check_int "link policy wins over lan" 1 !hits;
+  (* Clearing the link policy exposes the lossy LAN policy again. *)
+  W.clear_link_policy w a b;
+  W.send w ~from:a ~dst:(Ip.of_string "10.0.0.2") ~dport:9 "y";
+  ignore (W.run w);
+  check_int "lan policy applies after clear" 1 !hits;
+  check_int "fault drop counted" 1 (W.stats w).W.dropped_fault;
+  W.clear_lan_policy w lan;
+  W.send w ~from:a ~dst:(Ip.of_string "10.0.0.2") ~dport:9 "z";
+  ignore (W.run w);
+  check_int "default policy after clearing lan" 2 !hits
+
+let test_corruption_flips_bytes () =
+  let w, _, a, b = two_hosts () in
+  W.set_link_policy w a b { F.default with F.corrupt = 1.0 };
+  let got = ref None in
+  W.on_udp b ~port:9 (fun _ d -> got := Some d.W.payload);
+  W.send w ~from:a ~dst:(Ip.of_string "10.0.0.2") ~dport:9 "payload";
+  ignore (W.run w);
+  (match !got with
+  | None -> Alcotest.fail "corrupted datagram still delivers"
+  | Some p ->
+      check_int "same length" 7 (String.length p);
+      check_bool "at least one byte differs" true (p <> "payload"));
+  check_int "corruption counted" 1 (W.stats w).W.corrupted
+
+let test_duplication_delivers_twice () =
+  let w, _, a, b = two_hosts () in
+  W.set_link_policy w a b { F.default with F.duplicate = 1.0 };
+  let hits = ref 0 in
+  W.on_udp b ~port:9 (fun _ _ -> incr hits);
+  W.send w ~from:a ~dst:(Ip.of_string "10.0.0.2") ~dport:9 "x";
+  ignore (W.run w);
+  check_int "two copies" 2 !hits;
+  check_int "one duplication event" 1 (W.stats w).W.duplicated;
+  check_int "both count as delivered" 2 (W.stats w).W.delivered
+
+let test_flap_window_drops_then_recovers () =
+  let w, _, a, b = two_hosts () in
+  W.set_link_policy w a b
+    { F.default with F.flaps = [ (0, 10_000_000) ] };
+  let hits = ref 0 in
+  W.on_udp b ~port:9 (fun _ _ -> incr hits);
+  W.send w ~from:a ~dst:(Ip.of_string "10.0.0.2") ~dport:9 "during";
+  Sim.schedule (W.sim w) ~delay:20_000_000 (fun _ ->
+      W.send w ~from:a ~dst:(Ip.of_string "10.0.0.2") ~dport:9 "after");
+  ignore (W.run w);
+  check_int "only post-flap datagram lands" 1 !hits;
+  check_int "flap drop counted" 1 (W.stats w).W.dropped_link
+
+let test_partition_blocks_then_heals () =
+  let w = W.create () in
+  let internet = W.add_lan w ~name:"internet" in
+  let home = W.add_lan w ~name:"home" in
+  W.set_uplink home (Some internet);
+  let server = W.add_host w ~name:"server" in
+  W.set_host_ip server (Some (Ip.of_string "8.8.8.8"));
+  W.attach server internet;
+  let client = W.add_host w ~name:"client" in
+  W.set_host_ip client (Some (Ip.of_string "192.168.1.5"));
+  W.attach client home;
+  let hits = ref 0 in
+  W.on_udp server ~port:53 (fun _ _ -> incr hits);
+  W.partition w home internet;
+  check_bool "partitioned" true (W.partitioned w home internet);
+  W.send w ~from:client ~dst:(Ip.of_string "8.8.8.8") ~dport:53 "q";
+  ignore (W.run w);
+  check_int "no route across partition" 0 !hits;
+  check_int "counted as no-route" 1 (W.stats w).W.no_route;
+  W.heal w home internet;
+  check_bool "healed" false (W.partitioned w home internet);
+  W.send w ~from:client ~dst:(Ip.of_string "8.8.8.8") ~dport:53 "q2";
+  ignore (W.run w);
+  check_int "route restored" 1 !hits
+
+(* The route search over a deeper multi-LAN topology: a chain of uplinks
+   with side branches, exercising the queue-based BFS (the seed
+   implementation's list-append search was quadratic and is gone). *)
+let test_multi_lan_routing () =
+  let w = W.create () in
+  let lans =
+    Array.init 8 (fun i -> W.add_lan w ~name:(Printf.sprintf "lan%d" i))
+  in
+  for i = 0 to 6 do
+    W.set_uplink lans.(i) (Some lans.(i + 1))
+  done;
+  (* Side branches that dead-end, so the search must skip past them. *)
+  for i = 0 to 3 do
+    let stub = W.add_lan w ~name:(Printf.sprintf "stub%d" i) in
+    W.set_uplink stub (Some lans.(i))
+  done;
+  let src = W.add_host w ~name:"src" in
+  W.set_host_ip src (Some (Ip.of_string "10.0.0.1"));
+  W.attach src lans.(0);
+  let dst = W.add_host w ~name:"dst" in
+  W.set_host_ip dst (Some (Ip.of_string "10.0.7.1"));
+  W.attach dst lans.(7);
+  let hits = ref 0 in
+  W.on_udp dst ~port:9 (fun _ _ -> incr hits);
+  W.send w ~from:src ~dst:(Ip.of_string "10.0.7.1") ~dport:9 "deep";
+  ignore (W.run w);
+  check_int "routed across 8 lans" 1 !hits;
+  (* Severing a middle edge cuts the only path. *)
+  W.partition w lans.(3) lans.(4);
+  W.send w ~from:src ~dst:(Ip.of_string "10.0.7.1") ~dport:9 "cut";
+  ignore (W.run w);
+  check_int "partition mid-chain blocks" 1 !hits
+
+let test_policy_validation () =
+  Alcotest.check_raises "drop out of range"
+    (Invalid_argument "Faults.validate: drop must be in [0, 1]")
+    (fun () -> ignore (F.validate { F.default with F.drop = 1.5 }));
+  Alcotest.check_raises "bad uniform latency"
+    (Invalid_argument "Faults.validate: latency range must satisfy 0 <= lo < hi")
+    (fun () ->
+      ignore (F.validate { F.default with F.latency = F.Uniform { lo = 9; hi = 9 } }));
+  check_bool "set_loss validates" true
+    (try
+       W.set_loss (W.create ()) 2.0;
+       false
+     with Invalid_argument _ -> true)
+
 (* --- wifi --- *)
 
 let test_wifi_prefers_strongest () =
@@ -446,6 +598,23 @@ let () =
             test_broadcast_reaches_lan_only;
           Alcotest.test_case "uplink routing" `Quick test_uplink_routing;
           Alcotest.test_case "attach switches lan" `Quick test_attach_switches_lan;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "broadcast respects loss" `Quick
+            test_broadcast_respects_loss;
+          Alcotest.test_case "link policy overrides" `Quick
+            test_link_policy_overrides;
+          Alcotest.test_case "corruption flips bytes" `Quick
+            test_corruption_flips_bytes;
+          Alcotest.test_case "duplication delivers twice" `Quick
+            test_duplication_delivers_twice;
+          Alcotest.test_case "flap window" `Quick
+            test_flap_window_drops_then_recovers;
+          Alcotest.test_case "partition blocks then heals" `Quick
+            test_partition_blocks_then_heals;
+          Alcotest.test_case "multi-lan routing" `Quick test_multi_lan_routing;
+          Alcotest.test_case "policy validation" `Quick test_policy_validation;
         ] );
       ( "wifi",
         [

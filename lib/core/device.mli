@@ -42,7 +42,19 @@ val lookup : t -> string -> unit
 val lookup_with_retry : t -> string -> retries:int -> timeout_us:int -> unit
 (** Like {!lookup}, retransmitting up to [retries] times whenever no
     response has arrived within [timeout_us] (resolver-client behaviour
-    on lossy networks). *)
+    on lossy networks).  Shorthand for {!lookup_with_policy} with
+    [Supervisor.Retry.fixed ~attempts:(retries + 1) ~timeout_us]. *)
+
+val lookup_with_policy : t -> string -> Supervisor.Retry.policy -> unit
+(** Like {!lookup}, retransmitting under an arbitrary
+    {!Supervisor.Retry.policy} (e.g. exponential client backoff). *)
+
+val supervise : ?policy:Supervisor.policy -> t -> Supervisor.t
+(** Put the device's connmand under a {!Supervisor}: every crash
+    disposition the device observes notifies the supervisor, which
+    restarts the daemon with backoff (logging into the device event
+    log) or gives up on a crash loop.  Returns the supervisor for
+    inspection. *)
 
 val last_disposition : t -> Connman.Dnsproxy.disposition option
 (** What happened to the most recent DNS response the daemon processed. *)

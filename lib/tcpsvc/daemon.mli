@@ -31,3 +31,8 @@ val frame : tag:string -> string
 (** Build a wire message carrying [tag] verbatim. *)
 
 val handle_frame : t -> string -> disposition
+
+val restart : t -> unit
+(** Reboot the daemon after a crash (fresh address-space draw derived
+    from the boot seed and restart count, as a supervisor restart would
+    give). *)
