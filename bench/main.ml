@@ -384,6 +384,59 @@ let run_benchmarks () =
     all_tests
 
 (* ------------------------------------------------------------------ *)
+(* Shared bench JSON schema ("bench-suite-v1")                         *)
+(*                                                                     *)
+(* Every BENCH_*.json file is the same shape: run metadata (suite,     *)
+(* smoke flag, extra suite-specific keys) plus a flat result list of   *)
+(* {name, unit, value, ...extras}.  Downstream tooling reads one       *)
+(* schema instead of three.                                            *)
+(* ------------------------------------------------------------------ *)
+
+type bench_row = {
+  br_name : string;
+  br_unit : string;  (** "ns_per_op", "ns_per_run", "ratio", ... *)
+  br_value : float;
+  br_extra : (string * float) list;  (** e.g. ops_per_sec, r_square *)
+}
+
+let bench_row ?(extra = []) name unit value =
+  { br_name = name; br_unit = unit; br_value = value; br_extra = extra }
+
+let write_bench_json ~suite ~smoke ?(meta = []) ~out rows =
+  let safe f = if Float.is_nan f then 0.0 else f in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"bench-suite-v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"suite\": %S,\n" suite);
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %S: %s,\n" k v))
+    meta;
+  Buffer.add_string buf "  \"results\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": %S, \"unit\": %S, \"value\": %.4f"
+           r.br_name r.br_unit (safe r.br_value));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf (Printf.sprintf ", %S: %.4f" k (safe v)))
+        r.br_extra;
+      Buffer.add_string buf
+        (Printf.sprintf "}%s\n" (if i < n - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let json = Buffer.contents buf in
+  (match Telemetry.Json.validate json with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "%s: emitted invalid JSON (%s)" out e));
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Format.printf "@.wrote %s@." out
+
+(* ------------------------------------------------------------------ *)
 (* Cache perf trajectory: BENCH_cache.json                             *)
 (*                                                                     *)
 (*   dune exec bench/main.exe -- cache            (full measurement)   *)
@@ -412,28 +465,14 @@ let run_cache_json ~smoke ~out () =
           (Test.elements test))
       cache_tests
   in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"bench-cache-v1\",\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"smoke\": %b,\n  \"results\": [\n" smoke);
-  List.iteri
-    (fun i (name, nanos, r2) ->
-      let safe f = if Float.is_nan f then 0.0 else f in
-      let nanos = safe nanos in
-      let ops = if nanos > 0.0 then 1e9 /. nanos else 0.0 in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"name\": %S, \"ns_per_op\": %.2f, \"ops_per_sec\": %.1f, \
-            \"r_square\": %.4f}%s\n"
-           name nanos ops (safe r2)
-           (if i < List.length rows - 1 then "," else "")))
-    rows;
-  Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out out in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Format.printf "@.wrote %s@." out
+  write_bench_json ~suite:"cache" ~smoke ~out
+    (List.map
+       (fun (name, nanos, r2) ->
+         let nanos = if Float.is_nan nanos then 0.0 else nanos in
+         let ops = if nanos > 0.0 then 1e9 /. nanos else 0.0 in
+         bench_row name "ns_per_op" nanos
+           ~extra:[ ("ops_per_sec", ops); ("r_square", r2) ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* CPU interpreter benches: BENCH_cpu.json                             *)
@@ -768,33 +807,30 @@ let run_cpu_json ~smoke ~out () =
         (w, c_ns, c_r2, c_rate, u_ns, u_r2, u_rate, speedup))
       (cpu_workloads ~iters)
   in
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"bench-cpu-v1\",\n";
-  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" smoke);
-  Buffer.add_string buf (Printf.sprintf "  \"iters\": %d,\n" iters);
-  Buffer.add_string buf "  \"results\": [\n";
-  let n = List.length rows in
-  List.iteri
-    (fun i (w, c_ns, c_r2, c_rate, u_ns, u_r2, u_rate, speedup) ->
-      let safe f = if Float.is_nan f then 0.0 else f in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"name\": %S, \"steps_per_run\": %d,\n\
-           \     \"cached\": {\"ns_per_run\": %.1f, \"steps_per_sec\": %.0f, \
-            \"r_square\": %.4f},\n\
-           \     \"uncached\": {\"ns_per_run\": %.1f, \"steps_per_sec\": \
-            %.0f, \"r_square\": %.4f},\n\
-           \     \"speedup\": %.3f}%s\n"
-           w.cw_name w.cw_steps (safe c_ns) (safe c_rate) (safe c_r2)
-           (safe u_ns) (safe u_rate) (safe u_r2) (safe speedup)
-           (if i < n - 1 then "," else "")))
-    rows;
-  Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out out in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Format.printf "@.wrote %s@." out
+  (* Flattened into the shared schema: each workload contributes a
+     /cached and /uncached timing row plus a /speedup ratio row. *)
+  write_bench_json ~suite:"cpu" ~smoke
+    ~meta:[ ("iters", string_of_int iters) ]
+    ~out
+    (List.concat_map
+       (fun (w, c_ns, c_r2, c_rate, u_ns, u_r2, u_rate, speedup) ->
+         let steps = float_of_int w.cw_steps in
+         [
+           bench_row (w.cw_name ^ "/cached") "ns_per_run" c_ns
+             ~extra:
+               [
+                 ("steps_per_run", steps); ("steps_per_sec", c_rate);
+                 ("r_square", c_r2);
+               ];
+           bench_row (w.cw_name ^ "/uncached") "ns_per_run" u_ns
+             ~extra:
+               [
+                 ("steps_per_run", steps); ("steps_per_sec", u_rate);
+                 ("r_square", u_r2);
+               ];
+           bench_row (w.cw_name ^ "/speedup") "ratio" speedup;
+         ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* Fault-injection path benches: BENCH_faults.json                     *)
@@ -908,28 +944,14 @@ let run_faults_json ~smoke ~out () =
         (name, nanos, r2))
       workloads
   in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"bench-faults-v1\",\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"smoke\": %b,\n  \"results\": [\n" smoke);
-  List.iteri
-    (fun i (name, nanos, r2) ->
-      let safe f = if Float.is_nan f then 0.0 else f in
-      let nanos = safe nanos in
-      let ops = if nanos > 0.0 then 1e9 /. nanos else 0.0 in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"name\": %S, \"ns_per_op\": %.2f, \"ops_per_sec\": %.1f, \
-            \"r_square\": %.4f}%s\n"
-           name nanos ops (safe r2)
-           (if i < List.length rows - 1 then "," else "")))
-    rows;
-  Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out out in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Format.printf "@.wrote %s@." out
+  write_bench_json ~suite:"faults" ~smoke ~out
+    (List.map
+       (fun (name, nanos, r2) ->
+         let nanos = if Float.is_nan nanos then 0.0 else nanos in
+         let ops = if nanos > 0.0 then 1e9 /. nanos else 0.0 in
+         bench_row name "ns_per_op" nanos
+           ~extra:[ ("ops_per_sec", ops); ("r_square", r2) ])
+       rows)
 
 (* Throughput context: instructions retired per benign parse — and the
    §IV concern made quantitative: what each defense costs the device on
@@ -983,7 +1005,15 @@ let () =
     go argv
   in
   let smoke = List.mem "--smoke" argv in
-  if List.mem "cache" argv then
+  if List.mem "all" argv then begin
+    (* Every JSON suite in one run; --out is a directory prefix here. *)
+    let dir = out_of "." argv in
+    let path name = Filename.concat dir name in
+    run_cache_json ~smoke ~out:(path "BENCH_cache.json") ();
+    run_cpu_json ~smoke ~out:(path "BENCH_cpu.json") ();
+    run_faults_json ~smoke ~out:(path "BENCH_faults.json") ()
+  end
+  else if List.mem "cache" argv then
     run_cache_json ~smoke ~out:(out_of "BENCH_cache.json" argv) ()
   else if List.mem "cpu" argv then
     run_cpu_json ~smoke ~out:(out_of "BENCH_cpu.json" argv) ()

@@ -6,7 +6,11 @@
      pineapple    — narrate the §III-D remote scenario
      gadgets      — list gadgets in the Connman image (ropper/ROPgadget)
      firmware     — print the firmware survey catalogue
-     layout       — print a booted process's address-space layout *)
+     layout       — print a booted process's address-space layout
+     trace        — replay a matrix cell with the cross-layer tracer on
+     profile      — instruction-level profile of a matrix cell's parses
+     metrics      — cache stats + the Prometheus-style metrics registry
+                    (cache-stats is its deprecated alias) *)
 
 open Cmdliner
 
@@ -191,59 +195,139 @@ let disasm_cmd =
     (Cmd.info "disasm" ~doc:"Disassemble a function of the Connman image.")
     Term.(const run $ seed_arg $ arch_arg $ fn_arg)
 
+(* Shared by trace/profile/metrics: which exploit-matrix cell to replay
+   and under which chaos fault schedule. *)
+let cell_arg =
+  Arg.(
+    value & opt string "E3"
+    & info [ "cell" ] ~doc:"Exploit-matrix cell (DoS, E1..E6).")
+
+let schedule_arg =
+  Arg.(
+    value & opt string "clean"
+    & info [ "schedule" ]
+        ~doc:
+          "Named chaos fault schedule (clean, loss-30, loss-60, loss-90, \
+           dup-reorder, corrupt-20, flappy).")
+
+let pp_cell_summary seed (row : Core.Experiments.chaos_row) =
+  Format.printf
+    "cell %s under %s (seed %d): compromised=%b crashes=%d restarts=%d \
+     availability=%.2f@."
+    row.Core.Experiments.cell row.Core.Experiments.schedule seed
+    row.Core.Experiments.compromised row.Core.Experiments.crashes
+    row.Core.Experiments.restarts row.Core.Experiments.availability
+
 let trace_cmd =
-  let run seed arch profile limit =
-    let config =
-      {
-        Connman.Dnsproxy.version = Connman.Version.v1_34;
-        arch;
-        profile;
-        boot_seed = seed;
-        diversity_seed = None;
-      }
-    in
-    let d = Connman.Dnsproxy.create config in
-    let analysis =
-      Connman.Dnsproxy.process
-        (Connman.Dnsproxy.create { config with Connman.Dnsproxy.boot_seed = seed + 5000 })
-    in
-    match Exploit.Autogen.generate ~analysis:(Exploit.Target.connman analysis) () with
+  let run seed cell schedule buffer out check limit =
+    let trace = Telemetry.Trace.create ~capacity:buffer () in
+    match Core.Experiments.run_instrumented_cell ~seed ~schedule ~trace ~cell () with
     | Error e ->
-        Format.eprintf "generation failed: %s@." e;
+        Format.eprintf "%s@." e;
         1
-    | Ok (payload, raw_name) ->
-        let query =
-          Connman.Dnsproxy.make_query d (Dns.Name.of_string "ipv4.connman.net")
-        in
-        let wire = Exploit.Autogen.response_for ~query ~raw_name in
-        let proc = Connman.Dnsproxy.process d in
-        let buf = proc.Loader.Process.layout.Loader.Layout.heap_base in
-        Memsim.Memory.write_bytes proc.Loader.Process.mem buf wire;
-        let entry = Loader.Process.symbol proc "parse_response" in
-        let trace =
-          Exploit.Debugger.trace_call proc ~entry ~args:[ buf; String.length wire ]
-        in
-        Format.printf "strategy: %s, %d instructions, outcome: %s@.@."
-          payload.Exploit.Payload.strategy
-          (List.length trace.Exploit.Debugger.pcs)
-          (Machine.Outcome.to_string trace.Exploit.Debugger.outcome);
-        let pcs = trace.Exploit.Debugger.pcs in
-        let n = List.length pcs in
-        List.iteri
-          (fun i pc ->
-            if i < limit / 2 || i >= n - (limit / 2) then
-              Format.printf "%6d  %s@." i (Exploit.Debugger.symbolize proc pc)
-            else if i = limit / 2 then Format.printf "  ...@.")
-          pcs;
-        0
+    | Ok (row, _symbolize) ->
+        pp_cell_summary seed row;
+        Format.printf "%d events emitted, %d retained, %d dropped@."
+          (Telemetry.Trace.emitted trace)
+          (Telemetry.Trace.length trace)
+          (Telemetry.Trace.dropped trace);
+        (match out with
+        | Some path ->
+            let json = Telemetry.Trace.to_chrome_json trace in
+            let oc = open_out path in
+            output_string oc json;
+            close_out oc;
+            Format.printf "wrote %s (%d bytes; load in ui.perfetto.dev)@." path
+              (String.length json)
+        | None ->
+            let evs = Telemetry.Trace.events trace in
+            let n = List.length evs in
+            List.iteri
+              (fun i e ->
+                if i < limit / 2 || i >= n - (limit / 2) then
+                  Format.printf "%a@." Telemetry.Trace.pp_event e
+                else if i = limit / 2 then
+                  Format.printf "  ... (%d events elided)@." (n - limit))
+              evs);
+        if check then
+          match Telemetry.Json.validate (Telemetry.Trace.to_chrome_json trace) with
+          | Ok () ->
+              Format.printf "trace json: well-formed@.";
+              0
+          | Error e ->
+              Format.eprintf "trace json: INVALID (%s)@." e;
+              1
+        else 0
+  in
+  let buffer_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "buffer" ] ~doc:"Ring-buffer capacity in events.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ]
+          ~doc:"Write Chrome trace-event JSON (Perfetto-loadable) to a file.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Validate the exported JSON; exit 1 if malformed.")
   in
   let limit_arg =
-    Arg.(value & opt int 60 & info [ "limit" ] ~doc:"Trace lines to print.")
+    Arg.(
+      value & opt int 60
+      & info [ "limit" ] ~doc:"Timeline lines to print (head/tail split).")
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Single-step an exploit delivery and print the hijacked control flow.")
-    Term.(const run $ seed_arg $ arch_arg $ profile_arg $ limit_arg)
+       ~doc:
+         "Replay one exploit-matrix cell with the cross-layer tracer attached \
+          (cpu, memory, network, daemon, supervisor on one timeline).")
+    Term.(
+      const run $ seed_arg $ cell_arg $ schedule_arg $ buffer_arg $ out_arg
+      $ check_arg $ limit_arg)
+
+let profile_cmd =
+  let run seed cell schedule top folded =
+    let profiler = Telemetry.Profile.create () in
+    match
+      Core.Experiments.run_instrumented_cell ~seed ~schedule ~profiler ~cell ()
+    with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        1
+    | Ok (row, symbolize) ->
+        pp_cell_summary seed row;
+        Format.printf "@.%a@."
+          (Telemetry.Profile.pp_flat ~top ~symbolize)
+          profiler;
+        (match folded with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Telemetry.Profile.folded profiler ~symbolize ());
+            close_out oc;
+            Format.printf "wrote %s (folded stacks for flamegraph.pl)@." path);
+        0
+  in
+  let top_arg =
+    Arg.(value & opt int 20 & info [ "top" ] ~doc:"Flat-profile rows to print.")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~doc:"Write flamegraph-ready folded stacks to a file.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Replay one exploit-matrix cell with the instruction-level profiler \
+          attached and print a per-symbol flat profile.")
+    Term.(const run $ seed_arg $ cell_arg $ schedule_arg $ top_arg $ folded_arg)
 
 let botnet_cmd =
   let run seed =
@@ -271,8 +355,8 @@ let botnet_cmd =
     (Cmd.info "botnet" ~doc:"Recruit a mixed-firmware fleet over poisoned DNS.")
     Term.(const run $ seed_arg)
 
-let cache_stats_cmd =
-  let run seed queries names capacity shards =
+let metrics_cmd, cache_stats_cmd =
+  let run seed queries names capacity shards cell schedule =
     (* Part 1: a synthetic workload on a standalone sharded cache —
        repeated lookups over a name population, filling on miss, with
        ~1 in 8 names known-absent (negatively cached). *)
@@ -355,7 +439,20 @@ let cache_stats_cmd =
     Format.printf "@.=== connmand dnsproxy cache ===@.@.%a@."
       Dns.Cache.pp_stats
       (Connman.Dnsproxy.cache_stats d);
-    0
+    (* Part 3: everything above plus a whole instrumented chaos cell
+       registered into one metrics registry, exposed Prometheus-style. *)
+    let reg = Telemetry.Metrics.create () in
+    Dns.Cache.register_metrics c reg ~prefix:"synthetic";
+    match Core.Experiments.run_instrumented_cell ~seed ~schedule ~metrics:reg ~cell () with
+    | Error e ->
+        Format.eprintf "%s@." e;
+        1
+    | Ok (row, _) ->
+        Format.printf "@.=== instrumented chaos cell ===@.@.";
+        pp_cell_summary seed row;
+        Format.printf "@.=== metrics (Prometheus text exposition) ===@.@.%s@."
+          (Telemetry.Metrics.expose reg);
+        0
   in
   let queries_arg =
     Arg.(value & opt int 50_000 & info [ "queries" ] ~doc:"Workload size.")
@@ -372,12 +469,28 @@ let cache_stats_cmd =
       & opt (some int) None
       & info [ "shards" ] ~doc:"Shard count (default: derived from capacity).")
   in
-  Cmd.v
-    (Cmd.info "cache-stats"
-       ~doc:"Dump per-shard and aggregate DNS-cache statistics.")
+  let term =
     Term.(
       const run $ seed_arg $ queries_arg $ names_arg $ capacity_arg
-      $ shards_arg)
+      $ shards_arg $ cell_arg $ schedule_arg)
+  in
+  let metrics =
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:
+           "Dump DNS-cache statistics and expose the unified metrics registry \
+            (caches, netsim packet fates, daemon, supervisor) in Prometheus \
+            text format.")
+      term
+  in
+  let deprecated =
+    Cmd.v
+      (Cmd.info "cache-stats"
+         ~doc:
+           "Deprecated alias of $(b,metrics) (kept for scripts; same output).")
+      term
+  in
+  (metrics, deprecated)
 
 let chaos_cmd =
   let run seed smoke output =
@@ -464,7 +577,9 @@ let () =
             layout_cmd;
             disasm_cmd;
             trace_cmd;
+            profile_cmd;
             botnet_cmd;
+            metrics_cmd;
             cache_stats_cmd;
             chaos_cmd;
             report_cmd;

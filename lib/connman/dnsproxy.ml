@@ -42,7 +42,18 @@ type t = {
   pending : (int, Dns.Packet.question) Hashtbl.t;
   cache : Dns.Cache.t;
   mutable clock : int;  (* logical seconds, advanced by [tick] *)
+  mutable telemetry : Telemetry.Trace.t option;
+  mutable profiler : Telemetry.Profile.t option;
+  mutable icache_hits : int;  (* across parses and restarts *)
+  mutable icache_misses : int;
 }
+
+let track = "connmand"
+
+let trace_event t ?dur ?ts name args =
+  match t.telemetry with
+  | None -> ()
+  | Some tr -> Telemetry.Trace.emit tr ?ts ?dur ~cat:"daemon" ~track name ~args
 
 let build_spec config =
   match config.arch with
@@ -71,6 +82,10 @@ let create ?cache_capacity config =
     pending = Hashtbl.create 8;
     cache = Dns.Cache.create ?capacity:cache_capacity ();
     clock = 0;
+    telemetry = None;
+    profiler = None;
+    icache_hits = 0;
+    icache_misses = 0;
   }
 
 let config t = t.config
@@ -79,17 +94,53 @@ let process t = t.proc
 let alive t = t.alive
 let last_steps t = t.steps
 
+(* Attaching mid-run means the boot-time [map] events predate the trace;
+   re-emit the current region snapshot so the timeline starts with a
+   complete memory picture. *)
+let snapshot_regions t =
+  match t.telemetry with
+  | None -> ()
+  | Some tr ->
+      List.iter
+        (fun (reg : Mem.region) ->
+          Telemetry.Trace.emit tr ~cat:"mem" ~track:"memory" "region"
+            ~args:
+              [
+                ("name", Telemetry.Trace.S reg.Mem.name);
+                ("base", Telemetry.Trace.I reg.Mem.base);
+                ("size", Telemetry.Trace.I reg.Mem.size);
+                ("proc", Telemetry.Trace.S track);
+              ])
+        (Mem.regions t.proc.Loader.Process.mem)
+
+let set_trace t tr =
+  t.telemetry <- tr;
+  Mem.set_trace t.proc.Loader.Process.mem tr;
+  snapshot_regions t
+
+let set_profiler t p = t.profiler <- p
+
 let restart t =
   t.restarts <- t.restarts + 1;
   t.proc <- boot t.config ~restarts:t.restarts;
   t.alive <- true;
-  Hashtbl.reset t.pending
+  Hashtbl.reset t.pending;
+  (* The new process has a fresh address space: re-attach the sink and
+     re-emit its layout. *)
+  Mem.set_trace t.proc.Loader.Process.mem t.telemetry;
+  trace_event t "restart" [ ("restarts", Telemetry.Trace.I t.restarts) ];
+  snapshot_regions t
 
 let make_query t qname =
   let id = t.next_id land 0xFFFF in
   t.next_id <- t.next_id + 1;
   let q = Dns.Packet.query ~id qname Dns.Packet.A in
   Hashtbl.replace t.pending id (List.hd q.Dns.Packet.questions);
+  trace_event t "query"
+    [
+      ("qname", Telemetry.Trace.S (Dns.Name.to_string qname));
+      ("id", Telemetry.Trace.I id);
+    ];
   q
 
 (* Host-side pre-validation, standing in for the header/flag checks
@@ -167,43 +218,77 @@ let nxdomain_negative t wire =
               true
           | _ -> false)
 
+let disposition_event t = function
+  | Cached n -> trace_event t "cached" [ ("records", Telemetry.Trace.I n) ]
+  | Dropped why -> trace_event t "drop" [ ("reason", Telemetry.Trace.S why) ]
+  | Crashed r ->
+      trace_event t "crashed" [ ("reason", Telemetry.Trace.S (O.to_string r)) ]
+  | Compromised r ->
+      trace_event t "compromised"
+        [ ("reason", Telemetry.Trace.S (O.to_string r)) ]
+  | Blocked r ->
+      trace_event t "blocked" [ ("reason", Telemetry.Trace.S (O.to_string r)) ]
+
 let handle_response t wire =
-  if not t.alive then Dropped "daemon not running"
-  else if nxdomain_negative t wire then Dropped "nxdomain (negative cached)"
-  else
-    match prevalidate t wire with
-    | Error why -> Dropped why
-    | Ok _id ->
-        let proc = t.proc in
-        let buf = rx_buffer_addr proc in
-        let heap_size = proc.Loader.Process.layout.Loader.Layout.heap_size in
-        if String.length wire > heap_size then Dropped "oversized datagram"
-        else begin
-          Mem.write_bytes proc.Loader.Process.mem buf wire;
-          let entry = Loader.Process.symbol proc "parse_response" in
-          let r =
-            Loader.Process.call proc ~fuel:400_000 ~entry
-              ~args:[ buf; String.length wire ]
-          in
-          t.steps <- r.Loader.Process.steps;
-          match r.Loader.Process.outcome with
-          | O.Halted -> Cached (update_cache t wire)
-          | O.Exec _ as reason ->
-              t.alive <- false;
-              Compromised reason
-          | (O.Fault _ | O.Decode_error _ | O.Fuel_exhausted) as reason ->
-              t.alive <- false;
-              Crashed reason
-          | (O.Cfi_violation _ | O.Aborted _) as reason ->
-              t.alive <- false;
-              Blocked reason
-          | (O.Exited _) as reason ->
-              t.alive <- false;
-              Crashed reason
-        end
+  trace_event t "rx-response"
+    [ ("bytes", Telemetry.Trace.I (String.length wire)) ];
+  let d =
+    if not t.alive then Dropped "daemon not running"
+    else if nxdomain_negative t wire then Dropped "nxdomain (negative cached)"
+    else
+      match prevalidate t wire with
+      | Error why -> Dropped why
+      | Ok _id ->
+          let proc = t.proc in
+          let buf = rx_buffer_addr proc in
+          let heap_size = proc.Loader.Process.layout.Loader.Layout.heap_size in
+          if String.length wire > heap_size then Dropped "oversized datagram"
+          else begin
+            Mem.write_bytes proc.Loader.Process.mem buf wire;
+            let entry = Loader.Process.symbol proc "parse_response" in
+            let ts0 =
+              match t.telemetry with
+              | Some tr -> Telemetry.Trace.now tr
+              | None -> 0
+            in
+            let r =
+              Loader.Process.call proc ~fuel:400_000 ?trace:t.telemetry
+                ?profile:t.profiler ~entry
+                ~args:[ buf; String.length wire ]
+            in
+            t.steps <- r.Loader.Process.steps;
+            t.icache_hits <- t.icache_hits + r.Loader.Process.icache_hits;
+            t.icache_misses <- t.icache_misses + r.Loader.Process.icache_misses;
+            trace_event t "parse" ~ts:ts0 ~dur:r.Loader.Process.steps
+              [ ("steps", Telemetry.Trace.I r.Loader.Process.steps) ];
+            match r.Loader.Process.outcome with
+            | O.Halted -> Cached (update_cache t wire)
+            | O.Exec _ as reason ->
+                t.alive <- false;
+                Compromised reason
+            | (O.Fault _ | O.Decode_error _ | O.Fuel_exhausted) as reason ->
+                t.alive <- false;
+                Crashed reason
+            | (O.Cfi_violation _ | O.Aborted _) as reason ->
+                t.alive <- false;
+                Blocked reason
+            | (O.Exited _) as reason ->
+                t.alive <- false;
+                Crashed reason
+          end
+  in
+  disposition_event t d;
+  d
 
 let cache_lookup t qname =
-  Dns.Cache.lookup t.cache ~now:t.clock (Dns.Name.to_string qname)
+  let r = Dns.Cache.lookup t.cache ~now:t.clock (Dns.Name.to_string qname) in
+  (match t.telemetry with
+  | None -> ()
+  | Some _ ->
+      trace_event t
+        (match r with Some _ -> "cache-hit" | None -> "cache-miss")
+        [ ("qname", Telemetry.Trace.S (Dns.Name.to_string qname)) ]);
+  r
 
 let cache_find t qname =
   Dns.Cache.find t.cache ~now:t.clock (Dns.Name.to_string qname)
@@ -211,3 +296,22 @@ let cache_find t qname =
 let cache t = t.cache
 let cache_stats t = Dns.Cache.stats t.cache
 let tick t seconds = t.clock <- t.clock + max 0 seconds
+
+let register_metrics t reg =
+  let labels = [ ("daemon", track) ] in
+  Telemetry.Metrics.probe reg ~labels ~kind:`Counter
+    ~help:"daemon restarts after a crash" "daemon_restarts_total" (fun () ->
+      float_of_int t.restarts);
+  Telemetry.Metrics.probe reg ~labels ~kind:`Gauge
+    ~help:"1 if the daemon is accepting responses" "daemon_alive" (fun () ->
+      if t.alive then 1.0 else 0.0);
+  Telemetry.Metrics.probe reg ~labels ~kind:`Gauge
+    ~help:"instructions retired by the most recent parse"
+    "daemon_parse_steps" (fun () -> float_of_int t.steps);
+  Telemetry.Metrics.probe reg ~labels ~kind:`Counter
+    ~help:"decoded-instruction cache hits across parses"
+    "daemon_icache_hits_total" (fun () -> float_of_int t.icache_hits);
+  Telemetry.Metrics.probe reg ~labels ~kind:`Counter
+    ~help:"decoded-instruction cache misses across parses"
+    "daemon_icache_misses_total" (fun () -> float_of_int t.icache_misses);
+  Dns.Cache.register_metrics t.cache reg ~prefix:track

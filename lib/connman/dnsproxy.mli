@@ -79,6 +79,21 @@ val tick : t -> int -> unit
 val last_steps : t -> int
 (** Instructions retired by the most recent machine-level parse. *)
 
+val set_trace : t -> Telemetry.Trace.t option -> unit
+(** Attach a telemetry sink: daemon lifecycle events (query issue,
+    response receipt, the machine-level parse as a duration span, the
+    disposition, restarts) under category ["daemon"] track ["connmand"],
+    plus the process memory's fault/mapping events (the current region
+    snapshot is re-emitted on attach and after each {!restart}, since
+    boot-time [map] events predate the sink). *)
+
+val set_profiler : t -> Telemetry.Profile.t option -> unit
+(** Record every pc the parse retires into this profiler. *)
+
+val register_metrics : t -> Telemetry.Metrics.t -> unit
+(** Register [daemon_*] probes (labelled [{daemon="connmand"}]) and the
+    DNS cache's [dns_cache_*] probes into the registry. *)
+
 val restart : t -> unit
 (** Reboot the daemon after a crash (fresh ASLR draw derived from the
     boot seed and restart count, as a supervisor restart would give). *)

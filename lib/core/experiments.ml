@@ -544,8 +544,11 @@ let count_cached device =
        (Device.dispositions device))
 
 (* One cell × one schedule: a victim and a malicious resolver alone on an
-   impaired LAN, connmand under supervision. *)
-let run_chaos_cell ~seed (cell, arch, profile, kind) (sched_name, policy) =
+   impaired LAN, connmand under supervision.  [instrument] runs once the
+   world, device, and supervisor exist but before any traffic — the
+   telemetry layer's attach point. *)
+let run_chaos_cell ?(instrument = fun _ _ _ -> ()) ~seed
+    (cell, arch, profile, kind) (sched_name, policy) =
   let world = W.create ~seed () in
   let lan = W.add_lan world ~name:"venue" in
   W.set_lan_policy world lan policy;
@@ -562,6 +565,7 @@ let run_chaos_cell ~seed (cell, arch, profile, kind) (sched_name, policy) =
   W.set_host_ip (Device.host device) (Some (Ip.of_string "10.9.0.100"));
   W.set_host_dns (Device.host device) (Some attacker_ip);
   let sup = Device.supervise device in
+  instrument world device sup;
   let attack_response =
     match kind with
     | `Dos ->
@@ -638,6 +642,48 @@ let run_chaos_cell ~seed (cell, arch, profile, kind) (sched_name, policy) =
     duplicated = st.W.duplicated;
     reordered = st.W.reordered;
   }
+
+(* A chaos cell with the telemetry layer attached: trace sinks on the
+   world, the daemon (and through it the process memory and the traced
+   CPU), and the supervisor; optional profiler on the parse; optional
+   metrics registry over all three.  Returns the row plus a symbolizer
+   bound to the daemon's current process, for rendering the profile. *)
+let run_instrumented_cell ?(seed = 1) ?(schedule = "clean") ?trace ?profiler
+    ?metrics ~cell () =
+  match
+    ( List.find_opt (fun (id, _, _, _) -> id = cell) chaos_cells,
+      List.assoc_opt schedule chaos_schedules )
+  with
+  | None, _ -> Error (Printf.sprintf "unknown cell %S" cell)
+  | _, None -> Error (Printf.sprintf "unknown schedule %S" schedule)
+  | Some cell_spec, Some policy ->
+      let daemon_ref = ref None in
+      let instrument world device sup =
+        let daemon = Device.daemon device in
+        daemon_ref := Some daemon;
+        (match trace with
+        | None -> ()
+        | Some _ ->
+            W.set_trace world trace;
+            Dnsproxy.set_trace daemon trace;
+            Supervisor.set_trace sup trace);
+        (match profiler with
+        | None -> ()
+        | Some _ -> Dnsproxy.set_profiler daemon profiler);
+        match metrics with
+        | None -> ()
+        | Some reg ->
+            W.register_metrics world reg;
+            Dnsproxy.register_metrics daemon reg;
+            Supervisor.register_metrics sup reg
+      in
+      let row = run_chaos_cell ~instrument ~seed cell_spec (schedule, policy) in
+      let symbolize pc =
+        match !daemon_ref with
+        | None -> Printf.sprintf "0x%08x" pc
+        | Some d -> Exploit.Debugger.symbolize (Dnsproxy.process d) pc
+      in
+      Ok (row, symbolize)
 
 (* Loss sweep: one payload (code injection, no protections — delivery is
    the only variable) fired once per trial across fresh worlds; success

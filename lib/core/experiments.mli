@@ -15,6 +15,30 @@ type row = {
   ok : bool;
 }
 
+val fire :
+  ?strategy:Exploit.Autogen.strategy ->
+  Connman.Dnsproxy.t ->
+  (Exploit.Payload.t * Connman.Dnsproxy.disposition, string) result
+(** Generate a payload against an attacker's analysis boot of the same
+    firmware and fire it at the device over a forged response.  Exposed
+    for the telemetry differential tests: the exploit-matrix outcome of
+    a device must be identical with tracing attached or not. *)
+
+val disposition_word : Connman.Dnsproxy.disposition -> string
+(** The observed-outcome vocabulary of the result rows ("parsed",
+    "dropped", "crash", "root shell", "code execution", "blocked"). *)
+
+val matrix_cells :
+  (string
+  * string
+  * Loader.Arch.t
+  * Defense.Profile.t
+  * Exploit.Autogen.strategy
+  * string)
+  list
+(** The six-exploit matrix: id, paper section, arch, protection profile,
+    payload strategy, description. *)
+
 val e0_dos : ?seed:int -> unit -> row list
 val e1_to_e6_matrix : ?seed:int -> unit -> row list
 val e7_pineapple : ?seed:int -> unit -> row list
@@ -91,6 +115,24 @@ type chaos_report = {
 
 val chaos_schedules : (string * Netsim.Faults.policy) list
 (** The named fault schedules of the full grid. *)
+
+val run_instrumented_cell :
+  ?seed:int ->
+  ?schedule:string ->
+  ?trace:Telemetry.Trace.t ->
+  ?profiler:Telemetry.Profile.t ->
+  ?metrics:Telemetry.Metrics.t ->
+  cell:string ->
+  unit ->
+  (chaos_row * (int -> string), string) result
+(** One chaos cell ("DoS" or "E1".."E6") under one named schedule with
+    the telemetry layer attached end to end: the trace sink on the world
+    (net events), the daemon (daemon/cpu/mem events), and the
+    supervisor; the profiler on the machine-level parse; the metrics
+    registry over all of them.  Deterministic: the same seed with the
+    same sinks emits the same events in the same order.  Returns the
+    chaos row plus a symbolizer over the daemon's current process (for
+    rendering profiles).  [Error] names an unknown cell or schedule. *)
 
 val chaos_campaign : ?seed:int -> ?smoke:bool -> unit -> chaos_report
 (** Run the grid ([smoke] cuts it to 2 cells × 3 schedules and 3 sweep

@@ -80,6 +80,7 @@ type t = {
   mutable next_delay_us : int;
   mutable crash_times : int list;  (* most recent first, pruned to window *)
   mutable log : event list;  (* most recent first *)
+  mutable trace : Telemetry.Trace.t option;
 }
 
 let supervise ?(policy = default_policy) ?name ?(on_event = ignore) sim
@@ -103,6 +104,7 @@ let supervise ?(policy = default_policy) ?name ?(on_event = ignore) sim
     next_delay_us = policy.backoff.initial_us;
     crash_times = [];
     log = [];
+    trace = None;
   }
 
 let name t = t.sup_name
@@ -112,9 +114,24 @@ let crashes t = t.crashes
 let gave_up t = t.st = `Gave_up
 let events t = List.rev t.log
 
+let set_trace t tr = t.trace <- tr
+
 let record t kind =
   let e = { at = Sim.now t.sim; kind } in
   t.log <- e :: t.log;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+      let module Tr = Telemetry.Trace in
+      Tr.set_now tr e.at;
+      let name, args =
+        match kind with
+        | Crash_detected n -> ("crash-detected", [ ("in_window", Tr.I n) ])
+        | Restart_scheduled d -> ("restart-scheduled", [ ("delay_us", Tr.I d) ])
+        | Restarted -> ("restarted", [ ("restarts", Tr.I t.restarts) ])
+        | Gave_up -> ("gave-up", [ ("crashes", Tr.I t.crashes) ])
+      in
+      Tr.emit tr ~ts:e.at ~cat:"supervisor" ~track:t.sup_name name ~args);
   t.on_event e
 
 let jittered_delay t =
@@ -168,6 +185,18 @@ let notify t =
           Sim.schedule t.sim ~delay (do_restart t)
         end
       end
+
+let register_metrics t reg =
+  let labels = [ ("supervisor", t.sup_name) ] in
+  Telemetry.Metrics.probe reg ~labels ~kind:`Counter
+    ~help:"daemon restarts performed" "supervisor_restarts_total" (fun () ->
+      float_of_int t.restarts);
+  Telemetry.Metrics.probe reg ~labels ~kind:`Counter
+    ~help:"crashes detected" "supervisor_crashes_total" (fun () ->
+      float_of_int t.crashes);
+  Telemetry.Metrics.probe reg ~labels ~kind:`Gauge
+    ~help:"1 if the supervisor entered the crash-loop give-up state"
+    "supervisor_gave_up" (fun () -> if gave_up t then 1.0 else 0.0)
 
 let watch t ~every_us ~rounds =
   if every_us <= 0 then invalid_arg "Supervisor.watch: every_us must be positive";

@@ -103,6 +103,16 @@ val gave_up : t -> bool
 val events : t -> event list
 (** Oldest first. *)
 
+val set_trace : t -> Telemetry.Trace.t option -> unit
+(** Attach a telemetry sink: every supervision event (crash detected,
+    restart scheduled/performed, give-up) is also emitted as a
+    ["supervisor"]-category trace event on a track named after this
+    supervisor, stamped with sim time. *)
+
+val register_metrics : t -> Telemetry.Metrics.t -> unit
+(** Register [supervisor_*] probes (restarts, crashes, gave-up state),
+    labelled with this supervisor's name. *)
+
 (** Bounded, backed-off retransmission — the policy type
     {!Device.lookup_with_retry} runs on. *)
 module Retry : sig

@@ -310,3 +310,27 @@ let pp_stats ppf s =
      occ %d"
     s.hits s.misses s.negative_hits s.insertions s.replacements s.evictions
     s.expired_sweeps s.occupancy
+
+let register_metrics t reg ~prefix =
+  let labels = [ ("cache", prefix) ] in
+  let c name help f =
+    Telemetry.Metrics.probe reg ~help ~labels ~kind:`Counter name (fun () ->
+        float_of_int (f (stats t)))
+  in
+  c "dns_cache_hits_total" "positive cache hits" (fun s -> s.hits);
+  c "dns_cache_misses_total" "cache misses" (fun s -> s.misses);
+  c "dns_cache_negative_hits_total" "negative (NXDOMAIN) cache hits"
+    (fun s -> s.negative_hits);
+  c "dns_cache_insertions_total" "entries stored under a new name" (fun s ->
+      s.insertions);
+  c "dns_cache_replacements_total" "entries stored over an existing name"
+    (fun s -> s.replacements);
+  c "dns_cache_evictions_total" "live entries evicted to make room" (fun s ->
+      s.evictions);
+  c "dns_cache_expired_sweeps_total" "expired entries reclaimed by the sweep"
+    (fun s -> s.expired_sweeps);
+  Telemetry.Metrics.probe reg ~help:"entries currently in the tables" ~labels
+    ~kind:`Gauge "dns_cache_occupancy" (fun () ->
+      float_of_int (stats t).occupancy);
+  Telemetry.Metrics.probe reg ~help:"configured entry capacity" ~labels
+    ~kind:`Gauge "dns_cache_capacity" (fun () -> float_of_int (capacity t))

@@ -81,3 +81,9 @@ val shard_stats : t -> stats array
 (** Per-shard counters, index = {!shard_of}. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+val register_metrics : t -> Telemetry.Metrics.t -> prefix:string -> unit
+(** Register pull-probes over {!stats} into the registry as
+    [dns_cache_*] series labelled [{cache="<prefix>"}], so several
+    caches (connmand's, dnsmasq's, a synthetic workload) can share one
+    registry. *)

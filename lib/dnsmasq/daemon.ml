@@ -28,10 +28,22 @@ type t = {
   mutable alive : bool;
   mutable restarts : int;
   mutable next_id : int;
+  mutable steps : int;
   pending : (int, Dns.Packet.question) Hashtbl.t;
   cache : Dns.Cache.t;
   mutable clock : int;  (* logical seconds, advanced by [tick] *)
+  mutable telemetry : Telemetry.Trace.t option;
+  mutable profiler : Telemetry.Profile.t option;
+  mutable icache_hits : int;
+  mutable icache_misses : int;
 }
+
+let track = "dnsmasq"
+
+let trace_event t ?dur ?ts name args =
+  match t.telemetry with
+  | None -> ()
+  | Some tr -> Telemetry.Trace.emit tr ?ts ?dur ~cat:"daemon" ~track name ~args
 
 let build_spec config =
   match config.arch with
@@ -53,16 +65,49 @@ let create ?cache_capacity config =
     alive = true;
     restarts = 0;
     next_id = 0x2000 + (config.boot_seed land 0xFFF);
+    steps = 0;
     pending = Hashtbl.create 8;
     cache = Dns.Cache.create ?capacity:cache_capacity ();
     clock = 0;
+    telemetry = None;
+    profiler = None;
+    icache_hits = 0;
+    icache_misses = 0;
   }
+
+(* As in Connman's proxy: re-emit the region snapshot on attach, since the
+   boot-time [map] events predate the sink. *)
+let snapshot_regions t =
+  match t.telemetry with
+  | None -> ()
+  | Some tr ->
+      List.iter
+        (fun (reg : Mem.region) ->
+          Telemetry.Trace.emit tr ~cat:"mem" ~track:"memory" "region"
+            ~args:
+              [
+                ("name", Telemetry.Trace.S reg.Mem.name);
+                ("base", Telemetry.Trace.I reg.Mem.base);
+                ("size", Telemetry.Trace.I reg.Mem.size);
+                ("proc", Telemetry.Trace.S track);
+              ])
+        (Mem.regions t.proc.Loader.Process.mem)
+
+let set_trace t tr =
+  t.telemetry <- tr;
+  Mem.set_trace t.proc.Loader.Process.mem tr;
+  snapshot_regions t
+
+let set_profiler t p = t.profiler <- p
 
 let restart t =
   t.restarts <- t.restarts + 1;
   t.proc <- boot t.config ~restarts:t.restarts;
   t.alive <- true;
-  Hashtbl.reset t.pending
+  Hashtbl.reset t.pending;
+  Mem.set_trace t.proc.Loader.Process.mem t.telemetry;
+  trace_event t "restart" [ ("restarts", Telemetry.Trace.I t.restarts) ];
+  snapshot_regions t
 
 let process t = t.proc
 let alive t = t.alive
@@ -71,13 +116,25 @@ let cache t = t.cache
 let cache_stats t = Dns.Cache.stats t.cache
 
 let cache_lookup t qname =
-  Dns.Cache.lookup t.cache ~now:t.clock (Dns.Name.to_string qname)
+  let r = Dns.Cache.lookup t.cache ~now:t.clock (Dns.Name.to_string qname) in
+  (match t.telemetry with
+  | None -> ()
+  | Some _ ->
+      trace_event t
+        (match r with Some _ -> "cache-hit" | None -> "cache-miss")
+        [ ("qname", Telemetry.Trace.S (Dns.Name.to_string qname)) ]);
+  r
 
 let make_query t qname =
   let id = t.next_id land 0xFFFF in
   t.next_id <- t.next_id + 1;
   let q = Dns.Packet.query ~id qname Dns.Packet.A in
   Hashtbl.replace t.pending id (List.hd q.Dns.Packet.questions);
+  trace_event t "query"
+    [
+      ("qname", Telemetry.Trace.S (Dns.Name.to_string qname));
+      ("id", Telemetry.Trace.I id);
+    ];
   q
 
 let prevalidate t wire =
@@ -130,38 +187,89 @@ let update_cache t wire =
           | _ -> ())
         msg.Dns.Packet.answers
 
+let disposition_event t = function
+  | Cached n -> trace_event t "cached" [ ("records", Telemetry.Trace.I n) ]
+  | Dropped why -> trace_event t "drop" [ ("reason", Telemetry.Trace.S why) ]
+  | Crashed r ->
+      trace_event t "crashed" [ ("reason", Telemetry.Trace.S (O.to_string r)) ]
+  | Compromised r ->
+      trace_event t "compromised"
+        [ ("reason", Telemetry.Trace.S (O.to_string r)) ]
+  | Blocked r ->
+      trace_event t "blocked" [ ("reason", Telemetry.Trace.S (O.to_string r)) ]
+
 let handle_response t wire =
-  if not t.alive then Dropped "daemon not running"
-  else if nxdomain_negative t wire then Dropped "nxdomain (negative cached)"
-  else
-    match prevalidate t wire with
-    | Error why -> Dropped why
-    | Ok () ->
-        let buf = t.proc.Loader.Process.layout.Loader.Layout.heap_base in
-        if String.length wire > t.proc.Loader.Process.layout.Loader.Layout.heap_size
-        then Dropped "oversized datagram"
-        else begin
-          Mem.write_bytes t.proc.Loader.Process.mem buf wire;
-          let entry = Loader.Process.symbol t.proc "process_reply" in
-          let r =
-            Loader.Process.call t.proc ~fuel:400_000 ~entry
-              ~args:[ buf; String.length wire ]
-          in
-          match r.Loader.Process.outcome with
-          | O.Halted ->
-              update_cache t wire;
-              Cached
-                (match Dns.Packet.decode wire with
-                | Ok m -> List.length m.Dns.Packet.answers
-                | Error _ -> 0)
-          | O.Exec _ as reason ->
-              t.alive <- false;
-              Compromised reason
-          | (O.Fault _ | O.Decode_error _ | O.Fuel_exhausted | O.Exited _) as
-            reason ->
-              t.alive <- false;
-              Crashed reason
-          | (O.Cfi_violation _ | O.Aborted _) as reason ->
-              t.alive <- false;
-              Blocked reason
-        end
+  trace_event t "rx-response"
+    [ ("bytes", Telemetry.Trace.I (String.length wire)) ];
+  let d =
+    if not t.alive then Dropped "daemon not running"
+    else if nxdomain_negative t wire then Dropped "nxdomain (negative cached)"
+    else
+      match prevalidate t wire with
+      | Error why -> Dropped why
+      | Ok () ->
+          let buf = t.proc.Loader.Process.layout.Loader.Layout.heap_base in
+          if
+            String.length wire
+            > t.proc.Loader.Process.layout.Loader.Layout.heap_size
+          then Dropped "oversized datagram"
+          else begin
+            Mem.write_bytes t.proc.Loader.Process.mem buf wire;
+            let entry = Loader.Process.symbol t.proc "process_reply" in
+            let ts0 =
+              match t.telemetry with
+              | Some tr -> Telemetry.Trace.now tr
+              | None -> 0
+            in
+            let r =
+              Loader.Process.call t.proc ~fuel:400_000 ?trace:t.telemetry
+                ?profile:t.profiler ~entry
+                ~args:[ buf; String.length wire ]
+            in
+            t.steps <- r.Loader.Process.steps;
+            t.icache_hits <- t.icache_hits + r.Loader.Process.icache_hits;
+            t.icache_misses <- t.icache_misses + r.Loader.Process.icache_misses;
+            trace_event t "parse" ~ts:ts0 ~dur:r.Loader.Process.steps
+              [ ("steps", Telemetry.Trace.I r.Loader.Process.steps) ];
+            match r.Loader.Process.outcome with
+            | O.Halted ->
+                update_cache t wire;
+                Cached
+                  (match Dns.Packet.decode wire with
+                  | Ok m -> List.length m.Dns.Packet.answers
+                  | Error _ -> 0)
+            | O.Exec _ as reason ->
+                t.alive <- false;
+                Compromised reason
+            | (O.Fault _ | O.Decode_error _ | O.Fuel_exhausted | O.Exited _) as
+              reason ->
+                t.alive <- false;
+                Crashed reason
+            | (O.Cfi_violation _ | O.Aborted _) as reason ->
+                t.alive <- false;
+                Blocked reason
+          end
+  in
+  disposition_event t d;
+  d
+
+let last_steps t = t.steps
+
+let register_metrics t reg =
+  let labels = [ ("daemon", track) ] in
+  Telemetry.Metrics.probe reg ~labels ~kind:`Counter
+    ~help:"daemon restarts after a crash" "daemon_restarts_total" (fun () ->
+      float_of_int t.restarts);
+  Telemetry.Metrics.probe reg ~labels ~kind:`Gauge
+    ~help:"1 if the daemon is accepting responses" "daemon_alive" (fun () ->
+      if t.alive then 1.0 else 0.0);
+  Telemetry.Metrics.probe reg ~labels ~kind:`Gauge
+    ~help:"instructions retired by the most recent parse"
+    "daemon_parse_steps" (fun () -> float_of_int t.steps);
+  Telemetry.Metrics.probe reg ~labels ~kind:`Counter
+    ~help:"decoded-instruction cache hits across parses"
+    "daemon_icache_hits_total" (fun () -> float_of_int t.icache_hits);
+  Telemetry.Metrics.probe reg ~labels ~kind:`Counter
+    ~help:"decoded-instruction cache misses across parses"
+    "daemon_icache_misses_total" (fun () -> float_of_int t.icache_misses);
+  Dns.Cache.register_metrics t.cache reg ~prefix:track

@@ -52,3 +52,17 @@ val restart : t -> unit
 (** Reboot the daemon after a crash (fresh address-space draw derived
     from the boot seed and restart count, as a supervisor restart would
     give); outstanding transactions are forgotten, the cache survives. *)
+
+val last_steps : t -> int
+(** Instructions retired by the most recent machine-level parse. *)
+
+val set_trace : t -> Telemetry.Trace.t option -> unit
+(** Attach a telemetry sink: lifecycle events under category ["daemon"]
+    track ["dnsmasq"], plus the process memory's fault/mapping events
+    (region snapshot re-emitted on attach and after {!restart}). *)
+
+val set_profiler : t -> Telemetry.Profile.t option -> unit
+
+val register_metrics : t -> Telemetry.Metrics.t -> unit
+(** Register [daemon_*] probes (labelled [{daemon="dnsmasq"}]) and the
+    DNS cache's [dns_cache_*] probes into the registry. *)

@@ -507,3 +507,61 @@ let run ?(fuel = 2_000_000) ~traps ~kernel t =
           | None -> loop (budget - 1)
       in
       loop fuel
+
+(* Traced fetch-decode-execute — the ARM twin of the x86 [run_traced]:
+   same [step] core, telemetry on the side, untraced loops untouched.
+   Timestamps are the retired-instruction counter offset from the trace
+   clock at entry; basic-block entries are detected by comparing the
+   post-step pc against the fall-through address (every A32 instruction
+   is 4 bytes). *)
+let run_traced ?(fuel = 2_000_000) ~traps ~kernel ?trace ?profile t =
+  let module Tr = Telemetry.Trace in
+  let base_ts = match trace with Some tr -> Tr.now tr | None -> 0 in
+  let emit name args =
+    match trace with
+    | None -> ()
+    | Some tr ->
+        Tr.emit tr ~ts:(base_ts + t.steps) ~cat:"cpu" ~track:"cpu-arm" name
+          ~args
+  in
+  emit "call" [ ("entry", Tr.I (pc t)) ];
+  let peek addr =
+    match Decode.decode t.mem addr with
+    | insn -> Some insn
+    | exception Decode.Error _ -> None
+    | exception Mem.Fault _ -> None
+  in
+  let rec loop budget =
+    if budget <= 0 then Outcome.Fuel_exhausted
+    else if List.mem (pc t) traps then begin
+      emit "trap" [ ("pc", Tr.I (pc t)) ];
+      Outcome.Halted
+    end
+    else begin
+      let pc0 = pc t in
+      (match profile with
+      | None -> ()
+      | Some p -> Telemetry.Profile.record p pc0);
+      let peeked = match trace with None -> None | Some _ -> peek pc0 in
+      (match peeked with
+      | Some { op = Svc n; _ } ->
+          emit "syscall" [ ("vector", Tr.I n); ("r7", Tr.I (get t R7)) ]
+      | _ -> ());
+      match step t ~kernel with
+      | Some reason ->
+          emit "stop"
+            [ ("reason", Tr.S (Outcome.to_string reason)); ("pc", Tr.I (pc t)) ];
+          reason
+      | None ->
+          (match peeked with
+          | Some _ when pc t <> Word.add pc0 4 ->
+              emit "bb" [ ("pc", Tr.I (pc t)); ("from", Tr.I pc0) ]
+          | _ -> ());
+          loop (budget - 1)
+    end
+  in
+  let reason = loop fuel in
+  (match trace with
+  | Some tr -> Tr.set_now tr (base_ts + t.steps)
+  | None -> ());
+  reason

@@ -64,3 +64,17 @@ val step : t -> kernel:kernel -> Machine.Outcome.stop_reason option
 
 val run :
   ?fuel:int -> traps:int list -> kernel:kernel -> t -> Machine.Outcome.stop_reason
+
+val run_traced :
+  ?fuel:int ->
+  traps:int list ->
+  kernel:kernel ->
+  ?trace:Telemetry.Trace.t ->
+  ?profile:Telemetry.Profile.t ->
+  t ->
+  Machine.Outcome.stop_reason
+(** Like {!run}, with telemetry on the side: ["cpu"]-category events
+    (call entry, basic-block entries, [svc] syscalls, traps, the stop
+    reason) into [trace], every retired pc into [profile].  Same
+    {!step} core as {!run}, so outcomes and step counts are identical
+    traced or not; the untraced loops carry no tracing branch. *)

@@ -548,3 +548,68 @@ let run ?(fuel = 2_000_000) ~traps ~kernel t =
           | None -> loop (budget - 1)
       in
       loop fuel
+
+(* Traced fetch-decode-execute.  A separate entry point rather than a
+   flag threaded through [run]: the untraced loops above (and the
+   compiled thunks) stay untouched, which is the overhead contract —
+   tracing disabled costs zero on the hot path.  Event timestamps are
+   the retired-instruction counter offset from the trace clock at entry,
+   rendering one instruction as one µs; basic-block entries are detected
+   by comparing the post-step eip against the peeked instruction's
+   fall-through address.  Stepping itself goes through the same [step]
+   as [run], so outcomes and step counts are bit-identical traced or
+   not (the differential tests assert this across the exploit matrix). *)
+let run_traced ?(fuel = 2_000_000) ~traps ~kernel ?trace ?profile t =
+  let module Tr = Telemetry.Trace in
+  let base_ts = match trace with Some tr -> Tr.now tr | None -> 0 in
+  let emit name args =
+    match trace with
+    | None -> ()
+    | Some tr ->
+        Tr.emit tr ~ts:(base_ts + t.steps) ~cat:"cpu" ~track:"cpu-x86" name
+          ~args
+  in
+  emit "call" [ ("entry", Tr.I t.eip) ];
+  (* Peek decodes directly (not through the icache) so traced runs report
+     the same icache hit/miss counts per executed instruction as untraced
+     ones. *)
+  let peek pc =
+    match Decode.decode t.mem pc with
+    | insn, size -> Some (insn, size)
+    | exception Decode.Error _ -> None
+    | exception Mem.Fault _ -> None
+  in
+  let rec loop budget =
+    if budget <= 0 then Outcome.Fuel_exhausted
+    else if List.mem t.eip traps then begin
+      emit "trap" [ ("pc", Tr.I t.eip) ];
+      Outcome.Halted
+    end
+    else begin
+      let pc0 = t.eip in
+      (match profile with
+      | None -> ()
+      | Some p -> Telemetry.Profile.record p pc0);
+      let peeked = match trace with None -> None | Some _ -> peek pc0 in
+      (match peeked with
+      | Some (Int n, _) ->
+          emit "syscall" [ ("vector", Tr.I n); ("eax", Tr.I (get t EAX)) ]
+      | _ -> ());
+      match step t ~kernel with
+      | Some reason ->
+          emit "stop"
+            [ ("reason", Tr.S (Outcome.to_string reason)); ("pc", Tr.I t.eip) ];
+          reason
+      | None ->
+          (match peeked with
+          | Some (_, size) when t.eip <> Word.add pc0 size ->
+              emit "bb" [ ("pc", Tr.I t.eip); ("from", Tr.I pc0) ]
+          | _ -> ());
+          loop (budget - 1)
+    end
+  in
+  let reason = loop fuel in
+  (match trace with
+  | Some tr -> Tr.set_now tr (base_ts + t.steps)
+  | None -> ());
+  reason

@@ -59,3 +59,21 @@ val run :
   ?fuel:int -> traps:int list -> kernel:kernel -> t -> Machine.Outcome.stop_reason
 (** Run until a trap address is reached ([Halted]), a stop condition fires,
     or [fuel] instructions (default 2_000_000) have retired. *)
+
+val run_traced :
+  ?fuel:int ->
+  traps:int list ->
+  kernel:kernel ->
+  ?trace:Telemetry.Trace.t ->
+  ?profile:Telemetry.Profile.t ->
+  t ->
+  Machine.Outcome.stop_reason
+(** Like {!run}, with telemetry: emits ["cpu"]-category events (call
+    entry, basic-block entries, syscalls, traps, the stop reason) into
+    [trace] and records every retired pc into [profile].  Timestamps are
+    the retired-instruction counter offset from the trace clock at entry
+    (one instruction per µs); the trace clock is advanced past the run on
+    return.  Stepping goes through the same {!step} core as {!run}, so
+    outcomes and step counts are identical traced or not.  This is a
+    separate entry point precisely so {!run}'s hot loops carry no
+    tracing branch. *)

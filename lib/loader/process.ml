@@ -135,14 +135,23 @@ type run_result = {
   steps : int;
   ret : int;
   regs : int array;
+  icache_hits : int;
+  icache_misses : int;
 }
+
+let icache_stats = function
+  | None -> (0, 0)
+  | Some c -> (Memsim.Icache.hits c, Memsim.Icache.misses c)
 
 (* When [on_step] is given, drive the CPU one instruction at a time so the
    observer sees every program-counter value (the debugger's single-step
-   mode); otherwise use the tight [run] loop. *)
-let call ?(fuel = 2_000_000) ?(icache = true) ?on_step t ~entry ~args =
+   mode); with [trace]/[profile], use the ISA's [run_traced] side-channel
+   loop; otherwise use the tight [run] loop. *)
+let call ?(fuel = 2_000_000) ?(icache = true) ?on_step ?trace ?profile t ~entry
+    ~args =
   let cfi = t.profile.Defense.Profile.cfi in
   let no_exec = t.profile.Defense.Profile.seccomp in
+  let traced = trace <> None || profile <> None in
   match t.arch with
   | Arch.X86 ->
       let cpu = Isa_x86.Cpu.create ~cfi ~icache t.mem in
@@ -154,6 +163,10 @@ let call ?(fuel = 2_000_000) ?(icache = true) ?on_step t ~entry ~args =
       cpu.Isa_x86.Cpu.eip <- entry;
       let outcome =
         match on_step with
+        | None when traced ->
+            Isa_x86.Cpu.run_traced ~fuel ~traps:[ t.trap ]
+              ~kernel:(Kernel.x86_policy ~no_exec ())
+              ?trace ?profile cpu
         | None -> Isa_x86.Cpu.run ~fuel ~traps:[ t.trap ]
               ~kernel:(Kernel.x86_policy ~no_exec ())
               cpu
@@ -170,11 +183,14 @@ let call ?(fuel = 2_000_000) ?(icache = true) ?on_step t ~entry ~args =
             in
             loop fuel
       in
+      let icache_hits, icache_misses = icache_stats cpu.Isa_x86.Cpu.icache in
       {
         outcome;
         steps = cpu.Isa_x86.Cpu.steps;
         ret = Isa_x86.Cpu.get cpu Isa_x86.Insn.EAX;
         regs = Array.copy cpu.Isa_x86.Cpu.regs;
+        icache_hits;
+        icache_misses;
       }
   | Arch.Arm ->
       if List.length args > 4 then
@@ -190,6 +206,10 @@ let call ?(fuel = 2_000_000) ?(icache = true) ?on_step t ~entry ~args =
       Isa_arm.Cpu.set_pc cpu entry;
       let outcome =
         match on_step with
+        | None when traced ->
+            Isa_arm.Cpu.run_traced ~fuel ~traps:[ t.trap ]
+              ~kernel:(Kernel.arm_policy ~no_exec ())
+              ?trace ?profile cpu
         | None -> Isa_arm.Cpu.run ~fuel ~traps:[ t.trap ]
               ~kernel:(Kernel.arm_policy ~no_exec ())
               cpu
@@ -206,15 +226,18 @@ let call ?(fuel = 2_000_000) ?(icache = true) ?on_step t ~entry ~args =
             in
             loop fuel
       in
+      let icache_hits, icache_misses = icache_stats cpu.Isa_arm.Cpu.icache in
       {
         outcome;
         steps = cpu.Isa_arm.Cpu.steps;
         ret = Isa_arm.Cpu.get cpu Isa_arm.Insn.R0;
         regs = Array.copy cpu.Isa_arm.Cpu.regs;
+        icache_hits;
+        icache_misses;
       }
 
-let call_named ?fuel ?icache ?on_step t ~entry ~args =
-  call ?fuel ?icache ?on_step t ~entry:(symbol t entry) ~args
+let call_named ?fuel ?icache ?on_step ?trace ?profile t ~entry ~args =
+  call ?fuel ?icache ?on_step ?trace ?profile t ~entry:(symbol t entry) ~args
 
 let pp_summary ppf t =
   Format.fprintf ppf "%s (%a, %a)@.%a" t.spec.name Arch.pp t.arch

@@ -46,12 +46,16 @@ type run_result = {
   steps : int;  (** instructions retired during the call *)
   ret : int;  (** eax / r0 at stop time *)
   regs : int array;  (** full register file at stop time (8 on x86, 16 on ARM) *)
+  icache_hits : int;  (** decoded-instruction cache hits (0 if disabled) *)
+  icache_misses : int;
 }
 
 val call :
   ?fuel:int ->
   ?icache:bool ->
   ?on_step:(int -> unit) ->
+  ?trace:Telemetry.Trace.t ->
+  ?profile:Telemetry.Profile.t ->
   t ->
   entry:int ->
   args:int list ->
@@ -63,12 +67,17 @@ val call :
     decoded-instruction cache (bit-identical execution either way — the
     differential tests step every exploit scenario both ways).  [on_step]
     observes every program-counter value before the instruction executes
-    (single-step debugging). *)
+    (single-step debugging).  [trace]/[profile] route the call through the
+    ISA's [run_traced] (events + per-pc counts; outcomes and step counts
+    identical to an untraced call); [on_step] takes precedence over
+    both. *)
 
 val call_named :
   ?fuel:int ->
   ?icache:bool ->
   ?on_step:(int -> unit) ->
+  ?trace:Telemetry.Trace.t ->
+  ?profile:Telemetry.Profile.t ->
   t ->
   entry:string ->
   args:int list ->

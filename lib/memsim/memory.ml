@@ -65,6 +65,10 @@ type t = {
   mutable fx_pg : page;
   mutable gq_idx : int;
   mutable gq_pg : page;
+  (* Telemetry sink, [None] in normal operation.  Faults and mapping
+     changes are cold paths, so the option check never touches the
+     per-byte accessors' hit paths. *)
+  mutable trace : Telemetry.Trace.t option;
 }
 
 let null_page = { pperm = none; data = Bytes.empty; gen = ref 0 }
@@ -82,10 +86,26 @@ let create () =
     fx_pg = null_page;
     gq_idx = -1;
     gq_pg = null_page;
+    trace = None;
   }
 
+let set_trace t tr = t.trace <- tr
+let trace t = t.trace
+
 let page_index addr = addr lsr page_bits
-let fault addr kind context = raise (Fault { addr; kind; context })
+
+let fault t addr kind context =
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+      Telemetry.Trace.emit tr ~cat:"mem" ~track:"memory" "fault"
+        ~args:
+          [
+            ("addr", Telemetry.Trace.I addr);
+            ("kind", Telemetry.Trace.S (fault_kind_to_string kind));
+            ("context", Telemetry.Trace.S context);
+          ]);
+  raise (Fault { addr; kind; context })
 
 let fresh_gen t =
   t.gen_counter <- t.gen_counter + 1;
@@ -105,6 +125,19 @@ let page_range ~base ~size =
   let first = page_index base and last = page_index (base + size - 1) in
   (first, last)
 
+let trace_region t name reg =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Telemetry.Trace.emit tr ~cat:"mem" ~track:"memory" name
+        ~args:
+          [
+            ("name", Telemetry.Trace.S reg.name);
+            ("base", Telemetry.Trace.I reg.base);
+            ("size", Telemetry.Trace.I reg.size);
+            ("perm", Telemetry.Trace.S (Format.asprintf "%a" pp_perm reg.perm));
+          ]
+
 let map t ~base ~size ~perm ~name =
   if size <= 0 then invalid_arg "Memory.map: size must be positive";
   if base < 0 || base + size > 0x1_0000_0000 then
@@ -121,7 +154,9 @@ let map t ~base ~size ~perm ~name =
     Hashtbl.replace t.pages i
       { pperm = perm; data = Bytes.make page_size '\000'; gen = ref (fresh_gen t) }
   done;
-  t.regs <- { name; base; size; perm } :: t.regs
+  let reg = { name; base; size; perm } in
+  t.regs <- reg :: t.regs;
+  trace_region t "map" reg
 
 let region_at_base t base context =
   match List.find_opt (fun reg -> reg.base = base) t.regs with
@@ -144,7 +179,8 @@ let unmap t ~base =
     Hashtbl.remove t.pages i
   done;
   t.regs <- List.filter (fun reg -> reg.base <> base) t.regs;
-  invalidate_page_caches t
+  invalidate_page_caches t;
+  trace_region t "unmap" reg
 
 let set_perm t ~base perm =
   let reg = region_at_base t base "set_perm" in
@@ -161,7 +197,8 @@ let set_perm t ~base perm =
   t.regs <-
     List.map
       (fun r0 -> if r0.base = base then { r0 with perm } else r0)
-      t.regs
+      t.regs;
+  trace_region t "set_perm" { reg with perm }
 
 let regions t = List.sort (fun a b -> compare a.base b.base) t.regs
 
@@ -188,7 +225,7 @@ let read_page t addr =
         t.rd_idx <- idx;
         t.rd_pg <- p;
         p
-    | None -> fault addr Unmapped "read"
+    | None -> fault t addr Unmapped "read"
 
 let write_page t addr context =
   let idx = addr lsr page_bits in
@@ -199,7 +236,7 @@ let write_page t addr context =
         t.wr_idx <- idx;
         t.wr_pg <- p;
         p
-    | None -> fault addr Unmapped context
+    | None -> fault t addr Unmapped context
 
 let fetch_page t addr =
   let idx = addr lsr page_bits in
@@ -210,7 +247,7 @@ let fetch_page t addr =
         t.fx_idx <- idx;
         t.fx_pg <- p;
         p
-    | None -> fault addr Unmapped "fetch"
+    | None -> fault t addr Unmapped "fetch"
 
 let page_gen t addr =
   let addr = Word.of_int addr in
@@ -238,25 +275,25 @@ let gen_ref t addr =
         t.gq_idx <- idx;
         t.gq_pg <- p;
         p.gen
-    | None -> fault addr Unmapped "gen_ref"
+    | None -> fault t addr Unmapped "gen_ref"
 
 let read_u8 t addr =
   let addr = Word.of_int addr in
   let p = read_page t addr in
-  if not p.pperm.read then fault addr Perm_read "read";
+  if not p.pperm.read then fault t addr Perm_read "read";
   Char.code (Bytes.unsafe_get p.data (addr land offset_mask))
 
 let write_u8 t addr v =
   let addr = Word.of_int addr in
   let p = write_page t addr "write" in
-  if not p.pperm.write then fault addr Perm_write "write";
+  if not p.pperm.write then fault t addr Perm_write "write";
   p.gen := fresh_gen t;
   Bytes.unsafe_set p.data (addr land offset_mask) (Char.unsafe_chr (v land 0xFF))
 
 let fetch_u8 t addr =
   let addr = Word.of_int addr in
   let p = fetch_page t addr in
-  if not p.pperm.execute then fault addr Perm_exec "fetch";
+  if not p.pperm.execute then fault t addr Perm_exec "fetch";
   Char.code (Bytes.unsafe_get p.data (addr land offset_mask))
 
 (* Multi-byte reads bind bytes in ascending order: the lowest offending
@@ -273,7 +310,7 @@ let read_u32 t addr =
   let off = a land offset_mask in
   if off <= page_size - 4 then begin
     let p = read_page t a in
-    if not p.pperm.read then fault a Perm_read "read";
+    if not p.pperm.read then fault t a Perm_read "read";
     let d = p.data in
     Char.code (Bytes.unsafe_get d off)
     lor (Char.code (Bytes.unsafe_get d (off + 1)) lsl 8)
@@ -300,15 +337,15 @@ let check_write_span t addr len context =
     let a = Word.of_int (addr + !i) in
     let idx = a lsr page_bits in
     (if idx = t.wr_idx then begin
-       if not t.wr_pg.pperm.write then fault a Perm_write context
+       if not t.wr_pg.pperm.write then fault t a Perm_write context
      end
      else
        match Hashtbl.find_opt t.pages idx with
        | Some p ->
-           if not p.pperm.write then fault a Perm_write context;
+           if not p.pperm.write then fault t a Perm_write context;
            t.wr_idx <- idx;
            t.wr_pg <- p
-       | None -> fault a Unmapped context);
+       | None -> fault t a Unmapped context);
     i := !i + (page_size - (a land offset_mask))
   done
 
@@ -322,7 +359,7 @@ let write_u32 t addr v =
   let off = a land offset_mask in
   if off <= page_size - 4 then begin
     let p = write_page t a "write" in
-    if not p.pperm.write then fault a Perm_write "write";
+    if not p.pperm.write then fault t a Perm_write "write";
     p.gen := fresh_gen t;
     let d = p.data in
     Bytes.unsafe_set d off (Char.unsafe_chr (v land 0xFF));
@@ -343,7 +380,7 @@ let fetch_u32 t addr =
   let off = a land offset_mask in
   if off <= page_size - 4 then begin
     let p = fetch_page t a in
-    if not p.pperm.execute then fault a Perm_exec "fetch";
+    if not p.pperm.execute then fault t a Perm_exec "fetch";
     let d = p.data in
     Char.code (Bytes.unsafe_get d off)
     lor (Char.code (Bytes.unsafe_get d (off + 1)) lsl 8)
@@ -403,7 +440,7 @@ let peek_u8 t addr =
           t.rd_idx <- idx;
           t.rd_pg <- p;
           p
-      | None -> fault addr Unmapped "peek"
+      | None -> fault t addr Unmapped "peek"
   in
   Char.code (Bytes.unsafe_get p.data (addr land offset_mask))
 
@@ -419,7 +456,7 @@ let poke_bytes t addr s =
     while !i < len do
       let a = Word.of_int (addr + !i) in
       if not (Hashtbl.mem t.pages (a lsr page_bits)) then
-        fault a Unmapped "poke";
+        fault t a Unmapped "poke";
       i := !i + (page_size - (a land offset_mask))
     done;
     let i = ref 0 in

@@ -38,6 +38,15 @@ type t
 val create : unit -> t
 (** A fresh, fully unmapped address space. *)
 
+val set_trace : t -> Telemetry.Trace.t option -> unit
+(** Attach (or detach with [None]) a telemetry sink.  With a sink
+    attached, faults and mapping changes ({!map}, {!unmap},
+    {!set_perm}) emit events under category ["mem"].  These are all
+    cold paths: the per-byte accessors' hit paths never consult the
+    sink, so a detached trace costs nothing. *)
+
+val trace : t -> Telemetry.Trace.t option
+
 val page_size : int
 (** 4096, as on the paper's targets. *)
 

@@ -28,6 +28,7 @@ type t = {
   link_policies : (int * int, Faults.policy) Hashtbl.t;  (* host-id pair *)
   lan_policies : (int, Faults.policy) Hashtbl.t;  (* sender's LAN id *)
   mutable severed : (int * int) list;  (* partitioned LAN-id pairs *)
+  mutable trace : Telemetry.Trace.t option;
 }
 
 and lan = {
@@ -70,6 +71,7 @@ let create ?(seed = 7) () =
     link_policies = Hashtbl.create 8;
     lan_policies = Hashtbl.create 8;
     severed = [];
+    trace = None;
   }
 
 let fresh_id t =
@@ -79,6 +81,25 @@ let fresh_id t =
 
 let sim t = t.sim
 let stats t = t.stats
+let set_trace t tr = t.trace <- tr
+let trace t = t.trace
+
+(* Every net event first advances the trace's shared clock to sim-now, so
+   layers without a clock of their own (daemons, supervisor) timestamp
+   against a current µs. *)
+let trace_event t name args =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Telemetry.Trace.set_now tr (Sim.now t.sim);
+      Telemetry.Trace.emit tr ~cat:"net" ~track:"net" name ~args
+
+let dgram_args dgram =
+  [
+    ("sport", Telemetry.Trace.I dgram.sport);
+    ("dport", Telemetry.Trace.I dgram.dport);
+    ("bytes", Telemetry.Trace.I (String.length dgram.payload));
+  ]
 
 (* --- impairment policies ------------------------------------------------ *)
 
@@ -213,9 +234,15 @@ let deliver t dgram target =
   match List.assoc_opt dgram.dport target.handlers with
   | None ->
       t.stats.dropped <- t.stats.dropped + 1;
-      t.stats.no_handler <- t.stats.no_handler + 1
+      t.stats.no_handler <- t.stats.no_handler + 1;
+      trace_event t "rx-drop"
+        (("host", Telemetry.Trace.S target.hname)
+        :: ("reason", Telemetry.Trace.S "no-handler")
+        :: dgram_args dgram)
   | Some handler ->
       t.stats.delivered <- t.stats.delivered + 1;
+      trace_event t "rx"
+        (("host", Telemetry.Trace.S target.hname) :: dgram_args dgram);
       handler { world = t; self = target } dgram
 
 (* Push one datagram across the [src -> target] link, applying that
@@ -228,17 +255,38 @@ let transmit t dgram ~src target =
       ~payload:dgram.payload
   in
   let s = t.stats in
+  let link_args () =
+    ("from", Telemetry.Trace.S src.hname)
+    :: ("to", Telemetry.Trace.S target.hname)
+    :: dgram_args dgram
+  in
   match plan.Faults.fate with
   | Faults.Drop_link ->
       s.dropped <- s.dropped + 1;
-      s.dropped_link <- s.dropped_link + 1
+      s.dropped_link <- s.dropped_link + 1;
+      trace_event t "drop"
+        (("reason", Telemetry.Trace.S "link") :: link_args ())
   | Faults.Drop_fault ->
       s.dropped <- s.dropped + 1;
-      s.dropped_fault <- s.dropped_fault + 1
+      s.dropped_fault <- s.dropped_fault + 1;
+      trace_event t "drop"
+        (("reason", Telemetry.Trace.S "fault") :: link_args ())
   | Faults.Pass ->
       if plan.Faults.corrupted then s.corrupted <- s.corrupted + 1;
       if plan.Faults.duplicated then s.duplicated <- s.duplicated + 1;
       if plan.Faults.reordered then s.reordered <- s.reordered + 1;
+      (match t.trace with
+      | None -> ()
+      | Some _ ->
+          let flags =
+            [
+              ("copies", Telemetry.Trace.I (List.length plan.Faults.copies));
+              ("corrupted", Telemetry.Trace.B plan.Faults.corrupted);
+              ("duplicated", Telemetry.Trace.B plan.Faults.duplicated);
+              ("reordered", Telemetry.Trace.B plan.Faults.reordered);
+            ]
+          in
+          trace_event t "tx" (link_args () @ flags));
       List.iter
         (fun (delay, payload) ->
           let dgram = { dgram with payload } in
@@ -250,7 +298,12 @@ let send t ~from ?(sport = 0) ~dst ~dport payload =
   match from.hlan with
   | None ->
       s.dropped <- s.dropped + 1;
-      s.no_route <- s.no_route + 1
+      s.no_route <- s.no_route + 1;
+      trace_event t "drop"
+        [
+          ("reason", Telemetry.Trace.S "no-lan");
+          ("from", Telemetry.Trace.S from.hname);
+        ]
   | Some lan -> (
       let src = Option.value from.hip ~default:0 in
       let dgram = { src; sport; dst; dport; payload } in
@@ -263,6 +316,36 @@ let send t ~from ?(sport = 0) ~dst ~dport payload =
         | Some target -> transmit t dgram ~src:from target
         | None ->
             s.dropped <- s.dropped + 1;
-            s.no_route <- s.no_route + 1)
+            s.no_route <- s.no_route + 1;
+            trace_event t "drop"
+              (("reason", Telemetry.Trace.S "no-route")
+              :: ("from", Telemetry.Trace.S from.hname)
+              :: dgram_args dgram))
 
 let run ?until t = Sim.run ?until t.sim
+
+let register_metrics t reg =
+  let s = t.stats in
+  let c name help f =
+    Telemetry.Metrics.probe reg ~help ~kind:`Counter name (fun () ->
+        float_of_int (f ()))
+  in
+  c "netsim_delivered_total" "datagrams delivered to a handler" (fun () ->
+      s.delivered);
+  c "netsim_dropped_total" "datagrams dropped, all causes" (fun () -> s.dropped);
+  c "netsim_dropped_fault_total" "datagrams dropped by fault injection"
+    (fun () -> s.dropped_fault);
+  c "netsim_dropped_link_total" "datagrams dropped by link loss" (fun () ->
+      s.dropped_link);
+  c "netsim_no_route_total" "datagrams with no route to the destination"
+    (fun () -> s.no_route);
+  c "netsim_no_handler_total" "datagrams with no listener on the port"
+    (fun () -> s.no_handler);
+  c "netsim_corrupted_total" "datagrams corrupted in flight" (fun () ->
+      s.corrupted);
+  c "netsim_duplicated_total" "datagrams duplicated in flight" (fun () ->
+      s.duplicated);
+  c "netsim_reordered_total" "datagrams reordered in flight" (fun () ->
+      s.reordered);
+  Telemetry.Metrics.probe reg ~help:"simulated clock, microseconds"
+    ~kind:`Gauge "netsim_sim_now_us" (fun () -> float_of_int (Sim.now t.sim))

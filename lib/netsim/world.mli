@@ -44,6 +44,19 @@ val create : ?seed:int -> unit -> t
 val sim : t -> Sim.t
 val stats : t -> stats
 
+val set_trace : t -> Telemetry.Trace.t option -> unit
+(** Attach (or detach with [None]) a telemetry sink.  With a sink
+    attached, every per-packet fate — transmit, deliver, and each drop
+    cause — emits a ["net"]-category event stamped with sim time; each
+    emission also advances the trace's shared clock to [Sim.now], so
+    downstream layers (daemons, supervisor) inherit a current µs. *)
+
+val trace : t -> Telemetry.Trace.t option
+
+val register_metrics : t -> Telemetry.Metrics.t -> unit
+(** Register pull-probes over this world's {!stats} counters
+    ([netsim_*_total]) and the sim clock into the registry. *)
+
 (** {2 Impairment policies} *)
 
 val set_default_policy : t -> Faults.policy -> unit

@@ -1,0 +1,124 @@
+exception Bad of int * string
+
+let validate s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then pos := !pos + l
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let is_hex c =
+    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+  in
+  let string_lit () =
+    expect '"';
+    let closed = ref false in
+    while not !closed do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); closed := true
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some c when is_hex c -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ -> advance ()
+    done
+  in
+  let digits () =
+    let start = !pos in
+    while (match peek () with Some c when c >= '0' && c <= '9' -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected digit"
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some c when c >= '1' && c <= '9' -> digits ()
+    | _ -> fail "bad number");
+    if peek () = Some '.' then (advance (); digits ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ())
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> string_lit ()
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let rec members () =
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ()
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let rec elements () =
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ()
+        end
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  try
+    value ();
+    skip_ws ();
+    if !pos <> n then raise (Bad (!pos, "trailing garbage"));
+    Ok ()
+  with Bad (at, msg) -> Error (Printf.sprintf "offset %d: %s" at msg)

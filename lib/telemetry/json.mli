@@ -1,0 +1,8 @@
+(** Minimal JSON well-formedness checker used by the trace smoke tests
+    ("the exported file must parse") without pulling a JSON library into
+    the dependency set.  It validates syntax only — no value is built. *)
+
+val validate : string -> (unit, string) result
+(** [Ok ()] iff the whole string is exactly one valid JSON value
+    (surrounded by optional whitespace); [Error msg] pinpoints the
+    offending byte offset otherwise. *)

@@ -1,0 +1,64 @@
+(** Metrics registry: counters, gauges, and histograms with labels, and
+    Prometheus-style text exposition.
+
+    Two registration styles:
+
+    - {e push}: {!counter}/{!gauge}/{!histogram} return an instrument the
+      caller updates ({!inc}, {!set}, {!observe});
+    - {e pull}: {!probe} registers a closure sampled at {!expose} time —
+      this is how the existing ad-hoc stats records ([Dns.Cache.stats],
+      the [Netsim.World] fate counters, supervisor restart counts,
+      icache hit/miss totals) join the registry without changing their
+      own bookkeeping.
+
+    Registering the same (name, labels) pair again replaces the earlier
+    series.  {!expose} renders series grouped by name in alphabetical
+    order with fixed number formatting, so a deterministic run exposes
+    deterministic bytes. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+type gauge
+type histogram
+
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val inc : ?by:float -> counter -> unit
+val counter_value : counter -> float
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float list ->
+  string ->
+  histogram
+(** [buckets] are upper bounds (a [+Inf] bucket is implicit); the default
+    is decades 1 .. 1e6 — suited to instruction counts and µs. *)
+
+val observe : histogram -> float -> unit
+
+val probe :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  kind:[ `Counter | `Gauge ] ->
+  string ->
+  (unit -> float) ->
+  unit
+(** Pull-style series: the closure is called at {!expose} time. *)
+
+val expose : t -> string
+(** Prometheus text exposition format: [# HELP] / [# TYPE] per metric
+    name, then one line per labelled series ([_bucket]/[_sum]/[_count]
+    for histograms). *)

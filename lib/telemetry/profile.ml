@@ -1,0 +1,63 @@
+type t = { counts : (int, int ref) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 1024; total = 0 }
+
+let record t pc =
+  (match Hashtbl.find_opt t.counts pc with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counts pc (ref 1));
+  t.total <- t.total + 1
+
+let total t = t.total
+let distinct_pcs t = Hashtbl.length t.counts
+
+let clear t =
+  Hashtbl.reset t.counts;
+  t.total <- 0
+
+(* "parse_response+0x4c" and "parse_response+0x50" both bucket under
+   "parse_response"; bare hex addresses stay as-is. *)
+let base_symbol s =
+  match String.index_opt s '+' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let report t ~symbolize =
+  let by_sym = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun pc n ->
+      let sym = base_symbol (symbolize pc) in
+      match Hashtbl.find_opt by_sym sym with
+      | Some r -> r := !r + !n
+      | None -> Hashtbl.add by_sym sym (ref !n))
+    t.counts;
+  let rows = Hashtbl.fold (fun sym n acc -> (sym, !n) :: acc) by_sym [] in
+  List.sort
+    (fun (sa, na) (sb, nb) ->
+      if na <> nb then compare nb na else compare sa sb)
+    rows
+
+let folded t ~symbolize ?(root = "all") () =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (sym, n) -> Buffer.add_string b (Printf.sprintf "%s;%s %d\n" root sym n))
+    (report t ~symbolize);
+  Buffer.contents b
+
+let pp_flat ?top ~symbolize ppf t =
+  let rows = report t ~symbolize in
+  let rows =
+    match top with
+    | Some n -> List.filteri (fun i _ -> i < n) rows
+    | None -> rows
+  in
+  let tot = float_of_int (max t.total 1) in
+  Format.fprintf ppf "%10s  %6s  %s@." "insns" "%" "symbol";
+  List.iter
+    (fun (sym, n) ->
+      Format.fprintf ppf "%10d  %5.1f%%  %s@." n
+        (100.0 *. float_of_int n /. tot)
+        sym)
+    rows;
+  Format.fprintf ppf "%10d  total (%d distinct pcs)@." t.total
+    (Hashtbl.length t.counts)

@@ -1,0 +1,38 @@
+(** Instruction-level profiler.
+
+    The traced interpreters call {!record} with the program counter of
+    every retired instruction; reporting buckets the raw pc counts by
+    nearest symbol using a caller-supplied [symbolize] function (in
+    practice [Exploit.Debugger.symbolize], which renders
+    ["name+0x12"] or a bare hex address).  The ["+0x..."] offset suffix
+    is stripped so all samples inside one function aggregate under its
+    base symbol.
+
+    Conservation invariant, asserted by the tests: the per-symbol counts
+    of {!report} (and the folded lines of {!folded}) sum to {!total},
+    which equals the number of instructions the CPU retired while the
+    profiler was attached. *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit  (** one retired instruction at this pc *)
+
+val total : t -> int  (** instructions recorded *)
+
+val distinct_pcs : t -> int
+
+val report : t -> symbolize:(int -> string) -> (string * int) list
+(** Per-symbol instruction counts, sorted by count descending (ties by
+    symbol name ascending). *)
+
+val folded : t -> symbolize:(int -> string) -> ?root:string -> unit -> string
+(** Flamegraph-ready folded-stack lines: ["root;symbol count\n"] per
+    symbol (root defaults to ["all"]).  Feed to
+    [flamegraph.pl] / speedscope as-is. *)
+
+val pp_flat : ?top:int -> symbolize:(int -> string) -> Format.formatter -> t -> unit
+(** Flat profile table: count, percentage, symbol; [top] rows (default
+    all). *)
+
+val clear : t -> unit

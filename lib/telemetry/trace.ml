@@ -1,0 +1,174 @@
+type arg = I of int | S of string | B of bool | F of float
+
+type event = {
+  ts : int;
+  cat : string;
+  track : string;
+  name : string;
+  dur : int;
+  args : (string * arg) list;
+}
+
+(* Fixed-size ring: [start] indexes the oldest retained event, the next
+   write lands at [(start + len) mod capacity].  Overwriting (rather
+   than refusing) keeps the most recent window of a long run, which is
+   what a human debugging an exploit delivery wants to see. *)
+type t = {
+  cap : int;
+  ring : event array;
+  mutable start : int;
+  mutable len : int;
+  mutable total : int;  (* events ever emitted *)
+  mutable clock : int;  (* shared timeline clock, µs *)
+}
+
+let dummy = { ts = 0; cat = ""; track = ""; name = ""; dur = 0; args = [] }
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    cap = capacity;
+    ring = Array.make capacity dummy;
+    start = 0;
+    len = 0;
+    total = 0;
+    clock = 0;
+  }
+
+let capacity t = t.cap
+let length t = t.len
+let emitted t = t.total
+let dropped t = t.total - t.len
+let now t = t.clock
+let set_now t ts = if ts > t.clock then t.clock <- ts
+
+let emit t ?ts ?(dur = 0) ?(args = []) ~cat ~track name =
+  let ts = match ts with Some ts -> ts | None -> t.clock in
+  let e = { ts; cat; track; name; dur; args } in
+  if t.len < t.cap then begin
+    t.ring.((t.start + t.len) mod t.cap) <- e;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.ring.(t.start) <- e;
+    t.start <- (t.start + 1) mod t.cap
+  end;
+  t.total <- t.total + 1
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.total <- 0;
+  t.clock <- 0;
+  Array.fill t.ring 0 t.cap dummy
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.ring.((t.start + i) mod t.cap)
+  done
+
+let events t = List.init t.len (fun i -> t.ring.((t.start + i) mod t.cap))
+
+(* --- serialization ------------------------------------------------------ *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let arg_json = function
+  | I n -> string_of_int n
+  | S s -> json_string s
+  | B b -> if b then "true" else "false"
+  | F f -> Printf.sprintf "%.4f" f
+
+let args_json args =
+  String.concat ", "
+    (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (json_string k) (arg_json v)) args)
+
+(* Chrome trace-event format: one process (pid 1), one named thread per
+   track, metadata events first.  Tracks get tids in first-appearance
+   order over the retained events, so serialization depends only on the
+   event sequence. *)
+let to_chrome_json t =
+  let tids = Hashtbl.create 8 in
+  let order = ref [] in
+  iter t (fun e ->
+      if not (Hashtbl.mem tids e.track) then begin
+        Hashtbl.add tids e.track (Hashtbl.length tids + 1);
+        order := e.track :: !order
+      end);
+  let b = Buffer.create (256 * (t.len + 2)) in
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_string b ",\n" in
+  sep ();
+  Buffer.add_string b
+    "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+     \"args\": {\"name\": \"connman-repro\"}}";
+  List.iter
+    (fun track ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": \
+            %d, \"args\": {\"name\": %s}}"
+           (Hashtbl.find tids track) (json_string track)))
+    (List.rev !order);
+  iter t (fun e ->
+      sep ();
+      let tid = Hashtbl.find tids e.track in
+      if e.dur > 0 then
+        Buffer.add_string b
+          (Printf.sprintf
+             "  {\"name\": %s, \"cat\": %s, \"ph\": \"X\", \"ts\": %d, \
+              \"dur\": %d, \"pid\": 1, \"tid\": %d, \"args\": {%s}}"
+             (json_string e.name) (json_string e.cat) e.ts e.dur tid
+             (args_json e.args))
+      else
+        Buffer.add_string b
+          (Printf.sprintf
+             "  {\"name\": %s, \"cat\": %s, \"ph\": \"i\", \"s\": \"t\", \
+              \"ts\": %d, \"pid\": 1, \"tid\": %d, \"args\": {%s}}"
+             (json_string e.name) (json_string e.cat) e.ts tid
+             (args_json e.args)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"emitted\": %d, \
+        \"dropped\": %d}}\n"
+       t.total (dropped t));
+  Buffer.contents b
+
+let pp_arg ppf (k, v) =
+  let s =
+    match v with
+    | I n -> string_of_int n
+    | S s -> s
+    | B b -> string_of_bool b
+    | F f -> Printf.sprintf "%.4f" f
+  in
+  Format.fprintf ppf "%s=%s" k s
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%10d us] %-10s %-18s" e.ts e.track e.name;
+  if e.dur > 0 then Format.fprintf ppf " dur=%dus" e.dur;
+  List.iter (fun a -> Format.fprintf ppf " %a" pp_arg a) e.args
+
+let pp ppf t =
+  iter t (fun e -> Format.fprintf ppf "%a@." pp_event e);
+  if dropped t > 0 then
+    Format.fprintf ppf "(%d earlier events dropped by ring wrap-around)@."
+      (dropped t)
