@@ -833,6 +833,140 @@ let run_cpu_json ~smoke ~out () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* Sanitizer overhead benches: BENCH_sanitizer.json                    *)
+(*                                                                     *)
+(*   dune exec bench/main.exe -- sanitizer           (full run)        *)
+(*   dune exec bench/main.exe -- sanitizer --smoke   (few iterations)  *)
+(*   dune build @sanitizer-bench-smoke               (dune target)     *)
+(*                                                                     *)
+(* The taint sanitizer's overhead contract: each workload is timed     *)
+(* through the plain [run] loop and through [run_sanitized] against a  *)
+(* reused oracle ([begin_parse] per invocation, as the daemon does per *)
+(* datagram).  Straight-line and branchy loops bound the per-retired-  *)
+(* instruction cost on both ISAs; the parse-heavy rows measure the     *)
+(* end-to-end benign-response parse through connmand with and without  *)
+(* the oracle attached — the number a deployment would actually pay.   *)
+(* ------------------------------------------------------------------ *)
+
+let x86_sanitized_runner program =
+  let mem = Mem.create () in
+  let r = Isa_x86.Asm.assemble ~base:x86_text_base program in
+  Mem.map mem ~base:x86_text_base ~size:Mem.page_size ~perm:Mem.rx ~name:".text";
+  Mem.poke_bytes mem x86_text_base r.Isa_x86.Asm.code;
+  Mem.map mem ~base:x86_stack_base ~size:0x4000 ~perm:Mem.rw ~name:"stack";
+  let cpu = Isa_x86.Cpu.create ~icache:true mem in
+  let oracle = Sanitizer.Oracle.create () in
+  let kernel _ _ = Machine.Outcome.Resume in
+  fun () ->
+    Sanitizer.Oracle.begin_parse oracle;
+    Array.fill cpu.Isa_x86.Cpu.regs 0 8 0;
+    Isa_x86.Cpu.set cpu Isa_x86.Insn.ESP (x86_stack_base + 0x3000);
+    cpu.Isa_x86.Cpu.eip <- x86_text_base;
+    cpu.Isa_x86.Cpu.zf <- false;
+    cpu.Isa_x86.Cpu.sf <- false;
+    cpu.Isa_x86.Cpu.cf <- false;
+    cpu.Isa_x86.Cpu.o_f <- false;
+    cpu.Isa_x86.Cpu.steps <- 0;
+    match Isa_x86.Cpu.run_sanitized ~fuel:10_000_000 ~traps:[] ~kernel ~oracle cpu with
+    | Machine.Outcome.Halted -> ()
+    | other ->
+        failwith (Format.asprintf "sanitizer bench: %a" Machine.Outcome.pp other)
+
+let arm_sanitized_runner program =
+  let mem = Mem.create () in
+  let r = Isa_arm.Asm.assemble ~base:arm_text_base program in
+  Mem.map mem ~base:arm_text_base ~size:Mem.page_size ~perm:Mem.rx ~name:".text";
+  Mem.poke_bytes mem arm_text_base r.Isa_arm.Asm.code;
+  Mem.map mem ~base:arm_stack_base ~size:0x4000 ~perm:Mem.rw ~name:"stack";
+  let cpu = Isa_arm.Cpu.create ~icache:true mem in
+  let oracle = Sanitizer.Oracle.create () in
+  let kernel n _ =
+    if n = 0 then Machine.Outcome.Resume
+    else Machine.Outcome.Stop Machine.Outcome.Halted
+  in
+  fun () ->
+    Sanitizer.Oracle.begin_parse oracle;
+    Array.fill cpu.Isa_arm.Cpu.regs 0 16 0;
+    Isa_arm.Cpu.set cpu Isa_arm.Insn.SP (arm_stack_base + 0x3000);
+    Isa_arm.Cpu.set_pc cpu arm_text_base;
+    cpu.Isa_arm.Cpu.n <- false;
+    cpu.Isa_arm.Cpu.z <- false;
+    cpu.Isa_arm.Cpu.c <- false;
+    cpu.Isa_arm.Cpu.v <- false;
+    cpu.Isa_arm.Cpu.steps <- 0;
+    match Isa_arm.Cpu.run_sanitized ~fuel:10_000_000 ~traps:[] ~kernel ~oracle cpu with
+    | Machine.Outcome.Halted -> ()
+    | other ->
+        failwith (Format.asprintf "sanitizer bench: %a" Machine.Outcome.pp other)
+
+(* One live daemon per variant; with the oracle attached every response
+   byte is tainted and the parse runs under [run_sanitized] (benign
+   bytes, so zero reports — pure overhead). *)
+let sanitizer_parse_bench ~sanitize arch =
+  let d = Dnsproxy.create (mk_config arch Profile.wx 9) in
+  if sanitize then Dnsproxy.set_sanitizer d (Some (Sanitizer.Oracle.create ()));
+  fun () -> ignore (Dnsproxy.handle_response d (benign_wire d))
+
+let sanitizer_workloads ~iters =
+  [
+    ( "sanitizer/straight-x86",
+      fst (x86_runner ~perm:Mem.rx ~icache:true (x86_straight iters)),
+      x86_sanitized_runner (x86_straight iters) );
+    ( "sanitizer/branchy-x86",
+      fst (x86_runner ~perm:Mem.rx ~icache:true (x86_branchy iters)),
+      x86_sanitized_runner (x86_branchy iters) );
+    ( "sanitizer/straight-arm",
+      fst (arm_runner ~perm:Mem.rx ~icache:true (arm_straight iters)),
+      arm_sanitized_runner (arm_straight iters) );
+    ( "sanitizer/branchy-arm",
+      fst (arm_runner ~perm:Mem.rx ~icache:true (arm_branchy iters)),
+      arm_sanitized_runner (arm_branchy iters) );
+    ( "sanitizer/parse-x86",
+      sanitizer_parse_bench ~sanitize:false Loader.Arch.X86,
+      sanitizer_parse_bench ~sanitize:true Loader.Arch.X86 );
+    ( "sanitizer/parse-arm",
+      sanitizer_parse_bench ~sanitize:false Loader.Arch.Arm,
+      sanitizer_parse_bench ~sanitize:true Loader.Arch.Arm );
+  ]
+
+let run_sanitizer_json ~smoke ~out () =
+  let iters = if smoke then 64 else 512 in
+  let cfg =
+    if smoke then
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  Format.printf "=== Sanitizer overhead benches%s ===@.@."
+    (if smoke then " (smoke: few iterations)" else "");
+  Format.printf "%-24s %14s %14s %9s@." "workload" "plain" "sanitized"
+    "overhead";
+  Format.printf "%s@." (String.make 66 '-');
+  let rows =
+    List.map
+      (fun (name, plain, sanitized) ->
+        let p_ns, p_r2 = time_fn cfg (name ^ "/plain") plain in
+        let s_ns, s_r2 = time_fn cfg (name ^ "/sanitized") sanitized in
+        let overhead = s_ns /. p_ns in
+        Format.printf "%-24s %14s %14s %8.2fx@." name (pretty_nanos p_ns)
+          (pretty_nanos s_ns) overhead;
+        (name, p_ns, p_r2, s_ns, s_r2, overhead))
+      (sanitizer_workloads ~iters)
+  in
+  write_bench_json ~suite:"sanitizer" ~smoke
+    ~meta:[ ("iters", string_of_int iters) ]
+    ~out
+    (List.concat_map
+       (fun (name, p_ns, p_r2, s_ns, s_r2, overhead) ->
+         [
+           bench_row (name ^ "/plain") "ns_per_run" p_ns
+             ~extra:[ ("r_square", p_r2) ];
+           bench_row (name ^ "/sanitized") "ns_per_run" s_ns
+             ~extra:[ ("r_square", s_r2) ];
+           bench_row (name ^ "/overhead") "ratio" overhead;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 (* Fault-injection path benches: BENCH_faults.json                     *)
 (*                                                                     *)
 (*   dune exec bench/main.exe -- faults            (full measurement)  *)
@@ -1011,7 +1145,8 @@ let () =
     let path name = Filename.concat dir name in
     run_cache_json ~smoke ~out:(path "BENCH_cache.json") ();
     run_cpu_json ~smoke ~out:(path "BENCH_cpu.json") ();
-    run_faults_json ~smoke ~out:(path "BENCH_faults.json") ()
+    run_faults_json ~smoke ~out:(path "BENCH_faults.json") ();
+    run_sanitizer_json ~smoke ~out:(path "BENCH_sanitizer.json") ()
   end
   else if List.mem "cache" argv then
     run_cache_json ~smoke ~out:(out_of "BENCH_cache.json" argv) ()
@@ -1019,6 +1154,8 @@ let () =
     run_cpu_json ~smoke ~out:(out_of "BENCH_cpu.json" argv) ()
   else if List.mem "faults" argv then
     run_faults_json ~smoke ~out:(out_of "BENCH_faults.json" argv) ()
+  else if List.mem "sanitizer" argv then
+    run_sanitizer_json ~smoke ~out:(out_of "BENCH_sanitizer.json" argv) ()
   else begin
     print_experiments ();
     print_parse_costs ();

@@ -9,6 +9,8 @@
      layout       — print a booted process's address-space layout
      trace        — replay a matrix cell with the cross-layer tracer on
      profile      — instruction-level profile of a matrix cell's parses
+     sanitize     — the detection matrix: every cell under the taint
+                    sanitizer, with symbolized exploit reports
      metrics      — cache stats + the Prometheus-style metrics registry
                     (cache-stats is its deprecated alias) *)
 
@@ -18,7 +20,10 @@ let arch_conv =
   let parse = function
     | "x86" -> Ok Loader.Arch.X86
     | "arm" | "armv7" -> Ok Loader.Arch.Arm
-    | s -> Error (`Msg ("unknown architecture: " ^ s))
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown architecture: %s (expected x86, arm, or armv7)" s))
   in
   Arg.conv (parse, Loader.Arch.pp)
 
@@ -27,7 +32,10 @@ let profile_conv =
     | "none" -> Ok Defense.Profile.none
     | "wx" -> Ok Defense.Profile.wx
     | "wx+aslr" | "aslr" -> Ok Defense.Profile.wx_aslr
-    | s -> Error (`Msg ("unknown profile: " ^ s))
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown profile: %s (expected none, wx, wx+aslr, or aslr)" s))
   in
   Arg.conv (parse, Defense.Profile.pp)
 
@@ -329,6 +337,68 @@ let profile_cmd =
           attached and print a per-symbol flat profile.")
     Term.(const run $ seed_arg $ cell_arg $ schedule_arg $ top_arg $ folded_arg)
 
+let sanitize_cmd =
+  let run seed out check show_reports =
+    let rows = Core.Experiments.detection_matrix ~seed () in
+    Format.printf "%a@." Core.Experiments.pp_detection rows;
+    if show_reports then
+      List.iter
+        (fun (r : Core.Experiments.detection_row) ->
+          match r.Core.Experiments.det_rendered with
+          | [] -> ()
+          | lines ->
+              Format.printf "@.%s (%s, %s):@." r.Core.Experiments.det_cell
+                r.Core.Experiments.det_arch r.Core.Experiments.det_profile;
+              List.iter (fun l -> Format.printf "  %s@." l) lines)
+        rows;
+    let json = Core.Experiments.detection_json ~seed rows in
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc json;
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    let json_ok =
+      (not check)
+      ||
+      match Telemetry.Json.validate json with
+      | Ok () ->
+          Format.printf "detection json: well-formed@.";
+          true
+      | Error e ->
+          Format.eprintf "detection json: INVALID (%s)@." e;
+          false
+    in
+    if json_ok && List.for_all (fun r -> r.Core.Experiments.det_ok) rows then 0
+    else 1
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the detection matrix as JSON to a file.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Validate the exported JSON; exit 1 if malformed.")
+  in
+  let reports_arg =
+    Arg.(
+      value & flag
+      & info [ "reports" ]
+          ~doc:"Also print every sanitizer report (symbolized), per cell.")
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Re-run the DoS, the six-exploit matrix, and benign controls under \
+          the byte-granular taint sanitizer; print where each attack was \
+          first detected (exit 1 if any cell is missed or a benign control \
+          reports).")
+    Term.(const run $ seed_arg $ out_arg $ check_arg $ reports_arg)
+
 let botnet_cmd =
   let run seed =
     let pick n = Option.get (Core.Firmware.find n) in
@@ -578,6 +648,7 @@ let () =
             disasm_cmd;
             trace_cmd;
             profile_cmd;
+            sanitize_cmd;
             botnet_cmd;
             metrics_cmd;
             cache_stats_cmd;

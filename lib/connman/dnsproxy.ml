@@ -44,6 +44,7 @@ type t = {
   mutable clock : int;  (* logical seconds, advanced by [tick] *)
   mutable telemetry : Telemetry.Trace.t option;
   mutable profiler : Telemetry.Profile.t option;
+  mutable sanitizer : Sanitizer.Oracle.t option;
   mutable icache_hits : int;  (* across parses and restarts *)
   mutable icache_misses : int;
 }
@@ -84,6 +85,7 @@ let create ?cache_capacity config =
     clock = 0;
     telemetry = None;
     profiler = None;
+    sanitizer = None;
     icache_hits = 0;
     icache_misses = 0;
   }
@@ -116,9 +118,20 @@ let snapshot_regions t =
 let set_trace t tr =
   t.telemetry <- tr;
   Mem.set_trace t.proc.Loader.Process.mem tr;
+  (match t.sanitizer with
+  | Some oracle -> Sanitizer.Oracle.set_trace oracle tr
+  | None -> ());
   snapshot_regions t
 
 let set_profiler t p = t.profiler <- p
+
+let set_sanitizer t oracle =
+  t.sanitizer <- oracle;
+  match oracle with
+  | Some o -> Sanitizer.Oracle.set_trace o t.telemetry
+  | None -> ()
+
+let sanitizer t = t.sanitizer
 
 let restart t =
   t.restarts <- t.restarts + 1;
@@ -229,7 +242,28 @@ let disposition_event t = function
   | Blocked r ->
       trace_event t "blocked" [ ("reason", Telemetry.Trace.S (O.to_string r)) ]
 
-let handle_response t wire =
+(* The protocol boundary is where taint enters: every byte of the UDP
+   response lands in the guest rx buffer carrying a provenance label
+   (source id + wire offset), and the overflow frame's return slot and
+   redzone are registered from the {!Frame} geometry — this is all the
+   sanitizer needs to chain a later detection back to the exact wire
+   byte.  [origin] names where the datagram came from (the netsim source
+   address when delivered through {!Core.Device}). *)
+let arm_sanitizer t ~origin proc buf wire =
+  match t.sanitizer with
+  | None -> ()
+  | Some oracle ->
+      Sanitizer.Oracle.begin_parse oracle;
+      let src =
+        Sanitizer.Oracle.new_source oracle ~origin
+          ~length:(String.length wire)
+      in
+      Sanitizer.Oracle.taint oracle ~src buf ~len:(String.length wire);
+      Sanitizer.Oracle.protect_frame oracle
+        ~buffer:(Frame.buffer_addr proc)
+        (Frame.geometry t.config.arch)
+
+let handle_response ?(origin = "udp") t wire =
   trace_event t "rx-response"
     [ ("bytes", Telemetry.Trace.I (String.length wire)) ];
   let d =
@@ -245,6 +279,7 @@ let handle_response t wire =
           if String.length wire > heap_size then Dropped "oversized datagram"
           else begin
             Mem.write_bytes proc.Loader.Process.mem buf wire;
+            arm_sanitizer t ~origin proc buf wire;
             let entry = Loader.Process.symbol proc "parse_response" in
             let ts0 =
               match t.telemetry with
@@ -252,8 +287,8 @@ let handle_response t wire =
               | None -> 0
             in
             let r =
-              Loader.Process.call proc ~fuel:400_000 ?trace:t.telemetry
-                ?profile:t.profiler ~entry
+              Loader.Process.call proc ~fuel:400_000 ?sanitizer:t.sanitizer
+                ?trace:t.telemetry ?profile:t.profiler ~entry
                 ~args:[ buf; String.length wire ]
             in
             t.steps <- r.Loader.Process.steps;
@@ -314,4 +349,7 @@ let register_metrics t reg =
   Telemetry.Metrics.probe reg ~labels ~kind:`Counter
     ~help:"decoded-instruction cache misses across parses"
     "daemon_icache_misses_total" (fun () -> float_of_int t.icache_misses);
+  (match t.sanitizer with
+  | Some oracle -> Sanitizer.Oracle.register_metrics oracle reg
+  | None -> ());
   Dns.Cache.register_metrics t.cache reg ~prefix:track

@@ -48,10 +48,15 @@ val make_query : t -> Dns.Name.t -> Dns.Packet.t
 (** Allocate a transaction id and record it as pending (the proxy
     forwarding a client lookup upstream). *)
 
-val handle_response : t -> string -> disposition
+val handle_response : ?origin:string -> t -> string -> disposition
 (** Feed raw wire bytes, as received from the configured DNS server.
     An NXDOMAIN matching a pending question is negatively cached and
-    dropped before the machine-level parse. *)
+    dropped before the machine-level parse.  When a sanitizer oracle is
+    attached ({!set_sanitizer}), every wire byte reaching the guest rx
+    buffer is tainted with a fresh provenance source labelled [origin]
+    (default ["udp"]; {!Core.Device} passes the netsim source address),
+    the overflow frame's return slot and redzone are registered from the
+    {!Frame} geometry, and the parse runs under [run_sanitized]. *)
 
 val peek_pending : t -> int -> Dns.Packet.question option
 (** Is this transaction id outstanding?  (Used by scenarios to attribute
@@ -89,6 +94,16 @@ val set_trace : t -> Telemetry.Trace.t option -> unit
 
 val set_profiler : t -> Telemetry.Profile.t option -> unit
 (** Record every pc the parse retires into this profiler. *)
+
+val set_sanitizer : t -> Sanitizer.Oracle.t option -> unit
+(** Attach (or detach) the taint sanitizer.  Subsequent responses parse
+    under [run_sanitized] with per-datagram taint sources; outcomes and
+    dispositions are identical to an unsanitized daemon (the sanitizer
+    is an observer), but the oracle accumulates reports.  The attached
+    trace sink, if any, is shared with the oracle (["sanitizer"]
+    category events). *)
+
+val sanitizer : t -> Sanitizer.Oracle.t option
 
 val register_metrics : t -> Telemetry.Metrics.t -> unit
 (** Register [daemon_*] probes (labelled [{daemon="connmand"}]) and the

@@ -40,7 +40,11 @@ let create world ~name ~config =
   (* Responses to the proxy's upstream queries arrive on the client
      port and flow into the vulnerable parse path. *)
   W.on_udp host ~port:dns_client_port (fun _ctx dgram ->
-      let disposition = Dnsproxy.handle_response daemon dgram.W.payload in
+      let disposition =
+        Dnsproxy.handle_response
+          ~origin:(Netsim.Ip.to_string dgram.W.src)
+          daemon dgram.W.payload
+      in
       t.dispositions <- disposition :: t.dispositions;
       (match classify disposition with
       | `Online -> ()

@@ -654,8 +654,14 @@ let run_instrumented_cell ?(seed = 1) ?(schedule = "clean") ?trace ?profiler
     ( List.find_opt (fun (id, _, _, _) -> id = cell) chaos_cells,
       List.assoc_opt schedule chaos_schedules )
   with
-  | None, _ -> Error (Printf.sprintf "unknown cell %S" cell)
-  | _, None -> Error (Printf.sprintf "unknown schedule %S" schedule)
+  | None, _ ->
+      Error
+        (Printf.sprintf "unknown cell %S (expected one of: %s)" cell
+           (String.concat ", " (List.map (fun (id, _, _, _) -> id) chaos_cells)))
+  | _, None ->
+      Error
+        (Printf.sprintf "unknown schedule %S (expected one of: %s)" schedule
+           (String.concat ", " (List.map fst chaos_schedules)))
   | Some cell_spec, Some policy ->
       let daemon_ref = ref None in
       let instrument world device sup =
@@ -839,6 +845,174 @@ let pp_table ppf rows =
   Format.fprintf ppf "%s@." line;
   let passed = List.length (List.filter (fun r -> r.ok) rows) in
   Format.fprintf ppf "%d/%d experiment rows reproduce the paper@." passed
+    (List.length rows)
+
+(* --- D: detection matrix — every cell re-run under the sanitizer -------- *)
+
+module Oracle = Sanitizer.Oracle
+
+type detection_row = {
+  det_cell : string;  (** "DoS", "E1".."E6", "benign-x86", "benign-arm" *)
+  det_arch : string;
+  det_profile : string;
+  det_disposition : string;  (** {!disposition_word} of the sanitized run *)
+  det_reports : int;
+  det_counts : (string * int) list;  (** per-kind counts, severity order *)
+  det_first : Oracle.report option;  (** earliest detection point *)
+  det_first_symbol : string;  (** symbolized pc of that report, [""] if none *)
+  det_rendered : string list;  (** every report, rendered and symbolized *)
+  det_ok : bool;
+}
+
+let detection_kinds =
+  [
+    Oracle.Redzone_write;
+    Oracle.Ret_slot_overwrite;
+    Oracle.Tainted_pc;
+    Oracle.Tainted_syscall;
+  ]
+
+(* The sanitizer must catch an exploit before (or at) the control-flow
+   hijack: anything up to tainted-pc counts as a timely first detection.
+   A first detection of tainted-syscall alone would mean the smash and
+   the hijack both went unnoticed. *)
+let detection_cells =
+  ("DoS", Loader.Arch.X86, Profile.wx, `Dos)
+  :: List.map
+       (fun (id, _, arch, profile, strategy, _) ->
+         (id, arch, profile, `Exploit strategy))
+       matrix_cells
+  @ [
+      ("benign-x86", Loader.Arch.X86, Profile.wx, `Benign);
+      ("benign-arm", Loader.Arch.Arm, Profile.wx, `Benign);
+    ]
+
+let benign_wire d =
+  let q = Dnsproxy.make_query d lookup in
+  Dns.Packet.encode
+    (Dns.Packet.response ~query:q
+       [ Dns.Packet.a_record lookup ~ttl:300 ~ipv4:0x5DB8_D822 ])
+
+let detection_matrix ?(seed = 1) () =
+  List.map
+    (fun (cell, arch, profile, kind) ->
+      let d = mk_device ~seed arch profile in
+      let oracle = Oracle.create () in
+      Dnsproxy.set_sanitizer d (Some oracle);
+      let disposition =
+        match kind with
+        | `Dos ->
+            let q = Dnsproxy.make_query d lookup in
+            Some (Dnsproxy.handle_response d (dos_wire q))
+        | `Benign -> Some (Dnsproxy.handle_response d (benign_wire d))
+        | `Exploit strategy -> (
+            match fire ~strategy d with
+            | Error _ -> None
+            | Ok (_, disposition) -> Some disposition)
+      in
+      let det_disposition =
+        match disposition with
+        | None -> "generation failed"
+        | Some disp -> disposition_word disp
+      in
+      let first = Oracle.first_report oracle in
+      let symbolize pc = Exploit.Debugger.symbolize (Dnsproxy.process d) pc in
+      let det_first_symbol =
+        match first with None -> "" | Some r -> symbolize r.Oracle.pc
+      in
+      let benign = match kind with `Benign -> true | _ -> false in
+      let det_ok =
+        if benign then
+          (* Zero false positives on well-formed traffic. *)
+          det_disposition = "parsed" && Oracle.report_count oracle = 0
+        else
+          det_disposition <> "parsed"
+          && det_disposition <> "dropped"
+          &&
+          match first with
+          | None -> false
+          | Some r ->
+              Oracle.severity r.Oracle.kind
+              <= Oracle.severity Oracle.Tainted_pc
+      in
+      {
+        det_cell = cell;
+        det_arch = Loader.Arch.name arch;
+        det_profile = Profile.name profile;
+        det_disposition;
+        det_reports = Oracle.report_count oracle;
+        det_counts =
+          List.map
+            (fun k -> (Oracle.kind_name k, Oracle.count oracle k))
+            detection_kinds;
+        det_first = first;
+        det_first_symbol;
+        det_rendered =
+          List.map (Oracle.render ~symbolize) (Oracle.reports oracle);
+        det_ok;
+      })
+    detection_cells
+
+(* Deterministic serialization, same contract as [chaos_json]. *)
+let detection_json ?(seed = 1) rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"detection-matrix-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n  \"rows\": [\n" seed);
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"cell\": %S, \"arch\": %S, \"profile\": %S, \
+            \"disposition\": %S, \"reports\": %d" r.det_cell r.det_arch
+           r.det_profile r.det_disposition r.det_reports);
+      List.iter
+        (fun (k, n) ->
+          Buffer.add_string b (Printf.sprintf ", \"%s\": %d" k n))
+        r.det_counts;
+      (match r.det_first with
+      | None -> Buffer.add_string b ", \"first\": null"
+      | Some f ->
+          Buffer.add_string b
+            (Printf.sprintf
+               ", \"first\": {\"kind\": %S, \"step\": %d, \"pc\": \"0x%08x\", \
+                \"addr\": \"0x%08x\", \"target\": \"0x%08x\", \"source\": %d, \
+                \"wire_offset\": %d, \"origin\": %S, \"symbol\": %S, \
+                \"detail\": %S}"
+               (Oracle.kind_name f.Oracle.kind)
+               f.Oracle.step f.Oracle.pc f.Oracle.addr f.Oracle.target
+               (Oracle.source_id f) (Oracle.wire_offset f) f.Oracle.origin
+               r.det_first_symbol f.Oracle.detail));
+      Buffer.add_string b
+        (Printf.sprintf ", \"ok\": %b}%s\n" r.det_ok
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let pp_detection ppf rows =
+  let line = String.make 112 '-' in
+  Format.fprintf ppf "detection matrix (sanitizer oracle)@.%s@." line;
+  Format.fprintf ppf "%-11s %-5s %-8s %-15s %8s  %-20s %s@." "cell" "arch"
+    "profile" "disposition" "reports" "first detection" "at";
+  Format.fprintf ppf "%s@." line;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-11s %-5s %-8s %-15s %8d  %-20s %s  [%s]@."
+        r.det_cell r.det_arch r.det_profile r.det_disposition r.det_reports
+        (match r.det_first with
+        | None -> "-"
+        | Some f -> Oracle.kind_name f.Oracle.kind)
+        (match r.det_first with
+        | None -> "-"
+        | Some f ->
+            Printf.sprintf "step %d, %s, wire[%d]@%s" f.Oracle.step
+              r.det_first_symbol (Oracle.wire_offset f)
+              f.Oracle.origin)
+        (if r.det_ok then "PASS" else "FAIL"))
+    rows;
+  Format.fprintf ppf "%s@." line;
+  let passed = List.length (List.filter (fun r -> r.det_ok) rows) in
+  Format.fprintf ppf "%d/%d cells detected as expected@." passed
     (List.length rows)
 
 let pp_markdown ppf rows =

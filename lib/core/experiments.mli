@@ -143,3 +143,36 @@ val chaos_json : chaos_report -> string
     precision): identical seeds give identical bytes. *)
 
 val pp_chaos : Format.formatter -> chaos_report -> unit
+
+(** {2 Detection matrix}
+
+    The DoS cell, the six-exploit matrix, and two benign controls re-run
+    with the {!Sanitizer.Oracle} attached to the daemon.  Each row
+    records the (unchanged) disposition, how many sanitizer reports
+    fired, and the {e first} detection point — the earliest moment the
+    taint rules could have stopped the attack.  [det_ok] demands that
+    every attack cell is caught no later than the control-flow hijack
+    ([tainted-pc]) and that benign traffic produces zero reports. *)
+
+type detection_row = {
+  det_cell : string;  (** "DoS", "E1".."E6", "benign-x86", "benign-arm" *)
+  det_arch : string;
+  det_profile : string;
+  det_disposition : string;  (** {!disposition_word} of the sanitized run *)
+  det_reports : int;
+  det_counts : (string * int) list;  (** per-kind counts, severity order *)
+  det_first : Sanitizer.Oracle.report option;  (** earliest detection *)
+  det_first_symbol : string;  (** symbolized pc of that report, [""] if none *)
+  det_rendered : string list;  (** every report, rendered and symbolized *)
+  det_ok : bool;
+}
+
+val detection_matrix : ?seed:int -> unit -> detection_row list
+(** Deterministic: identical seeds give identical rows (and therefore
+    identical {!detection_json} bytes). *)
+
+val detection_json : ?seed:int -> detection_row list -> string
+(** Deterministic serialization ([detection-matrix-v1] schema, fixed
+    field order). *)
+
+val pp_detection : Format.formatter -> detection_row list -> unit

@@ -565,3 +565,233 @@ let run_traced ?(fuel = 2_000_000) ~traps ~kernel ?trace ?profile t =
   | Some tr -> Tr.set_now tr (base_ts + t.steps)
   | None -> ());
   reason
+
+(* Sanitized fetch-decode-execute — the ARM twin of the x86
+   [run_sanitized]: peek, run the oracle's pre-step rules against the
+   pre-state, step through the same [step] core as [run] (outcomes and
+   step counts bit-identical), then commit taint effects only if the
+   instruction retired.  All planner reads of guest memory are guarded
+   against faults; a condition-failed instruction plans nothing, exactly
+   as it executes nothing. *)
+let run_sanitized ?(fuel = 2_000_000) ~traps ~kernel ~oracle t =
+  let module O = Sanitizer.Oracle in
+  let module Shadow = Memsim.Shadow in
+  let rlab r = match r with PC -> 0 | _ -> O.reg_label oracle (reg_index r) in
+  let set_rlab r l = O.set_reg_label oracle (reg_index r) l in
+  let mlab8 a = O.mem_label oracle a in
+  let mlab32 a = O.mem_label32 oracle a in
+  let lab_op2 = function Imm _ -> 0 | Reg r | Lsl (r, _) -> rlab r in
+  let try_read32 a =
+    match Mem.read_u32 t.mem a with v -> v | exception Mem.Fault _ -> 0
+  in
+  let cstring_label addr =
+    let rec go i =
+      if i >= 256 then 0
+      else
+        let a = Word.add addr i in
+        match Mem.read_u8 t.mem a with
+        | exception Mem.Fault _ -> 0
+        | 0 -> 0
+        | _ ->
+            let l = mlab8 a in
+            if l <> 0 then l else go (i + 1)
+    in
+    go 0
+  in
+  let peek addr =
+    match Decode.decode t.mem addr with
+    | insn -> Some insn
+    | exception Decode.Error _ -> None
+    | exception Mem.Fault _ -> None
+  in
+  let nothing () = () in
+  let rec loop budget =
+    if budget <= 0 then Outcome.Fuel_exhausted
+    else if List.mem (pc t) traps then Outcome.Halted
+    else begin
+      let pc0 = pc t in
+      let stepno = t.steps in
+      let store ~addr ~len ~value ~label =
+        O.store oracle ~pc:pc0 ~step:stepno ~addr ~len ~value ~label
+      in
+      let check_pc ~target ~slot ~label ~detail =
+        O.check_pc oracle ~pc:pc0 ~step:stepno ~target ~slot ~label ~detail
+      in
+      let commit =
+        match peek pc0 with
+        | Some { cond; op } when cond_holds t cond -> (
+            (* Data-processing result label; a write to pc with a tainted
+               result is the hijack. *)
+            let dp rd v l =
+              if rd = PC then begin
+                check_pc ~target:(Word.of_int v land lnot 1) ~slot:0 ~label:l
+                  ~detail:"tainted value written to pc";
+                nothing
+              end
+              else fun () -> set_rlab rd l
+            in
+            match op with
+            | Cmp _ | Tst _ | B _ -> nothing
+            | Mov (rd, o) -> dp rd (op2_value t o) (lab_op2 o)
+            | Mvn (rd, o) ->
+                dp rd (Word.lognot (op2_value t o)) (lab_op2 o)
+            | Eor (rd, rn, Reg rm) when rn = rm ->
+                (* eor r, r, r clears the value — no attacker bytes
+                   survive. *)
+                dp rd 0 0
+            | Add (rd, rn, o) ->
+                dp rd
+                  (Word.add (get t rn) (op2_value t o))
+                  (Shadow.join (rlab rn) (lab_op2 o))
+            | Sub (rd, rn, o) ->
+                dp rd
+                  (Word.sub (get t rn) (op2_value t o))
+                  (Shadow.join (rlab rn) (lab_op2 o))
+            | Rsb (rd, rn, o) ->
+                dp rd
+                  (Word.sub (op2_value t o) (get t rn))
+                  (Shadow.join (rlab rn) (lab_op2 o))
+            | And (rd, rn, o) ->
+                dp rd
+                  (get t rn land op2_value t o)
+                  (Shadow.join (rlab rn) (lab_op2 o))
+            | Orr (rd, rn, o) ->
+                dp rd
+                  (get t rn lor op2_value t o)
+                  (Shadow.join (rlab rn) (lab_op2 o))
+            | Eor (rd, rn, o) ->
+                dp rd
+                  (get t rn lxor op2_value t o)
+                  (Shadow.join (rlab rn) (lab_op2 o))
+            | Bic (rd, rn, o) ->
+                dp rd
+                  (get t rn land Word.lognot (op2_value t o))
+                  (Shadow.join (rlab rn) (lab_op2 o))
+            | Mul (rd, rm, rs) ->
+                dp rd
+                  (Word.mul (get t rm) (get t rs))
+                  (Shadow.join (rlab rm) (rlab rs))
+            | Ldr (rd, rn, off) ->
+                let a = Word.add (get t rn) off in
+                let l = mlab32 a in
+                if rd = PC then begin
+                  check_pc
+                    ~target:(try_read32 a land lnot 1)
+                    ~slot:a ~label:l ~detail:"pc loaded from tainted memory";
+                  nothing
+                end
+                else fun () -> set_rlab rd l
+            | Ldr_r (rd, rn, rm) ->
+                let a = Word.add (get t rn) (get t rm) in
+                let l = mlab32 a in
+                if rd = PC then begin
+                  check_pc
+                    ~target:(try_read32 a land lnot 1)
+                    ~slot:a ~label:l ~detail:"pc loaded from tainted memory";
+                  nothing
+                end
+                else fun () -> set_rlab rd l
+            | Ldrb (rd, rn, off) ->
+                let a = Word.add (get t rn) off in
+                let l = mlab8 a in
+                fun () -> set_rlab rd l
+            | Ldrb_r (rd, rn, rm) ->
+                let a = Word.add (get t rn) (get t rm) in
+                let l = mlab8 a in
+                fun () -> set_rlab rd l
+            | Str (rd, rn, off) ->
+                let a = Word.add (get t rn) off in
+                let l = rlab rd and v = get t rd in
+                fun () -> store ~addr:a ~len:4 ~value:v ~label:l
+            | Str_r (rd, rn, rm) ->
+                let a = Word.add (get t rn) (get t rm) in
+                let l = rlab rd and v = get t rd in
+                fun () -> store ~addr:a ~len:4 ~value:v ~label:l
+            | Strb (rd, rn, off) ->
+                let a = Word.add (get t rn) off in
+                let l = rlab rd and v = get t rd land 0xFF in
+                fun () -> store ~addr:a ~len:1 ~value:v ~label:l
+            | Strb_r (rd, rn, rm) ->
+                let a = Word.add (get t rn) (get t rm) in
+                let l = rlab rd and v = get t rd land 0xFF in
+                fun () -> store ~addr:a ~len:1 ~value:v ~label:l
+            | Push regs ->
+                let n = List.length regs in
+                let base = Word.sub (get t SP) (4 * n) in
+                let slots =
+                  List.mapi
+                    (fun i r -> (Word.add base (4 * i), r, rlab r, get t r))
+                    regs
+                in
+                fun () ->
+                  List.iter
+                    (fun (a, r, l, v) ->
+                      store ~addr:a ~len:4 ~value:v ~label:l;
+                      if r = LR then O.note_ret_slot oracle a)
+                    slots
+            | Pop regs ->
+                let sp0 = get t SP in
+                let slots =
+                  List.mapi (fun i r -> (Word.add sp0 (4 * i), r)) regs
+                in
+                List.iter
+                  (fun (a, r) ->
+                    if r = PC then
+                      check_pc
+                        ~target:(try_read32 a land lnot 1)
+                        ~slot:a ~label:(mlab32 a)
+                        ~detail:"pop {…, pc} from attacker-controlled stack")
+                  slots;
+                fun () ->
+                  List.iter
+                    (fun (a, r) ->
+                      if r = PC then O.clear_ret_slot oracle a
+                      else set_rlab r (mlab32 a))
+                    slots
+            | Bl _ -> fun () -> set_rlab LR 0
+            | Bx r ->
+                check_pc
+                  ~target:(get t r land lnot 1)
+                  ~slot:0 ~label:(rlab r) ~detail:"bx through tainted register";
+                nothing
+            | Blx_r r ->
+                check_pc
+                  ~target:(get t r land lnot 1)
+                  ~slot:0 ~label:(rlab r)
+                  ~detail:"blx through tainted register";
+                fun () -> set_rlab LR 0
+            | Svc n ->
+                if n = 0 then begin
+                  let number = get t R7 in
+                  let lnum = rlab R7 in
+                  let exec =
+                    number = Machine.Sysno.execve
+                    || number = Machine.Sysno.exec_varargs
+                  in
+                  let path = get t R0 in
+                  let larg =
+                    if exec then
+                      Shadow.join (rlab R0)
+                        (Shadow.join (cstring_label path) (rlab R1))
+                    else 0
+                  in
+                  let label = Shadow.join lnum larg in
+                  if label <> 0 then
+                    O.check_syscall oracle ~pc:pc0 ~step:stepno ~number
+                      ~addr:(if exec then path else 0)
+                      ~label
+                      ~detail:
+                        (if lnum <> 0 then "tainted syscall number"
+                         else "exec path/args from attacker bytes")
+                end;
+                nothing)
+        | _ -> nothing
+      in
+      match step t ~kernel with
+      | Some reason -> reason
+      | None ->
+          commit ();
+          loop (budget - 1)
+    end
+  in
+  loop fuel

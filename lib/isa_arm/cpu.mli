@@ -78,3 +78,19 @@ val run_traced :
     reason) into [trace], every retired pc into [profile].  Same
     {!step} core as {!run}, so outcomes and step counts are identical
     traced or not; the untraced loops carry no tracing branch. *)
+
+val run_sanitized :
+  ?fuel:int ->
+  traps:int list ->
+  kernel:kernel ->
+  oracle:Sanitizer.Oracle.t ->
+  t ->
+  Machine.Outcome.stop_reason
+(** Like {!run}, under the taint sanitizer — the ARM twin of the x86
+    [run_sanitized]: loads/stores/data-processing ops propagate labels
+    through [oracle], and the detections (redzone write, return-slot
+    overwrite, tainted pc via [pop {…, pc}]/[bx]/[blx]/pc-writing DP
+    ops, tainted [svc]) fire as instructions are about to retire.  Same
+    {!step} core as {!run}; the oracle never touches guest state, so
+    outcomes, step counts, and registers are bit-identical sanitized or
+    not. *)

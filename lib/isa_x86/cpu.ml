@@ -613,3 +613,213 @@ let run_traced ?(fuel = 2_000_000) ~traps ~kernel ?trace ?profile t =
   | Some tr -> Tr.set_now tr (base_ts + t.steps)
   | None -> ());
   reason
+
+(* Sanitized fetch-decode-execute.  Like [run_traced], a separate entry
+   point so the untraced hot loops stay untouched.  Each iteration peeks
+   the next instruction, runs the oracle's pre-step rules (tainted-pc on
+   indirect control transfers, tainted-syscall on [int]) against the
+   *pre*-state, steps through the same [step] as [run] — so outcomes,
+   step counts, and registers are bit-identical to a plain run — and then,
+   only if the instruction retired, commits its taint effects (shadow
+   bytes for stores, register labels for loads/ALU ops, return-slot
+   bookkeeping for call/ret).  The oracle never touches guest state, and
+   every guest read the planner itself performs is guarded against
+   faults, so planning cannot perturb execution. *)
+let run_sanitized ?(fuel = 2_000_000) ~traps ~kernel ~oracle t =
+  let module O = Sanitizer.Oracle in
+  let module Shadow = Memsim.Shadow in
+  let rlab r = O.reg_label oracle (reg_index r) in
+  let set_rlab r l = O.set_reg_label oracle (reg_index r) l in
+  let mlab8 a = O.mem_label oracle a in
+  let mlab32 a = O.mem_label32 oracle a in
+  let lab_op = function Reg r -> rlab r | Mem m -> mlab32 (ea t m) in
+  let lab_op8 = function Reg r -> rlab r | Mem m -> mlab8 (ea t m) in
+  let try_read32 a =
+    match Mem.read_u32 t.mem a with v -> v | exception Mem.Fault _ -> 0
+  in
+  let try_read_op o =
+    match read_op t o with v -> v | exception Mem.Fault _ -> 0
+  in
+  let try_read_op8 o =
+    match read_op8 t o with v -> v | exception Mem.Fault _ -> 0
+  in
+  (* First tainted label along the NUL-terminated string at [addr] —
+     the byte provenance of an exec path argument. *)
+  let cstring_label addr =
+    let rec go i =
+      if i >= 256 then 0
+      else
+        let a = Word.add addr i in
+        match Mem.read_u8 t.mem a with
+        | exception Mem.Fault _ -> 0
+        | 0 -> 0
+        | _ ->
+            let l = mlab8 a in
+            if l <> 0 then l else go (i + 1)
+    in
+    go 0
+  in
+  let peek pc =
+    match Decode.decode t.mem pc with
+    | insn, size -> Some (insn, size)
+    | exception Decode.Error _ -> None
+    | exception Mem.Fault _ -> None
+  in
+  let nothing () = () in
+  let rec loop budget =
+    if budget <= 0 then Outcome.Fuel_exhausted
+    else if List.mem t.eip traps then Outcome.Halted
+    else begin
+      let pc0 = t.eip in
+      let stepno = t.steps in
+      let sp0 = get t ESP in
+      let store ~addr ~len ~value ~label =
+        O.store oracle ~pc:pc0 ~step:stepno ~addr ~len ~value ~label
+      in
+      let check_pc ~target ~slot ~label ~detail =
+        O.check_pc oracle ~pc:pc0 ~step:stepno ~target ~slot ~label ~detail
+      in
+      let slot_of = function Mem m -> ea t m | Reg _ -> 0 in
+      (* Pre-step planning: run detections against the pre-state and build
+         the commit to apply if the instruction retires. *)
+      let commit =
+        match peek pc0 with
+        | None -> nothing
+        | Some (insn, size) -> (
+            let next = Word.add pc0 size in
+            match insn with
+            | Nop | Cmp _ | Cmp_i _ | Test_rr _ | Jmp_rel _ | Jmp_short _
+            | Jcc _ | Jcc_short _ | Hlt | Inc_r _ | Dec_r _ | Shl_i _
+            | Shr_i _ | Neg (Reg _) | Not (Reg _) ->
+                nothing
+            | Push_r r ->
+                let l = rlab r and v = get t r in
+                fun () -> store ~addr:(Word.sub sp0 4) ~len:4 ~value:v ~label:l
+            | Push_i i ->
+                fun () ->
+                  store ~addr:(Word.sub sp0 4) ~len:4 ~value:(Word.of_int i)
+                    ~label:0
+            | Push_i8 i ->
+                fun () ->
+                  store ~addr:(Word.sub sp0 4) ~len:4
+                    ~value:(Word.sign8 (i land 0xFF)) ~label:0
+            | Push_m m ->
+                let a = ea t m in
+                let l = mlab32 a and v = try_read32 a in
+                fun () -> store ~addr:(Word.sub sp0 4) ~len:4 ~value:v ~label:l
+            | Pop_r r ->
+                let l = mlab32 sp0 in
+                fun () -> set_rlab r l
+            | Mov_ri (r, _) -> fun () -> set_rlab r 0
+            | Mov (Reg d, s) ->
+                let l = lab_op s in
+                fun () -> set_rlab d l
+            | Mov (Mem m, s) ->
+                let a = ea t m in
+                let l = lab_op s and v = try_read_op s in
+                fun () -> store ~addr:a ~len:4 ~value:v ~label:l
+            | Mov_mi (Reg d, _) -> fun () -> set_rlab d 0
+            | Mov_mi (Mem m, i) ->
+                let a = ea t m in
+                fun () ->
+                  store ~addr:a ~len:4 ~value:(Word.of_int i) ~label:0
+            | Mov_b (Reg d, s) ->
+                (* Only the low byte is replaced: merge rather than
+                   overwrite the register's label. *)
+                let l = Shadow.join (lab_op8 s) (rlab d) in
+                fun () -> set_rlab d l
+            | Mov_b (Mem m, s) ->
+                let a = ea t m in
+                let l = lab_op8 s and v = try_read_op8 s in
+                fun () -> store ~addr:a ~len:1 ~value:v ~label:l
+            | Movzx_b (r, s) ->
+                let l = lab_op8 s in
+                fun () -> set_rlab r l
+            | Lea (r, { base = Some b; _ }) ->
+                let l = rlab b in
+                fun () -> set_rlab r l
+            | Lea (r, { base = None; _ }) -> fun () -> set_rlab r 0
+            | Xor (Reg d, Reg s) when d = s ->
+                (* xor r, r is an idiomatic clear — the result carries no
+                   attacker bytes whatever the operand held. *)
+                fun () -> set_rlab d 0
+            | Add (d, s) | Sub (d, s) | And (d, s) | Or (d, s) | Xor (d, s)
+              -> (
+                let l = Shadow.join (lab_op d) (lab_op s) in
+                match d with
+                | Reg r -> fun () -> set_rlab r l
+                | Mem m ->
+                    let a = ea t m in
+                    fun () -> store ~addr:a ~len:4 ~value:0 ~label:l)
+            | Add_i (Reg _, _) | Sub_i (Reg _, _) -> nothing
+            | Add_i (Mem m, _) | Sub_i (Mem m, _) ->
+                let a = ea t m in
+                let l = mlab32 a in
+                fun () -> store ~addr:a ~len:4 ~value:0 ~label:l
+            | Neg (Mem m) | Not (Mem m) ->
+                let a = ea t m in
+                let l = mlab32 a in
+                fun () -> store ~addr:a ~len:4 ~value:0 ~label:l
+            | Imul (r, o) ->
+                let l = Shadow.join (rlab r) (lab_op o) in
+                fun () -> set_rlab r l
+            | Call_rel _ ->
+                let slot = Word.sub sp0 4 in
+                fun () ->
+                  store ~addr:slot ~len:4 ~value:next ~label:0;
+                  O.note_ret_slot oracle slot
+            | Call_rm o ->
+                check_pc ~target:(try_read_op o) ~slot:(slot_of o)
+                  ~label:(lab_op o) ~detail:"call through tainted pointer";
+                let slot = Word.sub sp0 4 in
+                fun () ->
+                  store ~addr:slot ~len:4 ~value:next ~label:0;
+                  O.note_ret_slot oracle slot
+            | Jmp_rm o ->
+                check_pc ~target:(try_read_op o) ~slot:(slot_of o)
+                  ~label:(lab_op o) ~detail:"jmp through tainted pointer";
+                nothing
+            | Ret | Ret_i _ ->
+                check_pc ~target:(try_read32 sp0) ~slot:sp0 ~label:(mlab32 sp0)
+                  ~detail:"ret to attacker-controlled address";
+                fun () -> O.clear_ret_slot oracle sp0
+            | Leave ->
+                let ebp0 = get t EBP in
+                let lsp = rlab EBP and lbp = mlab32 ebp0 in
+                fun () ->
+                  set_rlab ESP lsp;
+                  set_rlab EBP lbp
+            | Int n ->
+                if n = 0x80 then begin
+                  let number = get t EAX in
+                  let lnum = rlab EAX in
+                  let exec =
+                    number = Machine.Sysno.execve
+                    || number = Machine.Sysno.exec_varargs
+                  in
+                  let path = get t EBX in
+                  let larg =
+                    if exec then
+                      Shadow.join (rlab EBX)
+                        (Shadow.join (cstring_label path) (rlab ECX))
+                    else 0
+                  in
+                  let label = Shadow.join lnum larg in
+                  if label <> 0 then
+                    O.check_syscall oracle ~pc:pc0 ~step:stepno ~number
+                      ~addr:(if exec then path else 0)
+                      ~label
+                      ~detail:
+                        (if lnum <> 0 then "tainted syscall number"
+                         else "exec path/args from attacker bytes")
+                end;
+                nothing)
+      in
+      match step t ~kernel with
+      | Some reason -> reason
+      | None ->
+          commit ();
+          loop (budget - 1)
+    end
+  in
+  loop fuel

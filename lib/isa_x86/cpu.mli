@@ -77,3 +77,21 @@ val run_traced :
     outcomes and step counts are identical traced or not.  This is a
     separate entry point precisely so {!run}'s hot loops carry no
     tracing branch. *)
+
+val run_sanitized :
+  ?fuel:int ->
+  traps:int list ->
+  kernel:kernel ->
+  oracle:Sanitizer.Oracle.t ->
+  t ->
+  Machine.Outcome.stop_reason
+(** Like {!run}, under the taint sanitizer: every load/store/ALU op
+    propagates labels through [oracle]'s shadow state, and the oracle's
+    detections (redzone write, return-slot overwrite, tainted pc,
+    tainted syscall) fire as instructions are about to retire.  Stepping
+    goes through the same {!step} core as {!run} and the oracle never
+    touches guest state, so outcomes, step counts, and registers are
+    bit-identical sanitized or not — whether or not reports fire (the
+    differential tests assert this unconditionally).  A separate entry
+    point, like {!run_traced}, so the untraced hot loops stay free of
+    sanitizer branches. *)

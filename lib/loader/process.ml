@@ -145,10 +145,13 @@ let icache_stats = function
 
 (* When [on_step] is given, drive the CPU one instruction at a time so the
    observer sees every program-counter value (the debugger's single-step
-   mode); with [trace]/[profile], use the ISA's [run_traced] side-channel
-   loop; otherwise use the tight [run] loop. *)
-let call ?(fuel = 2_000_000) ?(icache = true) ?on_step ?trace ?profile t ~entry
-    ~args =
+   mode); with [sanitizer], use the ISA's [run_sanitized] loop; with
+   [trace]/[profile], the [run_traced] side-channel loop; otherwise the
+   tight [run] loop.  The register taint of a fresh call is cleared here —
+   arguments the caller passes are trusted; only bytes the oracle was told
+   to taint are not. *)
+let call ?(fuel = 2_000_000) ?(icache = true) ?on_step ?sanitizer ?trace
+    ?profile t ~entry ~args =
   let cfi = t.profile.Defense.Profile.cfi in
   let no_exec = t.profile.Defense.Profile.seccomp in
   let traced = trace <> None || profile <> None in
@@ -163,6 +166,11 @@ let call ?(fuel = 2_000_000) ?(icache = true) ?on_step ?trace ?profile t ~entry
       cpu.Isa_x86.Cpu.eip <- entry;
       let outcome =
         match on_step with
+        | None when sanitizer <> None ->
+            let oracle = Option.get sanitizer in
+            Isa_x86.Cpu.run_sanitized ~fuel ~traps:[ t.trap ]
+              ~kernel:(Kernel.x86_policy ~no_exec ())
+              ~oracle cpu
         | None when traced ->
             Isa_x86.Cpu.run_traced ~fuel ~traps:[ t.trap ]
               ~kernel:(Kernel.x86_policy ~no_exec ())
@@ -206,6 +214,11 @@ let call ?(fuel = 2_000_000) ?(icache = true) ?on_step ?trace ?profile t ~entry
       Isa_arm.Cpu.set_pc cpu entry;
       let outcome =
         match on_step with
+        | None when sanitizer <> None ->
+            let oracle = Option.get sanitizer in
+            Isa_arm.Cpu.run_sanitized ~fuel ~traps:[ t.trap ]
+              ~kernel:(Kernel.arm_policy ~no_exec ())
+              ~oracle cpu
         | None when traced ->
             Isa_arm.Cpu.run_traced ~fuel ~traps:[ t.trap ]
               ~kernel:(Kernel.arm_policy ~no_exec ())
@@ -236,8 +249,10 @@ let call ?(fuel = 2_000_000) ?(icache = true) ?on_step ?trace ?profile t ~entry
         icache_misses;
       }
 
-let call_named ?fuel ?icache ?on_step ?trace ?profile t ~entry ~args =
-  call ?fuel ?icache ?on_step ?trace ?profile t ~entry:(symbol t entry) ~args
+let call_named ?fuel ?icache ?on_step ?sanitizer ?trace ?profile t ~entry ~args
+    =
+  call ?fuel ?icache ?on_step ?sanitizer ?trace ?profile t
+    ~entry:(symbol t entry) ~args
 
 let pp_summary ppf t =
   Format.fprintf ppf "%s (%a, %a)@.%a" t.spec.name Arch.pp t.arch

@@ -54,6 +54,7 @@ val call :
   ?fuel:int ->
   ?icache:bool ->
   ?on_step:(int -> unit) ->
+  ?sanitizer:Sanitizer.Oracle.t ->
   ?trace:Telemetry.Trace.t ->
   ?profile:Telemetry.Profile.t ->
   t ->
@@ -67,15 +68,18 @@ val call :
     decoded-instruction cache (bit-identical execution either way — the
     differential tests step every exploit scenario both ways).  [on_step]
     observes every program-counter value before the instruction executes
-    (single-step debugging).  [trace]/[profile] route the call through the
-    ISA's [run_traced] (events + per-pc counts; outcomes and step counts
-    identical to an untraced call); [on_step] takes precedence over
-    both. *)
+    (single-step debugging).  [sanitizer] routes the call through the
+    ISA's [run_sanitized] (taint propagation + exploit detections against
+    the given oracle; outcomes, step counts and registers identical to a
+    plain call).  [trace]/[profile] route it through [run_traced] (events
+    + per-pc counts; same identity).  Precedence: [on_step], then
+    [sanitizer], then [trace]/[profile]. *)
 
 val call_named :
   ?fuel:int ->
   ?icache:bool ->
   ?on_step:(int -> unit) ->
+  ?sanitizer:Sanitizer.Oracle.t ->
   ?trace:Telemetry.Trace.t ->
   ?profile:Telemetry.Profile.t ->
   t ->

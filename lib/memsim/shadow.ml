@@ -1,0 +1,48 @@
+type label = int
+
+let clean = 0
+
+let make ~src ~offset =
+  if offset < 0 || offset > 0xFFFE then
+    invalid_arg (Printf.sprintf "Shadow.make: offset %d out of range" offset);
+  if src < 0 then invalid_arg (Printf.sprintf "Shadow.make: negative src %d" src);
+  (src lsl 16) lor (offset + 1)
+
+let source_of label = label lsr 16
+let offset_of label = (label land 0xFFFF) - 1
+let join a b = if a <> 0 then a else b
+
+type t = { pages : (int, int array) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let page_of addr = addr lsr Memory.page_bits
+let offset_in_page addr = addr land (Memory.page_size - 1)
+
+let get t addr =
+  match Hashtbl.find_opt t.pages (page_of addr) with
+  | None -> 0
+  | Some page -> page.(offset_in_page addr)
+
+let set t addr label =
+  match Hashtbl.find_opt t.pages (page_of addr) with
+  | Some page -> page.(offset_in_page addr) <- label
+  | None ->
+      if label <> 0 then begin
+        let page = Array.make Memory.page_size 0 in
+        page.(offset_in_page addr) <- label;
+        Hashtbl.replace t.pages (page_of addr) page
+      end
+
+let clear_range t addr ~len =
+  for i = 0 to len - 1 do
+    set t (Word.add addr i) 0
+  done
+
+let clear t = Hashtbl.reset t.pages
+
+let tainted t =
+  Hashtbl.fold
+    (fun _ page acc ->
+      Array.fold_left (fun n l -> if l <> 0 then n + 1 else n) acc page)
+    t.pages 0

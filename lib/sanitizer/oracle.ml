@@ -1,0 +1,249 @@
+module Shadow = Memsim.Shadow
+module Tr = Telemetry.Trace
+
+type kind =
+  | Redzone_write
+  | Ret_slot_overwrite
+  | Tainted_pc
+  | Tainted_syscall
+
+let kind_name = function
+  | Redzone_write -> "redzone-write"
+  | Ret_slot_overwrite -> "ret-slot-overwrite"
+  | Tainted_pc -> "tainted-pc"
+  | Tainted_syscall -> "tainted-syscall"
+
+let severity = function
+  | Redzone_write -> 0
+  | Ret_slot_overwrite -> 1
+  | Tainted_pc -> 2
+  | Tainted_syscall -> 3
+
+type report = {
+  kind : kind;
+  step : int;
+  pc : int;
+  addr : int;
+  target : int;
+  label : Shadow.label;
+  origin : string;
+  detail : string;
+}
+
+let wire_offset r = Shadow.offset_of r.label
+let source_id r = Shadow.source_of r.label
+
+type source = { origin : string; length : int }
+
+(* A redzone records whether it has already reported this parse, so an
+   8 KiB smash yields one finding per zone rather than thousands. *)
+type redzone = { base : int; len : int; mutable fired : bool }
+
+type t = {
+  shadow : Shadow.t;
+  regs : int array;  (* 16 taint slots cover both ISAs; x86 uses 0..7 *)
+  mutable sources : (int * source) list;  (* newest first *)
+  mutable next_source : int;
+  ret_slots : (int, bool ref) Hashtbl.t;  (* slot base -> reported? *)
+  mutable redzones : redzone list;
+  mutable reports : report list;  (* newest first *)
+  mutable n_reports : int;
+  counts : int array;  (* indexed by severity *)
+  mutable trace : Tr.t option;
+}
+
+let create () =
+  {
+    shadow = Shadow.create ();
+    regs = Array.make 16 0;
+    sources = [];
+    next_source = 0;
+    ret_slots = Hashtbl.create 16;
+    redzones = [];
+    reports = [];
+    n_reports = 0;
+    counts = Array.make 4 0;
+    trace = None;
+  }
+
+let set_trace t tr = t.trace <- tr
+
+let new_source t ~origin ~length =
+  let id = t.next_source in
+  t.next_source <- id + 1;
+  t.sources <- (id, { origin; length }) :: t.sources;
+  id
+
+let origin_of t id =
+  match List.assoc_opt id t.sources with Some s -> s.origin | None -> "?"
+
+let begin_parse t =
+  Shadow.clear t.shadow;
+  Array.fill t.regs 0 16 0;
+  Hashtbl.reset t.ret_slots;
+  t.redzones <- []
+
+let taint t ~src addr ~len =
+  for i = 0 to len - 1 do
+    Shadow.set t.shadow
+      (Memsim.Word.add addr i)
+      (Shadow.make ~src ~offset:i)
+  done
+
+let mem_label t addr = Shadow.get t.shadow addr
+
+let mem_label32 t addr =
+  let l0 = Shadow.get t.shadow addr in
+  let l1 = Shadow.get t.shadow (Memsim.Word.add addr 1) in
+  let l2 = Shadow.get t.shadow (Memsim.Word.add addr 2) in
+  let l3 = Shadow.get t.shadow (Memsim.Word.add addr 3) in
+  Shadow.join l0 (Shadow.join l1 (Shadow.join l2 l3))
+
+let set_mem_label t addr l = Shadow.set t.shadow addr l
+let reg_label t i = t.regs.(i)
+let set_reg_label t i l = t.regs.(i) <- l
+let tainted_bytes t = Shadow.tainted t.shadow
+
+let note_ret_slot t addr =
+  if not (Hashtbl.mem t.ret_slots addr) then
+    Hashtbl.replace t.ret_slots addr (ref false)
+
+let clear_ret_slot t addr = Hashtbl.remove t.ret_slots addr
+let ret_slot_count t = Hashtbl.length t.ret_slots
+
+let add_redzone t ~base ~len =
+  if len > 0 then t.redzones <- { base; len; fired = false } :: t.redzones
+
+let protect_frame t ~buffer (frame : Machine.Stack_frame.t) =
+  note_ret_slot t (buffer + frame.off_ret);
+  add_redzone t ~base:(buffer + frame.buffer_size)
+    ~len:(frame.frame_end - frame.buffer_size)
+
+let record t ~kind ~step ~pc ~addr ~target ~label ~detail =
+  let origin = origin_of t (Shadow.source_of label) in
+  let r = { kind; step; pc; addr; target; label; origin; detail } in
+  t.reports <- r :: t.reports;
+  t.n_reports <- t.n_reports + 1;
+  t.counts.(severity kind) <- t.counts.(severity kind) + 1;
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Tr.emit tr ~cat:"sanitizer" ~track:"sanitizer"
+        ~args:
+          [
+            ("step", Tr.I step);
+            ("pc", Tr.I pc);
+            ("addr", Tr.I addr);
+            ("target", Tr.I target);
+            ("src", Tr.I (Shadow.source_of label));
+            ("wire_offset", Tr.I (Shadow.offset_of label));
+            ("detail", Tr.S detail);
+          ]
+        (kind_name kind)
+
+(* Is any byte of [addr, addr+len) inside a registered return slot?
+   Slots are 4 bytes, so the slot containing byte [b] must start in
+   [b-3, b]: a handful of hash lookups per store, independent of how
+   many slots are live. *)
+let hit_ret_slot t addr len =
+  let found = ref None in
+  (try
+     for b = addr to addr + len - 1 do
+       for s = b - 3 to b do
+         match Hashtbl.find_opt t.ret_slots s with
+         | Some fired when s <= b && b < s + 4 ->
+             found := Some (s, fired);
+             raise Exit
+         | _ -> ()
+       done
+     done
+   with Exit -> ());
+  !found
+
+let hit_redzone t addr len =
+  List.find_opt
+    (fun z -> addr < z.base + z.len && addr + len > z.base)
+    t.redzones
+
+let store t ~pc ~step ~addr ~len ~value ~label =
+  for i = 0 to len - 1 do
+    Shadow.set t.shadow (Memsim.Word.add addr i) label
+  done;
+  if label <> 0 then begin
+    match hit_ret_slot t addr len with
+    | Some (slot, fired) ->
+        if not !fired then begin
+          fired := true;
+          record t ~kind:Ret_slot_overwrite ~step ~pc ~addr:slot ~target:value
+            ~label
+            ~detail:
+              (Printf.sprintf "tainted %d-byte store over return slot" len)
+        end
+    | None -> (
+        match hit_redzone t addr len with
+        | Some z when not z.fired ->
+            z.fired <- true;
+            record t ~kind:Redzone_write ~step ~pc ~addr ~target:value ~label
+              ~detail:
+                (Printf.sprintf "tainted write %d bytes past buffer end"
+                   (addr - z.base))
+        | _ -> ())
+  end
+
+let check_pc t ~pc ~step ~target ~slot ~label ~detail =
+  if label <> 0 then
+    record t ~kind:Tainted_pc ~step ~pc ~addr:slot ~target ~label ~detail
+
+let check_syscall t ~pc ~step ~number ~addr ~label ~detail =
+  if label <> 0 then
+    record t ~kind:Tainted_syscall ~step ~pc ~addr ~target:number ~label
+      ~detail
+
+let reports t = List.rev t.reports
+
+let first_report t =
+  match t.reports with [] -> None | l -> Some (List.nth l (List.length l - 1))
+
+let report_count t = t.n_reports
+let count t kind = t.counts.(severity kind)
+
+let clear_reports t =
+  t.reports <- [];
+  t.n_reports <- 0;
+  Array.fill t.counts 0 4 0
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%s step=%d pc=0x%x addr=0x%x target=0x%x src=%d wire+%d origin=%s (%s)"
+    (kind_name r.kind) r.step r.pc r.addr r.target (source_id r)
+    (wire_offset r) r.origin r.detail
+
+let render ?symbolize r =
+  let sym =
+    match symbolize with
+    | None -> Printf.sprintf "0x%x" r.pc
+    | Some f -> f r.pc
+  in
+  Printf.sprintf
+    "%-19s wire[%d]@%s -> mem 0x%x -> pc %s  step=%d target=0x%x  %s"
+    (kind_name r.kind) (wire_offset r) r.origin r.addr sym r.step r.target
+    r.detail
+
+let register_metrics t reg =
+  List.iter
+    (fun kind ->
+      Telemetry.Metrics.probe reg
+        ~help:"sanitizer findings by detection kind"
+        ~labels:[ ("kind", kind_name kind) ]
+        ~kind:`Counter "sanitizer_reports_total" (fun () ->
+          float_of_int (count t kind)))
+    [ Redzone_write; Ret_slot_overwrite; Tainted_pc; Tainted_syscall ];
+  Telemetry.Metrics.probe reg ~help:"taint sources registered"
+    ~kind:`Counter "sanitizer_sources_total" (fun () ->
+      float_of_int t.next_source);
+  Telemetry.Metrics.probe reg ~help:"guest bytes currently tainted"
+    ~kind:`Gauge "sanitizer_tainted_bytes" (fun () ->
+      float_of_int (tainted_bytes t));
+  Telemetry.Metrics.probe reg ~help:"live return-address slots"
+    ~kind:`Gauge "sanitizer_ret_slots" (fun () ->
+      float_of_int (ret_slot_count t))

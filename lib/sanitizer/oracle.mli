@@ -1,0 +1,170 @@
+(** Shadow-memory exploit oracle: byte-granular taint state plus the
+    detection rules the sanitized interpreter loops fire against.
+
+    The oracle owns everything the sanitizer knows that the CPU does not:
+    the shadow map (one label per guest byte — {!Memsim.Shadow}),
+    per-register taint for both ISAs, the provenance table of taint
+    sources (one per attacker-controlled datagram), the return-address
+    slot map, and the stack redzones.  The [run_sanitized] loops in
+    [Isa_x86.Cpu] / [Isa_arm.Cpu] feed it three things — stores, indirect
+    control transfers, and syscalls — and it decides whether each one is
+    a finding.
+
+    Detections, in the order an overflow trips them (severity ascending):
+
+    - {e redzone write}: a tainted byte lands between the end of the
+      overflow buffer and the end of its frame — the smash itself,
+      caught before any slot that matters is corrupted;
+    - {e return-address-slot overwrite}: a tainted store covers a saved
+      return address / lr slot;
+    - {e tainted pc}: an indirect control transfer is about to load its
+      target from attacker bytes — the hijack;
+    - {e tainted syscall}: the syscall number, or the path/argument bytes
+      of an exec-class syscall, derive from attacker bytes.
+
+    The oracle is a strict observer: it never reads or writes guest
+    memory and never touches CPU registers, so a sanitized run retires
+    exactly the instructions a plain run does (the differential tests
+    hold this unconditionally). *)
+
+module Shadow = Memsim.Shadow
+
+type kind =
+  | Redzone_write
+  | Ret_slot_overwrite
+  | Tainted_pc
+  | Tainted_syscall
+
+val kind_name : kind -> string
+(** ["redzone-write"] / ["ret-slot-overwrite"] / ["tainted-pc"] /
+    ["tainted-syscall"]. *)
+
+val severity : kind -> int
+(** Detection-point ordering, 0 (earliest in an overflow) .. 3. *)
+
+type report = {
+  kind : kind;
+  step : int;  (** CPU retired-instruction count at detection *)
+  pc : int;  (** address of the instruction that tripped the rule *)
+  addr : int;
+      (** the memory address involved: store target for writes, the slot
+          the control-transfer target was loaded from for tainted-pc,
+          the path address for tainted syscalls *)
+  target : int;
+      (** the tainted value: byte/word stored, hijacked pc target, or
+          syscall number *)
+  label : Shadow.label;  (** provenance label of the offending byte *)
+  origin : string;  (** origin string of the taint source *)
+  detail : string;
+}
+
+val wire_offset : report -> int
+(** Offset within the taint source (= UDP payload offset) of the byte
+    that tripped the detection. *)
+
+val source_id : report -> int
+
+type t
+
+val create : unit -> t
+
+val set_trace : t -> Telemetry.Trace.t option -> unit
+(** Reports additionally emit instant events under [cat:"sanitizer"]. *)
+
+(** {1 Taint sources and per-parse lifecycle} *)
+
+val new_source : t -> origin:string -> length:int -> int
+(** Allocate a provenance id for an attacker-controlled byte string
+    (e.g. one UDP response).  Ids are dense from 0 and survive
+    {!begin_parse}, so reports from successive datagrams stay
+    distinguishable. *)
+
+val origin_of : t -> int -> string
+(** Origin string of a source id; ["?"] if unknown. *)
+
+val begin_parse : t -> unit
+(** Reset the per-run state — shadow map, register taint, return-slot
+    map, redzones — while keeping sources, reports, and counters.  The
+    daemon calls this once per delivered datagram; benchmark harnesses
+    call it before each sanitized run. *)
+
+val taint : t -> src:int -> int -> len:int -> unit
+(** [taint t ~src addr ~len] marks [len] guest bytes starting at [addr]
+    as bytes [0..len-1] of source [src]. *)
+
+(** {1 Shadow accessors (used by the propagation loops and tests)} *)
+
+val mem_label : t -> int -> Shadow.label
+val mem_label32 : t -> int -> Shadow.label
+(** Join of the four byte labels at an address. *)
+
+val set_mem_label : t -> int -> Shadow.label -> unit
+val reg_label : t -> int -> Shadow.label
+(** Taint of register index [i] (x86 uses 0..7, ARM 0..15). *)
+
+val set_reg_label : t -> int -> Shadow.label -> unit
+val tainted_bytes : t -> int
+
+(** {1 Frame protection} *)
+
+val note_ret_slot : t -> int -> unit
+(** Register a 4-byte return-address slot at [addr].  The sanitized
+    loops call this as [call]/[push {…, lr}] retire; the daemon also
+    registers the overflow frame's slot statically from
+    {!Machine.Stack_frame} geometry. *)
+
+val clear_ret_slot : t -> int -> unit
+(** The slot was legitimately consumed ([ret] / [pop {…, pc}]). *)
+
+val ret_slot_count : t -> int
+
+val add_redzone : t -> base:int -> len:int -> unit
+
+val protect_frame : t -> buffer:int -> Machine.Stack_frame.t -> unit
+(** Register the frame's return slot ([buffer + off_ret]) and a redzone
+    covering [buffer + buffer_size, buffer + frame_end). *)
+
+(** {1 Detection entry points (called by the sanitized loops)} *)
+
+val store :
+  t -> pc:int -> step:int -> addr:int -> len:int -> value:int ->
+  label:Shadow.label -> unit
+(** Commit a retired store to the shadow map and run the redzone /
+    return-slot rules (which only ever fire for tainted labels, so
+    ordinary prologue spills are free of false positives).  Each redzone
+    and each slot reports at most once per parse. *)
+
+val check_pc :
+  t -> pc:int -> step:int -> target:int -> slot:int ->
+  label:Shadow.label -> detail:string -> unit
+(** About to transfer control to [target] loaded from [slot]; fires
+    {!Tainted_pc} when [label] is non-zero. *)
+
+val check_syscall :
+  t -> pc:int -> step:int -> number:int -> addr:int ->
+  label:Shadow.label -> detail:string -> unit
+(** About to enter the kernel; fires {!Tainted_syscall} when [label]
+    (precomputed by the loop from the number register, argument
+    registers, and exec path bytes) is non-zero. *)
+
+(** {1 Results} *)
+
+val reports : t -> report list
+(** Oldest first. *)
+
+val first_report : t -> report option
+val report_count : t -> int
+val count : t -> kind -> int
+val clear_reports : t -> unit
+
+val pp_report : Format.formatter -> report -> unit
+
+val render : ?symbolize:(int -> string) -> report -> string
+(** One-line report with the provenance chain
+    wire offset → memory address → pc, symbolizing [pc] when a resolver
+    is given. *)
+
+val register_metrics : t -> Telemetry.Metrics.t -> unit
+(** Pull-style probes: [sanitizer_reports_total{kind=…}],
+    [sanitizer_sources_total], [sanitizer_tainted_bytes],
+    [sanitizer_ret_slots]. *)
