@@ -1128,6 +1128,106 @@ let print_parse_costs () =
      hardware shadow stack or kernel filter would be; canaries add the@.\
      prologue/epilogue checks the compiler emits.)@." 
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot-fuzzing benches: BENCH_fuzz.json                           *)
+(*                                                                     *)
+(* The costs that set the fuzzer's throughput: taking a CoW snapshot,  *)
+(* restoring it (clean, and after a parse has dirtied pages), forking  *)
+(* a fresh machine from it, and a complete fuzz execution              *)
+(* (restore + datagram write + coverage-instrumented parse).          *)
+(*                                                                     *)
+(*   dune exec bench/main.exe -- fuzz             (full measurement)   *)
+(*   dune exec bench/main.exe -- fuzz --smoke     (few iterations)     *)
+(*   dune build @fuzz-bench-smoke                 (dune smoke target)  *)
+(* ------------------------------------------------------------------ *)
+
+let run_fuzz_json ~smoke ~out () =
+  let cfg =
+    if smoke then
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  Format.printf "=== Snapshot-fuzzing benches%s ===@.@."
+    (if smoke then " (smoke: few iterations)" else "");
+  let bench_arch arch =
+    let aname = Loader.Arch.name arch in
+    let profile = Profile.wx in
+    let spec =
+      match arch with
+      | Loader.Arch.X86 ->
+          Connman.Program_x86.spec ~version:Connman.Version.v1_34 ~profile ()
+      | Loader.Arch.Arm ->
+          Connman.Program_arm.spec ~version:Connman.Version.v1_34 ~profile ()
+    in
+    let proc = Loader.Process.boot spec ~profile ~seed:1 in
+    let snap = Loader.Process.snapshot proc in
+    let entry = Loader.Process.symbol proc "parse_response" in
+    let buf = proc.Loader.Process.layout.Loader.Layout.heap_base in
+    let input = List.hd (Fuzz.Engine.benign_seeds ()) in
+    let cov = Fuzz.Coverage.create () in
+    let prof = Telemetry.Profile.create () in
+    Telemetry.Profile.set_sink prof (Some (Fuzz.Coverage.touch cov));
+    let parse () =
+      Memsim.Memory.write_bytes proc.Loader.Process.mem buf input;
+      Telemetry.Profile.clear prof;
+      Fuzz.Coverage.begin_exec cov;
+      let r =
+        Loader.Process.call proc ~fuel:400_000 ~profile:prof ~entry
+          ~args:[ buf; String.length input ]
+      in
+      ignore (Fuzz.Coverage.commit cov);
+      r
+    in
+    (* Warm run: the parse must succeed for the numbers to mean anything. *)
+    (match (parse ()).Loader.Process.outcome with
+    | Machine.Outcome.Halted -> ()
+    | o -> failwith ("fuzz bench: benign parse failed: " ^ Machine.Outcome.to_string o));
+    let steps = float_of_int (parse ()).Loader.Process.steps in
+    Loader.Process.restore proc snap;
+    let snap_ns, snap_r2 =
+      time_fn cfg ("fuzz/snapshot-" ^ aname) (fun () ->
+          ignore (Loader.Process.snapshot proc))
+    in
+    (* Steady-state restore: nothing dirtied between iterations. *)
+    let rclean_ns, rclean_r2 =
+      time_fn cfg ("fuzz/restore-clean-" ^ aname) (fun () ->
+          Loader.Process.restore proc snap)
+    in
+    (* Dirty restore: every iteration parses (dirtying stack/heap/bss
+       pages) then rewinds, i.e. one full fuzz execution. *)
+    let exec_ns, exec_r2 =
+      time_fn cfg ("fuzz/exec-" ^ aname) (fun () ->
+          Loader.Process.restore proc snap;
+          ignore (parse ()))
+    in
+    let fork_ns, fork_r2 =
+      time_fn cfg ("fuzz/fork-" ^ aname) (fun () ->
+          ignore (Loader.Process.fork proc snap))
+    in
+    let execs_per_sec = if exec_ns > 0.0 then 1e9 /. exec_ns else 0.0 in
+    Format.printf
+      "%-22s snapshot %10s  restore %10s  exec %10s (%8.0f execs/s)  fork %10s@."
+      aname (pretty_nanos snap_ns) (pretty_nanos rclean_ns)
+      (pretty_nanos exec_ns) execs_per_sec (pretty_nanos fork_ns);
+    [
+      bench_row ("fuzz/snapshot-" ^ aname) "ns_per_op" snap_ns
+        ~extra:[ ("r_square", snap_r2) ];
+      bench_row ("fuzz/restore-clean-" ^ aname) "ns_per_op" rclean_ns
+        ~extra:[ ("r_square", rclean_r2) ];
+      bench_row ("fuzz/exec-" ^ aname) "ns_per_run" exec_ns
+        ~extra:
+          [
+            ("execs_per_sec", execs_per_sec);
+            ("steps_per_run", steps);
+            ("r_square", exec_r2);
+          ];
+      bench_row ("fuzz/fork-" ^ aname) "ns_per_op" fork_ns
+        ~extra:[ ("r_square", fork_r2) ];
+    ]
+  in
+  let rows = List.concat_map bench_arch Loader.Arch.all in
+  write_bench_json ~suite:"fuzz" ~smoke ~out rows
+
 let () =
   let argv = Array.to_list Sys.argv in
   let out_of default argv =
@@ -1146,7 +1246,8 @@ let () =
     run_cache_json ~smoke ~out:(path "BENCH_cache.json") ();
     run_cpu_json ~smoke ~out:(path "BENCH_cpu.json") ();
     run_faults_json ~smoke ~out:(path "BENCH_faults.json") ();
-    run_sanitizer_json ~smoke ~out:(path "BENCH_sanitizer.json") ()
+    run_sanitizer_json ~smoke ~out:(path "BENCH_sanitizer.json") ();
+    run_fuzz_json ~smoke ~out:(path "BENCH_fuzz.json") ()
   end
   else if List.mem "cache" argv then
     run_cache_json ~smoke ~out:(out_of "BENCH_cache.json" argv) ()
@@ -1156,6 +1257,8 @@ let () =
     run_faults_json ~smoke ~out:(out_of "BENCH_faults.json" argv) ()
   else if List.mem "sanitizer" argv then
     run_sanitizer_json ~smoke ~out:(out_of "BENCH_sanitizer.json" argv) ()
+  else if List.mem "fuzz" argv then
+    run_fuzz_json ~smoke ~out:(out_of "BENCH_fuzz.json" argv) ()
   else begin
     print_experiments ();
     print_parse_costs ();

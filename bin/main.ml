@@ -593,6 +593,90 @@ let chaos_cmd =
           fault schedules, with connmand supervised.")
     Term.(const run $ seed_arg $ smoke_arg $ output_arg)
 
+let fuzz_cmd =
+  let run seed smoke execs out check =
+    let report =
+      match execs with
+      | None -> Core.Experiments.fuzz_campaign ~seed ~smoke ()
+      | Some max_execs ->
+          (* Explicit budget: same campaign shape, caller-chosen cap. *)
+          let runs =
+            List.map
+              (fun arch ->
+                Fuzz.Engine.run
+                  {
+                    Fuzz.Engine.default_config with
+                    Fuzz.Engine.arch;
+                    seed;
+                    max_execs;
+                    stop_on_find = true;
+                  })
+              [ Loader.Arch.X86; Loader.Arch.Arm ]
+          in
+          {
+            Core.Experiments.fuzz_seed = seed;
+            fuzz_smoke = smoke;
+            fuzz_runs = runs;
+            fuzz_ok =
+              List.for_all
+                (fun st -> st.Fuzz.Engine.rediscovered_at <> None)
+                runs;
+          }
+    in
+    Format.printf "%a@." Core.Experiments.pp_fuzz report;
+    let json = Core.Experiments.fuzz_json report in
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc json;
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    let json_ok =
+      (not check)
+      ||
+      match Telemetry.Json.validate json with
+      | Ok () ->
+          Format.printf "fuzz json: well-formed@.";
+          true
+      | Error e ->
+          Format.eprintf "fuzz json: INVALID (%s)@." e;
+          false
+    in
+    if json_ok && report.Core.Experiments.fuzz_ok then 0 else 1
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Reduced budget (4000 executions per ISA) for CI.")
+  in
+  let execs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "execs" ] ~doc:"Explicit execution budget per ISA.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the campaign report as JSON to a file.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Validate the exported JSON; exit 1 if malformed.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided snapshot fuzzing of the Connman parse path on both \
+          ISAs: mutate benign DNS responses until the Listing-1 overflow is \
+          rediscovered, triaged by the taint oracle with wire-byte \
+          provenance (exit 1 if either ISA misses within budget).")
+    Term.(const run $ seed_arg $ smoke_arg $ execs_arg $ out_arg $ check_arg)
+
 let report_cmd =
   let run seed output =
     let rows = Core.Experiments.all ~seed () in
@@ -653,5 +737,6 @@ let () =
             metrics_cmd;
             cache_stats_cmd;
             chaos_cmd;
+            fuzz_cmd;
             report_cmd;
           ]))

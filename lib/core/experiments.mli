@@ -176,3 +176,28 @@ val detection_json : ?seed:int -> detection_row list -> string
     field order). *)
 
 val pp_detection : Format.formatter -> detection_row list -> unit
+
+(** {2 Fuzz campaign}
+
+    Coverage-guided rediscovery of the Listing-1 overflow
+    ({!Fuzz.Engine}) on both ISAs, from benign seed corpora, with the
+    taint oracle triaging every crash.  Measures executions-to-
+    rediscovery and which detection rule fires first.  All randomness is
+    seed-derived: identical seeds give byte-identical {!fuzz_json}. *)
+
+type fuzz_report = {
+  fuzz_seed : int;
+  fuzz_smoke : bool;
+  fuzz_runs : Fuzz.Engine.stats list;  (** x86 first, then ARM *)
+  fuzz_ok : bool;  (** both ISAs rediscovered the overflow *)
+}
+
+val fuzz_campaign : ?seed:int -> ?smoke:bool -> unit -> fuzz_report
+(** [smoke] caps the budget at 4000 executions per ISA (vs 20000); the
+    default seed rediscovers at execution 954 on both. *)
+
+val fuzz_json : fuzz_report -> string
+(** Deterministic serialization ([fuzz-campaign-v1] schema, embedding
+    each run's [fuzz-stats-v1] document verbatim). *)
+
+val pp_fuzz : Format.formatter -> fuzz_report -> unit

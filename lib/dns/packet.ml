@@ -30,7 +30,14 @@ let qtype_name = function
   | AAAA -> "AAAA"
   | Unknown n -> Printf.sprintf "TYPE%d" n
 
-type rcode = NoError | FormErr | ServFail | NXDomain | NotImp | Refused
+type rcode =
+  | NoError
+  | FormErr
+  | ServFail
+  | NXDomain
+  | NotImp
+  | Refused
+  | Unknown_rcode of int
 
 let rcode_code = function
   | NoError -> 0
@@ -39,6 +46,7 @@ let rcode_code = function
   | NXDomain -> 3
   | NotImp -> 4
   | Refused -> 5
+  | Unknown_rcode n -> n land 0xF
 
 let rcode_of_code = function
   | 0 -> NoError
@@ -46,7 +54,8 @@ let rcode_of_code = function
   | 2 -> ServFail
   | 3 -> NXDomain
   | 4 -> NotImp
-  | _ -> Refused
+  | 5 -> Refused
+  | n -> Unknown_rcode (n land 0xF)
 
 type header = {
   id : int;
@@ -150,7 +159,16 @@ let add_name buf ~compress seen labels =
             if compress && Buffer.length buf < 0x4000 then
               Hashtbl.replace seen suffix (Buffer.length buf);
             let label = List.hd suffix in
-            Buffer.add_char buf (Char.chr (String.length label));
+            let n = String.length label in
+            (* A length of 64..191 would collide with the reserved
+               0x40/0x80 bit patterns (and >= 192 with compression
+               pointers); >= 256 would crash [Char.chr] outright.
+               Validate like {!Name.encode} instead of emitting an
+               unparseable — or adversarially parseable — wire form. *)
+            if n = 0 || n > 63 then
+              invalid_arg
+                ("Dns.Packet.encode: bad label length " ^ string_of_int n);
+            Buffer.add_char buf (Char.chr n);
             Buffer.add_string buf label;
             go rest)
   in
@@ -240,10 +258,25 @@ let decode msg =
         let* rdlen = u16 (off + 8) in
         if off + 10 + rdlen > len then Error "truncated rdata"
         else
-          let rdata = String.sub msg (off + 10) rdlen in
+          let rtype = qtype_of_code rt in
+          (* RFC 1035 §3.3: the RDATA of CNAME/NS/PTR is a domain name
+             and may use compression pointers into the enclosing
+             message.  A bare [String.sub] would orphan such pointers
+             (they index the full message, not the rdata slice), so
+             expand the name against [msg] here and store its
+             uncompressed wire form — consumers like [cname_of_rdata]
+             then decode the slice in isolation correctly. *)
+          let* rdata =
+            match rtype with
+            | CNAME | NS | PTR ->
+                let* labels, used = Name.decode msg (off + 10) in
+                if used > rdlen then Error "rdata name overruns rdlen"
+                else Ok (Name.encode labels)
+            | _ -> Ok (String.sub msg (off + 10) rdlen)
+          in
           rrs (n - 1)
             (off + 10 + rdlen)
-            ({ rname; rtype = qtype_of_code rt; ttl; rdata } :: acc)
+            ({ rname; rtype; ttl; rdata } :: acc)
     in
     let* qs, off = questions qd 12 [] in
     let* answers, off = rrs an off [] in

@@ -11,7 +11,16 @@ val qtype_code : qtype -> int
 val qtype_of_code : int -> qtype
 val qtype_name : qtype -> string
 
-type rcode = NoError | FormErr | ServFail | NXDomain | NotImp | Refused
+type rcode =
+  | NoError
+  | FormErr
+  | ServFail
+  | NXDomain
+  | NotImp
+  | Refused
+  | Unknown_rcode of int
+      (** codes 6–15: unassigned/extended values, preserved verbatim so
+          decode→encode round-trips the raw header bits *)
 
 val rcode_code : rcode -> int
 val rcode_of_code : int -> rcode
@@ -61,8 +70,14 @@ val ipv4_of_rdata : string -> int option
 
 val encode : ?compress:bool -> t -> string
 (** [compress] (default true) uses compression pointers for repeated
-    names, as real servers do. *)
+    names, as real servers do.  Raises [Invalid_argument] if any label
+    is empty or longer than 63 bytes (such a length byte would collide
+    with the reserved/compression bit patterns on the wire), matching
+    {!Name.encode}. *)
 
 val decode : string -> (t, string) result
+(** Strict decode.  CNAME/NS/PTR rdata is expanded against the whole
+    message (compression pointers inside rdata index the enclosing
+    message) and stored in uncompressed wire form. *)
 
 val pp : Format.formatter -> t -> unit

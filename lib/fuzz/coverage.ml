@@ -1,0 +1,71 @@
+(* AFL-style edge coverage over the retired-instruction stream.
+
+   The map does not hook the interpreters itself: {!touch} is designed to
+   sit behind [Telemetry.Profile.set_sink], so the same per-pc stream the
+   profiler already taps feeds the edge map with no second
+   instrumentation point in the CPUs.
+
+   An edge is the (previous pc, pc) pair, hashed into a fixed 64 Ki
+   bucket map.  Two layers of state keep the common operations O(1):
+
+   - [mark]/[stamp]: which buckets the {e current} execution has hit,
+     without clearing a 64 Ki array per exec (generation-stamping, the
+     same trick the memory pages use);
+   - [map]: which buckets {e any} execution has ever hit — the corpus'
+     accumulated coverage.  {!commit} promotes the current exec's buckets
+     into it and reports how many were globally new, which is the
+     fuzzer's "interesting input" signal. *)
+
+let buckets = 1 lsl 16
+
+type t = {
+  map : Bytes.t;  (* ever-hit, one byte per bucket *)
+  mark : int array;  (* stamp of the last exec that hit the bucket *)
+  mutable stamp : int;
+  mutable prev : int;
+  mutable this_exec : int list;  (* buckets first hit this exec *)
+  mutable edges : int;  (* distinct buckets ever hit *)
+}
+
+let create () =
+  {
+    map = Bytes.make buckets '\000';
+    mark = Array.make buckets 0;
+    stamp = 0;
+    prev = 0;
+    this_exec = [];
+    edges = 0;
+  }
+
+let begin_exec t =
+  t.stamp <- t.stamp + 1;
+  t.prev <- 0;
+  t.this_exec <- []
+
+(* Fibonacci-hash the edge into a bucket.  The multiply decorrelates the
+   low bits of [prev] and [pc] (consecutive instructions differ only in
+   their low bits), the mask keeps the result in range. *)
+let touch t pc =
+  let b = ((t.prev * 0x9E3779B1) lxor pc) land (buckets - 1) in
+  if t.mark.(b) <> t.stamp then begin
+    t.mark.(b) <- t.stamp;
+    t.this_exec <- b :: t.this_exec
+  end;
+  t.prev <- pc
+
+let commit t =
+  let fresh =
+    List.fold_left
+      (fun n b ->
+        if Bytes.get t.map b = '\000' then begin
+          Bytes.set t.map b '\001';
+          n + 1
+        end
+        else n)
+      0 t.this_exec
+  in
+  t.edges <- t.edges + fresh;
+  t.this_exec <- [];
+  fresh
+
+let edges t = t.edges

@@ -1,0 +1,27 @@
+(** Edge-coverage bitmap over the retired-instruction stream.
+
+    Feeds from the instruction profiler's pc tap
+    ([Telemetry.Profile.set_sink]): attach [touch] as the sink and the
+    map sees every retired instruction with no extra hook in the
+    interpreters.  An edge is a hashed (previous pc, pc) pair in a
+    fixed 65536-bucket map, as in AFL. *)
+
+type t
+
+val create : unit -> t
+
+val begin_exec : t -> unit
+(** Start a new execution: resets the previous-pc state and the
+    per-exec hit set (O(1) — the global map is untouched). *)
+
+val touch : t -> int -> unit
+(** One retired instruction at this pc.  Intended as a
+    [Telemetry.Profile] sink. *)
+
+val commit : t -> int
+(** Fold the current execution's edges into the global map; returns the
+    number of edges never seen by {e any} prior execution (> 0 means
+    the input found new coverage and belongs in the corpus). *)
+
+val edges : t -> int
+(** Distinct edges ever hit. *)

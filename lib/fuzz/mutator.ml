@@ -1,0 +1,215 @@
+(* Wire-format-aware DNS mutations.
+
+   Blind bit-flipping rarely builds the structures that reach deep into
+   a DNS parser (a compression pointer needs two coordinated bytes; a
+   hostile label length must sit exactly on a label boundary).  So in
+   addition to the classic byte-level operators, the mutator walks the
+   message's own structure — tolerantly, since corpus items are already
+   mutants — to find label boundaries and rdlen fields, and splices
+   adversarial values exactly there:
+
+   - label-length splice: a boundary length byte is replaced with a
+     value in 64..191, the range real resolvers reject but Connman's
+     permissive [get_name] treats as a plain length (§III of the paper);
+   - compression-pointer splice: a boundary becomes a 0xC0-prefixed
+     pointer to an earlier offset, the raw material for the quadratic /
+     looping expansions that overflow the 1024-byte stack buffer;
+   - rdlen lie: the 16-bit rdata length is replaced with a value
+     unrelated to the bytes that follow.
+
+   All randomness flows from a caller-owned {!Memsim.Rng}, so a run is a
+   pure function of its seed. *)
+
+module Rng = Memsim.Rng
+
+(* Byte values over-represented because they sit on the format's
+   decision boundaries: label-length limits, the 0x40/0x80 reserved
+   bits, the 0xC0 pointer tag, and all-ones. *)
+let interesting =
+  [| 0x00; 0x01; 0x3F; 0x40; 0x41; 0x7F; 0x80; 0xBF; 0xC0; 0xC1; 0xFF |]
+
+(* {1 Tolerant structure walk}
+
+   Finds label-boundary offsets and rdlen-field offsets without
+   trusting the message: any inconsistency just ends the walk with
+   whatever was found so far. *)
+
+type wire_map = {
+  label_offs : int list;  (* offsets of label length bytes, ascending *)
+  rdlen_offs : int list;  (* offsets of 16-bit rdlen fields, ascending *)
+}
+
+let u16_at s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let wire_map s =
+  let len = String.length s in
+  let labels = ref [] and rdlens = ref [] in
+  (* Walk one name starting at [off]; returns the offset just past it,
+     or None if it runs off the message. *)
+  let rec skip_name off budget =
+    if budget = 0 || off >= len then None
+    else
+      match Char.code s.[off] with
+      | 0 -> Some (off + 1)
+      | b when b >= 0xC0 -> if off + 2 <= len then Some (off + 2) else None
+      | b ->
+          labels := off :: !labels;
+          skip_name (off + 1 + b) (budget - 1)
+  in
+  if len < 12 then { label_offs = []; rdlen_offs = [] }
+  else begin
+    let qd = u16_at s 4
+    and an = u16_at s 6
+    and ns = u16_at s 8
+    and ar = u16_at s 10 in
+    (* Counts in a mutant can lie; cap the walk so it stays linear. *)
+    let cap n = min n 32 in
+    let off = ref (Some 12) in
+    for _ = 1 to cap qd do
+      match !off with
+      | None -> ()
+      | Some o -> (
+          match skip_name o 64 with
+          | Some o' when o' + 4 <= len -> off := Some (o' + 4)
+          | _ -> off := None)
+    done;
+    for _ = 1 to cap (an + ns + ar) do
+      match !off with
+      | None -> ()
+      | Some o -> (
+          match skip_name o 64 with
+          | Some o' when o' + 10 <= len ->
+              rdlens := (o' + 8) :: !rdlens;
+              let rdlen = u16_at s (o' + 8) in
+              if o' + 10 + rdlen <= len then off := Some (o' + 10 + rdlen)
+              else off := None
+          | _ -> off := None)
+    done;
+    { label_offs = List.rev !labels; rdlen_offs = List.rev !rdlens }
+  end
+
+(* {1 Operators} *)
+
+let set_byte s off v =
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.unsafe_chr (v land 0xFF));
+  Bytes.to_string b
+
+let set_u16 s off v =
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 1) (Char.unsafe_chr (v land 0xFF));
+  Bytes.to_string b
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+
+let op_bit_flip rng s =
+  let off = Rng.int rng (String.length s) in
+  set_byte s off (Char.code s.[off] lxor (1 lsl Rng.int rng 8))
+
+let op_byte_set rng s =
+  set_byte s (Rng.int rng (String.length s)) (Rng.int rng 256)
+
+let op_interesting rng s =
+  set_byte s
+    (Rng.int rng (String.length s))
+    interesting.(Rng.int rng (Array.length interesting))
+
+(* The header-targeting operators need the header to still be there: a
+   prior truncate can leave fewer than 12 bytes, in which case they pass
+   the input through (before consuming any randomness, so longer inputs
+   replay identically). *)
+
+let op_flag_flip rng s =
+  (* Header bytes 2-3: QR/opcode/AA/TC/RD/RA/Z/rcode. *)
+  if String.length s < 4 then s
+  else
+    let off = 2 + Rng.int rng 2 in
+    set_byte s off (Char.code s.[off] lxor (1 lsl Rng.int rng 8))
+
+let op_count_lie rng s =
+  if String.length s < 12 then s
+  else
+    let off = pick rng [ 4; 6; 8; 10 ] in
+    let v = pick rng [ 0; 1; 2; 3; 0xFF; 0xFFFF ] in
+    set_u16 s off v
+
+let op_truncate rng s =
+  let n = String.length s in
+  if n <= 1 then s else String.sub s 0 (1 + Rng.int rng (n - 1))
+
+let op_grow rng s ~max_len =
+  let n = String.length s in
+  if n >= max_len then s
+  else begin
+    (* Duplicate a chunk of the message after a random split point:
+       grows the input with in-distribution bytes (names, RR shells)
+       rather than noise. *)
+    let chunk_len = 1 + Rng.int rng (min n (max_len - n)) in
+    let src = Rng.int rng (n - chunk_len + 1) in
+    let at = Rng.int rng (n + 1) in
+    String.sub s 0 at ^ String.sub s src chunk_len ^ String.sub s at (n - at)
+  end
+
+let op_label_splice rng s =
+  match (wire_map s).label_offs with
+  | [] -> s
+  | offs ->
+      (* 64..191: rejected by strict resolvers, accepted as a plain
+         length by the permissive target parser. *)
+      set_byte s (pick rng offs) (64 + Rng.int rng 128)
+
+let op_pointer_splice rng s =
+  match (wire_map s).label_offs with
+  | [] -> s
+  | offs ->
+      let off = pick rng offs in
+      if off + 2 > String.length s then s
+      else
+        (* Point backwards (including at or before this name's own
+           start): re-walking earlier bytes is what compounds the
+           expansion. *)
+        let target = Rng.int rng (max 1 off) in
+        set_u16 s off (0xC000 lor (target land 0x3FFF))
+
+let op_rdlen_lie rng s =
+  match (wire_map s).rdlen_offs with
+  | [] -> s
+  | offs ->
+      let v = pick rng [ 0; 1; 4; 0x40; 0x400; 0xFFFF ] in
+      set_u16 s (pick rng offs) v
+
+let op_crossover rng s other =
+  let a = 1 + Rng.int rng (String.length s) in
+  let b = Rng.int rng (String.length other + 1) in
+  String.sub s 0 a ^ String.sub other b (String.length other - b)
+
+(* {1 Driver} *)
+
+(* Weights: structural operators get the bulk of the budget — they are
+   the ones that move execution into new parse paths. *)
+let apply_one rng ~max_len ~pick_other s =
+  let s = if String.length s = 0 then "\x00" else s in
+  match Rng.int rng 12 with
+  | 0 -> op_bit_flip rng s
+  | 1 -> op_byte_set rng s
+  | 2 -> op_interesting rng s
+  | 3 -> op_flag_flip rng s
+  | 4 -> op_count_lie rng s
+  | 5 -> op_truncate rng s
+  | 6 -> op_grow rng s ~max_len
+  | 7 | 8 -> op_label_splice rng s
+  | 9 | 10 -> op_pointer_splice rng s
+  | 11 -> (
+      match Rng.int rng 2 with
+      | 0 -> op_rdlen_lie rng s
+      | _ -> op_crossover rng s (pick_other ()))
+  | _ -> assert false
+
+let clamp ~max_len s =
+  if String.length s > max_len then String.sub s 0 max_len else s
+
+let mutate rng ~max_len ~pick_other s =
+  let stack = 1 + Rng.int rng 3 in
+  let rec go n s = if n = 0 then s else go (n - 1) (apply_one rng ~max_len ~pick_other s) in
+  clamp ~max_len (go stack s)

@@ -1,0 +1,30 @@
+(** Wire-format-aware DNS mutation operators.
+
+    Beyond classic byte-level havoc (bit flips, interesting bytes,
+    truncation, chunk duplication, crossover), the mutator walks the
+    message's own structure to splice adversarial values exactly where
+    the parser will consume them: header flag flips and section-count
+    lies, label-length splices in the 64..191 range only the permissive
+    target parser accepts, compression-pointer splices to earlier
+    offsets (the raw material of the Listing-1 expansion overflow), and
+    rdlen lies.  Deterministic: all randomness comes from the caller's
+    {!Memsim.Rng}. *)
+
+type wire_map = {
+  label_offs : int list;  (** offsets of label length bytes *)
+  rdlen_offs : int list;  (** offsets of 16-bit rdlen fields *)
+}
+
+val wire_map : string -> wire_map
+(** Tolerant structural walk; never raises, returns whatever structure
+    is recognizable from the (possibly already mutated) bytes. *)
+
+val mutate :
+  Memsim.Rng.t ->
+  max_len:int ->
+  pick_other:(unit -> string) ->
+  string ->
+  string
+(** Apply a random stack (1–3) of operators.  [pick_other] supplies a
+    second corpus item for crossover.  The result is non-empty and at
+    most [max_len] bytes. *)

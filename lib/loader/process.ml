@@ -130,6 +130,14 @@ let boot spec ~profile ~seed =
 let symbol t name = List.assoc name t.symbols
 let symbol_opt t name = List.assoc_opt name t.symbols
 
+(* Everything in [t] except [mem] is immutable after boot (layout,
+   symbols, profile), so process snapshots delegate entirely to the
+   memory's copy-on-write layer and a fork is just a record copy around a
+   forked memory. *)
+let snapshot t = Mem.snapshot t.mem
+let restore t snap = Mem.restore t.mem snap
+let fork t snap = { t with mem = Mem.fork snap }
+
 type run_result = {
   outcome : O.stop_reason;
   steps : int;

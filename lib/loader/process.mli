@@ -41,6 +41,21 @@ val symbol : t -> string -> int
 
 val symbol_opt : t -> string -> int option
 
+val snapshot : t -> Memsim.Memory.snapshot
+(** Copy-on-write snapshot of the process memory (see
+    {!Memsim.Memory.snapshot}).  Everything else in [t] is immutable
+    after [boot], so this captures the whole machine state between
+    calls: a later {!restore} followed by {!call} replays bit-identically
+    (outcome, step count, register file). *)
+
+val restore : t -> Memsim.Memory.snapshot -> unit
+
+val fork : t -> Memsim.Memory.snapshot -> t
+(** An independent process sharing this one's immutable boot state
+    (layout, symbols, profile) with memory forked copy-on-write from the
+    snapshot.  The snapshot must come from this process (or a fork of
+    it). *)
+
 type run_result = {
   outcome : Machine.Outcome.stop_reason;
   steps : int;  (** instructions retired during the call *)

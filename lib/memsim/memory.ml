@@ -41,8 +41,20 @@ type region = { name : string; base : int; size : int; perm : perm }
    The generation lives in a heap cell ([int ref]) rather than a mutable
    field so {!gen_ref} can hand the cell itself to a decode cache: entry
    validation is then a direct load + compare with no call back into this
-   module — it runs once per interpreted instruction. *)
-type page = { mutable pperm : perm; data : Bytes.t; gen : int ref }
+   module — it runs once per interpreted instruction.
+
+   [frozen] is the copy-on-write bit: while set, [data] may be shared
+   with one or more {!snapshot} frames and must not be mutated in place.
+   Every byte-store path calls {!unshare} first, which swaps in a private
+   copy of the buffer and clears the bit.  The invariant the snapshot
+   layer relies on: a [Bytes.t] reachable from a snapshot frame is never
+   written again. *)
+type page = {
+  mutable pperm : perm;
+  mutable data : Bytes.t;
+  gen : int ref;
+  mutable frozen : bool;
+}
 
 let page_size = 4096
 let page_bits = 12
@@ -71,7 +83,14 @@ type t = {
   mutable trace : Telemetry.Trace.t option;
 }
 
-let null_page = { pperm = none; data = Bytes.empty; gen = ref 0 }
+let null_page = { pperm = none; data = Bytes.empty; gen = ref 0; frozen = false }
+
+(* Cold path of the copy-on-write protocol: give the page a private copy
+   of its buffer before the first mutation after a snapshot.  Kept
+   out-of-line so the store hot paths pay only the [frozen] test. *)
+let[@inline never] unshare p =
+  p.data <- Bytes.copy p.data;
+  p.frozen <- false
 
 let create () =
   {
@@ -152,7 +171,12 @@ let map t ~base ~size ~perm ~name =
   done;
   for i = first to last do
     Hashtbl.replace t.pages i
-      { pperm = perm; data = Bytes.make page_size '\000'; gen = ref (fresh_gen t) }
+      {
+        pperm = perm;
+        data = Bytes.make page_size '\000';
+        gen = ref (fresh_gen t);
+        frozen = false;
+      }
   done;
   let reg = { name; base; size; perm } in
   t.regs <- reg :: t.regs;
@@ -287,6 +311,7 @@ let write_u8 t addr v =
   let addr = Word.of_int addr in
   let p = write_page t addr "write" in
   if not p.pperm.write then fault t addr Perm_write "write";
+  if p.frozen then unshare p;
   p.gen := fresh_gen t;
   Bytes.unsafe_set p.data (addr land offset_mask) (Char.unsafe_chr (v land 0xFF))
 
@@ -360,6 +385,7 @@ let write_u32 t addr v =
   if off <= page_size - 4 then begin
     let p = write_page t a "write" in
     if not p.pperm.write then fault t a Perm_write "write";
+    if p.frozen then unshare p;
     p.gen := fresh_gen t;
     let d = p.data in
     Bytes.unsafe_set d off (Char.unsafe_chr (v land 0xFF));
@@ -410,6 +436,7 @@ let write_bytes t addr s =
       let off = a land offset_mask in
       let chunk = min (len - !i) (page_size - off) in
       let p = write_page t a "write" in
+      if p.frozen then unshare p;
       p.gen := fresh_gen t;
       Bytes.blit_string s !i p.data off chunk;
       i := !i + chunk
@@ -465,11 +492,133 @@ let poke_bytes t addr s =
       let off = a land offset_mask in
       let chunk = min (len - !i) (page_size - off) in
       let p = write_page t a "poke" in
+      if p.frozen then unshare p;
       p.gen := fresh_gen t;
       Bytes.blit_string s !i p.data off chunk;
       i := !i + chunk
     done
   end
+
+(* {1 Copy-on-write snapshots}
+
+   A snapshot is an immutable array of per-page frames, each pinning the
+   page's buffer ([Bytes.t], shared — never copied at snapshot time), its
+   permissions, and the generation the page carried when the snapshot was
+   taken.  Taking a snapshot freezes every live page; the store paths
+   unshare on the first subsequent write, so snapshot cost is O(pages)
+   with zero byte copying, and restore cost is proportional to the number
+   of pages actually dirtied since.
+
+   Restore never rewinds [gen_counter]: a page whose bytes are swapped
+   back to snapshot contents gets a {e fresh} generation, which is exactly
+   what keeps decode caches ({!Icache}) coherent — their entries were
+   filled against the dirty bytes and must re-validate.  Untouched pages
+   (generation still equal to the frame's) keep their generation, so
+   decode-cache entries for never-written text pages survive fork/restore
+   cycles; that is the perf win that makes snapshot fuzzing cheap. *)
+
+type frame = {
+  f_idx : int;
+  f_page : page;  (* identity of the record frozen at snapshot time *)
+  f_data : Bytes.t;
+  f_perm : perm;
+  f_gen : int;
+}
+
+type snapshot = { s_frames : frame array; s_regs : region list }
+
+let snapshot t =
+  let frames =
+    Hashtbl.fold
+      (fun idx p acc ->
+        p.frozen <- true;
+        { f_idx = idx; f_page = p; f_data = p.data; f_perm = p.pperm; f_gen = !(p.gen) }
+        :: acc)
+      t.pages []
+  in
+  let arr = Array.of_list frames in
+  Array.sort (fun a b -> compare a.f_idx b.f_idx) arr;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+      Telemetry.Trace.emit tr ~cat:"mem" ~track:"memory" "snapshot"
+        ~args:[ ("pages", Telemetry.Trace.I (Array.length arr)) ]);
+  { s_frames = arr; s_regs = t.regs }
+
+let snapshot_pages s = Array.length s.s_frames
+
+let restore t snap =
+  (* Drop pages mapped after the snapshot was taken, retiring their
+     generations so stale decode-cache entries can never re-validate.
+     [map]/[unmap]/[set_perm] all replace the region list, so physical
+     equality with the snapshot's list proves the page table's shape is
+     unchanged and the scan can be skipped — the common case in a
+     restore-per-exec fuzzing loop. *)
+  (if t.regs != snap.s_regs then begin
+     let keep = Hashtbl.create (Array.length snap.s_frames) in
+     Array.iter (fun f -> Hashtbl.replace keep f.f_idx ()) snap.s_frames;
+     let stale =
+       Hashtbl.fold
+         (fun idx p acc -> if Hashtbl.mem keep idx then acc else (idx, p) :: acc)
+         t.pages []
+     in
+     List.iter
+       (fun (idx, p) ->
+         p.gen := fresh_gen t;
+         Hashtbl.remove t.pages idx)
+       (List.sort compare stale)
+   end);
+  let dirty = ref 0 in
+  Array.iter
+    (fun f ->
+      match Hashtbl.find_opt t.pages f.f_idx with
+      | Some p when p == f.f_page && !(p.gen) = f.f_gen ->
+          (* Untouched since the snapshot: nothing to do, and crucially
+             the generation is preserved so decode-cache entries filled
+             from this page stay valid across the restore. *)
+          ()
+      | Some p when p.frozen && p.data == f.f_data && p.pperm = f.f_perm ->
+          (* Already carrying the snapshot's buffer (e.g. restored before
+             and not written since).  Bytes are identical by the frozen
+             invariant; skip the gen bump. *)
+          ()
+      | Some p ->
+          incr dirty;
+          p.data <- f.f_data;
+          p.frozen <- true;
+          p.pperm <- f.f_perm;
+          p.gen := fresh_gen t
+      | None ->
+          incr dirty;
+          Hashtbl.replace t.pages f.f_idx
+            {
+              pperm = f.f_perm;
+              data = f.f_data;
+              gen = ref (fresh_gen t);
+              frozen = true;
+            })
+    snap.s_frames;
+  t.regs <- snap.s_regs;
+  invalidate_page_caches t;
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Telemetry.Trace.emit tr ~cat:"mem" ~track:"memory" "restore"
+        ~args:
+          [
+            ("pages", Telemetry.Trace.I (Array.length snap.s_frames));
+            ("dirty", Telemetry.Trace.I !dirty);
+          ]
+
+let fork snap =
+  let t = create () in
+  Array.iter
+    (fun f ->
+      Hashtbl.replace t.pages f.f_idx
+        { pperm = f.f_perm; data = f.f_data; gen = ref (fresh_gen t); frozen = true })
+    snap.s_frames;
+  t.regs <- snap.s_regs;
+  t
 
 let hexdump t ~base ~len =
   let buf = Buffer.create (len * 4) in

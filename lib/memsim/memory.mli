@@ -144,6 +144,45 @@ val poke_bytes : t -> int -> string -> unit
     before any byte lands) and bumps the write generation of every
     touched page, like {!write_bytes}. *)
 
+(** {1 Copy-on-write snapshots}
+
+    A {!snapshot} captures the full machine memory — page contents,
+    permissions, region table — in O(pages) time with {e zero} byte
+    copying: every live page is frozen and its buffer shared with the
+    snapshot.  The store paths transparently unshare (copy) a frozen
+    page on the first subsequent write, so the mutator pays one
+    page-copy per dirtied page and untouched pages cost nothing.
+
+    Generation-counter interaction (the {!Icache} contract): {!restore}
+    never rewinds the generation counter.  Pages dirtied since the
+    snapshot get a {e fresh} generation when their bytes are swapped
+    back, forcing decode caches to re-validate; pages never written keep
+    their generation, so cached decodes of text pages survive arbitrarily
+    many fork/restore cycles.  Multiple snapshots of the same memory, and
+    restores in any order, are supported. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture current memory state.  Freezes all live pages (subsequent
+    writes to this memory copy-on-write). *)
+
+val restore : t -> snapshot -> unit
+(** Rewind memory to the snapshot: page contents, permissions, and the
+    region table.  Cost is proportional to the pages dirtied, mapped, or
+    unmapped since the snapshot was taken.  The snapshot remains valid
+    and may be restored again. *)
+
+val fork : snapshot -> t
+(** A fresh, independent memory whose initial state is the snapshot.
+    Shares page buffers copy-on-write with the snapshot (and with any
+    other fork of it); no trace sink is attached.  Generations in the
+    fork are fresh — decode caches must not be carried over from the
+    parent. *)
+
+val snapshot_pages : snapshot -> int
+(** Number of pages the snapshot pins. *)
+
 val hexdump : t -> base:int -> len:int -> string
 (** Conventional 16-bytes-per-line hex + ASCII dump (inspection only). *)
 

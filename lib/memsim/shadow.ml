@@ -41,6 +41,21 @@ let clear_range t addr ~len =
 
 let clear t = Hashtbl.reset t.pages
 
+(* Snapshots deep-copy the sparse page set.  Shadow pages are few (only
+   pages that ever carried taint) and restore is exact: pages created
+   after the snapshot are dropped, not just zeroed. *)
+type snapshot = (int * int array) list  (* sorted by page index *)
+
+let snapshot t =
+  let pages =
+    Hashtbl.fold (fun idx page acc -> (idx, Array.copy page) :: acc) t.pages []
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) pages
+
+let restore t snap =
+  Hashtbl.reset t.pages;
+  List.iter (fun (idx, page) -> Hashtbl.replace t.pages idx (Array.copy page)) snap
+
 let tainted t =
   Hashtbl.fold
     (fun _ page acc ->

@@ -1,12 +1,19 @@
-type t = { counts : (int, int ref) Hashtbl.t; mutable total : int }
+type t = {
+  counts : (int, int ref) Hashtbl.t;
+  mutable total : int;
+  mutable sink : (int -> unit) option;
+}
 
-let create () = { counts = Hashtbl.create 1024; total = 0 }
+let create () = { counts = Hashtbl.create 1024; total = 0; sink = None }
+
+let set_sink t sink = t.sink <- sink
 
 let record t pc =
   (match Hashtbl.find_opt t.counts pc with
   | Some r -> incr r
   | None -> Hashtbl.add t.counts pc (ref 1));
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  match t.sink with None -> () | Some f -> f pc
 
 let total t = t.total
 let distinct_pcs t = Hashtbl.length t.counts

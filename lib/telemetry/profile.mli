@@ -18,6 +18,15 @@ type t
 val create : unit -> t
 val record : t -> int -> unit  (** one retired instruction at this pc *)
 
+val set_sink : t -> (int -> unit) option -> unit
+(** Attach (or detach with [None]) a tap on the raw pc stream: the sink
+    fires on every {!record}, before bucketing.  This is how downstream
+    consumers that need the instruction stream but not the histogram —
+    e.g. a fuzzer's edge-coverage map — feed off the profiler without a
+    second instrumentation hook in the interpreters.  [None] by default;
+    the cost when detached is one option check per retired
+    instruction. *)
+
 val total : t -> int  (** instructions recorded *)
 
 val distinct_pcs : t -> int

@@ -325,6 +325,134 @@ let test_pointer_loop_response () =
   check_bool "permissive detects loop" true
     (Result.is_error (Name.expand_like_connman wire off))
 
+(* --- codec regressions ---
+
+   Three bugs found while building the fuzzer, each with a test that
+   fails on the pre-fix code. *)
+
+(* Pre-fix, [Packet.encode] emitted any label length verbatim: 64..191
+   collides with the reserved 0x40/0x80 bit patterns, >= 192 reads back
+   as a compression pointer, and >= 256 crashed [Char.chr] with its own
+   unhelpful message.  Now every bad length is rejected up front. *)
+let test_encode_rejects_bad_labels () =
+  let encode_with_label label =
+    Packet.encode (Packet.query ~id:1 [ label; "example"; "com" ] Packet.A)
+  in
+  Alcotest.check_raises "64 rejected (reserved bits)"
+    (Invalid_argument "Dns.Packet.encode: bad label length 64")
+    (fun () -> ignore (encode_with_label (String.make 64 'a')));
+  Alcotest.check_raises "192 rejected (pointer tag)"
+    (Invalid_argument "Dns.Packet.encode: bad label length 192")
+    (fun () -> ignore (encode_with_label (String.make 192 'a')));
+  Alcotest.check_raises "300 rejected cleanly (was a Char.chr crash)"
+    (Invalid_argument "Dns.Packet.encode: bad label length 300")
+    (fun () -> ignore (encode_with_label (String.make 300 'a')));
+  Alcotest.check_raises "empty label rejected"
+    (Invalid_argument "Dns.Packet.encode: bad label length 0")
+    (fun () -> ignore (encode_with_label ""));
+  (* 63 is the RFC maximum and must still encode and round-trip. *)
+  let wire = encode_with_label (String.make 63 'a') in
+  match Packet.decode wire with
+  | Ok m ->
+      check_string "63-byte label round-trips"
+        (String.make 63 'a')
+        (List.hd (List.hd m.Packet.questions).Packet.qname)
+  | Error e -> Alcotest.fail e
+
+(* A CNAME/NS/PTR rdata is a domain name and may compress against the
+   enclosing message.  Pre-fix, decode stored the raw rdata slice, so a
+   compression pointer inside it indexed a message that was no longer
+   there and [cname_of_rdata] returned [None] (or worse, wrong labels).
+   The wire below answers "host.example.com A?" with a CNAME whose
+   target is "alias" + pointer to "example.com" inside the question. *)
+let compressed_cname_wire ~rtype_code ~rdlen =
+  let buf = Buffer.create 64 in
+  let u16 v =
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+  in
+  u16 0x0777;
+  u16 0x8180;
+  u16 1 (* qd *);
+  u16 1 (* an *);
+  u16 0;
+  u16 0;
+  (* question at 12: "host" at 12, "example" at 17, "com" at 25 *)
+  Buffer.add_string buf "\x04host\x07example\x03com\x00";
+  u16 1 (* A *);
+  u16 1 (* IN *);
+  (* answer: name = pointer to the qname at 12 *)
+  u16 0xC00C;
+  u16 rtype_code;
+  u16 1;
+  u16 0;
+  u16 60 (* ttl *);
+  u16 rdlen;
+  Buffer.add_string buf "\x05alias\xC0\x11" (* "alias" + ptr to offset 17 *);
+  Buffer.contents buf
+
+let test_rdata_compressed_name_expanded () =
+  List.iter
+    (fun (rtype_code, rtype) ->
+      match Packet.decode (compressed_cname_wire ~rtype_code ~rdlen:8) with
+      | Error e -> Alcotest.fail e
+      | Ok m ->
+          let rr = List.hd m.Packet.answers in
+          check_bool "rtype decoded" true (rr.Packet.rtype = rtype);
+          (* The stored rdata is the *uncompressed* wire form... *)
+          check_string "rdata expanded against the message"
+            "\x05alias\x07example\x03com\x00" rr.Packet.rdata;
+          (* ...so the slice decodes in isolation. *)
+          match Packet.cname_of_rdata rr.Packet.rdata with
+          | Some labels ->
+              check_string "full target recovered" "alias.example.com"
+                (Name.to_string labels)
+          | None -> Alcotest.fail "cname_of_rdata lost the compressed target")
+    [ (5, Packet.CNAME); (2, Packet.NS); (12, Packet.PTR) ]
+
+let test_rdata_name_overrun_rejected () =
+  (* An rdlen lying short (name needs 8 bytes, rdlen says 2) must be an
+     error, not a silent mis-slice. *)
+  check_bool "short rdlen rejected" true
+    (Result.is_error (Packet.decode (compressed_cname_wire ~rtype_code:5 ~rdlen:2)))
+
+(* Pre-fix, [rcode_of_code] collapsed every code >= 6 to [Refused]:
+   YXDomain(6) ... BADVERS(16 truncated) all looked like policy refusals
+   to the cache layer.  Now unknown codes are preserved verbatim. *)
+let test_rcode_preserved () =
+  for code = 0 to 15 do
+    let wire =
+      let buf = Buffer.create 12 in
+      let u16 v =
+        Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+        Buffer.add_char buf (Char.chr (v land 0xFF))
+      in
+      u16 0x0042;
+      u16 (0x8000 lor code);
+      u16 0; u16 0; u16 0; u16 0;
+      Buffer.contents buf
+    in
+    match Packet.decode wire with
+    | Error e -> Alcotest.fail e
+    | Ok m ->
+        check_int
+          (Printf.sprintf "rcode %d survives decode" code)
+          code
+          (Packet.rcode_code m.Packet.header.Packet.rcode);
+        (* And survives a full encode/decode round trip. *)
+        (match Packet.decode (Packet.encode m) with
+        | Ok m' ->
+            check_int
+              (Printf.sprintf "rcode %d survives re-encode" code)
+              code
+              (Packet.rcode_code m'.Packet.header.Packet.rcode)
+        | Error e -> Alcotest.fail e)
+  done;
+  (* The known codes still map to their named constructors. *)
+  check_bool "5 is still Refused" true (Packet.rcode_of_code 5 = Packet.Refused);
+  check_bool "11 is preserved raw" true
+    (Packet.rcode_of_code 11 = Packet.Unknown_rcode 11)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "dns"
@@ -365,6 +493,16 @@ let () =
           Alcotest.test_case "strict RFC mode" `Quick test_plan_strict_rfc_mode;
           qt prop_planner_sound;
           qt prop_planner_total_on_sparse_specs;
+        ] );
+      ( "codec regressions",
+        [
+          Alcotest.test_case "encode rejects bad label lengths" `Quick
+            test_encode_rejects_bad_labels;
+          Alcotest.test_case "compressed rdata names expanded" `Quick
+            test_rdata_compressed_name_expanded;
+          Alcotest.test_case "rdata name overrun rejected" `Quick
+            test_rdata_name_overrun_rejected;
+          Alcotest.test_case "rcodes 6..15 preserved" `Quick test_rcode_preserved;
         ] );
       ( "hostile responses",
         [

@@ -135,6 +135,203 @@ let test_truncation_gauntlet () =
         ()
   done
 
+(* --- the mutation grammar --- *)
+
+module Mutator = Fuzz.Mutator
+module Engine = Fuzz.Engine
+
+let benign_pool = lazy (Array.of_list (Engine.benign_seeds ()))
+
+let pick_other_from rng =
+  let pool = Lazy.force benign_pool in
+  fun () -> pool.(Memsim.Rng.int rng (Array.length pool))
+
+(* Totality over arbitrary inputs, including the tiny ones: a truncate
+   can leave 1-3 bytes, after which the header-targeting operators used
+   to index out of bounds (a fuzzer-found bug in the fuzzer). *)
+let prop_mutator_total =
+  QCheck.Test.make ~name:"mutate is total, bounded, non-empty" ~count:500
+    QCheck.(pair small_nat (make (gen_bytes 80)))
+    (fun (seed, input) ->
+      let rng = Memsim.Rng.create seed in
+      let pick_other = pick_other_from rng in
+      let s = ref input in
+      for _ = 1 to 40 do
+        s := Mutator.mutate rng ~max_len:256 ~pick_other !s
+      done;
+      String.length !s > 0 && String.length !s <= 256)
+
+let test_mutator_short_input_regression () =
+  (* Drive every operator against 1..11-byte inputs: pre-fix this hit
+     "index out of bounds" in op_flag_flip / op_count_lie (seed 5 of the
+     smoke campaign found it via truncate-then-flag-flip). *)
+  for seed = 0 to 50 do
+    let rng = Memsim.Rng.create seed in
+    let pick_other = pick_other_from rng in
+    for len = 1 to 11 do
+      let s = ref (String.make len 'x') in
+      for _ = 1 to 30 do
+        s := Mutator.mutate rng ~max_len:64 ~pick_other !s
+      done
+    done
+  done
+
+let prop_mutator_deterministic =
+  QCheck.Test.make ~name:"mutation stream is a pure function of the seed"
+    ~count:100 QCheck.small_nat
+    (fun seed ->
+      let stream seed =
+        let rng = Memsim.Rng.create seed in
+        let pick_other = pick_other_from rng in
+        let s = ref (Lazy.force benign_pool).(0) in
+        List.init 30 (fun _ ->
+            s := Mutator.mutate rng ~max_len:512 ~pick_other !s;
+            !s)
+      in
+      stream seed = stream seed)
+
+let prop_wire_map_total =
+  QCheck.Test.make ~name:"wire_map never raises, offsets in bounds" ~count:500
+    (QCheck.make (gen_bytes 300))
+    (fun bytes ->
+      let wm = Mutator.wire_map bytes in
+      let n = String.length bytes in
+      List.for_all (fun o -> o >= 0 && o < n) wm.Mutator.label_offs
+      && List.for_all (fun o -> o >= 0 && o + 2 <= n) wm.Mutator.rdlen_offs)
+
+let test_wire_map_finds_structure () =
+  (* On a well-formed compressed response the walker must locate real
+     label-length bytes and the real rdlen field. *)
+  let wire = List.hd (Engine.benign_seeds ()) in
+  let wm = Mutator.wire_map wire in
+  Alcotest.(check bool) "found labels" true (List.length wm.Mutator.label_offs > 0);
+  List.iter
+    (fun off ->
+      let b = Char.code wire.[off] in
+      Alcotest.(check bool)
+        (Printf.sprintf "offset %d is a plausible length byte" off)
+        true
+        (b > 0 && b < 64);
+      Alcotest.(check bool)
+        (Printf.sprintf "label at %d fits the message" off)
+        true
+        (off + 1 + b <= String.length wire))
+    wm.Mutator.label_offs;
+  match wm.Mutator.rdlen_offs with
+  | [ off ] ->
+      let rdlen = (Char.code wire.[off] lsl 8) lor Char.code wire.[off + 1] in
+      Alcotest.(check int) "A-record rdlen" 4 rdlen;
+      Alcotest.(check int) "rdata ends the message" (String.length wire) (off + 2 + 4)
+  | offs -> Alcotest.failf "expected one rdlen field, found %d" (List.length offs)
+
+(* Encode/decode round-trip over the mutation grammar: wherever a mutant
+   still decodes, re-encoding the decoded message and decoding again is
+   the identity.  This leans on all three codec fixes at once — decoded
+   labels are always encodable (<= 63), CNAME rdata is stored
+   uncompressed so it survives re-encoding out of context, and rcodes
+   6..15 are preserved rather than collapsed. *)
+let prop_mutated_roundtrip =
+  QCheck.Test.make ~name:"decode o encode = id on decodable mutants" ~count:300
+    QCheck.(pair small_nat (int_bound 3))
+    (fun (seed, which) ->
+      let rng = Memsim.Rng.create (succ seed) in
+      let pick_other = pick_other_from rng in
+      let s = ref (Lazy.force benign_pool).(which) in
+      let ok = ref true in
+      for _ = 1 to 25 do
+        s := Mutator.mutate rng ~max_len:512 ~pick_other !s;
+        match Dns.Packet.decode !s with
+        | Error _ -> ()
+        | Ok m -> (
+            match Dns.Packet.decode (Dns.Packet.encode ~compress:false m) with
+            | Ok m' -> if m' <> m then ok := false
+            | Error _ -> ok := false)
+      done;
+      !ok)
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex_of_string/string_of_hex inverse" ~count:300
+    (QCheck.make (gen_bytes 100))
+    (fun s -> Engine.string_of_hex (Engine.hex_of_string s) = s)
+
+(* --- engine determinism --- *)
+
+let test_engine_deterministic () =
+  List.iter
+    (fun arch ->
+      let cfg = { Engine.default_config with Engine.arch; max_execs = 120 } in
+      let a = Engine.run cfg and b = Engine.run cfg in
+      Alcotest.(check string)
+        (Loader.Arch.name arch ^ ": stats JSON byte-identical")
+        (Engine.stats_json a) (Engine.stats_json b);
+      Alcotest.(check bool)
+        (Loader.Arch.name arch ^ ": executions happened")
+        true
+        (a.Engine.execs = 120 && a.Engine.edges > 0 && a.Engine.total_steps > 0))
+    [ Loader.Arch.X86; Loader.Arch.Arm ]
+
+(* --- regression corpus replay ---
+
+   Every committed fuzzer-found input must still overflow the Listing-1
+   buffer and be triaged as a redzone write with wire-byte provenance,
+   on both ISAs.  The replay dogfoods the snapshot layer the fuzzer
+   uses: one boot per ISA, restore between inputs. *)
+
+let replay_corpus_on arch =
+  let profile = Defense.Profile.wx in
+  let spec =
+    match arch with
+    | Loader.Arch.X86 ->
+        Connman.Program_x86.spec ~version:Connman.Version.v1_34 ~profile ()
+    | Loader.Arch.Arm ->
+        Connman.Program_arm.spec ~version:Connman.Version.v1_34 ~profile ()
+  in
+  let proc = Loader.Process.boot spec ~profile ~seed:99 in
+  let snap = Loader.Process.snapshot proc in
+  let entry = Loader.Process.symbol proc "parse_response" in
+  let buf = proc.Loader.Process.layout.Loader.Layout.heap_base in
+  let geometry = Connman.Frame.geometry arch in
+  let frame_buffer = Connman.Frame.buffer_addr proc in
+  let oracle = Sanitizer.Oracle.create () in
+  List.iter
+    (fun (name, hex) ->
+      let input = Engine.string_of_hex hex in
+      Loader.Process.restore proc snap;
+      Memsim.Memory.write_bytes proc.Loader.Process.mem buf input;
+      Sanitizer.Oracle.begin_parse oracle;
+      Sanitizer.Oracle.clear_reports oracle;
+      let src =
+        Sanitizer.Oracle.new_source oracle ~origin:"fuzz"
+          ~length:(String.length input)
+      in
+      Sanitizer.Oracle.taint oracle ~src buf ~len:(String.length input);
+      Sanitizer.Oracle.protect_frame oracle ~buffer:frame_buffer geometry;
+      let r =
+        Loader.Process.call proc ~fuel:400_000 ~sanitizer:oracle ~entry
+          ~args:[ buf; String.length input ]
+      in
+      let tag = Printf.sprintf "%s/%s" (Loader.Arch.name arch) name in
+      Alcotest.(check bool)
+        (tag ^ ": still crashes the guest")
+        true
+        (r.Loader.Process.outcome <> O.Halted);
+      match Sanitizer.Oracle.first_report oracle with
+      | None -> Alcotest.fail (tag ^ ": oracle fired no report")
+      | Some rp ->
+          Alcotest.(check string)
+            (tag ^ ": triaged as redzone write")
+            "redzone-write"
+            (Sanitizer.Oracle.kind_name rp.Sanitizer.Oracle.kind);
+          Alcotest.(check bool)
+            (tag ^ ": wire provenance intact")
+            true
+            (Sanitizer.Oracle.wire_offset rp >= 0
+            && Sanitizer.Oracle.wire_offset rp < String.length input))
+    Corpus_data.entries
+
+let test_corpus_replay_x86 () = replay_corpus_on Loader.Arch.X86
+let test_corpus_replay_arm () = replay_corpus_on Loader.Arch.Arm
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "fuzz"
@@ -152,5 +349,27 @@ let () =
           qt prop_daemon_total_on_hostile_answers;
           qt prop_daemon_random_label_streams;
           Alcotest.test_case "truncation gauntlet" `Quick test_truncation_gauntlet;
+        ] );
+      ( "mutator",
+        [
+          qt prop_mutator_total;
+          Alcotest.test_case "short inputs (regression)" `Quick
+            test_mutator_short_input_regression;
+          qt prop_mutator_deterministic;
+          qt prop_wire_map_total;
+          Alcotest.test_case "wire_map finds real structure" `Quick
+            test_wire_map_finds_structure;
+          qt prop_mutated_roundtrip;
+          qt prop_hex_roundtrip;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "seed-deterministic stats" `Slow
+            test_engine_deterministic;
+        ] );
+      ( "regression corpus",
+        [
+          Alcotest.test_case "replay on x86" `Quick test_corpus_replay_x86;
+          Alcotest.test_case "replay on arm" `Quick test_corpus_replay_arm;
         ] );
     ]

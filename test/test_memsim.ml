@@ -386,6 +386,149 @@ let test_icache_straddling_entry () =
   check_bool "same-page entry aliases its cells" true
     (e2.Memsim.Icache.lo == e2.Memsim.Icache.hi)
 
+(* --- Copy-on-write snapshots --- *)
+
+let test_snapshot_restore_bytes () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x3000 ~perm:Mem.rw ~name:"d";
+  Mem.write_bytes m 0x1000 "original";
+  Mem.write_u32 m 0x2FFC 0xCAFE;
+  let snap = Mem.snapshot m in
+  check_int "snapshot pins the pages" 3 (Mem.snapshot_pages snap);
+  Mem.write_bytes m 0x1000 "clobber!";
+  Mem.write_u32 m 0x2FFC 0xDEAD;
+  Mem.write_u8 m 0x2000 0x55;
+  Mem.restore m snap;
+  check_string "first page restored" "original" (Mem.read_bytes m 0x1000 8);
+  check_int "last page restored" 0xCAFE (Mem.read_u32 m 0x2FFC);
+  check_int "middle page restored to zero" 0 (Mem.read_u8 m 0x2000);
+  (* The snapshot stays valid: dirty and restore again. *)
+  Mem.write_bytes m 0x1000 "again!!!";
+  Mem.restore m snap;
+  check_string "second restore identical" "original" (Mem.read_bytes m 0x1000 8)
+
+let test_snapshot_gen_contract () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x2000 ~perm:Mem.rwx ~name:"text";
+  Mem.write_u8 m 0x1000 0x90;
+  let snap = Mem.snapshot m in
+  let g_text = Mem.page_gen m 0x1000 in
+  let g_data = Mem.page_gen m 0x2000 in
+  Mem.write_u8 m 0x2000 1;
+  let g_dirty = Mem.page_gen m 0x2000 in
+  check_bool "store bumps even when frozen" true (g_dirty <> g_data);
+  Mem.restore m snap;
+  (* Untouched pages keep their generation (cached decodes stay hot);
+     dirtied pages come back under a *fresh* one (caches must refill) —
+     the counter never rewinds. *)
+  check_int "untouched page keeps its generation" g_text (Mem.page_gen m 0x1000);
+  let g_back = Mem.page_gen m 0x2000 in
+  check_bool "dirty page gets a fresh generation" true
+    (g_back <> g_data && g_back <> g_dirty);
+  check_int "bytes came back" 0 (Mem.read_u8 m 0x2000)
+
+let test_snapshot_region_table () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x1000 ~perm:Mem.rx ~name:"a";
+  let snap = Mem.snapshot m in
+  Mem.set_perm m ~base:0x1000 Mem.rw;
+  Mem.map m ~base:0x5000 ~size:0x1000 ~perm:Mem.rw ~name:"b";
+  Mem.write_u8 m 0x5000 7;
+  Mem.restore m snap;
+  check_int "one region again" 1 (List.length (Mem.regions m));
+  check_bool "mapped-after-snapshot region is gone" false (Mem.is_mapped m 0x5000);
+  expect_fault Mem.Unmapped (fun () -> Mem.read_u8 m 0x5000);
+  check_bool "permission change rolled back" true
+    ((Mem.find_region m "a").Mem.perm = Mem.rx);
+  expect_fault Mem.Perm_write (fun () -> Mem.write_u8 m 0x1000 1);
+  (* And a region unmapped after the snapshot comes back. *)
+  let snap2 = Mem.snapshot m in
+  Mem.unmap m ~base:0x1000;
+  Mem.restore m snap2;
+  check_bool "unmapped region restored" true (Mem.is_mapped m 0x1000)
+
+let test_fork_independence () =
+  let m = fresh () in
+  Mem.map m ~base:0x1000 ~size:0x2000 ~perm:Mem.rw ~name:"d";
+  Mem.write_u8 m 0x1000 0xAB;
+  let snap = Mem.snapshot m in
+  let f1 = Mem.fork snap in
+  let f2 = Mem.fork snap in
+  check_int "fork sees snapshot bytes" 0xAB (Mem.read_u8 f1 0x1000);
+  check_int "fork inherits regions" 1 (List.length (Mem.regions f1));
+  Mem.write_u8 f1 0x1000 0xCD;
+  Mem.write_u8 m 0x1004 0x77;
+  check_int "parent unaffected by fork write" 0xAB (Mem.read_u8 m 0x1000);
+  check_int "fork unaffected by parent write" 0 (Mem.read_u8 f1 0x1004);
+  check_int "sibling fork unaffected by both" 0xAB (Mem.read_u8 f2 0x1000);
+  check_int "sibling fork clean at 0x1004" 0 (Mem.read_u8 f2 0x1004);
+  (* The parent's snapshot still restores after forks diverged. *)
+  Mem.restore m snap;
+  check_int "parent restore exact" 0xAB (Mem.read_u8 m 0x1000);
+  check_int "parent restore clears own write" 0 (Mem.read_u8 m 0x1004)
+
+let test_snapshot_icache_coherent () =
+  let m, c, calls, decode = icache_fixture () in
+  ignore (Memsim.Icache.lookup c 0x1008 ~decode);
+  ignore (Memsim.Icache.lookup c 0x2008 ~decode);
+  check_int "two fills" 2 !calls;
+  let snap = Mem.snapshot m in
+  (* A cached decode survives snapshotting (freeze is not a write). *)
+  ignore (Memsim.Icache.lookup c 0x1008 ~decode);
+  check_int "snapshot itself invalidates nothing" 2 !calls;
+  Mem.write_u8 m 0x1008 0x90;
+  ignore (Memsim.Icache.lookup c 0x1008 ~decode);
+  check_int "post-snapshot store invalidates" 3 !calls;
+  Mem.restore m snap;
+  (* The restored page carries a fresh generation: the entry filled from
+     the in-between bytes must not revalidate. *)
+  ignore (Memsim.Icache.lookup c 0x1008 ~decode);
+  check_int "restore forces re-decode of dirtied page" 4 !calls;
+  ignore (Memsim.Icache.lookup c 0x1008 ~decode);
+  check_int "then caches again" 4 !calls;
+  (* The page never written between snapshot and restore stays hot. *)
+  ignore (Memsim.Icache.lookup c 0x2008 ~decode);
+  check_int "untouched page's entry survives restore" 4 !calls
+
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~name:"restore rewinds arbitrary write sequences" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 20)
+           (pair (int_range 0 0x1FFF) (int_range 0 255)))
+        (list_of_size (Gen.int_range 0 20)
+           (pair (int_range 0 0x1FFF) (int_range 0 255))))
+    (fun (before, after) ->
+      let m = fresh () in
+      Mem.map m ~base:0x4000 ~size:0x2000 ~perm:Mem.rw ~name:"d";
+      List.iter (fun (off, v) -> Mem.write_u8 m (0x4000 + off) v) before;
+      let expected = Mem.peek_bytes m 0x4000 0x2000 in
+      let snap = Mem.snapshot m in
+      List.iter (fun (off, v) -> Mem.write_u8 m (0x4000 + off) v) after;
+      Mem.restore m snap;
+      Mem.peek_bytes m 0x4000 0x2000 = expected)
+
+let test_shadow_snapshot_restore () =
+  let module Shadow = Memsim.Shadow in
+  let sh = Shadow.create () in
+  Shadow.set sh 0x1000 (Shadow.make ~src:1 ~offset:0);
+  Shadow.set sh 0x1001 (Shadow.make ~src:1 ~offset:1);
+  Shadow.set sh 0x9F0000 (Shadow.make ~src:2 ~offset:44);
+  let snap = Shadow.snapshot sh in
+  Shadow.set sh 0x1000 Shadow.clean;
+  Shadow.set sh 0x2000 (Shadow.make ~src:3 ~offset:7);
+  Shadow.clear_range sh 0x9F0000 ~len:16;
+  Shadow.restore sh snap;
+  check_int "tainted count back" 3 (Shadow.tainted sh);
+  check_int "label back" (Shadow.make ~src:1 ~offset:0) (Shadow.get sh 0x1000);
+  check_int "post-snapshot taint dropped" Shadow.clean (Shadow.get sh 0x2000);
+  check_int "cleared range re-tainted" (Shadow.make ~src:2 ~offset:44)
+    (Shadow.get sh 0x9F0000);
+  (* Deep copy: mutating after restore never leaks into the snapshot. *)
+  Shadow.clear sh;
+  Shadow.restore sh snap;
+  check_int "snapshot reusable after clear" 3 (Shadow.tainted sh)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "memsim"
@@ -445,6 +588,20 @@ let () =
             test_icache_perm_and_unmap_invalidate;
           Alcotest.test_case "page-straddling entries" `Quick
             test_icache_straddling_entry;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "restore rewinds bytes" `Quick
+            test_snapshot_restore_bytes;
+          Alcotest.test_case "generation contract" `Quick test_snapshot_gen_contract;
+          Alcotest.test_case "region table rollback" `Quick
+            test_snapshot_region_table;
+          Alcotest.test_case "fork independence" `Quick test_fork_independence;
+          Alcotest.test_case "icache coherent across restore" `Quick
+            test_snapshot_icache_coherent;
+          qt prop_snapshot_roundtrip;
+          Alcotest.test_case "shadow snapshot/restore" `Quick
+            test_shadow_snapshot_restore;
         ] );
       ( "rng",
         [

@@ -1,0 +1,161 @@
+(* Fork/restore differential over the exploit matrix.
+
+   The copy-on-write snapshot layer's correctness claim mirrors the
+   icache's: it changes speed, never outcomes.  These tests discharge it
+   against the hardest workloads in the repo — every §III exploit cell,
+   the DoS expansion, and a benign parse, on both ISAs.  Each cell runs
+   four times from one boot: a baseline call, a replay after [restore],
+   a run inside a [fork]ed process, and a second restore after the fork
+   diverged.  All four must agree bit-for-bit on stop reason, retired
+   instruction count, return value, and the full register file.
+
+   The replays deliberately reuse the warm decoded-instruction cache
+   from the baseline run: restore hands dirtied pages a fresh generation
+   (stale entries cannot revalidate) while untouched text pages keep
+   theirs (hot entries survive) — agreement here is the end-to-end proof
+   of that contract. *)
+
+module Mem = Memsim.Memory
+module O = Machine.Outcome
+module Process = Loader.Process
+
+let lookup_name = Dns.Name.of_string "ipv4.connman.net"
+
+let check_same_run name (a : Process.run_result) (b : Process.run_result) =
+  Alcotest.(check string)
+    (name ^ ": outcome")
+    (Format.asprintf "%a" O.pp a.Process.outcome)
+    (Format.asprintf "%a" O.pp b.Process.outcome);
+  Alcotest.(check int) (name ^ ": steps") a.Process.steps b.Process.steps;
+  Alcotest.(check int) (name ^ ": ret") a.Process.ret b.Process.ret;
+  Alcotest.(check (array int))
+    (name ^ ": registers")
+    a.Process.regs b.Process.regs
+
+(* One boot, one hostile (or benign) wire, four executions. *)
+let run_cell name ~config ~raw_name ~make_wire =
+  let d = Connman.Dnsproxy.create config in
+  let query = Connman.Dnsproxy.make_query d lookup_name in
+  let wire =
+    match raw_name with
+    | Some raw_name -> Exploit.Autogen.response_for ~query ~raw_name
+    | None -> make_wire query
+  in
+  let proc = Connman.Dnsproxy.process d in
+  let buf = proc.Process.layout.Loader.Layout.heap_base in
+  let entry = Process.symbol proc "parse_response" in
+  let exec p =
+    Mem.write_bytes p.Process.mem buf wire;
+    Process.call p ~fuel:400_000 ~entry ~args:[ buf; String.length wire ]
+  in
+  let snap = Process.snapshot proc in
+  let baseline = exec proc in
+  Alcotest.(check bool) (name ^ ": scenario ran") true (baseline.Process.steps > 100);
+  Process.restore proc snap;
+  check_same_run (name ^ "/restore") baseline (exec proc);
+  let forked = Process.fork proc snap in
+  check_same_run (name ^ "/fork") baseline (exec forked);
+  (* The parent restores cleanly even after the fork diverged (they
+     share frozen pages copy-on-write). *)
+  Process.restore proc snap;
+  check_same_run (name ^ "/restore-after-fork") baseline (exec proc);
+  baseline
+
+let config ~arch ~profile ~boot_seed =
+  {
+    Connman.Dnsproxy.version = Connman.Version.v1_34;
+    arch;
+    profile;
+    boot_seed;
+    diversity_seed = None;
+  }
+
+let hostile_cell name ~arch ~profile ?strategy () =
+  let config = config ~arch ~profile ~boot_seed:41 in
+  let analysis =
+    Connman.Dnsproxy.process
+      (Connman.Dnsproxy.create { config with Connman.Dnsproxy.boot_seed = 1041 })
+  in
+  match
+    Exploit.Autogen.generate ~analysis:(Exploit.Target.connman analysis)
+      ?strategy ()
+  with
+  | Error e -> Alcotest.failf "%s: generation failed: %s" name e
+  | Ok (_payload, raw_name) ->
+      ignore (run_cell name ~config ~raw_name:(Some raw_name) ~make_wire:(fun _ -> ""))
+
+let test_exploit_cells () =
+  List.iter
+    (fun (name, arch, profile) -> hostile_cell name ~arch ~profile ())
+    [
+      ("E1 injection/x86", Loader.Arch.X86, Defense.Profile.none);
+      ("E2 injection/arm", Loader.Arch.Arm, Defense.Profile.none);
+      ("E3 ret2libc/x86", Loader.Arch.X86, Defense.Profile.wx);
+      ("E4 rop/arm", Loader.Arch.Arm, Defense.Profile.wx);
+      ("E5 rop-aslr/x86", Loader.Arch.X86, Defense.Profile.wx_aslr);
+      ("E6 rop-aslr/arm", Loader.Arch.Arm, Defense.Profile.wx_aslr);
+    ]
+
+let test_dos_cells () =
+  List.iter
+    (fun (arch, tag) ->
+      hostile_cell ("dos/" ^ tag) ~arch ~profile:Defense.Profile.wx_aslr
+        ~strategy:Exploit.Autogen.Dos ())
+    [ (Loader.Arch.X86, "x86"); (Loader.Arch.Arm, "arm") ]
+
+let test_benign_cells () =
+  List.iter
+    (fun (arch, tag) ->
+      let config = config ~arch ~profile:Defense.Profile.wx_aslr ~boot_seed:23 in
+      let baseline =
+        run_cell ("benign/" ^ tag) ~config ~raw_name:None
+          ~make_wire:(fun query ->
+            Dns.Packet.encode
+              (Dns.Packet.response ~query
+                 [ Dns.Packet.a_record lookup_name ~ttl:60 ~ipv4:0x5DB8D822 ]))
+      in
+      Alcotest.(check string)
+        ("benign/" ^ tag ^ ": parse succeeded")
+        "halted (normal return)"
+        (Format.asprintf "%a" O.pp baseline.Process.outcome))
+    [ (Loader.Arch.X86, "x86"); (Loader.Arch.Arm, "arm") ]
+
+(* Restore also reconciles mapping changes the guest made mid-run: the
+   injection cells flip page permissions (mprotect analogues) and the
+   loader-level fork must reproduce that state too.  This is covered
+   implicitly above (E1/E2 run shellcode off a remapped stack), but pin
+   the region table explicitly as well. *)
+let test_restore_reconciles_regions () =
+  let config = config ~arch:Loader.Arch.X86 ~profile:Defense.Profile.none ~boot_seed:41 in
+  let d = Connman.Dnsproxy.create config in
+  ignore (Connman.Dnsproxy.make_query d lookup_name);
+  let proc = Connman.Dnsproxy.process d in
+  let snap = Process.snapshot proc in
+  let regions_before = Mem.regions proc.Process.mem in
+  (* Mutate the mapping state behind the snapshot's back. *)
+  Mem.map proc.Process.mem ~base:0x70000000 ~size:0x2000 ~perm:Mem.rw
+    ~name:"scratch";
+  Mem.write_u32 proc.Process.mem 0x70000000 0xFEEDFACE;
+  Process.restore proc snap;
+  Alcotest.(check bool)
+    "region table restored" true
+    (Mem.regions proc.Process.mem = regions_before);
+  Alcotest.(check bool)
+    "scratch mapping gone" false
+    (Mem.is_mapped proc.Process.mem 0x70000000)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "fork/restore = baseline",
+        [
+          Alcotest.test_case "all exploit cells" `Quick test_exploit_cells;
+          Alcotest.test_case "dos payloads" `Quick test_dos_cells;
+          Alcotest.test_case "benign parses" `Quick test_benign_cells;
+        ] );
+      ( "mapping reconciliation",
+        [
+          Alcotest.test_case "regions restored" `Quick
+            test_restore_reconciles_regions;
+        ] );
+    ]
