@@ -1228,6 +1228,146 @@ let run_fuzz_json ~smoke ~out () =
   let rows = List.concat_map bench_arch Loader.Arch.all in
   write_bench_json ~suite:"fuzz" ~smoke ~out rows
 
+(* ------------------------------------------------------------------ *)
+(* Wire codec: BENCH_wire.json                                         *)
+(*                                                                     *)
+(* Old (Dns.Legacy: String.sub walker, Buffer/Hashtbl encoder) vs the  *)
+(* zero-copy codec (reused Dns.Wire view + arena) on the two host-side *)
+(* hot paths: parsing a benign response down to its A records, and     *)
+(* answering a query (parse + build + encode).                         *)
+(*                                                                     *)
+(*   dune exec bench/main.exe -- wire            (full measurement)    *)
+(*   dune exec bench/main.exe -- wire --smoke    (few iterations)      *)
+(*   dune build @wire-bench-smoke                (dune smoke target)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocation per call, measured directly off the minor/major counters;
+   deterministic for a fixed workload. *)
+let alloc_per_op ?(n = 10_000) f =
+  for _ = 1 to 256 do f () done;
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to n do f () done;
+  (Gc.allocated_bytes () -. before) /. float_of_int n
+
+let run_wire_json ~smoke ~out () =
+  let cfg =
+    if smoke then
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  Format.printf "=== Wire codec benches%s ===@.@."
+    (if smoke then " (smoke: few iterations)" else "");
+  let open Dns in
+  let name = Name.of_string in
+  let query = Packet.query ~id:0x1A2B (name "www.example.com") Packet.A in
+  let response =
+    Packet.response ~query
+      [
+        Packet.cname_record (name "www.example.com") ~ttl:600
+          ~target:(name "web.example.com");
+        Packet.a_record (name "web.example.com") ~ttl:300 ~ipv4:0x5DB8D822;
+        Packet.a_record (name "web.example.com") ~ttl:300 ~ipv4:0x5DB8D823;
+      ]
+  in
+  let response_wire = Packet.encode response in
+  let query_wire = Packet.encode query in
+  (* Parse path: validate a response and extract its A records, as the
+     daemons' cache-update paths do. *)
+  let legacy_parse () =
+    match Legacy.decode response_wire with
+    | Error _ -> 0
+    | Ok p ->
+        List.fold_left
+          (fun acc (rr : Packet.rr) ->
+            match (rr.Packet.rtype, Packet.ipv4_of_rdata rr.Packet.rdata) with
+            | Packet.A, Some ip -> acc + ip
+            | _ -> acc)
+          0 p.Packet.answers
+  in
+  let view = Wire.create_view () in
+  let zc_parse () =
+    match Wire.parse view response_wire with
+    | Error _ -> 0
+    | Ok () ->
+        let acc = ref 0 in
+        for i = 0 to Wire.ancount view - 1 do
+          if Wire.rr_rtype view i = 1 && Wire.rr_rdlen view i = 4 then
+            acc := !acc + Wire.get_u32 response_wire (Wire.rr_rdata view i)
+        done;
+        !acc
+  in
+  assert (legacy_parse () = zc_parse ());
+  (* Respond path: decode a query, build the answer, encode it — the
+     resolver's per-datagram work. *)
+  let answer = [ Packet.a_record (name "www.example.com") ~ttl:300 ~ipv4:42 ] in
+  let legacy_respond () =
+    match Legacy.decode query_wire with
+    | Error _ -> 0
+    | Ok q -> String.length (Legacy.encode (Packet.response ~query:q answer))
+  in
+  let arena = Wire.arena ~capacity:256 () in
+  let qview = Wire.create_view () in
+  (* The zero-copy responder never materializes a [Packet.t]: it echoes
+     the question bytes straight from the query wire and appends the
+     answer RR with a hand-written compression pointer to the question
+     name — the same bytes [Packet.response]/[Legacy.encode] produce,
+     asserted below. *)
+  let zc_respond () =
+    match Wire.parse qview query_wire with
+    | Error _ -> 0
+    | Ok () -> (
+        let qname_off = Wire.question_name qview 0 in
+        match Wire.skip_name query_wire qname_off with
+        | Error _ -> 0
+        | Ok used ->
+            Wire.reset arena;
+            Wire.add_u16 arena (Wire.id qview);
+            (* qr=1, ra=1; aa and rcode cleared — as Packet.response. *)
+            Wire.add_u16 arena ((Wire.flags qview lor 0x8080) land 0xFBF0);
+            Wire.add_u16 arena 1 (* qdcount *);
+            Wire.add_u16 arena 1 (* ancount *);
+            Wire.add_u16 arena 0;
+            Wire.add_u16 arena 0;
+            Wire.add_substring arena query_wire qname_off (used + 4);
+            Wire.add_u16 arena 0xC00C (* name: pointer to the question *);
+            Wire.add_u16 arena 1 (* type A *);
+            Wire.add_u16 arena 1 (* class IN *);
+            Wire.add_u32 arena 300;
+            Wire.add_u16 arena 4;
+            Wire.add_u32 arena 42;
+            Wire.length arena)
+  in
+  (* Byte-for-byte parity with the legacy respond path, not just length. *)
+  (match Legacy.decode query_wire with
+  | Error _ -> assert false
+  | Ok q ->
+      let legacy_bytes = Legacy.encode (Packet.response ~query:q answer) in
+      ignore (zc_respond ());
+      assert (String.equal legacy_bytes (Wire.contents arena)));
+  assert (legacy_respond () = zc_respond ());
+  let bench tag legacy zc =
+    let l_ns, l_r2 = time_fn cfg ("wire/" ^ tag ^ "-legacy") (fun () -> ignore (legacy ())) in
+    let z_ns, z_r2 = time_fn cfg ("wire/" ^ tag ^ "-zero-copy") (fun () -> ignore (zc ())) in
+    let l_alloc = alloc_per_op (fun () -> ignore (legacy ())) in
+    let z_alloc = alloc_per_op (fun () -> ignore (zc ())) in
+    let speedup = if z_ns > 0.0 then l_ns /. z_ns else 0.0 in
+    let alloc_ratio = if z_alloc > 0.0 then l_alloc /. z_alloc else Float.of_int (int_of_float l_alloc) in
+    Format.printf
+      "%-14s legacy %10s (%6.0f B/op)   zero-copy %10s (%6.0f B/op)   %5.1fx faster, %5.1fx fewer bytes@."
+      tag (pretty_nanos l_ns) l_alloc (pretty_nanos z_ns) z_alloc speedup
+      alloc_ratio;
+    [
+      bench_row ("wire/" ^ tag ^ "-legacy") "ns_per_op" l_ns
+        ~extra:[ ("alloc_bytes_per_op", l_alloc); ("r_square", l_r2) ];
+      bench_row ("wire/" ^ tag ^ "-zero-copy") "ns_per_op" z_ns
+        ~extra:[ ("alloc_bytes_per_op", z_alloc); ("r_square", z_r2) ];
+      bench_row ("wire/" ^ tag ^ "-speedup") "ratio" speedup
+        ~extra:[ ("alloc_ratio", alloc_ratio) ];
+    ]
+  in
+  let rows = bench "parse" legacy_parse zc_parse @ bench "respond" legacy_respond zc_respond in
+  write_bench_json ~suite:"wire" ~smoke ~out rows
+
 let () =
   let argv = Array.to_list Sys.argv in
   let out_of default argv =
@@ -1247,7 +1387,8 @@ let () =
     run_cpu_json ~smoke ~out:(path "BENCH_cpu.json") ();
     run_faults_json ~smoke ~out:(path "BENCH_faults.json") ();
     run_sanitizer_json ~smoke ~out:(path "BENCH_sanitizer.json") ();
-    run_fuzz_json ~smoke ~out:(path "BENCH_fuzz.json") ()
+    run_fuzz_json ~smoke ~out:(path "BENCH_fuzz.json") ();
+    run_wire_json ~smoke ~out:(path "BENCH_wire.json") ()
   end
   else if List.mem "cache" argv then
     run_cache_json ~smoke ~out:(out_of "BENCH_cache.json" argv) ()
@@ -1259,6 +1400,8 @@ let () =
     run_sanitizer_json ~smoke ~out:(out_of "BENCH_sanitizer.json" argv) ()
   else if List.mem "fuzz" argv then
     run_fuzz_json ~smoke ~out:(out_of "BENCH_fuzz.json" argv) ()
+  else if List.mem "wire" argv then
+    run_wire_json ~smoke ~out:(out_of "BENCH_wire.json" argv) ()
   else begin
     print_experiments ();
     print_parse_costs ();

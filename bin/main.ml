@@ -677,6 +677,40 @@ let fuzz_cmd =
           provenance (exit 1 if either ISA misses within budget).")
     Term.(const run $ seed_arg $ smoke_arg $ execs_arg $ out_arg $ check_arg)
 
+let codec_diff_cmd =
+  let run seed execs out =
+    let report = Fuzz.Differential.run ~seed ~execs () in
+    Format.printf "%a@." Fuzz.Differential.pp_report report;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Fuzz.Differential.report_json report);
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    if report.Fuzz.Differential.divergent = 0 then 0 else 1
+  in
+  let execs_arg =
+    Arg.(
+      value & opt int 50_000
+      & info [ "execs" ] ~doc:"Mutation-execution budget.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the codec-diff report as JSON to a file.")
+  in
+  Cmd.v
+    (Cmd.info "codec-diff"
+       ~doc:
+         "Differentially fuzz the zero-copy DNS codec against the legacy \
+          reference: both must agree on decode results, error strings, and \
+          re-encoded bytes over benign seeds, the committed crash corpus, \
+          crafted hostiles, and a seeded mutation stream (exit 1 on any \
+          divergence).")
+    Term.(const run $ seed_arg $ execs_arg $ out_arg)
+
 let report_cmd =
   let run seed output =
     let rows = Core.Experiments.all ~seed () in
@@ -738,5 +772,6 @@ let () =
             cache_stats_cmd;
             chaos_cmd;
             fuzz_cmd;
+            codec_diff_cmd;
             report_cmd;
           ]))

@@ -40,6 +40,7 @@ type t = {
   mutable next_id : int;
   mutable steps : int;
   pending : (int, Dns.Packet.question) Hashtbl.t;
+  view : Dns.Wire.view;  (* reusable zero-copy parse state (host side) *)
   cache : Dns.Cache.t;
   mutable clock : int;  (* logical seconds, advanced by [tick] *)
   mutable telemetry : Telemetry.Trace.t option;
@@ -81,6 +82,7 @@ let create ?cache_capacity config =
     next_id = 0x1000 + (config.boot_seed land 0xFFF);
     steps = 0;
     pending = Hashtbl.create 8;
+    view = Dns.Wire.create_view ();
     cache = Dns.Cache.create ?capacity:cache_capacity ();
     clock = 0;
     telemetry = None;
@@ -175,34 +177,44 @@ let prevalidate t wire =
       match Hashtbl.find_opt t.pending id with
       | None -> Error "unknown transaction id"
       | Some pending -> (
-          match Dns.Name.decode wire 12 with
+          (* Zero-copy: compare the wire question against the pending
+             one in place instead of materializing a label list. *)
+          match
+            Dns.Wire.name_equal_consumed wire 12 pending.Dns.Packet.qname
+          with
           | Error e -> Error ("bad question: " ^ e)
-          | Ok (qname, used) ->
-              if qname <> pending.Dns.Packet.qname then
-                Error "question mismatch"
+          | Ok (equal, used) ->
+              if not equal then Error "question mismatch"
               else if 12 + used + 4 > len then Error "truncated question"
               else begin
                 Hashtbl.remove t.pending id;
                 Ok id
               end)
 
-(* Update the host-visible cache on a successful parse: decode leniently
-   and record A answers with their TTLs (the machine-level cache_store
-   keeps the guest .bss in sync with a prefix copy). *)
+(* Update the host-visible cache on a successful parse: validate with
+   the reusable zero-copy view and record A answers with their TTLs
+   straight off the wire — the only materialization is the dotted owner
+   name the cache is keyed by.  (The machine-level cache_store keeps the
+   guest .bss in sync with a prefix copy.) *)
 let update_cache t wire =
-  match Dns.Packet.decode wire with
+  match Dns.Wire.parse t.view wire with
   | Error _ -> 0
-  | Ok msg ->
-      List.fold_left
-        (fun n (rr : Dns.Packet.rr) ->
-          match (rr.Dns.Packet.rtype, Dns.Packet.ipv4_of_rdata rr.Dns.Packet.rdata) with
-          | Dns.Packet.A, Some ip ->
-              Dns.Cache.insert t.cache ~now:t.clock
-                ~name:(Dns.Name.to_string rr.Dns.Packet.rname)
-                ~ttl:rr.Dns.Packet.ttl ~ipv4:ip;
-              n + 1
-          | _ -> n)
-        0 msg.Dns.Packet.answers
+  | Ok () ->
+      let n = ref 0 in
+      (* Answers occupy rr indices [0, ancount). *)
+      for i = 0 to Dns.Wire.ancount t.view - 1 do
+        if
+          Dns.Wire.rr_rtype t.view i = Dns.Packet.qtype_code Dns.Packet.A
+          && Dns.Wire.rr_rdlen t.view i = 4
+        then begin
+          let ip = Dns.Wire.get_u32 wire (Dns.Wire.rr_rdata t.view i) in
+          Dns.Cache.insert t.cache ~now:t.clock
+            ~name:(Dns.Wire.name_to_string wire (Dns.Wire.rr_name t.view i))
+            ~ttl:(Dns.Wire.rr_ttl t.view i) ~ipv4:ip;
+          incr n
+        end
+      done;
+      !n
 
 let rx_buffer_addr proc =
   proc.Loader.Process.layout.Loader.Layout.heap_base
@@ -223,11 +235,14 @@ let nxdomain_negative t wire =
       match Hashtbl.find_opt t.pending (u16 0) with
       | None -> false
       | Some pending -> (
-          match Dns.Name.decode wire 12 with
-          | Ok (qname, _) when qname = pending.Dns.Packet.qname ->
+          match
+            Dns.Wire.name_equal_consumed wire 12 pending.Dns.Packet.qname
+          with
+          | Ok (true, _) ->
               Hashtbl.remove t.pending (u16 0);
               Dns.Cache.insert_negative t.cache ~now:t.clock
-                ~name:(Dns.Name.to_string qname) ~ttl:negative_ttl;
+                ~name:(Dns.Name.to_string pending.Dns.Packet.qname)
+                ~ttl:negative_ttl;
               true
           | _ -> false)
 

@@ -87,22 +87,15 @@ let pointer_loop_placeholder = "\xC0\xFF"
 
 let pointer_loop_name () = pointer_loop_placeholder
 
-let add_u16 buf v =
-  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
-  Buffer.add_char buf (Char.chr (v land 0xFF))
-
-let add_u32 buf v =
-  add_u16 buf ((v lsr 16) land 0xFFFF);
-  add_u16 buf (v land 0xFFFF)
-
-let hostile_response ~query ?(ttl = 300) ?(rdata = "\x7F\x00\x00\x01") ~raw_name () =
+let hostile_response_into a ~query ?(ttl = 300) ?(rdata = "\x7F\x00\x00\x01")
+    ~raw_name () =
   let q =
     match query.Packet.questions with
     | q :: _ -> q
     | [] -> invalid_arg "Craft.hostile_response: query has no question"
   in
-  let buf = Buffer.create 256 in
-  add_u16 buf query.Packet.header.Packet.id;
+  Wire.reset a;
+  Wire.add_u16 a query.Packet.header.Packet.id;
   (* QR=1, opcode echoed, RD echoed, RA=1, rcode 0. *)
   let flags =
     (1 lsl 15)
@@ -110,16 +103,16 @@ let hostile_response ~query ?(ttl = 300) ?(rdata = "\x7F\x00\x00\x01") ~raw_name
     lor ((if query.Packet.header.Packet.rd then 1 else 0) lsl 8)
     lor (1 lsl 7)
   in
-  add_u16 buf flags;
-  add_u16 buf 1 (* qdcount *);
-  add_u16 buf 1 (* ancount *);
-  add_u16 buf 0;
-  add_u16 buf 0;
-  Buffer.add_string buf (Name.encode q.Packet.qname);
-  add_u16 buf (Packet.qtype_code q.Packet.qtype);
-  add_u16 buf 1;
+  Wire.add_u16 a flags;
+  Wire.add_u16 a 1 (* qdcount *);
+  Wire.add_u16 a 1 (* ancount *);
+  Wire.add_u16 a 0;
+  Wire.add_u16 a 0;
+  Wire.add_string a (Name.encode q.Packet.qname);
+  Wire.add_u16 a (Packet.qtype_code q.Packet.qtype);
+  Wire.add_u16 a 1;
   (* Answer record: attacker-controlled owner name. *)
-  let name_off = Buffer.length buf in
+  let name_off = Wire.length a in
   let raw_name =
     if raw_name == pointer_loop_placeholder then
       (* Self-referential pointer: 0xC0 | high bits of own offset. *)
@@ -128,10 +121,14 @@ let hostile_response ~query ?(ttl = 300) ?(rdata = "\x7F\x00\x00\x01") ~raw_name
           else Char.chr (name_off land 0xFF))
     else raw_name
   in
-  Buffer.add_string buf raw_name;
-  add_u16 buf (Packet.qtype_code Packet.A);
-  add_u16 buf 1;
-  add_u32 buf ttl;
-  add_u16 buf (String.length rdata);
-  Buffer.add_string buf rdata;
-  Buffer.contents buf
+  Wire.add_string a raw_name;
+  Wire.add_u16 a (Packet.qtype_code Packet.A);
+  Wire.add_u16 a 1;
+  Wire.add_u32 a ttl;
+  Wire.add_u16 a (String.length rdata);
+  Wire.add_string a rdata
+
+let hostile_response ~query ?ttl ?rdata ~raw_name () =
+  let a = Wire.arena ~capacity:256 () in
+  hostile_response_into a ~query ?ttl ?rdata ~raw_name ();
+  Wire.contents a

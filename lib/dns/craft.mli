@@ -49,3 +49,14 @@ val hostile_response :
 (** A complete wire message that passes Connman's pre-validation (same
     transaction id, question echoed, QR=1, one Type-A answer) but carries
     [raw_name] verbatim as the answer's owner name. *)
+
+val hostile_response_into :
+  Wire.arena ->
+  query:Packet.t ->
+  ?ttl:int ->
+  ?rdata:string ->
+  raw_name:string ->
+  unit ->
+  unit
+(** {!hostile_response} into a caller-owned reusable arena (resets it
+    first) — for attack loops that forge many responses. *)

@@ -1,0 +1,215 @@
+(* Reference codec for differential fuzzing.
+
+   This is the pre-zero-copy implementation — [String.sub] walker,
+   [Buffer] output, [Hashtbl] compression table — kept as an independent
+   oracle: {!Differential} (lib/fuzz) requires {!Legacy.decode} /
+   {!Legacy.encode} and the zero-copy {!Packet} to agree byte-for-byte
+   on decode results, error classes, and re-encoded output over the
+   exploit corpus and mutated inputs.
+
+   The semantic bugfixes shipped with the rewrite are applied here too,
+   with identical error strings, so that only *unintended* divergences
+   show up: strictly-backward compression pointers, section-count
+   validation, and the 65535-byte message cap. *)
+
+type error = string
+
+(* {1 Name decoding — old [String.sub] walker} *)
+
+let name_decode msg off =
+  let len = String.length msg in
+  let byte i =
+    if i < 0 || i >= len then Error "truncated name" else Ok (Char.code msg.[i])
+  in
+  let labels = ref [] in
+  let rec go pos bound hops consumed_at_top jumped acc_len =
+    if hops > len then Error "compression pointer loop"
+    else
+      match byte pos with
+      | Error _ as e -> e
+      | Ok 0 ->
+          let consumed = if jumped then consumed_at_top else pos + 1 - off in
+          Ok consumed
+      | Ok b when b >= 0xC0 -> (
+          match byte (pos + 1) with
+          | Error _ as e -> e
+          | Ok lo ->
+              let target = ((b land 0x3F) lsl 8) lor lo in
+              if target >= len then Error "pointer out of range"
+              else if target >= bound then Error "forward compression pointer"
+              else
+                let consumed_at_top =
+                  if jumped then consumed_at_top else pos + 2 - off
+                in
+                go target target (hops + 1) consumed_at_top true acc_len)
+      | Ok b when b > 63 -> Error "invalid label length"
+      | Ok b ->
+          if pos + 1 + b > len then Error "truncated label"
+          else begin
+            labels := String.sub msg (pos + 1) b :: !labels;
+            let acc_len = acc_len + 1 + b in
+            if acc_len > 65536 then Error "name expansion too large"
+            else go (pos + 1 + b) bound hops consumed_at_top jumped acc_len
+          end
+  in
+  match go off off 0 0 false 0 with
+  | Ok consumed -> Ok (List.rev !labels, consumed)
+  | Error _ as e -> e
+
+let name_encode labels =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun label ->
+      let n = String.length label in
+      if n = 0 || n > 63 then
+        invalid_arg ("Dns.Name.encode: bad label length " ^ string_of_int n);
+      Buffer.add_char buf (Char.chr n);
+      Buffer.add_string buf label)
+    labels;
+  Buffer.add_char buf '\x00';
+  Buffer.contents buf
+
+(* {1 Message decoding — old materializing decoder} *)
+
+let ( let* ) = Result.bind
+
+let decode msg : (Packet.t, error) result =
+  let len = String.length msg in
+  let u16 off =
+    if off + 2 > len then Error "truncated"
+    else Ok ((Char.code msg.[off] lsl 8) lor Char.code msg.[off + 1])
+  in
+  let u32 off =
+    let* hi = u16 off in
+    let* lo = u16 (off + 2) in
+    Ok ((hi lsl 16) lor lo)
+  in
+  if len < 12 then Error "message shorter than header"
+  else
+    let* id = u16 0 in
+    let* flags = u16 2 in
+    let* qd = u16 4 in
+    let* an = u16 6 in
+    let* ns = u16 8 in
+    let* ar = u16 10 in
+    let header =
+      {
+        Packet.id;
+        qr = (flags lsr 15) land 1 = 1;
+        opcode = (flags lsr 11) land 0xF;
+        aa = (flags lsr 10) land 1 = 1;
+        tc = (flags lsr 9) land 1 = 1;
+        rd = (flags lsr 8) land 1 = 1;
+        ra = (flags lsr 7) land 1 = 1;
+        rcode = Packet.rcode_of_code (flags land 0xF);
+      }
+    in
+    let rec questions n off acc =
+      if n = 0 then Ok (List.rev acc, off)
+      else
+        let* qname, used = name_decode msg off in
+        let* qt = u16 (off + used) in
+        let* _qclass = u16 (off + used + 2) in
+        questions (n - 1)
+          (off + used + 4)
+          ({ Packet.qname; qtype = Packet.qtype_of_code qt } :: acc)
+    in
+    let rec rrs n off acc =
+      if n = 0 then Ok (List.rev acc, off)
+      else
+        let* rname, used = name_decode msg off in
+        let off = off + used in
+        let* rt = u16 off in
+        let* _class = u16 (off + 2) in
+        let* ttl = u32 (off + 4) in
+        let* rdlen = u16 (off + 8) in
+        if off + 10 + rdlen > len then Error "truncated rdata"
+        else
+          let rtype = Packet.qtype_of_code rt in
+          let* rdata =
+            match rtype with
+            | Packet.CNAME | Packet.NS | Packet.PTR ->
+                let* labels, used = name_decode msg (off + 10) in
+                if used > rdlen then Error "rdata name overruns rdlen"
+                else Ok (name_encode labels)
+            | _ -> Ok (String.sub msg (off + 10) rdlen)
+          in
+          rrs (n - 1)
+            (off + 10 + rdlen)
+            ({ Packet.rname; rtype; ttl; rdata } :: acc)
+    in
+    let* qs, off = questions qd 12 [] in
+    let* answers, off = rrs an off [] in
+    let* authorities, off = rrs ns off [] in
+    let* additionals, _off = rrs ar off [] in
+    Ok { Packet.header; questions = qs; answers; authorities; additionals }
+
+(* {1 Message encoding — old [Buffer]/[Hashtbl] encoder} *)
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u32 buf v =
+  add_u16 buf ((v lsr 16) land 0xFFFF);
+  add_u16 buf (v land 0xFFFF)
+
+let flags_word (h : Packet.header) =
+  ((if h.qr then 1 else 0) lsl 15)
+  lor ((h.opcode land 0xF) lsl 11)
+  lor ((if h.aa then 1 else 0) lsl 10)
+  lor ((if h.tc then 1 else 0) lsl 9)
+  lor ((if h.rd then 1 else 0) lsl 8)
+  lor ((if h.ra then 1 else 0) lsl 7)
+  lor Packet.rcode_code h.rcode
+
+let add_name buf ~compress seen labels =
+  let rec go = function
+    | [] -> Buffer.add_char buf '\x00'
+    | _ :: rest as suffix -> (
+        match if compress then Hashtbl.find_opt seen suffix else None with
+        | Some off when off < 0x4000 -> add_u16 buf (0xC000 lor off)
+        | _ ->
+            if compress && Buffer.length buf < 0x4000 then
+              Hashtbl.replace seen suffix (Buffer.length buf);
+            let label = List.hd suffix in
+            let n = String.length label in
+            if n = 0 || n > 63 then
+              invalid_arg
+                ("Dns.Packet.encode: bad label length " ^ string_of_int n);
+            Buffer.add_char buf (Char.chr n);
+            Buffer.add_string buf label;
+            go rest)
+  in
+  go labels
+
+let add_question buf ~compress seen (q : Packet.question) =
+  add_name buf ~compress seen q.qname;
+  add_u16 buf (Packet.qtype_code q.qtype);
+  add_u16 buf 1 (* IN *)
+
+let add_rr buf ~compress seen (rr : Packet.rr) =
+  add_name buf ~compress seen rr.rname;
+  add_u16 buf (Packet.qtype_code rr.rtype);
+  add_u16 buf 1;
+  add_u32 buf rr.ttl;
+  add_u16 buf (String.length rr.rdata);
+  Buffer.add_string buf rr.rdata
+
+let encode ?(compress = true) (t : Packet.t) =
+  Packet.validate_counts t;
+  let buf = Buffer.create 128 in
+  let seen = Hashtbl.create 8 in
+  add_u16 buf t.header.id;
+  add_u16 buf (flags_word t.header);
+  add_u16 buf (List.length t.questions);
+  add_u16 buf (List.length t.answers);
+  add_u16 buf (List.length t.authorities);
+  add_u16 buf (List.length t.additionals);
+  List.iter (add_question buf ~compress seen) t.questions;
+  List.iter (add_rr buf ~compress seen) t.answers;
+  List.iter (add_rr buf ~compress seen) t.authorities;
+  List.iter (add_rr buf ~compress seen) t.additionals;
+  if Buffer.length buf > 0xFFFF then
+    invalid_arg "Dns.Packet.encode: message exceeds 65535 bytes";
+  Buffer.contents buf

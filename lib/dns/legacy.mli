@@ -1,0 +1,24 @@
+(** Reference codec for differential fuzzing.
+
+    The pre-zero-copy implementation ([String.sub] walker, [Buffer]
+    output, [Hashtbl] compression table), kept as an independent oracle
+    against which the zero-copy {!Wire}/{!Packet} codec is checked: both
+    must agree byte-for-byte on decode results, error classes, and
+    re-encoded output.  The semantic bugfixes that shipped with the
+    rewrite (strictly-backward pointers, count validation, 65535-byte
+    cap) are applied here too, with identical error strings, so the
+    differential only flags {e unintended} divergences. *)
+
+type error = string
+
+val name_decode : string -> int -> (Name.t * int, error) result
+(** Old-style strict name decode (with the backward-pointer rule). *)
+
+val decode : string -> (Packet.t, error) result
+(** Old-style materializing decode; must accept exactly what
+    {!Packet.decode} accepts, with identical error strings. *)
+
+val encode : ?compress:bool -> Packet.t -> string
+(** Old-style [Buffer]/[Hashtbl] encode; must produce exactly the bytes
+    {!Packet.encode} produces, and raise [Invalid_argument] with
+    identical messages on the same inputs. *)

@@ -1,9 +1,30 @@
 type t = string list
 
+(* Construction is total over its stated domain: anything accepted here
+   encodes, and [to_string] round-trips it.  Silently dropping empty
+   labels ("a..b" -> ["a"; "b"]) or letting a 200-byte label through
+   only to explode later inside [encode] made malformed input
+   indistinguishable from a clean name until far from its source. *)
 let of_string s =
   match s with
   | "" | "." -> []
-  | s -> String.split_on_char '.' s |> List.filter (fun l -> l <> "")
+  | s ->
+      (* A single trailing dot is the standard fully-qualified spelling;
+         strip it before splitting so "a.b." parses like "a.b". *)
+      let n = String.length s in
+      let s = if s.[n - 1] = '.' then String.sub s 0 (n - 1) else s in
+      let labels = String.split_on_char '.' s in
+      List.iter
+        (fun l ->
+          if l = "" then
+            invalid_arg ("Dns.Name.of_string: empty label in " ^ Printf.sprintf "%S" s);
+          if String.length l > 63 then
+            invalid_arg
+              ("Dns.Name.of_string: label exceeds 63 bytes: " ^ Printf.sprintf "%S" l))
+        labels;
+      labels
+
+let of_string_opt s = try Some (of_string s) with Invalid_argument _ -> None
 
 let to_string = function [] -> "." | labels -> String.concat "." labels
 
@@ -26,13 +47,21 @@ let encode labels =
 
 (* Shared walker for decode/expand: [emit] receives each label's raw bytes
    (and, for the vulnerable variant, its length byte).  Pointer loops are
-   detected by bounding the number of pointer hops by the message size. *)
+   detected by bounding the number of pointer hops by the message size.
+
+   Strict mode additionally requires every compression pointer to point
+   strictly backward ([bound] starts at the name's own offset and drops
+   to each pointer's target after a jump), as real resolvers do —
+   forward and self-referential pointers only ever appear in attack
+   traffic.  The permissive walk is untouched: the Listing-1 exploit
+   depends on Connman-style forward/self pointers, and the exploit
+   matrix pins {!expand_like_connman} byte-for-byte. *)
 let walk msg off ~permissive ~emit =
   let len = String.length msg in
   let byte i =
     if i < 0 || i >= len then Error "truncated name" else Ok (Char.code msg.[i])
   in
-  let rec go pos hops consumed_at_top jumped acc_len =
+  let rec go pos bound hops consumed_at_top jumped acc_len =
     if hops > len then Error "compression pointer loop"
     else
       match byte pos with
@@ -46,11 +75,13 @@ let walk msg off ~permissive ~emit =
           | Ok lo ->
               let target = ((b land 0x3F) lsl 8) lor lo in
               if target >= len then Error "pointer out of range"
+              else if (not permissive) && target >= bound then
+                Error "forward compression pointer"
               else
                 let consumed_at_top =
                   if jumped then consumed_at_top else pos + 2 - off
                 in
-                go target (hops + 1) consumed_at_top true acc_len)
+                go target target (hops + 1) consumed_at_top true acc_len)
       | Ok b when b > 63 && not permissive -> Error "invalid label length"
       | Ok b ->
           if pos + 1 + b > len then Error "truncated label"
@@ -59,10 +90,10 @@ let walk msg off ~permissive ~emit =
             let acc_len = acc_len + 1 + b in
             if acc_len > 65536 then Error "name expansion too large"
             else
-              go (pos + 1 + b) hops consumed_at_top jumped acc_len
+              go (pos + 1 + b) bound hops consumed_at_top jumped acc_len
           end
   in
-  go off 0 0 false 0
+  go off off 0 0 false 0
 
 let decode msg off =
   let labels = ref [] in

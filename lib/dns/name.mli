@@ -14,7 +14,15 @@ type t = string list
 (** Labels, e.g. [["www"; "example"; "com"]].  The root name is []. *)
 
 val of_string : string -> t
-(** Split on dots; ["."] and [""] give the root name. *)
+(** Split on dots; ["."] and [""] give the root name, and a single
+    trailing dot (the fully-qualified spelling) is stripped.  Raises
+    [Invalid_argument] on empty labels (consecutive or leading dots) and
+    on labels longer than 63 bytes — construction is total over its
+    stated domain instead of minting names that only explode later
+    inside {!encode}. *)
+
+val of_string_opt : string -> t option
+(** {!of_string} returning [None] instead of raising. *)
 
 val to_string : t -> string
 
@@ -29,7 +37,10 @@ val decode : string -> int -> (t * int, string) result
 (** [decode msg off] reads a (possibly compressed) name at [off] inside
     the full message [msg].  Returns the labels and the number of bytes
     consumed at [off] (a pointer consumes 2).  Errors on truncation,
-    pointer loops, or out-of-range pointers. *)
+    pointer loops, out-of-range pointers, and — as real resolvers
+    require — compression pointers that do not point strictly backward
+    (forward and self-referential pointers are attack traffic; only the
+    permissive {!expand_like_connman} walk accepts them). *)
 
 val expand : string -> int -> (string * int, string) result
 (** Like {!decode} but returns the dotted string. *)

@@ -130,14 +130,6 @@ let ipv4_of_rdata rdata =
 
 (* --- encoding (network byte order) --- *)
 
-let add_u16 buf v =
-  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
-  Buffer.add_char buf (Char.chr (v land 0xFF))
-
-let add_u32 buf v =
-  add_u16 buf ((v lsr 16) land 0xFFFF);
-  add_u16 buf (v land 0xFFFF)
-
 let flags_word h =
   ((if h.qr then 1 else 0) lsl 15)
   lor ((h.opcode land 0xF) lsl 11)
@@ -147,142 +139,142 @@ let flags_word h =
   lor ((if h.ra then 1 else 0) lsl 7)
   lor rcode_code h.rcode
 
-(* Name emission with optional compression: remember the offset of every
-   name suffix already emitted and point at it on repetition. *)
-let add_name buf ~compress seen labels =
-  let rec go = function
-    | [] -> Buffer.add_char buf '\x00'
-    | _ :: rest as suffix -> (
-        match if compress then Hashtbl.find_opt seen suffix else None with
-        | Some off when off < 0x4000 -> add_u16 buf (0xC000 lor off)
-        | _ ->
-            if compress && Buffer.length buf < 0x4000 then
-              Hashtbl.replace seen suffix (Buffer.length buf);
-            let label = List.hd suffix in
-            let n = String.length label in
-            (* A length of 64..191 would collide with the reserved
-               0x40/0x80 bit patterns (and >= 192 with compression
-               pointers); >= 256 would crash [Char.chr] outright.
-               Validate like {!Name.encode} instead of emitting an
-               unparseable — or adversarially parseable — wire form. *)
-            if n = 0 || n > 63 then
-              invalid_arg
-                ("Dns.Packet.encode: bad label length " ^ string_of_int n);
-            Buffer.add_char buf (Char.chr n);
-            Buffer.add_string buf label;
-            go rest)
+(* Section counts travel in u16 header fields; a list longer than 65535
+   used to encode with a silently wrapped count (65537 answers -> count
+   1), a parser/serializer mismatch no receiver can detect.  Refuse
+   outright — such a message cannot be framed honestly. *)
+let validate_counts t =
+  let check what l =
+    if List.length l > 0xFFFF then
+      invalid_arg ("Dns.Packet.encode: " ^ what ^ " count exceeds 65535")
   in
-  go labels
+  check "questions" t.questions;
+  check "answers" t.answers;
+  check "authorities" t.authorities;
+  check "additionals" t.additionals
 
-let add_question buf ~compress seen q =
-  add_name buf ~compress seen q.qname;
-  add_u16 buf (qtype_code q.qtype);
-  add_u16 buf 1 (* IN *)
+let add_question a ~compress q =
+  Wire.add_name a ~compress q.qname;
+  Wire.add_u16 a (qtype_code q.qtype);
+  Wire.add_u16 a 1 (* IN *)
 
-let add_rr buf ~compress seen rr =
-  add_name buf ~compress seen rr.rname;
-  add_u16 buf (qtype_code rr.rtype);
-  add_u16 buf 1;
-  add_u32 buf rr.ttl;
-  add_u16 buf (String.length rr.rdata);
-  Buffer.add_string buf rr.rdata
+let add_rr a ~compress rr =
+  Wire.add_name a ~compress rr.rname;
+  Wire.add_u16 a (qtype_code rr.rtype);
+  Wire.add_u16 a 1;
+  Wire.add_u32 a rr.ttl;
+  Wire.add_u16 a (String.length rr.rdata);
+  Wire.add_string a rr.rdata
+
+let encode_into ?(compress = true) a t =
+  validate_counts t;
+  Wire.reset a;
+  Wire.add_u16 a t.header.id;
+  Wire.add_u16 a (flags_word t.header);
+  Wire.add_u16 a (List.length t.questions);
+  Wire.add_u16 a (List.length t.answers);
+  Wire.add_u16 a (List.length t.authorities);
+  Wire.add_u16 a (List.length t.additionals);
+  List.iter (add_question a ~compress) t.questions;
+  List.iter (add_rr a ~compress) t.answers;
+  List.iter (add_rr a ~compress) t.authorities;
+  List.iter (add_rr a ~compress) t.additionals;
+  if Wire.length a > 0xFFFF then
+    invalid_arg "Dns.Packet.encode: message exceeds 65535 bytes"
 
 let encode ?(compress = true) t =
-  let buf = Buffer.create 128 in
-  let seen = Hashtbl.create 8 in
-  add_u16 buf t.header.id;
-  add_u16 buf (flags_word t.header);
-  add_u16 buf (List.length t.questions);
-  add_u16 buf (List.length t.answers);
-  add_u16 buf (List.length t.authorities);
-  add_u16 buf (List.length t.additionals);
-  List.iter (add_question buf ~compress seen) t.questions;
-  List.iter (add_rr buf ~compress seen) t.answers;
-  List.iter (add_rr buf ~compress seen) t.authorities;
-  List.iter (add_rr buf ~compress seen) t.additionals;
-  Buffer.contents buf
+  let a = Wire.arena () in
+  encode_into ~compress a t;
+  Wire.contents a
+
+let truncated t =
+  {
+    t with
+    header = { t.header with tc = true };
+    answers = [];
+    authorities = [];
+    additionals = [];
+  }
+
+let encode_udp ?(compress = true) ?(payload_limit = 512) t =
+  let a = Wire.arena () in
+  encode_into ~compress a t;
+  if Wire.length a <= payload_limit then Wire.contents a
+  else begin
+    (* Too big for the datagram: send an honest truncation — TC set,
+       records dropped, counts reflecting what is actually present — so
+       the client retries over TCP, instead of a silently clipped or
+       count-lying message. *)
+    encode_into ~compress a (truncated t);
+    Wire.contents a
+  end
 
 (* --- decoding --- *)
 
-let ( let* ) = Result.bind
+(* Thin shim over the zero-copy view: validate/index with {!Wire.parse},
+   then materialize the same lists the old decoder built.  Hot paths
+   skip this and read the view directly. *)
+
+let materialize_rdata msg v i =
+  let rdata_off = Wire.rr_rdata v i and rdlen = Wire.rr_rdlen v i in
+  if Wire.rtype_is_name (Wire.rr_rtype v i) then
+    (* RFC 1035 §3.3: the RDATA of CNAME/NS/PTR is a domain name and may
+       use compression pointers into the enclosing message.  A bare
+       [String.sub] would orphan such pointers (they index the full
+       message, not the rdata slice), so store the uncompressed wire
+       form — consumers like [cname_of_rdata] then decode the slice in
+       isolation correctly.  [parse] already validated the name. *)
+    match Wire.name_labels msg rdata_off with
+    | Ok (labels, _) -> Name.encode labels
+    | Error e -> invalid_arg ("Dns.Packet.decode: " ^ e)
+  else String.sub msg rdata_off rdlen
+
+let materialize_rr msg v i =
+  match Wire.name_labels msg (Wire.rr_name v i) with
+  | Error e -> invalid_arg ("Dns.Packet.decode: " ^ e)
+  | Ok (rname, _) ->
+      {
+        rname;
+        rtype = qtype_of_code (Wire.rr_rtype v i);
+        ttl = Wire.rr_ttl v i;
+        rdata = materialize_rdata msg v i;
+      }
+
+let of_view v msg =
+  let header =
+    {
+      id = Wire.id v;
+      qr = Wire.qr v;
+      opcode = Wire.opcode v;
+      aa = Wire.aa v;
+      tc = Wire.tc v;
+      rd = Wire.rd v;
+      ra = Wire.ra v;
+      rcode = rcode_of_code (Wire.rcode v);
+    }
+  in
+  let questions =
+    List.init (Wire.qdcount v) (fun i ->
+        match Wire.name_labels msg (Wire.question_name v i) with
+        | Error e -> invalid_arg ("Dns.Packet.decode: " ^ e)
+        | Ok (qname, _) ->
+            { qname; qtype = qtype_of_code (Wire.question_qtype v i) })
+  in
+  let section lo n = List.init n (fun i -> materialize_rr msg v (lo + i)) in
+  let an = Wire.ancount v and ns = Wire.nscount v in
+  {
+    header;
+    questions;
+    answers = section 0 an;
+    authorities = section an ns;
+    additionals = section (an + ns) (Wire.arcount v);
+  }
 
 let decode msg =
-  let len = String.length msg in
-  let u16 off =
-    if off + 2 > len then Error "truncated"
-    else Ok ((Char.code msg.[off] lsl 8) lor Char.code msg.[off + 1])
-  in
-  let u32 off =
-    let* hi = u16 off in
-    let* lo = u16 (off + 2) in
-    Ok ((hi lsl 16) lor lo)
-  in
-  if len < 12 then Error "message shorter than header"
-  else
-    let* id = u16 0 in
-    let* flags = u16 2 in
-    let* qd = u16 4 in
-    let* an = u16 6 in
-    let* ns = u16 8 in
-    let* ar = u16 10 in
-    let header =
-      {
-        id;
-        qr = (flags lsr 15) land 1 = 1;
-        opcode = (flags lsr 11) land 0xF;
-        aa = (flags lsr 10) land 1 = 1;
-        tc = (flags lsr 9) land 1 = 1;
-        rd = (flags lsr 8) land 1 = 1;
-        ra = (flags lsr 7) land 1 = 1;
-        rcode = rcode_of_code (flags land 0xF);
-      }
-    in
-    let rec questions n off acc =
-      if n = 0 then Ok (List.rev acc, off)
-      else
-        let* qname, used = Name.decode msg off in
-        let* qt = u16 (off + used) in
-        let* _qclass = u16 (off + used + 2) in
-        questions (n - 1)
-          (off + used + 4)
-          ({ qname; qtype = qtype_of_code qt } :: acc)
-    in
-    let rec rrs n off acc =
-      if n = 0 then Ok (List.rev acc, off)
-      else
-        let* rname, used = Name.decode msg off in
-        let off = off + used in
-        let* rt = u16 off in
-        let* _class = u16 (off + 2) in
-        let* ttl = u32 (off + 4) in
-        let* rdlen = u16 (off + 8) in
-        if off + 10 + rdlen > len then Error "truncated rdata"
-        else
-          let rtype = qtype_of_code rt in
-          (* RFC 1035 §3.3: the RDATA of CNAME/NS/PTR is a domain name
-             and may use compression pointers into the enclosing
-             message.  A bare [String.sub] would orphan such pointers
-             (they index the full message, not the rdata slice), so
-             expand the name against [msg] here and store its
-             uncompressed wire form — consumers like [cname_of_rdata]
-             then decode the slice in isolation correctly. *)
-          let* rdata =
-            match rtype with
-            | CNAME | NS | PTR ->
-                let* labels, used = Name.decode msg (off + 10) in
-                if used > rdlen then Error "rdata name overruns rdlen"
-                else Ok (Name.encode labels)
-            | _ -> Ok (String.sub msg (off + 10) rdlen)
-          in
-          rrs (n - 1)
-            (off + 10 + rdlen)
-            ({ rname; rtype; ttl; rdata } :: acc)
-    in
-    let* qs, off = questions qd 12 [] in
-    let* answers, off = rrs an off [] in
-    let* authorities, off = rrs ns off [] in
-    let* additionals, _off = rrs ar off [] in
-    Ok { header; questions = qs; answers; authorities; additionals }
+  let v = Wire.create_view () in
+  match Wire.parse v msg with
+  | Error _ as e -> e
+  | Ok () -> Ok (of_view v msg)
 
 let pp ppf t =
   let pp_q ppf q =

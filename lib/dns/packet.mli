@@ -68,16 +68,40 @@ val cname_of_rdata : string -> Name.t option
 
 val ipv4_of_rdata : string -> int option
 
+val validate_counts : t -> unit
+(** Raises [Invalid_argument] if any section holds more than 65535
+    entries — such a message cannot be framed honestly through the u16
+    header count fields (it used to encode with a silently wrapped
+    count). *)
+
 val encode : ?compress:bool -> t -> string
 (** [compress] (default true) uses compression pointers for repeated
     names, as real servers do.  Raises [Invalid_argument] if any label
     is empty or longer than 63 bytes (such a length byte would collide
     with the reserved/compression bit patterns on the wire), matching
-    {!Name.encode}. *)
+    {!Name.encode}; if a section count exceeds 65535
+    ({!validate_counts}); or if the encoded message exceeds 65535 bytes
+    (unframeable over DNS transports). *)
+
+val encode_into : ?compress:bool -> Wire.arena -> t -> unit
+(** {!encode} into a caller-owned reusable arena (resets it first); the
+    hot-path variant.  Read the bytes with {!Wire.contents} /
+    {!Wire.unsafe_bytes}. *)
+
+val encode_udp : ?compress:bool -> ?payload_limit:int -> t -> string
+(** Datagram-honest encode: if the message exceeds [payload_limit]
+    (default 512, the classic UDP DNS payload cap), re-encode with [tc]
+    set and all record sections dropped — counts reflecting what is
+    actually present — so the client retries over TCP. *)
 
 val decode : string -> (t, string) result
 (** Strict decode.  CNAME/NS/PTR rdata is expanded against the whole
     message (compression pointers inside rdata index the enclosing
-    message) and stored in uncompressed wire form. *)
+    message) and stored in uncompressed wire form.  A thin shim over
+    {!Wire.parse} + {!of_view}. *)
+
+val of_view : Wire.view -> string -> t
+(** Materialize a successfully parsed view of [msg] into lists.  Raises
+    [Invalid_argument] if the view does not correspond to [msg]. *)
 
 val pp : Format.formatter -> t -> unit

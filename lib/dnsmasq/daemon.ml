@@ -30,6 +30,7 @@ type t = {
   mutable next_id : int;
   mutable steps : int;
   pending : (int, Dns.Packet.question) Hashtbl.t;
+  view : Dns.Wire.view;  (* reusable zero-copy parse state (host side) *)
   cache : Dns.Cache.t;
   mutable clock : int;  (* logical seconds, advanced by [tick] *)
   mutable telemetry : Telemetry.Trace.t option;
@@ -67,6 +68,7 @@ let create ?cache_capacity config =
     next_id = 0x2000 + (config.boot_seed land 0xFFF);
     steps = 0;
     pending = Hashtbl.create 8;
+    view = Dns.Wire.create_view ();
     cache = Dns.Cache.create ?capacity:cache_capacity ();
     clock = 0;
     telemetry = None;
@@ -170,22 +172,24 @@ let nxdomain_negative t wire =
             ~ttl:negative_ttl;
           true
 
-(* Record the A answers of a successfully-parsed response. *)
+(* Record the A answers of a successfully-parsed response through the
+   reusable zero-copy view; returns the answer count (0 when the wire
+   does not strictly parse).  Only the cache key is materialized. *)
 let update_cache t wire =
-  match Dns.Packet.decode wire with
-  | Error _ -> ()
-  | Ok msg ->
-      List.iter
-        (fun (rr : Dns.Packet.rr) ->
-          match
-            (rr.Dns.Packet.rtype, Dns.Packet.ipv4_of_rdata rr.Dns.Packet.rdata)
-          with
-          | Dns.Packet.A, Some ip ->
-              Dns.Cache.insert t.cache ~now:t.clock
-                ~name:(Dns.Name.to_string rr.Dns.Packet.rname)
-                ~ttl:rr.Dns.Packet.ttl ~ipv4:ip
-          | _ -> ())
-        msg.Dns.Packet.answers
+  match Dns.Wire.parse t.view wire with
+  | Error _ -> 0
+  | Ok () ->
+      for i = 0 to Dns.Wire.ancount t.view - 1 do
+        if
+          Dns.Wire.rr_rtype t.view i = Dns.Packet.qtype_code Dns.Packet.A
+          && Dns.Wire.rr_rdlen t.view i = 4
+        then
+          Dns.Cache.insert t.cache ~now:t.clock
+            ~name:(Dns.Wire.name_to_string wire (Dns.Wire.rr_name t.view i))
+            ~ttl:(Dns.Wire.rr_ttl t.view i)
+            ~ipv4:(Dns.Wire.get_u32 wire (Dns.Wire.rr_rdata t.view i))
+      done;
+      Dns.Wire.ancount t.view
 
 let disposition_event t = function
   | Cached n -> trace_event t "cached" [ ("records", Telemetry.Trace.I n) ]
@@ -232,12 +236,7 @@ let handle_response t wire =
             trace_event t "parse" ~ts:ts0 ~dur:r.Loader.Process.steps
               [ ("steps", Telemetry.Trace.I r.Loader.Process.steps) ];
             match r.Loader.Process.outcome with
-            | O.Halted ->
-                update_cache t wire;
-                Cached
-                  (match Dns.Packet.decode wire with
-                  | Ok m -> List.length m.Dns.Packet.answers
-                  | Error _ -> 0)
+            | O.Halted -> Cached (update_cache t wire)
             | O.Exec _ as reason ->
                 t.alive <- false;
                 Compromised reason

@@ -1,0 +1,38 @@
+(* Regression corpus: fuzzer-found inputs that overflow the Listing-1
+   stack buffer, committed as hex so `dune runtest` replays them through
+   the sanitizer triage path forever.  Each entry records the campaign
+   seed that found it and the mutation that matters.
+
+   Harvested from `connman-repro fuzz --seed N --smoke` (the crashes'
+   [input_hex] fields in FUZZ JSON output).  All of them are one or two
+   wire-format-aware mutations away from a benign compressed response:
+   a compression pointer or label length spliced so the permissive
+   [get_name] expansion exceeds the 1024-byte buffer.
+
+   The entries live in the library (rather than under test/) so the
+   codec-differential mode can fold them into its input pool: they are
+   exactly the kind of near-valid hostile wire where the zero-copy and
+   reference codecs are most likely to disagree. *)
+
+let entries =
+  [
+    ( "seed1-pointer-into-header",
+      (* answer-name pointer re-targeted at offset 1 (inside the id
+         field), turning the expansion into a long re-walk *)
+      "1a2b8180000200010000000003777777076578616d706c6503636f6d000001000103777777076578616d706c65c0016f6d00000100010000012c00045db8d822"
+    );
+    ( "seed2-pointer-loop",
+      (* pointer spliced to land back inside the answer name itself *)
+      "1a2b8182000100010000000003777777076578616d706c6503636f6d000001000103777777c02178616d706c6503636f6d00000100010000012c00045db8d822"
+    );
+    ( "seed3-truncated-double-pointer",
+      (* two pointer splices plus a truncation: the message ends mid-rdata
+         but the expansion has already overflowed *)
+      "1a2b8180000100010000000003777777076578616d706c65c0036f6d000001000103c02077076578616d706c65ba"
+    );
+    ( "seed5-label-splice-pointer",
+      (* 0x97 label-length splice (permissive-only) combined with a
+         backward pointer *)
+      "1a3f8180000100010000000003777777076578616d706c6503636f6d000001000103777777c02178616d706c6597636f6d00000100010000012c00045db8d822"
+    );
+  ]

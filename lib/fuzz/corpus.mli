@@ -1,0 +1,8 @@
+(** The committed regression corpus: fuzzer-found crash inputs.
+
+    Each entry is [(label, hex)] where [hex] decodes (via
+    {!Engine.string_of_hex}) to the wire bytes of a response that
+    overflows the Listing-1 stack buffer.  Replayed by the test suite on
+    both ISAs and folded into the {!Differential} input pool. *)
+
+val entries : (string * string) list

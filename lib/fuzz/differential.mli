@@ -1,0 +1,44 @@
+(** Codec-differential fuzzing: zero-copy {!Dns.Wire}/{!Dns.Packet} vs
+    the {!Dns.Legacy} reference.
+
+    Both codecs must agree byte-for-byte: same decoded packet (or the
+    exact same error string), same name-walk result at the question
+    offset, and — when decode succeeds — byte-identical re-encoded
+    output (or identical [Invalid_argument] messages), compressed and
+    uncompressed.  Any disagreement is a {!divergence}.
+
+    A run is a pure function of its seed. *)
+
+type divergence = {
+  stage : string;  (** ["decode"], ["name"], ["encode"], ["encode-nc"] *)
+  input : string;  (** wire bytes under test *)
+  legacy : string;  (** rendered reference result *)
+  zero_copy : string;  (** rendered zero-copy result *)
+}
+
+type report = {
+  seed : int;
+  execs : int;  (** mutation executions (pool checks not counted) *)
+  pool : int;  (** fixed seed-pool size *)
+  decode_ok : int;
+  decode_err : int;
+  divergent : int;  (** total divergences observed *)
+  divergences : divergence list;  (** first few, chronological *)
+}
+
+val check : string -> divergence list * bool
+(** All divergences one wire exhibits, plus whether the zero-copy
+    decode succeeded.  The expected result is [([], _)]. *)
+
+val seed_pool : unit -> string list
+(** The fixed input pool: benign seeds, the committed crash corpus
+    ({!Corpus.entries}), and crafted hostiles. *)
+
+val run : ?seed:int -> ?execs:int -> unit -> report
+(** Default [seed 1], [execs 10_000]. *)
+
+val report_json : report -> string
+(** [codec-diff-v1] JSON; deterministic and byte-identical for equal
+    seeds. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -39,7 +39,7 @@ type wire_map = {
   rdlen_offs : int list;  (* offsets of 16-bit rdlen fields, ascending *)
 }
 
-let u16_at s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+let u16_at = Dns.Wire.get_u16
 
 let wire_map s =
   let len = String.length s in

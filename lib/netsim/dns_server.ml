@@ -9,12 +9,49 @@ let negative_ttl = 60
 let now_s ctx = Sim.now (World.sim ctx.World.world) / 1_000_000
 
 let resolver ?(cnames = []) ?cache _world host ~zone =
+  (* Per-resolver reusable codec state: queries are validated through the
+     zero-copy view and responses are encoded into the arena, so the
+     per-packet cost of a busy resolver is the response payload string
+     and nothing else. *)
+  let view = Dns.Wire.create_view () in
+  let arena = Dns.Wire.arena ~capacity:256 () in
   World.on_udp host ~port:53 (fun ctx dgram ->
-      match Dns.Packet.decode dgram.World.payload with
+      let payload = dgram.World.payload in
+      match Dns.Wire.parse view payload with
       | Error _ -> ()
-      | Ok query -> (
-          match query.Dns.Packet.questions with
-          | [ q ] ->
+      | Ok () -> (
+          match Dns.Wire.qdcount view with
+          | 1 ->
+              let q =
+                match Dns.Wire.name_labels payload (Dns.Wire.question_name view 0) with
+                | Error _ -> assert false (* parse validated the name *)
+                | Ok (qname, _) ->
+                    {
+                      Dns.Packet.qname;
+                      qtype =
+                        Dns.Packet.qtype_of_code
+                          (Dns.Wire.question_qtype view 0);
+                    }
+              in
+              let query =
+                {
+                  Dns.Packet.header =
+                    {
+                      Dns.Packet.id = Dns.Wire.id view;
+                      qr = Dns.Wire.qr view;
+                      opcode = Dns.Wire.opcode view;
+                      aa = Dns.Wire.aa view;
+                      tc = Dns.Wire.tc view;
+                      rd = Dns.Wire.rd view;
+                      ra = Dns.Wire.ra view;
+                      rcode = Dns.Packet.rcode_of_code (Dns.Wire.rcode view);
+                    };
+                  questions = [ q ];
+                  answers = [];
+                  authorities = [];
+                  additionals = [];
+                }
+              in
               (* Chase CNAMEs within the local zone (bounded), answering
                  with the chain plus the terminal A record, as a real
                  recursive resolver does. *)
@@ -40,8 +77,8 @@ let resolver ?(cnames = []) ?cache _world host ~zone =
               in
               let qname = Dns.Name.to_string q.Dns.Packet.qname in
               let answer answers =
-                reply ctx dgram
-                  (Dns.Packet.encode (Dns.Packet.response ~query answers))
+                Dns.Packet.encode_into arena (Dns.Packet.response ~query answers);
+                reply ctx dgram (Dns.Wire.contents arena)
               in
               let resolve_and_fill () =
                 let answers = chase qname [] 0 in
@@ -83,6 +120,10 @@ let resolver ?(cnames = []) ?cache _world host ~zone =
               | Dns.Packet.A, None -> answer (chase qname [] 0)
               | _ -> answer [])
           | _ -> ()))
+
+(* NOTE: [malicious] below stays on the materializing [Packet.decode] —
+   it is the attacker's box, runs cold, and its [forge] callback wants
+   the whole query anyway. *)
 
 let malicious _world host ~forge =
   World.on_udp host ~port:53 (fun ctx dgram ->

@@ -77,6 +77,7 @@ let pop t =
   top
 
 let pending t = t.size
+let next_time t = if t.size = 0 then None else Some t.heap.(0).time
 
 let run ?until t =
   let processed = ref 0 in
@@ -90,4 +91,12 @@ let run ?until t =
     e.action t;
     incr processed
   done;
+  (* [run ~until] means "simulate up to [until]": even when the heap
+     drains early (or the next event lies beyond the horizon), that much
+     simulated time has passed.  Leaving [clock] at the last event made a
+     subsequent [schedule ~delay] fire in the logical past relative to
+     the caller's wall time. *)
+  (match until with
+  | Some limit -> if t.clock < limit then t.clock <- limit
+  | None -> ());
   !processed

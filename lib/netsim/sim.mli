@@ -15,6 +15,12 @@ val schedule : t -> delay:int -> (t -> unit) -> unit
 
 val run : ?until:int -> t -> int
 (** Process events until the queue empties (or simulated time passes
-    [until]).  Returns the number of events processed. *)
+    [until]).  Returns the number of events processed.  With [until],
+    the clock always ends at [max now until] even when the heap drains
+    early — the horizon was simulated, so later [schedule ~delay] calls
+    are relative to it, not to the last event that happened to fire. *)
 
 val pending : t -> int
+
+val next_time : t -> int option
+(** Timestamp of the earliest pending event, if any. *)

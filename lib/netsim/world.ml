@@ -18,11 +18,18 @@ type stats = {
   mutable reordered : int;
 }
 
+(* Scheduler state lives in explicit shards: each shard owns an event
+   heap (with its RNG) and its own stats record, so fleet-scale worlds
+   can spread LANs over several heaps.  Cross-shard traffic is batched
+   through per-shard inboxes and flushed at epoch boundaries; with one
+   shard (the default) nothing changes — [run] delegates straight to
+   [Sim.run] on the lone heap, bit-identical to the unsharded world
+   under seed replay. *)
 type t = {
-  sim : Sim.t;
+  shards : shard array;  (* at least one; shard 0 carries the world seed *)
+  batch : int;  (* epoch window, µs: bounds cross-shard delivery skew *)
   mutable lans : lan list;
   mutable hosts : host list;
-  stats : stats;
   mutable next_id : int;  (* host/lan id source (policy and visited keys) *)
   mutable default_policy : Faults.policy;
   link_policies : (int * int, Faults.policy) Hashtbl.t;  (* host-id pair *)
@@ -31,11 +38,21 @@ type t = {
   mutable trace : Telemetry.Trace.t option;
 }
 
+and shard = {
+  sindex : int;
+  ssim : Sim.t;
+  sstats : stats;
+  sinbox : pending Queue.t;  (* datagram copies from other shards *)
+}
+
+and pending = { p_time : int; p_dgram : datagram; p_target : host }
+
 and lan = {
   lid : int;
   lname : string;
   mutable members : host list;
   mutable uplink : lan option;
+  mutable lshard : int;
 }
 
 and host = {
@@ -49,23 +66,37 @@ and host = {
 
 and ctx = { world : t; self : host }
 
-let create ?(seed = 7) () =
+let zero_stats () =
   {
-    sim = Sim.create ~seed ();
+    delivered = 0;
+    dropped = 0;
+    dropped_fault = 0;
+    dropped_link = 0;
+    no_route = 0;
+    no_handler = 0;
+    corrupted = 0;
+    duplicated = 0;
+    reordered = 0;
+  }
+
+let create ?(seed = 7) ?(shards = 1) ?(batch = 100) () =
+  if shards < 1 then invalid_arg "World.create: shards must be >= 1";
+  if batch < 0 then invalid_arg "World.create: batch must be >= 0";
+  {
+    shards =
+      Array.init shards (fun i ->
+          {
+            sindex = i;
+            (* Shard 0 carries the world seed unchanged so a one-shard
+               world replays the unsharded one bit-for-bit; the others
+               derive distinct streams from it. *)
+            ssim = Sim.create ~seed:(seed + (7919 * i)) ();
+            sstats = zero_stats ();
+            sinbox = Queue.create ();
+          });
+    batch;
     lans = [];
     hosts = [];
-    stats =
-      {
-        delivered = 0;
-        dropped = 0;
-        dropped_fault = 0;
-        dropped_link = 0;
-        no_route = 0;
-        no_handler = 0;
-        corrupted = 0;
-        duplicated = 0;
-        reordered = 0;
-      };
     next_id = 0;
     default_policy = Faults.default;
     link_policies = Hashtbl.create 8;
@@ -79,19 +110,57 @@ let fresh_id t =
   t.next_id <- id + 1;
   id
 
-let sim t = t.sim
-let stats t = t.stats
+let sim t = t.shards.(0).ssim
+let shard_count t = Array.length t.shards
+
+let shard_sim t i =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "World.shard_sim: no such shard";
+  t.shards.(i).ssim
+
+let shard_stats t i =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "World.shard_stats: no such shard";
+  t.shards.(i).sstats
+
+let merge_stats acc s =
+  acc.delivered <- acc.delivered + s.delivered;
+  acc.dropped <- acc.dropped + s.dropped;
+  acc.dropped_fault <- acc.dropped_fault + s.dropped_fault;
+  acc.dropped_link <- acc.dropped_link + s.dropped_link;
+  acc.no_route <- acc.no_route + s.no_route;
+  acc.no_handler <- acc.no_handler + s.no_handler;
+  acc.corrupted <- acc.corrupted + s.corrupted;
+  acc.duplicated <- acc.duplicated + s.duplicated;
+  acc.reordered <- acc.reordered + s.reordered
+
+(* Single shard: hand out the live record (existing callers hold on to
+   it across runs).  Sharded: a fresh merged snapshot. *)
+let stats t =
+  if Array.length t.shards = 1 then t.shards.(0).sstats
+  else begin
+    let acc = zero_stats () in
+    Array.iter (fun sh -> merge_stats acc sh.sstats) t.shards;
+    acc
+  end
+
+let shard_of_host t h =
+  match h.hlan with
+  | Some lan when lan.lshard < Array.length t.shards -> t.shards.(lan.lshard)
+  | _ -> t.shards.(0)
+
 let set_trace t tr = t.trace <- tr
 let trace t = t.trace
 
-(* Every net event first advances the trace's shared clock to sim-now, so
-   layers without a clock of their own (daemons, supervisor) timestamp
-   against a current µs. *)
-let trace_event t name args =
+(* Every net event first advances the trace's shared clock to the acting
+   shard's sim-now, so layers without a clock of their own (daemons,
+   supervisor) timestamp against a current µs.  [Trace.set_now] is
+   monotonic, so out-of-order shard clocks cannot drag it backward. *)
+let trace_event t sh name args =
   match t.trace with
   | None -> ()
   | Some tr ->
-      Telemetry.Trace.set_now tr (Sim.now t.sim);
+      Telemetry.Trace.set_now tr (Sim.now sh.ssim);
       Telemetry.Trace.emit tr ~cat:"net" ~track:"net" name ~args
 
 let dgram_args dgram =
@@ -140,12 +209,21 @@ let policy_for t ~src ~dst =
 (* --- topology ----------------------------------------------------------- *)
 
 let add_lan t ~name =
-  let lan = { lid = fresh_id t; lname = name; members = []; uplink = None } in
+  let lan =
+    { lid = fresh_id t; lname = name; members = []; uplink = None; lshard = 0 }
+  in
   t.lans <- lan :: t.lans;
   lan
 
 let lan_name lan = lan.lname
 let set_uplink lan up = lan.uplink <- up
+
+let set_lan_shard t lan i =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "World.set_lan_shard: no such shard";
+  lan.lshard <- i
+
+let lan_shard lan = lan.lshard
 
 let add_host t ~name =
   let host =
@@ -230,31 +308,37 @@ let resolve_unicast t lan dst =
 
 (* --- delivery ----------------------------------------------------------- *)
 
-let deliver t dgram target =
+(* [sh] is the receiver's shard: its heap fired the delivery event, its
+   stats absorb the outcome. *)
+let deliver t sh dgram target =
   match List.assoc_opt dgram.dport target.handlers with
   | None ->
-      t.stats.dropped <- t.stats.dropped + 1;
-      t.stats.no_handler <- t.stats.no_handler + 1;
-      trace_event t "rx-drop"
+      sh.sstats.dropped <- sh.sstats.dropped + 1;
+      sh.sstats.no_handler <- sh.sstats.no_handler + 1;
+      trace_event t sh "rx-drop"
         (("host", Telemetry.Trace.S target.hname)
         :: ("reason", Telemetry.Trace.S "no-handler")
         :: dgram_args dgram)
   | Some handler ->
-      t.stats.delivered <- t.stats.delivered + 1;
-      trace_event t "rx"
+      sh.sstats.delivered <- sh.sstats.delivered + 1;
+      trace_event t sh "rx"
         (("host", Telemetry.Trace.S target.hname) :: dgram_args dgram);
       handler { world = t; self = target } dgram
 
 (* Push one datagram across the [src -> target] link, applying that
-   link's impairment policy.  Every copy the policy emits is scheduled
-   on the event clock with its own delay. *)
+   link's impairment policy.  The sender's shard draws the fault plan
+   (its RNG, its clock); every surviving copy is either scheduled on the
+   receiver's heap directly (same shard) or queued in the receiver
+   shard's inbox for the next epoch flush. *)
 let transmit t dgram ~src target =
+  let ssrc = shard_of_host t src in
+  let sdst = shard_of_host t target in
   let policy = policy_for t ~src ~dst:target in
   let plan =
-    Faults.apply (Sim.rng t.sim) policy ~now:(Sim.now t.sim)
+    Faults.apply (Sim.rng ssrc.ssim) policy ~now:(Sim.now ssrc.ssim)
       ~payload:dgram.payload
   in
-  let s = t.stats in
+  let s = ssrc.sstats in
   let link_args () =
     ("from", Telemetry.Trace.S src.hname)
     :: ("to", Telemetry.Trace.S target.hname)
@@ -264,12 +348,12 @@ let transmit t dgram ~src target =
   | Faults.Drop_link ->
       s.dropped <- s.dropped + 1;
       s.dropped_link <- s.dropped_link + 1;
-      trace_event t "drop"
+      trace_event t ssrc "drop"
         (("reason", Telemetry.Trace.S "link") :: link_args ())
   | Faults.Drop_fault ->
       s.dropped <- s.dropped + 1;
       s.dropped_fault <- s.dropped_fault + 1;
-      trace_event t "drop"
+      trace_event t ssrc "drop"
         (("reason", Telemetry.Trace.S "fault") :: link_args ())
   | Faults.Pass ->
       if plan.Faults.corrupted then s.corrupted <- s.corrupted + 1;
@@ -286,20 +370,30 @@ let transmit t dgram ~src target =
               ("reordered", Telemetry.Trace.B plan.Faults.reordered);
             ]
           in
-          trace_event t "tx" (link_args () @ flags));
+          trace_event t ssrc "tx" (link_args () @ flags));
       List.iter
         (fun (delay, payload) ->
           let dgram = { dgram with payload } in
-          Sim.schedule t.sim ~delay (fun _ -> deliver t dgram target))
+          if ssrc == sdst then
+            Sim.schedule sdst.ssim ~delay (fun _ -> deliver t sdst dgram target)
+          else
+            Queue.push
+              {
+                p_time = Sim.now ssrc.ssim + delay;
+                p_dgram = dgram;
+                p_target = target;
+              }
+              sdst.sinbox)
         plan.Faults.copies
 
 let send t ~from ?(sport = 0) ~dst ~dport payload =
-  let s = t.stats in
+  let ssrc = shard_of_host t from in
+  let s = ssrc.sstats in
   match from.hlan with
   | None ->
       s.dropped <- s.dropped + 1;
       s.no_route <- s.no_route + 1;
-      trace_event t "drop"
+      trace_event t ssrc "drop"
         [
           ("reason", Telemetry.Trace.S "no-lan");
           ("from", Telemetry.Trace.S from.hname);
@@ -317,35 +411,103 @@ let send t ~from ?(sport = 0) ~dst ~dport payload =
         | None ->
             s.dropped <- s.dropped + 1;
             s.no_route <- s.no_route + 1;
-            trace_event t "drop"
+            trace_event t ssrc "drop"
               (("reason", Telemetry.Trace.S "no-route")
               :: ("from", Telemetry.Trace.S from.hname)
               :: dgram_args dgram))
 
-let run ?until t = Sim.run ?until t.sim
+(* Move inbox entries onto the shard's own heap.  A copy whose stamped
+   time already passed on the receiver's clock is delivered at [now] —
+   cross-shard skew is bounded by the epoch window ([batch]). *)
+let flush_inbox t sh =
+  while not (Queue.is_empty sh.sinbox) do
+    let p = Queue.pop sh.sinbox in
+    let delay = max 0 (p.p_time - Sim.now sh.ssim) in
+    Sim.schedule sh.ssim ~delay (fun _ -> deliver t sh p.p_dgram p.p_target)
+  done
+
+(* Conservative epoch loop over the shard heaps: flush every inbox, find
+   the globally earliest pending event, run all shards up to that time
+   plus the batch window, repeat.  One shard short-circuits to a plain
+   [Sim.run] — bit-identical to the unsharded world. *)
+let run ?until t =
+  let processed =
+    if Array.length t.shards = 1 then Sim.run ?until t.shards.(0).ssim
+    else begin
+      let processed = ref 0 in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        Array.iter (flush_inbox t) t.shards;
+        let next =
+          Array.fold_left
+            (fun acc sh ->
+              match Sim.next_time sh.ssim with
+              | None -> acc
+              | Some tm -> (
+                  match acc with None -> Some tm | Some a -> Some (min a tm)))
+            None t.shards
+        in
+        match next with
+        | None -> ()
+        | Some tmin ->
+            let beyond =
+              match until with Some u -> tmin > u | None -> false
+            in
+            if not beyond then begin
+              let horizon = tmin + t.batch in
+              let horizon =
+                match until with Some u -> min horizon u | None -> horizon
+              in
+              Array.iter
+                (fun sh ->
+                  processed := !processed + Sim.run ~until:horizon sh.ssim)
+                t.shards;
+              progress := true
+            end
+      done;
+      (* Advance every shard clock to the caller's horizon (no events
+         remain at or before it). *)
+      (match until with
+      | Some u ->
+          Array.iter (fun sh -> ignore (Sim.run ~until:u sh.ssim)) t.shards
+      | None -> ());
+      !processed
+    end
+  in
+  (* Feed the telemetry clock at the end of the run too: with the
+     clock-lag fix, an early-drained [run ~until] still advances sim
+     time, and the trace's µs should agree. *)
+  (match t.trace with
+  | None -> ()
+  | Some tr -> Telemetry.Trace.set_now tr (Sim.now t.shards.(0).ssim));
+  processed
 
 let register_metrics t reg =
-  let s = t.stats in
   let c name help f =
     Telemetry.Metrics.probe reg ~help ~kind:`Counter name (fun () ->
         float_of_int (f ()))
   in
+  (* Read through [stats t] at probe time so sharded worlds expose the
+     merged totals. *)
   c "netsim_delivered_total" "datagrams delivered to a handler" (fun () ->
-      s.delivered);
-  c "netsim_dropped_total" "datagrams dropped, all causes" (fun () -> s.dropped);
+      (stats t).delivered);
+  c "netsim_dropped_total" "datagrams dropped, all causes" (fun () ->
+      (stats t).dropped);
   c "netsim_dropped_fault_total" "datagrams dropped by fault injection"
-    (fun () -> s.dropped_fault);
+    (fun () -> (stats t).dropped_fault);
   c "netsim_dropped_link_total" "datagrams dropped by link loss" (fun () ->
-      s.dropped_link);
+      (stats t).dropped_link);
   c "netsim_no_route_total" "datagrams with no route to the destination"
-    (fun () -> s.no_route);
+    (fun () -> (stats t).no_route);
   c "netsim_no_handler_total" "datagrams with no listener on the port"
-    (fun () -> s.no_handler);
+    (fun () -> (stats t).no_handler);
   c "netsim_corrupted_total" "datagrams corrupted in flight" (fun () ->
-      s.corrupted);
+      (stats t).corrupted);
   c "netsim_duplicated_total" "datagrams duplicated in flight" (fun () ->
-      s.duplicated);
+      (stats t).duplicated);
   c "netsim_reordered_total" "datagrams reordered in flight" (fun () ->
-      s.reordered);
+      (stats t).reordered);
   Telemetry.Metrics.probe reg ~help:"simulated clock, microseconds"
-    ~kind:`Gauge "netsim_sim_now_us" (fun () -> float_of_int (Sim.now t.sim))
+    ~kind:`Gauge "netsim_sim_now_us" (fun () ->
+      float_of_int (Sim.now t.shards.(0).ssim))

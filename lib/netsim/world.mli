@@ -40,9 +40,35 @@ type stats = {
   mutable reordered : int;
 }
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?shards:int -> ?batch:int -> unit -> t
+(** [shards] (default 1) splits scheduler state — event heap, RNG,
+    per-reason stats — into that many explicit shard records; assign
+    LANs to shards with {!set_lan_shard}.  [batch] (default 100 µs) is
+    the epoch window of the sharded run loop: cross-shard datagrams are
+    batched through per-shard inboxes and may be delivered up to one
+    window late on the receiver's clock.  With one shard, behaviour is
+    bit-identical to the unsharded world under seed replay (shard 0
+    always carries [seed] unchanged). *)
+
 val sim : t -> Sim.t
+(** Shard 0's simulator (the only one unless [~shards] was given). *)
+
 val stats : t -> stats
+(** Single-shard worlds return the live record; sharded worlds return a
+    fresh snapshot merged over all shards. *)
+
+(** {2 Shards} *)
+
+val shard_count : t -> int
+
+val shard_sim : t -> int -> Sim.t
+(** Shard [i]'s simulator.  Raises [Invalid_argument] on a bad index. *)
+
+val shard_stats : t -> int -> stats
+(** Shard [i]'s live stats record (unmerged). *)
+
+val merge_stats : stats -> stats -> unit
+(** [merge_stats acc s] adds [s]'s counters into [acc]. *)
 
 val set_trace : t -> Telemetry.Trace.t option -> unit
 (** Attach (or detach with [None]) a telemetry sink.  With a sink
@@ -89,6 +115,14 @@ val lan_name : lan -> string
 val set_uplink : lan -> lan option -> unit
 (** Datagrams that miss in a LAN are retried in its uplink (transitively). *)
 
+val set_lan_shard : t -> lan -> int -> unit
+(** Pin the LAN (and every host attached to it) to shard [i]: its
+    traffic draws from that shard's RNG and fires on that shard's heap.
+    New LANs start on shard 0.  Raises [Invalid_argument] on a bad
+    index. *)
+
+val lan_shard : lan -> int
+
 val partition : t -> lan -> lan -> unit
 (** Sever routing across the (symmetric) LAN pair: unicast resolution
     refuses to cross that edge until {!heal}.  Idempotent. *)
@@ -122,4 +156,7 @@ val send :
     unroutable datagrams and drops are counted per reason in {!stats}. *)
 
 val run : ?until:int -> t -> int
-(** Drive the event loop; returns events processed. *)
+(** Drive the event loop; returns events processed.  Single-shard worlds
+    delegate straight to {!Sim.run}.  Sharded worlds run a conservative
+    epoch loop: flush cross-shard inboxes, run every shard up to the
+    globally earliest pending event plus the batch window, repeat. *)

@@ -572,6 +572,104 @@ let test_malicious_forges () =
         ((Char.code wire.[0] lsl 8) lor Char.code wire.[1])
   | None -> Alcotest.fail "no forged response"
 
+(* --- shards + clock regressions --- *)
+
+(* Regression: [Sim.run ?until] used to leave the clock wherever the
+   last event fired when the heap drained before the horizon, so a
+   subsequent [schedule ~delay] was anchored too early. *)
+let test_sim_until_advances_clock () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:10 (fun _ -> ());
+  ignore (Sim.run ~until:1000 sim);
+  check_int "clock at horizon after early drain" 1000 (Sim.now sim);
+  ignore (Sim.run ~until:2500 sim);
+  check_int "empty heap still advances" 2500 (Sim.now sim);
+  let fired_at = ref 0 in
+  Sim.schedule sim ~delay:7 (fun s -> fired_at := Sim.now s);
+  ignore (Sim.run sim);
+  check_int "delay anchored at the horizon" 2507 !fired_at
+
+let shard_world () =
+  let w = W.create ~seed:11 ~shards:2 ~batch:50 () in
+  let lan_a = W.add_lan w ~name:"lan-a" in
+  let lan_b = W.add_lan w ~name:"lan-b" in
+  W.set_uplink lan_b (Some lan_a);
+  W.set_lan_shard w lan_b 1;
+  let a = W.add_host w ~name:"a" in
+  let b = W.add_host w ~name:"b" in
+  W.set_host_ip a (Some (Ip.of_string "10.0.0.1"));
+  W.set_host_ip b (Some (Ip.of_string "10.1.0.1"));
+  W.attach a lan_a;
+  W.attach b lan_b;
+  (w, lan_a, lan_b, a, b)
+
+let test_shard_cross_delivery () =
+  let w, _, lan_b, a, b = shard_world () in
+  check_int "shard count" 2 (W.shard_count w);
+  check_int "lan pinned" 1 (W.lan_shard lan_b);
+  let got = ref [] in
+  W.on_udp b ~port:9 (fun ctx d ->
+      got := d.W.payload :: !got;
+      W.send ctx.W.world ~from:ctx.W.self ~sport:9 ~dst:d.W.src
+        ~dport:d.W.sport "pong");
+  let echoed = ref [] in
+  W.on_udp a ~port:7 (fun _ d -> echoed := d.W.payload :: !echoed);
+  W.send w ~from:a ~sport:7 ~dst:(Ip.of_string "10.1.0.1") ~dport:9 "ping";
+  ignore (W.run w);
+  Alcotest.(check (list string)) "request crossed shards" [ "ping" ] !got;
+  Alcotest.(check (list string)) "reply crossed back" [ "pong" ] !echoed;
+  check_int "merged delivered" 2 (W.stats w).W.delivered;
+  check_int "per-shard sum = merged" 2
+    ((W.shard_stats w 0).W.delivered + (W.shard_stats w 1).W.delivered)
+
+let test_shard_merged_stats_and_validation () =
+  let w, _, _, a, b = shard_world () in
+  (* One unroutable send per shard: each charges its own shard. *)
+  W.send w ~from:a ~dst:(Ip.of_string "203.0.113.9") ~dport:9 "x";
+  W.send w ~from:b ~dst:(Ip.of_string "203.0.113.9") ~dport:9 "x";
+  ignore (W.run w);
+  check_int "shard 0 no_route" 1 (W.shard_stats w 0).W.no_route;
+  check_int "shard 1 no_route" 1 (W.shard_stats w 1).W.no_route;
+  check_int "merged no_route" 2 (W.stats w).W.no_route;
+  Alcotest.check_raises "bad shard index"
+    (Invalid_argument "World.shard_sim: no such shard") (fun () ->
+      ignore (W.shard_sim w 2));
+  Alcotest.check_raises "bad shard count"
+    (Invalid_argument "World.create: shards must be >= 1") (fun () ->
+      ignore (W.create ~shards:0 ()))
+
+(* Seed replay through the sharded world structure: a lossy scenario
+   re-run from the same seed delivers exactly the same subset. *)
+let test_shard_seed_replay () =
+  let outcome shards =
+    let w = W.create ~seed:21 ~shards () in
+    let lan = W.add_lan w ~name:"lan" in
+    let a = W.add_host w ~name:"a" in
+    let b = W.add_host w ~name:"b" in
+    W.set_host_ip a (Some (Ip.of_string "10.0.0.1"));
+    W.set_host_ip b (Some (Ip.of_string "10.0.0.2"));
+    W.attach a lan;
+    W.attach b lan;
+    W.set_loss w 0.5;
+    let got = ref [] in
+    W.on_udp b ~port:9 (fun _ d -> got := d.W.payload :: !got);
+    for i = 1 to 40 do
+      W.send w ~from:a ~dst:(Ip.of_string "10.0.0.2") ~dport:9
+        (string_of_int i)
+    done;
+    ignore (W.run w);
+    (List.rev !got, (W.stats w).W.delivered, (W.stats w).W.dropped)
+  in
+  let r1 = outcome 1 and r2 = outcome 1 in
+  Alcotest.(check bool) "same seed, same fate" true (r1 = r2);
+  let delivered, dropped = (match r1 with _, d, p -> (d, p)) in
+  check_int "everything accounted" 40 (delivered + dropped);
+  Alcotest.(check bool) "loss actually fired" true (dropped > 0);
+  (* The single-LAN scenario runs entirely on shard 0, so extra idle
+     shards must not disturb the draw sequence. *)
+  let r4 = outcome 4 in
+  Alcotest.(check bool) "idle shards don't shift the rng" true (r1 = r4)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "netsim"
@@ -587,7 +685,17 @@ let () =
           Alcotest.test_case "run until" `Quick test_sim_until;
           Alcotest.test_case "pop releases closures" `Quick
             test_sim_pop_releases_closures;
+          Alcotest.test_case "until advances clock past drained heap" `Quick
+            test_sim_until_advances_clock;
           qt prop_sim_many_events_ordered;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "cross-shard delivery" `Quick
+            test_shard_cross_delivery;
+          Alcotest.test_case "merged stats + validation" `Quick
+            test_shard_merged_stats_and_validation;
+          Alcotest.test_case "seed replay" `Quick test_shard_seed_replay;
         ] );
       ( "delivery",
         [
