@@ -1368,6 +1368,91 @@ let run_wire_json ~smoke ~out () =
   let rows = bench "parse" legacy_parse zc_parse @ bench "respond" legacy_respond zc_respond in
   write_bench_json ~suite:"wire" ~smoke ~out rows
 
+(* ------------------------------------------------------------------ *)
+(* Fleet campaign benches: BENCH_fleet.json                            *)
+(*                                                                     *)
+(* The two numbers that set campaign scale: how fast devices spawn     *)
+(* (a CoW fork of the firmware template, per ISA), and end-to-end      *)
+(* scheduler throughput — events/sec of a whole campaign (benign +     *)
+(* attack traffic, supervision, rollout) at shard counts 1/2/4.        *)
+(*                                                                     *)
+(*   dune exec bench/main.exe -- fleet            (full measurement)   *)
+(*   dune exec bench/main.exe -- fleet --smoke    (few iterations)     *)
+(*   dune build @fleet-bench-smoke                (dune smoke target)  *)
+(* ------------------------------------------------------------------ *)
+
+let run_fleet_json ~smoke ~out () =
+  let cfg =
+    if smoke then
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  Format.printf "=== Fleet campaign benches%s ===@.@."
+    (if smoke then " (smoke: few iterations)" else "");
+  (* Device spawn: fork a daemon off a booted template, as the campaign
+     does for the initial population, every reimage, and every patch. *)
+  let bench_fork arch =
+    let aname = Loader.Arch.name arch in
+    let tpl =
+      Connman.Dnsproxy.create
+        {
+          Connman.Dnsproxy.version = Connman.Version.v1_34;
+          arch;
+          profile = Profile.wx;
+          boot_seed = 1;
+          diversity_seed = None;
+        }
+    in
+    let fork_ns, fork_r2 =
+      time_fn cfg ("fleet/fork-" ^ aname) (fun () ->
+          ignore (Connman.Dnsproxy.fork tpl))
+    in
+    let devices_per_sec = if fork_ns > 0.0 then 1e9 /. fork_ns else 0.0 in
+    Format.printf "%-18s fork %10s  (%9.0f devices/s)@." aname
+      (pretty_nanos fork_ns) devices_per_sec;
+    [
+      bench_row ("fleet/fork-" ^ aname) "ns_per_op" fork_ns
+        ~extra:
+          [ ("devices_per_sec", devices_per_sec); ("r_square", fork_r2) ];
+    ]
+  in
+  (* Whole-campaign throughput at each shard count; one timed run each
+     (a campaign is far too heavy for an OLS sweep). *)
+  let bench_shards shards =
+    let ccfg =
+      if smoke then { Fleet.Campaign.smoke_config with Fleet.Campaign.shards }
+      else
+        {
+          Fleet.Campaign.default_config with
+          Fleet.Campaign.devices = 240;
+          lans = 8;
+          shards;
+        }
+    in
+    let t0 = Sys.time () in
+    let report = Fleet.Campaign.run ccfg in
+    let wall_ns = (Sys.time () -. t0) *. 1e9 in
+    let events = float_of_int report.Fleet.Campaign.r_events in
+    let events_per_sec = if wall_ns > 0.0 then events *. 1e9 /. wall_ns else 0.0 in
+    Format.printf "%-18s %8.0f events in %10s  (%9.0f events/s)@."
+      (Printf.sprintf "campaign-shards-%d" shards)
+      events (pretty_nanos wall_ns) events_per_sec;
+    bench_row
+      (Printf.sprintf "fleet/campaign-shards-%d" shards)
+      "events_per_sec" events_per_sec
+      ~extra:
+        [
+          ("events", events);
+          ("wall_ns", wall_ns);
+          ("devices", float_of_int ccfg.Fleet.Campaign.devices);
+        ]
+  in
+  let rows =
+    List.concat_map bench_fork Loader.Arch.all
+    @ List.map bench_shards [ 1; 2; 4 ]
+  in
+  write_bench_json ~suite:"fleet" ~smoke ~out rows
+
 let () =
   let argv = Array.to_list Sys.argv in
   let out_of default argv =
@@ -1388,7 +1473,8 @@ let () =
     run_faults_json ~smoke ~out:(path "BENCH_faults.json") ();
     run_sanitizer_json ~smoke ~out:(path "BENCH_sanitizer.json") ();
     run_fuzz_json ~smoke ~out:(path "BENCH_fuzz.json") ();
-    run_wire_json ~smoke ~out:(path "BENCH_wire.json") ()
+    run_wire_json ~smoke ~out:(path "BENCH_wire.json") ();
+    run_fleet_json ~smoke ~out:(path "BENCH_fleet.json") ()
   end
   else if List.mem "cache" argv then
     run_cache_json ~smoke ~out:(out_of "BENCH_cache.json" argv) ()
@@ -1402,6 +1488,8 @@ let () =
     run_fuzz_json ~smoke ~out:(out_of "BENCH_fuzz.json" argv) ()
   else if List.mem "wire" argv then
     run_wire_json ~smoke ~out:(out_of "BENCH_wire.json" argv) ()
+  else if List.mem "fleet" argv then
+    run_fleet_json ~smoke ~out:(out_of "BENCH_fleet.json" argv) ()
   else begin
     print_experiments ();
     print_parse_costs ();

@@ -39,6 +39,17 @@ let profile_conv =
   in
   Arg.conv (parse, Defense.Profile.pp)
 
+let shards_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "invalid shard count: %s (expected a positive integer)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic run seed.")
 
@@ -563,8 +574,8 @@ let metrics_cmd, cache_stats_cmd =
   (metrics, deprecated)
 
 let chaos_cmd =
-  let run seed smoke output =
-    let report = Core.Experiments.chaos_campaign ~seed ~smoke () in
+  let run seed smoke shards output =
+    let report = Core.Experiments.chaos_campaign ~seed ~smoke ~shards () in
     Format.printf "%a@." Core.Experiments.pp_chaos report;
     (match output with
     | None -> ()
@@ -586,43 +597,24 @@ let chaos_cmd =
       & opt (some string) None
       & info [ "out" ] ~doc:"Write the campaign report as JSON to a file.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt shards_conv 1
+      & info [ "shards" ]
+          ~doc:
+            "Scheduler shard count for every cell's world (results are \
+             bit-identical across counts).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Replay the exploit matrix and the DoS under deterministic network \
           fault schedules, with connmand supervised.")
-    Term.(const run $ seed_arg $ smoke_arg $ output_arg)
+    Term.(const run $ seed_arg $ smoke_arg $ shards_arg $ output_arg)
 
 let fuzz_cmd =
-  let run seed smoke execs out check =
-    let report =
-      match execs with
-      | None -> Core.Experiments.fuzz_campaign ~seed ~smoke ()
-      | Some max_execs ->
-          (* Explicit budget: same campaign shape, caller-chosen cap. *)
-          let runs =
-            List.map
-              (fun arch ->
-                Fuzz.Engine.run
-                  {
-                    Fuzz.Engine.default_config with
-                    Fuzz.Engine.arch;
-                    seed;
-                    max_execs;
-                    stop_on_find = true;
-                  })
-              [ Loader.Arch.X86; Loader.Arch.Arm ]
-          in
-          {
-            Core.Experiments.fuzz_seed = seed;
-            fuzz_smoke = smoke;
-            fuzz_runs = runs;
-            fuzz_ok =
-              List.for_all
-                (fun st -> st.Fuzz.Engine.rediscovered_at <> None)
-                runs;
-          }
-    in
+  let run seed smoke shards execs out check =
+    let report = Core.Experiments.fuzz_campaign ~seed ~smoke ~shards ?execs () in
     Format.printf "%a@." Core.Experiments.pp_fuzz report;
     let json = Core.Experiments.fuzz_json report in
     (match out with
@@ -657,6 +649,14 @@ let fuzz_cmd =
       & opt (some int) None
       & info [ "execs" ] ~doc:"Explicit execution budget per ISA.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt shards_conv 1
+      & info [ "shards" ]
+          ~doc:
+            "Independent engine instances per ISA, on derived seeds; the \
+             campaign passes if every ISA rediscovers in at least one shard.")
+  in
   let out_arg =
     Arg.(
       value
@@ -675,7 +675,105 @@ let fuzz_cmd =
           ISAs: mutate benign DNS responses until the Listing-1 overflow is \
           rediscovered, triaged by the taint oracle with wire-byte \
           provenance (exit 1 if either ISA misses within budget).")
-    Term.(const run $ seed_arg $ smoke_arg $ execs_arg $ out_arg $ check_arg)
+    Term.(
+      const run $ seed_arg $ smoke_arg $ shards_arg $ execs_arg $ out_arg
+      $ check_arg)
+
+let fleet_cmd =
+  let run seed devices lans shards smoke out check =
+    let base =
+      if smoke then Fleet.Campaign.smoke_config
+      else Fleet.Campaign.default_config
+    in
+    let value v default = match v with Some v -> v | None -> default in
+    let cfg =
+      {
+        base with
+        Fleet.Campaign.seed = value seed base.Fleet.Campaign.seed;
+        devices = value devices base.Fleet.Campaign.devices;
+        lans = value lans base.Fleet.Campaign.lans;
+        shards = value shards base.Fleet.Campaign.shards;
+      }
+    in
+    let report = Fleet.Campaign.run cfg in
+    Format.printf "%a@." Fleet.Campaign.pp report;
+    let json = Fleet.Campaign.json report in
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc json;
+        close_out oc;
+        Format.printf "wrote %s@." path);
+    let json_ok =
+      (not check)
+      ||
+      match Telemetry.Json.validate json with
+      | Ok () ->
+          Format.printf "fleet json: well-formed@.";
+          true
+      | Error e ->
+          Format.eprintf "fleet json: INVALID (%s)@." e;
+          false
+    in
+    if json_ok && Fleet.Campaign.ok report then 0 else 1
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~doc:"Deterministic run seed (default: the config's).")
+  in
+  let devices_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "devices" ] ~doc:"Fleet size (default: 1000; 48 with --smoke).")
+  in
+  let lans_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lans" ] ~doc:"LAN count (default: 20; 4 with --smoke).")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some shards_conv) None
+      & info [ "shards" ]
+          ~doc:"Scheduler shard count (default: 4; 2 with --smoke).")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI-sized campaign: 48 devices, 4 LANs, 2 shards, canary + one \
+             rollout wave.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the campaign report as JSON to a file.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Validate the exported JSON; exit 1 if malformed.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Fleet-scale resilience campaign: fork a device population from \
+          copy-on-write snapshots over a sharded network world, mix benign \
+          load with exploit and DoS forgery under chaos, supervise every \
+          device (quarantine, probation, reintroduction), and roll out the \
+          patch canary-first with automatic rollback (exit 1 unless the \
+          fleet converges with zero residual compromises).")
+    Term.(
+      const run $ seed_arg $ devices_arg $ lans_arg $ shards_arg $ smoke_arg
+      $ out_arg $ check_arg)
 
 let codec_diff_cmd =
   let run seed execs out =
@@ -772,6 +870,7 @@ let () =
             cache_stats_cmd;
             chaos_cmd;
             fuzz_cmd;
+            fleet_cmd;
             codec_diff_cmd;
             report_cmd;
           ]))

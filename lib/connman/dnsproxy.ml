@@ -92,6 +92,31 @@ let create ?cache_capacity config =
     icache_misses = 0;
   }
 
+(* Fleet-scale spawning: a copy-on-write clone of the template's current
+   machine state instead of a full [boot].  The clone shares the
+   template's boot-time randomness — forked cohorts model devices
+   flashed from one firmware image, not independent boots — so anything
+   ASLR-sensitive must fork from per-diversity templates. *)
+let fork ?cache_capacity template =
+  let snap = Loader.Process.snapshot template.proc in
+  {
+    config = template.config;
+    proc = Loader.Process.fork template.proc snap;
+    alive = template.alive;
+    restarts = 0;
+    next_id = 0x1000 + (template.config.boot_seed land 0xFFF);
+    steps = 0;
+    pending = Hashtbl.create 8;
+    view = Dns.Wire.create_view ();
+    cache = Dns.Cache.create ?capacity:cache_capacity ();
+    clock = 0;
+    telemetry = None;
+    profiler = None;
+    sanitizer = None;
+    icache_hits = 0;
+    icache_misses = 0;
+  }
+
 let config t = t.config
 let peek_pending t id = Hashtbl.find_opt t.pending id
 let process t = t.proc

@@ -37,6 +37,17 @@ type t
 val create : ?cache_capacity:int -> config -> t
 (** [cache_capacity] bounds the daemon's DNS cache (default 256). *)
 
+val fork : ?cache_capacity:int -> t -> t
+(** A fresh daemon cloned copy-on-write from this one's current machine
+    state ({!Loader.Process.snapshot} + {!Loader.Process.fork}):
+    µs-scale spawning for fleet-sized populations versus the full
+    [create] boot.  The clone shares the template's boot-time
+    randomness (same ASLR draw, same canary) — a fork cohort models
+    devices flashed from one firmware image, not independent boots —
+    and starts with fresh host-side state: empty pending table and
+    cache, no telemetry attached, zero restarts.  [restart] on a clone
+    performs a full re-boot from its own config as usual. *)
+
 val config : t -> config
 val process : t -> Loader.Process.t
 (** The booted process image — what an attacker's local [gdb]/[ropper]

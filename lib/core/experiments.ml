@@ -501,6 +501,7 @@ type sweep_point = { sweep_loss : float; sweep_trials : int; sweep_hits : int }
 type chaos_report = {
   chaos_seed : int;
   chaos_smoke : bool;
+  chaos_shards : int;
   chaos_rows : chaos_row list;
   chaos_sweep : sweep_point list;
 }
@@ -547,9 +548,9 @@ let count_cached device =
    impaired LAN, connmand under supervision.  [instrument] runs once the
    world, device, and supervisor exist but before any traffic — the
    telemetry layer's attach point. *)
-let run_chaos_cell ?(instrument = fun _ _ _ -> ()) ~seed
+let run_chaos_cell ?(instrument = fun _ _ _ -> ()) ?(shards = 1) ~seed
     (cell, arch, profile, kind) (sched_name, policy) =
-  let world = W.create ~seed () in
+  let world = W.create ~seed ~shards () in
   let lan = W.add_lan world ~name:"venue" in
   W.set_lan_policy world lan policy;
   let attacker_ip = Ip.of_string "10.9.0.1" in
@@ -648,8 +649,8 @@ let run_chaos_cell ?(instrument = fun _ _ _ -> ()) ~seed
    CPU), and the supervisor; optional profiler on the parse; optional
    metrics registry over all three.  Returns the row plus a symbolizer
    bound to the daemon's current process, for rendering the profile. *)
-let run_instrumented_cell ?(seed = 1) ?(schedule = "clean") ?trace ?profiler
-    ?metrics ~cell () =
+let run_instrumented_cell ?(seed = 1) ?(schedule = "clean") ?(shards = 1)
+    ?trace ?profiler ?metrics ~cell () =
   match
     ( List.find_opt (fun (id, _, _, _) -> id = cell) chaos_cells,
       List.assoc_opt schedule chaos_schedules )
@@ -683,7 +684,9 @@ let run_instrumented_cell ?(seed = 1) ?(schedule = "clean") ?trace ?profiler
             Dnsproxy.register_metrics daemon reg;
             Supervisor.register_metrics sup reg
       in
-      let row = run_chaos_cell ~instrument ~seed cell_spec (schedule, policy) in
+      let row =
+        run_chaos_cell ~instrument ~shards ~seed cell_spec (schedule, policy)
+      in
       let symbolize pc =
         match !daemon_ref with
         | None -> Printf.sprintf "0x%08x" pc
@@ -746,7 +749,9 @@ let chaos_sweep ~seed ~trials =
       { sweep_loss = loss; sweep_trials = trials; sweep_hits = !hits })
     [ 0.0; 0.3; 0.6; 0.9 ]
 
-let chaos_campaign ?(seed = 1) ?(smoke = false) () =
+let chaos_campaign ?(seed = 1) ?(smoke = false) ?(shards = 1) () =
+  if shards < 1 then
+    invalid_arg "Experiments.chaos_campaign: shards must be positive";
   let cells, schedules =
     if smoke then
       ( List.filter (fun (id, _, _, _) -> id = "DoS" || id = "E1") chaos_cells,
@@ -760,12 +765,15 @@ let chaos_campaign ?(seed = 1) ?(smoke = false) () =
       (fun (ci, cell) ->
         List.map
           (fun (si, sched) ->
-            run_chaos_cell ~seed:(seed + (ci * 1009) + (si * 101)) cell sched)
+            run_chaos_cell ~shards
+              ~seed:(seed + (ci * 1009) + (si * 101))
+              cell sched)
           (List.mapi (fun si s -> (si, s)) schedules))
       (List.mapi (fun ci c -> (ci, c)) cells)
   in
   let sweep = chaos_sweep ~seed ~trials:(if smoke then 3 else 8) in
-  { chaos_seed = seed; chaos_smoke = smoke; chaos_rows = rows; chaos_sweep = sweep }
+  { chaos_seed = seed; chaos_smoke = smoke; chaos_shards = shards;
+    chaos_rows = rows; chaos_sweep = sweep }
 
 (* Hand-rolled JSON with fixed field order and %.4f floats so identical
    seeds serialize to identical bytes. *)
@@ -773,6 +781,7 @@ let chaos_json r =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": \"chaos-campaign-v1\",\n";
   Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.chaos_seed);
+  Buffer.add_string b (Printf.sprintf "  \"shards\": %d,\n" r.chaos_shards);
   Buffer.add_string b
     (Printf.sprintf "  \"smoke\": %b,\n  \"rows\": [\n" r.chaos_smoke);
   List.iteri
@@ -1030,32 +1039,46 @@ let pp_markdown ppf rows =
 type fuzz_report = {
   fuzz_seed : int;
   fuzz_smoke : bool;
-  fuzz_runs : Fuzz.Engine.stats list;  (* x86 first, then ARM *)
+  fuzz_shards : int;
+  fuzz_runs : Fuzz.Engine.stats list;  (* x86 shards first, then ARM shards *)
   fuzz_ok : bool;
 }
 
 (* Budgets sized from measured behaviour (seed 1 rediscovers at exec 954
    on both ISAs): smoke leaves ~4x headroom and still finishes in well
-   under a second per ISA. *)
-let fuzz_campaign ?(seed = 1) ?(smoke = false) () =
-  let max_execs = if smoke then 4_000 else 20_000 in
-  let runs =
-    List.map
-      (fun arch ->
+   under a second per ISA.  [shards] runs that many independent engine
+   instances per ISA on derived seeds (the netsim shard-seed idiom,
+   [seed + 7919*i]); the campaign passes when every ISA rediscovers the
+   overflow in at least one shard. *)
+let fuzz_campaign ?(seed = 1) ?(smoke = false) ?(shards = 1) ?execs () =
+  if shards < 1 then
+    invalid_arg "Experiments.fuzz_campaign: shards must be positive";
+  let max_execs =
+    match execs with Some e -> e | None -> if smoke then 4_000 else 20_000
+  in
+  let run_arch arch =
+    List.init shards (fun si ->
         Fuzz.Engine.run
           {
             Fuzz.Engine.default_config with
             Fuzz.Engine.arch;
-            seed;
+            seed = seed + (7919 * si);
             max_execs;
             stop_on_find = true;
           })
-      [ Loader.Arch.X86; Loader.Arch.Arm ]
   in
-  let ok =
-    List.for_all (fun st -> st.Fuzz.Engine.rediscovered_at <> None) runs
+  let x86 = run_arch Loader.Arch.X86 in
+  let arm = run_arch Loader.Arch.Arm in
+  let found =
+    List.exists (fun st -> st.Fuzz.Engine.rediscovered_at <> None)
   in
-  { fuzz_seed = seed; fuzz_smoke = smoke; fuzz_runs = runs; fuzz_ok = ok }
+  {
+    fuzz_seed = seed;
+    fuzz_smoke = smoke;
+    fuzz_shards = shards;
+    fuzz_runs = x86 @ arm;
+    fuzz_ok = found x86 && found arm;
+  }
 
 (* Deterministic serialization, same contract as [chaos_json]: the
    embedded per-run documents are [Fuzz.Engine.stats_json] verbatim, so
@@ -1064,6 +1087,7 @@ let fuzz_json r =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"schema\": \"fuzz-campaign-v1\",\n";
   Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.fuzz_seed);
+  Buffer.add_string b (Printf.sprintf "  \"shards\": %d,\n" r.fuzz_shards);
   Buffer.add_string b (Printf.sprintf "  \"smoke\": %b,\n" r.fuzz_smoke);
   Buffer.add_string b (Printf.sprintf "  \"ok\": %b,\n  \"runs\": [\n" r.fuzz_ok);
   List.iteri

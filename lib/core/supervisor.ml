@@ -52,6 +52,7 @@ type event_kind =
   | Restart_scheduled of int
   | Restarted
   | Gave_up
+  | Revived
 
 type event = { at : int; kind : event_kind }
 
@@ -63,6 +64,7 @@ let pp_event ppf e =
       Format.fprintf ppf "[%8dus] restart scheduled in %dus" e.at d
   | Restarted -> Format.fprintf ppf "[%8dus] restarted" e.at
   | Gave_up -> Format.fprintf ppf "[%8dus] crash loop: giving up" e.at
+  | Revived -> Format.fprintf ppf "[%8dus] revived: crash-loop state cleared" e.at
 
 (* Existential pack: the supervisor doesn't care which daemon type it
    owns once [alive]/[restart] are captured. *)
@@ -130,6 +132,7 @@ let record t kind =
         | Restart_scheduled d -> ("restart-scheduled", [ ("delay_us", Tr.I d) ])
         | Restarted -> ("restarted", [ ("restarts", Tr.I t.restarts) ])
         | Gave_up -> ("gave-up", [ ("crashes", Tr.I t.crashes) ])
+        | Revived -> ("revived", [ ("restarts", Tr.I t.restarts) ])
       in
       Tr.emit tr ~ts:e.at ~cat:"supervisor" ~track:t.sup_name name ~args);
   t.on_event e
@@ -185,6 +188,23 @@ let notify t =
           Sim.schedule t.sim ~delay (do_restart t)
         end
       end
+
+(* Quarantine's road back: a crash-loop verdict stops being terminal the
+   moment an operator (or the fleet health machine) decides the device
+   deserves another chance.  Everything the verdict was built on —
+   window, backoff growth, pending-restart state — is discarded so the
+   next crash is judged afresh; a dead daemon is restarted immediately
+   rather than waiting out a stale backoff delay. *)
+let revive t =
+  t.st <- `Watching;
+  t.next_delay_us <- t.policy.backoff.initial_us;
+  t.crash_times <- [];
+  record t Revived;
+  if not (t.inst.alive ()) then begin
+    t.inst.restart ();
+    t.restarts <- t.restarts + 1;
+    record t Restarted
+  end
 
 let register_metrics t reg =
   let labels = [ ("supervisor", t.sup_name) ] in

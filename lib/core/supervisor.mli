@@ -63,7 +63,8 @@ type event_kind =
   | Crash_detected of int  (** crash count within the current window *)
   | Restart_scheduled of int  (** chosen backoff delay, µs *)
   | Restarted
-  | Gave_up  (** crash-loop detected; no further restarts *)
+  | Gave_up  (** crash-loop detected; no further restarts until {!revive} *)
+  | Revived  (** give-up verdict and backoff history cleared *)
 
 type event = { at : int  (** sim time, µs *); kind : event_kind }
 
@@ -93,6 +94,16 @@ val notify : t -> unit
 val watch : t -> every_us:int -> rounds:int -> unit
 (** Bounded polling watchdog: {!notify} every [every_us] for [rounds]
     rounds (bounded so {!Netsim.World.run} can drain the event loop). *)
+
+val revive : t -> unit
+(** Reset the supervisor: the give-up verdict, the crash-counting
+    window, and the grown backoff (back to [initial_us]) are all
+    cleared, recording a [Revived] event.  If the daemon is dead it is
+    restarted immediately (recording [Restarted]); a restart that was
+    already pending becomes a no-op.  This is the reintroduction hook
+    for quarantine-style health machines — crash-loop give-up is an
+    operator decision point, not a terminal state.  Safe to call in any
+    state. *)
 
 val name : t -> string
 val state : t -> [ `Watching | `Waiting_restart | `Gave_up ]

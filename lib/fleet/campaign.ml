@@ -1,0 +1,737 @@
+module W = Netsim.World
+module Sim = Netsim.Sim
+module Ip = Netsim.Ip
+module Rng = Memsim.Rng
+module Dnsproxy = Connman.Dnsproxy
+module Version = Connman.Version
+module Supervisor = Core.Supervisor
+module Autogen = Exploit.Autogen
+module Profile = Defense.Profile
+
+let client_port = 5353
+
+type config = {
+  seed : int;
+  devices : int;
+  lans : int;
+  shards : int;
+  batch_us : int;
+  arch : Loader.Arch.t;
+  round_gap_us : int;
+  benign_names : int;
+  attack_start_us : int;
+  forge_exploit : float;
+  forge_dos : float;
+  pinned_per_lan : int;
+  chaos : Netsim.Faults.policy;
+  health : Health.config;
+  escalate_frac : float;
+  rollout_start_us : int;
+  canary : int;
+  wave : int;
+  soak_us : int;
+  wave_gap_us : int;
+  rollback_frac : float;
+  bad_wave : int option;
+  sample_gap_us : int;
+  horizon_us : int;
+}
+
+let default_config =
+  {
+    seed = 42;
+    devices = 1000;
+    lans = 20;
+    shards = 4;
+    batch_us = 100;
+    arch = Loader.Arch.X86;
+    round_gap_us = 5_000_000;
+    benign_names = 48;
+    attack_start_us = 1_000_000;
+    forge_exploit = 0.25;
+    forge_dos = 0.05;
+    pinned_per_lan = 2;
+    chaos = { Netsim.Faults.default with drop = 0.02 };
+    health = Health.default_config;
+    escalate_frac = 0.35;
+    rollout_start_us = 10_000_000;
+    canary = 32;
+    wave = 160;
+    soak_us = 6_000_000;
+    wave_gap_us = 1_000_000;
+    rollback_frac = 0.05;
+    bad_wave = Some 2;
+    sample_gap_us = 5_000_000;
+    horizon_us = 90_000_000;
+  }
+
+let smoke_config =
+  {
+    default_config with
+    devices = 48;
+    lans = 4;
+    shards = 2;
+    round_gap_us = 2_000_000;
+    attack_start_us = 500_000;
+    forge_exploit = 0.3;
+    forge_dos = 0.1;
+    pinned_per_lan = 1;
+    health =
+      { Health.default_config with window_us = 8_000_000;
+        probation_us = 6_000_000 };
+    rollout_start_us = 4_000_000;
+    canary = 8;
+    wave = 40;
+    soak_us = 3_000_000;
+    wave_gap_us = 500_000;
+    bad_wave = Some 1;
+    sample_gap_us = 2_000_000;
+    horizon_us = 40_000_000;
+  }
+
+type wave_outcome = {
+  o_wave : Rollout.wave;
+  o_applied_us : int;
+  o_evaluated_us : int;
+  o_hits : int;
+  o_rolled_back : bool;
+}
+
+type sample = {
+  s_at_us : int;
+  s_compromises : int;
+  s_crashes : int;
+  s_patched : int;
+  s_healthy : int;
+  s_degraded : int;
+  s_quarantined : int;
+  s_reintroduced : int;
+}
+
+type report = {
+  r_config : config;
+  r_waves : wave_outcome list;
+  r_samples : sample list;
+  r_lookups : int;
+  r_answered : int;
+  r_availability : float;
+  r_compromises : int;
+  r_compromised_devices : int;
+  r_crashes : int;
+  r_restarts : int;
+  r_quarantines : int;
+  r_reintroductions : int;
+  r_revivals : int;
+  r_escalations : int;
+  r_rollbacks : int;
+  r_forks : int;
+  r_converged_us : int;
+  r_cache_hits : int;
+  r_cache_misses : int;
+  r_delivered : int;
+  r_dropped : int;
+  r_events : int;
+}
+
+let arch_name = function Loader.Arch.X86 -> "x86" | Loader.Arch.Arm -> "arm"
+
+let validate cfg =
+  let fail fmt = Printf.ksprintf invalid_arg ("Fleet.Campaign.run: " ^^ fmt) in
+  if cfg.devices < 1 then fail "devices must be positive";
+  if cfg.lans < 1 then fail "lans must be positive";
+  if cfg.devices < cfg.lans then fail "need at least one device per LAN";
+  if cfg.devices / cfg.lans > 200 then fail "more than 200 devices per LAN";
+  if cfg.shards < 1 then fail "shards must be positive";
+  if cfg.benign_names < 1 then fail "benign_names must be positive";
+  if cfg.round_gap_us < 1 || cfg.sample_gap_us < 1 then
+    fail "round_gap_us and sample_gap_us must be positive";
+  if cfg.horizon_us < cfg.round_gap_us then
+    fail "horizon shorter than one traffic round";
+  if cfg.forge_exploit < 0.0 || cfg.forge_dos < 0.0
+     || cfg.forge_exploit +. cfg.forge_dos > 1.0
+  then fail "forge probabilities must be non-negative and sum to <= 1";
+  if cfg.pinned_per_lan < 0 then fail "pinned_per_lan must be non-negative";
+  ignore (Netsim.Faults.validate cfg.chaos)
+
+(* One fleet device.  The supervisor watches the *member*, not a daemon
+   instance: [restart] re-forks from the member's current cohort
+   template, so a patch (daemon swap) never invalidates the supervisor
+   and a supervisor restart reimages rather than re-booting the
+   possibly-compromised image. *)
+type member = {
+  idx : int;
+  mhost : W.host;
+  mlan : int;
+  mshard : int;
+  mcell : Hierarchy.cell;
+  mhealth : Health.t;
+  mutable mdaemon : Dnsproxy.t;
+  mutable mtemplate : Dnsproxy.t;
+  mutable mcohort : string;
+  mutable mpatched : bool;
+  mutable mrotation : bool;
+  mutable msup : Supervisor.t option;
+  mutable mhits : int;  (* crash/compromise events since the last patch *)
+  mutable mever_compromised : bool;
+  forks : int ref;  (* campaign-wide CoW spawn counter *)
+}
+
+module Member_daemon = struct
+  type t = member
+
+  let kind = "connmand"
+  let alive m = Dnsproxy.alive m.mdaemon
+
+  let restart m =
+    m.mdaemon <- Dnsproxy.fork m.mtemplate;
+    incr m.forks
+end
+
+type lan_ctx = {
+  l_lan : W.lan;
+  l_shard : int;
+  l_resolver : W.host;
+  l_resolver_ip : Ip.t;
+  l_cache : Dns.Cache.t;
+  mutable l_pinned : Ip.t list;
+}
+
+let run ?metrics cfg =
+  validate cfg;
+  let world = W.create ~seed:cfg.seed ~shards:cfg.shards ~batch:cfg.batch_us () in
+  W.set_default_policy world cfg.chaos;
+  (* Three firmware templates: the vulnerable build, the real fix, and
+     the injected faulty "patch" (a rebuild that still ships the
+     vulnerable parser).  Every device is a CoW fork of one of these. *)
+  let base version seed_off =
+    {
+      Dnsproxy.version;
+      arch = cfg.arch;
+      profile = Profile.wx;
+      boot_seed = cfg.seed + seed_off;
+      diversity_seed = None;
+    }
+  in
+  let vuln_t = Dnsproxy.create (base Version.v1_34 0) in
+  let good_t = Dnsproxy.create (base Version.v1_35 1) in
+  let bad_t = Dnsproxy.create (base Version.v1_34 2) in
+  (* The exploit is planned once against the attacker's analysis copy
+     (their own boot of the same firmware) and replayed fleet-wide. *)
+  let analysis = Dnsproxy.process (Dnsproxy.create (base Version.v1_34 5000)) in
+  let raw_name =
+    match Autogen.generate ~analysis:(Exploit.Target.connman analysis) () with
+    | Ok (_payload, raw) -> raw
+    | Error e -> invalid_arg ("Fleet.Campaign.run: exploit generation: " ^ e)
+  in
+  let forks = ref 0 in
+  let fork_of template =
+    incr forks;
+    Dnsproxy.fork template
+  in
+  let lookups = ref 0 and answered = ref 0 in
+  let compromises = ref 0 and crashes = ref 0 in
+  let win_comp = ref 0 and win_crash = ref 0 in
+  let revivals = ref 0 and rollbacks = ref 0 in
+  let samples = ref [] and waves_out = ref [] in
+  let converged = ref (-1) in
+  let hier = Hierarchy.create ~escalate_frac:cfg.escalate_frac () in
+  let lans =
+    Array.init cfg.lans (fun l ->
+        let shard = l mod cfg.shards in
+        let lan = W.add_lan ~shard world ~name:(Printf.sprintf "lan-%02d" l) in
+        let resolver =
+          W.add_host world ~name:(Printf.sprintf "resolver-%02d" l)
+        in
+        let rip = Ip.of_string (Printf.sprintf "10.%d.0.1" l) in
+        W.set_host_ip resolver (Some rip);
+        W.attach resolver lan;
+        {
+          l_lan = lan;
+          l_shard = shard;
+          l_resolver = resolver;
+          l_resolver_ip = rip;
+          l_cache = Dns.Cache.create ~capacity:256 ~shards:4 ();
+          l_pinned = [];
+        })
+  in
+  let cells =
+    Array.map (fun lc -> Hierarchy.add_cell hier ~name:(W.lan_name lc.l_lan))
+      lans
+  in
+  let members =
+    Array.init cfg.devices (fun i ->
+        let l = i mod cfg.lans in
+        let j = i / cfg.lans in
+        let lc = lans.(l) in
+        let host = W.add_host world ~name:(Printf.sprintf "dev-%04d" i) in
+        W.set_host_ip host (Some (Ip.of_string (Printf.sprintf "10.%d.1.%d" l (10 + j))));
+        W.attach host lc.l_lan;
+        {
+          idx = i;
+          mhost = host;
+          mlan = l;
+          mshard = lc.l_shard;
+          mcell = cells.(l);
+          mhealth = Health.create ~config:cfg.health ();
+          mdaemon = fork_of vuln_t;
+          mtemplate = vuln_t;
+          mcohort = "fleet";
+          mpatched = false;
+          mrotation = true;
+          msup = None;
+          mhits = 0;
+          mever_compromised = false;
+          forks;
+        })
+  in
+  let cell_members = Array.make cfg.lans [] in
+  Array.iter
+    (fun m -> cell_members.(m.mlan) <- m :: cell_members.(m.mlan))
+    members;
+  let plan =
+    Rollout.plan ~devices:cfg.devices ~canary:cfg.canary ~wave:cfg.wave
+      ~bad_wave:cfg.bad_wave
+  in
+  List.iter
+    (fun (w : Rollout.wave) ->
+      for k = w.Rollout.w_first to w.Rollout.w_first + w.Rollout.w_count - 1 do
+        members.(k).mcohort <- w.Rollout.w_label
+      done)
+    plan;
+  let ssim m = W.shard_sim world m.mshard in
+  let now_of m = Sim.now (ssim m) in
+  (* Health side effects: entering quarantine pulls the device out of
+     rotation and arms the probation timer; probation reimages the
+     device from its current template, clears a supervisor give-up via
+     [revive], and puts it back on watch as [Reintroduced]. *)
+  let rec after_health m prev st ~now =
+    if st = Health.Quarantined && prev <> Health.Quarantined then
+      enter_quarantine m;
+    Hierarchy.check hier m.mcell ~now
+  and enter_quarantine m =
+    m.mrotation <- false;
+    Sim.schedule (ssim m) ~delay:cfg.health.Health.probation_us (fun _ ->
+        reintroduce m)
+  and reintroduce m =
+    let now = now_of m in
+    if Health.state m.mhealth = Health.Quarantined then begin
+      let st = Health.observe m.mhealth ~now Health.Probation_over in
+      m.mdaemon <- fork_of m.mtemplate;
+      (match m.msup with
+      | Some sup when Supervisor.gave_up sup ->
+          Supervisor.revive sup;
+          incr revivals
+      | _ -> ());
+      m.mrotation <- true;
+      after_health m Health.Quarantined st ~now
+    end
+  in
+  (* Per-LAN escalation: contain the cell by quarantining every member
+     already degraded.  The hook runs inside [Hierarchy.check], so it
+     must not recurse into [check] for the same cell. *)
+  Array.iteri
+    (fun l cell ->
+      Hierarchy.on_escalate cell (fun () ->
+          List.iter
+            (fun m ->
+              if Health.state m.mhealth = Health.Degraded then begin
+                let now = now_of m in
+                let st = Health.observe m.mhealth ~now Health.Cell_escalated in
+                if st = Health.Quarantined then enter_quarantine m
+              end)
+            cell_members.(l)))
+    cells;
+  Array.iter
+    (fun m ->
+      let on_event (e : Supervisor.event) =
+        match e.Supervisor.kind with
+        | Supervisor.Gave_up ->
+            let now = now_of m in
+            let prev = Health.state m.mhealth in
+            let st = Health.observe m.mhealth ~now Health.Crash_loop in
+            after_health m prev st ~now
+        | _ -> ()
+      in
+      let name = Printf.sprintf "dev-%04d" m.idx in
+      let sup =
+        Supervisor.supervise ~name ~on_event (ssim m) (module Member_daemon) m
+      in
+      m.msup <- Some sup;
+      Hierarchy.attach m.mcell ~name ~sup ~health:m.mhealth)
+    members;
+  Array.iter
+    (fun m ->
+      W.on_udp m.mhost ~port:client_port (fun _ctx dgram ->
+          let d =
+            Dnsproxy.handle_response
+              ~origin:(Ip.to_string dgram.W.src)
+              m.mdaemon dgram.W.payload
+          in
+          let now = now_of m in
+          match d with
+          | Dnsproxy.Cached _ ->
+              incr answered;
+              let prev = Health.state m.mhealth in
+              let st = Health.observe m.mhealth ~now Health.Probe_ok in
+              after_health m prev st ~now
+          | Dnsproxy.Dropped _ -> ()
+          | Dnsproxy.Compromised _ ->
+              incr compromises;
+              incr win_comp;
+              m.mever_compromised <- true;
+              m.mhits <- m.mhits + 1;
+              let prev = Health.state m.mhealth in
+              let st = Health.observe m.mhealth ~now Health.Compromised in
+              Option.iter Supervisor.notify m.msup;
+              after_health m prev st ~now
+          | Dnsproxy.Crashed _ | Dnsproxy.Blocked _ ->
+              incr crashes;
+              incr win_crash;
+              m.mhits <- m.mhits + 1;
+              let prev = Health.state m.mhealth in
+              let st = Health.observe m.mhealth ~now Health.Crashed in
+              Option.iter Supervisor.notify m.msup;
+              after_health m prev st ~now))
+    members;
+  (* Each LAN's resolver: benign answers resolve through the LAN's
+     sharded answer cache; inside the attack window it forges the
+     exploit or a DoS answer instead, and keeps a bounded set of
+     "pinned" victims it re-DoSes on every query (the crash-loop
+     generator).  All randomness comes from the LAN's shard RNG. *)
+  let benign lc query reply ~now =
+    match query.Dns.Packet.questions with
+    | [ q ] when q.Dns.Packet.qtype = Dns.Packet.A ->
+        let name = Dns.Name.to_string q.Dns.Packet.qname in
+        let now_s = now / 1_000_000 in
+        let ip =
+          match Dns.Cache.find lc.l_cache ~now:now_s name with
+          | Dns.Cache.Hit ip -> ip
+          | Dns.Cache.Negative_hit | Dns.Cache.Miss ->
+              let ip = 0x0A_00_00_00 lor (Hashtbl.hash name land 0xFF_FF_FF) in
+              Dns.Cache.insert lc.l_cache ~now:now_s ~name ~ttl:300 ~ipv4:ip;
+              ip
+        in
+        reply
+          (Dns.Packet.encode
+             (Dns.Packet.response ~query
+                [ Dns.Packet.a_record q.Dns.Packet.qname ~ttl:300 ~ipv4:ip ]))
+    | _ -> ()
+  in
+  Array.iter
+    (fun lc ->
+      let sim = W.shard_sim world lc.l_shard in
+      let rng = Sim.rng sim in
+      W.on_udp lc.l_resolver ~port:53 (fun _ctx dgram ->
+          match Dns.Packet.decode dgram.W.payload with
+          | Error _ -> ()
+          | Ok query ->
+              let reply payload =
+                W.send world ~from:lc.l_resolver ~sport:53 ~dst:dgram.W.src
+                  ~dport:dgram.W.sport payload
+              in
+              let now = Sim.now sim in
+              let in_attack = now >= cfg.attack_start_us in
+              let dos () =
+                Dns.Craft.hostile_response ~query
+                  ~raw_name:(Dns.Craft.dos_name ~size:8192) ()
+              in
+              if in_attack && List.mem dgram.W.src lc.l_pinned then reply (dos ())
+              else
+                let draw = if in_attack then Rng.float rng else 1.0 in
+                if in_attack && draw < cfg.forge_exploit then
+                  reply (Autogen.response_for ~query ~raw_name)
+                else if
+                  in_attack
+                  && draw < cfg.forge_exploit +. cfg.forge_dos
+                  && List.length lc.l_pinned < cfg.pinned_per_lan
+                then begin
+                  lc.l_pinned <- dgram.W.src :: lc.l_pinned;
+                  reply (dos ())
+                end
+                else benign lc query reply ~now))
+    lans;
+  (* Benign traffic: every device looks up one of its LAN's names each
+     round, phase-shifted per device so the load spreads inside the
+     round. *)
+  let rounds = cfg.horizon_us / cfg.round_gap_us in
+  Array.iter
+    (fun m ->
+      let offset = 50_000 + (m.idx * 7919 mod (max 1 (cfg.round_gap_us / 2))) in
+      for r = 0 to rounds - 1 do
+        Sim.schedule (ssim m)
+          ~delay:((r * cfg.round_gap_us) + offset)
+          (fun _ ->
+            if m.mrotation && Dnsproxy.alive m.mdaemon then begin
+              incr lookups;
+              let k = (m.idx + (r * 31)) mod cfg.benign_names in
+              let qname =
+                Dns.Name.of_string
+                  (Printf.sprintf "host-%02d.lan-%02d.fleet" k m.mlan)
+              in
+              let q = Dnsproxy.make_query m.mdaemon qname in
+              W.send world ~from:m.mhost ~sport:client_port
+                ~dst:lans.(m.mlan).l_resolver_ip ~dport:53
+                (Dns.Packet.encode q)
+            end)
+      done)
+    members;
+  (* Staged rollout: apply a wave, soak, gate, advance or roll back (a
+     rolled-back wave reverts to the vulnerable image and is retried
+     with the good patch). *)
+  let sim0 = W.sim world in
+  let apply_wave (w : Rollout.wave) template =
+    for k = w.Rollout.w_first to w.Rollout.w_first + w.Rollout.w_count - 1 do
+      let m = members.(k) in
+      m.mtemplate <- template;
+      m.mpatched <- template == good_t;
+      m.mdaemon <- fork_of template;
+      m.mhits <- 0
+    done
+  in
+  let all_patched () = Array.for_all (fun m -> m.mpatched) members in
+  let rec start_wave = function
+    | [] -> ()
+    | (w : Rollout.wave) :: rest ->
+        let applied = Sim.now sim0 in
+        apply_wave w (if w.Rollout.w_bad then bad_t else good_t);
+        Sim.schedule sim0 ~delay:cfg.soak_us (fun _ ->
+            let evaluated = Sim.now sim0 in
+            let hits = ref 0 in
+            for k = w.Rollout.w_first to w.Rollout.w_first + w.Rollout.w_count - 1
+            do
+              if members.(k).mhits > 0 then incr hits
+            done;
+            let rolled =
+              Rollout.decide ~size:w.Rollout.w_count ~hits:!hits
+                ~rollback_frac:cfg.rollback_frac
+              = `Rollback
+            in
+            waves_out :=
+              {
+                o_wave = w;
+                o_applied_us = applied;
+                o_evaluated_us = evaluated;
+                o_hits = !hits;
+                o_rolled_back = rolled;
+              }
+              :: !waves_out;
+            if rolled then begin
+              incr rollbacks;
+              apply_wave w vuln_t;
+              Sim.schedule sim0 ~delay:cfg.wave_gap_us (fun _ ->
+                  start_wave ({ w with Rollout.w_bad = false } :: rest))
+            end
+            else begin
+              if all_patched () && !converged < 0 then converged := evaluated;
+              Sim.schedule sim0 ~delay:cfg.wave_gap_us (fun _ -> start_wave rest)
+            end)
+  in
+  Sim.schedule sim0 ~delay:cfg.rollout_start_us (fun _ -> start_wave plan);
+  (* Fleet time series, sampled on shard 0's clock. *)
+  for s = 1 to cfg.horizon_us / cfg.sample_gap_us do
+    Sim.schedule sim0 ~delay:(s * cfg.sample_gap_us) (fun _ ->
+        let counts = Hierarchy.state_counts hier in
+        let get st = try List.assoc st counts with Not_found -> 0 in
+        samples :=
+          {
+            s_at_us = Sim.now sim0;
+            s_compromises = !win_comp;
+            s_crashes = !win_crash;
+            s_patched =
+              Array.fold_left
+                (fun a m -> if m.mpatched then a + 1 else a)
+                0 members;
+            s_healthy = get Health.Healthy;
+            s_degraded = get Health.Degraded;
+            s_quarantined = get Health.Quarantined;
+            s_reintroduced = get Health.Reintroduced;
+          }
+          :: !samples;
+        win_comp := 0;
+        win_crash := 0)
+  done;
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      W.register_metrics world reg;
+      let count f =
+        float_of_int
+          (Array.fold_left (fun a m -> if f m then a + 1 else a) 0 members)
+      in
+      List.iter
+        (fun (w : Rollout.wave) ->
+          let label = w.Rollout.w_label in
+          let labels = [ ("cohort", label) ] in
+          Telemetry.Metrics.probe reg ~labels ~kind:`Gauge
+            ~help:"devices in the rollout cohort" "fleet_devices" (fun () ->
+              count (fun m -> m.mcohort = label));
+          Telemetry.Metrics.probe reg ~labels ~kind:`Gauge
+            ~help:"cohort devices on the good patch" "fleet_patched" (fun () ->
+              count (fun m -> m.mcohort = label && m.mpatched));
+          Telemetry.Metrics.probe reg ~labels ~kind:`Gauge
+            ~help:"cohort devices ever compromised" "fleet_compromised_devices"
+            (fun () -> count (fun m -> m.mcohort = label && m.mever_compromised)))
+        plan;
+      List.iter
+        (fun st ->
+          Telemetry.Metrics.probe reg
+            ~labels:[ ("state", Health.state_name st) ]
+            ~kind:`Gauge ~help:"devices per health state" "fleet_health_devices"
+            (fun () -> count (fun m -> Health.state m.mhealth = st)))
+        Health.all_states;
+      let c name help f =
+        Telemetry.Metrics.probe reg ~kind:`Counter ~help name (fun () ->
+            float_of_int (f ()))
+      in
+      c "fleet_lookups_total" "benign lookups issued" (fun () -> !lookups);
+      c "fleet_answered_total" "lookups answered (response parsed)" (fun () ->
+          !answered);
+      c "fleet_compromises_total" "compromise events" (fun () -> !compromises);
+      c "fleet_crashes_total" "crash events" (fun () -> !crashes);
+      c "fleet_quarantines_total" "quarantine entries" (fun () ->
+          Array.fold_left (fun a m -> a + Health.quarantines m.mhealth) 0 members);
+      c "fleet_reintroductions_total" "probation completions" (fun () ->
+          Array.fold_left
+            (fun a m -> a + Health.reintroductions m.mhealth)
+            0 members);
+      c "fleet_revivals_total" "supervisor give-ups cleared" (fun () ->
+          !revivals);
+      c "fleet_rollbacks_total" "rollout waves rolled back" (fun () ->
+          !rollbacks);
+      c "fleet_escalations_total" "LAN-supervisor escalations" (fun () ->
+          Hierarchy.escalations hier);
+      c "fleet_forks_total" "CoW daemon spawns" (fun () -> !forks));
+  let events = W.run ~until:cfg.horizon_us world in
+  let wstats = W.stats world in
+  let cache_hits, cache_misses =
+    Array.fold_left
+      (fun (h, ms) lc ->
+        let s = Dns.Cache.stats lc.l_cache in
+        (h + s.Dns.Cache.hits, ms + s.Dns.Cache.misses))
+      (0, 0) lans
+  in
+  {
+    r_config = cfg;
+    r_waves = List.rev !waves_out;
+    r_samples = List.rev !samples;
+    r_lookups = !lookups;
+    r_answered = !answered;
+    r_availability =
+      (if !lookups = 0 then 1.0
+       else float_of_int !answered /. float_of_int !lookups);
+    r_compromises = !compromises;
+    r_compromised_devices =
+      Array.fold_left
+        (fun a m -> if m.mever_compromised then a + 1 else a)
+        0 members;
+    r_crashes = !crashes;
+    r_restarts =
+      Array.fold_left
+        (fun a m ->
+          a + match m.msup with Some s -> Supervisor.restarts s | None -> 0)
+        0 members;
+    r_quarantines =
+      Array.fold_left (fun a m -> a + Health.quarantines m.mhealth) 0 members;
+    r_reintroductions =
+      Array.fold_left
+        (fun a m -> a + Health.reintroductions m.mhealth)
+        0 members;
+    r_revivals = !revivals;
+    r_escalations = Hierarchy.escalations hier;
+    r_rollbacks = !rollbacks;
+    r_forks = !forks;
+    r_converged_us = !converged;
+    r_cache_hits = cache_hits;
+    r_cache_misses = cache_misses;
+    r_delivered = wstats.W.delivered;
+    r_dropped = wstats.W.dropped;
+    r_events = events;
+  }
+
+let ok r =
+  let last_clean =
+    match List.rev r.r_samples with
+    | s :: _ -> s.s_compromises = 0
+    | [] -> false
+  in
+  r.r_converged_us >= 0 && last_clean
+  && r.r_availability > 0.5
+  && (match r.r_config.bad_wave with
+     | Some _ -> r.r_rollbacks >= 1
+     | None -> true)
+
+(* fleet-campaign-v1: hand-rolled for byte determinism — fixed key
+   order, fixed float formatting, no hash iteration anywhere. *)
+let json r =
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.bprintf b fmt in
+  add "{\n";
+  add "  \"schema\": \"fleet-campaign-v1\",\n";
+  add "  \"seed\": %d,\n" r.r_config.seed;
+  add "  \"devices\": %d,\n" r.r_config.devices;
+  add "  \"lans\": %d,\n" r.r_config.lans;
+  add "  \"shards\": %d,\n" r.r_config.shards;
+  add "  \"arch\": \"%s\",\n" (arch_name r.r_config.arch);
+  add "  \"horizon_us\": %d,\n" r.r_config.horizon_us;
+  add "  \"lookups\": %d,\n" r.r_lookups;
+  add "  \"answered\": %d,\n" r.r_answered;
+  add "  \"availability\": %.4f,\n" r.r_availability;
+  add "  \"compromises\": %d,\n" r.r_compromises;
+  add "  \"compromised_devices\": %d,\n" r.r_compromised_devices;
+  add "  \"crashes\": %d,\n" r.r_crashes;
+  add "  \"restarts\": %d,\n" r.r_restarts;
+  add "  \"quarantines\": %d,\n" r.r_quarantines;
+  add "  \"reintroductions\": %d,\n" r.r_reintroductions;
+  add "  \"revivals\": %d,\n" r.r_revivals;
+  add "  \"escalations\": %d,\n" r.r_escalations;
+  add "  \"rollbacks\": %d,\n" r.r_rollbacks;
+  add "  \"forks\": %d,\n" r.r_forks;
+  add "  \"converged_us\": %d,\n" r.r_converged_us;
+  add "  \"ok\": %b,\n" (ok r);
+  add "  \"cache\": { \"hits\": %d, \"misses\": %d },\n" r.r_cache_hits
+    r.r_cache_misses;
+  add "  \"net\": { \"delivered\": %d, \"dropped\": %d, \"events\": %d },\n"
+    r.r_delivered r.r_dropped r.r_events;
+  add "  \"waves\": [\n";
+  List.iteri
+    (fun i o ->
+      let w = o.o_wave in
+      add
+        "    { \"index\": %d, \"label\": \"%s\", \"first\": %d, \"count\": \
+         %d, \"bad\": %b, \"applied_us\": %d, \"evaluated_us\": %d, \
+         \"hits\": %d, \"rolled_back\": %b }%s\n"
+        w.Rollout.w_index w.Rollout.w_label w.Rollout.w_first w.Rollout.w_count
+        w.Rollout.w_bad o.o_applied_us o.o_evaluated_us o.o_hits
+        o.o_rolled_back
+        (if i = List.length r.r_waves - 1 then "" else ","))
+    r.r_waves;
+  add "  ],\n";
+  add "  \"samples\": [\n";
+  List.iteri
+    (fun i s ->
+      add
+        "    { \"at_us\": %d, \"compromises\": %d, \"crashes\": %d, \
+         \"patched\": %d, \"healthy\": %d, \"degraded\": %d, \
+         \"quarantined\": %d, \"reintroduced\": %d }%s\n"
+        s.s_at_us s.s_compromises s.s_crashes s.s_patched s.s_healthy
+        s.s_degraded s.s_quarantined s.s_reintroduced
+        (if i = List.length r.r_samples - 1 then "" else ","))
+    r.r_samples;
+  add "  ]\n";
+  add "}\n";
+  Buffer.contents b
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>fleet campaign: %d devices / %d LANs / %d shards (seed %d)@,\
+     lookups %d, answered %d (availability %.4f)@,\
+     compromises %d (%d devices), crashes %d, restarts %d@,\
+     quarantines %d, reintroductions %d, revivals %d, escalations %d@,\
+     waves %d (%d rolled back), converged at %dus@,\
+     forks %d, cache %d/%d hit/miss, net %d delivered / %d dropped@]"
+    r.r_config.devices r.r_config.lans r.r_config.shards r.r_config.seed
+    r.r_lookups r.r_answered r.r_availability r.r_compromises
+    r.r_compromised_devices r.r_crashes r.r_restarts r.r_quarantines
+    r.r_reintroductions r.r_revivals r.r_escalations
+    (List.length r.r_waves) r.r_rollbacks r.r_converged_us r.r_forks
+    r.r_cache_hits r.r_cache_misses r.r_delivered r.r_dropped

@@ -1,0 +1,128 @@
+(** Fleet-scale resilience campaigns: thousands of simulated Connman
+    devices under mixed benign/attack traffic, chaos, hierarchical
+    supervision, quarantine, and a staged patch rollout.
+
+    One campaign builds a sharded {!Netsim.World} ([lans] LANs spread
+    round-robin over [shards] scheduler shards), boots three daemon
+    {e templates} — the vulnerable firmware, the patched build, and an
+    injected faulty "patch" that still ships the vulnerable parser —
+    and forks every device from its cohort's template via copy-on-write
+    snapshots ({!Connman.Dnsproxy.fork}), so spawning is µs-scale.
+
+    Each LAN's resolver answers benign queries through a sharded
+    {!Dns.Cache}; once the attack window opens it also forges exploit
+    payloads (built once with {!Exploit.Autogen} against an analysis
+    boot) and oversized-name DoS answers, and {e pins} a bounded number
+    of victims per LAN, re-DoSing them on every query — the crash-loop
+    generator.  Devices run a per-device {!Core.Supervisor} plus a
+    {!Health} machine, rolled up per LAN by {!Hierarchy}; quarantined
+    devices leave rotation, are reimaged and reintroduced after
+    probation (crash-loop give-ups via {!Core.Supervisor.revive}).  The
+    {!Rollout} plan patches the fleet canary-first with a regression
+    gate per wave.
+
+    Everything draws from the world's seeded, sharded RNGs: the same
+    [config] replays bit-identically, and {!json} is byte-deterministic
+    ([fleet-campaign-v1]). *)
+
+type config = {
+  seed : int;
+  devices : int;
+  lans : int;  (** devices are assigned round-robin: device i → LAN i mod lans *)
+  shards : int;  (** LAN l → scheduler shard l mod shards *)
+  batch_us : int;  (** cross-shard epoch window *)
+  arch : Loader.Arch.t;
+  round_gap_us : int;  (** per-device benign lookup period *)
+  benign_names : int;  (** benign name population per LAN *)
+  attack_start_us : int;  (** attack window: [attack_start_us, horizon) *)
+  forge_exploit : float;  (** P(forge the exploit payload) per answer *)
+  forge_dos : float;  (** P(DoS + pin the source) per answer *)
+  pinned_per_lan : int;  (** attacker focus: victims re-DoSed every query *)
+  chaos : Netsim.Faults.policy;  (** world-wide impairment policy *)
+  health : Health.config;
+  escalate_frac : float;  (** LAN-supervisor escalation threshold *)
+  rollout_start_us : int;
+  canary : int;  (** canary wave size, devices *)
+  wave : int;  (** subsequent wave size *)
+  soak_us : int;  (** per-wave soak before the regression gate *)
+  wave_gap_us : int;  (** gap between a wave's verdict and the next wave *)
+  rollback_frac : float;  (** gate threshold, see {!Rollout.decide} *)
+  bad_wave : int option;  (** inject the faulty patch into this wave *)
+  sample_gap_us : int;  (** time-series sampling period *)
+  horizon_us : int;
+}
+
+val default_config : config
+(** 1,000 devices / 20 LANs / 4 shards, 90 simulated seconds, faulty
+    patch in wave 2. *)
+
+val smoke_config : config
+(** CI-sized: 48 devices / 4 LANs / 2 shards, canary + one wave (the
+    injected bad patch, so the rollback path is exercised), 40 simulated
+    seconds. *)
+
+type wave_outcome = {
+  o_wave : Rollout.wave;
+  o_applied_us : int;
+  o_evaluated_us : int;
+  o_hits : int;  (** wave members that crashed/compromised during soak *)
+  o_rolled_back : bool;
+}
+
+type sample = {
+  s_at_us : int;
+  s_compromises : int;  (** in the window ending at [s_at_us] *)
+  s_crashes : int;
+  s_patched : int;  (** devices on the good patch *)
+  s_healthy : int;
+  s_degraded : int;
+  s_quarantined : int;
+  s_reintroduced : int;
+}
+
+type report = {
+  r_config : config;
+  r_waves : wave_outcome list;  (** application order; retried waves appear twice *)
+  r_samples : sample list;
+  r_lookups : int;
+  r_answered : int;
+  r_availability : float;  (** answered / lookups over the whole run *)
+  r_compromises : int;  (** compromise events (a device can repeat) *)
+  r_compromised_devices : int;  (** devices ever compromised *)
+  r_crashes : int;
+  r_restarts : int;  (** supervisor-performed restarts *)
+  r_quarantines : int;
+  r_reintroductions : int;
+  r_revivals : int;  (** supervisor give-ups cleared via [revive] *)
+  r_escalations : int;
+  r_rollbacks : int;
+  r_forks : int;  (** CoW daemon spawns, initial population included *)
+  r_converged_us : int;
+      (** when the whole fleet landed on the good patch ([-1] = never) *)
+  r_cache_hits : int;  (** resolver-side sharded cache, all LANs *)
+  r_cache_misses : int;
+  r_delivered : int;  (** world datagrams delivered *)
+  r_dropped : int;
+  r_events : int;  (** scheduler events processed *)
+}
+
+val run : ?metrics:Telemetry.Metrics.t -> config -> report
+(** Execute the campaign.  When [metrics] is given, per-shard
+    [netsim_*] series, per-cohort fleet gauges (label ["cohort"] = wave
+    label), health-census gauges (label ["state"]), and fleet counters
+    are registered before the run, so the registry can be scraped after
+    (or, embedded, during) the campaign.  Raises [Invalid_argument] on
+    inconsistent configs (devices < lans, non-positive sizes, …). *)
+
+val json : report -> string
+(** Byte-deterministic [fleet-campaign-v1] document (fixed key order,
+    fixed float formatting): same seed ⇒ identical bytes. *)
+
+val ok : report -> bool
+(** The campaign's acceptance predicate: the fleet converged on the
+    good patch, the final sample window saw zero compromises, benign
+    availability stayed above one half, and — when a faulty patch was
+    injected — at least one automatic rollback fired. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable summary. *)

@@ -1,0 +1,30 @@
+type wave = {
+  w_index : int;
+  w_label : string;
+  w_first : int;
+  w_count : int;
+  w_bad : bool;
+}
+
+let plan ~devices ~canary ~wave ~bad_wave =
+  if devices <= 0 then invalid_arg "Rollout.plan: devices must be positive";
+  if canary <= 0 || wave <= 0 then
+    invalid_arg "Rollout.plan: wave sizes must be positive";
+  let bad i = match bad_wave with Some b -> b = i | None -> false in
+  let rec waves i first =
+    if first >= devices then []
+    else
+      let count =
+        min (if i = 0 then canary else wave) (devices - first)
+      in
+      let label = if i = 0 then "canary" else Printf.sprintf "wave-%d" i in
+      { w_index = i; w_label = label; w_first = first; w_count = count;
+        w_bad = bad i }
+      :: waves (i + 1) (first + count)
+  in
+  waves 0 0
+
+let decide ~size ~hits ~rollback_frac =
+  if size > 0 && float_of_int hits /. float_of_int size > rollback_frac then
+    `Rollback
+  else `Advance

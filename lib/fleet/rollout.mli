@@ -1,0 +1,29 @@
+(** Staged patch-rollout planning: canary → waves, with a regression
+    gate per wave.
+
+    Pure planning and arithmetic — the campaign engine owns the clock,
+    applies patches, and counts hits; this module decides {e which}
+    devices belong to each wave and {e whether} a soaked wave advances
+    or rolls back.  Devices are identified by their fleet index
+    [0 .. devices-1]; waves partition that range in order: the canary
+    first, then fixed-size waves until the fleet is covered. *)
+
+type wave = {
+  w_index : int;  (** 0 = canary *)
+  w_label : string;  (** ["canary"], ["wave-1"], … — the cohort label *)
+  w_first : int;  (** first device index in the wave *)
+  w_count : int;
+  w_bad : bool;  (** this wave ships the injected faulty patch *)
+}
+
+val plan : devices:int -> canary:int -> wave:int -> bad_wave:int option -> wave list
+(** Partition [0 .. devices-1] into a canary of [canary] devices
+    followed by waves of [wave].  [bad_wave = Some i] marks wave index
+    [i] as shipping the faulty patch (out-of-range indices mark
+    nothing).  Raises [Invalid_argument] on non-positive sizes. *)
+
+val decide :
+  size:int -> hits:int -> rollback_frac:float -> [ `Advance | `Rollback ]
+(** The regression gate: [hits] wave members saw a crash or compromise
+    during the soak window; roll back when the hit fraction strictly
+    exceeds [rollback_frac]. *)

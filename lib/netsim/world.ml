@@ -208,9 +208,12 @@ let policy_for t ~src ~dst =
 
 (* --- topology ----------------------------------------------------------- *)
 
-let add_lan t ~name =
+let add_lan ?(shard = 0) t ~name =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "World.add_lan: no such shard";
   let lan =
-    { lid = fresh_id t; lname = name; members = []; uplink = None; lshard = 0 }
+    { lid = fresh_id t; lname = name; members = []; uplink = None;
+      lshard = shard }
   in
   t.lans <- lan :: t.lans;
   lan
@@ -224,6 +227,7 @@ let set_lan_shard t lan i =
   lan.lshard <- i
 
 let lan_shard lan = lan.lshard
+let host_shard t h = (shard_of_host t h).sindex
 
 let add_host t ~name =
   let host =
@@ -484,30 +488,49 @@ let run ?until t =
   processed
 
 let register_metrics t reg =
+  (* Single-shard worlds keep the seed exposition byte-for-byte; sharded
+     worlds add one ["shard"]-labelled series per shard after each
+     unlabelled rollup, registered in shard-index order so the
+     registry's (name, registration-seq) exposition order is stable.
+     Probes read the live stats records, so rollup = sum of shards holds
+     at every scrape. *)
+  let sharded = Array.length t.shards > 1 in
   let c name help f =
     Telemetry.Metrics.probe reg ~help ~kind:`Counter name (fun () ->
-        float_of_int (f ()))
+        float_of_int (f (stats t)));
+    if sharded then
+      Array.iter
+        (fun sh ->
+          Telemetry.Metrics.probe reg ~help ~kind:`Counter
+            ~labels:[ ("shard", string_of_int sh.sindex) ] name (fun () ->
+              float_of_int (f sh.sstats)))
+        t.shards
   in
-  (* Read through [stats t] at probe time so sharded worlds expose the
-     merged totals. *)
-  c "netsim_delivered_total" "datagrams delivered to a handler" (fun () ->
-      (stats t).delivered);
-  c "netsim_dropped_total" "datagrams dropped, all causes" (fun () ->
-      (stats t).dropped);
+  c "netsim_delivered_total" "datagrams delivered to a handler" (fun s ->
+      s.delivered);
+  c "netsim_dropped_total" "datagrams dropped, all causes" (fun s -> s.dropped);
   c "netsim_dropped_fault_total" "datagrams dropped by fault injection"
-    (fun () -> (stats t).dropped_fault);
-  c "netsim_dropped_link_total" "datagrams dropped by link loss" (fun () ->
-      (stats t).dropped_link);
+    (fun s -> s.dropped_fault);
+  c "netsim_dropped_link_total" "datagrams dropped by link loss" (fun s ->
+      s.dropped_link);
   c "netsim_no_route_total" "datagrams with no route to the destination"
-    (fun () -> (stats t).no_route);
+    (fun s -> s.no_route);
   c "netsim_no_handler_total" "datagrams with no listener on the port"
-    (fun () -> (stats t).no_handler);
-  c "netsim_corrupted_total" "datagrams corrupted in flight" (fun () ->
-      (stats t).corrupted);
-  c "netsim_duplicated_total" "datagrams duplicated in flight" (fun () ->
-      (stats t).duplicated);
-  c "netsim_reordered_total" "datagrams reordered in flight" (fun () ->
-      (stats t).reordered);
+    (fun s -> s.no_handler);
+  c "netsim_corrupted_total" "datagrams corrupted in flight" (fun s ->
+      s.corrupted);
+  c "netsim_duplicated_total" "datagrams duplicated in flight" (fun s ->
+      s.duplicated);
+  c "netsim_reordered_total" "datagrams reordered in flight" (fun s ->
+      s.reordered);
   Telemetry.Metrics.probe reg ~help:"simulated clock, microseconds"
     ~kind:`Gauge "netsim_sim_now_us" (fun () ->
-      float_of_int (Sim.now t.shards.(0).ssim))
+      float_of_int (Sim.now t.shards.(0).ssim));
+  if sharded then
+    Array.iter
+      (fun sh ->
+        Telemetry.Metrics.probe reg ~help:"simulated clock, microseconds"
+          ~kind:`Gauge
+          ~labels:[ ("shard", string_of_int sh.sindex) ] "netsim_sim_now_us"
+          (fun () -> float_of_int (Sim.now sh.ssim)))
+      t.shards

@@ -81,7 +81,12 @@ val trace : t -> Telemetry.Trace.t option
 
 val register_metrics : t -> Telemetry.Metrics.t -> unit
 (** Register pull-probes over this world's {!stats} counters
-    ([netsim_*_total]) and the sim clock into the registry. *)
+    ([netsim_*_total]) and the sim clock into the registry.  Sharded
+    worlds additionally expose every series once per shard with a
+    ["shard"] label (value = shard index, registered in index order so
+    exposition is deterministic); the unlabelled series stays the merged
+    rollup, equal to the sum over shards.  Single-shard worlds expose
+    exactly the unlabelled seed output. *)
 
 (** {2 Impairment policies} *)
 
@@ -110,7 +115,11 @@ val set_loss : t -> float -> unit
 
 (** {2 Topology} *)
 
-val add_lan : t -> name:string -> lan
+val add_lan : ?shard:int -> t -> name:string -> lan
+(** [shard] (default 0) places the LAN directly on that scheduler shard
+    — the fleet-placement shorthand for [add_lan] + {!set_lan_shard}.
+    Raises [Invalid_argument] on a bad index. *)
+
 val lan_name : lan -> string
 val set_uplink : lan -> lan option -> unit
 (** Datagrams that miss in a LAN are retried in its uplink (transitively). *)
@@ -122,6 +131,10 @@ val set_lan_shard : t -> lan -> int -> unit
     index. *)
 
 val lan_shard : lan -> int
+
+val host_shard : t -> host -> int
+(** The shard index the host's traffic runs on (its LAN's shard, or 0
+    for un-LANed hosts). *)
 
 val partition : t -> lan -> lan -> unit
 (** Sever routing across the (symmetric) LAN pair: unicast resolution

@@ -207,6 +207,57 @@ let test_crash_loop_gives_up () =
   ignore (Sim.run sim);
   check_int "no more restarts" 2 (Sup.restarts s)
 
+let test_revive_after_give_up () =
+  let sim = Sim.create ~seed:5 () in
+  let d = fake () in
+  let policy = { exact_backoff_policy with Sup.burst = 2 } in
+  let sup = ref None in
+  let crash_loop = ref true in
+  let s =
+    (* Re-kill on restart until the loop is "fixed" out of band. *)
+    Sup.supervise ~policy sim
+      ~on_event:(fun e ->
+        match e.Sup.kind with
+        | Sup.Restarted when !crash_loop ->
+            d.Fake_daemon.up <- false;
+            Option.iter Sup.notify !sup
+        | _ -> ())
+      (module Fake_daemon) d
+  in
+  sup := Some s;
+  d.Fake_daemon.up <- false;
+  Sup.notify s;
+  ignore (Sim.run sim);
+  check_bool "crash loop tripped the burst limit" true (Sup.gave_up s);
+  check_bool "daemon left dead" false d.Fake_daemon.up;
+  let restarts_before = Sup.restarts s in
+  (* The underlying fault is repaired (reimage/quarantine): revive
+     restores supervision and restarts the dead daemon immediately. *)
+  crash_loop := false;
+  Sup.revive s;
+  check_bool "watching again" true (Sup.state s = `Watching);
+  check_bool "daemon restarted by revive" true d.Fake_daemon.up;
+  check_int "revive restart counted" (restarts_before + 1) (Sup.restarts s);
+  (match List.rev (Sup.events s) with
+  | { Sup.kind = Sup.Restarted; _ } :: { Sup.kind = Sup.Revived; _ } :: _ -> ()
+  | _ -> Alcotest.fail "expected trailing events [...; Revived; Restarted]");
+  (* Supervision is genuinely live again, and the crash history was
+     cleared: a later crash restarts at the initial backoff delay. *)
+  Sim.schedule sim ~delay:1_000_000 (fun _ ->
+      d.Fake_daemon.up <- false;
+      Sup.notify s);
+  ignore (Sim.run sim);
+  check_bool "restarted after a post-revive crash" true d.Fake_daemon.up;
+  check_bool "still watching" true (Sup.state s = `Watching);
+  let scheduled =
+    List.filter_map
+      (fun (e : Sup.event) ->
+        match e.Sup.kind with Sup.Restart_scheduled d -> Some d | _ -> None)
+      (Sup.events s)
+  in
+  check_int "post-revive backoff restarted at the initial delay" 100_000
+    (List.nth scheduled (List.length scheduled - 1))
+
 let test_watch_is_bounded () =
   let sim = Sim.create ~seed:5 () in
   let d = fake () in
@@ -395,6 +446,8 @@ let () =
             test_jitter_is_seed_deterministic;
           Alcotest.test_case "crash loop gives up" `Quick
             test_crash_loop_gives_up;
+          Alcotest.test_case "revive clears a give-up" `Quick
+            test_revive_after_give_up;
           Alcotest.test_case "bounded watch polling" `Quick
             test_watch_is_bounded;
         ] );
