@@ -1447,11 +1447,174 @@ let run_fleet_json ~smoke ~out () =
           ("devices", float_of_int ccfg.Fleet.Campaign.devices);
         ]
   in
+  (* Flight-recorder cost: the identical campaign bare and with the
+     monitor attached (1s scrape barrier, the built-in rule set, causal
+     journaling), back to back.  The event count is the same both ways —
+     the barrier only segments the run loop — so the overhead ratio is
+     pure scrape + journal cost, the tentpole's <=5%% budget. *)
+  let bench_monitored () =
+    let shards = if smoke then 2 else 4 in
+    let ccfg =
+      if smoke then { Fleet.Campaign.smoke_config with Fleet.Campaign.shards }
+      else
+        {
+          Fleet.Campaign.default_config with
+          Fleet.Campaign.devices = 240;
+          lans = 8;
+          shards;
+        }
+    in
+    let run_once ~monitored =
+      let t0 = Sys.time () in
+      let report =
+        if monitored then begin
+          let mon = Telemetry.Monitor.create (Telemetry.Metrics.create ()) in
+          (match
+             Telemetry.Monitor.add_rules mon Fleet.Campaign.default_rules
+           with
+          | Ok _ -> ()
+          | Error e -> failwith ("fleet bench: bad built-in rules: " ^ e));
+          Fleet.Campaign.run ~monitor:mon ccfg
+        end
+        else Fleet.Campaign.run ccfg
+      in
+      let wall_ns = (Sys.time () -. t0) *. 1e9 in
+      (float_of_int report.Fleet.Campaign.r_events, wall_ns)
+    in
+    let b_events, b_wall = run_once ~monitored:false in
+    let m_events, m_wall = run_once ~monitored:true in
+    let eps events wall = if wall > 0.0 then events *. 1e9 /. wall else 0.0 in
+    let b_eps = eps b_events b_wall and m_eps = eps m_events m_wall in
+    let overhead = if b_eps > 0.0 then b_eps /. m_eps else 0.0 in
+    Format.printf "%-18s %8.0f events in %10s  (%9.0f events/s)@."
+      (Printf.sprintf "campaign-bare-%d" shards)
+      b_events (pretty_nanos b_wall) b_eps;
+    Format.printf
+      "%-18s %8.0f events in %10s  (%9.0f events/s)  monitor overhead %5.2fx@."
+      (Printf.sprintf "campaign-monitor-%d" shards)
+      m_events (pretty_nanos m_wall) m_eps overhead;
+    [
+      bench_row
+        (Printf.sprintf "fleet/campaign-monitored-shards-%d" shards)
+        "events_per_sec" m_eps
+        ~extra:
+          [
+            ("events", m_events);
+            ("wall_ns", m_wall);
+            ("devices", float_of_int ccfg.Fleet.Campaign.devices);
+          ];
+      bench_row "fleet/monitor-overhead" "ratio" overhead
+        ~extra:[ ("bare_events_per_sec", b_eps) ];
+    ]
+  in
   let rows =
     List.concat_map bench_fork Loader.Arch.all
     @ List.map bench_shards [ 1; 2; 4 ]
+    @ bench_monitored ()
   in
   write_bench_json ~suite:"fleet" ~smoke ~out rows
+
+(* ------------------------------------------------------------------ *)
+(* Bench regression gate: compare two bench-suite-v1 files             *)
+(*                                                                     *)
+(*   dune exec bench/main.exe -- regress --base OLD.json \              *)
+(*     --new NEW.json [--tolerance 10]                                 *)
+(*   dune build @bench-regress-smoke              (self-compare check) *)
+(*                                                                     *)
+(* Rows are matched by name; the comparison is direction-aware by       *)
+(* unit (ns_* smaller-better, events_per_sec larger-better, ratios     *)
+(* larger-better except .../overhead rows).  Any row whose regression  *)
+(* exceeds the tolerance fails the run (exit 1).                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [`Smaller]: a smaller value is better (times, overheads). *)
+let regress_direction ~unit_ ~name =
+  match unit_ with
+  | "ns_per_op" | "ns_per_run" -> `Smaller
+  | "events_per_sec" -> `Larger
+  | "ratio" ->
+      if
+        String.length name >= 8
+        && String.sub name (String.length name - 8) 8 = "overhead"
+      then `Smaller
+      else `Larger
+  | _ -> `Larger
+
+let run_regress ~base ~next ~tolerance () =
+  let module J = Telemetry.Json in
+  let load path =
+    let text = In_channel.with_open_bin path In_channel.input_all in
+    match J.parse text with
+    | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+    | Ok v -> v
+  in
+  let rows path v =
+    match
+      ( Option.bind (J.member "schema" v) J.to_string,
+        Option.bind (J.member "results" v) J.to_list )
+    with
+    | Some "bench-suite-v1", Some rs ->
+        List.filter_map
+          (fun r ->
+            match
+              ( Option.bind (J.member "name" r) J.to_string,
+                Option.bind (J.member "unit" r) J.to_string,
+                Option.bind (J.member "value" r) J.to_float )
+            with
+            | Some n, Some u, Some value -> Some (n, (u, value))
+            | _ -> None)
+          rs
+    | Some "bench-suite-v1", None ->
+        failwith (path ^ ": missing \"results\" array")
+    | Some other, _ ->
+        failwith (Printf.sprintf "%s: schema %S is not bench-suite-v1" path other)
+    | None, _ -> failwith (path ^ ": missing \"schema\"")
+  in
+  let base_rows = rows base (load base) in
+  let next_rows = rows next (load next) in
+  Format.printf "=== Bench regression gate (tolerance %.1f%%) ===@.@."
+    tolerance;
+  Format.printf "  base: %s@.  new:  %s@.@." base next;
+  Format.printf "%-40s %6s %14s %14s %9s  %s@." "bench" "unit" "base" "new"
+    "delta" "verdict";
+  Format.printf "%s@." (String.make 96 '-');
+  let regressions = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (name, (unit_, bv)) ->
+      match List.assoc_opt name next_rows with
+      | None -> Format.printf "%-40s %6s : dropped from new run@." name unit_
+      | Some (nunit, _) when nunit <> unit_ ->
+          incr regressions;
+          Format.printf "%-40s : unit changed %s -> %s  REGRESSED@." name
+            unit_ nunit
+      | Some (_, nv) ->
+          incr compared;
+          (* Positive delta = worse, whichever way the unit points. *)
+          let delta_pct =
+            if bv = 0.0 then 0.0
+            else
+              match regress_direction ~unit_ ~name with
+              | `Smaller -> (nv -. bv) /. bv *. 100.0
+              | `Larger -> (bv -. nv) /. bv *. 100.0
+          in
+          let bad = delta_pct > tolerance in
+          if bad then incr regressions;
+          Format.printf "%-40s %6s %14.4f %14.4f %+8.2f%%  %s@." name
+            (match unit_ with
+            | "events_per_sec" -> "ev/s"
+            | "ns_per_op" -> "ns/op"
+            | "ns_per_run" -> "ns/run"
+            | u -> u)
+            bv nv delta_pct
+            (if bad then "REGRESSED" else "ok"))
+    base_rows;
+  List.iter
+    (fun (name, (unit_, _)) ->
+      if not (List.mem_assoc name base_rows) then
+        Format.printf "%-40s %6s : new bench (no baseline)@." name unit_)
+    next_rows;
+  Format.printf "@.%d compared, %d regression(s)@." !compared !regressions;
+  if !regressions > 0 then exit 1
 
 let () =
   let argv = Array.to_list Sys.argv in
@@ -1463,8 +1626,33 @@ let () =
     in
     go argv
   in
+  let flag_value name argv =
+    let rec go = function
+      | f :: v :: _ when f = name -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go argv
+  in
   let smoke = List.mem "--smoke" argv in
-  if List.mem "all" argv then begin
+  if List.mem "regress" argv then begin
+    match (flag_value "--base" argv, flag_value "--new" argv) with
+    | Some base, Some next ->
+        let tolerance =
+          match flag_value "--tolerance" argv with
+          | None -> 10.0
+          | Some t -> (
+              match float_of_string_opt t with
+              | Some t when t >= 0.0 -> t
+              | _ -> failwith ("regress: bad --tolerance " ^ t))
+        in
+        run_regress ~base ~next ~tolerance ()
+    | _ ->
+        prerr_endline
+          "usage: regress --base OLD.json --new NEW.json [--tolerance PCT]";
+        exit 2
+  end
+  else if List.mem "all" argv then begin
     (* Every JSON suite in one run; --out is a directory prefix here. *)
     let dir = out_of "." argv in
     let path name = Filename.concat dir name in

@@ -775,6 +775,172 @@ let fleet_cmd =
       const run $ seed_arg $ devices_arg $ lans_arg $ shards_arg $ smoke_arg
       $ out_arg $ check_arg)
 
+let monitor_cmd =
+  let run seed devices lans shards smoke interval rules_file out check =
+    let base =
+      if smoke then Fleet.Campaign.smoke_config
+      else Fleet.Campaign.default_config
+    in
+    let value v default = match v with Some v -> v | None -> default in
+    let cfg =
+      {
+        base with
+        Fleet.Campaign.seed = value seed base.Fleet.Campaign.seed;
+        devices = value devices base.Fleet.Campaign.devices;
+        lans = value lans base.Fleet.Campaign.lans;
+        shards = value shards base.Fleet.Campaign.shards;
+      }
+    in
+    let reg = Telemetry.Metrics.create () in
+    let mon =
+      match interval with
+      | None -> Telemetry.Monitor.create reg
+      | Some us -> Telemetry.Monitor.create ~interval_us:us reg
+    in
+    let rules_text =
+      match rules_file with
+      | None -> Fleet.Campaign.default_rules
+      | Some path -> In_channel.with_open_bin path In_channel.input_all
+    in
+    match Telemetry.Monitor.add_rules mon rules_text with
+    | Error e ->
+        Format.eprintf "monitor rules: %s@." e;
+        1
+    | Ok nrules ->
+        let report = Fleet.Campaign.run ~monitor:mon cfg in
+        print_string (Telemetry.Monitor.dashboard mon);
+        Format.printf "rules loaded: %d;  campaign: %s@." nrules
+          (if Fleet.Campaign.ok report then "ok" else "NOT ok");
+        let json = Telemetry.Monitor.json mon in
+        (match out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc json;
+            close_out oc;
+            Format.printf "wrote %s@." path);
+        if not check then 0
+        else begin
+          let module M = Telemetry.Monitor in
+          let json_ok =
+            match Telemetry.Json.validate json with
+            | Ok () ->
+                Format.printf "monitor json: well-formed@.";
+                true
+            | Error e ->
+                Format.eprintf "monitor json: INVALID (%s)@." e;
+                false
+          in
+          let incidents = M.incidents mon in
+          let resolved =
+            List.exists (fun i -> i.M.i_resolved_us >= 0) incidents
+          in
+          if not resolved then
+            Format.eprintf
+              "monitor check: no incident both fired and resolved@.";
+          let causal =
+            List.exists
+              (fun i ->
+                match i.M.i_timeline with
+                | [] -> false
+                | first :: _ -> (
+                    first.M.e_kind = "wire_provenance"
+                    &&
+                    match List.rev i.M.i_timeline with
+                    | last :: _ ->
+                        last.M.e_kind = "quarantine"
+                        || last.M.e_kind = "rollback"
+                    | [] -> false))
+              incidents
+          in
+          if not causal then
+            Format.eprintf
+              "monitor check: no incident timeline runs wire provenance -> \
+               containment@.";
+          if json_ok && resolved && causal then begin
+            Format.printf
+              "monitor check: %d incident(s), causal timeline present@."
+              (List.length incidents);
+            0
+          end
+          else 1
+        end
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~doc:"Deterministic run seed (default: the config's).")
+  in
+  let devices_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "devices" ] ~doc:"Fleet size (default: 1000; 48 with --smoke).")
+  in
+  let lans_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "lans" ] ~doc:"LAN count (default: 20; 4 with --smoke).")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some shards_conv) None
+      & info [ "shards" ]
+          ~doc:"Scheduler shard count (default: 4; 2 with --smoke).")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI-sized campaign: 48 devices, 4 LANs, 2 shards.")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "interval" ]
+          ~doc:"Scrape interval in simulated microseconds (default 1000000).")
+  in
+  let rules_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ]
+          ~doc:
+            "Load recording/alert rules from a file (default: the built-in \
+             fleet rule set).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the monitor-v1 flight record to a file.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the exported JSON and require at least one resolved \
+             alert incident whose timeline starts at wire-byte provenance \
+             and ends in quarantine or rollback; exit 1 otherwise.")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Run the fleet campaign under the deterministic flight recorder: \
+          scrape every metric series on the simulated clock, evaluate \
+          recording and alert rules (threshold, for-duration, hysteresis), \
+          correlate firing alerts with the causal event journal into \
+          per-incident timelines, and print a text dashboard.  Same seed, \
+          same bytes — for any shard count.")
+    Term.(
+      const run $ seed_arg $ devices_arg $ lans_arg $ shards_arg $ smoke_arg
+      $ interval_arg $ rules_arg $ out_arg $ check_arg)
+
 let codec_diff_cmd =
   let run seed execs out =
     let report = Fuzz.Differential.run ~seed ~execs () in
@@ -871,6 +1037,7 @@ let () =
             chaos_cmd;
             fuzz_cmd;
             fleet_cmd;
+            monitor_cmd;
             codec_diff_cmd;
             report_cmd;
           ]))

@@ -650,7 +650,7 @@ let run_chaos_cell ?(instrument = fun _ _ _ -> ()) ?(shards = 1) ~seed
    metrics registry over all three.  Returns the row plus a symbolizer
    bound to the daemon's current process, for rendering the profile. *)
 let run_instrumented_cell ?(seed = 1) ?(schedule = "clean") ?(shards = 1)
-    ?trace ?profiler ?metrics ~cell () =
+    ?trace ?profiler ?metrics ?monitor ~cell () =
   match
     ( List.find_opt (fun (id, _, _, _) -> id = cell) chaos_cells,
       List.assoc_opt schedule chaos_schedules )
@@ -677,12 +677,34 @@ let run_instrumented_cell ?(seed = 1) ?(schedule = "clean") ?(shards = 1)
         (match profiler with
         | None -> ()
         | Some _ -> Dnsproxy.set_profiler daemon profiler);
-        match metrics with
-        | None -> ()
-        | Some reg ->
-            W.register_metrics world reg;
+        (* The monitor's registry rides the same probe set; dedupe when
+           the caller passed it as [?metrics] too. *)
+        (* The monitor's registry skips the per-shard netsim breakdown so
+           its series set is shard-count independent (the byte-identity
+           contract); an explicit [?metrics] registry keeps it. *)
+        let regs =
+          let base = match metrics with None -> [] | Some r -> [ (r, true) ] in
+          match monitor with
+          | None -> base
+          | Some m ->
+              let mr = Telemetry.Monitor.registry m in
+              if List.exists (fun (r, _) -> r == mr) base then
+                List.map (fun (r, ps) -> (r, ps && r != mr)) base
+              else base @ [ (mr, false) ]
+        in
+        List.iter
+          (fun (reg, per_shard) ->
+            W.register_metrics ~per_shard world reg;
             Dnsproxy.register_metrics daemon reg;
-            Supervisor.register_metrics sup reg
+            Supervisor.register_metrics sup reg)
+          regs;
+        match monitor with
+        | None -> ()
+        | Some m ->
+            Supervisor.set_monitor sup (Some m);
+            W.set_barrier world
+              ~every_us:(Telemetry.Monitor.interval_us m)
+              (fun now -> Telemetry.Monitor.scrape m ~now)
       in
       let row =
         run_chaos_cell ~instrument ~shards ~seed cell_spec (schedule, policy)

@@ -124,6 +124,7 @@ val run_instrumented_cell :
   ?trace:Telemetry.Trace.t ->
   ?profiler:Telemetry.Profile.t ->
   ?metrics:Telemetry.Metrics.t ->
+  ?monitor:Telemetry.Monitor.t ->
   cell:string ->
   unit ->
   (chaos_row * (int -> string), string) result
@@ -134,7 +135,13 @@ val run_instrumented_cell :
     registry over all of them.  Deterministic: the same seed with the
     same sinks emits the same events in the same order.  Returns the
     chaos row plus a symbolizer over the daemon's current process (for
-    rendering profiles).  [Error] names an unknown cell or schedule. *)
+    rendering profiles).  [Error] names an unknown cell or schedule.
+
+    When [monitor] is given, the same probes also register into its
+    registry (deduped against [?metrics]), the supervisor journals its
+    lifecycle into it, and a world barrier scrapes it every
+    {!Telemetry.Monitor.interval_us} — the single-cell flight-recorder
+    hookup, mirroring the fleet campaign's. *)
 
 val chaos_campaign :
   ?seed:int -> ?smoke:bool -> ?shards:int -> unit -> chaos_report

@@ -83,6 +83,7 @@ type t = {
   mutable crash_times : int list;  (* most recent first, pruned to window *)
   mutable log : event list;  (* most recent first *)
   mutable trace : Telemetry.Trace.t option;
+  mutable monitor : Telemetry.Monitor.t option;
 }
 
 let supervise ?(policy = default_policy) ?name ?(on_event = ignore) sim
@@ -107,6 +108,7 @@ let supervise ?(policy = default_policy) ?name ?(on_event = ignore) sim
     crash_times = [];
     log = [];
     trace = None;
+    monitor = None;
   }
 
 let name t = t.sup_name
@@ -117,6 +119,7 @@ let gave_up t = t.st = `Gave_up
 let events t = List.rev t.log
 
 let set_trace t tr = t.trace <- tr
+let set_monitor t m = t.monitor <- m
 
 let record t kind =
   let e = { at = Sim.now t.sim; kind } in
@@ -135,6 +138,19 @@ let record t kind =
         | Revived -> ("revived", [ ("restarts", Tr.I t.restarts) ])
       in
       Tr.emit tr ~ts:e.at ~cat:"supervisor" ~track:t.sup_name name ~args);
+  (match t.monitor with
+  | None -> ()
+  | Some m ->
+      let kname, detail =
+        match kind with
+        | Crash_detected n -> ("crash_detected", Printf.sprintf "%d in window" n)
+        | Restart_scheduled d -> ("restart_scheduled", Printf.sprintf "delay=%dus" d)
+        | Restarted -> ("restarted", Printf.sprintf "restarts=%d" t.restarts)
+        | Gave_up -> ("gave_up", Printf.sprintf "crashes=%d" t.crashes)
+        | Revived -> ("revived", "")
+      in
+      Telemetry.Monitor.journal m ~ts:e.at ~source:"supervisor" ~actor:t.sup_name
+        ~detail kname);
   t.on_event e
 
 let jittered_delay t =

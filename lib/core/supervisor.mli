@@ -120,6 +120,12 @@ val set_trace : t -> Telemetry.Trace.t option -> unit
     ["supervisor"]-category trace event on a track named after this
     supervisor, stamped with sim time. *)
 
+val set_monitor : t -> Telemetry.Monitor.t option -> unit
+(** Attach a flight recorder: every supervision event is journaled
+    (source ["supervisor"], actor = this supervisor's name) so incident
+    timelines can show restarts and give-ups between detection and
+    quarantine. *)
+
 val register_metrics : t -> Telemetry.Metrics.t -> unit
 (** Register [supervisor_*] probes (restarts, crashes, gave-up state),
     labelled with this supervisor's name. *)

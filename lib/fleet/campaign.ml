@@ -24,6 +24,7 @@ type config = {
   forge_dos : float;
   pinned_per_lan : int;
   chaos : Netsim.Faults.policy;
+  sup_policy : Supervisor.policy;
   health : Health.config;
   escalate_frac : float;
   rollout_start_us : int;
@@ -52,6 +53,7 @@ let default_config =
     forge_dos = 0.05;
     pinned_per_lan = 2;
     chaos = { Netsim.Faults.default with drop = 0.02 };
+    sup_policy = Supervisor.default_policy;
     health = Health.default_config;
     escalate_frac = 0.35;
     rollout_start_us = 10_000_000;
@@ -88,6 +90,25 @@ let smoke_config =
     sample_gap_us = 2_000_000;
     horizon_us = 40_000_000;
   }
+
+(* Default flight-recorder rules for a fleet campaign: a couple of
+   recorded trajectories (compromised fraction, compromise/crash rates,
+   windowed availability) and the alerts the acceptance story needs —
+   the compromise wave must fire while the attack spreads and resolve
+   once containment + rollout win.  Thresholds are per-second rates, so
+   they hold across fleet sizes roughly proportionally to device count;
+   they are tuned for the default and smoke configs. *)
+let default_rules =
+  "# recorded trajectories\n\
+   record fleet_compromised_fraction = fleet_compromised_devices / fleet_devices\n\
+   record fleet_compromise_rate = rate(fleet_compromises_total[10s])\n\
+   record fleet_crash_rate = rate(fleet_crashes_total[10s])\n\
+   record fleet_availability = rate(fleet_answered_total[15s]) / rate(fleet_lookups_total[15s])\n\
+   # alerts\n\
+   alert compromise_wave if fleet_compromise_rate > 0.2 for 3s clear 0.02\n\
+   alert compromised_fraction_slo if fleet_compromised_fraction > 0.02 for 5s\n\
+   alert crash_storm if fleet_crash_rate > 2 for 5s clear 0.2\n\
+   alert availability_slo_burn if 1 - fleet_availability > 0.5 for 10s clear 0.2\n"
 
 type wave_outcome = {
   o_wave : Rollout.wave;
@@ -196,7 +217,7 @@ type lan_ctx = {
   mutable l_pinned : Ip.t list;
 }
 
-let run ?metrics cfg =
+let run ?metrics ?monitor cfg =
   validate cfg;
   let world = W.create ~seed:cfg.seed ~shards:cfg.shards ~batch:cfg.batch_us () in
   W.set_default_policy world cfg.chaos;
@@ -227,6 +248,58 @@ let run ?metrics cfg =
   let fork_of template =
     incr forks;
     Dnsproxy.fork template
+  in
+  (* Flight-recorder journal: a no-op closure when no monitor is attached
+     keeps the hot paths branch-cheap. *)
+  let jn =
+    match monitor with
+    | None -> fun ?detail:_ ~ts:_ ~source:_ ~actor:_ _ -> ()
+    | Some mon ->
+        fun ?detail ~ts ~source ~actor kind ->
+          Telemetry.Monitor.journal mon ~ts ~source ~actor ?detail kind
+  in
+  let journaling = monitor <> None in
+  (* Wire-byte provenance: locate the overflow name inside the forged
+     response.  Every forged exploit answer embeds [raw_name] at the same
+     offset (the benign qname length is fixed), so the first search is
+     cached and later hits are a single memcmp at the cached offset. *)
+  let prov_cache = ref (-1) in
+  let rlen = String.length raw_name in
+  let provenance_detail payload =
+    let plen = String.length payload in
+    if plen > 4096 then
+      Printf.sprintf "oversized DoS answer: %d-byte payload (name > 4KiB)" plen
+    else begin
+      let matches_at o =
+        o >= 0
+        && o + rlen <= plen
+        &&
+        let i = ref 0 in
+        while !i < rlen && payload.[o + !i] = raw_name.[!i] do incr i done;
+        !i = rlen
+      in
+      let off =
+        if matches_at !prov_cache then !prov_cache
+        else begin
+          let found = ref (-1) in
+          (try
+             for o = 0 to plen - rlen do
+               if matches_at o then begin
+                 found := o;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          prov_cache := !found;
+          !found
+        end
+      in
+      if off >= 0 then
+        Printf.sprintf
+          "forged answer: %d-byte overflow name at wire[%d..%d] of %d bytes"
+          rlen off (off + rlen - 1) plen
+      else Printf.sprintf "hostile answer: %d-byte payload" plen
+    end
   in
   let lookups = ref 0 and answered = ref 0 in
   let compromises = ref 0 and crashes = ref 0 in
@@ -304,12 +377,24 @@ let run ?metrics cfg =
      rotation and arms the probation timer; probation reimages the
      device from its current template, clears a supervisor give-up via
      [revive], and puts it back on watch as [Reintroduced]. *)
-  let rec after_health m prev st ~now =
+  let rec after_health m prev st ~now ~cause =
+    if st <> prev then begin
+      let dev = W.host_name m.mhost in
+      match st with
+      | Health.Quarantined -> ()  (* journaled in [enter_quarantine] *)
+      | Health.Degraded -> jn ~ts:now ~source:"health" ~actor:dev ~detail:cause "degraded"
+      | Health.Reintroduced ->
+          jn ~ts:now ~source:"health" ~actor:dev ~detail:cause "reintroduced"
+      | Health.Healthy ->
+          jn ~ts:now ~source:"health" ~actor:dev ~detail:cause "recovered"
+    end;
     if st = Health.Quarantined && prev <> Health.Quarantined then
-      enter_quarantine m;
+      enter_quarantine m ~cause;
     Hierarchy.check hier m.mcell ~now
-  and enter_quarantine m =
+  and enter_quarantine m ~cause =
     m.mrotation <- false;
+    jn ~ts:(now_of m) ~source:"health" ~actor:(W.host_name m.mhost) ~detail:cause
+      "quarantine";
     Sim.schedule (ssim m) ~delay:cfg.health.Health.probation_us (fun _ ->
         reintroduce m)
   and reintroduce m =
@@ -323,7 +408,7 @@ let run ?metrics cfg =
           incr revivals
       | _ -> ());
       m.mrotation <- true;
-      after_health m Health.Quarantined st ~now
+      after_health m Health.Quarantined st ~now ~cause:"probation_over"
     end
   in
   (* Per-LAN escalation: contain the cell by quarantining every member
@@ -332,12 +417,18 @@ let run ?metrics cfg =
   Array.iteri
     (fun l cell ->
       Hierarchy.on_escalate cell (fun () ->
+          jn
+            ~ts:(Sim.now (W.shard_sim world lans.(l).l_shard))
+            ~source:"cell"
+            ~actor:(W.lan_name lans.(l).l_lan)
+            "cell_escalated";
           List.iter
             (fun m ->
               if Health.state m.mhealth = Health.Degraded then begin
                 let now = now_of m in
                 let st = Health.observe m.mhealth ~now Health.Cell_escalated in
-                if st = Health.Quarantined then enter_quarantine m
+                if st = Health.Quarantined then
+                  enter_quarantine m ~cause:"cell_escalated"
               end)
             cell_members.(l)))
     cells;
@@ -349,13 +440,15 @@ let run ?metrics cfg =
             let now = now_of m in
             let prev = Health.state m.mhealth in
             let st = Health.observe m.mhealth ~now Health.Crash_loop in
-            after_health m prev st ~now
+            after_health m prev st ~now ~cause:"crash_loop"
         | _ -> ()
       in
       let name = Printf.sprintf "dev-%04d" m.idx in
       let sup =
-        Supervisor.supervise ~name ~on_event (ssim m) (module Member_daemon) m
+        Supervisor.supervise ~policy:cfg.sup_policy ~name ~on_event (ssim m)
+          (module Member_daemon) m
       in
+      Supervisor.set_monitor sup monitor;
       m.msup <- Some sup;
       Hierarchy.attach m.mcell ~name ~sup ~health:m.mhealth)
     members;
@@ -368,30 +461,46 @@ let run ?metrics cfg =
               m.mdaemon dgram.W.payload
           in
           let now = now_of m in
+          let dev = W.host_name m.mhost in
           match d with
           | Dnsproxy.Cached _ ->
               incr answered;
               let prev = Health.state m.mhealth in
               let st = Health.observe m.mhealth ~now Health.Probe_ok in
-              after_health m prev st ~now
+              after_health m prev st ~now ~cause:"probe_ok"
           | Dnsproxy.Dropped _ -> ()
           | Dnsproxy.Compromised _ ->
               incr compromises;
               incr win_comp;
               m.mever_compromised <- true;
               m.mhits <- m.mhits + 1;
+              if journaling then begin
+                jn ~ts:now ~source:"net" ~actor:dev
+                  ~detail:(provenance_detail dgram.W.payload) "wire_provenance";
+                jn ~ts:now ~source:"daemon" ~actor:dev
+                  ~detail:"sanitizer verdict: control-flow hijack" "compromise"
+              end;
               let prev = Health.state m.mhealth in
               let st = Health.observe m.mhealth ~now Health.Compromised in
               Option.iter Supervisor.notify m.msup;
-              after_health m prev st ~now
+              after_health m prev st ~now ~cause:"compromised"
           | Dnsproxy.Crashed _ | Dnsproxy.Blocked _ ->
               incr crashes;
               incr win_crash;
               m.mhits <- m.mhits + 1;
+              if journaling then begin
+                (* Only hostile answers are big enough to crash the
+                   parser; record what the wire carried. *)
+                if String.length dgram.W.payload > 512 then
+                  jn ~ts:now ~source:"net" ~actor:dev
+                    ~detail:(provenance_detail dgram.W.payload) "wire_provenance";
+                jn ~ts:now ~source:"daemon" ~actor:dev ~detail:"parser fault"
+                  "crash"
+              end;
               let prev = Health.state m.mhealth in
               let st = Health.observe m.mhealth ~now Health.Crashed in
               Option.iter Supervisor.notify m.msup;
-              after_health m prev st ~now))
+              after_health m prev st ~now ~cause:"crashed"))
     members;
   (* Each LAN's resolver: benign answers resolve through the LAN's
      sharded answer cache; inside the attack window it forges the
@@ -417,10 +526,15 @@ let run ?metrics cfg =
                 [ Dns.Packet.a_record q.Dns.Packet.qname ~ttl:300 ~ipv4:ip ]))
     | _ -> ()
   in
-  Array.iter
-    (fun lc ->
+  Array.iteri
+    (fun li lc ->
       let sim = W.shard_sim world lc.l_shard in
-      let rng = Sim.rng sim in
+      (* Forge decisions draw from a per-LAN RNG, not the shard RNG: the
+         draw sequence a resolver sees then depends only on its own
+         query arrival order, so moving LANs between shards (changing
+         [shards]) cannot reshuffle who gets exploited — a precondition
+         for cross-shard-count monitor determinism. *)
+      let rng = Rng.create (cfg.seed + (104729 * (li + 1))) in
       W.on_udp lc.l_resolver ~port:53 (fun _ctx dgram ->
           match Dns.Packet.decode dgram.W.payload with
           | Error _ -> ()
@@ -493,6 +607,12 @@ let run ?metrics cfg =
     | [] -> ()
     | (w : Rollout.wave) :: rest ->
         let applied = Sim.now sim0 in
+        jn ~ts:applied ~source:"rollout" ~actor:"rollout"
+          ~detail:
+            (Printf.sprintf "%s: %d devices%s" w.Rollout.w_label
+               w.Rollout.w_count
+               (if w.Rollout.w_bad then " (faulty build)" else ""))
+          "wave_applied";
         apply_wave w (if w.Rollout.w_bad then bad_t else good_t);
         Sim.schedule sim0 ~delay:cfg.soak_us (fun _ ->
             let evaluated = Sim.now sim0 in
@@ -517,12 +637,26 @@ let run ?metrics cfg =
               :: !waves_out;
             if rolled then begin
               incr rollbacks;
+              jn ~ts:evaluated ~source:"rollout" ~actor:"rollout"
+                ~detail:
+                  (Printf.sprintf "%s: %d/%d devices hit" w.Rollout.w_label
+                     !hits w.Rollout.w_count)
+                "rollback";
               apply_wave w vuln_t;
               Sim.schedule sim0 ~delay:cfg.wave_gap_us (fun _ ->
                   start_wave ({ w with Rollout.w_bad = false } :: rest))
             end
             else begin
-              if all_patched () && !converged < 0 then converged := evaluated;
+              jn ~ts:evaluated ~source:"rollout" ~actor:"rollout"
+                ~detail:
+                  (Printf.sprintf "%s: %d/%d devices hit" w.Rollout.w_label
+                     !hits w.Rollout.w_count)
+                "wave_ok";
+              if all_patched () && !converged < 0 then begin
+                converged := evaluated;
+                jn ~ts:evaluated ~source:"fleet" ~actor:"fleet"
+                  "converged"
+              end;
               Sim.schedule sim0 ~delay:cfg.wave_gap_us (fun _ -> start_wave rest)
             end)
   in
@@ -550,10 +684,24 @@ let run ?metrics cfg =
         win_comp := 0;
         win_crash := 0)
   done;
-  (match metrics with
-  | None -> ()
-  | Some reg ->
-      W.register_metrics world reg;
+  (* The fleet series register into the explicit [?metrics] registry and
+     into the monitor's own (deduplicated when they are the same one).
+     The monitor's registry skips the per-shard netsim breakdown: its
+     series set must not depend on the shard count, or the exported
+     flight record could never be byte-identical across placements. *)
+  let regs =
+    let base = match metrics with Some r -> [ (r, true) ] | None -> [] in
+    match monitor with
+    | Some mon ->
+        let mreg = Telemetry.Monitor.registry mon in
+        if List.exists (fun (r, _) -> r == mreg) base then
+          List.map (fun (r, ps) -> (r, ps && r != mreg)) base
+        else base @ [ (mreg, false) ]
+    | None -> base
+  in
+  List.iter
+    (fun (reg, per_shard) ->
+      W.register_metrics ~per_shard world reg;
       let count f =
         float_of_int
           (Array.fold_left (fun a m -> if f m then a + 1 else a) 0 members)
@@ -600,7 +748,16 @@ let run ?metrics cfg =
           !rollbacks);
       c "fleet_escalations_total" "LAN-supervisor escalations" (fun () ->
           Hierarchy.escalations hier);
-      c "fleet_forks_total" "CoW daemon spawns" (fun () -> !forks));
+      c "fleet_forks_total" "CoW daemon spawns" (fun () -> !forks))
+    regs;
+  (* The monitor scrapes at world barriers: every shard is drained
+     through the barrier time before the scrape reads the registry, so
+     the sampled values are shard-count independent. *)
+  (match monitor with
+  | None -> ()
+  | Some mon ->
+      W.set_barrier world ~every_us:(Telemetry.Monitor.interval_us mon)
+        (fun now -> Telemetry.Monitor.scrape mon ~now));
   let events = W.run ~until:cfg.horizon_us world in
   let wstats = W.stats world in
   let cache_hits, cache_misses =

@@ -39,6 +39,11 @@ type config = {
   forge_dos : float;  (** P(DoS + pin the source) per answer *)
   pinned_per_lan : int;  (** attacker focus: victims re-DoSed every query *)
   chaos : Netsim.Faults.policy;  (** world-wide impairment policy *)
+  sup_policy : Core.Supervisor.policy;
+      (** per-device supervision (backoff/burst).  The default keeps
+          {!Core.Supervisor.default_policy}; the cross-shard-count
+          determinism tests zero its jitter, the only per-device shard-RNG
+          consumer left in the campaign. *)
   health : Health.config;
   escalate_frac : float;  (** LAN-supervisor escalation threshold *)
   rollout_start_us : int;
@@ -106,13 +111,28 @@ type report = {
   r_events : int;  (** scheduler events processed *)
 }
 
-val run : ?metrics:Telemetry.Metrics.t -> config -> report
+val default_rules : string
+(** Flight-recorder rules ({!Telemetry.Monitor.add_rules} format) for a
+    fleet campaign: recorded compromise/crash/availability trajectories
+    and the compromise-wave / SLO-burn alerts. *)
+
+val run :
+  ?metrics:Telemetry.Metrics.t -> ?monitor:Telemetry.Monitor.t -> config -> report
 (** Execute the campaign.  When [metrics] is given, per-shard
     [netsim_*] series, per-cohort fleet gauges (label ["cohort"] = wave
     label), health-census gauges (label ["state"]), and fleet counters
     are registered before the run, so the registry can be scraped after
     (or, embedded, during) the campaign.  Raises [Invalid_argument] on
-    inconsistent configs (devices < lans, non-positive sizes, …). *)
+    inconsistent configs (devices < lans, non-positive sizes, …).
+
+    When [monitor] is given, the same series register into its registry,
+    a world barrier scrapes it every {!Telemetry.Monitor.interval_us},
+    and the campaign journals its causal event stream: wire-byte
+    provenance of each hostile answer (overflow-name offset inside the
+    forged response), sanitizer compromise verdicts and parser crashes,
+    health transitions (degraded/quarantine/reintroduced/recovered),
+    cell escalations, rollout waves (applied/ok/rollback), supervisor
+    lifecycles, and fleet convergence. *)
 
 val json : report -> string
 (** Byte-deterministic [fleet-campaign-v1] document (fixed key order,

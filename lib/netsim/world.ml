@@ -36,6 +36,7 @@ type t = {
   lan_policies : (int, Faults.policy) Hashtbl.t;  (* sender's LAN id *)
   mutable severed : (int * int) list;  (* partitioned LAN-id pairs *)
   mutable trace : Telemetry.Trace.t option;
+  mutable barrier : (int * (int -> unit)) option;  (* (every_us, hook) *)
 }
 
 and shard = {
@@ -103,6 +104,7 @@ let create ?(seed = 7) ?(shards = 1) ?(batch = 100) () =
     lan_policies = Hashtbl.create 8;
     severed = [];
     trace = None;
+    barrier = None;
   }
 
 let fresh_id t =
@@ -434,8 +436,7 @@ let flush_inbox t sh =
    the globally earliest pending event, run all shards up to that time
    plus the batch window, repeat.  One shard short-circuits to a plain
    [Sim.run] — bit-identical to the unsharded world. *)
-let run ?until t =
-  let processed =
+let run_span ?until t =
     if Array.length t.shards = 1 then Sim.run ?until t.shards.(0).ssim
     else begin
       let processed = ref 0 in
@@ -478,6 +479,47 @@ let run ?until t =
       | None -> ());
       !processed
     end
+
+let now t =
+  Array.fold_left (fun acc sh -> max acc (Sim.now sh.ssim)) 0 t.shards
+
+let set_barrier t ~every_us hook =
+  if every_us <= 0 then invalid_arg "World.set_barrier: every_us must be positive";
+  t.barrier <- Some (every_us, hook)
+
+let clear_barrier t = t.barrier <- None
+
+let has_pending t =
+  Array.exists (fun sh -> Sim.pending sh.ssim > 0) t.shards
+
+(* With a barrier installed, [run] is an outer loop over barrier times
+   b = k·every_us: every shard is drained through b (inclusive — see
+   [Sim.run]) before the hook observes b.  All events at or before b
+   have executed regardless of shard count, so counter-style state seen
+   by the hook is an order-independent sum — this is what makes a
+   monitor scrape shard-count deterministic.  Without [until], barriers
+   keep firing while any shard still has pending work. *)
+let run ?until t =
+  let processed =
+    match t.barrier with
+    | None -> run_span ?until t
+    | Some (every, hook) ->
+        let processed = ref 0 in
+        let next = ref (((now t / every) + 1) * every) in
+        let continue () =
+          match until with
+          | Some u -> !next <= u
+          | None -> has_pending t
+        in
+        while continue () do
+          processed := !processed + run_span ~until:!next t;
+          hook !next;
+          next := !next + every
+        done;
+        (match until with
+        | Some u -> processed := !processed + run_span ~until:u t
+        | None -> processed := !processed + run_span t);
+        !processed
   in
   (* Feed the telemetry clock at the end of the run too: with the
      clock-lag fix, an early-drained [run ~until] still advances sim
@@ -487,14 +529,17 @@ let run ?until t =
   | Some tr -> Telemetry.Trace.set_now tr (Sim.now t.shards.(0).ssim));
   processed
 
-let register_metrics t reg =
+let register_metrics ?(per_shard = true) t reg =
   (* Single-shard worlds keep the seed exposition byte-for-byte; sharded
      worlds add one ["shard"]-labelled series per shard after each
      unlabelled rollup, registered in shard-index order so the
      registry's (name, registration-seq) exposition order is stable.
      Probes read the live stats records, so rollup = sum of shards holds
-     at every scrape. *)
-  let sharded = Array.length t.shards > 1 in
+     at every scrape.  [~per_shard:false] suppresses the labelled
+     breakdown: the registry then exposes the same series set for any
+     shard count — what the monitor's cross-shard-count byte-identity
+     contract needs. *)
+  let sharded = per_shard && Array.length t.shards > 1 in
   let c name help f =
     Telemetry.Metrics.probe reg ~help ~kind:`Counter name (fun () ->
         float_of_int (f (stats t)));

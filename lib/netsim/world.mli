@@ -79,14 +79,17 @@ val set_trace : t -> Telemetry.Trace.t option -> unit
 
 val trace : t -> Telemetry.Trace.t option
 
-val register_metrics : t -> Telemetry.Metrics.t -> unit
+val register_metrics : ?per_shard:bool -> t -> Telemetry.Metrics.t -> unit
 (** Register pull-probes over this world's {!stats} counters
     ([netsim_*_total]) and the sim clock into the registry.  Sharded
     worlds additionally expose every series once per shard with a
     ["shard"] label (value = shard index, registered in index order so
     exposition is deterministic); the unlabelled series stays the merged
     rollup, equal to the sum over shards.  Single-shard worlds expose
-    exactly the unlabelled seed output. *)
+    exactly the unlabelled seed output.  [~per_shard:false] (default
+    [true]) suppresses the labelled breakdown, making the registered
+    series set independent of the shard count — required for the
+    monitor's cross-shard-count byte-identity contract. *)
 
 (** {2 Impairment policies} *)
 
@@ -172,4 +175,23 @@ val run : ?until:int -> t -> int
 (** Drive the event loop; returns events processed.  Single-shard worlds
     delegate straight to {!Sim.run}.  Sharded worlds run a conservative
     epoch loop: flush cross-shard inboxes, run every shard up to the
-    globally earliest pending event plus the batch window, repeat. *)
+    globally earliest pending event plus the batch window, repeat.
+
+    With a {!set_barrier} hook installed, the run is segmented at
+    barrier times [k * every_us]: every shard is drained through the
+    barrier (inclusive) before the hook observes it. *)
+
+val now : t -> int
+(** Furthest shard clock, µs.  At a barrier, every shard agrees. *)
+
+val set_barrier : t -> every_us:int -> (int -> unit) -> unit
+(** Install a periodic synchronization hook, replacing any earlier one.
+    During {!run}, at every multiple of [every_us] (within the horizon),
+    all shards are first drained of every event at or before the barrier
+    time, then the hook is called with it.  State derived from executed
+    events is therefore order-independent at the hook — the same seeded
+    run observes the same values for any shard count.  This is the
+    monitor's scrape driver.  Without [?until], barriers fire only while
+    events remain pending. *)
+
+val clear_barrier : t -> unit

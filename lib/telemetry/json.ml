@@ -1,6 +1,14 @@
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
 exception Bad of int * string
 
-let validate s =
+let parse s =
   let n = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
@@ -27,28 +35,63 @@ let validate s =
   let is_hex c =
     (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
   in
+  let hex_val c =
+    if c >= '0' && c <= '9' then Char.code c - Char.code '0'
+    else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+    else Char.code c - Char.code 'A' + 10
+  in
   let string_lit () =
     expect '"';
+    let b = Buffer.create 16 in
     let closed = ref false in
     while not !closed do
       match peek () with
       | None -> fail "unterminated string"
-      | Some '"' -> advance (); closed := true
+      | Some '"' ->
+          advance ();
+          closed := true
       | Some '\\' -> (
           advance ();
           match peek () with
-          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some '"' -> advance (); Buffer.add_char b '"'
+          | Some '\\' -> advance (); Buffer.add_char b '\\'
+          | Some '/' -> advance (); Buffer.add_char b '/'
+          | Some 'b' -> advance (); Buffer.add_char b '\b'
+          | Some 'f' -> advance (); Buffer.add_char b '\012'
+          | Some 'n' -> advance (); Buffer.add_char b '\n'
+          | Some 'r' -> advance (); Buffer.add_char b '\r'
+          | Some 't' -> advance (); Buffer.add_char b '\t'
           | Some 'u' ->
               advance ();
+              let code = ref 0 in
               for _ = 1 to 4 do
                 match peek () with
-                | Some c when is_hex c -> advance ()
+                | Some c when is_hex c ->
+                    code := (!code * 16) + hex_val c;
+                    advance ()
                 | _ -> fail "bad \\u escape"
-              done
+              done;
+              (* Keep it byte-simple: BMP code points UTF-8-encoded, no
+                 surrogate-pair recombination — our own writers never emit
+                 non-ASCII escapes. *)
+              let c = !code in
+              if c < 0x80 then Buffer.add_char b (Char.chr c)
+              else if c < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (c lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xE0 lor (c lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
+              end
           | _ -> fail "bad escape")
       | Some c when Char.code c < 0x20 -> fail "control char in string"
-      | Some _ -> advance ()
-    done
+      | Some c ->
+          advance ();
+          Buffer.add_char b c
+    done;
+    Buffer.contents b
   in
   let digits () =
     let start = !pos in
@@ -58,6 +101,7 @@ let validate s =
     if !pos = start then fail "expected digit"
   in
   let number () =
+    let start = !pos in
     if peek () = Some '-' then advance ();
     (match peek () with
     | Some '0' -> advance ()
@@ -69,56 +113,80 @@ let validate s =
         advance ();
         (match peek () with Some ('+' | '-') -> advance () | _ -> ());
         digits ()
-    | _ -> ())
+    | _ -> ());
+    float_of_string (String.sub s start (!pos - start))
   in
   let rec value () =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
-    | Some '"' -> string_lit ()
+    | Some '"' -> Str (string_lit ())
     | Some '{' ->
         advance ();
         skip_ws ();
-        if peek () = Some '}' then advance ()
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
         else begin
-          let rec members () =
+          let rec members acc =
             skip_ws ();
-            string_lit ();
+            let k = string_lit () in
             skip_ws ();
             expect ':';
-            value ();
+            let v = value () in
             skip_ws ();
             match peek () with
-            | Some ',' -> advance (); members ()
-            | Some '}' -> advance ()
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
             | _ -> fail "expected ',' or '}'"
           in
-          members ()
+          Obj (members [])
         end
     | Some '[' ->
         advance ();
         skip_ws ();
-        if peek () = Some ']' then advance ()
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
         else begin
-          let rec elements () =
-            value ();
+          let rec elements acc =
+            let v = value () in
             skip_ws ();
             match peek () with
-            | Some ',' -> advance (); elements ()
-            | Some ']' -> advance ()
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
             | _ -> fail "expected ',' or ']'"
           in
-          elements ()
+          Arr (elements [])
         end
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
-    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"; Bool true
+    | Some 'f' -> literal "false"; Bool false
+    | Some 'n' -> literal "null"; Null
+    | Some ('-' | '0' .. '9') -> Num (number ())
     | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
   in
   try
-    value ();
+    let v = value () in
     skip_ws ();
     if !pos <> n then raise (Bad (!pos, "trailing garbage"));
-    Ok ()
+    Ok v
   with Bad (at, msg) -> Error (Printf.sprintf "offset %d: %s" at msg)
+
+let validate s = Result.map (fun (_ : value) -> ()) (parse s)
+
+(* --- accessors ----------------------------------------------------------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+let to_list = function Arr vs -> Some vs | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+let to_string = function Str s -> Some s | _ -> None

@@ -1,8 +1,26 @@
-(** Minimal JSON well-formedness checker used by the trace smoke tests
-    ("the exported file must parse") without pulling a JSON library into
-    the dependency set.  It validates syntax only — no value is built. *)
+(** Minimal JSON parser used by the trace smoke tests ("the exported
+    file must parse") and the bench regression comparator, without
+    pulling a JSON library into the dependency set. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+val parse : string -> (value, string) result
+(** Parses exactly one JSON value (surrounded by optional whitespace);
+    [Error msg] pinpoints the offending byte offset otherwise.  Numbers
+    become [float]s; object member order is preserved. *)
 
 val validate : string -> (unit, string) result
-(** [Ok ()] iff the whole string is exactly one valid JSON value
-    (surrounded by optional whitespace); [Error msg] pinpoints the
-    offending byte offset otherwise. *)
+(** [parse] with the value discarded — syntax check only. *)
+
+val member : string -> value -> value option
+(** First member with that key of an [Obj]; [None] otherwise. *)
+
+val to_list : value -> value list option
+val to_float : value -> float option
+val to_string : value -> string option

@@ -100,6 +100,62 @@ let probe t ?(help = "") ?(labels = []) ~kind name f =
   let typ = match kind with `Counter -> "counter" | `Gauge -> "gauge" in
   add t ~name ~help ~labels ~typ (fun () -> Value (f ()))
 
+(* --- quantiles ---------------------------------------------------------- *)
+
+(* Shared by [quantile] (live histogram) and [sample_quantile] (a scraped
+   [Hist]): walk the cumulative bucket counts and linearly interpolate the
+   rank inside the first bucket that reaches it.  Observations above the
+   largest finite bound clamp to that bound — the overflow bucket has no
+   upper edge to interpolate toward. *)
+let quantile_of_cumulative cumulative count q =
+  if count = 0 then Float.nan
+  else
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = q *. float_of_int count in
+    let rec walk lo lo_cum = function
+      | [] -> lo (* rank lands in the overflow bucket: clamp to last bound *)
+      | (le, cum) :: rest ->
+          if cum > lo_cum && float_of_int cum >= rank then
+            let span = float_of_int (cum - lo_cum) in
+            let frac = (rank -. float_of_int lo_cum) /. span in
+            lo +. ((le -. lo) *. frac)
+          else walk le cum rest
+    in
+    walk 0.0 0 cumulative
+
+let quantile h q =
+  let acc = ref 0 in
+  let cumulative =
+    Array.to_list
+      (Array.mapi
+         (fun i le ->
+           acc := !acc + h.h_counts.(i);
+           (le, !acc))
+         h.h_bounds)
+  in
+  quantile_of_cumulative cumulative h.h_count q
+
+let sample_quantile s q =
+  match s with
+  | Value _ -> Float.nan
+  | Hist { cumulative; count; _ } -> quantile_of_cumulative cumulative count q
+
+(* --- scrape access ------------------------------------------------------ *)
+
+let samples t =
+  let names = List.sort_uniq compare (List.map (fun s -> s.s_name) t.series) in
+  List.concat_map
+    (fun name ->
+      let group =
+        List.sort
+          (fun a b -> compare a.s_seq b.s_seq)
+          (List.filter (fun s -> s.s_name = name) t.series)
+      in
+      List.map
+        (fun s -> (s.s_name, s.s_labels, s.s_type, s.s_sample ()))
+        group)
+    names
+
 (* --- exposition --------------------------------------------------------- *)
 
 let escape_label v =

@@ -58,6 +58,29 @@ val probe :
   unit
 (** Pull-style series: the closure is called at {!expose} time. *)
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0..1], clamped) by linear
+    interpolation over the bucket bounds, Prometheus
+    [histogram_quantile]-style: the rank [q * count] is located in the
+    cumulative bucket counts and interpolated between the bucket's lower
+    and upper bound (the lowest bucket interpolates from 0).  Ranks that
+    land in the overflow bucket clamp to the largest finite bound.
+    Returns [nan] on an empty histogram. *)
+
+type sample =
+  | Value of float
+  | Hist of { cumulative : (float * int) list; sum : float; count : int }
+      (** [cumulative] pairs each finite upper bound with the cumulative
+          count at-or-below it; [count] includes the overflow bucket. *)
+
+val sample_quantile : sample -> float -> float
+(** {!quantile} over a scraped {!Hist} sample; [nan] for a {!Value}. *)
+
+val samples : t -> (string * (string * string) list * string * sample) list
+(** One [(name, labels, type, sample)] per registered series, sampled
+    now, in exposition order (names alphabetical, registration order
+    within a name).  This is the scrape surface used by [Monitor]. *)
+
 val expose : t -> string
 (** Prometheus text exposition format: [# HELP] / [# TYPE] per metric
     name, then one line per labelled series ([_bucket]/[_sum]/[_count]

@@ -104,9 +104,32 @@ let args_json args =
    order over the retained events, so serialization depends only on the
    event sequence. *)
 let to_chrome_json t =
+  (* An overflowed ring silently lost its head; emit a synthetic marker at
+     the truncation point so a consumer can tell a quiet window from a
+     dropped one.  It rides on its own "ring" track and precedes the
+     retained events both in tid assignment and in the stream. *)
+  let marker =
+    if dropped t > 0 then
+      let ts = if t.len > 0 then t.ring.(t.start).ts else t.clock in
+      [
+        {
+          ts;
+          cat = "trace";
+          track = "ring";
+          name = "dropped_events";
+          dur = 0;
+          args = [ ("dropped", I (dropped t)); ("emitted", I t.total) ];
+        };
+      ]
+    else []
+  in
+  let iter_all f =
+    List.iter f marker;
+    iter t f
+  in
   let tids = Hashtbl.create 8 in
   let order = ref [] in
-  iter t (fun e ->
+  iter_all (fun e ->
       if not (Hashtbl.mem tids e.track) then begin
         Hashtbl.add tids e.track (Hashtbl.length tids + 1);
         order := e.track :: !order
@@ -128,7 +151,7 @@ let to_chrome_json t =
             %d, \"args\": {\"name\": %s}}"
            (Hashtbl.find tids track) (json_string track)))
     (List.rev !order);
-  iter t (fun e ->
+  iter_all (fun e ->
       sep ();
       let tid = Hashtbl.find tids e.track in
       if e.dur > 0 then

@@ -72,7 +72,13 @@ val to_chrome_json : t -> string
     loadable in Perfetto / chrome://tracing.  Tracks become named
     threads of one process; instant events use phase ["i"], events with
     a duration phase ["X"].  Field order and float formatting are fixed:
-    identical traces give identical bytes. *)
+    identical traces give identical bytes.
+
+    If the ring overflowed ({!dropped} > 0), a synthetic
+    [dropped_events] instant event (track ["ring"], cat ["trace"]) is
+    emitted first, stamped at the oldest retained timestamp, with
+    [dropped]/[emitted] args — so a consumer can tell a quiet window
+    from a truncated one. *)
 
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
