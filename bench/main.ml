@@ -1515,6 +1515,113 @@ let run_fleet_json ~smoke ~out () =
   write_bench_json ~suite:"fleet" ~smoke ~out rows
 
 (* ------------------------------------------------------------------ *)
+(* Software-diversity benches: BENCH_diversity.json                    *)
+(*                                                                     *)
+(* The three numbers that make per-boot diversification deployable:    *)
+(* variant generation (seeded layout shuffle + padding + gadget-       *)
+(* breaking rewrites over the whole image), diversified CoW fork       *)
+(* latency vs a plain fork, and the mitigated interpreter's benign-    *)
+(* parse overhead vs the plain hot loop — which must stay at or below *)
+(* the sanitizer's ~1.9x parse budget.                                 *)
+(*                                                                     *)
+(*   dune exec bench/main.exe -- diversity           (full run)        *)
+(*   dune exec bench/main.exe -- diversity --smoke   (few iterations)  *)
+(*   dune build @diversity-bench-smoke               (dune target)     *)
+(* ------------------------------------------------------------------ *)
+
+let run_diversity_json ~smoke ~out () =
+  let cfg =
+    if smoke then
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  Format.printf "=== Software-diversity benches%s ===@.@."
+    (if smoke then " (smoke: few iterations)" else "");
+  let per_arch arch =
+    let aname = Loader.Arch.name arch in
+    (* Variant plan: the whole diversification pipeline (seeded layout
+       shuffle, per-chunk padding, equivalence rewrites) over the
+       Connman image, fresh seed each call. *)
+    let seed = ref 0 in
+    let plan () =
+      incr seed;
+      match arch with
+      | Loader.Arch.X86 ->
+          ignore
+            (Connman.Program_x86.variant_plan ~version:Connman.Version.v1_34
+               ~profile:Profile.wx ~seed:!seed)
+      | Loader.Arch.Arm ->
+          ignore
+            (Connman.Program_arm.variant_plan ~version:Connman.Version.v1_34
+               ~profile:Profile.wx ~seed:!seed)
+    in
+    let plan_ns, plan_r2 =
+      time_fn cfg ("diversity/variant-gen-" ^ aname) plan
+    in
+    (* Diversified spawn: CoW fork + in-place reimage of the variant,
+       against the plain fork the fleet pays today. *)
+    let tpl = Dnsproxy.create (mk_config arch Profile.wx 1) in
+    let fork_ns, fork_r2 =
+      time_fn cfg ("diversity/fork-plain-" ^ aname) (fun () ->
+          ignore (Dnsproxy.fork tpl))
+    in
+    let dseed = ref 0 in
+    let dfork_ns, dfork_r2 =
+      time_fn cfg ("diversity/fork-div-" ^ aname) (fun () ->
+          incr dseed;
+          ignore (Dnsproxy.fork_diversified tpl ~diversity_seed:!dseed))
+    in
+    let fork_overhead = if fork_ns > 0.0 then dfork_ns /. fork_ns else 0.0 in
+    (* Benign parse through the mitigated interpreter entry point
+       (shadow return stack + forward-edge CFI) vs the plain hot loop. *)
+    let parse mitigated =
+      let profile =
+        if mitigated then Profile.with_mitigations Profile.wx else Profile.wx
+      in
+      let d = Dnsproxy.create (mk_config arch profile 9) in
+      fun () -> ignore (Dnsproxy.handle_response d (benign_wire d))
+    in
+    let p_ns, p_r2 =
+      time_fn cfg ("diversity/parse-plain-" ^ aname) (parse false)
+    in
+    let m_ns, m_r2 =
+      time_fn cfg ("diversity/parse-mitigated-" ^ aname) (parse true)
+    in
+    let parse_overhead = if p_ns > 0.0 then m_ns /. p_ns else 0.0 in
+    Format.printf "%-8s variant-gen %12s   fork %12s -> %12s (%4.2fx)@." aname
+      (pretty_nanos plan_ns) (pretty_nanos fork_ns) (pretty_nanos dfork_ns)
+      fork_overhead;
+    Format.printf "%-8s parse %12s -> %12s   mitigated overhead %4.2fx@." ""
+      (pretty_nanos p_ns) (pretty_nanos m_ns) parse_overhead;
+    [
+      bench_row ("diversity/variant-gen-" ^ aname) "ns_per_op" plan_ns
+        ~extra:
+          [
+            ("variants_per_sec", if plan_ns > 0.0 then 1e9 /. plan_ns else 0.0);
+            ("r_square", plan_r2);
+          ];
+      bench_row ("diversity/fork-plain-" ^ aname) "ns_per_op" fork_ns
+        ~extra:[ ("r_square", fork_r2) ];
+      bench_row ("diversity/fork-div-" ^ aname) "ns_per_op" dfork_ns
+        ~extra:
+          [
+            ("devices_per_sec", if dfork_ns > 0.0 then 1e9 /. dfork_ns else 0.0);
+            ("r_square", dfork_r2);
+          ];
+      bench_row ("diversity/fork-" ^ aname ^ "/overhead") "ratio" fork_overhead;
+      bench_row ("diversity/parse-plain-" ^ aname) "ns_per_run" p_ns
+        ~extra:[ ("r_square", p_r2) ];
+      bench_row ("diversity/parse-mitigated-" ^ aname) "ns_per_run" m_ns
+        ~extra:[ ("r_square", m_r2) ];
+      bench_row
+        ("diversity/parse-" ^ aname ^ "/overhead")
+        "ratio" parse_overhead;
+    ]
+  in
+  write_bench_json ~suite:"diversity" ~smoke ~out
+    (List.concat_map per_arch Loader.Arch.all)
+
+(* ------------------------------------------------------------------ *)
 (* Bench regression gate: compare two bench-suite-v1 files             *)
 (*                                                                     *)
 (*   dune exec bench/main.exe -- regress --base OLD.json \              *)
@@ -1662,7 +1769,8 @@ let () =
     run_sanitizer_json ~smoke ~out:(path "BENCH_sanitizer.json") ();
     run_fuzz_json ~smoke ~out:(path "BENCH_fuzz.json") ();
     run_wire_json ~smoke ~out:(path "BENCH_wire.json") ();
-    run_fleet_json ~smoke ~out:(path "BENCH_fleet.json") ()
+    run_fleet_json ~smoke ~out:(path "BENCH_fleet.json") ();
+    run_diversity_json ~smoke ~out:(path "BENCH_diversity.json") ()
   end
   else if List.mem "cache" argv then
     run_cache_json ~smoke ~out:(out_of "BENCH_cache.json" argv) ()
@@ -1678,6 +1786,8 @@ let () =
     run_wire_json ~smoke ~out:(out_of "BENCH_wire.json" argv) ()
   else if List.mem "fleet" argv then
     run_fleet_json ~smoke ~out:(out_of "BENCH_fleet.json" argv) ()
+  else if List.mem "diversity" argv then
+    run_diversity_json ~smoke ~out:(out_of "BENCH_diversity.json" argv) ()
   else begin
     print_experiments ();
     print_parse_costs ();

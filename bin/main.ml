@@ -28,14 +28,46 @@ let arch_conv =
   Arg.conv (parse, Loader.Arch.pp)
 
 let profile_conv =
-  let parse = function
-    | "none" -> Ok Defense.Profile.none
-    | "wx" -> Ok Defense.Profile.wx
-    | "wx+aslr" | "aslr" -> Ok Defense.Profile.wx_aslr
-    | s ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown profile: %s (expected none, wx, wx+aslr, or aslr)" s))
+  (* Compound profile strings: a base (none, wx, wx+aslr) optionally
+     extended with "+"-separated mitigations, e.g. wx+aslr+shstk+fcfi.
+     "aslr" alone keeps its historical meaning of wx+aslr. *)
+  let feature p = function
+    | "aslr" -> Some (Defense.Profile.with_entropy 12 p)
+    | "canary" -> Some (Defense.Profile.with_canary p)
+    | "cfi" -> Some (Defense.Profile.with_cfi p)
+    | "shstk" -> Some (Defense.Profile.with_shadow_stack p)
+    | "fcfi" -> Some (Defense.Profile.with_forward_cfi p)
+    | "mitigated" -> Some (Defense.Profile.with_mitigations p)
+    | "seccomp" -> Some (Defense.Profile.with_seccomp p)
+    | _ -> None
+  in
+  let parse s =
+    let err =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown profile: %s (expected none, wx, or wx+aslr, optionally \
+              extended with +canary, +cfi, +shstk, +fcfi, +mitigated, \
+              +seccomp)"
+             s))
+    in
+    match String.split_on_char '+' s with
+    | [] -> err
+    | base :: features -> (
+        let base =
+          match base with
+          | "none" -> Some Defense.Profile.none
+          | "wx" -> Some Defense.Profile.wx
+          | "aslr" -> Some Defense.Profile.wx_aslr
+          | _ -> None
+        in
+        match
+          List.fold_left
+            (fun acc f -> match acc with None -> None | Some p -> feature p f)
+            base features
+        with
+        | Some p -> Ok p
+        | None -> err)
   in
   Arg.conv (parse, Defense.Profile.pp)
 
@@ -679,6 +711,100 @@ let fuzz_cmd =
       const run $ seed_arg $ smoke_arg $ shards_arg $ execs_arg $ out_arg
       $ check_arg)
 
+let diversity_cmd =
+  let run seed variants arch profile smoke out check =
+    let report () =
+      Core.Experiments.diversity_matrix ~seed ~smoke ?variants ?arch
+        ?base_profile:profile ()
+    in
+    match report () with
+    | exception Invalid_argument e ->
+        Format.eprintf "%s@." e;
+        1
+    | r ->
+        Format.printf "%a@." Core.Experiments.pp_diversity r;
+        let json = Core.Experiments.diversity_json r in
+        (match out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc json;
+            close_out oc;
+            Format.printf "wrote %s@." path);
+        let json_ok =
+          (not check)
+          ||
+          match Telemetry.Json.validate json with
+          | Error e ->
+              Format.eprintf "diversity json: INVALID (%s)@." e;
+              false
+          | Ok () ->
+              (* Replay the whole matrix: determinism means byte-equal. *)
+              if String.equal json (Core.Experiments.diversity_json (report ()))
+              then begin
+                Format.printf "diversity json: well-formed, byte-identical replay@.";
+                true
+              end
+              else begin
+                Format.eprintf "diversity json: replay NOT byte-identical@.";
+                false
+              end
+        in
+        if json_ok && r.Core.Experiments.div_ok then 0 else 1
+  in
+  let variants_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "variants" ]
+          ~doc:"Forked variants per combination (default: 1000; 48 with --smoke).")
+  in
+  let arch_arg =
+    Arg.(
+      value
+      & opt (some arch_conv) None
+      & info [ "arch" ] ~doc:"Restrict to matrix cells of one architecture.")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (some profile_conv) None
+      & info [ "profile" ] ~doc:"Restrict to matrix cells of one base profile.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"CI-sized run: 48 variants per combination.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the survival matrix as JSON to a file.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the exported JSON and replay the matrix to prove \
+             byte-determinism; exit 1 on any mismatch.")
+  in
+  Cmd.v
+    (Cmd.info "diversity"
+       ~doc:
+         "Run the software-diversity survival matrix: fork a population of \
+          seeded layout variants per exploit-matrix cell (and the DoS), \
+          replay the stock-image payload against base, diversified, \
+          shadow-stack/forward-CFI, and combined defenses, and report \
+          per-combination survival probabilities with Wilson intervals plus \
+          gadget-survival statistics (exit 1 when a supposedly-mitigated \
+          combination still lets the payload through, or when diversity \
+          raises survival above the undiversified base).")
+    Term.(
+      const run $ seed_arg $ variants_arg $ arch_arg $ profile_arg $ smoke_arg
+      $ out_arg $ check_arg)
+
 let fleet_cmd =
   let run seed devices lans shards smoke out check =
     let base =
@@ -1036,6 +1162,7 @@ let () =
             cache_stats_cmd;
             chaos_cmd;
             fuzz_cmd;
+            diversity_cmd;
             fleet_cmd;
             monitor_cmd;
             codec_diff_cmd;

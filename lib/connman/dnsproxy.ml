@@ -117,6 +117,42 @@ let fork ?cache_capacity template =
     icache_misses = 0;
   }
 
+(* Diversified spawning: fork copy-on-write from the template, then
+   re-assemble the diversified variant into the already-mapped text
+   region ([Loader.Process.reimage]) — no libc/PLT/stack rebuild, so a
+   whole mixed-diversity cohort costs µs per device.  The clone keeps
+   the template's boot-time randomness (same ASLR draw, same canary):
+   only the code layout differs, which is exactly the variable the
+   survival matrix isolates.  Falls back to a full boot when the
+   variant's text outgrows the mapped region (deterministic per seed
+   either way). *)
+let fork_diversified ?cache_capacity template ~diversity_seed =
+  let config =
+    { template.config with diversity_seed = Some diversity_seed }
+  in
+  let snap = Loader.Process.snapshot template.proc in
+  let forked = Loader.Process.fork template.proc snap in
+  match Loader.Process.reimage forked (build_spec config) with
+  | None -> create ?cache_capacity config
+  | Some proc ->
+      {
+        config;
+        proc;
+        alive = template.alive;
+        restarts = 0;
+        next_id = 0x1000 + (config.boot_seed land 0xFFF);
+        steps = 0;
+        pending = Hashtbl.create 8;
+        view = Dns.Wire.create_view ();
+        cache = Dns.Cache.create ?capacity:cache_capacity ();
+        clock = 0;
+        telemetry = None;
+        profiler = None;
+        sanitizer = None;
+        icache_hits = 0;
+        icache_misses = 0;
+      }
+
 let config t = t.config
 let peek_pending t id = Hashtbl.find_opt t.pending id
 let process t = t.proc

@@ -48,6 +48,18 @@ val fork : ?cache_capacity:int -> t -> t
     cache, no telemetry attached, zero restarts.  [restart] on a clone
     performs a full re-boot from its own config as usual. *)
 
+val fork_diversified :
+  ?cache_capacity:int -> t -> diversity_seed:int -> t
+(** Like {!fork}, then re-assemble the code image as the variant
+    [diversity_seed] selects ({!Loader.Process.reimage} into the
+    already-mapped text region): µs-scale spawning of
+    behaviorally-equivalent devices whose gadget addresses all differ.
+    The clone keeps the template's boot-time randomness (same ASLR
+    draw, same canary) — only the code layout varies — and its config
+    records the diversity seed, so a later {!restart} re-boots the same
+    variant.  Falls back to a full boot when the variant's text does
+    not fit the mapped region; deterministic per seed either way. *)
+
 val config : t -> config
 val process : t -> Loader.Process.t
 (** The booted process image — what an attacker's local [gdb]/[ropper]

@@ -283,21 +283,10 @@ let spec ~version ~profile ?diversity_seed () =
     match diversity_seed with
     | None -> List.concat_map snd chunks
     | Some seed ->
-        (* Compile-time diversity (§IV): shuffle function order and insert
-           random NOP padding, so every code address moves between
-           builds. *)
-        let rng = Memsim.Rng.create (seed lxor 0x5EED) in
-        let arr = Array.of_list chunks in
-        Memsim.Rng.shuffle rng arr;
-        let nop = Encode.encode nop in
-        Array.to_list arr
-        |> List.concat_map (fun (_, items) ->
-               let pad =
-                 String.concat ""
-                   (List.init (Memsim.Rng.int rng 16) (fun _ -> nop))
-               in
-               Asm.Align 4 :: Asm.Bytes pad :: items)
-        |> Defense.Equiv.arm ~seed
+        (* Compile-time diversity (§IV): shuffle function order, insert
+           random NOP padding, and apply equivalent-instruction
+           rewrites, so every code address moves between builds. *)
+        fst (Diversity.Variant.arm ~seed chunks)
   in
   {
     Loader.Process.name = Printf.sprintf "connmand-%s" (Version.to_string version);
@@ -306,3 +295,8 @@ let spec ~version ~profile ?diversity_seed () =
       [ "memcpy"; "execlp"; "exit"; "abort"; "__stack_chk_fail"; "__strcpy_chk" ];
     bss_size = 0x2000;
   }
+
+let variant_plan ~version ~profile ~seed =
+  snd
+    (Diversity.Variant.arm ~seed
+       (rotate_by_version version (chunks ~version ~profile)))

@@ -18,4 +18,12 @@ val spec :
   unit ->
   Loader.Process.spec
 
+val variant_plan :
+  version:Version.t ->
+  profile:Defense.Profile.t ->
+  seed:int ->
+  Diversity.Variant.plan
+(** The diversification stats of the variant [spec ~diversity_seed:seed]
+    builds. *)
+
 val entry : string

@@ -21,5 +21,14 @@ val spec :
   unit ->
   Loader.Process.spec
 
+val variant_plan :
+  version:Version.t ->
+  profile:Defense.Profile.t ->
+  seed:int ->
+  Diversity.Variant.plan
+(** The diversification stats ({!Diversity.Variant.plan}) of the variant
+    [spec ~diversity_seed:seed] builds — same pipeline, same seed, so the
+    plan describes exactly that image. *)
+
 val entry : string
 (** Name of the response-parsing entry point ("parse_response"). *)

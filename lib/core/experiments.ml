@@ -1129,3 +1129,342 @@ let pp_fuzz ppf r =
     (if r.fuzz_ok then
        "PASS: Listing-1 overflow rediscovered on both ISAs"
      else "FAIL: overflow not rediscovered within budget")
+
+(* --- V: diversity survival matrix ---------------------------------------- *)
+
+type variant_stats = {
+  var_seed : int;
+  var_moved : int;
+  var_pad_bytes : int;
+  var_rewrites : int;
+  var_gadgets : int;
+  var_gadget_survival : float;
+      (* fraction of the undiversified image's gadget addresses that are
+         still gadget starts in this variant *)
+}
+
+type div_combo = {
+  combo : string;  (* "base" | "div" | "shstk" | "div+shstk" *)
+  combo_profile : string;
+  combo_diversified : bool;
+  combo_trials : int;
+  combo_successes : int;
+  combo_rate : float;
+  combo_ci_low : float;
+  combo_ci_high : float;
+  combo_mitigations : string list;
+      (* [Autogen.mitigated_by]: defenses expected to stop this cell *)
+  combo_ok : bool;
+  combo_gadgets_baseline : int;
+  combo_gadget_survival_mean : float;
+  combo_moved_mean : float;
+  combo_pad_mean : float;
+  combo_rewrites_mean : float;
+  combo_variant_sample : variant_stats list;  (* first few, for the JSON *)
+}
+
+type div_cell = {
+  div_id : string;  (* "DoS", "E1".."E6" *)
+  div_arch : string;
+  div_base_profile : string;
+  div_combos : div_combo list;
+}
+
+type div_report = {
+  div_seed : int;
+  div_n : int;  (* variants per cell × combo *)
+  div_smoke : bool;
+  div_cells : div_cell list;
+  div_ok : bool;
+}
+
+let variant_sample_size = 4
+
+let gadget_addrs proc =
+  match proc.Loader.Process.arch with
+  | Loader.Arch.X86 ->
+      List.map
+        (fun g -> g.Exploit.Gadget.xaddr)
+        (Exploit.Gadget.scan_x86 proc ~regions:[ ".text" ])
+  | Loader.Arch.Arm ->
+      List.map
+        (fun g -> g.Exploit.Gadget.aaddr)
+        (Exploit.Gadget.scan_arm proc ~regions:[ ".text" ])
+
+(* One cell × one defense combination: fire the same pre-built wire at
+   [n] forks of a template device — copy-on-write clones for the
+   undiversified combos, [fork_diversified] variants (one derived seed
+   per device index) for the diversified ones — and count survivals.
+   Success means the attack achieved its goal: code ran for an exploit
+   cell, the daemon died for DoS.  For diversified combos, each
+   variant's diversification stats (layout moves, padding, Equiv
+   rewrites via the variant plan; gadget count and gadget-address
+   survival via the scanner) feed the per-combination aggregates. *)
+let run_div_combo ~seed ~n ~arch ~kind ~wire_for (combo, profile, diversified) =
+  let template = mk_device ~seed arch profile in
+  let baseline = if diversified then gadget_addrs (Dnsproxy.process template) else [] in
+  let baseline_set = Hashtbl.create 64 in
+  List.iter (fun a -> Hashtbl.replace baseline_set a ()) baseline;
+  let nbase = List.length baseline in
+  let successes = ref 0 in
+  let stats = ref [] in
+  for i = 0 to n - 1 do
+    let d =
+      if diversified then
+        Dnsproxy.fork_diversified template
+          ~diversity_seed:(Diversity.Pool.seed_for ~master:seed i)
+      else Dnsproxy.fork template
+    in
+    let q = Dnsproxy.make_query d lookup in
+    let success =
+      match (Dnsproxy.handle_response d (wire_for q), kind) with
+      | (Dnsproxy.Crashed _ | Dnsproxy.Blocked _), `Dos -> true
+      | Dnsproxy.Compromised _, `Exploit _ -> true
+      | _ -> false
+    in
+    if success then incr successes;
+    if diversified then begin
+      let vseed = Diversity.Pool.seed_for ~master:seed i in
+      let plan =
+        match arch with
+        | Loader.Arch.X86 ->
+            Connman.Program_x86.variant_plan ~version:Version.v1_34 ~profile
+              ~seed:vseed
+        | Loader.Arch.Arm ->
+            Connman.Program_arm.variant_plan ~version:Version.v1_34 ~profile
+              ~seed:vseed
+      in
+      let addrs = gadget_addrs (Dnsproxy.process d) in
+      let surviving =
+        List.length (List.filter (Hashtbl.mem baseline_set) addrs)
+      in
+      stats :=
+        {
+          var_seed = vseed;
+          var_moved = plan.Diversity.Variant.moved;
+          var_pad_bytes = plan.Diversity.Variant.pad_bytes;
+          var_rewrites = plan.Diversity.Variant.rewrites;
+          var_gadgets = List.length addrs;
+          var_gadget_survival =
+            (if nbase = 0 then 0.0
+             else float_of_int surviving /. float_of_int nbase);
+        }
+        :: !stats
+    end
+  done;
+  let stats = List.rev !stats in
+  let meanf f = Stats.mean (List.map f stats) in
+  let mitigations =
+    match kind with
+    | `Dos -> []
+    | `Exploit strategy -> Autogen.mitigated_by profile strategy
+  in
+  let rate = Stats.binomial_rate ~hits:!successes ~trials:n in
+  let lo, hi = Stats.wilson_interval ~hits:!successes ~trials:n () in
+  let combo_ok =
+    match kind with
+    (* The mitigations never block resource-exhaustion DoS: the daemon
+       must die in every combination. *)
+    | `Dos -> !successes = n
+    | `Exploit _ ->
+        if mitigations <> [] then !successes = 0
+        else if not diversified then !successes = n
+        else true (* probabilistic: judged against "base" in the cell *)
+  in
+  {
+    combo;
+    combo_profile = Profile.name profile;
+    combo_diversified = diversified;
+    combo_trials = n;
+    combo_successes = !successes;
+    combo_rate = rate;
+    combo_ci_low = lo;
+    combo_ci_high = hi;
+    combo_mitigations = mitigations;
+    combo_ok;
+    combo_gadgets_baseline = nbase;
+    combo_gadget_survival_mean = meanf (fun s -> s.var_gadget_survival);
+    combo_moved_mean = meanf (fun s -> float_of_int s.var_moved);
+    combo_pad_mean = meanf (fun s -> float_of_int s.var_pad_bytes);
+    combo_rewrites_mean = meanf (fun s -> float_of_int s.var_rewrites);
+    combo_variant_sample =
+      List.filteri (fun i _ -> i < variant_sample_size) stats;
+  }
+
+(* The four defense combinations of the headline experiment: the cell's
+   own profile, plus layout diversity, plus the enforced embedded
+   mitigations (shadow stack + forward-edge CFI), plus both. *)
+let div_combos profile =
+  [
+    ("base", profile, false);
+    ("div", profile, true);
+    ("shstk", Profile.with_mitigations profile, false);
+    ("div+shstk", Profile.with_mitigations profile, true);
+  ]
+
+let diversity_matrix ?(seed = 1) ?(smoke = false) ?variants ?arch ?base_profile
+    () =
+  let n = match variants with Some n -> n | None -> if smoke then 48 else 1000 in
+  if n < 1 then invalid_arg "Experiments.diversity_matrix: variants must be positive";
+  let selected =
+    List.filter
+      (fun (_, a, p, _) ->
+        (match arch with None -> true | Some want -> a = want)
+        &&
+        match base_profile with
+        | None -> true
+        | Some want -> Profile.name p = Profile.name want)
+      chaos_cells
+  in
+  if selected = [] then
+    invalid_arg "Experiments.diversity_matrix: no cell matches the filter";
+  let cells =
+    List.map
+      (fun (id, arch, base_profile, kind) ->
+        (* The payload is built once per cell against an undiversified
+           analysis boot of the base profile — the attacker studied a
+           stock image; the combinations measure how far that one
+           payload carries across the diversified/mitigated fleet. *)
+        let wire_for =
+          match kind with
+          | `Dos -> dos_wire
+          | `Exploit strategy -> (
+              let analysis =
+                Dnsproxy.process
+                  (mk_device ~seed:(seed + 5000) arch base_profile)
+              in
+              match
+                Autogen.generate ~analysis:(Exploit.Target.connman analysis)
+                  ~strategy ()
+              with
+              | Ok (_, raw_name) ->
+                  fun query -> Autogen.response_for ~query ~raw_name
+              | Error e ->
+                  failwith
+                    (Printf.sprintf "diversity_matrix %s: generation failed: %s"
+                       id e))
+        in
+        let combos =
+          List.map
+            (run_div_combo ~seed ~n ~arch ~kind ~wire_for)
+            (div_combos base_profile)
+        in
+        (* Monotonicity judgment for the probabilistic combo: layout
+           diversity may only lower the survival rate below the
+           undiversified base. *)
+        let rate_of name =
+          match List.find_opt (fun c -> c.combo = name) combos with
+          | Some c -> c.combo_rate
+          | None -> 0.0
+        in
+        let combos =
+          List.map
+            (fun c ->
+              if c.combo = "div" then
+                { c with combo_ok = c.combo_ok && c.combo_rate <= rate_of "base" }
+              else c)
+            combos
+        in
+        {
+          div_id = id;
+          div_arch = Loader.Arch.name arch;
+          div_base_profile = Profile.name base_profile;
+          div_combos = combos;
+        })
+      selected
+  in
+  {
+    div_seed = seed;
+    div_n = n;
+    div_smoke = smoke;
+    div_cells = cells;
+    div_ok =
+      List.for_all
+        (fun c -> List.for_all (fun k -> k.combo_ok) c.div_combos)
+        cells;
+  }
+
+(* Deterministic serialization, same contract as [chaos_json]: fixed key
+   order, %.4f floats, so the same seed always yields the same bytes. *)
+let diversity_json r =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\n  \"schema\": \"diversity-matrix-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" r.div_seed);
+  Buffer.add_string b (Printf.sprintf "  \"variants\": %d,\n" r.div_n);
+  Buffer.add_string b (Printf.sprintf "  \"smoke\": %b,\n" r.div_smoke);
+  Buffer.add_string b (Printf.sprintf "  \"ok\": %b,\n  \"cells\": [\n" r.div_ok);
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"cell\": %S, \"arch\": %S, \"base_profile\": %S, \"combos\": [\n"
+           c.div_id c.div_arch c.div_base_profile);
+      List.iteri
+        (fun j k ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "      {\"combo\": %S, \"profile\": %S, \"diversified\": %b, \
+                \"trials\": %d, \"successes\": %d, \"rate\": %.4f, \
+                \"ci_low\": %.4f, \"ci_high\": %.4f, \"mitigations\": [%s], \
+                \"gadgets_baseline\": %d, \"gadget_survival_mean\": %.4f, \
+                \"moved_mean\": %.2f, \"pad_mean\": %.2f, \"rewrites_mean\": \
+                %.2f, \"variants\": ["
+               k.combo k.combo_profile k.combo_diversified k.combo_trials
+               k.combo_successes k.combo_rate k.combo_ci_low k.combo_ci_high
+               (String.concat ", "
+                  (List.map (Printf.sprintf "%S") k.combo_mitigations))
+               k.combo_gadgets_baseline k.combo_gadget_survival_mean
+               k.combo_moved_mean k.combo_pad_mean k.combo_rewrites_mean);
+          List.iteri
+            (fun vi v ->
+              Buffer.add_string b
+                (Printf.sprintf
+                   "%s{\"seed\": %d, \"moved\": %d, \"pad_bytes\": %d, \
+                    \"rewrites\": %d, \"gadgets\": %d, \"gadget_survival\": \
+                    %.4f}"
+                   (if vi = 0 then "" else ", ")
+                   v.var_seed v.var_moved v.var_pad_bytes v.var_rewrites
+                   v.var_gadgets v.var_gadget_survival))
+            k.combo_variant_sample;
+          Buffer.add_string b
+            (Printf.sprintf "], \"ok\": %b}%s\n" k.combo_ok
+               (if j = List.length c.div_combos - 1 then "" else ",")))
+        c.div_combos;
+      Buffer.add_string b
+        (Printf.sprintf "    ]}%s\n"
+           (if i = List.length r.div_cells - 1 then "" else ",")))
+    r.div_cells;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let pp_diversity ppf r =
+  let line = String.make 104 '-' in
+  Format.fprintf ppf
+    "diversity survival matrix (seed %d, %d variants per cell%s)@." r.div_seed
+    r.div_n
+    (if r.div_smoke then ", smoke" else "");
+  Format.fprintf ppf "%s@." line;
+  Format.fprintf ppf "%-5s %-5s %-10s %-10s %-14s %9s %17s %9s %6s@." "cell"
+    "arch" "profile" "combo" "mitigations" "survival" "95% CI" "gadgets" "ok";
+  Format.fprintf ppf "%s@." line;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun k ->
+          Format.fprintf ppf "%-5s %-5s %-10s %-10s %-14s %4d/%-4d %8.4f–%-8.4f %9s %6s@."
+            c.div_id c.div_arch k.combo_profile k.combo
+            (match k.combo_mitigations with
+            | [] -> "-"
+            | l -> String.concat "+" l)
+            k.combo_successes k.combo_trials k.combo_ci_low k.combo_ci_high
+            (if k.combo_diversified then
+               Printf.sprintf "%.0f%%" (100.0 *. k.combo_gadget_survival_mean)
+             else "-")
+            (if k.combo_ok then "PASS" else "FAIL"))
+        c.div_combos)
+    r.div_cells;
+  Format.fprintf ppf "%s@." line;
+  Format.fprintf ppf
+    "%s: gadget%% is the mean fraction of stock-image gadget addresses \
+     surviving diversification@."
+    (if r.div_ok then "PASS" else "FAIL")

@@ -222,3 +222,96 @@ val fuzz_json : fuzz_report -> string
     each run's [fuzz-stats-v1] document verbatim). *)
 
 val pp_fuzz : Format.formatter -> fuzz_report -> unit
+
+(** {2 V: diversity survival matrix}
+
+    The headline diversity experiment: every chaos cell (DoS plus the
+    six-exploit matrix) fired at [n] copy-on-write forks of a template
+    device under four defense combinations — the cell's own profile
+    ("base"), plus per-boot layout diversity ("div",
+    {!Connman.Dnsproxy.fork_diversified} with one {!Diversity.Pool}
+    seed per device), plus the enforced embedded mitigations ("shstk",
+    shadow return stack + forward-edge CFI via the interpreters'
+    [run_mitigated]), plus both ("div+shstk").  Reports survival
+    probability with Wilson confidence intervals per combination, and
+    per-variant diversification stats (layout moves, padding,
+    {!Defense.Equiv} rewrite counts, gadget count and gadget-address
+    survival from the {!Exploit.Gadget} scanner).  All randomness is
+    seed-derived: identical seeds give byte-identical
+    {!diversity_json}. *)
+
+type variant_stats = {
+  var_seed : int;  (** the variant's diversity seed *)
+  var_moved : int;  (** chunks displaced by the layout shuffle *)
+  var_pad_bytes : int;
+  var_rewrites : int;  (** {!Defense.Equiv} substitutions applied *)
+  var_gadgets : int;  (** gadget count in the variant's .text *)
+  var_gadget_survival : float;
+      (** fraction of the stock image's gadget addresses still gadget
+          starts in this variant *)
+}
+
+type div_combo = {
+  combo : string;  (** ["base"], ["div"], ["shstk"], or ["div+shstk"] *)
+  combo_profile : string;
+  combo_diversified : bool;
+  combo_trials : int;
+  combo_successes : int;  (** attacks that achieved their goal *)
+  combo_rate : float;
+  combo_ci_low : float;
+  combo_ci_high : float;  (** 95% Wilson interval around [combo_rate] *)
+  combo_mitigations : string list;
+      (** {!Exploit.Autogen.mitigated_by}: the defenses expected to stop
+          this cell; empty means expected to succeed *)
+  combo_ok : bool;
+      (** observed matches expectation: mitigated combos block every
+          trial, unmitigated undiversified combos succeed every trial,
+          DoS kills the daemon everywhere, and the diversified rate
+          never exceeds the base rate *)
+  combo_gadgets_baseline : int;
+  combo_gadget_survival_mean : float;
+  combo_moved_mean : float;
+  combo_pad_mean : float;
+  combo_rewrites_mean : float;
+  combo_variant_sample : variant_stats list;
+      (** the first few variants, embedded in the JSON *)
+}
+
+type div_cell = {
+  div_id : string;  (** ["DoS"], ["E1"].."E6" *)
+  div_arch : string;
+  div_base_profile : string;
+  div_combos : div_combo list;
+}
+
+type div_report = {
+  div_seed : int;
+  div_n : int;  (** variants per cell × combination *)
+  div_smoke : bool;
+  div_cells : div_cell list;
+  div_ok : bool;
+}
+
+val diversity_matrix :
+  ?seed:int ->
+  ?smoke:bool ->
+  ?variants:int ->
+  ?arch:Loader.Arch.t ->
+  ?base_profile:Defense.Profile.t ->
+  unit ->
+  div_report
+(** [variants] defaults to 1000 (48 under [smoke]).  The payload for
+    each cell is built once against an undiversified analysis boot of
+    the cell's base profile — the attacker studied a stock image — and
+    the combinations measure how far that one payload carries.  [arch]
+    and [base_profile] (matched by {!Defense.Profile.name}) restrict
+    the run to the matching matrix cells.  Raises [Invalid_argument]
+    on a non-positive variant count or an empty cell selection, and
+    [Failure] if payload generation fails for a cell. *)
+
+val diversity_json : div_report -> string
+(** Deterministic serialization ([diversity-matrix-v1] schema): fixed
+    key order, [%.4f] floats — the same seed always yields the same
+    bytes. *)
+
+val pp_diversity : Format.formatter -> div_report -> unit

@@ -4,6 +4,8 @@ type t = {
   aslr_entropy_bits : int;
   canary : bool;
   cfi : bool;
+  shadow_stack : bool;
+  forward_cfi : bool;
   seccomp : bool;
 }
 
@@ -14,6 +16,8 @@ let none =
     aslr_entropy_bits = 0;
     canary = false;
     cfi = false;
+    shadow_stack = false;
+    forward_cfi = false;
     seccomp = false;
   }
 
@@ -21,8 +25,12 @@ let wx = { none with wxorx = true }
 let wx_aslr = { wx with aslr = true; aslr_entropy_bits = 12 }
 let with_canary t = { t with canary = true }
 let with_cfi t = { t with cfi = true }
+let with_shadow_stack t = { t with shadow_stack = true }
+let with_forward_cfi t = { t with forward_cfi = true }
+let with_mitigations t = { t with shadow_stack = true; forward_cfi = true }
 let with_seccomp t = { t with seccomp = true }
 let with_entropy bits t = { t with aslr = bits > 0; aslr_entropy_bits = bits }
+let mitigated t = t.shadow_stack || t.forward_cfi
 
 let name t =
   let parts =
@@ -30,6 +38,8 @@ let name t =
     @ (if t.aslr then [ "aslr" ] else [])
     @ (if t.canary then [ "canary" ] else [])
     @ (if t.cfi then [ "cfi" ] else [])
+    @ (if t.shadow_stack then [ "shstk" ] else [])
+    @ (if t.forward_cfi then [ "fcfi" ] else [])
     @ if t.seccomp then [ "seccomp" ] else []
   in
   match parts with [] -> "none" | l -> String.concat "+" l

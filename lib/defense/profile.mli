@@ -12,6 +12,15 @@ type t = {
   aslr_entropy_bits : int;  (** pages of entropy when [aslr] is on *)
   canary : bool;  (** stack-protector cookie in vulnerable frames *)
   cfi : bool;  (** shadow-stack return-edge CFI (CFI CaRE analogue) *)
+  shadow_stack : bool;
+      (** enforced shadow return stack checked by the [run_mitigated]
+          interpreter entry point — the deeply-embedded mitigation of the
+          DAEDALUS/µRAI line of work, kept out of the plain hot loops *)
+  forward_cfi : bool;
+      (** forward-edge CFI: indirect calls and jumps may only target
+          symbol-table entry points (coarse-grained label checking, the
+          embedded analogue of compiler CFI), also enforced by
+          [run_mitigated] *)
   seccomp : bool;
       (** syscall filter: the daemon may not exec — a shell spawn becomes
           a policy kill (a modern IoT hardening measure, complementary to
@@ -29,8 +38,22 @@ val wx_aslr : t
 
 val with_canary : t -> t
 val with_cfi : t -> t
+
+val with_shadow_stack : t -> t
+(** Enforced shadow return stack ({!t.shadow_stack}). *)
+
+val with_forward_cfi : t -> t
+(** Forward-edge CFI ({!t.forward_cfi}). *)
+
+val with_mitigations : t -> t
+(** Both embedded mitigations: shadow return stack + forward-edge CFI. *)
+
 val with_seccomp : t -> t
 val with_entropy : int -> t -> t
+
+val mitigated : t -> bool
+(** True when either embedded mitigation is on, i.e. the process must run
+    under the [run_mitigated] interpreter entry point. *)
 
 val name : t -> string
 (** Short label, e.g. ["none"], ["wx"], ["wx+aslr"], ["wx+aslr+canary"]. *)

@@ -1,0 +1,10 @@
+(* splitmix-style finalizer: avalanches every master/index bit so
+   neighbouring indices land far apart in seed space, truncated to stay
+   within Rng's accepted range. *)
+let seed_for ~master index =
+  let z = master + ((index + 1) * 0x9E37_79B9) in
+  let z = (z lxor (z lsr 16)) * 0x85EB_CA6B land max_int in
+  let z = (z lxor (z lsr 13)) * 0xC2B2_AE35 land max_int in
+  (z lxor (z lsr 16)) land 0x3FFF_FFFF
+
+let seeds ~master n = List.init n (seed_for ~master)

@@ -17,6 +17,7 @@ type config = {
   shards : int;
   batch_us : int;
   arch : Loader.Arch.t;
+  diversity_frac : float;
   round_gap_us : int;
   benign_names : int;
   attack_start_us : int;
@@ -46,6 +47,7 @@ let default_config =
     shards = 4;
     batch_us = 100;
     arch = Loader.Arch.X86;
+    diversity_frac = 0.0;
     round_gap_us = 5_000_000;
     benign_names = 48;
     attack_start_us = 1_000_000;
@@ -108,7 +110,11 @@ let default_rules =
    alert compromise_wave if fleet_compromise_rate > 0.2 for 3s clear 0.02\n\
    alert compromised_fraction_slo if fleet_compromised_fraction > 0.02 for 5s\n\
    alert crash_storm if fleet_crash_rate > 2 for 5s clear 0.2\n\
-   alert availability_slo_burn if 1 - fleet_availability > 0.5 for 10s clear 0.2\n"
+   alert availability_slo_burn if 1 - fleet_availability > 0.5 for 10s clear 0.2\n\
+   # diversity cohorts (all-zero series when diversity_frac = 0)\n\
+   record fleet_div_compromised_fraction = fleet_diversity_compromised{cohort=\"div\"} / fleet_diversity_devices{cohort=\"div\"}\n\
+   record fleet_stock_compromised_fraction = fleet_diversity_compromised{cohort=\"stock\"} / fleet_diversity_devices{cohort=\"stock\"}\n\
+   alert stock_cohort_compromised if fleet_stock_compromised_fraction > 0.05 for 5s clear 0.01\n"
 
 type wave_outcome = {
   o_wave : Rollout.wave;
@@ -138,6 +144,9 @@ type report = {
   r_availability : float;
   r_compromises : int;
   r_compromised_devices : int;
+  r_diversified : int;
+  r_div_compromised : int;
+  r_stock_compromised : int;
   r_crashes : int;
   r_restarts : int;
   r_quarantines : int;
@@ -172,6 +181,8 @@ let validate cfg =
      || cfg.forge_exploit +. cfg.forge_dos > 1.0
   then fail "forge probabilities must be non-negative and sum to <= 1";
   if cfg.pinned_per_lan < 0 then fail "pinned_per_lan must be non-negative";
+  if cfg.diversity_frac < 0.0 || cfg.diversity_frac > 1.0 then
+    fail "diversity_frac must be in [0, 1]";
   ignore (Netsim.Faults.validate cfg.chaos)
 
 (* One fleet device.  The supervisor watches the *member*, not a daemon
@@ -194,18 +205,31 @@ type member = {
   mutable msup : Supervisor.t option;
   mutable mhits : int;  (* crash/compromise events since the last patch *)
   mutable mever_compromised : bool;
+  mdiversity : int option;  (* per-member variant master seed; None = stock *)
+  mutable mboots : int;  (* daemon spawns, to derive per-boot variant seeds *)
   forks : int ref;  (* campaign-wide CoW spawn counter *)
 }
+
+(* Re-spawn a member's daemon from its current cohort template.
+   Diversified members draw a fresh variant seed on every spawn —
+   initial boot, supervisor restart, probation reimage, patch wave —
+   so whatever layout an attacker learned from a previous boot dies
+   with the crash that revealed it. *)
+let respawn m =
+  incr m.forks;
+  m.mboots <- m.mboots + 1;
+  match m.mdiversity with
+  | None -> Dnsproxy.fork m.mtemplate
+  | Some master ->
+      Dnsproxy.fork_diversified m.mtemplate
+        ~diversity_seed:(Diversity.Pool.seed_for ~master m.mboots)
 
 module Member_daemon = struct
   type t = member
 
   let kind = "connmand"
   let alive m = Dnsproxy.alive m.mdaemon
-
-  let restart m =
-    m.mdaemon <- Dnsproxy.fork m.mtemplate;
-    incr m.forks
+  let restart m = m.mdaemon <- respawn m
 end
 
 type lan_ctx = {
@@ -245,10 +269,13 @@ let run ?metrics ?monitor cfg =
     | Error e -> invalid_arg ("Fleet.Campaign.run: exploit generation: " ^ e)
   in
   let forks = ref 0 in
-  let fork_of template =
-    incr forks;
-    Dnsproxy.fork template
-  in
+  (* Diversity cohort membership: the low product bits of an odd
+     multiplier are a bijection on 16-bit indices, so the diversified
+     set is an exactly-[diversity_frac] spread interleaved across LANs
+     and rollout waves (never a contiguous index range that would alias
+     a wave cohort). *)
+  let div_threshold = int_of_float ((cfg.diversity_frac *. 65536.0) +. 0.5) in
+  let diversified i = (i * 0x9E37_79B9) land 0xFFFF < div_threshold in
   (* Flight-recorder journal: a no-op closure when no monitor is attached
      keeps the hot paths branch-cheap. *)
   let jn =
@@ -339,23 +366,32 @@ let run ?metrics ?monitor cfg =
         let host = W.add_host world ~name:(Printf.sprintf "dev-%04d" i) in
         W.set_host_ip host (Some (Ip.of_string (Printf.sprintf "10.%d.1.%d" l (10 + j))));
         W.attach host lc.l_lan;
-        {
-          idx = i;
-          mhost = host;
-          mlan = l;
-          mshard = lc.l_shard;
-          mcell = cells.(l);
-          mhealth = Health.create ~config:cfg.health ();
-          mdaemon = fork_of vuln_t;
-          mtemplate = vuln_t;
-          mcohort = "fleet";
-          mpatched = false;
-          mrotation = true;
-          msup = None;
-          mhits = 0;
-          mever_compromised = false;
-          forks;
-        })
+        let m =
+          {
+            idx = i;
+            mhost = host;
+            mlan = l;
+            mshard = lc.l_shard;
+            mcell = cells.(l);
+            mhealth = Health.create ~config:cfg.health ();
+            mdaemon = vuln_t;  (* placeholder, replaced by [respawn] below *)
+            mtemplate = vuln_t;
+            mcohort = "fleet";
+            mpatched = false;
+            mrotation = true;
+            msup = None;
+            mhits = 0;
+            mever_compromised = false;
+            mdiversity =
+              (if diversified i then
+                 Some (Diversity.Pool.seed_for ~master:(cfg.seed lxor 0xD1F0) i)
+               else None);
+            mboots = 0;
+            forks;
+          }
+        in
+        m.mdaemon <- respawn m;
+        m)
   in
   let cell_members = Array.make cfg.lans [] in
   Array.iter
@@ -401,7 +437,7 @@ let run ?metrics ?monitor cfg =
     let now = now_of m in
     if Health.state m.mhealth = Health.Quarantined then begin
       let st = Health.observe m.mhealth ~now Health.Probation_over in
-      m.mdaemon <- fork_of m.mtemplate;
+      m.mdaemon <- respawn m;
       (match m.msup with
       | Some sup when Supervisor.gave_up sup ->
           Supervisor.revive sup;
@@ -598,7 +634,7 @@ let run ?metrics ?monitor cfg =
       let m = members.(k) in
       m.mtemplate <- template;
       m.mpatched <- template == good_t;
-      m.mdaemon <- fork_of template;
+      m.mdaemon <- respawn m;
       m.mhits <- 0
     done
   in
@@ -720,6 +756,24 @@ let run ?metrics ?monitor cfg =
             ~help:"cohort devices ever compromised" "fleet_compromised_devices"
             (fun () -> count (fun m -> m.mcohort = label && m.mever_compromised)))
         plan;
+      (* Diversity cohorts ("div" = per-boot variant layouts, "stock" =
+         the template image).  Always registered — all-zero "div" series
+         when diversity_frac = 0 — so the default recording rules and
+         the stock-cohort alert resolve against a stable series set. *)
+      List.iter
+        (fun (label, pred) ->
+          let labels = [ ("cohort", label) ] in
+          Telemetry.Metrics.probe reg ~labels ~kind:`Gauge
+            ~help:"devices in the diversity cohort" "fleet_diversity_devices"
+            (fun () -> count pred);
+          Telemetry.Metrics.probe reg ~labels ~kind:`Gauge
+            ~help:"diversity-cohort devices ever compromised"
+            "fleet_diversity_compromised" (fun () ->
+              count (fun m -> pred m && m.mever_compromised)))
+        [
+          ("div", fun m -> m.mdiversity <> None);
+          ("stock", fun m -> m.mdiversity = None);
+        ];
       List.iter
         (fun st ->
           Telemetry.Metrics.probe reg
@@ -781,6 +835,20 @@ let run ?metrics ?monitor cfg =
       Array.fold_left
         (fun a m -> if m.mever_compromised then a + 1 else a)
         0 members;
+    r_diversified =
+      Array.fold_left
+        (fun a m -> if m.mdiversity <> None then a + 1 else a)
+        0 members;
+    r_div_compromised =
+      Array.fold_left
+        (fun a m ->
+          if m.mdiversity <> None && m.mever_compromised then a + 1 else a)
+        0 members;
+    r_stock_compromised =
+      Array.fold_left
+        (fun a m ->
+          if m.mdiversity = None && m.mever_compromised then a + 1 else a)
+        0 members;
     r_crashes = !crashes;
     r_restarts =
       Array.fold_left
@@ -829,12 +897,16 @@ let json r =
   add "  \"lans\": %d,\n" r.r_config.lans;
   add "  \"shards\": %d,\n" r.r_config.shards;
   add "  \"arch\": \"%s\",\n" (arch_name r.r_config.arch);
+  add "  \"diversity_frac\": %.4f,\n" r.r_config.diversity_frac;
   add "  \"horizon_us\": %d,\n" r.r_config.horizon_us;
   add "  \"lookups\": %d,\n" r.r_lookups;
   add "  \"answered\": %d,\n" r.r_answered;
   add "  \"availability\": %.4f,\n" r.r_availability;
   add "  \"compromises\": %d,\n" r.r_compromises;
   add "  \"compromised_devices\": %d,\n" r.r_compromised_devices;
+  add "  \"diversified_devices\": %d,\n" r.r_diversified;
+  add "  \"div_compromised_devices\": %d,\n" r.r_div_compromised;
+  add "  \"stock_compromised_devices\": %d,\n" r.r_stock_compromised;
   add "  \"crashes\": %d,\n" r.r_crashes;
   add "  \"restarts\": %d,\n" r.r_restarts;
   add "  \"quarantines\": %d,\n" r.r_quarantines;
@@ -882,13 +954,14 @@ let pp ppf r =
   Format.fprintf ppf
     "@[<v>fleet campaign: %d devices / %d LANs / %d shards (seed %d)@,\
      lookups %d, answered %d (availability %.4f)@,\
-     compromises %d (%d devices), crashes %d, restarts %d@,\
+     compromises %d (%d devices; %d/%d diversified vs %d stock), crashes %d, restarts %d@,\
      quarantines %d, reintroductions %d, revivals %d, escalations %d@,\
      waves %d (%d rolled back), converged at %dus@,\
      forks %d, cache %d/%d hit/miss, net %d delivered / %d dropped@]"
     r.r_config.devices r.r_config.lans r.r_config.shards r.r_config.seed
     r.r_lookups r.r_answered r.r_availability r.r_compromises
-    r.r_compromised_devices r.r_crashes r.r_restarts r.r_quarantines
+    r.r_compromised_devices r.r_div_compromised r.r_diversified
+    r.r_stock_compromised r.r_crashes r.r_restarts r.r_quarantines
     r.r_reintroductions r.r_revivals r.r_escalations
     (List.length r.r_waves) r.r_rollbacks r.r_converged_us r.r_forks
     r.r_cache_hits r.r_cache_misses r.r_delivered r.r_dropped

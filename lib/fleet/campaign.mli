@@ -32,6 +32,14 @@ type config = {
   shards : int;  (** LAN l → scheduler shard l mod shards *)
   batch_us : int;  (** cross-shard epoch window *)
   arch : Loader.Arch.t;
+  diversity_frac : float;
+      (** fraction of the fleet booted as software-diversity variants
+          ({!Connman.Dnsproxy.fork_diversified}): each such device gets
+          a fresh seeded layout on {e every} spawn — initial boot,
+          supervisor restart, probation reimage, patch wave — drawn via
+          {!Diversity.Pool.seed_for} from a per-member master seed.
+          Membership is a deterministic interleaved spread across LANs
+          and rollout waves.  [0.0] (the default) disables the cohort. *)
   round_gap_us : int;  (** per-device benign lookup period *)
   benign_names : int;  (** benign name population per LAN *)
   attack_start_us : int;  (** attack window: [attack_start_us, horizon) *)
@@ -94,6 +102,9 @@ type report = {
   r_availability : float;  (** answered / lookups over the whole run *)
   r_compromises : int;  (** compromise events (a device can repeat) *)
   r_compromised_devices : int;  (** devices ever compromised *)
+  r_diversified : int;  (** devices in the diversity cohort *)
+  r_div_compromised : int;  (** diversified devices ever compromised *)
+  r_stock_compromised : int;  (** stock devices ever compromised *)
   r_crashes : int;
   r_restarts : int;  (** supervisor-performed restarts *)
   r_quarantines : int;
@@ -113,8 +124,11 @@ type report = {
 
 val default_rules : string
 (** Flight-recorder rules ({!Telemetry.Monitor.add_rules} format) for a
-    fleet campaign: recorded compromise/crash/availability trajectories
-    and the compromise-wave / SLO-burn alerts. *)
+    fleet campaign: recorded compromise/crash/availability trajectories,
+    the compromise-wave / SLO-burn alerts, and the per-diversity-cohort
+    compromised-fraction recordings ([div] vs [stock]) with an alert on
+    the stock cohort's fraction — the series the cohort gauges feed even
+    when [diversity_frac = 0] (all-zero, so the rules stay quiet). *)
 
 val run :
   ?metrics:Telemetry.Metrics.t -> ?monitor:Telemetry.Monitor.t -> config -> report

@@ -795,3 +795,113 @@ let run_sanitized ?(fuel = 2_000_000) ~traps ~kernel ~oracle t =
     end
   in
   loop fuel
+
+(* Mitigated fetch-decode-execute — the ARM twin of the x86
+   [run_mitigated].  Enforces a software shadow return stack and
+   forward-edge CFI against the pre-state: [bl]/[blx] push the
+   fall-through onto a mirror; [bx lr], [pop {…, pc}] and [mov pc, lr]
+   must target its top; any other indirect pc write ([bx r], [blx r],
+   data-processing or load into pc) must land on an address
+   [valid_target] accepts.  A violating transfer stops with
+   [Cfi_violation] before it executes; otherwise the same [step] core as
+   [run] retires the instruction, so benign runs are bit-identical in
+   outcome, step count, and registers.  A condition-failed instruction
+   plans nothing, exactly as it executes nothing. *)
+let run_mitigated ?(fuel = 2_000_000) ~traps ~kernel ~shadow_stack ~forward_cfi
+    ~valid_target ?(shadow0 = []) t =
+  let mirror = ref shadow0 in
+  let try_read32 a =
+    match Mem.read_u32 t.mem a with v -> v | exception Mem.Fault _ -> 0
+  in
+  let peek addr =
+    match Decode.decode t.mem addr with
+    | insn -> Some insn
+    | exception Decode.Error _ -> None
+    | exception Mem.Fault _ -> None
+  in
+  let nothing () = () in
+  let rec loop budget =
+    if budget <= 0 then Outcome.Fuel_exhausted
+    else if List.mem (pc t) traps then Outcome.Halted
+    else begin
+      let pc0 = pc t in
+      let next = Word.add pc0 4 in
+      let forward target =
+        if forward_cfi && not (valid_target target) then
+          Error (Outcome.Cfi_violation { at = pc0; expected = 0; got = target })
+        else Ok nothing
+      in
+      let ret target =
+        if not shadow_stack then Ok nothing
+        else
+          match !mirror with
+          | expected :: rest when expected = target ->
+              Ok (fun () -> mirror := rest)
+          | expected :: _ ->
+              Error (Outcome.Cfi_violation { at = pc0; expected; got = target })
+          | [] ->
+              Error
+                (Outcome.Cfi_violation { at = pc0; expected = 0; got = target })
+      in
+      let push_ret () = if shadow_stack then mirror := next :: !mirror in
+      let plan =
+        match peek pc0 with
+        | Some { cond; op } when cond_holds t cond -> (
+            (* Data-processing result written to pc is an indirect
+               branch; anywhere else it is no transfer at all. *)
+            let dp rd v =
+              if rd = PC then forward (Word.of_int v land lnot 1)
+              else Ok nothing
+            in
+            match op with
+            | Bl _ -> Ok push_ret
+            | Blx_r r -> (
+                match forward (get t r land lnot 1) with
+                | Error stop -> Error stop
+                | Ok _ -> Ok push_ret)
+            | Bx r ->
+                if r = LR then ret (get t LR land lnot 1)
+                else forward (get t r land lnot 1)
+            | Mov (PC, Reg LR) -> ret (get t LR land lnot 1)
+            | Mov (rd, o) -> dp rd (op2_value t o)
+            | Mvn (rd, o) -> dp rd (Word.lognot (op2_value t o))
+            | Add (rd, rn, o) -> dp rd (Word.add (get t rn) (op2_value t o))
+            | Sub (rd, rn, o) -> dp rd (Word.sub (get t rn) (op2_value t o))
+            | Rsb (rd, rn, o) -> dp rd (Word.sub (op2_value t o) (get t rn))
+            | And (rd, rn, o) -> dp rd (get t rn land op2_value t o)
+            | Orr (rd, rn, o) -> dp rd (get t rn lor op2_value t o)
+            | Eor (rd, rn, o) -> dp rd (get t rn lxor op2_value t o)
+            | Bic (rd, rn, o) ->
+                dp rd (get t rn land Word.lognot (op2_value t o))
+            | Mul (rd, rm, rs) -> dp rd (Word.mul (get t rm) (get t rs))
+            | Ldr (rd, rn, off) ->
+                if rd = PC then
+                  forward (try_read32 (Word.add (get t rn) off) land lnot 1)
+                else Ok nothing
+            | Ldr_r (rd, rn, rm) ->
+                if rd = PC then
+                  forward
+                    (try_read32 (Word.add (get t rn) (get t rm)) land lnot 1)
+                else Ok nothing
+            | Pop regs when List.mem PC regs ->
+                let sp0 = get t SP in
+                let rec idx i = function
+                  | [] -> -1
+                  | PC :: _ -> i
+                  | _ :: rest -> idx (i + 1) rest
+                in
+                ret (try_read32 (Word.add sp0 (4 * idx 0 regs)) land lnot 1)
+            | _ -> Ok nothing)
+        | _ -> Ok nothing
+      in
+      match plan with
+      | Error stop -> stop
+      | Ok commit -> (
+          match step t ~kernel with
+          | Some reason -> reason
+          | None ->
+              commit ();
+              loop (budget - 1))
+    end
+  in
+  loop fuel

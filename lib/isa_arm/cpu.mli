@@ -94,3 +94,25 @@ val run_sanitized :
     {!step} core as {!run}; the oracle never touches guest state, so
     outcomes, step counts, and registers are bit-identical sanitized or
     not. *)
+
+val run_mitigated :
+  ?fuel:int ->
+  traps:int list ->
+  kernel:kernel ->
+  shadow_stack:bool ->
+  forward_cfi:bool ->
+  valid_target:(int -> bool) ->
+  ?shadow0:int list ->
+  t ->
+  Machine.Outcome.stop_reason
+(** Like {!run}, under the enforced embedded mitigations — the ARM twin
+    of the x86 [run_mitigated].  Shadow return stack: [bl]/[blx] push
+    the fall-through onto a mirror; [bx lr], [pop {…, pc}] and
+    [mov pc, lr] must target its top.  Forward-edge CFI: any other
+    indirect pc write ([bx r]/[blx r], data-processing or load into pc)
+    must land on an address [valid_target] accepts (the loader passes
+    the symbol table — coarse-grained label CFI).  A violating transfer
+    stops the run with [Cfi_violation] {e before} it executes; benign
+    runs are bit-identical to {!run} in outcome, step count, and
+    registers.  [shadow0] seeds the mirror with the caller's synthetic
+    return address(es). *)

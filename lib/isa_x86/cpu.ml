@@ -823,3 +823,95 @@ let run_sanitized ?(fuel = 2_000_000) ~traps ~kernel ~oracle t =
     end
   in
   loop fuel
+
+(* Mitigated fetch-decode-execute.  Like [run_sanitized], a separate
+   entry point so the untraced hot loops stay untouched — but where the
+   sanitizer is an observer, this loop *enforces*: a return whose target
+   disagrees with the software shadow stack, or an indirect call/jmp
+   whose target is not a known entry point, stops the run with
+   [Cfi_violation] before the bad transfer executes.  Each iteration
+   peeks the next instruction (direct decode, not through the icache, so
+   icache hit/miss counts match a plain run), runs the checks against
+   the pre-state, steps through the same [step] core as [run] — benign
+   runs are bit-identical in outcome, step count, and registers — and
+   commits the shadow-stack mirror only if the instruction retired.
+
+   [shadow0] seeds the mirror (the caller's synthetic return address);
+   [valid_target] answers whether an address is a legitimate indirect
+   branch target (the loader passes the symbol table — coarse-grained
+   label CFI, as an embedded toolchain would implement it). *)
+let run_mitigated ?(fuel = 2_000_000) ~traps ~kernel ~shadow_stack ~forward_cfi
+    ~valid_target ?(shadow0 = []) t =
+  let mirror = ref shadow0 in
+  let try_read32 a =
+    match Mem.read_u32 t.mem a with v -> v | exception Mem.Fault _ -> 0
+  in
+  let try_read_op o =
+    match read_op t o with v -> v | exception Mem.Fault _ -> 0
+  in
+  let peek pc =
+    match Decode.decode t.mem pc with
+    | insn, size -> Some (insn, size)
+    | exception Decode.Error _ -> None
+    | exception Mem.Fault _ -> None
+  in
+  let nothing () = () in
+  let rec loop budget =
+    if budget <= 0 then Outcome.Fuel_exhausted
+    else if List.mem t.eip traps then Outcome.Halted
+    else begin
+      let pc0 = t.eip in
+      let sp0 = get t ESP in
+      (* Pre-step enforcement: [Error stop] aborts before the transfer
+         executes; [Ok commit] applies the mirror update if the
+         instruction retires. *)
+      let plan =
+        match peek pc0 with
+        | None -> Ok nothing
+        | Some (insn, size) -> (
+            let next = Word.add pc0 size in
+            let forward target =
+              if forward_cfi && not (valid_target target) then
+                Error
+                  (Outcome.Cfi_violation { at = pc0; expected = 0; got = target })
+              else Ok ()
+            in
+            let ret target =
+              if not shadow_stack then Ok nothing
+              else
+                match !mirror with
+                | expected :: rest when expected = target ->
+                    Ok (fun () -> mirror := rest)
+                | expected :: _ ->
+                    Error (Outcome.Cfi_violation { at = pc0; expected; got = target })
+                | [] ->
+                    Error
+                      (Outcome.Cfi_violation { at = pc0; expected = 0; got = target })
+            in
+            let push_ret () =
+              if shadow_stack then mirror := next :: !mirror
+            in
+            match insn with
+            | Call_rel _ -> Ok push_ret
+            | Call_rm o -> (
+                match forward (try_read_op o) with
+                | Error stop -> Error stop
+                | Ok () -> Ok push_ret)
+            | Jmp_rm o -> (
+                match forward (try_read_op o) with
+                | Error stop -> Error stop
+                | Ok () -> Ok nothing)
+            | Ret | Ret_i _ -> ret (try_read32 sp0)
+            | _ -> Ok nothing)
+      in
+      match plan with
+      | Error stop -> stop
+      | Ok commit -> (
+          match step t ~kernel with
+          | Some reason -> reason
+          | None ->
+              commit ();
+              loop (budget - 1))
+    end
+  in
+  loop fuel

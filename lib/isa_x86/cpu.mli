@@ -95,3 +95,26 @@ val run_sanitized :
     differential tests assert this unconditionally).  A separate entry
     point, like {!run_traced}, so the untraced hot loops stay free of
     sanitizer branches. *)
+
+val run_mitigated :
+  ?fuel:int ->
+  traps:int list ->
+  kernel:kernel ->
+  shadow_stack:bool ->
+  forward_cfi:bool ->
+  valid_target:(int -> bool) ->
+  ?shadow0:int list ->
+  t ->
+  Machine.Outcome.stop_reason
+(** Like {!run}, under the enforced embedded mitigations: a software
+    shadow return stack ([call] pushes onto a mirror, [ret]/[ret n] must
+    target its top) and forward-edge CFI ([call]/[jmp] through a
+    register or memory operand must land on an address [valid_target]
+    accepts — the loader passes the symbol table, i.e. coarse-grained
+    label CFI).  A violating transfer stops the run with
+    [Cfi_violation] {e before} it executes.  Stepping goes through the
+    same {!step} core as {!run}, so benign runs are bit-identical in
+    outcome, step count, and registers; like {!run_traced} and
+    {!run_sanitized} this is a separate entry point so the plain hot
+    loops carry no mitigation branch.  [shadow0] seeds the mirror with
+    the caller's synthetic return address(es). *)

@@ -21,7 +21,21 @@ type t = {
   profile : Defense.Profile.t;
   symbols : (string * int) list;
   trap : int;
+  valid_targets : (int, unit) Hashtbl.t Lazy.t;
 }
+
+(* The forward-edge CFI policy set: every symbol address — function
+   entries in the main image and libc, PLT stubs, the loader specials.
+   Coarse-grained label CFI, as an embedded toolchain would emit it;
+   lazy so processes that never run mitigated pay nothing, shared
+   across forks (symbols are immutable after boot). *)
+let targets_of_symbols symbols =
+  lazy
+    (let h = Hashtbl.create (2 * List.length symbols) in
+     List.iter (fun (_, a) -> Hashtbl.replace h a ()) symbols;
+     h)
+
+let valid_target t addr = Hashtbl.mem (Lazy.force t.valid_targets) addr
 
 let trap_addr = 0xFFFF_0000
 
@@ -125,10 +139,66 @@ let boot spec ~profile ~seed =
         ("__trap", trap_addr);
       ]
   in
-  { spec; arch; mem; layout; profile; symbols; trap = trap_addr }
+  {
+    spec;
+    arch;
+    mem;
+    layout;
+    profile;
+    symbols;
+    trap = trap_addr;
+    valid_targets = targets_of_symbols symbols;
+  }
 
 let symbol t name = List.assoc name t.symbols
 let symbol_opt t name = List.assoc_opt name t.symbols
+
+(* Replace the main image in place with a re-assembled spec — the
+   per-boot diversification primitive.  The text region was page-rounded
+   at boot, so a variant of the same program (shuffled layout, padding,
+   equivalent-instruction rewrites) usually still fits in the mapped
+   slack; when it does, reimaging costs one assembly plus one text
+   write — no libc/PLT/stack rebuild, so it composes with copy-on-write
+   forks for µs-scale diversified spawning.  Extern bindings (PLT stubs,
+   [__bss_start], [__canary]) are recovered from the symbol table, so
+   the variant links against the already-mapped world.  Returns [None]
+   when the variant does not fit (caller falls back to a full [boot]).
+   The [poke_bytes] writes bump the page generations, so any live
+   decoded-instruction cache re-decodes the new text. *)
+let reimage t spec' =
+  if arch_of_code spec'.code <> t.arch then
+    invalid_arg "Process.reimage: architecture mismatch";
+  let extern =
+    List.filter
+      (fun (n, _) ->
+        (String.length n > 4 && Filename.check_suffix n "@plt")
+        || n = "__bss_start" || n = "__canary")
+      t.symbols
+  in
+  List.iter
+    (fun f ->
+      if not (List.mem_assoc (f ^ "@plt") extern) then
+        failwith ("Process.reimage: unresolved import " ^ f))
+    spec'.imports;
+  let text_base = t.layout.Layout.text_base in
+  let text_size = t.layout.Layout.text_size in
+  let code, main_syms = assemble_main spec' ~extern ~base:text_base in
+  if String.length code > text_size then None
+  else begin
+    (* Zero the whole region first so no gadget bytes from the previous
+       image survive in the slack past the new code. *)
+    Mem.poke_bytes t.mem text_base (String.make text_size '\000');
+    Mem.poke_bytes t.mem text_base code;
+    let outside (_, a) = a < text_base || a >= text_base + text_size in
+    let symbols = main_syms @ List.filter outside t.symbols in
+    Some
+      {
+        t with
+        spec = spec';
+        symbols;
+        valid_targets = targets_of_symbols symbols;
+      }
+  end
 
 (* Everything in [t] except [mem] is immutable after boot (layout,
    symbols, profile), so process snapshots delegate entirely to the
@@ -154,15 +224,19 @@ let icache_stats = function
 (* When [on_step] is given, drive the CPU one instruction at a time so the
    observer sees every program-counter value (the debugger's single-step
    mode); with [sanitizer], use the ISA's [run_sanitized] loop; with
-   [trace]/[profile], the [run_traced] side-channel loop; otherwise the
-   tight [run] loop.  The register taint of a fresh call is cleared here —
-   arguments the caller passes are trusted; only bytes the oracle was told
-   to taint are not. *)
+   [trace]/[profile], the [run_traced] side-channel loop; when the
+   profile carries the embedded mitigations, the [run_mitigated]
+   enforcement loop; otherwise the tight [run] loop.  Observer modes
+   (on_step/sanitizer/trace) take precedence over enforcement — they
+   exist to watch unmodified executions.  The register taint of a fresh
+   call is cleared here — arguments the caller passes are trusted; only
+   bytes the oracle was told to taint are not. *)
 let call ?(fuel = 2_000_000) ?(icache = true) ?on_step ?sanitizer ?trace
     ?profile t ~entry ~args =
   let cfi = t.profile.Defense.Profile.cfi in
   let no_exec = t.profile.Defense.Profile.seccomp in
   let traced = trace <> None || profile <> None in
+  let mitigated = Defense.Profile.mitigated t.profile in
   match t.arch with
   | Arch.X86 ->
       let cpu = Isa_x86.Cpu.create ~cfi ~icache t.mem in
@@ -183,6 +257,12 @@ let call ?(fuel = 2_000_000) ?(icache = true) ?on_step ?sanitizer ?trace
             Isa_x86.Cpu.run_traced ~fuel ~traps:[ t.trap ]
               ~kernel:(Kernel.x86_policy ~no_exec ())
               ?trace ?profile cpu
+        | None when mitigated ->
+            Isa_x86.Cpu.run_mitigated ~fuel ~traps:[ t.trap ]
+              ~kernel:(Kernel.x86_policy ~no_exec ())
+              ~shadow_stack:t.profile.Defense.Profile.shadow_stack
+              ~forward_cfi:t.profile.Defense.Profile.forward_cfi
+              ~valid_target:(valid_target t) ~shadow0:[ t.trap ] cpu
         | None -> Isa_x86.Cpu.run ~fuel ~traps:[ t.trap ]
               ~kernel:(Kernel.x86_policy ~no_exec ())
               cpu
@@ -231,6 +311,12 @@ let call ?(fuel = 2_000_000) ?(icache = true) ?on_step ?sanitizer ?trace
             Isa_arm.Cpu.run_traced ~fuel ~traps:[ t.trap ]
               ~kernel:(Kernel.arm_policy ~no_exec ())
               ?trace ?profile cpu
+        | None when mitigated ->
+            Isa_arm.Cpu.run_mitigated ~fuel ~traps:[ t.trap ]
+              ~kernel:(Kernel.arm_policy ~no_exec ())
+              ~shadow_stack:t.profile.Defense.Profile.shadow_stack
+              ~forward_cfi:t.profile.Defense.Profile.forward_cfi
+              ~valid_target:(valid_target t) ~shadow0:[ t.trap ] cpu
         | None -> Isa_arm.Cpu.run ~fuel ~traps:[ t.trap ]
               ~kernel:(Kernel.arm_policy ~no_exec ())
               cpu

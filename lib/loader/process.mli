@@ -30,6 +30,11 @@ type t = {
       (** main-image symbols, ["f@plt"] stubs, libc symbols, and the
           specials ["__bss_start"], ["__canary"]. *)
   trap : int;  (** top-level return address; reaching it means Halted *)
+  valid_targets : (int, unit) Hashtbl.t Lazy.t;
+      (** forward-edge CFI policy set — every symbol address (function
+          entries, PLT stubs, loader specials): coarse-grained label
+          CFI as an embedded toolchain would emit it.  Lazy so
+          unmitigated processes pay nothing; shared across forks. *)
 }
 
 val boot : spec -> profile:Defense.Profile.t -> seed:int -> t
@@ -40,6 +45,23 @@ val symbol : t -> string -> int
 (** Raises [Not_found]. *)
 
 val symbol_opt : t -> string -> int option
+
+val valid_target : t -> int -> bool
+(** Membership in the forward-edge CFI policy set ({!t.valid_targets}). *)
+
+val reimage : t -> spec -> t option
+(** Replace the main image in place with a re-assembled variant of the
+    program — the per-boot diversification primitive.  The text region
+    was page-rounded at boot, so a shuffled/padded/rewritten variant of
+    the same program usually still fits in the mapped slack; extern
+    bindings (PLT stubs, [__bss_start], [__canary]) are recovered from
+    the symbol table so the variant links against the already-mapped
+    world, and main-image symbols are replaced by the variant's.
+    Returns [None] when the variant's text does not fit (callers fall
+    back to a full {!boot}).  Cheap — one assembly plus one text
+    write — so it composes with {!fork} for µs-scale diversified
+    spawning.  Raises if the spec's architecture differs or an import
+    has no PLT stub. *)
 
 val snapshot : t -> Memsim.Memory.snapshot
 (** Copy-on-write snapshot of the process memory (see
@@ -87,8 +109,13 @@ val call :
     ISA's [run_sanitized] (taint propagation + exploit detections against
     the given oracle; outcomes, step counts and registers identical to a
     plain call).  [trace]/[profile] route it through [run_traced] (events
-    + per-pc counts; same identity).  Precedence: [on_step], then
-    [sanitizer], then [trace]/[profile]. *)
+    + per-pc counts; same identity).  When the process profile carries
+    the embedded mitigations ({!Defense.Profile.mitigated}), the call
+    runs under the ISA's [run_mitigated] enforcement loop (shadow return
+    stack + forward-edge CFI against {!t.valid_targets}; benign runs
+    identical to a plain call).  Precedence: [on_step], then
+    [sanitizer], then [trace]/[profile], then mitigations — observer
+    modes watch unmodified executions. *)
 
 val call_named :
   ?fuel:int ->

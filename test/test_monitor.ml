@@ -197,9 +197,9 @@ let test_window_queries () =
 let test_rules_parse () =
   let mon = Mon.create (M.create ()) in
   (match Mon.add_rules mon C.default_rules with
-  | Ok n -> check_int "built-in fleet rule count" 8 n
+  | Ok n -> check_int "built-in fleet rule count" 11 n
   | Error e -> Alcotest.fail e);
-  check_int "four alerts registered" 4 (List.length (Mon.alert_states mon))
+  check_int "five alerts registered" 5 (List.length (Mon.alert_states mon))
 
 let test_rules_errors_are_atomic () =
   let mon = Mon.create (M.create ()) in
